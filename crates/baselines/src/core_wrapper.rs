@@ -1,0 +1,97 @@
+//! Adapter exposing `streambal-core`'s strategies through [`Partitioner`].
+
+use streambal_core::{
+    BalanceParams, IntervalStats, Key, RebalanceOutcome, RebalanceStrategy, Rebalancer, TaskId,
+};
+
+use crate::{Partitioner, RoutingView};
+
+/// Wraps a [`Rebalancer`] so Mixed / MinTable / MinMig / MixedBF / Simple
+/// plug into the same simulator and runtime slots as the baselines.
+#[derive(Debug)]
+pub struct CoreBalancer {
+    inner: Rebalancer,
+    strategy: RebalanceStrategy,
+}
+
+impl CoreBalancer {
+    /// Creates a core-strategy partitioner.
+    pub fn new(
+        n_tasks: usize,
+        window: usize,
+        strategy: RebalanceStrategy,
+        params: BalanceParams,
+    ) -> Self {
+        CoreBalancer {
+            inner: Rebalancer::new(n_tasks, window, strategy, params),
+            strategy,
+        }
+    }
+
+    /// The wrapped rebalancer (for inspection).
+    pub fn rebalancer(&self) -> &Rebalancer {
+        &self.inner
+    }
+}
+
+impl Partitioner for CoreBalancer {
+    fn name(&self) -> String {
+        self.strategy.name().into()
+    }
+
+    fn n_tasks(&self) -> usize {
+        self.inner.assignment().n_tasks()
+    }
+
+    #[inline]
+    fn route(&mut self, key: Key) -> TaskId {
+        self.inner.route(key)
+    }
+
+    fn end_interval(&mut self, stats: IntervalStats) -> Option<RebalanceOutcome> {
+        self.inner.end_interval(stats)
+    }
+
+    fn add_task(&mut self) -> TaskId {
+        self.inner.add_task()
+    }
+
+    fn scale_out(&mut self, live: &[Key]) -> TaskId {
+        self.inner.scale_out(live.iter().copied())
+    }
+
+    fn routing_view(&self) -> RoutingView {
+        RoutingView::TablePlusHash {
+            table: self.inner.assignment().table().clone(),
+            n_tasks: self.inner.assignment().n_tasks(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wraps_mixed_strategy() {
+        let mut p = CoreBalancer::new(4, 2, RebalanceStrategy::Mixed, BalanceParams::default());
+        assert_eq!(p.name(), "Mixed");
+        assert_eq!(p.n_tasks(), 4);
+        let mut iv = IntervalStats::new();
+        for k in 0..500u64 {
+            let cost = if k < 3 { 1000 } else { 2 };
+            iv.observe(Key(k), 1, cost, cost);
+        }
+        let out = p.end_interval(iv);
+        assert!(out.is_some(), "skew must trigger the wrapped rebalancer");
+        assert_eq!(p.rebalancer().rebalances(), 1);
+    }
+
+    #[test]
+    fn scale_out_passthrough() {
+        let mut p =
+            CoreBalancer::new(2, 1, RebalanceStrategy::MinTable, BalanceParams::default());
+        assert_eq!(p.add_task(), TaskId(2));
+        assert_eq!(p.n_tasks(), 3);
+    }
+}

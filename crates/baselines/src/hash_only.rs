@@ -1,0 +1,78 @@
+//! Static consistent hashing — the "Storm" baseline.
+
+use streambal_core::{AssignmentFn, IntervalStats, Key, RebalanceOutcome, TaskId};
+
+use crate::{Partitioner, RoutingView};
+
+/// Routes every key by consistent hash, never rebalancing. This is what a
+/// stock Storm `fields` grouping does, and the strawman whose skew the
+/// paper's Fig. 7 quantifies.
+#[derive(Debug)]
+pub struct HashPartitioner {
+    assignment: AssignmentFn,
+}
+
+impl HashPartitioner {
+    /// Creates the partitioner over `n_tasks` downstream instances.
+    pub fn new(n_tasks: usize) -> Self {
+        HashPartitioner {
+            assignment: AssignmentFn::hash_only(n_tasks),
+        }
+    }
+}
+
+impl Partitioner for HashPartitioner {
+    fn name(&self) -> String {
+        "Storm".into()
+    }
+
+    fn n_tasks(&self) -> usize {
+        self.assignment.n_tasks()
+    }
+
+    #[inline]
+    fn route(&mut self, key: Key) -> TaskId {
+        self.assignment.route(key)
+    }
+
+    fn end_interval(&mut self, _stats: IntervalStats) -> Option<RebalanceOutcome> {
+        None // never rebalances
+    }
+
+    fn add_task(&mut self) -> TaskId {
+        self.assignment.add_task()
+    }
+
+    fn routing_view(&self) -> RoutingView {
+        RoutingView::TablePlusHash {
+            table: self.assignment.table().clone(),
+            n_tasks: self.assignment.n_tasks(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stable_routing() {
+        let mut p = HashPartitioner::new(7);
+        let before: Vec<TaskId> = (0..500u64).map(|k| p.route(Key(k))).collect();
+        // Interval boundaries change nothing.
+        assert!(p.end_interval(IntervalStats::new()).is_none());
+        let after: Vec<TaskId> = (0..500u64).map(|k| p.route(Key(k))).collect();
+        assert_eq!(before, after);
+    }
+
+    #[test]
+    fn scale_out_moves_keys_only_to_new_task() {
+        let mut p = HashPartitioner::new(4);
+        let before: Vec<TaskId> = (0..2000u64).map(|k| p.route(Key(k))).collect();
+        let new = p.add_task();
+        for (k, &old) in before.iter().enumerate() {
+            let now = p.route(Key(k as u64));
+            assert!(now == old || now == new);
+        }
+    }
+}

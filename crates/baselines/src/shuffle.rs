@@ -1,0 +1,90 @@
+//! Round-robin shuffle — the "Ideal" bound of Fig. 13.
+//!
+//! Ignoring keys entirely yields perfect load spread, but breaks key
+//! grouping: stateful aggregation is impossible. The paper plots it as the
+//! theoretical throughput/latency limit that key-aware schemes approach.
+
+use streambal_core::{IntervalStats, Key, RebalanceOutcome, TaskId};
+
+use crate::{Partitioner, RoutingView};
+
+/// Key-oblivious round-robin router.
+#[derive(Debug)]
+pub struct ShufflePartitioner {
+    n_tasks: usize,
+    next: usize,
+}
+
+impl ShufflePartitioner {
+    /// Creates the shuffler over `n_tasks` instances.
+    pub fn new(n_tasks: usize) -> Self {
+        assert!(n_tasks > 0, "need at least one task");
+        ShufflePartitioner { n_tasks, next: 0 }
+    }
+}
+
+impl Partitioner for ShufflePartitioner {
+    fn name(&self) -> String {
+        "Ideal".into()
+    }
+
+    fn n_tasks(&self) -> usize {
+        self.n_tasks
+    }
+
+    #[inline]
+    fn route(&mut self, _key: Key) -> TaskId {
+        let d = self.next;
+        self.next = (self.next + 1) % self.n_tasks;
+        TaskId::from(d)
+    }
+
+    fn end_interval(&mut self, _stats: IntervalStats) -> Option<RebalanceOutcome> {
+        None
+    }
+
+    fn add_task(&mut self) -> TaskId {
+        self.n_tasks += 1;
+        TaskId::from(self.n_tasks - 1)
+    }
+
+    fn routing_view(&self) -> RoutingView {
+        RoutingView::RoundRobin {
+            n_tasks: self.n_tasks,
+        }
+    }
+
+    fn preserves_key_semantics(&self) -> bool {
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfectly_even_distribution() {
+        let mut p = ShufflePartitioner::new(4);
+        let mut counts = [0usize; 4];
+        for k in 0..4000u64 {
+            counts[p.route(Key(k % 3)).index()] += 1; // skewed keys, even spread
+        }
+        assert_eq!(counts, [1000; 4]);
+    }
+
+    #[test]
+    fn scale_out() {
+        let mut p = ShufflePartitioner::new(2);
+        assert_eq!(p.add_task(), TaskId(2));
+        assert_eq!(p.n_tasks(), 3);
+        let hits: Vec<usize> = (0..3).map(|_| p.route(Key(0)).index()).collect();
+        assert_eq!(hits, vec![0, 1, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one task")]
+    fn zero_tasks_panics() {
+        ShufflePartitioner::new(0);
+    }
+}

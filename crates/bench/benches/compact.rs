@@ -1,0 +1,39 @@
+//! Criterion bench: the compact representation's speedup (Fig. 11a) —
+//! adapted Mixed over 6-dim records vs Mixed over the full key space.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use streambal_bench::fig11::skewed_input;
+use streambal_bench::{Defaults, Scale};
+use streambal_core::compact::{compact_mixed, CompactStats};
+use streambal_core::{rebalance, RebalanceStrategy};
+
+fn bench_compact(c: &mut Criterion) {
+    let mut d = Defaults::at(Scale::Quick);
+    d.k = 20_000;
+    d.tuples = 200_000;
+    let input = skewed_input(&d);
+    let params = d.params();
+
+    let mut group = c.benchmark_group("compact_vs_full");
+    group.sample_size(10);
+    for r in [1u32, 3, 6] {
+        group.bench_with_input(BenchmarkId::new("compact_mixed", 1u64 << r), &input, |b, input| {
+            b.iter(|| compact_mixed(input, &params, r))
+        });
+    }
+    group.bench_with_input(BenchmarkId::new("full_mixed", "orig"), &input, |b, input| {
+        b.iter(|| rebalance(input, RebalanceStrategy::Mixed, &params))
+    });
+    group.finish();
+
+    let mut group = c.benchmark_group("compact_build");
+    for r in [1u32, 6] {
+        group.bench_with_input(BenchmarkId::new("build", 1u64 << r), &input, |b, input| {
+            b.iter(|| CompactStats::build(&input.records, r))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_compact);
+criterion_main!(benches);

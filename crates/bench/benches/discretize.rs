@@ -1,0 +1,36 @@
+//! Criterion bench: HLHE greedy discretization vs naive nearest-value
+//! rounding (the Fig. 6 mechanism) on realistic value populations.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use streambal_core::discretize::{discretize, discretize_naive};
+use streambal_hashring::mix64;
+
+fn values(n: u64) -> Vec<u64> {
+    (0..n)
+        .map(|i| {
+            let h = mix64(i);
+            if h % 100 < 90 {
+                1 + h % 16
+            } else {
+                64 + h % 4096
+            }
+        })
+        .collect()
+}
+
+fn bench_discretize(c: &mut Criterion) {
+    let mut group = c.benchmark_group("discretize");
+    for n in [10_000u64, 100_000] {
+        let vals = values(n);
+        group.bench_with_input(BenchmarkId::new("hlhe_greedy", n), &vals, |b, v| {
+            b.iter(|| discretize(v, 3))
+        });
+        group.bench_with_input(BenchmarkId::new("naive", n), &vals, |b, v| {
+            b.iter(|| discretize_naive(v, 3))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_discretize);
+criterion_main!(benches);

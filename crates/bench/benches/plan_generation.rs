@@ -1,0 +1,45 @@
+//! Criterion bench: rebalance-plan construction latency — the paper's
+//! "average generation time" metric (Figs. 8a/9a/10a/12a) measured
+//! precisely for each algorithm on a fixed skewed input.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use streambal_baselines::readj_rebalance;
+use streambal_baselines::ReadjConfig;
+use streambal_bench::fig11::skewed_input;
+use streambal_bench::{Defaults, Scale};
+use streambal_core::{rebalance, RebalanceStrategy};
+
+fn bench_plans(c: &mut Criterion) {
+    let mut group = c.benchmark_group("plan_generation");
+    group.sample_size(10);
+    for k in [5_000usize, 20_000] {
+        let mut d = Defaults::at(Scale::Quick);
+        d.k = k;
+        d.tuples = (k * 10) as u64;
+        let input = skewed_input(&d);
+        let params = d.params();
+        for strategy in [
+            RebalanceStrategy::Mixed,
+            RebalanceStrategy::MinTable,
+            RebalanceStrategy::MinMig,
+        ] {
+            group.bench_with_input(
+                BenchmarkId::new(strategy.name(), k),
+                &input,
+                |b, input| b.iter(|| rebalance(input, strategy, &params)),
+            );
+        }
+        let readj_cfg = ReadjConfig {
+            theta_max: d.theta_max,
+            sigma: 0.02,
+            max_actions: 256,
+        };
+        group.bench_with_input(BenchmarkId::new("Readj", k), &input, |b, input| {
+            b.iter(|| readj_rebalance(&input.records, input.n_tasks, &readj_cfg))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_plans);
+criterion_main!(benches);

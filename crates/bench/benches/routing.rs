@@ -1,0 +1,34 @@
+//! Criterion bench: per-tuple routing cost of the mixed strategy (Eq. 1)
+//! at several routing-table sizes vs pure hashing — the framework's
+//! constant-factor overhead claim ("both the memory and computation cost
+//! of the scheme are acceptable", §II).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use streambal_core::{AssignmentFn, Key, RoutingTable, TaskId};
+
+fn bench_routing(c: &mut Criterion) {
+    let mut group = c.benchmark_group("routing");
+    let n_tasks = 10;
+    for table_size in [0usize, 1_000, 10_000, 50_000] {
+        let table: RoutingTable = (0..table_size as u64)
+            .map(|k| (Key(k), TaskId((k % n_tasks as u64) as u32)))
+            .collect();
+        let f = AssignmentFn::with_table(n_tasks, table);
+        group.bench_with_input(
+            BenchmarkId::new("route", table_size),
+            &f,
+            |b, f| {
+                let mut key = 0u64;
+                b.iter(|| {
+                    // Alternate table hits and misses.
+                    key = key.wrapping_add(1);
+                    f.route(Key(key % (2 * table_size.max(1)) as u64))
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_routing);
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! Criterion bench: end-to-end engine throughput on a small skewed
+//! word-count topology, hash vs Mixed routing.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use streambal_bench::figs_runtime::{run_wordcount, zipf_intervals, RtParams, RtStrategy};
+
+fn bench_engine(c: &mut Criterion) {
+    let rt = RtParams {
+        nd: 3,
+        tuples: 5_000,
+        intervals: 3,
+        spin: 200,
+        window: 5,
+    };
+    let intervals = zipf_intervals(&rt, 1_000, 0.95, 0.5, 77);
+    let mut group = c.benchmark_group("engine_wordcount");
+    group.sample_size(10);
+    for strategy in [RtStrategy::Storm, RtStrategy::Mixed, RtStrategy::Ideal] {
+        group.bench_with_input(
+            BenchmarkId::new(strategy.name(), "15k_tuples"),
+            &intervals,
+            |b, intervals| b.iter(|| run_wordcount(&rt, strategy, 0.1, intervals, None)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_engine);
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! Runs every figure experiment and writes the outputs to
+//! `bench_results/figNN.txt` (plus stdout). `STREAMBAL_SCALE=full` for
+//! paper-scale runs.
+
+use std::fs;
+use std::time::Instant;
+
+use streambal_bench::{fig11, figs_runtime, figs_sim, Scale};
+
+type FigureFn = Box<dyn Fn(Scale) -> String>;
+
+fn main() {
+    let scale = Scale::from_env();
+    let dir = std::path::Path::new("bench_results");
+    fs::create_dir_all(dir).expect("create bench_results/");
+
+    let figures: Vec<(&str, FigureFn)> = vec![
+        ("fig07", Box::new(figs_sim::fig07)),
+        ("fig08", Box::new(figs_sim::fig08)),
+        ("fig09", Box::new(figs_sim::fig09)),
+        ("fig10", Box::new(figs_sim::fig10)),
+        ("fig11", Box::new(fig11::fig11)),
+        ("fig12", Box::new(figs_sim::fig12)),
+        ("fig13", Box::new(figs_runtime::fig13)),
+        ("fig14", Box::new(figs_runtime::fig14)),
+        ("fig15", Box::new(figs_runtime::fig15)),
+        ("fig16", Box::new(figs_runtime::fig16)),
+        ("fig17", Box::new(figs_sim::fig17)),
+        ("fig18", Box::new(figs_sim::fig18)),
+        ("fig19", Box::new(figs_sim::fig19)),
+        ("fig20_21", Box::new(figs_sim::fig20_21)),
+    ];
+
+    for (name, run) in figures {
+        let t0 = Instant::now();
+        eprintln!(">>> {name} ...");
+        let out = run(scale);
+        println!("{out}");
+        fs::write(dir.join(format!("{name}.txt")), &out).expect("write result");
+        eprintln!("<<< {name} done in {:.1}s", t0.elapsed().as_secs_f64());
+    }
+    eprintln!("all figures written to bench_results/");
+}

@@ -1,0 +1,5 @@
+//! Regenerates the paper's Fig. 12 (see EXPERIMENTS.md).
+fn main() {
+    let scale = streambal_bench::Scale::from_env();
+    print!("{}", streambal_bench::figs_sim::fig12(scale));
+}

@@ -1,0 +1,664 @@
+//! The compact 6-dimensional statistics representation (paper §IV).
+//!
+//! Real key domains hold millions of keys; shipping and optimizing over
+//! per-key statistics does not scale. The paper merges keys with common
+//! characteristics into records `(d′, d, dₕ, v_c, v_S, #)`:
+//!
+//! * `d′` — the *next* destination being decided (nil while in the
+//!   candidate set),
+//! * `d`  — the current destination `F(k)`,
+//! * `dₕ` — the hash destination `h(k)`,
+//! * `v_c`, `v_S` — discretized computation cost and windowed memory,
+//! * `#` — how many keys share all five values.
+//!
+//! The adapted Mixed algorithm then operates on records (moving *units*,
+//! i.e. single keys within a record) instead of raw keys, shrinking the
+//! working set from `|K|` to `O(N_D³ · |v_c| · |v_S|)`. At the end the
+//! record-level decisions are *materialized* back to concrete keys using
+//! the controller's full statistics (paper §IV-A Phase III), so the
+//! emitted table and migration plan are exact — only the optimizer's view
+//! is approximate, and Fig. 11b's load-estimation error stays under 1%.
+
+use streambal_hashring::FxHashMap;
+
+use crate::discretize::discretize;
+use crate::key::{Key, TaskId};
+use crate::rebalance::{outcome_from_assignment, BalanceParams, RebalanceInput, RebalanceOutcome};
+use crate::stats::KeyRecord;
+
+/// One compact record: a group of keys sharing `(d, dₕ, v_c, v_S)`.
+///
+/// `#` is `keys.len()`; `d′` lives in the optimizer's working state, not
+/// here (a record's units can be split across several `d′` mid-run).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CompactRecord {
+    /// Current destination `d = F(k)` for all member keys.
+    pub cur: TaskId,
+    /// Hash destination `dₕ = h(k)` for all member keys.
+    pub hash: TaskId,
+    /// Discretized computation cost `v_c` per key.
+    pub vc: u64,
+    /// Discretized windowed memory `v_S` per key.
+    pub vs: u64,
+    /// The member keys (sorted).
+    pub keys: Vec<Key>,
+}
+
+impl CompactRecord {
+    /// Number of member keys (`#`).
+    pub fn count(&self) -> usize {
+        self.keys.len()
+    }
+
+    /// Migration priority `γ = v_c^β / v_S` of a unit of this record.
+    pub fn gamma(&self, beta: f64) -> f64 {
+        if self.vs == 0 {
+            return f64::INFINITY;
+        }
+        (self.vc as f64).powf(beta) / self.vs as f64
+    }
+}
+
+/// The compact view of one interval's statistics.
+#[derive(Debug, Clone)]
+pub struct CompactStats {
+    /// The merged records, deterministically ordered.
+    pub records: Vec<CompactRecord>,
+    n_keys: usize,
+}
+
+impl CompactStats {
+    /// Builds the compact view: discretizes costs and memories with degree
+    /// `R = 2^r`, then merges keys by `(d, dₕ, v_c, v_S)`.
+    pub fn build(records: &[KeyRecord], r: u32) -> Self {
+        let costs: Vec<u64> = records.iter().map(|k| k.cost).collect();
+        let mems: Vec<u64> = records.iter().map(|k| k.mem).collect();
+        let vc = discretize(&costs, r);
+        let vs = discretize(&mems, r);
+        let mut groups: FxHashMap<(TaskId, TaskId, u64, u64), Vec<Key>> = FxHashMap::default();
+        for (i, k) in records.iter().enumerate() {
+            groups
+                .entry((k.current, k.hash_dest, vc[i], vs[i]))
+                .or_default()
+                .push(k.key);
+        }
+        let mut recs: Vec<CompactRecord> = groups
+            .into_iter()
+            .map(|((cur, hash, vc, vs), mut keys)| {
+                keys.sort_unstable();
+                CompactRecord {
+                    cur,
+                    hash,
+                    vc,
+                    vs,
+                    keys,
+                }
+            })
+            .collect();
+        recs.sort_unstable_by_key(|r| (r.cur, r.hash, std::cmp::Reverse(r.vc), r.vs));
+        CompactStats {
+            records: recs,
+            n_keys: records.len(),
+        }
+    }
+
+    /// Number of compact records (the optimizer's working-set size).
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// True when there are no records.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Number of underlying keys.
+    pub fn n_keys(&self) -> usize {
+        self.n_keys
+    }
+
+    /// Compression ratio `keys / records` (≥ 1).
+    pub fn compression(&self) -> f64 {
+        if self.records.is_empty() {
+            return 1.0;
+        }
+        self.n_keys as f64 / self.records.len() as f64
+    }
+}
+
+/// Unit-level working state of the adapted algorithm: `units[r][d]` = how
+/// many keys of record `r` are currently assigned to task `d`.
+struct UnitState {
+    units: Vec<Vec<u32>>,
+    loads: Vec<u64>,
+    n_tasks: usize,
+}
+
+impl UnitState {
+    fn new(stats: &CompactStats, n_tasks: usize) -> Self {
+        let mut units = vec![vec![0u32; n_tasks]; stats.records.len()];
+        let mut loads = vec![0u64; n_tasks];
+        for (r, rec) in stats.records.iter().enumerate() {
+            units[r][rec.cur.index()] = rec.count() as u32;
+            loads[rec.cur.index()] += rec.vc * rec.count() as u64;
+        }
+        UnitState {
+            units,
+            loads,
+            n_tasks,
+        }
+    }
+
+    fn move_units(&mut self, rec: usize, vc: u64, from: usize, to: usize, m: u32) {
+        debug_assert!(self.units[rec][from] >= m);
+        self.units[rec][from] -= m;
+        self.units[rec][to] += m;
+        self.loads[from] -= vc * m as u64;
+        self.loads[to] += vc * m as u64;
+    }
+}
+
+/// Result of an adapted compact-Mixed run.
+#[derive(Debug, Clone)]
+pub struct CompactOutcome {
+    /// The exact materialized outcome (table, plan, true loads).
+    pub outcome: RebalanceOutcome,
+    /// Compact working-set size the optimizer saw.
+    pub n_records: usize,
+    /// The optimizer's *estimated* per-task loads (sums of `v_c`).
+    pub est_loads: Vec<u64>,
+    /// Mean relative load-estimation error across tasks
+    /// (`|est − actual| / actual`, Fig. 11b's metric).
+    pub estimation_error: f64,
+    /// Time to build the compact view from per-key records. In the
+    /// paper's deployment this happens at the *workers* during statistics
+    /// collection (§IV: instances report 6-dim vectors), so it is not part
+    /// of the controller's plan-generation latency.
+    pub build_time: std::time::Duration,
+    /// Controller-side plan time over the compact records — the Fig. 11a
+    /// metric.
+    pub solve_time: std::time::Duration,
+    /// Time to materialize record-level decisions back to concrete keys.
+    pub materialize_time: std::time::Duration,
+}
+
+/// Runs the adapted Mixed algorithm over the compact representation and
+/// materializes an exact plan (paper §IV-A).
+///
+/// `r` is the discretization degree (`R = 2^r`).
+pub fn compact_mixed(
+    input: &RebalanceInput,
+    params: &BalanceParams,
+    r: u32,
+) -> CompactOutcome {
+    let t_build = std::time::Instant::now();
+    let stats = CompactStats::build(&input.records, r);
+    let build_time = t_build.elapsed();
+    let t_solve = std::time::Instant::now();
+    let n_tasks = input.n_tasks;
+
+    // η order for Phase-I cleaning: table-entry records by smallest vs.
+    let mut eta: Vec<usize> = (0..stats.records.len())
+        .filter(|&i| stats.records[i].cur != stats.records[i].hash)
+        .collect();
+    eta.sort_unstable_by_key(|&i| (stats.records[i].vs, i));
+    let total_table_units: u32 = eta
+        .iter()
+        .map(|&i| stats.records[i].count() as u32)
+        .sum();
+
+    let mut n = 0u32;
+    let mut state;
+    loop {
+        state = run_trial(&stats, n_tasks, params, &eta, n);
+        let table_units = table_size(&stats, &state);
+        let over = table_units.saturating_sub(params.table_max);
+        if over == 0 || n >= total_table_units {
+            break;
+        }
+        n = (n + (over as u32).max(1)).min(total_table_units);
+    }
+
+    let solve_time = t_solve.elapsed();
+
+    // Materialize record-level unit placement into concrete keys.
+    let t_mat = std::time::Instant::now();
+    let assign = materialize(&stats, &state, input);
+    let outcome = outcome_from_assignment(input, &assign);
+    let materialize_time = t_mat.elapsed();
+
+    // Estimation error: optimizer loads (v_c sums) vs true loads.
+    let est_loads = state.loads.clone();
+    let mut err_sum = 0.0;
+    let mut err_n = 0usize;
+    for (&est, &actual) in est_loads.iter().zip(&outcome.loads.loads) {
+        if actual > 0 {
+            err_sum += (est as f64 - actual as f64).abs() / actual as f64;
+            err_n += 1;
+        }
+    }
+    CompactOutcome {
+        outcome,
+        n_records: stats.len(),
+        est_loads,
+        estimation_error: if err_n == 0 { 0.0 } else { err_sum / err_n as f64 },
+        build_time,
+        solve_time,
+        materialize_time,
+    }
+}
+
+/// Number of keys whose working destination differs from their hash
+/// destination (the table size this state implies).
+fn table_size(stats: &CompactStats, state: &UnitState) -> usize {
+    let mut n = 0usize;
+    for (r, rec) in stats.records.iter().enumerate() {
+        for d in 0..state.n_tasks {
+            if d != rec.hash.index() {
+                n += state.units[r][d] as usize;
+            }
+        }
+    }
+    n
+}
+
+/// One trial of the adapted Mixed: Phase I moves back `n` units (η order),
+/// Phase II drains overloaded tasks (γ order), Phase III is record-level
+/// LLFD.
+fn run_trial(
+    stats: &CompactStats,
+    n_tasks: usize,
+    params: &BalanceParams,
+    eta: &[usize],
+    n: u32,
+) -> UnitState {
+    let mut state = UnitState::new(stats, n_tasks);
+    let total: u64 = state.loads.iter().sum();
+    let mean = total as f64 / n_tasks as f64;
+    let lmax = (1.0 + params.theta_max) * mean;
+
+    // Phase I: move back n units, smallest-vs records first.
+    let mut remaining = n;
+    for &ri in eta {
+        if remaining == 0 {
+            break;
+        }
+        let rec = &stats.records[ri];
+        let (from, to) = (rec.cur.index(), rec.hash.index());
+        let have = state.units[ri][from];
+        let m = have.min(remaining);
+        if m > 0 {
+            state.move_units(ri, rec.vc, from, to, m);
+            remaining -= m;
+        }
+    }
+
+    // Phase II: drain overloaded tasks in γ-descending order.
+    // Candidate units per record.
+    let mut pending = vec![0u32; stats.records.len()];
+    let beta = params.beta;
+    let mut gamma_order: Vec<usize> = (0..stats.records.len()).collect();
+    gamma_order.sort_unstable_by(|&a, &b| {
+        stats.records[b]
+            .gamma(beta)
+            .partial_cmp(&stats.records[a].gamma(beta))
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then_with(|| a.cmp(&b))
+    });
+    for d in 0..n_tasks {
+        for &ri in &gamma_order {
+            if (state.loads[d] as f64) <= lmax {
+                break;
+            }
+            let rec = &stats.records[ri];
+            if rec.vc == 0 {
+                continue; // zero-cost units cannot shed load
+            }
+            let have = state.units[ri][d];
+            if have == 0 {
+                continue;
+            }
+            let excess = state.loads[d] as f64 - lmax;
+            let need = (excess / rec.vc as f64).ceil() as u32;
+            let m = have.min(need.max(1));
+            state.units[ri][d] -= m;
+            state.loads[d] -= rec.vc * m as u64;
+            pending[ri] += m;
+        }
+    }
+
+    // Phase III: adapted LLFD. Process records in descending vc.
+    let mut vc_order: Vec<usize> = (0..stats.records.len()).collect();
+    vc_order.sort_unstable_by(|&a, &b| {
+        stats.records[b]
+            .vc
+            .cmp(&stats.records[a].vc)
+            .then_with(|| a.cmp(&b))
+    });
+    // Iterate to fixpoint: exchanges re-add pending units of smaller vc,
+    // which are handled in later passes of this loop.
+    let mut guard = 0usize;
+    loop {
+        guard += 1;
+        let force = guard > 4 * stats.records.len() + 8;
+        let mut any = false;
+        for &ri in &vc_order {
+            while pending[ri] > 0 {
+                any = true;
+                let rec = &stats.records[ri];
+                place_units(&mut state, stats, &mut pending, ri, rec.vc, lmax, beta, force);
+            }
+        }
+        if !any {
+            break;
+        }
+    }
+    state
+}
+
+/// Places all pending units of record `ri`, batching under-`lmax` fits and
+/// falling back to single-unit exchange, then force-placement.
+#[allow(clippy::too_many_arguments)]
+fn place_units(
+    state: &mut UnitState,
+    stats: &CompactStats,
+    pending: &mut [u32],
+    ri: usize,
+    vc: u64,
+    lmax: f64,
+    beta: f64,
+    force: bool,
+) {
+    let n_tasks = state.n_tasks;
+    // Tasks in ascending load order.
+    let mut order: Vec<usize> = (0..n_tasks).collect();
+    order.sort_unstable_by_key(|&d| (state.loads[d], d));
+
+    let u = pending[ri];
+    debug_assert!(u > 0);
+
+    if force {
+        // Spread one unit at a time onto the least-loaded task.
+        state.units[ri][order[0]] += 1;
+        state.loads[order[0]] += vc;
+        pending[ri] -= 1;
+        return;
+    }
+
+    for &d in &order {
+        let room = lmax - state.loads[d] as f64;
+        let fit = if vc == 0 {
+            u
+        } else if room <= 0.0 {
+            0
+        } else {
+            ((room / vc as f64).floor() as u64).min(u as u64) as u32
+        };
+        if fit >= 1 {
+            state.units[ri][d] += fit;
+            state.loads[d] += vc * fit as u64;
+            pending[ri] -= fit;
+            return;
+        }
+        // Exchange: evict strictly-cheaper units from d to make room, then
+        // place as many units as the freed room allows (batched — a
+        // per-unit loop would rescan the residents once per key).
+        let need = state.loads[d] as f64 + vc as f64 - lmax;
+        let mut resident: Vec<usize> = (0..stats.records.len())
+            .filter(|&r| {
+                state.units[r][d] > 0 && stats.records[r].vc < vc && stats.records[r].vc > 0
+            })
+            .collect();
+        resident.sort_unstable_by(|&a, &b| {
+            stats.records[b]
+                .gamma(beta)
+                .partial_cmp(&stats.records[a].gamma(beta))
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then_with(|| a.cmp(&b))
+        });
+        // Shed up to the amount that lets all `u` pending units in.
+        let max_useful = need + (u as f64 - 1.0) * vc as f64;
+        let mut shed = 0u64;
+        let mut evictions: Vec<(usize, u32)> = Vec::new();
+        for r in resident {
+            if shed as f64 >= max_useful {
+                break;
+            }
+            let rvc = stats.records[r].vc;
+            let have = state.units[r][d] as u64;
+            let want = (((max_useful - shed as f64) / rvc as f64).ceil() as u64).min(have);
+            if want > 0 {
+                evictions.push((r, want as u32));
+                shed += rvc * want;
+            }
+        }
+        if (shed as f64) >= need && need > 0.0 {
+            for (r, m) in evictions {
+                state.units[r][d] -= m;
+                state.loads[d] -= stats.records[r].vc * m as u64;
+                pending[r] += m;
+            }
+            // Place as many units as now fit (≥ 1 by construction).
+            let room = lmax - state.loads[d] as f64;
+            let m = ((room / vc as f64).floor() as u64).clamp(1, u as u64) as u32;
+            state.units[ri][d] += m;
+            state.loads[d] += vc * m as u64;
+            pending[ri] -= m;
+            return;
+        }
+    }
+    // Nobody accepted: force one unit onto the least-loaded task.
+    state.units[ri][order[0]] += 1;
+    state.loads[order[0]] += vc;
+    pending[ri] -= 1;
+}
+
+/// Materializes unit placement into a per-key assignment parallel to
+/// `input.records` (paper §IV-A Phase III: pick concrete keys for each
+/// record-level decision; keys staying on their current task are preferred
+/// so migrations match the unit counts exactly).
+fn materialize(stats: &CompactStats, state: &UnitState, input: &RebalanceInput) -> Vec<TaskId> {
+    let mut by_key: FxHashMap<Key, TaskId> = FxHashMap::default();
+    for (ri, rec) in stats.records.iter().enumerate() {
+        let cur = rec.cur.index();
+        let stay = state.units[ri][cur] as usize;
+        // First `stay` keys keep their current task; the rest are dealt to
+        // other tasks in id order. Keys are sorted, so this is
+        // deterministic.
+        let mut cursor = stay.min(rec.keys.len());
+        for &k in &rec.keys[..cursor] {
+            by_key.insert(k, rec.cur);
+        }
+        for d in 0..state.n_tasks {
+            if d == cur {
+                continue;
+            }
+            let m = state.units[ri][d] as usize;
+            for &k in rec.keys.iter().skip(cursor).take(m) {
+                by_key.insert(k, TaskId::from(d));
+            }
+            cursor += m;
+        }
+        debug_assert_eq!(cursor, rec.keys.len(), "unit counts must cover all keys");
+    }
+    input.records.iter().map(|r| by_key[&r.key]).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::load::needs_rebalance;
+
+    fn rec(key: u64, cost: u64, mem: u64, cur: u32, hash: u32) -> KeyRecord {
+        KeyRecord {
+            key: Key(key),
+            cost,
+            mem,
+            current: TaskId(cur),
+            hash_dest: TaskId(hash),
+        }
+    }
+
+    fn skewed_input(n_keys: u64, n_tasks: usize) -> RebalanceInput {
+        // All keys hashed "fairly" but task 0 given the hot head.
+        let records: Vec<KeyRecord> = (0..n_keys)
+            .map(|i| {
+                let d = (i % n_tasks as u64) as u32;
+                let cost = if i < n_keys / 20 { 100 } else { 2 };
+                rec(i, cost, cost * 3, if i < n_keys / 20 { 0 } else { d }, d)
+            })
+            .collect();
+        RebalanceInput {
+            n_tasks,
+            records,
+        }
+    }
+
+    #[test]
+    fn build_groups_identical_keys() {
+        let records = vec![
+            rec(1, 10, 5, 0, 0),
+            rec(2, 10, 5, 0, 0),
+            rec(3, 10, 5, 1, 1),
+            rec(4, 7, 5, 0, 0),
+        ];
+        let stats = CompactStats::build(&records, 0);
+        // r=0 keeps values nearly exact; keys 1,2 merge; 3 differs by cur;
+        // 4 differs by vc.
+        assert_eq!(stats.n_keys(), 4);
+        assert!(stats.len() <= 3, "got {} records", stats.len());
+        let big = stats
+            .records
+            .iter()
+            .find(|r| r.count() == 2)
+            .expect("merged record");
+        assert_eq!(big.keys, vec![Key(1), Key(2)]);
+        assert!(stats.compression() >= 4.0 / 3.0);
+    }
+
+    #[test]
+    fn coarser_discretization_merges_more() {
+        let records: Vec<KeyRecord> = (0..2000)
+            .map(|i| rec(i, 1 + i % 97, 1 + i % 53, 0, (i % 4) as u32))
+            .collect();
+        let fine = CompactStats::build(&records, 0).len();
+        let coarse = CompactStats::build(&records, 5).len();
+        assert!(
+            coarse < fine,
+            "coarse {coarse} should be smaller than fine {fine}"
+        );
+    }
+
+    #[test]
+    fn compact_mixed_balances_skewed_load() {
+        let input = skewed_input(2000, 4);
+        let before = input.current_loads();
+        assert!(needs_rebalance(&before, 0.08));
+        let out = compact_mixed(&input, &BalanceParams::default(), 2);
+        assert!(
+            out.outcome.achieved_theta < before.max_theta(),
+            "θ {} → {}",
+            before.max_theta(),
+            out.outcome.achieved_theta
+        );
+        assert!(out.outcome.achieved_theta < 0.3);
+        // The optimizer saw far fewer records than keys.
+        assert!(out.n_records < input.records.len() / 4);
+    }
+
+    #[test]
+    fn estimation_error_small_and_shrinks_with_finer_r() {
+        let input = skewed_input(5000, 4);
+        let fine = compact_mixed(&input, &BalanceParams::default(), 0);
+        let coarse = compact_mixed(&input, &BalanceParams::default(), 6);
+        // The paper reports < 1% error across R ∈ [1, 256]; allow 2%.
+        assert!(
+            fine.estimation_error < 0.02,
+            "fine error {}",
+            fine.estimation_error
+        );
+        assert!(
+            coarse.estimation_error < 0.05,
+            "coarse error {}",
+            coarse.estimation_error
+        );
+    }
+
+    #[test]
+    fn materialized_plan_is_consistent() {
+        let input = skewed_input(1000, 3);
+        let out = compact_mixed(&input, &BalanceParams::default(), 2);
+        // Every move's `from` equals the key's current task.
+        for m in out.outcome.plan.moves() {
+            let kr = input.records.iter().find(|r| r.key == m.key).unwrap();
+            assert_eq!(m.from, kr.current);
+            assert!(m.to.index() < input.n_tasks);
+        }
+        // Table entries never point at the hash destination.
+        for (k, d) in out.outcome.table.iter() {
+            let kr = input.records.iter().find(|r| r.key == k).unwrap();
+            assert_ne!(d, kr.hash_dest);
+        }
+    }
+
+    #[test]
+    fn table_bound_enforced_via_cleaning() {
+        // Start with many parked keys and a tight Amax.
+        let records: Vec<KeyRecord> = (0..200)
+            .map(|i| {
+                let hash = (i % 2) as u32;
+                let cur = 1 - hash; // every key parked off-hash
+                rec(i, 4, 2, cur, hash)
+            })
+            .collect();
+        let input = RebalanceInput {
+            n_tasks: 2,
+            records,
+        };
+        let params = BalanceParams {
+            table_max: 10,
+            theta_max: 0.05,
+            beta: 1.5,
+        };
+        let out = compact_mixed(&input, &params, 1);
+        assert!(
+            out.outcome.table.len() <= 10,
+            "table {} > Amax",
+            out.outcome.table.len()
+        );
+        // Loads stay balanced (hash split is already even here).
+        assert!(out.outcome.achieved_theta < 0.1);
+    }
+
+    #[test]
+    fn empty_input() {
+        let input = RebalanceInput {
+            n_tasks: 2,
+            records: vec![],
+        };
+        let out = compact_mixed(&input, &BalanceParams::default(), 2);
+        assert!(out.outcome.plan.is_empty());
+        assert_eq!(out.n_records, 0);
+        assert_eq!(out.estimation_error, 0.0);
+    }
+
+    #[test]
+    fn unit_conservation() {
+        // After the adapted algorithm, each record's units must sum to its
+        // key count — materialize() debug-asserts this; run it on a
+        // non-trivial input under both loose and tight table bounds.
+        for table_max in [usize::MAX, 5] {
+            let input = skewed_input(600, 3);
+            let params = BalanceParams {
+                table_max,
+                ..BalanceParams::default()
+            };
+            let out = compact_mixed(&input, &params, 3);
+            // Materialization succeeded ⇒ conservation held; sanity-check
+            // the assignment covers every key exactly once.
+            let total_after: u64 = out.outcome.loads.loads.iter().sum();
+            let total_before: u64 = input.records.iter().map(|r| r.cost).sum();
+            assert_eq!(total_after, total_before);
+        }
+    }
+}

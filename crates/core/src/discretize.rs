@@ -1,0 +1,281 @@
+//! Value discretization for the compact representation (paper §IV-B).
+//!
+//! The 6-dimensional vector space is `O(N_D³ · |v_c| · |v_S|)`; to keep
+//! `|v_c|` and `|v_S|` small the raw cost/memory values are snapped to a
+//! small set of *representative values*. The paper's scheme has two parts:
+//!
+//! 1. **HLHE** (half-linear-half-exponential) representative generation
+//!    with degree `R = 2^r`: linear values `s·R, (s−1)·R, …, R` (where
+//!    `s = ⌊max/R⌋`) followed by exponential values `R/2, R/4, …, 2, 1` —
+//!    `m = r + s` representatives total.
+//! 2. A **greedy holistic assignment** `φ`: processing values in
+//!    non-increasing order, each value picks between its two bounding
+//!    representatives the one that steers the *accumulated* deviation
+//!    `δ = Σ (xᵢ − φ(xᵢ))` toward zero. Under skew (many small values,
+//!    few large) the total deviation lands at ≈ 0 (Theorem 3) — unlike
+//!    independent nearest-value rounding (Fig. 6a vs 6b).
+
+/// Generates the HLHE representative values for inputs in `[1, max]`,
+/// strictly decreasing. `r` is the degree of discretization (`R = 2^r`).
+///
+/// Returns an empty vector when `max == 0` (nothing to represent).
+pub fn hlhe_representatives(max: u64, r: u32) -> Vec<u64> {
+    if max == 0 {
+        return Vec::new();
+    }
+    let big_r = 1u64 << r;
+    let s = max / big_r;
+    let mut reps = Vec::with_capacity(s as usize + r as usize);
+    // Linear part: s·R down to R.
+    for i in (1..=s).rev() {
+        reps.push(i * big_r);
+    }
+    // Exponential part: R/2, R/4, …, 2, 1 (r values).
+    let mut v = big_r / 2;
+    while v >= 1 {
+        reps.push(v);
+        v /= 2;
+    }
+    // Degenerate domains (max < R): ensure at least the value 1 exists so
+    // every positive input has a representative.
+    if reps.is_empty() {
+        reps.push(1);
+    }
+    reps
+}
+
+/// The greedy deviation-cancelling discretization `φ` (paper Fig. 6b).
+///
+/// Maps each input to a representative, returning the mapped values in the
+/// *original* input order. Inputs of zero stay zero (a zero-cost key needs
+/// no representation). All positive inputs are clamped to ≥ 1 by the HLHE
+/// premise ("the smallest is at least 1 after normalization").
+pub fn discretize(values: &[u64], r: u32) -> Vec<u64> {
+    let max = values.iter().copied().max().unwrap_or(0);
+    let reps = hlhe_representatives(max, r);
+    if reps.is_empty() {
+        return vec![0; values.len()];
+    }
+    // Process in non-increasing value order; ties keep input order so the
+    // assignment is deterministic.
+    let mut order: Vec<u32> = (0..values.len() as u32).collect();
+    order.sort_unstable_by(|&a, &b| {
+        values[b as usize]
+            .cmp(&values[a as usize])
+            .then_with(|| a.cmp(&b))
+    });
+    let mut out = vec![0u64; values.len()];
+    let mut acc: i128 = 0; // accumulated deviation Σ (x − φ(x))
+    let y1 = reps[0];
+    for idx in order {
+        let x = values[idx as usize];
+        if x == 0 {
+            continue;
+        }
+        let phi = if x >= y1 {
+            y1
+        } else {
+            // Bounding pair: y_{j−1} > x ≥ y_j. reps is strictly
+            // decreasing; partition_point gives first index with rep ≤ x.
+            let j = reps.partition_point(|&y| y > x);
+            debug_assert!(j > 0 && j < reps.len() || reps[j] <= x);
+            let lower = reps[j.min(reps.len() - 1)];
+            let upper = reps[j - 1];
+            // Pick the candidate minimizing |acc + (x − y)|; ties take the
+            // smaller representative (reproduces Fig. 6b exactly).
+            let dev_low = (acc + (x as i128 - lower as i128)).abs();
+            let dev_up = (acc + (x as i128 - upper as i128)).abs();
+            if dev_up < dev_low {
+                upper
+            } else {
+                lower
+            }
+        };
+        acc += x as i128 - phi as i128;
+        out[idx as usize] = phi;
+    }
+    out
+}
+
+/// The naive independent rounding `ξ` the paper compares against
+/// (Fig. 6a): each value maps to its nearest representative, ties toward
+/// the smaller. Same HLHE representative set, no deviation bookkeeping.
+pub fn discretize_naive(values: &[u64], r: u32) -> Vec<u64> {
+    let max = values.iter().copied().max().unwrap_or(0);
+    let reps = hlhe_representatives(max, r);
+    if reps.is_empty() {
+        return vec![0; values.len()];
+    }
+    values
+        .iter()
+        .map(|&x| {
+            if x == 0 {
+                return 0;
+            }
+            if x >= reps[0] {
+                return reps[0];
+            }
+            let j = reps.partition_point(|&y| y > x);
+            let lower = reps[j.min(reps.len() - 1)];
+            let upper = reps[j - 1];
+            if upper - x < x - lower {
+                upper
+            } else {
+                lower
+            }
+        })
+        .collect()
+}
+
+/// Total signed deviation `δ = Σ (xᵢ − φ(xᵢ))` between originals and their
+/// discretized images.
+pub fn total_deviation(values: &[u64], mapped: &[u64]) -> i128 {
+    values
+        .iter()
+        .zip(mapped)
+        .map(|(&x, &y)| x as i128 - y as i128)
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn representatives_fig6_example() {
+        // r = 2 ⇒ R = 4, max = 8 ⇒ s = 2 ⇒ linear {8, 4}, exp {2, 1}.
+        assert_eq!(hlhe_representatives(8, 2), vec![8, 4, 2, 1]);
+    }
+
+    #[test]
+    fn representatives_count_matches_formula() {
+        // m = r + ⌊max/R⌋.
+        for r in 0..6u32 {
+            for max in [1u64, 7, 64, 1000] {
+                let reps = hlhe_representatives(max, r);
+                let s = max / (1 << r);
+                let expect = (r as u64 + s).max(1);
+                assert_eq!(
+                    reps.len() as u64,
+                    expect,
+                    "r={r} max={max}: reps {reps:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn representatives_strictly_decreasing_and_end_at_one() {
+        let reps = hlhe_representatives(100, 3);
+        for w in reps.windows(2) {
+            assert!(w[0] > w[1]);
+        }
+        assert_eq!(*reps.last().unwrap(), 1);
+    }
+
+    #[test]
+    fn fig6b_walkthrough_exact() {
+        // The paper's running example: costs 8,6,3,2,2,1,1,1,1,1 with
+        // r = 2. Expected deviations per Fig. 6b: 0, +2, −1, 0, 0, −1,
+        // 0, 0, 0, 0 ⇒ φ = 8, 4, 4, 2, 2, 2, 1, 1, 1, 1 and |δ| = 0.
+        let values = [8u64, 6, 3, 2, 2, 1, 1, 1, 1, 1];
+        let mapped = discretize(&values, 2);
+        assert_eq!(mapped, vec![8, 4, 4, 2, 2, 2, 1, 1, 1, 1]);
+        assert_eq!(total_deviation(&values, &mapped), 0);
+    }
+
+    #[test]
+    fn naive_fig6a_has_larger_deviation() {
+        // With the paper's piecewise-constant-like independent rounding the
+        // deviation accumulates; ours reproduces |δ|=0, naive must be
+        // strictly worse on this input.
+        let values = [8u64, 6, 3, 2, 2, 1, 1, 1, 1, 1];
+        let naive = discretize_naive(&values, 2);
+        let greedy = discretize(&values, 2);
+        assert!(
+            total_deviation(&values, &naive).abs()
+                > total_deviation(&values, &greedy).abs()
+        );
+    }
+
+    #[test]
+    fn zeros_pass_through() {
+        let values = [0u64, 5, 0, 3];
+        let mapped = discretize(&values, 1);
+        assert_eq!(mapped[0], 0);
+        assert_eq!(mapped[2], 0);
+        assert!(mapped[1] > 0 && mapped[3] > 0);
+    }
+
+    #[test]
+    fn empty_and_all_zero_inputs() {
+        assert!(discretize(&[], 2).is_empty());
+        assert_eq!(discretize(&[0, 0], 2), vec![0, 0]);
+        assert!(hlhe_representatives(0, 3).is_empty());
+    }
+
+    #[test]
+    fn theorem3_skewed_population_near_zero_deviation() {
+        // Zipf-ish population: few large values, many small — the premise
+        // of Theorem 3. Total deviation should be a vanishing fraction of
+        // the total mass for every r.
+        let mut values = Vec::new();
+        for i in 1..=2000u64 {
+            // ~ zipf: value ∝ 1/i, scaled.
+            values.push((4000 / i).max(1));
+        }
+        let total: i128 = values.iter().map(|&v| v as i128).sum();
+        for r in [0u32, 1, 2, 3, 5, 8] {
+            let mapped = discretize(&values, r);
+            let dev = total_deviation(&values, &mapped).abs();
+            assert!(
+                (dev as f64) < total as f64 * 0.005,
+                "r={r}: |δ|={dev} vs total={total}"
+            );
+        }
+    }
+
+    #[test]
+    fn greedy_beats_naive_on_random_skew() {
+        // Deterministic pseudo-random skewed values.
+        let values: Vec<u64> = (0..5000u64)
+            .map(|i| {
+                let h = streambal_hashring::mix64(i);
+                // Skew: mostly small, occasionally large.
+                if h % 100 < 90 {
+                    1 + h % 8
+                } else {
+                    64 + h % 1000
+                }
+            })
+            .collect();
+        for r in [1u32, 2, 4] {
+            let g = total_deviation(&values, &discretize(&values, r)).abs();
+            let n = total_deviation(&values, &discretize_naive(&values, r)).abs();
+            assert!(g <= n, "r={r}: greedy {g} > naive {n}");
+        }
+    }
+
+    #[test]
+    fn coarser_r_means_fewer_distinct_values() {
+        let values: Vec<u64> = (1..=1000u64).collect();
+        let distinct = |mapped: &[u64]| {
+            let mut v: Vec<u64> = mapped.to_vec();
+            v.sort_unstable();
+            v.dedup();
+            v.len()
+        };
+        let fine = distinct(&discretize(&values, 0));
+        let coarse = distinct(&discretize(&values, 6));
+        assert!(coarse < fine, "coarse {coarse} vs fine {fine}");
+    }
+
+    #[test]
+    fn all_mapped_values_are_representatives() {
+        let values: Vec<u64> = (1..=500u64).map(|i| i * 3 % 97 + 1).collect();
+        let reps = hlhe_representatives(*values.iter().max().unwrap(), 3);
+        for &m in &discretize(&values, 3) {
+            assert!(reps.contains(&m), "{m} is not a representative");
+        }
+    }
+}

@@ -1,0 +1,106 @@
+//! String-key interning.
+//!
+//! Real workloads key tuples by strings (topic words in Social, stock
+//! symbols in Stock). The engine routes on `u64` [`Key`]s, so sources
+//! intern each string once and route on the dense id thereafter — the
+//! router hot path never hashes strings.
+//!
+//! The interner is deliberately append-only: ids stay stable for the
+//! lifetime of the stream, which the routing table and migration plans
+//! rely on (a key's identity must never change while its state lives).
+
+use streambal_hashring::FxHashMap;
+
+use crate::key::Key;
+
+/// Append-only two-way map between strings and dense [`Key`]s.
+#[derive(Debug, Default, Clone)]
+pub struct KeyInterner {
+    by_name: FxHashMap<Box<str>, Key>,
+    names: Vec<Box<str>>,
+}
+
+impl KeyInterner {
+    /// Creates an empty interner.
+    pub fn new() -> Self {
+        KeyInterner::default()
+    }
+
+    /// Interns `name`, returning its stable key (existing or fresh).
+    pub fn intern(&mut self, name: &str) -> Key {
+        if let Some(&k) = self.by_name.get(name) {
+            return k;
+        }
+        let k = Key(self.names.len() as u64);
+        let owned: Box<str> = name.into();
+        self.names.push(owned.clone());
+        self.by_name.insert(owned, k);
+        k
+    }
+
+    /// Looks up a key without interning.
+    pub fn get(&self, name: &str) -> Option<Key> {
+        self.by_name.get(name).copied()
+    }
+
+    /// Resolves a key back to its string, if it was interned here.
+    pub fn resolve(&self, key: Key) -> Option<&str> {
+        self.names.get(key.raw() as usize).map(|s| &**s)
+    }
+
+    /// Number of interned strings.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// True when nothing is interned.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_idempotent() {
+        let mut i = KeyInterner::new();
+        let a = i.intern("rustlang");
+        let b = i.intern("rustlang");
+        assert_eq!(a, b);
+        assert_eq!(i.len(), 1);
+    }
+
+    #[test]
+    fn ids_are_dense_and_stable() {
+        let mut i = KeyInterner::new();
+        let a = i.intern("alpha");
+        let b = i.intern("beta");
+        assert_eq!(a, Key(0));
+        assert_eq!(b, Key(1));
+        // Re-interning later keeps the original id.
+        i.intern("gamma");
+        assert_eq!(i.intern("alpha"), Key(0));
+    }
+
+    #[test]
+    fn two_way_resolution() {
+        let mut i = KeyInterner::new();
+        let k = i.intern("msft");
+        assert_eq!(i.resolve(k), Some("msft"));
+        assert_eq!(i.get("msft"), Some(k));
+        assert_eq!(i.get("aapl"), None);
+        assert_eq!(i.resolve(Key(99)), None);
+    }
+
+    #[test]
+    fn many_keys() {
+        let mut i = KeyInterner::new();
+        for n in 0..10_000 {
+            i.intern(&format!("word{n}"));
+        }
+        assert_eq!(i.len(), 10_000);
+        assert_eq!(i.resolve(Key(1234)), Some("word1234"));
+    }
+}

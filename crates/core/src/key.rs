@@ -1,0 +1,103 @@
+//! Key and task identifiers.
+//!
+//! Tuples are key-value pairs `(k, v)` (paper §II-A); the partitioning
+//! algorithms only ever see the key, as a 64-bit identifier. String keys
+//! (e.g. topic words in the Social workload) are interned to `u64` by the
+//! workload layer before entering the engine, which keeps the router hot
+//! path allocation-free.
+
+use std::fmt;
+
+/// A tuple key from the key domain `K`.
+///
+/// A plain `u64` newtype: dense integers for synthetic workloads, interned
+/// string ids for real ones. All hashing goes through the `hashring`
+/// primitives, so dense domains are safe.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Key(pub u64);
+
+impl Key {
+    /// The raw identifier.
+    #[inline]
+    pub fn raw(self) -> u64 {
+        self.0
+    }
+}
+
+impl From<u64> for Key {
+    #[inline]
+    fn from(v: u64) -> Self {
+        Key(v)
+    }
+}
+
+impl fmt::Display for Key {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "k{}", self.0)
+    }
+}
+
+/// A downstream task-instance identifier `d ∈ D`, in `0..N_D`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TaskId(pub u32);
+
+impl TaskId {
+    /// The task index as a usize, for array addressing.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl From<u32> for TaskId {
+    #[inline]
+    fn from(v: u32) -> Self {
+        TaskId(v)
+    }
+}
+
+impl From<usize> for TaskId {
+    #[inline]
+    fn from(v: usize) -> Self {
+        TaskId(u32::try_from(v).expect("task index exceeds u32"))
+    }
+}
+
+impl fmt::Display for TaskId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "d{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn key_roundtrip_and_display() {
+        let k = Key::from(42u64);
+        assert_eq!(k.raw(), 42);
+        assert_eq!(k.to_string(), "k42");
+        assert_eq!(k, Key(42));
+    }
+
+    #[test]
+    fn task_id_conversions() {
+        let d = TaskId::from(3usize);
+        assert_eq!(d.index(), 3);
+        assert_eq!(d, TaskId(3));
+        assert_eq!(d.to_string(), "d3");
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds u32")]
+    fn oversized_task_index_panics() {
+        let _ = TaskId::from(usize::MAX);
+    }
+
+    #[test]
+    fn ordering_is_by_raw_value() {
+        assert!(Key(1) < Key(2));
+        assert!(TaskId(0) < TaskId(9));
+    }
+}

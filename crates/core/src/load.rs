@@ -1,0 +1,165 @@
+//! Load accounting and balance indicators (paper §II-A).
+//!
+//! `Lᵢ(d, F) = Σ_{k : F(k)=d} cᵢ(k)` is the load of task `d`;
+//! `θᵢ(d, F) = |Lᵢ(d,F) − L̄ᵢ| / L̄ᵢ` its balance indicator. A task is
+//! *overloaded* when `L > Lmax = (1+θmax)·L̄`, and the controller triggers
+//! a rebalance when any task violates the bound.
+
+use crate::key::TaskId;
+use crate::stats::KeyRecord;
+
+/// Per-task load vector plus derived aggregates.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LoadSummary {
+    /// `Lᵢ(d, F)` per task, indexed by task id.
+    pub loads: Vec<u64>,
+    /// Mean load `L̄ᵢ`.
+    pub mean: f64,
+}
+
+impl LoadSummary {
+    /// Builds from a raw load vector.
+    pub fn new(loads: Vec<u64>) -> Self {
+        assert!(!loads.is_empty(), "load summary needs at least one task");
+        let mean = loads.iter().sum::<u64>() as f64 / loads.len() as f64;
+        LoadSummary { loads, mean }
+    }
+
+    /// The overload threshold `Lmax = (1 + θmax) · L̄`.
+    #[inline]
+    pub fn l_max(&self, theta_max: f64) -> f64 {
+        (1.0 + theta_max) * self.mean
+    }
+
+    /// Balance indicator `θ(d)` of one task. Zero when the operator is
+    /// entirely idle (`L̄ = 0`): an idle operator is trivially balanced.
+    pub fn theta(&self, d: TaskId) -> f64 {
+        balance_indicator(self.loads[d.index()], self.mean)
+    }
+
+    /// The worst balance indicator across tasks.
+    pub fn max_theta(&self) -> f64 {
+        (0..self.loads.len())
+            .map(|i| self.theta(TaskId::from(i)))
+            .fold(0.0, f64::max)
+    }
+
+    /// Tasks exceeding `Lmax`, the candidates drained in Phase II.
+    pub fn overloaded(&self, theta_max: f64) -> Vec<TaskId> {
+        let lmax = self.l_max(theta_max);
+        (0..self.loads.len())
+            .filter(|&i| self.loads[i] as f64 > lmax)
+            .map(TaskId::from)
+            .collect()
+    }
+
+    /// The paper's *workload skewness* report metric: `max L(d) / L̄`
+    /// (Fig. 7 y-axis). 1.0 is perfect balance; 0 when idle.
+    pub fn skewness(&self) -> f64 {
+        if self.mean == 0.0 {
+            return 0.0;
+        }
+        self.loads.iter().copied().max().unwrap_or(0) as f64 / self.mean
+    }
+}
+
+/// `θ = |L − L̄| / L̄`, with the idle-operator convention `θ = 0` when
+/// `L̄ = 0`.
+#[inline]
+pub fn balance_indicator(load: u64, mean: f64) -> f64 {
+    if mean == 0.0 {
+        return 0.0;
+    }
+    (load as f64 - mean).abs() / mean
+}
+
+/// Computes per-task loads from key records under their `current`
+/// assignment.
+pub fn loads_of(records: &[KeyRecord], n_tasks: usize) -> LoadSummary {
+    let mut loads = vec![0u64; n_tasks];
+    for r in records {
+        loads[r.current.index()] += r.cost;
+    }
+    LoadSummary::new(loads)
+}
+
+/// The trigger predicate evaluated by the controller at each interval end:
+/// does any task violate `θ(d) ≤ θmax`?
+pub fn needs_rebalance(summary: &LoadSummary, theta_max: f64) -> bool {
+    summary.max_theta() > theta_max + 1e-9
+}
+
+/// Convenience: `max L(d) / L̄` over an explicit load vector.
+pub fn max_skewness(loads: &[u64]) -> f64 {
+    LoadSummary::new(loads.to_vec()).skewness()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::key::Key;
+
+    fn rec(key: u64, cost: u64, current: u32) -> KeyRecord {
+        KeyRecord {
+            key: Key(key),
+            cost,
+            mem: 1,
+            current: TaskId(current),
+            hash_dest: TaskId(current),
+        }
+    }
+
+    #[test]
+    fn loads_accumulate_per_task() {
+        let records = vec![rec(1, 5, 0), rec(2, 3, 0), rec(3, 2, 1)];
+        let s = loads_of(&records, 3);
+        assert_eq!(s.loads, vec![8, 2, 0]);
+        assert!((s.mean - 10.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn theta_matches_definition() {
+        let s = LoadSummary::new(vec![16, 4]);
+        // L̄ = 10; θ(d0) = 6/10, θ(d1) = 6/10.
+        assert!((s.theta(TaskId(0)) - 0.6).abs() < 1e-12);
+        assert!((s.theta(TaskId(1)) - 0.6).abs() < 1e-12);
+        assert!((s.max_theta() - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn overloaded_uses_lmax() {
+        let s = LoadSummary::new(vec![16, 4, 10]);
+        // L̄ = 10, θmax = 0.2 ⇒ Lmax = 12.
+        assert_eq!(s.overloaded(0.2), vec![TaskId(0)]);
+        assert_eq!(s.overloaded(0.7), Vec::<TaskId>::new());
+    }
+
+    #[test]
+    fn trigger_predicate() {
+        let balanced = LoadSummary::new(vec![10, 10, 10]);
+        assert!(!needs_rebalance(&balanced, 0.0));
+        let skewed = LoadSummary::new(vec![20, 5, 5]);
+        assert!(needs_rebalance(&skewed, 0.08));
+        assert!(!needs_rebalance(&skewed, 1.0));
+    }
+
+    #[test]
+    fn skewness_metric() {
+        assert!((max_skewness(&[20, 5, 5]) - 2.0).abs() < 1e-12);
+        assert!((max_skewness(&[10, 10]) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn idle_operator_is_balanced() {
+        let s = LoadSummary::new(vec![0, 0, 0]);
+        assert_eq!(s.max_theta(), 0.0);
+        assert_eq!(s.skewness(), 0.0);
+        assert!(!needs_rebalance(&s, 0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one task")]
+    fn empty_loads_panic() {
+        LoadSummary::new(vec![]);
+    }
+}

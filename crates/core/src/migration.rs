@@ -1,0 +1,249 @@
+//! Migration plans and cost accounting (paper §II-A, Eq. 2).
+//!
+//! Replacing `F` with `F′` moves the keys in
+//! `Δ(F, F′) = {k | F(k) ≠ F′(k)}`; each moved key drags its windowed state
+//! `Sᵢ(k, w)` along, so the total migration cost is
+//! `Mᵢ(w, F, F′) = Σ_{k ∈ Δ} Sᵢ(k, w)`.
+
+use crate::key::{Key, TaskId};
+use crate::stats::KeyRecord;
+
+/// One key relocation within a migration plan.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Move {
+    /// The key being reassigned.
+    pub key: Key,
+    /// Source task `F(k)`.
+    pub from: TaskId,
+    /// Destination task `F′(k)`.
+    pub to: TaskId,
+    /// State bytes that travel with the key (`Sᵢ(k, w)`).
+    pub state_bytes: u64,
+}
+
+/// The full set of key moves produced by one rebalance decision — the
+/// artifact the controller broadcasts in step 3 of the Fig. 5 protocol.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MigrationPlan {
+    moves: Vec<Move>,
+}
+
+impl MigrationPlan {
+    /// An empty (no-op) plan.
+    pub fn empty() -> Self {
+        MigrationPlan::default()
+    }
+
+    /// Builds a plan from moves, dropping degenerate `from == to` entries.
+    pub fn from_moves(moves: impl IntoIterator<Item = Move>) -> Self {
+        let mut v: Vec<Move> = moves.into_iter().filter(|m| m.from != m.to).collect();
+        v.sort_unstable_by_key(|m| m.key);
+        MigrationPlan { moves: v }
+    }
+
+    /// The moves, sorted by key.
+    pub fn moves(&self) -> &[Move] {
+        &self.moves
+    }
+
+    /// Number of keys that change destination, `|Δ(F, F′)|`.
+    pub fn keys_moved(&self) -> usize {
+        self.moves.len()
+    }
+
+    /// Total migration cost `Mᵢ(w, F, F′)` in state bytes (Eq. 2).
+    pub fn cost_bytes(&self) -> u64 {
+        self.moves.iter().map(|m| m.state_bytes).sum()
+    }
+
+    /// True when nothing moves.
+    pub fn is_empty(&self) -> bool {
+        self.moves.is_empty()
+    }
+
+    /// The paper's *migration cost* report metric: the fraction of all
+    /// maintained state that travels, `M / Σ_k S(k, w)` (reported as a
+    /// percentage in Figs. 8b–12b, 17, 19, 21).
+    pub fn cost_fraction(&self, total_state_bytes: u64) -> f64 {
+        if total_state_bytes == 0 {
+            return 0.0;
+        }
+        self.cost_bytes() as f64 / total_state_bytes as f64
+    }
+
+    /// Moves grouped by source task — what each downstream instance must
+    /// extract and ship during step 5 of the protocol.
+    pub fn moves_from(&self, task: TaskId) -> impl Iterator<Item = &Move> + '_ {
+        self.moves.iter().filter(move |m| m.from == task)
+    }
+
+    /// Moves grouped by destination task.
+    pub fn moves_to(&self, task: TaskId) -> impl Iterator<Item = &Move> + '_ {
+        self.moves.iter().filter(move |m| m.to == task)
+    }
+
+    /// Splits the plan into rounds of at most `max_bytes` state each (a
+    /// single over-sized key still gets its own round).
+    ///
+    /// The paper's protocol pauses every key in `Δ(F, F′)` at once; for
+    /// very large plans that makes the pause window — and the buffered
+    /// tuple volume — proportional to the whole migration. Executing the
+    /// rounds sequentially (pause → migrate → resume per round) bounds
+    /// both, at the cost of more controller round-trips. This is the "smooth
+    /// workload redistribution" direction the paper's §VII names as
+    /// future work.
+    ///
+    /// Heaviest keys ship first, so the most impactful state lands early.
+    pub fn split_rounds(&self, max_bytes: u64) -> Vec<MigrationPlan> {
+        if self.moves.is_empty() {
+            return Vec::new();
+        }
+        let mut by_size: Vec<&Move> = self.moves.iter().collect();
+        by_size.sort_unstable_by_key(|m| std::cmp::Reverse(m.state_bytes));
+        let mut rounds: Vec<Vec<Move>> = Vec::new();
+        let mut budgets: Vec<u64> = Vec::new();
+        // First-fit decreasing into byte-bounded rounds.
+        'outer: for m in by_size {
+            for (round, budget) in rounds.iter_mut().zip(&mut budgets) {
+                if *budget >= m.state_bytes {
+                    round.push(*m);
+                    *budget -= m.state_bytes;
+                    continue 'outer;
+                }
+            }
+            rounds.push(vec![*m]);
+            budgets.push(max_bytes.saturating_sub(m.state_bytes));
+        }
+        rounds.into_iter().map(MigrationPlan::from_moves).collect()
+    }
+}
+
+/// Computes `Δ(F, F′)` as a [`MigrationPlan`], given the records (carrying
+/// `F` in `current`) and the new assignment `F′` as a lookup.
+pub fn migration_delta(
+    records: &[KeyRecord],
+    new_assign: impl Fn(Key) -> TaskId,
+) -> MigrationPlan {
+    MigrationPlan::from_moves(records.iter().map(|r| Move {
+        key: r.key,
+        from: r.current,
+        to: new_assign(r.key),
+        state_bytes: r.mem,
+    }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mv(key: u64, from: u32, to: u32, bytes: u64) -> Move {
+        Move {
+            key: Key(key),
+            from: TaskId(from),
+            to: TaskId(to),
+            state_bytes: bytes,
+        }
+    }
+
+    #[test]
+    fn degenerate_moves_dropped() {
+        let p = MigrationPlan::from_moves([mv(1, 0, 0, 100), mv(2, 0, 1, 50)]);
+        assert_eq!(p.keys_moved(), 1);
+        assert_eq!(p.cost_bytes(), 50);
+    }
+
+    #[test]
+    fn cost_fraction_of_total_state() {
+        let p = MigrationPlan::from_moves([mv(1, 0, 1, 25), mv(2, 1, 0, 25)]);
+        assert!((p.cost_fraction(200) - 0.25).abs() < 1e-12);
+        assert_eq!(p.cost_fraction(0), 0.0);
+    }
+
+    #[test]
+    fn grouping_by_endpoint() {
+        let p = MigrationPlan::from_moves([mv(1, 0, 1, 1), mv(2, 0, 2, 1), mv(3, 1, 0, 1)]);
+        assert_eq!(p.moves_from(TaskId(0)).count(), 2);
+        assert_eq!(p.moves_to(TaskId(0)).count(), 1);
+    }
+
+    #[test]
+    fn delta_from_records() {
+        let records = vec![
+            KeyRecord {
+                key: Key(1),
+                cost: 5,
+                mem: 10,
+                current: TaskId(0),
+                hash_dest: TaskId(0),
+            },
+            KeyRecord {
+                key: Key(2),
+                cost: 5,
+                mem: 20,
+                current: TaskId(1),
+                hash_dest: TaskId(1),
+            },
+        ];
+        // New assignment swaps key 2 to task 0; key 1 stays on task 0.
+        let plan = migration_delta(&records, |_| TaskId(0));
+        assert_eq!(plan.keys_moved(), 1);
+        assert_eq!(plan.moves()[0].key, Key(2));
+        assert_eq!(plan.cost_bytes(), 20);
+    }
+
+    #[test]
+    fn empty_plan() {
+        let p = MigrationPlan::empty();
+        assert!(p.is_empty());
+        assert_eq!(p.cost_bytes(), 0);
+        assert_eq!(p.keys_moved(), 0);
+    }
+
+    #[test]
+    fn moves_sorted_by_key() {
+        let p = MigrationPlan::from_moves([mv(9, 0, 1, 1), mv(2, 1, 0, 1), mv(5, 0, 2, 1)]);
+        let keys: Vec<u64> = p.moves().iter().map(|m| m.key.raw()).collect();
+        assert_eq!(keys, vec![2, 5, 9]);
+    }
+
+    #[test]
+    fn split_rounds_respects_budget_and_covers_all() {
+        let p = MigrationPlan::from_moves(
+            (0..20u64).map(|i| mv(i, 0, 1, 10 + i * 7)),
+        );
+        let rounds = p.split_rounds(100);
+        // Coverage: the union of rounds is the original plan.
+        let mut all: Vec<Move> = rounds.iter().flat_map(|r| r.moves().to_vec()).collect();
+        all.sort_unstable_by_key(|m| m.key);
+        assert_eq!(all, p.moves());
+        // Budget: no round above 100 bytes unless it is a single
+        // oversized key.
+        for r in &rounds {
+            assert!(
+                r.cost_bytes() <= 100 || r.keys_moved() == 1,
+                "round at {} bytes with {} keys",
+                r.cost_bytes(),
+                r.keys_moved()
+            );
+        }
+        assert!(rounds.len() > 1, "must actually split");
+    }
+
+    #[test]
+    fn split_rounds_single_oversized_key() {
+        let p = MigrationPlan::from_moves([mv(1, 0, 1, 1_000), mv(2, 0, 1, 5)]);
+        let rounds = p.split_rounds(100);
+        assert_eq!(rounds.len(), 2);
+        assert_eq!(rounds[0].cost_bytes(), 1_000, "oversized key alone");
+        assert_eq!(rounds[1].cost_bytes(), 5);
+    }
+
+    #[test]
+    fn split_rounds_empty_and_roomy() {
+        assert!(MigrationPlan::empty().split_rounds(10).is_empty());
+        let p = MigrationPlan::from_moves([mv(1, 0, 1, 5), mv(2, 0, 1, 5)]);
+        let rounds = p.split_rounds(1_000);
+        assert_eq!(rounds.len(), 1, "everything fits in one round");
+        assert_eq!(rounds[0].keys_moved(), 2);
+    }
+}

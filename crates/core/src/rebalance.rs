@@ -1,0 +1,557 @@
+//! The rebalance façade: strategy dispatch and the stateful [`Rebalancer`]
+//! controller component.
+//!
+//! This is the module the engine talks to. At each interval boundary the
+//! controller feeds the collected [`IntervalStats`] into
+//! [`Rebalancer::end_interval`]; if any task violates `θmax`, the selected
+//! strategy constructs a new assignment `F′`, the routing table is swapped,
+//! and the resulting [`MigrationPlan`] is handed back for the engine to
+//! execute with the pause → migrate → ack → resume protocol (Fig. 5).
+
+use crate::key::{Key, TaskId};
+use crate::load::{loads_of, needs_rebalance, LoadSummary};
+use crate::migration::{migration_delta, MigrationPlan};
+use crate::minmig::minmig_assign;
+use crate::mintable::mintable_assign;
+use crate::mixed::{mixed_assign, mixed_bf_assign};
+use crate::routing::{AssignmentFn, RoutingTable};
+use crate::simple::simple_assign;
+use crate::stats::{IntervalStats, KeyRecord, StatsWindow};
+
+/// Tuning knobs of the optimization problem (Eq. 3) plus the γ weight β.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BalanceParams {
+    /// Imbalance tolerance `θmax`; rebalance triggers when any task's
+    /// balance indicator exceeds it. Paper default 0.08.
+    pub theta_max: f64,
+    /// The migration-selection factor β in `γ = c^β / S`. Paper default
+    /// 1.5 (selected via the appendix's Figs. 20–21).
+    pub beta: f64,
+    /// Routing-table bound `Amax`. Paper default 3000.
+    pub table_max: usize,
+}
+
+impl Default for BalanceParams {
+    fn default() -> Self {
+        BalanceParams {
+            theta_max: 0.08,
+            beta: 1.5,
+            table_max: 3_000,
+        }
+    }
+}
+
+/// Which §III algorithm constructs `F′`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RebalanceStrategy {
+    /// Algorithm 2 — minimal routing table, expensive migrations.
+    MinTable,
+    /// Algorithm 3 — minimal migrations, unbounded table growth.
+    MinMig,
+    /// Algorithm 4 — the paper's production algorithm.
+    Mixed,
+    /// Brute-force Mixed: optimal cleaning depth by exhaustive trial.
+    MixedBF,
+    /// Appendix Algorithm 5 — LPT from scratch; theory baseline.
+    Simple,
+}
+
+impl RebalanceStrategy {
+    /// Human-readable name matching the paper's figure legends.
+    pub fn name(self) -> &'static str {
+        match self {
+            RebalanceStrategy::MinTable => "MinTable",
+            RebalanceStrategy::MinMig => "MinMig",
+            RebalanceStrategy::Mixed => "Mixed",
+            RebalanceStrategy::MixedBF => "MixedBF",
+            RebalanceStrategy::Simple => "Simple",
+        }
+    }
+}
+
+/// A single rebalance decision's input: the flattened key records (cost
+/// from the last interval, state from the window, current + hash
+/// destinations) and the task count.
+#[derive(Debug, Clone)]
+pub struct RebalanceInput {
+    /// Downstream parallelism `N_D`.
+    pub n_tasks: usize,
+    /// One record per live key.
+    pub records: Vec<KeyRecord>,
+}
+
+impl RebalanceInput {
+    /// Load summary under the *current* assignment.
+    pub fn current_loads(&self) -> LoadSummary {
+        loads_of(&self.records, self.n_tasks)
+    }
+
+    /// Total state bytes held across all keys (denominator of the
+    /// migration-cost percentage).
+    pub fn total_state(&self) -> u64 {
+        self.records.iter().map(|r| r.mem).sum()
+    }
+}
+
+/// Everything a rebalance decision produces.
+#[derive(Debug, Clone)]
+pub struct RebalanceOutcome {
+    /// The new routing table `A′` (entries where `F′(k) ≠ h(k)`).
+    pub table: RoutingTable,
+    /// The migration plan `Δ(F, F′)` with per-key state sizes.
+    pub plan: MigrationPlan,
+    /// Estimated post-migration loads.
+    pub loads: LoadSummary,
+    /// Worst balance indicator after rebalance (estimated).
+    pub achieved_theta: f64,
+    /// Fraction of total state migrated, the paper's "migration cost %".
+    pub migration_fraction: f64,
+}
+
+/// Builds the outcome artifacts (routing table, migration plan, load
+/// summary) from a raw assignment vector parallel to `input.records`.
+///
+/// Public so that external strategies (e.g. the Readj baseline) can emit
+/// the same outcome type as the built-in algorithms.
+pub fn outcome_from_assignment(input: &RebalanceInput, assign: &[TaskId]) -> RebalanceOutcome {
+    debug_assert_eq!(assign.len(), input.records.len());
+    let mut table = RoutingTable::new();
+    let mut loads = vec![0u64; input.n_tasks];
+    for (r, &d) in input.records.iter().zip(assign) {
+        loads[d.index()] += r.cost;
+        if d != r.hash_dest {
+            table.insert(r.key, d);
+        }
+    }
+    // Index once for the Δ lookup instead of scanning per key.
+    let pos: streambal_hashring::FxHashMap<Key, usize> = input
+        .records
+        .iter()
+        .enumerate()
+        .map(|(i, r)| (r.key, i))
+        .collect();
+    let plan = migration_delta(&input.records, |k| assign[pos[&k]]);
+    let loads = LoadSummary::new(loads);
+    let achieved_theta = loads.max_theta();
+    let migration_fraction = plan.cost_fraction(input.total_state());
+    RebalanceOutcome {
+        table,
+        plan,
+        loads,
+        achieved_theta,
+        migration_fraction,
+    }
+}
+
+/// Runs one rebalance with the chosen strategy. Pure function of its
+/// inputs; the stateful wrapper is [`Rebalancer`].
+pub fn rebalance(
+    input: &RebalanceInput,
+    strategy: RebalanceStrategy,
+    params: &BalanceParams,
+) -> RebalanceOutcome {
+    let assign = match strategy {
+        RebalanceStrategy::MinTable => {
+            mintable_assign(&input.records, input.n_tasks, params.theta_max)
+        }
+        RebalanceStrategy::MinMig => minmig_assign(
+            &input.records,
+            input.n_tasks,
+            params.theta_max,
+            params.beta,
+        ),
+        RebalanceStrategy::Mixed => {
+            mixed_assign(
+                &input.records,
+                input.n_tasks,
+                params.theta_max,
+                params.beta,
+                params.table_max,
+            )
+            .assign
+        }
+        RebalanceStrategy::MixedBF => {
+            mixed_bf_assign(
+                &input.records,
+                input.n_tasks,
+                params.theta_max,
+                params.beta,
+                params.table_max,
+            )
+            .assign
+        }
+        RebalanceStrategy::Simple => simple_assign(&input.records, input.n_tasks),
+    };
+    outcome_from_assignment(input, &assign)
+}
+
+/// When the controller may fire a rebalance, beyond the θmax condition.
+///
+/// The paper triggers whenever imbalance is detected at an interval end;
+/// production controllers usually add damping so that a single noisy
+/// interval (or a migration's own transient) does not cause thrash. Both
+/// knobs default to the paper's behaviour.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TriggerPolicy {
+    /// Minimum intervals between consecutive rebalances (0 = none).
+    pub cooldown: usize,
+    /// Require this many *consecutive* violating intervals before firing
+    /// (1 = fire on first violation, the paper's behaviour).
+    pub consecutive: usize,
+}
+
+impl Default for TriggerPolicy {
+    fn default() -> Self {
+        TriggerPolicy {
+            cooldown: 0,
+            consecutive: 1,
+        }
+    }
+}
+
+/// The stateful controller-side component: owns the assignment function
+/// (routing table + hash ring) and the statistics window, decides when to
+/// trigger, and applies accepted plans to the table.
+#[derive(Debug)]
+pub struct Rebalancer {
+    assignment: AssignmentFn,
+    window: StatsWindow,
+    params: BalanceParams,
+    strategy: RebalanceStrategy,
+    rebalances: usize,
+    trigger: TriggerPolicy,
+    intervals_since_rebalance: usize,
+    consecutive_violations: usize,
+}
+
+impl Rebalancer {
+    /// Creates a rebalancer for `n_tasks` downstream instances keeping `w`
+    /// intervals of state.
+    pub fn new(
+        n_tasks: usize,
+        window: usize,
+        strategy: RebalanceStrategy,
+        params: BalanceParams,
+    ) -> Self {
+        Rebalancer {
+            assignment: AssignmentFn::hash_only(n_tasks),
+            window: StatsWindow::new(window),
+            params,
+            strategy,
+            rebalances: 0,
+            trigger: TriggerPolicy::default(),
+            intervals_since_rebalance: usize::MAX,
+            consecutive_violations: 0,
+        }
+    }
+
+    /// Replaces the trigger damping policy.
+    pub fn with_trigger_policy(mut self, trigger: TriggerPolicy) -> Self {
+        self.trigger = trigger;
+        self
+    }
+
+    /// Routes one tuple key under the current `F` — the upstream router's
+    /// per-tuple operation.
+    #[inline]
+    pub fn route(&self, key: Key) -> TaskId {
+        self.assignment.route(key)
+    }
+
+    /// The live assignment function.
+    pub fn assignment(&self) -> &AssignmentFn {
+        &self.assignment
+    }
+
+    /// The active parameters.
+    pub fn params(&self) -> &BalanceParams {
+        &self.params
+    }
+
+    /// How many rebalances have fired so far.
+    pub fn rebalances(&self) -> usize {
+        self.rebalances
+    }
+
+    /// Adds a downstream instance (scale-out, Fig. 15). The next
+    /// `end_interval` sees the new task in its load vector and rebalances
+    /// onto it.
+    pub fn add_task(&mut self) -> TaskId {
+        self.assignment.add_task()
+    }
+
+    /// Scale-out that preserves physical state placement: keys in `live`
+    /// whose hash destination would churn onto the new ring slot get
+    /// pinned (table entries to their old location), so routing stays
+    /// truthful to where state actually sits. The next `end_interval`
+    /// then migrates keys onto the empty instance with a proper plan.
+    pub fn scale_out(&mut self, live: impl IntoIterator<Item = Key>) -> TaskId {
+        let live: Vec<Key> = live.into_iter().collect();
+        let old: Vec<TaskId> = live.iter().map(|&k| self.assignment.route(k)).collect();
+        let new_task = self.assignment.add_task();
+        for (&k, &old_d) in live.iter().zip(&old) {
+            if self.assignment.route(k) != old_d {
+                self.assignment.insert_entry(k, old_d);
+            }
+        }
+        new_task
+    }
+
+    /// Builds the rebalance input from the current window and assignment.
+    pub fn build_input(&self) -> RebalanceInput {
+        let assignment = &self.assignment;
+        RebalanceInput {
+            n_tasks: assignment.n_tasks(),
+            records: self
+                .window
+                .records(|k| (assignment.route(k), assignment.hash_route(k))),
+        }
+    }
+
+    /// Ends an interval: ingests the stats, evaluates the trigger, and —
+    /// when imbalance exceeds `θmax` — constructs and applies `F′`.
+    ///
+    /// Returns the outcome when a rebalance fired (its
+    /// [`MigrationPlan`] must then be executed by the engine *before*
+    /// routing resumes for affected keys), or `None` when balanced.
+    pub fn end_interval(&mut self, stats: IntervalStats) -> Option<RebalanceOutcome> {
+        self.window.push(stats);
+        self.intervals_since_rebalance = self.intervals_since_rebalance.saturating_add(1);
+        let input = self.build_input();
+        if input.records.is_empty() {
+            return None;
+        }
+        let summary = input.current_loads();
+        if !needs_rebalance(&summary, self.params.theta_max) {
+            self.consecutive_violations = 0;
+            return None;
+        }
+        self.consecutive_violations += 1;
+        if self.consecutive_violations < self.trigger.consecutive
+            || self.intervals_since_rebalance <= self.trigger.cooldown
+        {
+            return None; // damped
+        }
+        let outcome = rebalance(&input, self.strategy, &self.params);
+        self.assignment.swap_table(outcome.table.clone());
+        self.rebalances += 1;
+        self.intervals_since_rebalance = 0;
+        self.consecutive_violations = 0;
+        Some(outcome)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn skewed_interval(n_keys: u64, hot_cost: u64) -> IntervalStats {
+        let mut iv = IntervalStats::new();
+        for k in 0..n_keys {
+            let cost = if k == 0 { hot_cost } else { 1 };
+            iv.observe(Key(k), 1, cost, cost);
+        }
+        iv
+    }
+
+    #[test]
+    fn balanced_stream_never_triggers() {
+        let mut rb = Rebalancer::new(
+            4,
+            2,
+            RebalanceStrategy::Mixed,
+            BalanceParams {
+                theta_max: 0.5,
+                ..BalanceParams::default()
+            },
+        );
+        // Uniform keys, plenty of them: hash spreads well within θ=0.5.
+        let mut iv = IntervalStats::new();
+        for k in 0..10_000u64 {
+            iv.observe(Key(k), 1, 1, 1);
+        }
+        assert!(rb.end_interval(iv).is_none());
+        assert_eq!(rb.rebalances(), 0);
+    }
+
+    #[test]
+    fn skewed_stream_triggers_and_balances() {
+        let mut rb = Rebalancer::new(4, 2, RebalanceStrategy::Mixed, BalanceParams::default());
+        let before = {
+            rb.window.push(skewed_interval(1000, 5_000));
+            let input = rb.build_input();
+            input.current_loads().max_theta()
+        };
+        assert!(before > 0.08, "hash routing must be skewed here");
+        let outcome = rb
+            .end_interval(skewed_interval(1000, 5_000))
+            .expect("must trigger");
+        assert!(
+            outcome.achieved_theta < before,
+            "θ {} → {}",
+            before,
+            outcome.achieved_theta
+        );
+        assert!(!outcome.plan.is_empty());
+        assert_eq!(rb.rebalances(), 1);
+        // The table was applied: routing now honours it.
+        for (k, d) in outcome.table.iter() {
+            assert_eq!(rb.route(k), d);
+        }
+    }
+
+    #[test]
+    fn empty_interval_is_noop() {
+        let mut rb = Rebalancer::new(2, 1, RebalanceStrategy::Mixed, BalanceParams::default());
+        assert!(rb.end_interval(IntervalStats::new()).is_none());
+    }
+
+    #[test]
+    fn all_strategies_produce_consistent_outcomes() {
+        let mut records = Vec::new();
+        for i in 0..200u64 {
+            records.push(KeyRecord {
+                key: Key(i),
+                cost: 1 + (i % 13),
+                mem: 1 + (i % 7),
+                current: TaskId((i % 3) as u32),
+                hash_dest: TaskId((i % 3) as u32),
+            });
+        }
+        // Make task 0 heavy.
+        for r in records.iter_mut().take(40) {
+            r.current = TaskId(0);
+            r.hash_dest = TaskId(0);
+        }
+        let input = RebalanceInput { n_tasks: 3, records };
+        let params = BalanceParams::default();
+        for strategy in [
+            RebalanceStrategy::MinTable,
+            RebalanceStrategy::MinMig,
+            RebalanceStrategy::Mixed,
+            RebalanceStrategy::MixedBF,
+            RebalanceStrategy::Simple,
+        ] {
+            let out = rebalance(&input, strategy, &params);
+            // Table entries must disagree with hash (else they'd be
+            // redundant).
+            for (k, d) in out.table.iter() {
+                let rec = input.records.iter().find(|r| r.key == k).unwrap();
+                assert_ne!(d, rec.hash_dest, "{}: redundant entry", strategy.name());
+            }
+            // Plan cost fraction within [0,1].
+            assert!(
+                (0.0..=1.0).contains(&out.migration_fraction),
+                "{}: fraction {}",
+                strategy.name(),
+                out.migration_fraction
+            );
+            // Load conservation: total load invariant.
+            let total_before: u64 = input.records.iter().map(|r| r.cost).sum();
+            let total_after: u64 = out.loads.loads.iter().sum();
+            assert_eq!(total_before, total_after, "{}", strategy.name());
+        }
+    }
+
+    #[test]
+    fn scale_out_adds_task_and_next_interval_uses_it() {
+        let mut rb = Rebalancer::new(
+            2,
+            1,
+            RebalanceStrategy::Mixed,
+            BalanceParams {
+                theta_max: 0.05,
+                ..BalanceParams::default()
+            },
+        );
+        // Fill two tasks evenly-ish.
+        let mut iv = IntervalStats::new();
+        for k in 0..1000u64 {
+            iv.observe(Key(k), 1, 10, 10);
+        }
+        let _ = rb.end_interval(iv.clone());
+        let new = rb.add_task();
+        assert_eq!(new, TaskId(2));
+        // New task has zero load ⇒ θ(new) = 1 > θmax ⇒ triggers, and the
+        // plan ships keys onto the new task.
+        let outcome = rb.end_interval(iv).expect("scale-out must trigger");
+        let onto_new = outcome.plan.moves_to(new).count();
+        assert!(onto_new > 0, "keys must move to the new instance");
+        assert!(outcome.achieved_theta < 0.2);
+    }
+
+    #[test]
+    fn trigger_policy_consecutive_damping() {
+        let mut rb = Rebalancer::new(4, 2, RebalanceStrategy::Mixed, BalanceParams::default())
+            .with_trigger_policy(TriggerPolicy {
+                cooldown: 0,
+                consecutive: 3,
+            });
+        // Two violating intervals: damped. Third: fires.
+        assert!(rb.end_interval(skewed_interval(1000, 5_000)).is_none());
+        assert!(rb.end_interval(skewed_interval(1000, 5_000)).is_none());
+        assert!(rb.end_interval(skewed_interval(1000, 5_000)).is_some());
+        assert_eq!(rb.rebalances(), 1);
+    }
+
+    #[test]
+    fn trigger_policy_cooldown() {
+        let mut rb = Rebalancer::new(4, 1, RebalanceStrategy::Mixed, BalanceParams::default())
+            .with_trigger_policy(TriggerPolicy {
+                cooldown: 2,
+                consecutive: 1,
+            });
+        // First violation fires immediately (no previous rebalance).
+        assert!(rb.end_interval(skewed_interval(1000, 5_000)).is_some());
+        // Window w=1 forgets the balanced table's effect... keep feeding
+        // the same skew: violations persist but cooldown suppresses.
+        let fired: Vec<bool> = (0..4)
+            .map(|_| rb.end_interval(skewed_interval(1000, 9_999)).is_some())
+            .collect();
+        // At most intervals 3.. can fire (cooldown 2 after interval 0).
+        assert!(!fired[0] && !fired[1], "cooldown must suppress: {fired:?}");
+    }
+
+    #[test]
+    fn violation_streak_resets_on_balanced_interval() {
+        // θmax = 0.5: hash-routing 10k uniform keys stays well within
+        // bounds (ring variance ~10%), while the hot-key interval violates.
+        let mut rb = Rebalancer::new(
+            4,
+            1,
+            RebalanceStrategy::Mixed,
+            BalanceParams {
+                theta_max: 0.5,
+                ..BalanceParams::default()
+            },
+        )
+        .with_trigger_policy(TriggerPolicy {
+            cooldown: 0,
+            consecutive: 2,
+        });
+        assert!(rb.end_interval(skewed_interval(1000, 5_000)).is_none());
+        // A balanced interval breaks the streak.
+        let mut balanced = IntervalStats::new();
+        for k in 0..10_000u64 {
+            balanced.observe(Key(k), 1, 1, 1);
+        }
+        assert!(rb.end_interval(balanced).is_none());
+        // One more violation: streak restarts at 1 — still damped.
+        assert!(rb.end_interval(skewed_interval(1000, 5_000)).is_none());
+        assert_eq!(rb.rebalances(), 0);
+    }
+
+    #[test]
+    fn strategy_names() {
+        assert_eq!(RebalanceStrategy::Mixed.name(), "Mixed");
+        assert_eq!(RebalanceStrategy::MixedBF.name(), "MixedBF");
+    }
+
+    #[test]
+    fn default_params_match_paper() {
+        let p = BalanceParams::default();
+        assert_eq!(p.theta_max, 0.08);
+        assert_eq!(p.beta, 1.5);
+        assert_eq!(p.table_max, 3_000);
+    }
+}

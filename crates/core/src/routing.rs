@@ -1,0 +1,256 @@
+//! The routing table `A` and the mixed assignment function `F` (Eq. 1).
+
+use streambal_hashring::{FxHashMap, HashRing};
+
+use crate::key::{Key, TaskId};
+
+/// The explicit routing table `A ⊆ K × D`.
+///
+/// Holds destinations for "a handful of keys only" (paper §II); every key
+/// not present falls through to the hash function. The table does **not**
+/// enforce `Amax` itself — the rebalance algorithms are responsible for
+/// producing tables within bound, and [`RoutingTable::len`] lets callers
+/// audit them — because a hard cap here would silently corrupt an
+/// assignment mid-update.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RoutingTable {
+    entries: FxHashMap<Key, TaskId>,
+}
+
+impl RoutingTable {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        RoutingTable::default()
+    }
+
+    /// Number of entries `N_A`.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when the table has no entries (pure hash routing).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Looks up the explicit destination for `key`, if present.
+    #[inline]
+    pub fn get(&self, key: Key) -> Option<TaskId> {
+        self.entries.get(&key).copied()
+    }
+
+    /// Inserts or replaces an entry, returning the previous destination.
+    pub fn insert(&mut self, key: Key, dest: TaskId) -> Option<TaskId> {
+        self.entries.insert(key, dest)
+    }
+
+    /// Removes an entry ("moves the key back" to its hash destination).
+    pub fn remove(&mut self, key: Key) -> Option<TaskId> {
+        self.entries.remove(&key)
+    }
+
+    /// Iterates entries in unspecified order.
+    pub fn iter(&self) -> impl Iterator<Item = (Key, TaskId)> + '_ {
+        self.entries.iter().map(|(&k, &d)| (k, d))
+    }
+
+    /// Entries sorted by key, for deterministic output in tests/logs.
+    pub fn sorted_entries(&self) -> Vec<(Key, TaskId)> {
+        let mut v: Vec<_> = self.iter().collect();
+        v.sort_unstable_by_key(|&(k, _)| k);
+        v
+    }
+}
+
+impl FromIterator<(Key, TaskId)> for RoutingTable {
+    fn from_iter<T: IntoIterator<Item = (Key, TaskId)>>(iter: T) -> Self {
+        RoutingTable {
+            entries: iter.into_iter().collect(),
+        }
+    }
+}
+
+/// The mixed assignment function `F : K → D` of Eq. 1 — a routing table
+/// over a consistent-hash fallback.
+///
+/// Routing a tuple costs one hash-map probe plus (on miss) one ring lookup;
+/// this is the structure the upstream "tuples router" evaluates per tuple
+/// (Fig. 3 / Fig. 5).
+#[derive(Debug, Clone)]
+pub struct AssignmentFn {
+    table: RoutingTable,
+    ring: HashRing,
+}
+
+impl AssignmentFn {
+    /// Pure-hash assignment over `n_tasks` downstream instances.
+    pub fn hash_only(n_tasks: usize) -> Self {
+        AssignmentFn {
+            table: RoutingTable::new(),
+            ring: HashRing::new(n_tasks),
+        }
+    }
+
+    /// Assignment with an explicit initial table.
+    pub fn with_table(n_tasks: usize, table: RoutingTable) -> Self {
+        AssignmentFn {
+            table,
+            ring: HashRing::new(n_tasks),
+        }
+    }
+
+    /// Number of downstream task instances `N_D`.
+    #[inline]
+    pub fn n_tasks(&self) -> usize {
+        self.ring.slots()
+    }
+
+    /// Evaluates `F(k)` (Eq. 1).
+    #[inline]
+    pub fn route(&self, key: Key) -> TaskId {
+        match self.table.get(key) {
+            Some(d) => d,
+            None => TaskId::from(self.ring.slot_of(key.raw())),
+        }
+    }
+
+    /// Evaluates the hash fallback `h(k)` regardless of the table.
+    #[inline]
+    pub fn hash_route(&self, key: Key) -> TaskId {
+        TaskId::from(self.ring.slot_of(key.raw()))
+    }
+
+    /// The current routing table.
+    pub fn table(&self) -> &RoutingTable {
+        &self.table
+    }
+
+    /// Replaces the routing table (the controller broadcasts `F′` in step 3
+    /// of the Fig. 5 protocol), returning the old one.
+    pub fn swap_table(&mut self, table: RoutingTable) -> RoutingTable {
+        std::mem::replace(&mut self.table, table)
+    }
+
+    /// Inserts a single explicit entry (used to pin hash-churned keys to
+    /// their physical location during scale-out).
+    pub fn insert_entry(&mut self, key: Key, dest: TaskId) {
+        self.table.insert(key, dest);
+    }
+
+    /// Adds a downstream instance (scale-out), returning its id. Existing
+    /// table entries are preserved; only hash-routed keys may move, and
+    /// only onto the new instance (consistent hashing).
+    pub fn add_task(&mut self) -> TaskId {
+        TaskId::from(self.ring.add_slot())
+    }
+
+    /// Normalizes the table against the ring: removes entries whose
+    /// destination equals the hash destination (they waste table space).
+    /// Returns how many entries were dropped.
+    pub fn prune_redundant(&mut self) -> usize {
+        let ring = &self.ring;
+        let before = self.table.len();
+        let redundant: Vec<Key> = self
+            .table
+            .iter()
+            .filter(|&(k, d)| TaskId::from(ring.slot_of(k.raw())) == d)
+            .map(|(k, _)| k)
+            .collect();
+        for k in redundant {
+            self.table.remove(k);
+        }
+        before - self.table.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_table_routes_by_hash() {
+        let f = AssignmentFn::hash_only(4);
+        for raw in 0..100u64 {
+            let k = Key(raw);
+            assert_eq!(f.route(k), f.hash_route(k));
+            assert!(f.route(k).index() < 4);
+        }
+    }
+
+    #[test]
+    fn table_entry_overrides_hash() {
+        let mut f = AssignmentFn::hash_only(4);
+        let k = Key(7);
+        let hash_dest = f.hash_route(k);
+        let other = TaskId((hash_dest.0 + 1) % 4);
+        let mut t = RoutingTable::new();
+        t.insert(k, other);
+        f.swap_table(t);
+        assert_eq!(f.route(k), other);
+        assert_ne!(f.route(k), hash_dest);
+    }
+
+    #[test]
+    fn swap_returns_old_table() {
+        let mut f = AssignmentFn::hash_only(2);
+        let mut t = RoutingTable::new();
+        t.insert(Key(1), TaskId(0));
+        f.swap_table(t.clone());
+        let old = f.swap_table(RoutingTable::new());
+        assert_eq!(old, t);
+        assert!(f.table().is_empty());
+    }
+
+    #[test]
+    fn prune_drops_no_op_entries() {
+        let mut f = AssignmentFn::hash_only(4);
+        let k_same = Key(3);
+        let same = f.hash_route(k_same);
+        let k_diff = Key(4);
+        let diff = TaskId((f.hash_route(k_diff).0 + 1) % 4);
+        let mut t = RoutingTable::new();
+        t.insert(k_same, same); // redundant
+        t.insert(k_diff, diff); // real entry
+        f.swap_table(t);
+        assert_eq!(f.prune_redundant(), 1);
+        assert_eq!(f.table().len(), 1);
+        assert_eq!(f.route(k_diff), diff);
+    }
+
+    #[test]
+    fn add_task_preserves_table_entries() {
+        let mut f = AssignmentFn::hash_only(3);
+        let k = Key(11);
+        let pinned = TaskId(1);
+        let mut t = RoutingTable::new();
+        t.insert(k, pinned);
+        f.swap_table(t);
+        let new = f.add_task();
+        assert_eq!(new, TaskId(3));
+        assert_eq!(f.n_tasks(), 4);
+        assert_eq!(f.route(k), pinned, "explicit entries survive scale-out");
+    }
+
+    #[test]
+    fn routing_table_crud() {
+        let mut t = RoutingTable::new();
+        assert!(t.is_empty());
+        assert_eq!(t.insert(Key(1), TaskId(2)), None);
+        assert_eq!(t.insert(Key(1), TaskId(3)), Some(TaskId(2)));
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.get(Key(1)), Some(TaskId(3)));
+        assert_eq!(t.remove(Key(1)), Some(TaskId(3)));
+        assert_eq!(t.remove(Key(1)), None);
+    }
+
+    #[test]
+    fn sorted_entries_deterministic() {
+        let t: RoutingTable = [(Key(5), TaskId(0)), (Key(2), TaskId(1)), (Key(9), TaskId(0))]
+            .into_iter()
+            .collect();
+        let keys: Vec<u64> = t.sorted_entries().iter().map(|(k, _)| k.raw()).collect();
+        assert_eq!(keys, vec![2, 5, 9]);
+    }
+}

@@ -1,0 +1,167 @@
+//! The Simple algorithm (paper appendix, Algorithm 5).
+//!
+//! Disassociate *all* keys, sort by non-increasing computation cost, and
+//! greedily assign each to the least-loaded instance — classic LPT
+//! scheduling. The paper uses it to derive Theorem 1: when a perfect
+//! assignment exists and no single key exceeds the average load, the
+//! resulting balance indicator is bounded by `⅓·(1 − 1/N_D)`.
+//!
+//! Simple ignores both migration cost and the routing-table bound, so it
+//! is a theory/diagnostic tool, not a production strategy (its routing
+//! table grows to `O(K)`).
+
+use crate::key::TaskId;
+use crate::stats::KeyRecord;
+
+/// Runs Algorithm 5: returns the new assignment, parallel to `records`.
+pub fn simple_assign(records: &[KeyRecord], n_tasks: usize) -> Vec<TaskId> {
+    assert!(n_tasks > 0, "simple_assign needs at least one task");
+    // Sort key indices by descending cost, ties by key for determinism.
+    let mut order: Vec<u32> = (0..records.len() as u32).collect();
+    order.sort_unstable_by(|&a, &b| {
+        let (ra, rb) = (&records[a as usize], &records[b as usize]);
+        rb.cost.cmp(&ra.cost).then_with(|| ra.key.cmp(&rb.key))
+    });
+    let mut loads = vec![0u64; n_tasks];
+    let mut assign = vec![TaskId(0); records.len()];
+    for idx in order {
+        // Least-loaded instance, ties by id.
+        let d = (0..n_tasks)
+            .min_by_key(|&i| (loads[i], i))
+            .expect("n_tasks > 0");
+        loads[d] += records[idx as usize].cost;
+        assign[idx as usize] = TaskId::from(d);
+    }
+    assign
+}
+
+/// The Theorem 1 bound on the balance indicator for the Simple/LLFD
+/// family: `⅓ · (1 − 1/N_D)`.
+#[inline]
+pub fn theorem1_bound(n_tasks: usize) -> f64 {
+    (1.0 - 1.0 / n_tasks as f64) / 3.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::key::Key;
+    use crate::load::LoadSummary;
+
+    fn rec(key: u64, cost: u64) -> KeyRecord {
+        KeyRecord {
+            key: Key(key),
+            cost,
+            mem: 1,
+            current: TaskId(0),
+            hash_dest: TaskId(0),
+        }
+    }
+
+    fn loads_after(records: &[KeyRecord], assign: &[TaskId], n: usize) -> Vec<u64> {
+        let mut loads = vec![0u64; n];
+        for (r, d) in records.iter().zip(assign) {
+            loads[d.index()] += r.cost;
+        }
+        loads
+    }
+
+    #[test]
+    fn lpt_on_equal_keys_is_perfect() {
+        let records: Vec<_> = (0..8).map(|i| rec(i, 5)).collect();
+        let assign = simple_assign(&records, 4);
+        assert_eq!(loads_after(&records, &assign, 4), vec![10, 10, 10, 10]);
+    }
+
+    #[test]
+    fn lpt_classic_example() {
+        // Costs {7,6,5,4,3} on 2 machines: LPT gives {7,4,3}=14? No:
+        // 7→d0, 6→d1, 5→d1(11)? least-loaded after 7,6 is d1(6): 5→d1? 6<7
+        // so yes d1=11; 4→d0=11; 3→d0 or d1 tie → d0=14. Optimal is 13/12,
+        // LPT gives 14/11 here — we assert the actual greedy outcome.
+        let records = vec![rec(1, 7), rec(2, 6), rec(3, 5), rec(4, 4), rec(5, 3)];
+        let assign = simple_assign(&records, 2);
+        let mut loads = loads_after(&records, &assign, 2);
+        loads.sort_unstable();
+        assert_eq!(loads, vec![11, 14]);
+    }
+
+    #[test]
+    fn theorem1_bound_holds_when_premises_hold() {
+        // Perfect assignment exists: 2·N_D keys of equal cost, and
+        // c(k1) < L̄. Theorem 1 premise ⇒ θ ≤ (1/3)(1 − 1/N_D).
+        for nd in [2usize, 4, 8] {
+            let records: Vec<_> = (0..(4 * nd) as u64).map(|i| rec(i, 3)).collect();
+            let assign = simple_assign(&records, nd);
+            let s = LoadSummary::new(loads_after(&records, &assign, nd));
+            assert!(
+                s.max_theta() <= theorem1_bound(nd) + 1e-9,
+                "nd={nd}: θ={} > bound={}",
+                s.max_theta(),
+                theorem1_bound(nd)
+            );
+        }
+    }
+
+    #[test]
+    fn worst_case_shape_from_lemma3_respects_bound() {
+        // The Lemma 3 adversarial shape: 2·N_D heavy keys + one key of
+        // L̄/3 + dust. Construct approximately and check the bound.
+        let nd = 4usize;
+        // L̄ = 120: heavy keys sized so that perfect assignment exists.
+        let mut records: Vec<KeyRecord> = Vec::new();
+        let mut next = 0u64;
+        // 2·ND keys of (ND·L̄ − L̄/3 − dust)/(2·ND) ≈ 56 each.
+        for _ in 0..(2 * nd) {
+            records.push(rec(next, 56));
+            next += 1;
+        }
+        records.push(rec(next, 40)); // the L̄/3 key
+        next += 1;
+        for _ in 0..32 {
+            records.push(rec(next, 1)); // dust ε-keys
+            next += 1;
+        }
+        let assign = simple_assign(&records, nd);
+        let s = LoadSummary::new(loads_after(&records, &assign, nd));
+        assert!(
+            s.max_theta() <= theorem1_bound(nd) + 0.05,
+            "θ={} vs bound={}",
+            s.max_theta(),
+            theorem1_bound(nd)
+        );
+    }
+
+    #[test]
+    fn deterministic() {
+        let records: Vec<_> = (0..100).map(|i| rec(i, (i * 7) % 13 + 1)).collect();
+        assert_eq!(simple_assign(&records, 5), simple_assign(&records, 5));
+    }
+
+    #[test]
+    fn single_task_takes_everything() {
+        let records = vec![rec(1, 5), rec(2, 9)];
+        let assign = simple_assign(&records, 1);
+        assert!(assign.iter().all(|&d| d == TaskId(0)));
+    }
+
+    #[test]
+    fn empty_records_ok() {
+        let assign = simple_assign(&[], 3);
+        assert!(assign.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one task")]
+    fn zero_tasks_panics() {
+        simple_assign(&[rec(1, 1)], 0);
+    }
+
+    #[test]
+    fn bound_values() {
+        assert!((theorem1_bound(2) - 1.0 / 6.0).abs() < 1e-12);
+        assert!((theorem1_bound(4) - 0.25).abs() < 1e-12);
+        // N_D → ∞ ⇒ bound → 1/3.
+        assert!(theorem1_bound(1_000_000) < 1.0 / 3.0);
+    }
+}

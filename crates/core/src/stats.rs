@@ -1,0 +1,364 @@
+//! Per-interval key statistics and the sliding statistics window.
+//!
+//! Paper §II-A: for each interval `Tᵢ` and key `k` the system measures the
+//! frequency `gᵢ(k)`, the computation cost `cᵢ(k)` (CPU units consumed by
+//! all tuples of `k`), and the memory footprint `sᵢ(k)` of the state
+//! written in that interval. Stateful operators keep the last `w` intervals
+//! of state, so the migration-relevant memory of a key is the windowed sum
+//! `Sᵢ(k, w) = Σ_{j=i-w+1..i} sⱼ(k)` — that is what must travel when the
+//! key is reassigned.
+
+use streambal_hashring::FxHashMap;
+
+use crate::key::{Key, TaskId};
+
+/// Measurements for one key in one interval.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct KeyStat {
+    /// Tuple count `gᵢ(k)`.
+    pub freq: u64,
+    /// Computation cost `cᵢ(k)`, in abstract CPU units. Generally grows
+    /// with `freq` but the algorithms make no assumption about the
+    /// correlation (paper §II-A).
+    pub cost: u64,
+    /// State bytes `sᵢ(k)` written in this interval.
+    pub mem: u64,
+}
+
+/// All key statistics reported for one interval by the downstream tasks.
+#[derive(Debug, Clone, Default)]
+pub struct IntervalStats {
+    stats: FxHashMap<Key, KeyStat>,
+}
+
+impl IntervalStats {
+    /// Creates an empty interval report.
+    pub fn new() -> Self {
+        IntervalStats::default()
+    }
+
+    /// Accumulates one observation for `key` (tasks call this per tuple or
+    /// per batch; repeated calls add up).
+    #[inline]
+    pub fn observe(&mut self, key: Key, freq: u64, cost: u64, mem: u64) {
+        let e = self.stats.entry(key).or_default();
+        e.freq += freq;
+        e.cost += cost;
+        e.mem += mem;
+    }
+
+    /// Merges another interval report (e.g. the per-task shards collected
+    /// by the controller in workflow step 1 of Fig. 5).
+    pub fn merge(&mut self, other: &IntervalStats) {
+        for (&k, s) in &other.stats {
+            self.observe(k, s.freq, s.cost, s.mem);
+        }
+    }
+
+    /// Statistics for one key, if observed this interval.
+    #[inline]
+    pub fn get(&self, key: Key) -> Option<KeyStat> {
+        self.stats.get(&key).copied()
+    }
+
+    /// Number of distinct keys observed.
+    pub fn len(&self) -> usize {
+        self.stats.len()
+    }
+
+    /// True when nothing was observed.
+    pub fn is_empty(&self) -> bool {
+        self.stats.is_empty()
+    }
+
+    /// Iterates `(key, stat)` in unspecified order.
+    pub fn iter(&self) -> impl Iterator<Item = (Key, KeyStat)> + '_ {
+        self.stats.iter().map(|(&k, &s)| (k, s))
+    }
+
+    /// Total computation cost across all keys.
+    pub fn total_cost(&self) -> u64 {
+        self.stats.values().map(|s| s.cost).sum()
+    }
+}
+
+impl FromIterator<(Key, KeyStat)> for IntervalStats {
+    fn from_iter<T: IntoIterator<Item = (Key, KeyStat)>>(iter: T) -> Self {
+        let mut s = IntervalStats::new();
+        for (k, st) in iter {
+            s.observe(k, st.freq, st.cost, st.mem);
+        }
+        s
+    }
+}
+
+/// Sliding window over the last `w` interval reports.
+///
+/// Provides `Sᵢ(k, w)` (windowed memory) and the last interval's costs —
+/// exactly the inputs the rebalance optimization is allowed to use (the
+/// plan for `Tᵢ` is computed from `Tᵢ₋₁` and the window, §II-B).
+#[derive(Debug, Clone)]
+pub struct StatsWindow {
+    window: usize,
+    intervals: std::collections::VecDeque<IntervalStats>,
+}
+
+impl StatsWindow {
+    /// Creates a window retaining the last `w ≥ 1` intervals.
+    ///
+    /// # Panics
+    /// Panics if `w == 0` — a stateful operator keeps at least the current
+    /// interval's state.
+    pub fn new(w: usize) -> Self {
+        assert!(w >= 1, "window must hold at least one interval");
+        StatsWindow {
+            window: w,
+            intervals: std::collections::VecDeque::with_capacity(w),
+        }
+    }
+
+    /// The configured window length `w`.
+    pub fn window(&self) -> usize {
+        self.window
+    }
+
+    /// Number of intervals currently held (≤ `w`).
+    pub fn len(&self) -> usize {
+        self.intervals.len()
+    }
+
+    /// True when no interval has been pushed yet.
+    pub fn is_empty(&self) -> bool {
+        self.intervals.is_empty()
+    }
+
+    /// Pushes the newest interval, evicting the `w+1`-old one ("the task
+    /// instance erases the state from interval `Tᵢ₋w`", §II-A).
+    pub fn push(&mut self, stats: IntervalStats) {
+        if self.intervals.len() == self.window {
+            self.intervals.pop_front();
+        }
+        self.intervals.push_back(stats);
+    }
+
+    /// The most recent interval, if any.
+    pub fn latest(&self) -> Option<&IntervalStats> {
+        self.intervals.back()
+    }
+
+    /// Windowed memory `Sᵢ(k, w)` — the migration cost contribution of `k`.
+    pub fn windowed_mem(&self, key: Key) -> u64 {
+        self.intervals
+            .iter()
+            .filter_map(|iv| iv.get(key))
+            .map(|s| s.mem)
+            .sum()
+    }
+
+    /// Builds the flat per-key records the rebalance algorithms consume:
+    /// cost from the latest interval, memory summed over the window, with
+    /// the current and hash destinations provided by `route`.
+    ///
+    /// Keys observed only in older intervals (state still alive, but no
+    /// fresh tuples) are included with zero cost: their state still has to
+    /// move if the key is reassigned, and the optimizer must know that.
+    pub fn records(
+        &self,
+        mut route: impl FnMut(Key) -> (TaskId, TaskId),
+    ) -> Vec<KeyRecord> {
+        let mut mem: FxHashMap<Key, u64> = FxHashMap::default();
+        for iv in &self.intervals {
+            for (k, s) in iv.iter() {
+                *mem.entry(k).or_insert(0) += s.mem;
+            }
+        }
+        let latest = self.intervals.back();
+        let mut out = Vec::with_capacity(mem.len());
+        for (k, m) in mem {
+            let cost = latest.and_then(|iv| iv.get(k)).map_or(0, |s| s.cost);
+            let (current, hash_dest) = route(k);
+            out.push(KeyRecord {
+                key: k,
+                cost,
+                mem: m,
+                current,
+                hash_dest,
+            });
+        }
+        // Deterministic order for reproducible plans.
+        out.sort_unstable_by_key(|r| r.key);
+        out
+    }
+}
+
+/// One key's rebalance-relevant view: the unit the algorithms operate on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct KeyRecord {
+    /// The key.
+    pub key: Key,
+    /// Computation cost `cᵢ₋₁(k)` from the last interval.
+    pub cost: u64,
+    /// Windowed state size `Sᵢ₋₁(k, w)` — what migration of this key costs.
+    pub mem: u64,
+    /// Current destination `F(k)` under the active assignment.
+    pub current: TaskId,
+    /// Hash destination `h(k)`; `F(k) ≠ h(k)` ⇔ the key occupies a routing
+    /// table entry.
+    pub hash_dest: TaskId,
+}
+
+impl KeyRecord {
+    /// The migration-priority index `γᵢ(k, w) = cᵢ(k)^β / Sᵢ(k, w)`
+    /// (paper §III-B). Higher means "cheap to move per unit of load
+    /// shifted". Zero-memory keys get `+∞` — moving them is free.
+    #[inline]
+    pub fn gamma(&self, beta: f64) -> f64 {
+        if self.mem == 0 {
+            return f64::INFINITY;
+        }
+        (self.cost as f64).powf(beta) / self.mem as f64
+    }
+
+    /// Whether this key occupies a routing-table entry.
+    #[inline]
+    pub fn in_table(&self) -> bool {
+        self.current != self.hash_dest
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn k(v: u64) -> Key {
+        Key(v)
+    }
+
+    #[test]
+    fn observe_accumulates() {
+        let mut iv = IntervalStats::new();
+        iv.observe(k(1), 1, 10, 100);
+        iv.observe(k(1), 2, 20, 200);
+        assert_eq!(
+            iv.get(k(1)),
+            Some(KeyStat {
+                freq: 3,
+                cost: 30,
+                mem: 300
+            })
+        );
+        assert_eq!(iv.len(), 1);
+        assert_eq!(iv.total_cost(), 30);
+    }
+
+    #[test]
+    fn merge_adds_shards() {
+        let mut a = IntervalStats::new();
+        a.observe(k(1), 1, 5, 0);
+        let mut b = IntervalStats::new();
+        b.observe(k(1), 1, 5, 0);
+        b.observe(k(2), 1, 7, 0);
+        a.merge(&b);
+        assert_eq!(a.get(k(1)).unwrap().cost, 10);
+        assert_eq!(a.get(k(2)).unwrap().cost, 7);
+    }
+
+    #[test]
+    fn window_evicts_old_intervals() {
+        let mut w = StatsWindow::new(2);
+        for mem in [10u64, 20, 40] {
+            let mut iv = IntervalStats::new();
+            iv.observe(k(1), 1, 1, mem);
+            w.push(iv);
+        }
+        // Window keeps the last two: 20 + 40.
+        assert_eq!(w.windowed_mem(k(1)), 60);
+        assert_eq!(w.len(), 2);
+    }
+
+    #[test]
+    fn windowed_mem_sums_only_present_intervals() {
+        let mut w = StatsWindow::new(5);
+        let mut iv = IntervalStats::new();
+        iv.observe(k(9), 1, 1, 33);
+        w.push(iv);
+        w.push(IntervalStats::new());
+        assert_eq!(w.windowed_mem(k(9)), 33);
+        assert_eq!(w.windowed_mem(k(8)), 0);
+    }
+
+    #[test]
+    fn records_include_stale_state_keys_with_zero_cost() {
+        let mut w = StatsWindow::new(3);
+        let mut old = IntervalStats::new();
+        old.observe(k(1), 5, 50, 500); // active earlier
+        w.push(old);
+        let mut new = IntervalStats::new();
+        new.observe(k(2), 1, 10, 100); // active now
+        w.push(new);
+
+        let recs = w.records(|_| (TaskId(0), TaskId(0)));
+        assert_eq!(recs.len(), 2);
+        let r1 = recs.iter().find(|r| r.key == k(1)).unwrap();
+        assert_eq!(r1.cost, 0, "stale key contributes no load");
+        assert_eq!(r1.mem, 500, "but its state still must move");
+        let r2 = recs.iter().find(|r| r.key == k(2)).unwrap();
+        assert_eq!(r2.cost, 10);
+        assert_eq!(r2.mem, 100);
+    }
+
+    #[test]
+    fn records_sorted_by_key() {
+        let mut w = StatsWindow::new(1);
+        let mut iv = IntervalStats::new();
+        for key in [5u64, 1, 9, 3] {
+            iv.observe(k(key), 1, 1, 1);
+        }
+        w.push(iv);
+        let recs = w.records(|_| (TaskId(0), TaskId(0)));
+        let keys: Vec<u64> = recs.iter().map(|r| r.key.raw()).collect();
+        assert_eq!(keys, vec![1, 3, 5, 9]);
+    }
+
+    #[test]
+    fn gamma_priority() {
+        let rec = |cost, mem| KeyRecord {
+            key: k(0),
+            cost,
+            mem,
+            current: TaskId(0),
+            hash_dest: TaskId(0),
+        };
+        // β = 1: γ = c / S.
+        assert_eq!(rec(8, 4).gamma(1.0), 2.0);
+        // Heavier cost per byte ⇒ higher priority.
+        assert!(rec(8, 4).gamma(1.0) > rec(4, 4).gamma(1.0));
+        // β = 0.5 de-emphasizes cost: c=7,S=7 → 7^0.5/7 < 1.
+        assert!(rec(7, 7).gamma(0.5) < 1.0);
+        // Zero memory is free to move.
+        assert_eq!(rec(1, 0).gamma(1.5), f64::INFINITY);
+    }
+
+    #[test]
+    fn in_table_flag() {
+        let r = KeyRecord {
+            key: k(1),
+            cost: 1,
+            mem: 1,
+            current: TaskId(2),
+            hash_dest: TaskId(0),
+        };
+        assert!(r.in_table());
+        let r2 = KeyRecord {
+            current: TaskId(0),
+            ..r
+        };
+        assert!(!r2.in_table());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one interval")]
+    fn zero_window_panics() {
+        StatsWindow::new(0);
+    }
+}

@@ -1,0 +1,141 @@
+//! Property-based tests on the core algorithms' module-level invariants.
+
+use proptest::prelude::*;
+use streambal_core::compact::{compact_mixed, CompactStats};
+use streambal_core::discretize::{discretize, hlhe_representatives, total_deviation};
+use streambal_core::llfd::{llfd, Arena, Criteria};
+use streambal_core::{
+    BalanceParams, Key, KeyRecord, LoadSummary, RebalanceInput, TaskId,
+};
+
+fn arb_records(max_tasks: usize) -> impl Strategy<Value = (usize, Vec<KeyRecord>)> {
+    (2usize..=max_tasks, 1usize..80).prop_flat_map(|(n_tasks, n_keys)| {
+        (
+            Just(n_tasks),
+            proptest::collection::vec(
+                (0u64..500, 0u64..500, 0..n_tasks as u32, 0..n_tasks as u32),
+                n_keys,
+            ),
+        )
+            .prop_map(|(n_tasks, raw)| {
+                let records = raw
+                    .into_iter()
+                    .enumerate()
+                    .map(|(i, (cost, mem, cur, hash))| KeyRecord {
+                        key: Key(i as u64),
+                        cost,
+                        mem,
+                        current: TaskId(cur),
+                        hash_dest: TaskId(hash),
+                    })
+                    .collect();
+                (n_tasks, records)
+            })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// LLFD terminates, assigns everything, and never leaves a task above
+    /// `Lmax` when a single key alone does not exceed it (the Theorem 1
+    /// regime is a subset of this).
+    #[test]
+    fn llfd_total_and_conserving((n_tasks, records) in arb_records(5), theta in 0.0f64..0.5) {
+        let mut arena = Arena::new(&records, n_tasks, Criteria::HighestCost, |_, r| r.current);
+        let before: u64 = records.iter().map(|r| r.cost).sum();
+        let cands = arena.drain_overloaded(theta);
+        llfd(&mut arena, cands, theta);
+        let assign = arena.into_assignment();
+        prop_assert_eq!(assign.len(), records.len());
+        let mut loads = vec![0u64; n_tasks];
+        for (r, d) in records.iter().zip(&assign) {
+            prop_assert!(d.index() < n_tasks);
+            loads[d.index()] += r.cost;
+        }
+        prop_assert_eq!(loads.iter().sum::<u64>(), before);
+    }
+
+    /// Phase II never drains a task below Lmax's floor unnecessarily:
+    /// after draining, every task is ≤ Lmax or has no keys left.
+    #[test]
+    fn drain_is_bounded((n_tasks, records) in arb_records(5), theta in 0.0f64..0.5) {
+        let mut arena = Arena::new(&records, n_tasks, Criteria::HighestCost, |_, r| r.current);
+        let mean = arena.mean();
+        let _ = arena.drain_overloaded(theta);
+        let lmax = (1.0 + theta) * mean;
+        for (d, &load) in arena.loads().iter().enumerate() {
+            // A task still above Lmax must have been emptied of keys —
+            // impossible (load > 0 needs keys), so it must be ≤ Lmax...
+            // unless a single remaining key exceeds Lmax by itself is
+            // impossible too (drain pops until ≤ Lmax or empty). Hence:
+            prop_assert!(
+                (load as f64) <= lmax || load == 0,
+                "task {d} left at {load} > Lmax {lmax}"
+            );
+        }
+    }
+
+    /// Discretized values are always representatives, and |δ| is bounded
+    /// by the largest representative gap (the greedy never lets the
+    /// accumulator run away).
+    #[test]
+    fn discretize_invariants(values in proptest::collection::vec(0u64..5_000, 1..400), r in 0u32..8) {
+        let mapped = discretize(&values, r);
+        prop_assert_eq!(mapped.len(), values.len());
+        let max = values.iter().copied().max().unwrap_or(0);
+        let reps = hlhe_representatives(max, r);
+        for (&x, &m) in values.iter().zip(&mapped) {
+            if x == 0 {
+                prop_assert_eq!(m, 0);
+            } else {
+                prop_assert!(reps.contains(&m), "{m} not a representative of {reps:?}");
+            }
+        }
+        if !reps.is_empty() {
+            // Max gap between adjacent representatives bounds the final
+            // accumulated deviation, except for mass above y1 (values in
+            // (y1, max] each contribute < R).
+            let above_y1: i128 = values
+                .iter()
+                .filter(|&&x| x > reps[0])
+                .map(|&x| (x - reps[0]) as i128)
+                .sum();
+            let max_gap = reps
+                .windows(2)
+                .map(|w| w[0] - w[1])
+                .max()
+                .unwrap_or(reps[0]) as i128;
+            let dev = total_deviation(&values, &mapped).abs();
+            prop_assert!(
+                dev <= max_gap + above_y1,
+                "|δ|={dev} gap={max_gap} above_y1={above_y1}"
+            );
+        }
+    }
+
+    /// Compact round-trip: record key-count conservation and materialized
+    /// load conservation for random inputs and degrees.
+    #[test]
+    fn compact_conserves((n_tasks, records) in arb_records(4), r in 0u32..6) {
+        let stats = CompactStats::build(&records, r);
+        let total_keys: usize = stats.records.iter().map(|c| c.count()).sum();
+        prop_assert_eq!(total_keys, records.len());
+        let input = RebalanceInput { n_tasks, records };
+        let out = compact_mixed(&input, &BalanceParams::default(), r);
+        let before: u64 = input.records.iter().map(|k| k.cost).sum();
+        let after: u64 = out.outcome.loads.loads.iter().sum();
+        prop_assert_eq!(before, after);
+    }
+
+    /// The balance indicator is scale-invariant in the sense that doubling
+    /// every load leaves θ unchanged.
+    #[test]
+    fn theta_scale_invariant(loads in proptest::collection::vec(1u64..10_000, 2..10)) {
+        let a = LoadSummary::new(loads.clone());
+        let doubled: Vec<u64> = loads.iter().map(|&l| l * 2).collect();
+        let b = LoadSummary::new(doubled);
+        prop_assert!((a.max_theta() - b.max_theta()).abs() < 1e-9);
+        prop_assert!((a.skewness() - b.skewness()).abs() < 1e-9);
+    }
+}

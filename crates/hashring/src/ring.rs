@@ -1,0 +1,217 @@
+//! Consistent hash ring with virtual nodes.
+//!
+//! The paper's baseline assignment `h(k)` is consistent hashing: keys and
+//! (virtual copies of) task instances are mapped onto a `u64` circle, and a
+//! key is owned by the first instance point at or after it clockwise.
+//! Virtual nodes smooth the per-instance arc length so that, for a uniform
+//! key population, instance loads concentrate around the mean.
+//!
+//! Consistency is the property the Fig. 15 scale-out experiment relies on:
+//! adding one instance only claims keys from existing arcs — every key
+//! either keeps its owner or moves to the *new* instance, so the hash-side
+//! churn of a scale-out is `≈ K / (n+1)` instead of `≈ K`.
+
+use crate::fx::mix64_seeded;
+
+/// Number of virtual points placed on the ring per slot, by default.
+///
+/// Arc-length variation scales like `1/√vnodes`; 256 vnodes keeps the
+/// per-slot ownership deviation around 6% while a lookup's binary search
+/// stays cache-friendly. Residual imbalance is expected — the paper's
+/// premise is that hashing alone cannot balance skewed key populations.
+pub const DEFAULT_VNODES: usize = 256;
+
+/// A consistent hash ring mapping `u64` keys to slot indices `0..n`.
+///
+/// Slots model downstream task instances. The ring is immutable-by-value:
+/// [`HashRing::add_slot`] grows it in place (used by scale-out), and cloning
+/// is cheap enough for snapshotting a routing epoch.
+#[derive(Debug, Clone)]
+pub struct HashRing {
+    /// Sorted ring points: (position, slot).
+    points: Vec<(u64, u32)>,
+    slots: usize,
+    vnodes: usize,
+}
+
+impl HashRing {
+    /// Builds a ring with `slots` instances and [`DEFAULT_VNODES`] virtual
+    /// points each.
+    ///
+    /// # Panics
+    /// Panics if `slots == 0`.
+    pub fn new(slots: usize) -> Self {
+        Self::with_vnodes(slots, DEFAULT_VNODES)
+    }
+
+    /// Builds a ring with an explicit virtual-node count (≥ 1).
+    ///
+    /// # Panics
+    /// Panics if `slots == 0` or `vnodes == 0`.
+    pub fn with_vnodes(slots: usize, vnodes: usize) -> Self {
+        assert!(slots > 0, "ring needs at least one slot");
+        assert!(vnodes > 0, "ring needs at least one vnode per slot");
+        let mut ring = HashRing {
+            points: Vec::with_capacity(slots * vnodes),
+            slots: 0,
+            vnodes,
+        };
+        for _ in 0..slots {
+            ring.add_slot();
+        }
+        ring
+    }
+
+    /// Number of slots (task instances) on the ring.
+    #[inline]
+    pub fn slots(&self) -> usize {
+        self.slots
+    }
+
+    /// Number of virtual points per slot.
+    #[inline]
+    pub fn vnodes(&self) -> usize {
+        self.vnodes
+    }
+
+    /// Adds one slot (scale-out), returning its index.
+    ///
+    /// Existing keys either keep their slot or move to the new slot —
+    /// never between old slots (the consistency property, asserted by
+    /// tests).
+    pub fn add_slot(&mut self) -> usize {
+        let slot = self.slots as u32;
+        for v in 0..self.vnodes {
+            let pos = mix64_seeded(
+                (slot as u64) << 32 | v as u64,
+                0x5851_F42D_4C95_7F2D,
+            );
+            let at = self.points.partition_point(|&(p, _)| p < pos);
+            self.points.insert(at, (pos, slot));
+        }
+        self.slots += 1;
+        self.slots - 1
+    }
+
+    /// Maps a key to its owning slot.
+    #[inline]
+    pub fn slot_of(&self, key: u64) -> usize {
+        debug_assert!(!self.points.is_empty());
+        let pos = mix64_seeded(key, 0x2545_F491_4F6C_DD1D);
+        let idx = self.points.partition_point(|&(p, _)| p < pos);
+        // Wrap around the circle.
+        let idx = if idx == self.points.len() { 0 } else { idx };
+        self.points[idx].1 as usize
+    }
+
+    /// Fraction of the ring circle owned by each slot, for diagnostics and
+    /// balance tests.
+    pub fn arc_ownership(&self) -> Vec<f64> {
+        let mut arcs = vec![0.0f64; self.slots];
+        if self.points.is_empty() {
+            return arcs;
+        }
+        for w in self.points.windows(2) {
+            let (p0, _) = w[0];
+            let (p1, owner) = w[1];
+            arcs[owner as usize] += (p1 - p0) as f64;
+        }
+        // Wrap-around arc: from the last point to the first.
+        let (last, _) = *self.points.last().unwrap();
+        let (first, owner) = self.points[0];
+        arcs[owner as usize] += (u64::MAX - last) as f64 + first as f64;
+        let total: f64 = arcs.iter().sum();
+        for a in &mut arcs {
+            *a /= total;
+        }
+        arcs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lookup_in_range_and_deterministic() {
+        let ring = HashRing::new(10);
+        for key in 0..10_000u64 {
+            let s = ring.slot_of(key);
+            assert!(s < 10);
+            assert_eq!(s, ring.slot_of(key));
+        }
+    }
+
+    #[test]
+    fn uniform_keys_spread_within_tolerance() {
+        let ring = HashRing::new(8);
+        let n_keys = 200_000u64;
+        let mut counts = [0usize; 8];
+        for key in 0..n_keys {
+            counts[ring.slot_of(key)] += 1;
+        }
+        let expect = n_keys as f64 / 8.0;
+        for (slot, &c) in counts.iter().enumerate() {
+            let dev = (c as f64 - expect).abs() / expect;
+            assert!(dev < 0.2, "slot {slot}: {c} vs {expect} (dev {dev:.3})");
+        }
+    }
+
+    #[test]
+    fn scale_out_only_moves_keys_to_new_slot() {
+        let mut ring = HashRing::new(6);
+        let before: Vec<usize> = (0..50_000u64).map(|k| ring.slot_of(k)).collect();
+        let new_slot = ring.add_slot();
+        assert_eq!(new_slot, 6);
+        let mut moved = 0usize;
+        for (k, &old) in before.iter().enumerate() {
+            let now = ring.slot_of(k as u64);
+            if now != old {
+                assert_eq!(now, new_slot, "key {k} moved {old}→{now}, not to new slot");
+                moved += 1;
+            }
+        }
+        // Expected churn ≈ K/(n+1) = 50_000/7 ≈ 7_143; allow wide slack.
+        let expect = 50_000.0 / 7.0;
+        assert!(
+            (moved as f64) < expect * 1.5 && (moved as f64) > expect * 0.5,
+            "moved {moved}, expected ≈ {expect}"
+        );
+    }
+
+    #[test]
+    fn arc_ownership_sums_to_one_and_is_balanced() {
+        let ring = HashRing::new(12);
+        let arcs = ring.arc_ownership();
+        let sum: f64 = arcs.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-9);
+        for (slot, &a) in arcs.iter().enumerate() {
+            assert!(
+                (a - 1.0 / 12.0).abs() < 0.05,
+                "slot {slot} owns {a:.4} of the ring"
+            );
+        }
+    }
+
+    #[test]
+    fn single_slot_owns_everything() {
+        let ring = HashRing::new(1);
+        for key in 0..1000u64 {
+            assert_eq!(ring.slot_of(key), 0);
+        }
+        assert!((ring.arc_ownership()[0] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one slot")]
+    fn zero_slots_panics() {
+        HashRing::new(0);
+    }
+
+    #[test]
+    fn vnode_count_respected() {
+        let ring = HashRing::with_vnodes(4, 16);
+        assert_eq!(ring.vnodes(), 16);
+        assert_eq!(ring.slots(), 4);
+    }
+}

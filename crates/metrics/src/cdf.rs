@@ -1,0 +1,165 @@
+//! Exact empirical cumulative distribution functions.
+//!
+//! Fig. 7 of the paper plots the *cumulative distribution of workload
+//! skewness* across task instances and time intervals. Those populations
+//! are small (`ND × intervals` ≤ a few thousand points), so an exact CDF —
+//! a sorted sample vector — is both simpler and more faithful than a
+//! sketch.
+
+/// An exact empirical CDF over `f64` samples.
+#[derive(Debug, Clone, Default)]
+pub struct Cdf {
+    sorted: Vec<f64>,
+    dirty: bool,
+}
+
+impl Cdf {
+    /// Creates an empty CDF.
+    pub fn new() -> Self {
+        Cdf::default()
+    }
+
+    /// Builds directly from samples.
+    pub fn from_samples(samples: impl IntoIterator<Item = f64>) -> Self {
+        let mut c = Cdf::new();
+        for s in samples {
+            c.add(s);
+        }
+        c
+    }
+
+    /// Adds one sample. NaN samples are rejected with a panic — a NaN
+    /// skewness always indicates an upstream accounting bug.
+    pub fn add(&mut self, sample: f64) {
+        assert!(!sample.is_nan(), "NaN sample added to CDF");
+        self.sorted.push(sample);
+        self.dirty = true;
+    }
+
+    fn ensure_sorted(&mut self) {
+        if self.dirty {
+            self.sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            self.dirty = false;
+        }
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// True when no samples are recorded.
+    pub fn is_empty(&self) -> bool {
+        self.sorted.is_empty()
+    }
+
+    /// Value at percentile `p ∈ [0,1]` (nearest-rank). Returns `None` when
+    /// empty.
+    pub fn percentile(&mut self, p: f64) -> Option<f64> {
+        if self.sorted.is_empty() {
+            return None;
+        }
+        self.ensure_sorted();
+        let p = p.clamp(0.0, 1.0);
+        let rank = ((p * self.sorted.len() as f64).ceil() as usize)
+            .clamp(1, self.sorted.len());
+        Some(self.sorted[rank - 1])
+    }
+
+    /// Fraction of samples ≤ `x`.
+    pub fn fraction_below(&mut self, x: f64) -> f64 {
+        if self.sorted.is_empty() {
+            return 0.0;
+        }
+        self.ensure_sorted();
+        let idx = self.sorted.partition_point(|&s| s <= x);
+        idx as f64 / self.sorted.len() as f64
+    }
+
+    /// Evenly spaced `(percentile, value)` points for plotting, e.g.
+    /// `points(5)` yields the 20/40/60/80/100-percentile series used in the
+    /// Fig. 7 reproduction.
+    pub fn points(&mut self, n: usize) -> Vec<(f64, f64)> {
+        let mut out = Vec::with_capacity(n);
+        for i in 1..=n {
+            let p = i as f64 / n as f64;
+            if let Some(v) = self.percentile(p) {
+                out.push((p, v));
+            }
+        }
+        out
+    }
+
+    /// Sample mean; 0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.sorted.is_empty() {
+            return 0.0;
+        }
+        self.sorted.iter().sum::<f64>() / self.sorted.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_cdf() {
+        let mut c = Cdf::new();
+        assert!(c.is_empty());
+        assert_eq!(c.percentile(0.5), None);
+        assert_eq!(c.fraction_below(10.0), 0.0);
+        assert_eq!(c.mean(), 0.0);
+    }
+
+    #[test]
+    fn percentiles_nearest_rank() {
+        let mut c = Cdf::from_samples((1..=100).map(|v| v as f64));
+        assert_eq!(c.percentile(0.5), Some(50.0));
+        assert_eq!(c.percentile(1.0), Some(100.0));
+        assert_eq!(c.percentile(0.0), Some(1.0));
+        assert_eq!(c.percentile(0.01), Some(1.0));
+    }
+
+    #[test]
+    fn fraction_below_matches_definition() {
+        let mut c = Cdf::from_samples([1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(c.fraction_below(0.5), 0.0);
+        assert_eq!(c.fraction_below(2.0), 0.5);
+        assert_eq!(c.fraction_below(100.0), 1.0);
+    }
+
+    #[test]
+    fn points_are_monotone() {
+        let mut c = Cdf::from_samples((0..1000).map(|v| (v % 37) as f64));
+        let pts = c.points(10);
+        assert_eq!(pts.len(), 10);
+        for w in pts.windows(2) {
+            assert!(w[0].1 <= w[1].1, "CDF values must be non-decreasing");
+        }
+        assert_eq!(pts.last().unwrap().0, 1.0);
+    }
+
+    #[test]
+    fn interleaved_add_and_query() {
+        let mut c = Cdf::new();
+        c.add(5.0);
+        assert_eq!(c.percentile(1.0), Some(5.0));
+        c.add(1.0);
+        assert_eq!(c.percentile(0.5), Some(1.0));
+        c.add(9.0);
+        assert_eq!(c.percentile(1.0), Some(9.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "NaN")]
+    fn nan_rejected() {
+        Cdf::new().add(f64::NAN);
+    }
+
+    #[test]
+    fn mean_correct() {
+        let c = Cdf::from_samples([2.0, 4.0, 6.0]);
+        assert_eq!(c.mean(), 4.0);
+    }
+}

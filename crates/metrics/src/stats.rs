@@ -1,0 +1,225 @@
+//! Wall-time measurement and running summary statistics.
+
+use std::time::{Duration, Instant};
+
+/// A running mean/min/max/variance accumulator (Welford's algorithm).
+///
+/// Used for "average generation time" style reports where the paper shows
+/// mean with min/max whiskers over repeated rebalance rounds.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct OnlineStats {
+    n: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl OnlineStats {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        OnlineStats {
+            n: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Adds one observation.
+    pub fn add(&mut self, x: f64) {
+        self.n += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.n as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Mean; 0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Population variance; 0 when fewer than two observations.
+    pub fn variance(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            self.m2 / self.n as f64
+        }
+    }
+
+    /// Standard deviation.
+    pub fn stddev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Minimum; 0 when empty.
+    pub fn min(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.min
+        }
+    }
+
+    /// Maximum; 0 when empty.
+    pub fn max(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.max
+        }
+    }
+
+    /// Merges another accumulator (parallel Welford combine).
+    pub fn merge(&mut self, other: &OnlineStats) {
+        if other.n == 0 {
+            return;
+        }
+        if self.n == 0 {
+            *self = *other;
+            return;
+        }
+        let n = self.n + other.n;
+        let delta = other.mean - self.mean;
+        let mean = self.mean + delta * other.n as f64 / n as f64;
+        let m2 = self.m2
+            + other.m2
+            + delta * delta * (self.n as f64 * other.n as f64) / n as f64;
+        self.n = n;
+        self.mean = mean;
+        self.m2 = m2;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+/// Measures elapsed wall time for plan-generation benchmarking.
+#[derive(Debug, Clone, Copy)]
+pub struct Stopwatch {
+    start: Instant,
+}
+
+impl Stopwatch {
+    /// Starts timing now.
+    pub fn start() -> Self {
+        Stopwatch {
+            start: Instant::now(),
+        }
+    }
+
+    /// Elapsed time since start.
+    pub fn elapsed(&self) -> Duration {
+        self.start.elapsed()
+    }
+
+    /// Elapsed milliseconds as `f64` (the unit the paper plots).
+    pub fn elapsed_ms(&self) -> f64 {
+        self.start.elapsed().as_secs_f64() * 1e3
+    }
+
+    /// Restarts the stopwatch, returning the lap time.
+    pub fn lap(&mut self) -> Duration {
+        let e = self.start.elapsed();
+        self.start = Instant::now();
+        e
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_stats() {
+        let s = OnlineStats::new();
+        assert_eq!(s.count(), 0);
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.min(), 0.0);
+        assert_eq!(s.max(), 0.0);
+        assert_eq!(s.variance(), 0.0);
+    }
+
+    #[test]
+    fn mean_min_max() {
+        let mut s = OnlineStats::new();
+        for x in [3.0, 1.0, 4.0, 1.0, 5.0] {
+            s.add(x);
+        }
+        assert_eq!(s.count(), 5);
+        assert!((s.mean() - 2.8).abs() < 1e-12);
+        assert_eq!(s.min(), 1.0);
+        assert_eq!(s.max(), 5.0);
+    }
+
+    #[test]
+    fn variance_matches_direct() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        let mut s = OnlineStats::new();
+        for &x in &xs {
+            s.add(x);
+        }
+        // Known population variance of this classic sample = 4.
+        assert!((s.variance() - 4.0).abs() < 1e-12);
+        assert!((s.stddev() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_equals_sequential() {
+        let xs: Vec<f64> = (0..100).map(|i| (i * i % 37) as f64).collect();
+        let mut whole = OnlineStats::new();
+        for &x in &xs {
+            whole.add(x);
+        }
+        let mut a = OnlineStats::new();
+        let mut b = OnlineStats::new();
+        for &x in &xs[..40] {
+            a.add(x);
+        }
+        for &x in &xs[40..] {
+            b.add(x);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), whole.count());
+        assert!((a.mean() - whole.mean()).abs() < 1e-9);
+        assert!((a.variance() - whole.variance()).abs() < 1e-9);
+        assert_eq!(a.min(), whole.min());
+        assert_eq!(a.max(), whole.max());
+    }
+
+    #[test]
+    fn merge_with_empty() {
+        let mut a = OnlineStats::new();
+        a.add(1.0);
+        let b = OnlineStats::new();
+        a.merge(&b);
+        assert_eq!(a.count(), 1);
+        let mut c = OnlineStats::new();
+        c.merge(&a);
+        assert_eq!(c.count(), 1);
+        assert_eq!(c.mean(), 1.0);
+    }
+
+    #[test]
+    fn stopwatch_measures_something() {
+        let mut w = Stopwatch::start();
+        std::thread::sleep(Duration::from_millis(5));
+        assert!(w.elapsed_ms() >= 4.0);
+        let lap = w.lap();
+        assert!(lap.as_millis() >= 4);
+        // After lap the clock restarted.
+        assert!(w.elapsed_ms() < 5.0);
+    }
+}

@@ -1,0 +1,188 @@
+//! `(tick, value)` series for timeline figures.
+
+/// An append-only series of `(tick, value)` observations.
+///
+/// Ticks are caller-defined (seconds, interval indices, tuple counts). Used
+/// for the throughput-over-time plots of Figs. 15 and 16, where different
+/// balancing strategies are compared on the same time axis.
+#[derive(Debug, Clone, Default)]
+pub struct TimeSeries {
+    points: Vec<(f64, f64)>,
+    label: String,
+}
+
+impl TimeSeries {
+    /// Creates an empty, unlabelled series.
+    pub fn new() -> Self {
+        TimeSeries::default()
+    }
+
+    /// Creates an empty series with a display label (e.g. `"Mixed θmax=0.1"`).
+    pub fn labelled(label: impl Into<String>) -> Self {
+        TimeSeries {
+            points: Vec::new(),
+            label: label.into(),
+        }
+    }
+
+    /// The display label.
+    pub fn label(&self) -> &str {
+        &self.label
+    }
+
+    /// Appends an observation. Ticks should be non-decreasing; that is
+    /// asserted in debug builds.
+    pub fn push(&mut self, tick: f64, value: f64) {
+        debug_assert!(
+            self.points.last().is_none_or(|&(t, _)| t <= tick),
+            "time series ticks must be non-decreasing"
+        );
+        self.points.push((tick, value));
+    }
+
+    /// The raw points.
+    pub fn points(&self) -> &[(f64, f64)] {
+        &self.points
+    }
+
+    /// Number of points.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Mean of the values.
+    pub fn mean(&self) -> f64 {
+        if self.points.is_empty() {
+            return 0.0;
+        }
+        self.points.iter().map(|&(_, v)| v).sum::<f64>() / self.points.len() as f64
+    }
+
+    /// Mean of the values in the tick range `[from, to)`.
+    pub fn mean_in(&self, from: f64, to: f64) -> f64 {
+        let vals: Vec<f64> = self
+            .points
+            .iter()
+            .filter(|&&(t, _)| t >= from && t < to)
+            .map(|&(_, v)| v)
+            .collect();
+        if vals.is_empty() {
+            return 0.0;
+        }
+        vals.iter().sum::<f64>() / vals.len() as f64
+    }
+
+    /// First tick at which `value >= threshold` holds and keeps holding for
+    /// `sustain` consecutive points — used to measure recovery time after a
+    /// disturbance (Fig. 15's "how fast does each strategy rebalance").
+    pub fn first_sustained_at(&self, threshold: f64, sustain: usize) -> Option<f64> {
+        if sustain == 0 {
+            return self.points.first().map(|&(t, _)| t);
+        }
+        let mut run = 0usize;
+        let mut start_tick = 0.0;
+        for &(t, v) in &self.points {
+            if v >= threshold {
+                if run == 0 {
+                    start_tick = t;
+                }
+                run += 1;
+                if run >= sustain {
+                    return Some(start_tick);
+                }
+            } else {
+                run = 0;
+            }
+        }
+        None
+    }
+
+    /// Downsamples to at most `n` points by averaging fixed-size chunks —
+    /// keeps the experiment logs readable.
+    pub fn downsample(&self, n: usize) -> TimeSeries {
+        if n == 0 || self.points.len() <= n {
+            return self.clone();
+        }
+        let chunk = self.points.len().div_ceil(n);
+        let mut out = TimeSeries::labelled(self.label.clone());
+        for c in self.points.chunks(chunk) {
+            let t = c.iter().map(|&(t, _)| t).sum::<f64>() / c.len() as f64;
+            let v = c.iter().map(|&(_, v)| v).sum::<f64>() / c.len() as f64;
+            out.points.push((t, v));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn series(vals: &[(f64, f64)]) -> TimeSeries {
+        let mut s = TimeSeries::new();
+        for &(t, v) in vals {
+            s.push(t, v);
+        }
+        s
+    }
+
+    #[test]
+    fn push_and_mean() {
+        let s = series(&[(0.0, 2.0), (1.0, 4.0), (2.0, 6.0)]);
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.mean(), 4.0);
+    }
+
+    #[test]
+    fn mean_in_range() {
+        let s = series(&[(0.0, 1.0), (1.0, 100.0), (2.0, 200.0), (3.0, 1.0)]);
+        assert_eq!(s.mean_in(1.0, 3.0), 150.0);
+        assert_eq!(s.mean_in(10.0, 20.0), 0.0);
+    }
+
+    #[test]
+    fn sustained_recovery_detection() {
+        let s = series(&[
+            (0.0, 10.0),
+            (1.0, 2.0), // disturbance
+            (2.0, 3.0),
+            (3.0, 9.0), // recovery starts
+            (4.0, 9.5),
+            (5.0, 9.8),
+        ]);
+        assert_eq!(s.first_sustained_at(8.0, 3), Some(3.0));
+        assert_eq!(s.first_sustained_at(50.0, 1), None);
+    }
+
+    #[test]
+    fn sustained_run_resets_on_dip() {
+        let s = series(&[(0.0, 9.0), (1.0, 1.0), (2.0, 9.0), (3.0, 9.0)]);
+        assert_eq!(s.first_sustained_at(8.0, 2), Some(2.0));
+    }
+
+    #[test]
+    fn downsample_halves() {
+        let s = series(&(0..10).map(|i| (i as f64, i as f64)).collect::<Vec<_>>());
+        let d = s.downsample(5);
+        assert_eq!(d.len(), 5);
+        assert_eq!(d.points()[0], (0.5, 0.5));
+    }
+
+    #[test]
+    fn downsample_noop_when_small() {
+        let s = series(&[(0.0, 1.0)]);
+        assert_eq!(s.downsample(10).len(), 1);
+    }
+
+    #[test]
+    fn labels_survive() {
+        let s = TimeSeries::labelled("Mixed");
+        assert_eq!(s.label(), "Mixed");
+        assert_eq!(s.downsample(1).label(), "Mixed");
+    }
+}

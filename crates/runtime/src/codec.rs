@@ -1,0 +1,262 @@
+//! Wire encoding for control-plane artifacts.
+//!
+//! In this in-process engine the controller hands [`RoutingView`]s and
+//! migration plans to the source over channels; a distributed deployment
+//! (the paper's Storm cluster) ships them over the network. This module
+//! provides the byte codec that transport would use: a compact, versioned,
+//! little-endian format with explicit length prefixes — no serde, no
+//! reflection, auditable by eye.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use streambal_baselines::RoutingView;
+use streambal_core::{Key, MigrationPlan, Move, RoutingTable, TaskId};
+
+/// Codec format version (first byte of every message).
+pub const CODEC_VERSION: u8 = 1;
+
+const VIEW_TABLE_PLUS_HASH: u8 = 0;
+const VIEW_TWO_CHOICE: u8 = 1;
+const VIEW_ROUND_ROBIN: u8 = 2;
+
+/// Decoding failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CodecError {
+    /// The buffer ended before the advertised content.
+    Truncated,
+    /// Unknown version byte.
+    BadVersion(u8),
+    /// Unknown discriminant.
+    BadTag(u8),
+}
+
+impl std::fmt::Display for CodecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CodecError::Truncated => write!(f, "buffer truncated"),
+            CodecError::BadVersion(v) => write!(f, "unsupported codec version {v}"),
+            CodecError::BadTag(t) => write!(f, "unknown discriminant {t}"),
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+fn need(buf: &impl Buf, n: usize) -> Result<(), CodecError> {
+    if buf.remaining() < n {
+        Err(CodecError::Truncated)
+    } else {
+        Ok(())
+    }
+}
+
+/// Serializes a routing view.
+pub fn encode_view(view: &RoutingView) -> Bytes {
+    let mut buf = BytesMut::new();
+    buf.put_u8(CODEC_VERSION);
+    match view {
+        RoutingView::TablePlusHash { table, n_tasks } => {
+            buf.put_u8(VIEW_TABLE_PLUS_HASH);
+            buf.put_u32_le(*n_tasks as u32);
+            buf.put_u32_le(table.len() as u32);
+            for (k, d) in table.sorted_entries() {
+                buf.put_u64_le(k.raw());
+                buf.put_u32_le(d.0);
+            }
+        }
+        RoutingView::TwoChoice { n_tasks } => {
+            buf.put_u8(VIEW_TWO_CHOICE);
+            buf.put_u32_le(*n_tasks as u32);
+        }
+        RoutingView::RoundRobin { n_tasks } => {
+            buf.put_u8(VIEW_ROUND_ROBIN);
+            buf.put_u32_le(*n_tasks as u32);
+        }
+    }
+    buf.freeze()
+}
+
+/// Deserializes a routing view.
+pub fn decode_view(mut buf: Bytes) -> Result<RoutingView, CodecError> {
+    need(&buf, 2)?;
+    let version = buf.get_u8();
+    if version != CODEC_VERSION {
+        return Err(CodecError::BadVersion(version));
+    }
+    let tag = buf.get_u8();
+    match tag {
+        VIEW_TABLE_PLUS_HASH => {
+            need(&buf, 8)?;
+            let n_tasks = buf.get_u32_le() as usize;
+            let entries = buf.get_u32_le() as usize;
+            need(&buf, entries * 12)?;
+            let mut table = RoutingTable::new();
+            for _ in 0..entries {
+                let k = Key(buf.get_u64_le());
+                let d = TaskId(buf.get_u32_le());
+                table.insert(k, d);
+            }
+            Ok(RoutingView::TablePlusHash { table, n_tasks })
+        }
+        VIEW_TWO_CHOICE => {
+            need(&buf, 4)?;
+            Ok(RoutingView::TwoChoice {
+                n_tasks: buf.get_u32_le() as usize,
+            })
+        }
+        VIEW_ROUND_ROBIN => {
+            need(&buf, 4)?;
+            Ok(RoutingView::RoundRobin {
+                n_tasks: buf.get_u32_le() as usize,
+            })
+        }
+        other => Err(CodecError::BadTag(other)),
+    }
+}
+
+/// Serializes a migration plan (step-3 broadcast payload).
+pub fn encode_plan(plan: &MigrationPlan) -> Bytes {
+    let mut buf = BytesMut::with_capacity(6 + plan.keys_moved() * 24);
+    buf.put_u8(CODEC_VERSION);
+    buf.put_u32_le(plan.keys_moved() as u32);
+    for m in plan.moves() {
+        buf.put_u64_le(m.key.raw());
+        buf.put_u32_le(m.from.0);
+        buf.put_u32_le(m.to.0);
+        buf.put_u64_le(m.state_bytes);
+    }
+    buf.freeze()
+}
+
+/// Deserializes a migration plan.
+pub fn decode_plan(mut buf: Bytes) -> Result<MigrationPlan, CodecError> {
+    need(&buf, 5)?;
+    let version = buf.get_u8();
+    if version != CODEC_VERSION {
+        return Err(CodecError::BadVersion(version));
+    }
+    let n = buf.get_u32_le() as usize;
+    need(&buf, n * 24)?;
+    let mut moves = Vec::with_capacity(n);
+    for _ in 0..n {
+        moves.push(Move {
+            key: Key(buf.get_u64_le()),
+            from: TaskId(buf.get_u32_le()),
+            to: TaskId(buf.get_u32_le()),
+            state_bytes: buf.get_u64_le(),
+        });
+    }
+    Ok(MigrationPlan::from_moves(moves))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_table(n: u64) -> RoutingTable {
+        (0..n).map(|k| (Key(k * 7), TaskId((k % 5) as u32))).collect()
+    }
+
+    #[test]
+    fn view_roundtrip_table_plus_hash() {
+        let view = RoutingView::TablePlusHash {
+            table: sample_table(100),
+            n_tasks: 8,
+        };
+        let bytes = encode_view(&view);
+        let decoded = decode_view(bytes).unwrap();
+        match (view, decoded) {
+            (
+                RoutingView::TablePlusHash { table: a, n_tasks: na },
+                RoutingView::TablePlusHash { table: b, n_tasks: nb },
+            ) => {
+                assert_eq!(na, nb);
+                assert_eq!(a.sorted_entries(), b.sorted_entries());
+            }
+            _ => panic!("variant changed"),
+        }
+    }
+
+    #[test]
+    fn view_roundtrip_simple_variants() {
+        for view in [
+            RoutingView::TwoChoice { n_tasks: 12 },
+            RoutingView::RoundRobin { n_tasks: 3 },
+        ] {
+            let decoded = decode_view(encode_view(&view)).unwrap();
+            match (&view, &decoded) {
+                (RoutingView::TwoChoice { n_tasks: a }, RoutingView::TwoChoice { n_tasks: b })
+                | (
+                    RoutingView::RoundRobin { n_tasks: a },
+                    RoutingView::RoundRobin { n_tasks: b },
+                ) => assert_eq!(a, b),
+                _ => panic!("variant mismatch"),
+            }
+        }
+    }
+
+    #[test]
+    fn plan_roundtrip() {
+        let plan = MigrationPlan::from_moves((0..50u64).map(|i| Move {
+            key: Key(i),
+            from: TaskId((i % 3) as u32),
+            to: TaskId(((i + 1) % 3) as u32),
+            state_bytes: i * 100,
+        }));
+        let decoded = decode_plan(encode_plan(&plan)).unwrap();
+        assert_eq!(plan, decoded);
+        assert_eq!(decoded.cost_bytes(), plan.cost_bytes());
+    }
+
+    #[test]
+    fn empty_plan_roundtrip() {
+        let decoded = decode_plan(encode_plan(&MigrationPlan::empty())).unwrap();
+        assert!(decoded.is_empty());
+    }
+
+    #[test]
+    fn truncation_detected() {
+        let bytes = encode_view(&RoutingView::TablePlusHash {
+            table: sample_table(10),
+            n_tasks: 4,
+        });
+        for cut in [0, 1, 3, bytes.len() - 1] {
+            let err = decode_view(bytes.slice(0..cut)).unwrap_err();
+            assert_eq!(err, CodecError::Truncated, "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn bad_version_and_tag_detected() {
+        let mut raw = BytesMut::new();
+        raw.put_u8(99);
+        raw.put_u8(VIEW_ROUND_ROBIN);
+        raw.put_u32_le(1);
+        assert_eq!(
+            decode_view(raw.freeze()).unwrap_err(),
+            CodecError::BadVersion(99)
+        );
+        let mut raw = BytesMut::new();
+        raw.put_u8(CODEC_VERSION);
+        raw.put_u8(77);
+        raw.put_u32_le(1);
+        assert_eq!(decode_view(raw.freeze()).unwrap_err(), CodecError::BadTag(77));
+    }
+
+    #[test]
+    fn encoded_size_is_compact() {
+        // 3000 entries (the paper's Amax default) must fit in ~36 KB —
+        // trivially broadcastable each rebalance.
+        let view = RoutingView::TablePlusHash {
+            table: sample_table(3_000),
+            n_tasks: 10,
+        };
+        let bytes = encode_view(&view);
+        assert!(bytes.len() <= 3_000 * 12 + 16, "size {}", bytes.len());
+    }
+
+    #[test]
+    fn error_display() {
+        assert!(CodecError::Truncated.to_string().contains("truncated"));
+        assert!(CodecError::BadVersion(9).to_string().contains('9'));
+    }
+}

@@ -1,0 +1,807 @@
+//! Engine wiring: source, workers, collector, and the Fig. 5 controller.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use bytes::Bytes;
+use crossbeam::channel::{bounded, unbounded, Receiver, Select, Sender};
+use streambal_baselines::{Partitioner, RoutingView};
+use streambal_core::{IntervalStats, Key, TaskId};
+use streambal_hashring::{FxHashMap, FxHashSet};
+use streambal_metrics::{Counter, Histogram, RateMeter, TimeSeries};
+
+use crate::message::{Message, SourceCtl, SourceEvent, WorkerEvent};
+use crate::operator::{Collector, Operator};
+use crate::router::SourceRouter;
+use crate::tuple::Tuple;
+use crate::worker::{run_worker, WorkerCtx};
+
+/// Engine sizing and behaviour knobs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EngineConfig {
+    /// Initial downstream parallelism `N_D`.
+    pub n_workers: usize,
+    /// Pre-provisioned worker slots (≥ `n_workers`; extra slots allow
+    /// scale-out).
+    pub max_workers: usize,
+    /// Source → worker channel depth; a full channel backpressures the
+    /// source (the paper's "backpushing effect").
+    pub channel_capacity: usize,
+    /// Worker → collector channel depth (PKG's max-pending analogue).
+    pub collector_capacity: usize,
+    /// Busy-work iterations per tuple — calibrates per-tuple CPU cost so
+    /// the workers saturate, as the paper's experiments arrange.
+    pub spin_work: u32,
+    /// State window `w` in intervals.
+    pub window: usize,
+    /// Add one worker after this interval's statistics are collected
+    /// (the Fig. 15 scale-out experiment).
+    pub scale_out_at: Option<u64>,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            n_workers: 4,
+            max_workers: 4,
+            channel_capacity: 1024,
+            collector_capacity: 256,
+            spin_work: 500,
+            window: 5,
+            scale_out_at: None,
+        }
+    }
+}
+
+/// Everything one engine run measured.
+#[derive(Debug)]
+pub struct EngineReport {
+    /// Partitioner name.
+    pub name: String,
+    /// Total tuples processed by all workers.
+    pub processed: u64,
+    /// Wall time of the whole run.
+    pub wall: Duration,
+    /// Mean throughput, tuples/second.
+    pub mean_throughput: f64,
+    /// Wall-clock-sampled throughput series (seconds, tuples/s).
+    pub throughput: TimeSeries,
+    /// Per-interval throughput series (interval, tuples/s).
+    pub interval_throughput: TimeSeries,
+    /// End-to-end tuple latency distribution (µs), merged over workers.
+    pub latency_us: Histogram,
+    /// Rebalances executed.
+    pub rebalances: usize,
+    /// Keys migrated across all rebalances.
+    pub migrated_keys: u64,
+    /// State bytes migrated across all rebalances.
+    pub migrated_bytes: u64,
+    /// Tuples processed per worker slot.
+    pub per_worker_processed: Vec<u64>,
+    /// All key state at shutdown (sorted by key) for validation.
+    pub final_states: Vec<(Key, Bytes)>,
+    /// The collector's result rows, if a collector ran.
+    pub collector_result: Vec<(u64, u64)>,
+}
+
+/// A planned migration waiting its turn (one in flight at a time).
+struct PlannedMigration {
+    /// Moves grouped by source worker.
+    by_source: FxHashMap<TaskId, Vec<(Key, TaskId)>>,
+    affected: Vec<Key>,
+    view: RoutingView,
+}
+
+/// An in-flight migration epoch.
+struct ActiveMigration {
+    epoch: u64,
+    plan: PlannedMigration,
+    awaiting_out: FxHashSet<TaskId>,
+    collected: Vec<(Key, TaskId, Bytes)>,
+    awaiting_install: FxHashSet<TaskId>,
+}
+
+/// Shared ingredients for spawning worker threads (initially and on
+/// scale-out).
+struct WorkerSpawner {
+    event_tx: Sender<WorkerEvent>,
+    col_tx: Option<Sender<Tuple>>,
+    spin_work: u32,
+    window: u64,
+    counter: Arc<Counter>,
+    epoch: Instant,
+}
+
+impl WorkerSpawner {
+    fn spawn<'scope>(
+        &self,
+        s: &'scope std::thread::Scope<'scope, '_>,
+        id: usize,
+        rx: Receiver<Message>,
+        op: Box<dyn Operator>,
+        start_interval: u64,
+    ) {
+        let ctx = WorkerCtx {
+            id: TaskId::from(id),
+            rx,
+            events: self.event_tx.clone(),
+            collector: self.col_tx.clone(),
+            op,
+            spin_work: self.spin_work,
+            window: self.window,
+            processed_counter: Arc::clone(&self.counter),
+            epoch: self.epoch,
+            start_interval,
+        };
+        s.spawn(move || run_worker(ctx));
+    }
+}
+
+/// The engine: call [`Engine::run`].
+pub struct Engine;
+
+impl Engine {
+    /// Runs a topology to completion and returns the report.
+    ///
+    /// * `partitioner` — the routing strategy under test (owned by the
+    ///   controller, which runs on the calling thread).
+    /// * `op_factory` — builds the keyed operator for each worker slot.
+    /// * `feeder` — called with the interval index on the source thread;
+    ///   returns that interval's tuples, or `None` to finish.
+    /// * `collector` — optional downstream stage receiving operator
+    ///   emissions (PKG merger, Q5 aggregation).
+    pub fn run<F, OF>(
+        config: EngineConfig,
+        mut partitioner: Box<dyn Partitioner>,
+        mut op_factory: OF,
+        feeder: F,
+        collector: Option<Box<dyn Collector>>,
+    ) -> EngineReport
+    where
+        F: FnMut(u64) -> Option<Vec<Tuple>> + Send,
+        OF: FnMut(TaskId) -> Box<dyn Operator>,
+    {
+        let t0 = Instant::now();
+        let max_workers = config.max_workers.max(config.n_workers);
+        assert!(config.n_workers >= 1, "need at least one worker");
+        assert_eq!(
+            partitioner.n_tasks(),
+            config.n_workers,
+            "partitioner and engine must agree on initial parallelism"
+        );
+
+        // Channels.
+        let mut worker_txs: Vec<Sender<Message>> = Vec::with_capacity(max_workers);
+        let mut worker_rxs: Vec<Option<Receiver<Message>>> = Vec::with_capacity(max_workers);
+        for _ in 0..max_workers {
+            let (tx, rx) = bounded(config.channel_capacity);
+            worker_txs.push(tx);
+            worker_rxs.push(Some(rx));
+        }
+        let (event_tx, event_rx) = unbounded::<WorkerEvent>();
+        let (ctl_tx, ctl_rx) = unbounded::<SourceCtl>();
+        let (src_evt_tx, src_evt_rx) = unbounded::<SourceEvent>();
+        let (col_tx, col_rx) = bounded::<Tuple>(config.collector_capacity);
+
+        let counter = Arc::new(Counter::new());
+        let stop = Arc::new(AtomicBool::new(false));
+        let has_collector = collector.is_some();
+
+        let name = partitioner.name();
+        let initial_view = partitioner.routing_view();
+
+        let mut report = EngineReport {
+            name,
+            processed: 0,
+            wall: Duration::ZERO,
+            mean_throughput: 0.0,
+            throughput: TimeSeries::labelled("throughput"),
+            interval_throughput: TimeSeries::labelled("interval throughput"),
+            latency_us: Histogram::new(),
+            rebalances: 0,
+            migrated_keys: 0,
+            migrated_bytes: 0,
+            per_worker_processed: vec![0; max_workers],
+            final_states: Vec::new(),
+            collector_result: Vec::new(),
+        };
+
+        std::thread::scope(|s| {
+            // --- workers -------------------------------------------------
+            let spawner = WorkerSpawner {
+                event_tx: event_tx.clone(),
+                col_tx: has_collector.then(|| col_tx.clone()),
+                spin_work: config.spin_work,
+                window: config.window as u64,
+                counter: Arc::clone(&counter),
+                epoch: t0,
+            };
+            for (d, slot) in worker_rxs.iter_mut().enumerate().take(config.n_workers) {
+                let rx = slot.take().expect("slot free");
+                spawner.spawn(s, d, rx, op_factory(TaskId::from(d)), 0);
+            }
+
+            // --- collector -----------------------------------------------
+            let col_handle = collector.map(|mut c| {
+                s.spawn(move || {
+                    while let Ok(t) = col_rx.recv() {
+                        c.collect(&t);
+                    }
+                    c.result()
+                })
+            });
+
+            // --- throughput sampler ---------------------------------------
+            let sampler = {
+                let counter = Arc::clone(&counter);
+                let stop = Arc::clone(&stop);
+                s.spawn(move || {
+                    let meter = RateMeter::new();
+                    let mut series = TimeSeries::labelled("throughput");
+                    while !stop.load(Ordering::Relaxed) {
+                        std::thread::sleep(Duration::from_millis(50));
+                        meter.sample(&counter);
+                    }
+                    for &(t, v) in &meter.series() {
+                        series.push(t, v);
+                    }
+                    series
+                })
+            };
+
+            // --- source ---------------------------------------------------
+            let src_worker_txs = worker_txs.clone();
+            s.spawn(move || {
+                source_loop(feeder, initial_view, src_worker_txs, ctl_rx, src_evt_tx, t0)
+            });
+
+            // --- controller (this thread) ----------------------------------
+            let mut active = config.n_workers;
+            let mut pending: Option<ActiveMigration> = None;
+            let mut queue: VecDeque<PlannedMigration> = VecDeque::new();
+            let mut next_epoch = 0u64;
+            // Per round: (merged stats, reports received, reports expected).
+            // The expected count is pinned at issue time — scale-out must
+            // not retroactively change how many workers a round waits for.
+            let mut stats_acc: FxHashMap<u64, (IntervalStats, usize, usize)> =
+                FxHashMap::default();
+            let mut outstanding_stats = 0usize;
+            let mut source_finished = false;
+            let mut draining = false;
+            let mut drained = 0usize;
+            let mut last_interval_mark = (Instant::now(), 0u64);
+
+            let mut select = Select::new();
+            let src_idx = select.recv(&src_evt_rx);
+            let _evt_idx = select.recv(&event_rx);
+
+            loop {
+                let op_ready = select.select();
+                match op_ready.index() {
+                    i if i == src_idx => {
+                        let Ok(ev) = op_ready.recv(&src_evt_rx) else {
+                            continue;
+                        };
+                        match ev {
+                            SourceEvent::IntervalDone { interval } => {
+                                // Interval throughput point.
+                                let now = Instant::now();
+                                let count = counter.get();
+                                let dt = now
+                                    .duration_since(last_interval_mark.0)
+                                    .as_secs_f64()
+                                    .max(1e-9);
+                                report.interval_throughput.push(
+                                    interval as f64,
+                                    (count - last_interval_mark.1) as f64 / dt,
+                                );
+                                last_interval_mark = (now, count);
+                                // In-band stats round.
+                                for tx in worker_txs.iter().take(active) {
+                                    let _ = tx.send(Message::StatsRequest { interval });
+                                }
+                                stats_acc.insert(interval, (IntervalStats::new(), 0, active));
+                                outstanding_stats += 1;
+                            }
+                            SourceEvent::PauseAck { epoch } => {
+                                let m = pending
+                                    .as_mut()
+                                    .expect("ack without pending migration");
+                                debug_assert_eq!(m.epoch, epoch);
+                                for (&w, moves) in &m.plan.by_source {
+                                    m.awaiting_out.insert(w);
+                                    let _ = worker_txs[w.index()].send(Message::MigrateOut {
+                                        epoch,
+                                        moves: moves.clone(),
+                                    });
+                                }
+                                if m.awaiting_out.is_empty() {
+                                    // Degenerate plan: resume immediately.
+                                    let _ = ctl_tx.send(SourceCtl::Resume {
+                                        epoch,
+                                        view: m.plan.view.clone(),
+                                    });
+                                    pending = None;
+                                }
+                            }
+                            SourceEvent::Finished => {
+                                source_finished = true;
+                            }
+                        }
+                    }
+                    _ => {
+                        let Ok(ev) = op_ready.recv(&event_rx) else {
+                            continue;
+                        };
+                        match ev {
+                            WorkerEvent::Stats {
+                                interval, stats, ..
+                            } => {
+                                let entry = stats_acc
+                                    .get_mut(&interval)
+                                    .expect("stats for unknown round");
+                                entry.0.merge(&stats);
+                                entry.1 += 1;
+                                if entry.1 == entry.2 {
+                                    let (merged, _, _) = stats_acc.remove(&interval).unwrap();
+                                    outstanding_stats -= 1;
+                                    // Scale-out between rounds (Fig. 15).
+                                    if config.scale_out_at == Some(interval)
+                                        && active < max_workers
+                                    {
+                                        let live: Vec<Key> =
+                                            merged.iter().map(|(k, _)| k).collect();
+                                        let rx = worker_rxs[active].take().expect("slot");
+                                        spawner.spawn(
+                                            s,
+                                            active,
+                                            rx,
+                                            op_factory(TaskId::from(active)),
+                                            interval + 1,
+                                        );
+                                        partitioner.scale_out(&live);
+                                        active += 1;
+                                        let _ = ctl_tx.send(SourceCtl::UpdateView {
+                                            view: partitioner.routing_view(),
+                                        });
+                                    }
+                                    if let Some(out) = partitioner.end_interval(merged) {
+                                        if !out.plan.is_empty() {
+                                            report.rebalances += 1;
+                                            report.migrated_keys +=
+                                                out.plan.keys_moved() as u64;
+                                            report.migrated_bytes += out.plan.cost_bytes();
+                                            let mut by_source: FxHashMap<
+                                                TaskId,
+                                                Vec<(Key, TaskId)>,
+                                            > = FxHashMap::default();
+                                            let mut affected =
+                                                Vec::with_capacity(out.plan.keys_moved());
+                                            for mv in out.plan.moves() {
+                                                affected.push(mv.key);
+                                                by_source
+                                                    .entry(mv.from)
+                                                    .or_default()
+                                                    .push((mv.key, mv.to));
+                                            }
+                                            queue.push_back(PlannedMigration {
+                                                by_source,
+                                                affected,
+                                                view: partitioner.routing_view(),
+                                            });
+                                        }
+                                    }
+                                }
+                            }
+                            WorkerEvent::StateOut {
+                                worker,
+                                epoch,
+                                states,
+                            } => {
+                                let m =
+                                    pending.as_mut().expect("state without migration");
+                                debug_assert_eq!(m.epoch, epoch);
+                                m.collected.extend(states);
+                                m.awaiting_out.remove(&worker);
+                                if m.awaiting_out.is_empty() {
+                                    // Step 5b: forward to destinations.
+                                    let mut by_dest: FxHashMap<TaskId, Vec<(Key, Bytes)>> =
+                                        FxHashMap::default();
+                                    for (k, to, blob) in m.collected.drain(..) {
+                                        by_dest.entry(to).or_default().push((k, blob));
+                                    }
+                                    if by_dest.is_empty() {
+                                        let _ = ctl_tx.send(SourceCtl::Resume {
+                                            epoch,
+                                            view: m.plan.view.clone(),
+                                        });
+                                        pending = None;
+                                    } else {
+                                        for (dest, states) in by_dest {
+                                            m.awaiting_install.insert(dest);
+                                            let _ = worker_txs[dest.index()].send(
+                                                Message::StateInstall { epoch, states },
+                                            );
+                                        }
+                                    }
+                                }
+                            }
+                            WorkerEvent::InstallAck { worker, epoch } => {
+                                let m = pending.as_mut().expect("ack without migration");
+                                debug_assert_eq!(m.epoch, epoch);
+                                m.awaiting_install.remove(&worker);
+                                if m.awaiting_install.is_empty() {
+                                    // Step 7: resume with F′.
+                                    let _ = ctl_tx.send(SourceCtl::Resume {
+                                        epoch,
+                                        view: m.plan.view.clone(),
+                                    });
+                                    pending = None;
+                                }
+                            }
+                            WorkerEvent::Drained {
+                                worker,
+                                final_states,
+                                processed,
+                                latency,
+                            } => {
+                                report.per_worker_processed[worker.index()] = processed;
+                                report.processed += processed;
+                                report.latency_us.merge(&latency);
+                                report.final_states.extend(final_states);
+                                drained += 1;
+                                if drained == active {
+                                    break;
+                                }
+                            }
+                        }
+                    }
+                }
+
+                // Start the next queued migration when idle.
+                if pending.is_none() {
+                    if let Some(plan) = queue.pop_front() {
+                        next_epoch += 1;
+                        let _ = ctl_tx.send(SourceCtl::Pause {
+                            epoch: next_epoch,
+                            affected: plan.affected.clone(),
+                        });
+                        pending = Some(ActiveMigration {
+                            epoch: next_epoch,
+                            plan,
+                            awaiting_out: FxHashSet::default(),
+                            collected: Vec::new(),
+                            awaiting_install: FxHashSet::default(),
+                        });
+                    }
+                }
+
+                // Shutdown when fully quiesced.
+                if source_finished
+                    && !draining
+                    && pending.is_none()
+                    && queue.is_empty()
+                    && outstanding_stats == 0
+                {
+                    draining = true;
+                    for tx in worker_txs.iter().take(active) {
+                        let _ = tx.send(Message::Shutdown);
+                    }
+                }
+            }
+
+            // All workers drained. Tear down the auxiliaries. The spawner
+            // holds a collector-sender clone; it must drop before the
+            // collector join, or the collector never observes closure.
+            let _ = ctl_tx.send(SourceCtl::Shutdown);
+            stop.store(true, Ordering::Relaxed);
+            drop(spawner);
+            drop(col_tx);
+            report.throughput = sampler.join().expect("sampler");
+            if let Some(h) = col_handle {
+                report.collector_result = h.join().expect("collector");
+            }
+            report.final_states.sort_unstable_by_key(|&(k, _)| k);
+        });
+
+        report.wall = t0.elapsed();
+        report.mean_throughput = report.processed as f64 / report.wall.as_secs_f64().max(1e-9);
+        report
+    }
+}
+
+/// The source thread: feeds tuples, honours pause/resume, reports
+/// interval boundaries.
+fn source_loop<F>(
+    mut feeder: F,
+    view: RoutingView,
+    worker_txs: Vec<Sender<Message>>,
+    ctl: Receiver<SourceCtl>,
+    events: Sender<SourceEvent>,
+    epoch: Instant,
+) where
+    F: FnMut(u64) -> Option<Vec<Tuple>> + Send,
+{
+    let mut router = SourceRouter::from_view(view);
+    let mut paused: Option<(u64, FxHashSet<Key>)> = None;
+    let mut buffer: Vec<Tuple> = Vec::new();
+
+    // Drains pending control messages; returns false on Shutdown.
+    let handle_ctl = |msg: SourceCtl,
+                          router: &mut SourceRouter,
+                          paused: &mut Option<(u64, FxHashSet<Key>)>,
+                          buffer: &mut Vec<Tuple>|
+     -> bool {
+        match msg {
+            SourceCtl::Pause { epoch, affected } => {
+                *paused = Some((epoch, affected.into_iter().collect()));
+                let _ = events.send(SourceEvent::PauseAck { epoch });
+            }
+            SourceCtl::Resume { epoch: _, view } => {
+                router.update(view);
+                for t in buffer.drain(..) {
+                    let d = router.route(t.key);
+                    let _ = worker_txs[d.index()].send(Message::Tuple(t));
+                }
+                *paused = None;
+            }
+            SourceCtl::UpdateView { view } => router.update(view),
+            SourceCtl::Shutdown => return false,
+        }
+        true
+    };
+
+    let mut interval = 0u64;
+    'feed: loop {
+        let Some(tuples) = feeder(interval) else {
+            break 'feed;
+        };
+        for (i, mut t) in tuples.into_iter().enumerate() {
+            if i % 64 == 0 {
+                while let Ok(msg) = ctl.try_recv() {
+                    if !handle_ctl(msg, &mut router, &mut paused, &mut buffer) {
+                        return;
+                    }
+                }
+            }
+            t.emitted_us = epoch.elapsed().as_micros() as u64;
+            if let Some((_, affected)) = &paused {
+                if affected.contains(&t.key) {
+                    buffer.push(t);
+                    continue;
+                }
+            }
+            let d = router.route(t.key);
+            let _ = worker_txs[d.index()].send(Message::Tuple(t));
+        }
+        while let Ok(msg) = ctl.try_recv() {
+            if !handle_ctl(msg, &mut router, &mut paused, &mut buffer) {
+                return;
+            }
+        }
+        let _ = events.send(SourceEvent::IntervalDone { interval });
+        interval += 1;
+    }
+    let _ = events.send(SourceEvent::Finished);
+
+    // Stay responsive to control traffic (in-flight migrations) until the
+    // controller says shutdown.
+    while let Ok(msg) = ctl.recv() {
+        if !handle_ctl(msg, &mut router, &mut paused, &mut buffer) {
+            return;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::operator::WordCountOp;
+    use streambal_baselines::{CoreBalancer, HashPartitioner};
+    use streambal_core::{BalanceParams, RebalanceStrategy};
+    use streambal_workloads::FluctuatingWorkload;
+
+    /// Reference word counts for a tuple sequence.
+    fn reference_counts(tuples: &[Vec<Key>]) -> FxHashMap<Key, u64> {
+        let mut m = FxHashMap::default();
+        for iv in tuples {
+            for &k in iv {
+                *m.entry(k).or_insert(0) += 1;
+            }
+        }
+        m
+    }
+
+    fn decode_counts(states: &[(Key, Bytes)]) -> FxHashMap<Key, u64> {
+        let mut m = FxHashMap::default();
+        for (k, blob) in states {
+            let total: u64 = WordCountOp::decode(blob).iter().map(|&(_, c)| c).sum();
+            *m.entry(*k).or_insert(0) += total;
+        }
+        m
+    }
+
+    fn small_config() -> EngineConfig {
+        EngineConfig {
+            n_workers: 3,
+            max_workers: 3,
+            channel_capacity: 256,
+            collector_capacity: 64,
+            spin_work: 10,
+            window: 100, // keep everything: exact count validation
+            scale_out_at: None,
+        }
+    }
+
+    #[test]
+    fn word_count_exact_under_hash() {
+        let mut w = FluctuatingWorkload::new(200, 0.9, 3_000, 0.0, 11);
+        let intervals: Vec<Vec<Key>> = (0..3).map(|_| w.tuples()).collect();
+        let expect = reference_counts(&intervals);
+        let feed = intervals.clone();
+        let report = Engine::run(
+            small_config(),
+            Box::new(HashPartitioner::new(3)),
+            |_| Box::new(WordCountOp::new()),
+            move |iv| feed.get(iv as usize).map(|ks| {
+                ks.iter().map(|&k| Tuple::keyed(k)).collect()
+            }),
+            None,
+        );
+        assert_eq!(report.processed, intervals.iter().map(|v| v.len() as u64).sum());
+        assert_eq!(decode_counts(&report.final_states), expect);
+        assert_eq!(report.rebalances, 0);
+    }
+
+    #[test]
+    fn word_count_exact_under_mixed_with_migrations() {
+        // Skewed + fluctuating: Mixed must fire migrations, and the final
+        // counts must still be exact (no tuple lost or double-counted, no
+        // state lost in flight).
+        let mut w = FluctuatingWorkload::new(300, 1.0, 5_000, 0.8, 23);
+        let mut intervals: Vec<Vec<Key>> = Vec::new();
+        for _ in 0..5 {
+            intervals.push(w.tuples());
+            w.advance(3, |k| TaskId::from((k.raw() % 3) as usize));
+        }
+        let expect = reference_counts(&intervals);
+        let feed = intervals.clone();
+        let report = Engine::run(
+            small_config(),
+            Box::new(CoreBalancer::new(
+                3,
+                100,
+                RebalanceStrategy::Mixed,
+                BalanceParams {
+                    theta_max: 0.05,
+                    ..BalanceParams::default()
+                },
+            )),
+            |_| Box::new(WordCountOp::new()),
+            move |iv| feed.get(iv as usize).map(|ks| {
+                ks.iter().map(|&k| Tuple::keyed(k)).collect()
+            }),
+            None,
+        );
+        assert!(report.rebalances > 0, "skew must trigger migration");
+        assert!(report.migrated_keys > 0);
+        assert_eq!(decode_counts(&report.final_states), expect, "exactly-once");
+    }
+
+    #[test]
+    fn latency_and_throughput_recorded() {
+        let report = Engine::run(
+            small_config(),
+            Box::new(HashPartitioner::new(3)),
+            |_| Box::new(WordCountOp::new()),
+            |iv| {
+                (iv < 2).then(|| (0..2000u64).map(|i| Tuple::keyed(Key(i % 50))).collect())
+            },
+            None,
+        );
+        assert_eq!(report.processed, 4000);
+        assert!(report.latency_us.count() == 4000);
+        assert!(report.latency_us.mean() > 0.0);
+        assert!(report.mean_throughput > 0.0);
+        assert_eq!(report.interval_throughput.len(), 2);
+    }
+
+    #[test]
+    fn pkg_partials_merge_to_exact_counts() {
+        use crate::operator::SumCollector;
+        use streambal_baselines::PkgPartitioner;
+        let mut w = FluctuatingWorkload::new(100, 0.9, 4_000, 0.0, 7);
+        let intervals: Vec<Vec<Key>> = (0..3).map(|_| {
+            let t = w.tuples();
+            w.advance(3, |k| TaskId::from((k.raw() % 3) as usize));
+            t
+        }).collect();
+        let expect = reference_counts(&intervals);
+        let feed = intervals.clone();
+        let report = Engine::run(
+            small_config(),
+            Box::new(PkgPartitioner::new(3)),
+            |_| Box::new(WordCountOp::with_partial_emission(16)),
+            move |iv| feed.get(iv as usize).map(|ks| {
+                ks.iter().map(|&k| Tuple::keyed(k)).collect()
+            }),
+            Some(Box::new(SumCollector::new())),
+        );
+        // The merged partial counts must equal the reference exactly.
+        let merged: FxHashMap<Key, u64> = report
+            .collector_result
+            .iter()
+            .map(|&(k, v)| (Key(k), v))
+            .collect();
+        assert_eq!(merged, expect, "partial/merge must reconstruct counts");
+    }
+
+    #[test]
+    fn scale_out_adds_worker_and_keeps_counts_exact() {
+        let mut w = FluctuatingWorkload::new(200, 0.9, 4_000, 0.0, 31);
+        let intervals: Vec<Vec<Key>> = (0..6).map(|_| w.tuples()).collect();
+        let expect = reference_counts(&intervals);
+        let feed = intervals.clone();
+        let config = EngineConfig {
+            n_workers: 2,
+            max_workers: 3,
+            scale_out_at: Some(2),
+            ..small_config()
+        };
+        let report = Engine::run(
+            config,
+            Box::new(CoreBalancer::new(
+                2,
+                100,
+                RebalanceStrategy::Mixed,
+                BalanceParams {
+                    theta_max: 0.1,
+                    ..BalanceParams::default()
+                },
+            )),
+            |_| Box::new(WordCountOp::new()),
+            move |iv| feed.get(iv as usize).map(|ks| {
+                ks.iter().map(|&k| Tuple::keyed(k)).collect()
+            }),
+            None,
+        );
+        // The third worker processed something after joining.
+        assert!(
+            report.per_worker_processed[2] > 0,
+            "new worker got traffic: {:?}",
+            report.per_worker_processed
+        );
+        assert_eq!(decode_counts(&report.final_states), expect);
+    }
+
+    #[test]
+    fn backpressure_with_tiny_channels_terminates() {
+        let config = EngineConfig {
+            channel_capacity: 4,
+            collector_capacity: 2,
+            ..small_config()
+        };
+        let report = Engine::run(
+            config,
+            Box::new(HashPartitioner::new(3)),
+            |_| Box::new(WordCountOp::new()),
+            |iv| (iv < 2).then(|| (0..500u64).map(|i| Tuple::keyed(Key(i % 7))).collect()),
+            None,
+        );
+        assert_eq!(report.processed, 1000);
+    }
+
+    #[test]
+    #[should_panic(expected = "must agree")]
+    fn mismatched_parallelism_panics() {
+        let _ = Engine::run(
+            small_config(), // 3 workers
+            Box::new(HashPartitioner::new(2)),
+            |_| Box::new(WordCountOp::new()),
+            |_| None,
+            None,
+        );
+    }
+}

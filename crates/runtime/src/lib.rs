@@ -1,0 +1,59 @@
+//! # streambal-runtime
+//!
+//! A thread-based mini stream-processing engine — the workspace's
+//! substitute for the Apache Storm deployment the paper evaluates on.
+//!
+//! ## Shape
+//!
+//! ```text
+//!  Source thread ──(bounded channels: backpressure)──▶ Worker threads (keyed, stateful)
+//!       ▲   │                                              │        │
+//!       │   └───────────── interval markers ───────────────┼──▶ Collector thread
+//!       │                                                  │     (merge / aggregate)
+//!  Controller (Fig. 5 protocol) ◀───── events ─────────────┘
+//! ```
+//!
+//! * The **source** pulls tuples from a feeder closure, stamps them, and
+//!   routes them with a local [`SourceRouter`] snapshot — the "tuples
+//!   router" of Fig. 5.
+//! * **Workers** are downstream task instances: one thread per instance,
+//!   one bounded input channel each (full channel = backpressure, the
+//!   "backpushing effect" of the paper's Fig. 1). They run an
+//!   [`Operator`], keep windowed per-key state, and account per-key
+//!   statistics.
+//! * The **controller** implements the paper's rebalance workflow
+//!   (Fig. 5): ① collect per-interval statistics; ② run the partitioner's
+//!   rebalance; ③④ broadcast the plan and pause affected keys at the
+//!   source (which buffers them); ⑤ migrate key state between workers via
+//!   in-band messages; ⑥ collect acks; ⑦ resume with the new routing
+//!   table. Tuples of unaffected keys keep flowing throughout.
+//!
+//! In-band delivery over FIFO channels gives exactly-once state movement:
+//! `MigrateOut` markers are enqueued only after the source acknowledged
+//! the pause, so they land *behind* every pre-pause tuple; `Resume` is
+//! sent only after the destination acknowledged installation, so
+//! post-resume tuples land behind the installed state.
+//!
+//! CPU saturation is emulated by `spin_work` busy-iterations per tuple,
+//! mirroring the paper's "controlling the latency on tuple processing to
+//! force the system to a saturation point".
+
+pub mod codec;
+pub mod engine;
+pub mod message;
+pub mod operator;
+pub mod router;
+pub mod topk;
+pub mod tuple;
+pub mod worker;
+
+pub use codec::{decode_plan, decode_view, encode_plan, encode_view, CodecError};
+pub use engine::{Engine, EngineConfig, EngineReport};
+pub use message::{Message, SourceCtl, SourceEvent, WorkerEvent};
+pub use operator::{
+    CoJoinOp, Collector, CountingCollector, Operator, SumCollector, WindowedSelfJoinOp,
+    WordCountOp,
+};
+pub use router::SourceRouter;
+pub use topk::TopKOp;
+pub use tuple::{Tuple, TAG_DEFAULT, TAG_LEFT, TAG_PARTIAL, TAG_RIGHT};

@@ -1,0 +1,124 @@
+//! Channel message types: worker inputs, worker events, source control.
+
+use bytes::Bytes;
+use streambal_baselines::RoutingView;
+use streambal_core::{IntervalStats, Key, TaskId};
+
+use crate::tuple::Tuple;
+
+/// Messages flowing into a worker's input channel. Tuples and control
+/// markers share the channel, so FIFO ordering *is* the migration
+/// consistency argument (see crate docs).
+#[derive(Debug)]
+pub enum Message {
+    /// A data tuple.
+    Tuple(Tuple),
+    /// Interval boundary: report statistics, advance the window.
+    StatsRequest {
+        /// The interval being closed.
+        interval: u64,
+    },
+    /// Step 5a of Fig. 5: extract and ship state for the listed keys.
+    MigrateOut {
+        /// Migration epoch (one rebalance = one epoch).
+        epoch: u64,
+        /// `(key, destination)` pairs whose state must leave this worker.
+        moves: Vec<(Key, TaskId)>,
+    },
+    /// Step 5b: install state arriving from peers.
+    StateInstall {
+        /// Migration epoch.
+        epoch: u64,
+        /// `(key, serialized state)` pairs.
+        states: Vec<(Key, Bytes)>,
+    },
+    /// Drain final state and exit.
+    Shutdown,
+}
+
+/// Events workers send the controller (unbounded channel — workers never
+/// block on the controller, which rules out protocol deadlocks).
+#[derive(Debug)]
+pub enum WorkerEvent {
+    /// Response to [`Message::StatsRequest`].
+    Stats {
+        /// Reporting worker.
+        worker: TaskId,
+        /// Closed interval.
+        interval: u64,
+        /// Statistics collected since the previous request.
+        stats: IntervalStats,
+    },
+    /// Response to [`Message::MigrateOut`]: extracted states (step 6a).
+    StateOut {
+        /// Source worker.
+        worker: TaskId,
+        /// Migration epoch.
+        epoch: u64,
+        /// `(key, destination, state)` triples.
+        states: Vec<(Key, TaskId, Bytes)>,
+    },
+    /// Response to [`Message::StateInstall`] (step 6b ack).
+    InstallAck {
+        /// Installing worker.
+        worker: TaskId,
+        /// Migration epoch.
+        epoch: u64,
+    },
+    /// Response to [`Message::Shutdown`]: final state for validation.
+    Drained {
+        /// Exiting worker.
+        worker: TaskId,
+        /// All remaining `(key, state)` pairs.
+        final_states: Vec<(Key, Bytes)>,
+        /// Tuples this worker processed over its lifetime.
+        processed: u64,
+        /// This worker's end-to-end tuple latency distribution (µs).
+        latency: Box<streambal_metrics::Histogram>,
+    },
+}
+
+/// Control messages from the controller to the source ("tuples router").
+#[derive(Debug)]
+pub enum SourceCtl {
+    /// Step 4 of Fig. 5: stop sending (and locally buffer) the affected
+    /// keys; acknowledge via [`SourceEvent::PauseAck`].
+    Pause {
+        /// Migration epoch.
+        epoch: u64,
+        /// Keys in `Δ(F, F′)`.
+        affected: Vec<Key>,
+    },
+    /// Step 7: switch to the new routing view and flush buffered tuples.
+    Resume {
+        /// Migration epoch.
+        epoch: u64,
+        /// The new routing function `F′`.
+        view: RoutingView,
+    },
+    /// Routing view changed without migration (e.g. hash-only scale-out).
+    UpdateView {
+        /// The new routing function.
+        view: RoutingView,
+    },
+    /// Exit the source loop.
+    Shutdown,
+}
+
+/// Events the source sends the controller.
+#[derive(Debug)]
+pub enum SourceEvent {
+    /// All tuples of `interval` have been enqueued downstream.
+    IntervalDone {
+        /// The finished interval.
+        interval: u64,
+    },
+    /// Acknowledges [`SourceCtl::Pause`]: no further affected-key tuples
+    /// are in flight beyond what is already enqueued.
+    PauseAck {
+        /// Migration epoch.
+        epoch: u64,
+    },
+    /// The feeder is exhausted; no more tuples will ever be emitted.
+    Finished,
+}

@@ -1,0 +1,156 @@
+//! The source-side router: a materialized [`RoutingView`].
+
+use streambal_baselines::RoutingView;
+use streambal_core::{AssignmentFn, Key, TaskId};
+
+/// Evaluates a routing view per tuple on the source thread.
+///
+/// For [`RoutingView::TablePlusHash`] this is exactly Eq. 1: a table probe
+/// with a consistent-hash fallback (the ring is rebuilt deterministically
+/// from `n_tasks`, so every holder of the view routes identically). For
+/// PKG it keeps local load estimates; for shuffle, a round-robin cursor.
+#[derive(Debug)]
+pub enum SourceRouter {
+    /// Mixed table + hash (core strategies, Readj, plain hash).
+    Assignment(AssignmentFn),
+    /// PKG power-of-two-choices with local estimates.
+    TwoChoice {
+        /// Slot count.
+        n: usize,
+        /// Local per-slot load estimates (tuples routed).
+        est: Vec<u64>,
+    },
+    /// Round-robin.
+    RoundRobin {
+        /// Slot count.
+        n: usize,
+        /// Next slot.
+        next: usize,
+    },
+}
+
+impl SourceRouter {
+    /// Materializes a view.
+    pub fn from_view(view: RoutingView) -> Self {
+        match view {
+            RoutingView::TablePlusHash { table, n_tasks } => {
+                SourceRouter::Assignment(AssignmentFn::with_table(n_tasks, table))
+            }
+            RoutingView::TwoChoice { n_tasks } => SourceRouter::TwoChoice {
+                n: n_tasks,
+                est: vec![0; n_tasks],
+            },
+            RoutingView::RoundRobin { n_tasks } => SourceRouter::RoundRobin {
+                n: n_tasks,
+                next: 0,
+            },
+        }
+    }
+
+    /// Replaces the routing function, preserving PKG's local estimates
+    /// where slot counts allow.
+    pub fn update(&mut self, view: RoutingView) {
+        if let (SourceRouter::TwoChoice { n, est }, RoutingView::TwoChoice { n_tasks }) =
+            (&mut *self, &view)
+        {
+            est.resize(*n_tasks, 0);
+            *n = *n_tasks;
+            return;
+        }
+        *self = SourceRouter::from_view(view);
+    }
+
+    /// Routes one key.
+    #[inline]
+    pub fn route(&mut self, key: Key) -> TaskId {
+        match self {
+            SourceRouter::Assignment(a) => a.route(key),
+            SourceRouter::TwoChoice { n, est } => {
+                let (a, b) = streambal_hashring::two_choices(key.raw(), *n);
+                let d = if est[a] <= est[b] { a } else { b };
+                est[d] += 1;
+                TaskId::from(d)
+            }
+            SourceRouter::RoundRobin { n, next } => {
+                let d = *next;
+                *next = (*next + 1) % *n;
+                TaskId::from(d)
+            }
+        }
+    }
+
+    /// Current slot count.
+    pub fn n_tasks(&self) -> usize {
+        match self {
+            SourceRouter::Assignment(a) => a.n_tasks(),
+            SourceRouter::TwoChoice { n, .. } | SourceRouter::RoundRobin { n, .. } => *n,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use streambal_core::RoutingTable;
+
+    #[test]
+    fn table_plus_hash_matches_assignment_fn() {
+        let mut table = RoutingTable::new();
+        table.insert(Key(3), TaskId(1));
+        let mut r = SourceRouter::from_view(RoutingView::TablePlusHash {
+            table: table.clone(),
+            n_tasks: 4,
+        });
+        let reference = AssignmentFn::with_table(4, table);
+        for k in 0..200u64 {
+            assert_eq!(r.route(Key(k)), reference.route(Key(k)));
+        }
+    }
+
+    #[test]
+    fn deterministic_ring_across_holders() {
+        // Two independent materializations of the same view route alike —
+        // the property that lets the controller and sources stay in sync.
+        let view = RoutingView::TablePlusHash {
+            table: RoutingTable::new(),
+            n_tasks: 7,
+        };
+        let mut a = SourceRouter::from_view(view.clone());
+        let mut b = SourceRouter::from_view(view);
+        for k in 0..500u64 {
+            assert_eq!(a.route(Key(k)), b.route(Key(k)));
+        }
+    }
+
+    #[test]
+    fn two_choice_routes_in_choice_set() {
+        let mut r = SourceRouter::from_view(RoutingView::TwoChoice { n_tasks: 6 });
+        for k in 0..100u64 {
+            let (a, b) = streambal_hashring::two_choices(k, 6);
+            let d = r.route(Key(k)).index();
+            assert!(d == a || d == b);
+        }
+    }
+
+    #[test]
+    fn round_robin_cycles() {
+        let mut r = SourceRouter::from_view(RoutingView::RoundRobin { n_tasks: 3 });
+        let seq: Vec<usize> = (0..6).map(|_| r.route(Key(0)).index()).collect();
+        assert_eq!(seq, vec![0, 1, 2, 0, 1, 2]);
+    }
+
+    #[test]
+    fn update_preserves_pkg_estimates() {
+        let mut r = SourceRouter::from_view(RoutingView::TwoChoice { n_tasks: 2 });
+        for _ in 0..10 {
+            r.route(Key(1));
+        }
+        r.update(RoutingView::TwoChoice { n_tasks: 3 });
+        if let SourceRouter::TwoChoice { est, .. } = &r {
+            assert_eq!(est.iter().sum::<u64>(), 10, "estimates preserved");
+            assert_eq!(est.len(), 3);
+        } else {
+            panic!("wrong variant");
+        }
+    }
+}

@@ -1,0 +1,268 @@
+//! A heavy-hitter (top-k) operator built on the Space-Saving summary.
+//!
+//! Word-count topologies often only need the *hottest* keys (trending
+//! topics, most-traded stocks). Space-Saving (Metwally et al., 2005)
+//! tracks at most `capacity` counters with the guarantee that any key
+//! whose true frequency exceeds `N / capacity` is present in the summary,
+//! and every estimate over-counts by at most the smallest tracked count.
+//!
+//! The operator is keyed like the others: each worker summarizes *its*
+//! keys, and per-key migration works by extracting a key's counter and
+//! re-inserting it at the destination — making this the one operator
+//! whose state is a *sketch*, exercising migration of approximate state.
+
+use std::collections::VecDeque;
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use streambal_core::Key;
+use streambal_hashring::FxHashMap;
+
+use crate::operator::Operator;
+use crate::tuple::Tuple;
+
+/// Space-Saving counter state for one key.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Slot {
+    count: u64,
+    /// Maximum possible over-count (the evicted counter's value at
+    /// adoption time).
+    error: u64,
+}
+
+/// The Space-Saving top-k operator.
+#[derive(Debug)]
+pub struct TopKOp {
+    capacity: usize,
+    counters: FxHashMap<Key, Slot>,
+    /// Tuples seen (per instance; diagnostics).
+    observed: u64,
+    /// Recent per-interval arrivals, only for window-eviction accounting
+    /// (the sketch itself is not windowed).
+    recent: VecDeque<(u64, u64)>,
+}
+
+impl TopKOp {
+    /// Creates a summary tracking at most `capacity` keys.
+    ///
+    /// # Panics
+    /// Panics if `capacity == 0`.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "top-k needs at least one counter");
+        TopKOp {
+            capacity,
+            counters: FxHashMap::default(),
+            observed: 0,
+            recent: VecDeque::new(),
+        }
+    }
+
+    /// The current top-`n` estimates, `(key, count, max_error)`, by
+    /// descending count.
+    pub fn top(&self, n: usize) -> Vec<(Key, u64, u64)> {
+        let mut v: Vec<(Key, u64, u64)> = self
+            .counters
+            .iter()
+            .map(|(&k, s)| (k, s.count, s.error))
+            .collect();
+        v.sort_unstable_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        v.truncate(n);
+        v
+    }
+
+    /// Total tuples observed by this instance.
+    pub fn observed(&self) -> u64 {
+        self.observed
+    }
+
+    fn offer(&mut self, key: Key) {
+        self.observed += 1;
+        if let Some(s) = self.counters.get_mut(&key) {
+            s.count += 1;
+            return;
+        }
+        if self.counters.len() < self.capacity {
+            self.counters.insert(key, Slot { count: 1, error: 0 });
+            return;
+        }
+        // Evict the minimum counter; the newcomer adopts its count as its
+        // error bound — the Space-Saving step.
+        let (&victim, &slot) = self
+            .counters
+            .iter()
+            .min_by_key(|(k, s)| (s.count, k.raw()))
+            .expect("non-empty at capacity");
+        self.counters.remove(&victim);
+        self.counters.insert(
+            key,
+            Slot {
+                count: slot.count + 1,
+                error: slot.count,
+            },
+        );
+    }
+}
+
+impl Operator for TopKOp {
+    fn process(&mut self, tuple: &Tuple, _interval: u64, _emit: &mut dyn FnMut(Tuple)) -> u64 {
+        self.offer(tuple.key);
+        // Sketch state is bounded: account bytes only while the summary
+        // still grows.
+        if self.counters.len() < self.capacity {
+            24
+        } else {
+            0
+        }
+    }
+
+    fn state_size(&self, key: Key) -> u64 {
+        if self.counters.contains_key(&key) {
+            24
+        } else {
+            0
+        }
+    }
+
+    fn extract(&mut self, key: Key) -> Option<Bytes> {
+        let slot = self.counters.remove(&key)?;
+        let mut buf = BytesMut::with_capacity(16);
+        buf.put_u64_le(slot.count);
+        buf.put_u64_le(slot.error);
+        Some(buf.freeze())
+    }
+
+    fn install(&mut self, key: Key, blob: Bytes) {
+        let mut buf = blob;
+        if buf.remaining() < 16 {
+            return;
+        }
+        let count = buf.get_u64_le();
+        let error = buf.get_u64_le();
+        let e = self.counters.entry(key).or_insert(Slot { count: 0, error: 0 });
+        e.count += count;
+        e.error += error;
+        // Over capacity after an install: evict minima until bounded.
+        while self.counters.len() > self.capacity {
+            let (&victim, _) = self
+                .counters
+                .iter()
+                .min_by_key(|(k, s)| (s.count, k.raw()))
+                .unwrap();
+            self.counters.remove(&victim);
+        }
+    }
+
+    fn evict_before(&mut self, oldest_keep: u64) {
+        // The sketch is cumulative; only the accounting queue ages out.
+        while self.recent.front().is_some_and(|&(iv, _)| iv < oldest_keep) {
+            self.recent.pop_front();
+        }
+    }
+
+    fn drain(&mut self) -> Vec<(Key, Bytes)> {
+        let keys: Vec<Key> = self.counters.keys().copied().collect();
+        let mut out: Vec<(Key, Bytes)> = keys
+            .into_iter()
+            .filter_map(|k| self.extract(k).map(|b| (k, b)))
+            .collect();
+        out.sort_unstable_by_key(|&(k, _)| k);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn no_emit() -> impl FnMut(Tuple) {
+        |_| {}
+    }
+
+    fn feed(op: &mut TopKOp, key: u64, times: u64) {
+        let mut sink = no_emit();
+        for _ in 0..times {
+            op.process(&Tuple::keyed(Key(key)), 0, &mut sink);
+        }
+    }
+
+    #[test]
+    fn exact_when_under_capacity() {
+        let mut op = TopKOp::new(10);
+        feed(&mut op, 1, 50);
+        feed(&mut op, 2, 30);
+        feed(&mut op, 3, 20);
+        let top = op.top(2);
+        assert_eq!(top[0], (Key(1), 50, 0));
+        assert_eq!(top[1], (Key(2), 30, 0));
+    }
+
+    #[test]
+    fn heavy_hitters_survive_eviction_pressure() {
+        // 4 counters, one dominant key among a churn of singletons.
+        let mut op = TopKOp::new(4);
+        for i in 0..200u64 {
+            feed(&mut op, 1000, 3); // the heavy hitter, every round
+            feed(&mut op, i, 1); // churn
+        }
+        let top = op.top(1);
+        assert_eq!(top[0].0, Key(1000), "heavy hitter must be retained");
+        // Space-Saving guarantee: estimate ≥ true count.
+        assert!(top[0].1 >= 600);
+    }
+
+    #[test]
+    fn error_bound_holds() {
+        let mut op = TopKOp::new(3);
+        for i in 0..50u64 {
+            feed(&mut op, i % 7, 1);
+        }
+        for (_, count, error) in op.top(3) {
+            assert!(error <= count, "error {error} > estimate {count}");
+        }
+        assert_eq!(op.observed(), 50);
+    }
+
+    #[test]
+    fn extract_install_roundtrip_preserves_counts() {
+        let mut a = TopKOp::new(8);
+        feed(&mut a, 5, 40);
+        let blob = a.extract(Key(5)).unwrap();
+        assert!(a.top(8).iter().all(|&(k, _, _)| k != Key(5)));
+        let mut b = TopKOp::new(8);
+        feed(&mut b, 5, 2);
+        b.install(Key(5), blob);
+        let top = b.top(1);
+        assert_eq!(top[0], (Key(5), 42, 0), "counts merge on install");
+    }
+
+    #[test]
+    fn install_respects_capacity() {
+        let mut op = TopKOp::new(2);
+        feed(&mut op, 1, 10);
+        feed(&mut op, 2, 20);
+        let mut blob = BytesMut::new();
+        blob.put_u64_le(5);
+        blob.put_u64_le(0);
+        op.install(Key(3), blob.freeze());
+        assert_eq!(op.top(10).len(), 2, "capacity bound maintained");
+        // The smallest counter (the installed 5) was evicted.
+        assert!(op.top(10).iter().all(|&(k, _, _)| k != Key(3)));
+    }
+
+    #[test]
+    fn drain_returns_all_sorted() {
+        let mut op = TopKOp::new(8);
+        for k in [9u64, 1, 5] {
+            feed(&mut op, k, 2);
+        }
+        let drained = op.drain();
+        let keys: Vec<u64> = drained.iter().map(|(k, _)| k.raw()).collect();
+        assert_eq!(keys, vec![1, 5, 9]);
+        assert!(op.top(8).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one counter")]
+    fn zero_capacity_panics() {
+        TopKOp::new(0);
+    }
+}

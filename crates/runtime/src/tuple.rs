@@ -1,0 +1,73 @@
+//! The wire tuple.
+
+use streambal_core::Key;
+
+/// Default tag for single-stream topologies.
+pub const TAG_DEFAULT: u8 = 0;
+/// Left stream of a co-join (e.g. TPC-H orders).
+pub const TAG_LEFT: u8 = 1;
+/// Right stream of a co-join (e.g. TPC-H lineitems).
+pub const TAG_RIGHT: u8 = 2;
+/// A partial-aggregate emission (PKG's partial/merge pattern).
+pub const TAG_PARTIAL: u8 = 3;
+
+/// A fixed-size key-value tuple.
+///
+/// `Copy` and 40 bytes: channel transfers never allocate. The two value
+/// slots carry operator-specific payloads (e.g. `custkey`/`revenue` for
+/// TPC-H lineitems); richer payloads live in operator state, not on the
+/// wire.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Tuple {
+    /// The partitioning key.
+    pub key: Key,
+    /// Stream tag ([`TAG_DEFAULT`], [`TAG_LEFT`], …).
+    pub tag: u8,
+    /// Operator-specific payload.
+    pub vals: [u64; 2],
+    /// Microseconds since engine start at emission (latency stamping).
+    pub emitted_us: u64,
+}
+
+impl Tuple {
+    /// A bare keyed tuple (word-count style).
+    pub fn keyed(key: Key) -> Self {
+        Tuple {
+            key,
+            tag: TAG_DEFAULT,
+            vals: [0, 0],
+            emitted_us: 0,
+        }
+    }
+
+    /// A tagged tuple with payload.
+    pub fn tagged(key: Key, tag: u8, vals: [u64; 2]) -> Self {
+        Tuple {
+            key,
+            tag,
+            vals,
+            emitted_us: 0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors() {
+        let t = Tuple::keyed(Key(5));
+        assert_eq!(t.key, Key(5));
+        assert_eq!(t.tag, TAG_DEFAULT);
+        let j = Tuple::tagged(Key(1), TAG_LEFT, [7, 8]);
+        assert_eq!(j.vals, [7, 8]);
+        assert_eq!(j.tag, TAG_LEFT);
+    }
+
+    #[test]
+    fn tuple_is_small() {
+        // Keep the wire type within a cache line half; channels copy it.
+        assert!(std::mem::size_of::<Tuple>() <= 40);
+    }
+}

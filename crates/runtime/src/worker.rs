@@ -1,0 +1,268 @@
+//! The worker (downstream task instance) thread loop.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use crossbeam::channel::{Receiver, Sender};
+use streambal_core::{IntervalStats, TaskId};
+use streambal_metrics::{Counter, Histogram};
+
+use crate::message::{Message, WorkerEvent};
+use crate::operator::Operator;
+use crate::tuple::Tuple;
+
+/// Everything one worker thread needs.
+pub(crate) struct WorkerCtx {
+    pub id: TaskId,
+    pub rx: Receiver<Message>,
+    pub events: Sender<WorkerEvent>,
+    pub collector: Option<Sender<Tuple>>,
+    pub op: Box<dyn Operator>,
+    /// Busy-work iterations per tuple (CPU saturation control).
+    pub spin_work: u32,
+    /// State window `w` in intervals.
+    pub window: u64,
+    /// Shared processed-tuples counter (throughput sampling).
+    pub processed_counter: Arc<Counter>,
+    /// Engine start instant (latency reference).
+    pub epoch: Instant,
+    /// The interval this worker joins at (0 for initial workers; the
+    /// current interval for scale-out spawns, so window eviction does not
+    /// misfire on its early state).
+    pub start_interval: u64,
+}
+
+/// Calibrated busy work: `iters` dependent multiply-xor rounds. The
+/// optimizer cannot elide it (the result feeds a `black_box`), so one unit
+/// costs the same nanoseconds everywhere — this is how the engine
+/// emulates the paper's per-tuple CPU cost.
+#[inline]
+pub(crate) fn spin(iters: u32) -> u64 {
+    let mut x = 0x9E37_79B9u64 | 1;
+    for i in 0..iters {
+        x = x.wrapping_mul(0x2545_F491_4F6C_DD1D) ^ (i as u64);
+    }
+    std::hint::black_box(x)
+}
+
+/// Runs the worker until `Shutdown`.
+pub(crate) fn run_worker(mut ctx: WorkerCtx) {
+    let mut stats = IntervalStats::new();
+    let mut latency = Box::new(Histogram::new());
+    let mut processed = 0u64;
+    let mut current_interval = ctx.start_interval;
+    // Reusable emit closure target: forward to the collector if present.
+    let collector = ctx.collector.clone();
+    let mut emit = move |t: Tuple| {
+        if let Some(c) = &collector {
+            // The collector channel is bounded: a slow merger backpressures
+            // workers, the PKG max-pending effect.
+            let _ = c.send(t);
+        }
+    };
+
+    while let Ok(msg) = ctx.rx.recv() {
+        match msg {
+            Message::Tuple(t) => {
+                spin(ctx.spin_work);
+                let mem = ctx.op.process(&t, current_interval, &mut emit);
+                stats.observe(t.key, 1, ctx.spin_work as u64 + 1, mem);
+                let now_us = ctx.epoch.elapsed().as_micros() as u64;
+                latency.record(now_us.saturating_sub(t.emitted_us));
+                processed += 1;
+                ctx.processed_counter.incr();
+            }
+            Message::StatsRequest { interval } => {
+                ctx.op.flush(&mut emit);
+                let out = std::mem::take(&mut stats);
+                let _ = ctx.events.send(WorkerEvent::Stats {
+                    worker: ctx.id,
+                    interval,
+                    stats: out,
+                });
+                current_interval = interval + 1;
+                // Keep the last `window` intervals: evict everything
+                // strictly older than (closed_interval + 1 − w).
+                let oldest_keep = (interval + 1).saturating_sub(ctx.window);
+                ctx.op.evict_before(oldest_keep);
+            }
+            Message::MigrateOut { epoch, moves } => {
+                let mut states = Vec::with_capacity(moves.len());
+                for (key, to) in moves {
+                    let blob = ctx.op.extract(key).unwrap_or_default();
+                    states.push((key, to, blob));
+                }
+                let _ = ctx.events.send(WorkerEvent::StateOut {
+                    worker: ctx.id,
+                    epoch,
+                    states,
+                });
+            }
+            Message::StateInstall { epoch, states } => {
+                for (key, blob) in states {
+                    if !blob.is_empty() {
+                        ctx.op.install(key, blob);
+                    }
+                }
+                let _ = ctx.events.send(WorkerEvent::InstallAck {
+                    worker: ctx.id,
+                    epoch,
+                });
+            }
+            Message::Shutdown => {
+                ctx.op.flush(&mut emit);
+                let final_states = ctx.op.drain();
+                let _ = ctx.events.send(WorkerEvent::Drained {
+                    worker: ctx.id,
+                    final_states,
+                    processed,
+                    latency,
+                });
+                return;
+            }
+        }
+    }
+    // Channel closed without Shutdown (engine dropped): exit quietly.
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::operator::WordCountOp;
+    use crossbeam::channel::unbounded;
+    use streambal_core::Key;
+
+    fn spawn_worker(
+        window: u64,
+    ) -> (
+        Sender<Message>,
+        Receiver<WorkerEvent>,
+        std::thread::JoinHandle<()>,
+    ) {
+        let (tx, rx) = unbounded();
+        let (etx, erx) = unbounded();
+        let ctx = WorkerCtx {
+            id: TaskId(0),
+            rx,
+            events: etx,
+            collector: None,
+            op: Box::new(WordCountOp::new()),
+            spin_work: 4,
+            window,
+            processed_counter: Arc::new(Counter::new()),
+            epoch: Instant::now(),
+            start_interval: 0,
+        };
+        let h = std::thread::spawn(move || run_worker(ctx));
+        (tx, erx, h)
+    }
+
+    #[test]
+    fn processes_and_reports_stats() {
+        let (tx, erx, h) = spawn_worker(5);
+        for _ in 0..10 {
+            tx.send(Message::Tuple(Tuple::keyed(Key(1)))).unwrap();
+        }
+        tx.send(Message::StatsRequest { interval: 0 }).unwrap();
+        match erx.recv().unwrap() {
+            WorkerEvent::Stats { interval, stats, .. } => {
+                assert_eq!(interval, 0);
+                let s = stats.get(Key(1)).unwrap();
+                assert_eq!(s.freq, 10);
+                assert_eq!(s.cost, 50); // (spin_work + 1) · freq
+                assert_eq!(s.mem, 80);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        tx.send(Message::Shutdown).unwrap();
+        match erx.recv().unwrap() {
+            WorkerEvent::Drained {
+                processed,
+                final_states,
+                ..
+            } => {
+                assert_eq!(processed, 10);
+                assert_eq!(final_states.len(), 1);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        h.join().unwrap();
+    }
+
+    #[test]
+    fn migrate_out_then_install_roundtrip() {
+        let (tx_a, erx_a, ha) = spawn_worker(5);
+        let (tx_b, erx_b, hb) = spawn_worker(5);
+        // Worker A accumulates state for key 9.
+        for _ in 0..4 {
+            tx_a.send(Message::Tuple(Tuple::keyed(Key(9)))).unwrap();
+        }
+        tx_a.send(Message::MigrateOut {
+            epoch: 1,
+            moves: vec![(Key(9), TaskId(1))],
+        })
+        .unwrap();
+        let states = match erx_a.recv().unwrap() {
+            WorkerEvent::StateOut { states, epoch, .. } => {
+                assert_eq!(epoch, 1);
+                states
+            }
+            other => panic!("unexpected {other:?}"),
+        };
+        assert_eq!(states.len(), 1);
+        // Forward to worker B.
+        tx_b.send(Message::StateInstall {
+            epoch: 1,
+            states: states.into_iter().map(|(k, _, b)| (k, b)).collect(),
+        })
+        .unwrap();
+        assert!(matches!(
+            erx_b.recv().unwrap(),
+            WorkerEvent::InstallAck { epoch: 1, .. }
+        ));
+        // B now owns the counts: drain and decode.
+        tx_b.send(Message::Shutdown).unwrap();
+        match erx_b.recv().unwrap() {
+            WorkerEvent::Drained { final_states, .. } => {
+                assert_eq!(final_states.len(), 1);
+                let (k, blob) = &final_states[0];
+                assert_eq!(*k, Key(9));
+                let total: u64 = WordCountOp::decode(blob).iter().map(|&(_, c)| c).sum();
+                assert_eq!(total, 4);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        tx_a.send(Message::Shutdown).unwrap();
+        let _ = erx_a.recv();
+        ha.join().unwrap();
+        hb.join().unwrap();
+    }
+
+    #[test]
+    fn window_eviction_after_stats() {
+        let (tx, erx, h) = spawn_worker(1); // keep only current interval
+        tx.send(Message::Tuple(Tuple::keyed(Key(5)))).unwrap();
+        tx.send(Message::StatsRequest { interval: 0 }).unwrap();
+        let _ = erx.recv();
+        // Interval 1: nothing for key 5; window=1 evicts interval 0 state.
+        tx.send(Message::StatsRequest { interval: 1 }).unwrap();
+        let _ = erx.recv();
+        tx.send(Message::Shutdown).unwrap();
+        match erx.recv().unwrap() {
+            WorkerEvent::Drained { final_states, .. } => {
+                assert!(final_states.is_empty(), "state must be evicted");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        h.join().unwrap();
+    }
+
+    #[test]
+    fn spin_is_not_optimized_away() {
+        let t0 = Instant::now();
+        for _ in 0..1000 {
+            spin(1000);
+        }
+        assert!(t0.elapsed().as_nanos() > 1000, "spin must consume time");
+    }
+}

@@ -1,0 +1,404 @@
+//! Scaled-down TPC-H `DBGen`-like generator and the continuous Q5 input.
+//!
+//! The paper generates 1 GB of TPC-H data with Zipf skew (`z = 0.8`) on
+//! the foreign keys and runs Q5 as a continuous query over sliding windows
+//! (Fig. 16), triggering a distribution change every 15 minutes with
+//! `f = 1`. Q5 joins `customer ⋈ orders ⋈ lineitem ⋈ supplier ⋈ nation ⋈
+//! region`, filters one region, and aggregates revenue per nation.
+//!
+//! Here the dimension tables (region, nation, customer, supplier) are
+//! generated up front and treated as broadcast state; the fact streams
+//! (orders, lineitems) arrive as [`TpchEvent`]s. The stream-side join key
+//! is `orderkey` (orders ⋈ lineitems), whose fan-out is heavy-tailed — the
+//! skew that stalls the intermediate join operator in the paper's Fig. 16
+//! discussion. Foreign keys `custkey`/`suppkey` are Zipf(`z`).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use streambal_hashring::mix64;
+
+use crate::zipf::ZipfGen;
+
+/// TPC-H's five regions.
+pub const REGION_NAMES: [&str; 5] = ["AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST"];
+
+/// TPC-H's 25 nations (abridged naming, same cardinality and region map).
+pub const N_NATIONS: usize = 25;
+
+/// `region_of_nation[n]` per the TPC-H specification's nation table.
+pub const REGION_OF_NATION: [u8; N_NATIONS] = [
+    0, 1, 1, 1, 4, 0, 3, 3, 2, 2, 4, 2, 2, 4, 0, 4, 0, 3, 2, 3, 3, 1, 2, 3, 1,
+];
+
+/// Generator sizing and skew parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TpchParams {
+    /// Number of customers (TPC-H SF·150 000; scaled down here).
+    pub customers: usize,
+    /// Number of suppliers (TPC-H SF·10 000).
+    pub suppliers: usize,
+    /// Orders generated per interval.
+    pub orders_per_interval: usize,
+    /// Zipf skew on the foreign keys (paper: 0.8).
+    pub z: f64,
+    /// Maximum lineitems per order (TPC-H: 7); the fan-out is
+    /// heavy-tailed up to this bound.
+    pub max_lineitems: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for TpchParams {
+    fn default() -> Self {
+        TpchParams {
+            customers: 15_000,
+            suppliers: 1_000,
+            orders_per_interval: 5_000,
+            z: 0.8,
+            max_lineitems: 7,
+            seed: 3735928559,
+        }
+    }
+}
+
+/// One stream event of the continuous Q5 pipeline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TpchEvent {
+    /// An order header.
+    Order {
+        /// Join key toward lineitems.
+        orderkey: u64,
+        /// Foreign key into the customer dimension (Zipf-skewed).
+        custkey: u64,
+        /// Order date as an interval index (drives window filtering).
+        orderdate: u32,
+    },
+    /// An order line.
+    Lineitem {
+        /// Join key toward its order.
+        orderkey: u64,
+        /// Foreign key into the supplier dimension (Zipf-skewed).
+        suppkey: u64,
+        /// `extendedprice · (1 − discount)` in cents.
+        revenue_cents: u64,
+    },
+}
+
+impl TpchEvent {
+    /// The stream-side join key (orderkey) — the partitioning key of the
+    /// Q5 join operator.
+    pub fn join_key(&self) -> u64 {
+        match *self {
+            TpchEvent::Order { orderkey, .. } | TpchEvent::Lineitem { orderkey, .. } => orderkey,
+        }
+    }
+}
+
+/// The DBGen-like generator.
+#[derive(Debug, Clone)]
+pub struct TpchGen {
+    params: TpchParams,
+    nation_of_customer: Vec<u8>,
+    nation_of_supplier: Vec<u8>,
+    zipf_cust: ZipfGen,
+    zipf_supp: ZipfGen,
+    /// Permutations mapping Zipf rank → entity id; reshuffled on
+    /// distribution changes.
+    cust_of_rank: Vec<u32>,
+    supp_of_rank: Vec<u32>,
+    next_orderkey: u64,
+    interval: u32,
+    rng: StdRng,
+}
+
+impl TpchGen {
+    /// Creates the generator and its dimension tables.
+    pub fn new(params: TpchParams) -> Self {
+        assert!(params.customers > 0 && params.suppliers > 0);
+        assert!(params.max_lineitems >= 1);
+        let mut rng = StdRng::seed_from_u64(params.seed);
+        let nation_of_customer = (0..params.customers)
+            .map(|_| rng.gen_range(0..N_NATIONS) as u8)
+            .collect();
+        let nation_of_supplier = (0..params.suppliers)
+            .map(|_| rng.gen_range(0..N_NATIONS) as u8)
+            .collect();
+        let mut g = TpchGen {
+            zipf_cust: ZipfGen::new(params.customers, params.z),
+            zipf_supp: ZipfGen::new(params.suppliers, params.z),
+            cust_of_rank: (0..params.customers as u32).collect(),
+            supp_of_rank: (0..params.suppliers as u32).collect(),
+            nation_of_customer,
+            nation_of_supplier,
+            next_orderkey: 1,
+            interval: 0,
+            rng,
+            params,
+        };
+        g.reshuffle(); // initial random rank permutation
+        g
+    }
+
+    /// The generator parameters.
+    pub fn params(&self) -> &TpchParams {
+        &self.params
+    }
+
+    /// Current interval index (the `orderdate` stamped on new orders).
+    pub fn interval(&self) -> u32 {
+        self.interval
+    }
+
+    /// Nation of a customer (dimension lookup).
+    pub fn nation_of_customer(&self, custkey: u64) -> u8 {
+        self.nation_of_customer[custkey as usize]
+    }
+
+    /// Nation of a supplier (dimension lookup).
+    pub fn nation_of_supplier(&self, suppkey: u64) -> u8 {
+        self.nation_of_supplier[suppkey as usize]
+    }
+
+    /// Region of a nation (dimension lookup).
+    pub fn region_of_nation(&self, nation: u8) -> u8 {
+        REGION_OF_NATION[nation as usize]
+    }
+
+    /// Re-permutes the Zipf rank → entity maps: the paper's "distribution
+    /// change every 15 minutes with f = 1". Hot customers/suppliers swap
+    /// identities abruptly.
+    pub fn reshuffle(&mut self) {
+        let salt: u64 = self.rng.gen();
+        self.cust_of_rank
+            .sort_unstable_by_key(|&c| mix64(c as u64 ^ salt));
+        self.supp_of_rank
+            .sort_unstable_by_key(|&s| mix64(s as u64 ^ salt.rotate_left(17)));
+    }
+
+    /// Generates one interval's event stream: orders with their lineitems,
+    /// `orderdate` = current interval. Advances the interval counter.
+    pub fn interval_events(&mut self) -> Vec<TpchEvent> {
+        let mut out = Vec::with_capacity(self.params.orders_per_interval * 3);
+        for _ in 0..self.params.orders_per_interval {
+            let orderkey = self.next_orderkey;
+            self.next_orderkey += 1;
+            let cust_rank = self.zipf_cust.sample(&mut self.rng);
+            let custkey = self.cust_of_rank[cust_rank] as u64;
+            out.push(TpchEvent::Order {
+                orderkey,
+                custkey,
+                orderdate: self.interval,
+            });
+            // Heavy-tailed lineitem fan-out: hot orders (low rank) carry
+            // more lines.
+            let n_lines = 1 + self
+                .rng
+                .gen_range(0..self.params.max_lineitems)
+                .min(self.params.max_lineitems - 1);
+            for _ in 0..n_lines {
+                let supp_rank = self.zipf_supp.sample(&mut self.rng);
+                let suppkey = self.supp_of_rank[supp_rank] as u64;
+                let price = self.rng.gen_range(10_000..1_000_000_u64);
+                let discount = self.rng.gen_range(0..=10); // 0–10 %
+                out.push(TpchEvent::Lineitem {
+                    orderkey,
+                    suppkey,
+                    revenue_cents: price * (100 - discount) / 100,
+                });
+            }
+        }
+        self.interval += 1;
+        out
+    }
+
+    /// Reference (batch) Q5 over a window of events: revenue per nation,
+    /// restricted to `region`, for orders with
+    /// `orderdate ∈ [from, to)` and matching `c_nationkey = s_nationkey`.
+    /// Used to validate the streaming pipeline's output.
+    pub fn reference_q5(
+        &self,
+        events: &[TpchEvent],
+        region: u8,
+        from: u32,
+        to: u32,
+    ) -> std::collections::BTreeMap<u8, u64> {
+        use std::collections::BTreeMap;
+        let mut orders: BTreeMap<u64, (u64, u32)> = BTreeMap::new();
+        for e in events {
+            if let TpchEvent::Order {
+                orderkey,
+                custkey,
+                orderdate,
+            } = *e
+            {
+                orders.insert(orderkey, (custkey, orderdate));
+            }
+        }
+        let mut revenue: BTreeMap<u8, u64> = BTreeMap::new();
+        for e in events {
+            if let TpchEvent::Lineitem {
+                orderkey,
+                suppkey,
+                revenue_cents,
+            } = *e
+            {
+                let Some(&(custkey, orderdate)) = orders.get(&orderkey) else {
+                    continue;
+                };
+                if orderdate < from || orderdate >= to {
+                    continue;
+                }
+                let c_nation = self.nation_of_customer(custkey);
+                let s_nation = self.nation_of_supplier(suppkey);
+                if c_nation != s_nation {
+                    continue; // Q5: customer and supplier in same nation
+                }
+                if self.region_of_nation(s_nation) != region {
+                    continue;
+                }
+                *revenue.entry(s_nation).or_insert(0) += revenue_cents;
+            }
+        }
+        revenue
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    fn small() -> TpchGen {
+        TpchGen::new(TpchParams {
+            customers: 500,
+            suppliers: 100,
+            orders_per_interval: 1000,
+            z: 0.8,
+            max_lineitems: 7,
+            seed: 42,
+        })
+    }
+
+    #[test]
+    fn region_map_covers_all_regions() {
+        let mut seen = [false; 5];
+        for &r in &REGION_OF_NATION {
+            seen[r as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "every region has nations");
+        assert_eq!(REGION_OF_NATION.len(), 25);
+    }
+
+    #[test]
+    fn orders_precede_their_lineitems() {
+        let mut g = small();
+        let events = g.interval_events();
+        let mut seen_orders = std::collections::HashSet::new();
+        for e in &events {
+            match *e {
+                TpchEvent::Order { orderkey, .. } => {
+                    seen_orders.insert(orderkey);
+                }
+                TpchEvent::Lineitem { orderkey, .. } => {
+                    assert!(
+                        seen_orders.contains(&orderkey),
+                        "lineitem before its order"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn custkeys_are_zipf_skewed() {
+        let mut g = small();
+        let mut counts: HashMap<u64, u64> = HashMap::new();
+        for _ in 0..5 {
+            for e in g.interval_events() {
+                if let TpchEvent::Order { custkey, .. } = e {
+                    *counts.entry(custkey).or_insert(0) += 1;
+                }
+            }
+        }
+        let max = *counts.values().max().unwrap();
+        let total: u64 = counts.values().sum();
+        let mean = total as f64 / counts.len() as f64;
+        assert!(
+            max as f64 > mean * 5.0,
+            "hot customer {max} vs mean {mean}"
+        );
+    }
+
+    #[test]
+    fn reshuffle_changes_hot_customers() {
+        let mut g = small();
+        let hot_of = |events: &[TpchEvent]| {
+            let mut counts: HashMap<u64, u64> = HashMap::new();
+            for e in events {
+                if let TpchEvent::Order { custkey, .. } = *e {
+                    *counts.entry(custkey).or_insert(0) += 1;
+                }
+            }
+            counts.into_iter().max_by_key(|&(_, c)| c).unwrap().0
+        };
+        let before = hot_of(&g.interval_events());
+        g.reshuffle();
+        let after = hot_of(&g.interval_events());
+        // With 500 customers the odds the same one stays #1 are tiny; use
+        // a few reshuffles to make flakiness negligible.
+        if before == after {
+            g.reshuffle();
+            let third = hot_of(&g.interval_events());
+            assert_ne!(before, third, "reshuffle must rotate the hot set");
+        }
+    }
+
+    #[test]
+    fn reference_q5_filters_correctly() {
+        let mut g = small();
+        let events = g.interval_events();
+        for region in 0..5u8 {
+            let rev = g.reference_q5(&events, region, 0, 1);
+            for (&nation, &r) in &rev {
+                assert_eq!(g.region_of_nation(nation), region);
+                assert!(r > 0);
+            }
+        }
+        // Window exclusion: an empty window yields nothing.
+        assert!(g.reference_q5(&events, 2, 5, 9).is_empty());
+    }
+
+    #[test]
+    fn revenue_cents_positive_and_bounded() {
+        let mut g = small();
+        for e in g.interval_events() {
+            if let TpchEvent::Lineitem { revenue_cents, .. } = e {
+                assert!((9_000..=1_000_000).contains(&revenue_cents));
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = small().interval_events();
+        let b = small().interval_events();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn join_key_accessor() {
+        let o = TpchEvent::Order {
+            orderkey: 7,
+            custkey: 1,
+            orderdate: 0,
+        };
+        let l = TpchEvent::Lineitem {
+            orderkey: 7,
+            suppkey: 2,
+            revenue_cents: 100,
+        };
+        assert_eq!(o.join_key(), 7);
+        assert_eq!(l.join_key(), 7);
+    }
+}

@@ -1,0 +1,79 @@
+//! Quickstart: the core rebalancing loop in ~60 lines.
+//!
+//! Builds a [`Rebalancer`] (the paper's controller component), feeds it a
+//! skewed interval of key statistics, and shows the produced routing
+//! table and migration plan.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use streambal::prelude::*;
+use streambal::core::IntervalStats;
+
+fn main() {
+    // An operator with 4 downstream task instances, keeping 2 intervals
+    // of state, rebalanced by the paper's Mixed algorithm.
+    let mut rebalancer = Rebalancer::new(
+        4,
+        2,
+        RebalanceStrategy::Mixed,
+        BalanceParams {
+            theta_max: 0.08, // tolerate 8% deviation from the mean load
+            beta: 1.5,       // γ = c^β / S migration priority
+            table_max: 100,  // at most 100 explicit routing entries
+        },
+    );
+
+    // Simulate one interval of measurements: 1000 keys, Zipf-ish skew —
+    // the first keys are disproportionately hot.
+    let mut stats = IntervalStats::new();
+    for k in 0..1000u64 {
+        let freq = 2000 / (k + 1); // heavy head, long tail
+        let cost = freq; // CPU units
+        let state = freq * 8; // bytes written
+        stats.observe(Key(k), freq, cost, state);
+    }
+
+    // Check the imbalance hashing alone produces.
+    {
+        let mut probe = IntervalStats::new();
+        probe.merge(&stats);
+        // (end_interval ingests the stats and decides)
+        let before = {
+            let mut loads = vec![0u64; 4];
+            for (k, s) in probe.iter() {
+                loads[rebalancer.route(k).index()] += s.cost;
+            }
+            streambal::core::LoadSummary::new(loads)
+        };
+        println!("before: per-task loads {:?}", before.loads);
+        println!("before: max θ = {:.3}  (bound {:.3})", before.max_theta(), 0.08);
+    }
+
+    // End the interval: the controller triggers and constructs F′.
+    let outcome = rebalancer
+        .end_interval(stats)
+        .expect("skew above θmax must trigger a rebalance");
+
+    println!("\nrebalance fired:");
+    println!("  routing table entries : {}", outcome.table.len());
+    println!("  keys migrated         : {}", outcome.plan.keys_moved());
+    println!(
+        "  state moved           : {} bytes ({:.1}% of all state)",
+        outcome.plan.cost_bytes(),
+        outcome.migration_fraction * 100.0
+    );
+    println!("  post-rebalance loads  : {:?}", outcome.loads.loads);
+    println!("  post-rebalance max θ  : {:.3}", outcome.achieved_theta);
+
+    // The first few explicit routes:
+    println!("\nfirst routing-table entries:");
+    for (k, d) in outcome.table.sorted_entries().into_iter().take(5) {
+        println!("  {k} → {d}");
+    }
+
+    // Tuples now route through the updated table:
+    let hot = Key(0);
+    println!("\nhot key {hot} now routes to {}", rebalancer.route(hot));
+}

@@ -1,0 +1,194 @@
+//! Property-based tests over the rebalance algorithms' invariants, on
+//! randomized workloads (proptest).
+
+use proptest::prelude::*;
+use streambal::core::{
+    outcome_from_assignment, rebalance, BalanceParams, Key, KeyRecord, RebalanceInput,
+    RebalanceStrategy, TaskId,
+};
+
+/// A randomized rebalance input: `n_tasks` in 2..6, up to 120 keys with
+/// arbitrary costs/memories, current placement consistent with a routing
+/// table over a hash assignment.
+fn arb_input() -> impl Strategy<Value = RebalanceInput> {
+    (2usize..6, 1usize..120).prop_flat_map(|(n_tasks, n_keys)| {
+        let rec = (0u64..1_000, 0u64..1_000).prop_map(move |(cost, mem)| (cost, mem));
+        (
+            Just(n_tasks),
+            proptest::collection::vec((rec, 0..n_tasks as u32, 0..n_tasks as u32), n_keys),
+        )
+            .prop_map(|(n_tasks, raw)| {
+                let records = raw
+                    .into_iter()
+                    .enumerate()
+                    .map(|(i, ((cost, mem), cur, hash))| KeyRecord {
+                        key: Key(i as u64),
+                        cost,
+                        mem,
+                        current: TaskId(cur),
+                        hash_dest: TaskId(hash),
+                    })
+                    .collect();
+                RebalanceInput { n_tasks, records }
+            })
+    })
+}
+
+fn arb_params() -> impl Strategy<Value = BalanceParams> {
+    (0.0f64..0.5, 1.0f64..2.0, 0usize..200).prop_map(|(theta_max, beta, table_max)| {
+        BalanceParams {
+            theta_max,
+            beta,
+            table_max,
+        }
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Invariants that must hold for every strategy on every input:
+    /// load conservation, in-range assignments, non-redundant tables,
+    /// consistent migration accounting.
+    #[test]
+    fn outcome_invariants(input in arb_input(), params in arb_params()) {
+        for strategy in [
+            RebalanceStrategy::Mixed,
+            RebalanceStrategy::MinTable,
+            RebalanceStrategy::MinMig,
+            RebalanceStrategy::Simple,
+        ] {
+            let out = rebalance(&input, strategy, &params);
+
+            // Load conservation.
+            let before: u64 = input.records.iter().map(|r| r.cost).sum();
+            let after: u64 = out.loads.loads.iter().sum();
+            prop_assert_eq!(before, after, "{}: load leaked", strategy.name());
+
+            // Table entries never point at the hash destination.
+            for (k, d) in out.table.iter() {
+                let rec = input.records.iter().find(|r| r.key == k).unwrap();
+                prop_assert_ne!(d, rec.hash_dest, "{}: redundant entry", strategy.name());
+            }
+
+            // Migration accounting: cost equals the sum of moved states,
+            // and every move starts from the key's true current task.
+            let mut bytes = 0u64;
+            for m in out.plan.moves() {
+                let rec = input.records.iter().find(|r| r.key == m.key).unwrap();
+                prop_assert_eq!(m.from, rec.current);
+                prop_assert!(m.to.index() < input.n_tasks);
+                bytes += m.state_bytes;
+            }
+            prop_assert_eq!(bytes, out.plan.cost_bytes());
+
+            // Migration fraction within [0, 1].
+            prop_assert!((0.0..=1.0).contains(&out.migration_fraction));
+        }
+    }
+
+    /// With `Amax = 0`, Mixed fully cleans. If the pure-hash assignment is
+    /// already within `θmax` (nothing to drain in Phase II), the result is
+    /// exactly the hash assignment: empty table, loads = hash loads.
+    #[test]
+    fn mixed_full_cleaning_restores_hash_when_hash_is_balanced(
+        input in arb_input(),
+        theta in 0.1f64..1.0,
+    ) {
+        // Hash-side loads.
+        let mut hash_loads = vec![0u64; input.n_tasks];
+        for r in &input.records {
+            hash_loads[r.hash_dest.index()] += r.cost;
+        }
+        let total: u64 = hash_loads.iter().sum();
+        let mean = total as f64 / input.n_tasks as f64;
+        let lmax = (1.0 + theta) * mean;
+        prop_assume!(total > 0);
+        prop_assume!(hash_loads.iter().all(|&l| (l as f64) <= lmax));
+
+        let params = BalanceParams { theta_max: theta, beta: 1.5, table_max: 0 };
+        let out = rebalance(&input, RebalanceStrategy::Mixed, &params);
+        prop_assert!(
+            out.table.is_empty(),
+            "hash was balanced, yet {} table entries remain",
+            out.table.len()
+        );
+        prop_assert_eq!(out.loads.loads.clone(), hash_loads);
+        // The plan is exactly the move-backs of parked keys.
+        for m in out.plan.moves() {
+            let rec = input.records.iter().find(|r| r.key == m.key).unwrap();
+            prop_assert_eq!(m.to, rec.hash_dest);
+        }
+    }
+
+    /// The Simple algorithm achieves the Theorem 1 bound whenever the
+    /// premises hold (perfect assignment exists and no key exceeds L̄).
+    #[test]
+    fn simple_respects_theorem1(n_tasks in 2usize..6, per_task in 2usize..6, unit in 1u64..50) {
+        // Construct an input where a perfect assignment trivially exists:
+        // n_tasks · per_task keys of identical cost.
+        let records: Vec<KeyRecord> = (0..(n_tasks * per_task) as u64)
+            .map(|i| KeyRecord {
+                key: Key(i),
+                cost: unit,
+                mem: 1,
+                current: TaskId(0),
+                hash_dest: TaskId(0),
+            })
+            .collect();
+        let input = RebalanceInput { n_tasks, records };
+        let out = rebalance(&input, RebalanceStrategy::Simple, &BalanceParams::default());
+        let bound = (1.0 - 1.0 / n_tasks as f64) / 3.0;
+        prop_assert!(
+            out.achieved_theta <= bound + 1e-9,
+            "θ {} > Theorem-1 bound {}",
+            out.achieved_theta,
+            bound
+        );
+    }
+
+    /// outcome_from_assignment is the inverse of any assignment: replaying
+    /// the plan over `current` yields exactly the claimed loads.
+    #[test]
+    fn plan_replay_matches_loads(input in arb_input()) {
+        let params = BalanceParams::default();
+        let out = rebalance(&input, RebalanceStrategy::Mixed, &params);
+        // Replay: start from current, apply moves.
+        let mut dest: std::collections::HashMap<Key, TaskId> = input
+            .records
+            .iter()
+            .map(|r| (r.key, r.current))
+            .collect();
+        for m in out.plan.moves() {
+            dest.insert(m.key, m.to);
+        }
+        let mut loads = vec![0u64; input.n_tasks];
+        for r in &input.records {
+            loads[dest[&r.key].index()] += r.cost;
+        }
+        prop_assert_eq!(loads, out.loads.loads.clone());
+
+        // And rebuilding the outcome from the replayed assignment is a
+        // fixpoint (same table, empty plan).
+        let assign: Vec<TaskId> = input.records.iter().map(|r| dest[&r.key]).collect();
+        let out2 = outcome_from_assignment(
+            &RebalanceInput {
+                n_tasks: input.n_tasks,
+                records: input
+                    .records
+                    .iter()
+                    .map(|r| KeyRecord { current: dest[&r.key], ..*r })
+                    .collect(),
+            },
+            &assign,
+        );
+        prop_assert!(out2.plan.is_empty());
+        prop_assert_eq!(out2.table.len(), out.table.len());
+    }
+}
+
+#[test]
+fn proptest_module_loads() {
+    // Anchor so `cargo test` lists this integration target even when
+    // proptest is filtered out.
+}
