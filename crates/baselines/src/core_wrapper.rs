@@ -89,8 +89,7 @@ mod tests {
 
     #[test]
     fn scale_out_passthrough() {
-        let mut p =
-            CoreBalancer::new(2, 1, RebalanceStrategy::MinTable, BalanceParams::default());
+        let mut p = CoreBalancer::new(2, 1, RebalanceStrategy::MinTable, BalanceParams::default());
         assert_eq!(p.add_task(), TaskId(2));
         assert_eq!(p.n_tasks(), 3);
     }

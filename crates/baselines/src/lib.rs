@@ -16,8 +16,10 @@
 //!   (Mixed, MinTable, …) behind the same [`Partitioner`] trait so the
 //!   simulator and runtime can swap strategies uniformly.
 //!
-//! All partitioners implement [`Partitioner`], the interface the
-//! simulator (`streambal-sim`) and engine (`streambal-runtime`) drive.
+//! All partitioners implement [`Partitioner`], the strategy interface
+//! owned by `streambal-core` (re-exported here for convenience): the
+//! simulator (`streambal-sim`) and engine (`streambal-runtime`) depend on
+//! the core trait directly and never on this crate.
 
 pub mod core_wrapper;
 pub mod hash_only;
@@ -31,81 +33,15 @@ pub use pkg::PkgPartitioner;
 pub use readj::{readj_rebalance, ReadjConfig, ReadjPartitioner};
 pub use shuffle::ShufflePartitioner;
 
-use streambal_core::{IntervalStats, Key, RebalanceOutcome, RoutingTable, TaskId};
-
-/// A cheap, self-contained snapshot of a partitioner's routing function,
-/// shippable to source threads (the engine's "tuples router" of Fig. 5
-/// holds one of these and receives a fresh one on each Resume).
-#[derive(Debug, Clone)]
-pub enum RoutingView {
-    /// Explicit table over a consistent-hash fallback (Eq. 1). The hash
-    /// ring is reconstructed deterministically from `n_tasks`.
-    TablePlusHash {
-        /// The explicit entries.
-        table: RoutingTable,
-        /// Ring size.
-        n_tasks: usize,
-    },
-    /// PKG's power-of-two-choices (the view carries no load state; each
-    /// holder balances with its own local estimates, as PKG prescribes).
-    TwoChoice {
-        /// Slot count.
-        n_tasks: usize,
-    },
-    /// Key-oblivious round-robin.
-    RoundRobin {
-        /// Slot count.
-        n_tasks: usize,
-    },
-}
-
-/// A pluggable tuple-routing strategy with an interval-boundary hook.
-///
-/// `route` is the per-tuple hot path (may mutate internal load estimates,
-/// as PKG does). `end_interval` receives the statistics collected during
-/// the closing interval and may return a rebalance outcome whose migration
-/// plan the engine must then execute.
-pub trait Partitioner: Send {
-    /// Display name matching the paper's figure legends.
-    fn name(&self) -> String;
-
-    /// Current downstream parallelism.
-    fn n_tasks(&self) -> usize;
-
-    /// Routes one tuple.
-    fn route(&mut self, key: Key) -> TaskId;
-
-    /// Interval boundary: ingest stats, possibly rebalance.
-    fn end_interval(&mut self, stats: IntervalStats) -> Option<RebalanceOutcome>;
-
-    /// Adds a downstream instance (scale-out). Default: unsupported.
-    fn add_task(&mut self) -> TaskId {
-        unimplemented!("{} does not support scale-out", self.name())
-    }
-
-    /// State-placement-preserving scale-out: implementations that own a
-    /// routing table pin hash-churned `live` keys to their old location so
-    /// physical state placement stays truthful (see
-    /// `Rebalancer::scale_out`). Default: plain [`Partitioner::add_task`].
-    fn scale_out(&mut self, live: &[Key]) -> TaskId {
-        let _ = live;
-        self.add_task()
-    }
-
-    /// A shippable snapshot of the current routing function.
-    fn routing_view(&self) -> RoutingView;
-
-    /// Whether the strategy preserves key-grouping semantics (all tuples
-    /// of a key on one worker). PKG does not — stateful aggregation then
-    /// needs partial/merge topology support, and joins are impossible.
-    fn preserves_key_semantics(&self) -> bool {
-        true
-    }
-}
+// Convenience re-exports of the strategy interface, which moved to
+// `streambal-core` (the drivers' dependency); implementations here use it
+// through these paths.
+pub use streambal_core::{Partitioner, RoutingView};
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use streambal_core::Key;
 
     /// Every baseline must route within range and be deterministic at the
     /// interval granularity (PKG may vary with load state, but stays in

@@ -118,9 +118,7 @@ pub fn readj_rebalance(records: &[KeyRecord], n_tasks: usize, cfg: &ReadjConfig)
                 let new_pair_max = (loads[dmax] - ci).max(loads[d2] + ci);
                 let new_max = new_pair_max.max(third_max(&loads, dmax, d2));
                 let bytes = records[i as usize].mem;
-                if new_max < current_max
-                    && best.is_none_or(|(m, b, _)| (new_max, bytes) < (m, b))
-                {
+                if new_max < current_max && best.is_none_or(|(m, b, _)| (new_max, bytes) < (m, b)) {
                     best = Some((new_max, bytes, Action::Move(i, TaskId::from(d2))));
                 }
                 // Swap i ↔ j for hot j on d2 with smaller cost.

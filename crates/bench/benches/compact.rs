@@ -17,13 +17,17 @@ fn bench_compact(c: &mut Criterion) {
     let mut group = c.benchmark_group("compact_vs_full");
     group.sample_size(10);
     for r in [1u32, 3, 6] {
-        group.bench_with_input(BenchmarkId::new("compact_mixed", 1u64 << r), &input, |b, input| {
-            b.iter(|| compact_mixed(input, &params, r))
-        });
+        group.bench_with_input(
+            BenchmarkId::new("compact_mixed", 1u64 << r),
+            &input,
+            |b, input| b.iter(|| compact_mixed(input, &params, r)),
+        );
     }
-    group.bench_with_input(BenchmarkId::new("full_mixed", "orig"), &input, |b, input| {
-        b.iter(|| rebalance(input, RebalanceStrategy::Mixed, &params))
-    });
+    group.bench_with_input(
+        BenchmarkId::new("full_mixed", "orig"),
+        &input,
+        |b, input| b.iter(|| rebalance(input, RebalanceStrategy::Mixed, &params)),
+    );
     group.finish();
 
     let mut group = c.benchmark_group("compact_build");

@@ -23,11 +23,9 @@ fn bench_plans(c: &mut Criterion) {
             RebalanceStrategy::MinTable,
             RebalanceStrategy::MinMig,
         ] {
-            group.bench_with_input(
-                BenchmarkId::new(strategy.name(), k),
-                &input,
-                |b, input| b.iter(|| rebalance(input, strategy, &params)),
-            );
+            group.bench_with_input(BenchmarkId::new(strategy.name(), k), &input, |b, input| {
+                b.iter(|| rebalance(input, strategy, &params))
+            });
         }
         let readj_cfg = ReadjConfig {
             theta_max: d.theta_max,

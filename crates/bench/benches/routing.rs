@@ -14,18 +14,14 @@ fn bench_routing(c: &mut Criterion) {
             .map(|k| (Key(k), TaskId((k % n_tasks as u64) as u32)))
             .collect();
         let f = AssignmentFn::with_table(n_tasks, table);
-        group.bench_with_input(
-            BenchmarkId::new("route", table_size),
-            &f,
-            |b, f| {
-                let mut key = 0u64;
-                b.iter(|| {
-                    // Alternate table hits and misses.
-                    key = key.wrapping_add(1);
-                    f.route(Key(key % (2 * table_size.max(1)) as u64))
-                })
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("route", table_size), &f, |b, f| {
+            let mut key = 0u64;
+            b.iter(|| {
+                // Alternate table hits and misses.
+                key = key.wrapping_add(1);
+                f.route(Key(key % (2 * table_size.max(1)) as u64))
+            })
+        });
     }
     group.finish();
 }

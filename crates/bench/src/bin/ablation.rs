@@ -23,7 +23,14 @@ fn main() {
 
     // ---- 1. LLFD exchange on/off -------------------------------------
     println!("# Ablation 1: LLFD Adjust/exchange mechanism (θmax=0)");
-    println!("{}", header("", &["θ achieved".into(), "forced".into(), "exchanges".into()], 12));
+    println!(
+        "{}",
+        header(
+            "",
+            &["θ achieved".into(), "forced".into(), "exchanges".into()],
+            12
+        )
+    );
     for (label, exchange) in [("with exchange", true), ("without", false)] {
         let mut arena = Arena::new(&input.records, d.nd, Criteria::HighestCost, |_, r| {
             r.hash_dest
@@ -112,14 +119,8 @@ fn main() {
         ("largest-S", EtaOrder::LargestMem),
         ("key-order", EtaOrder::KeyOrder),
     ] {
-        let res = mixed_assign_with_eta(
-            &records2,
-            d.nd,
-            params.theta_max,
-            params.beta,
-            tight,
-            order,
-        );
+        let res =
+            mixed_assign_with_eta(&records2, d.nd, params.theta_max, params.beta, tight, order);
         let mig: u64 = records2
             .iter()
             .zip(&res.assign)
@@ -151,7 +152,9 @@ fn main() {
         "{}",
         header(
             "",
-            &rs.iter().map(|r| format!("R={}", 1u64 << r)).collect::<Vec<_>>(),
+            &rs.iter()
+                .map(|r| format!("R={}", 1u64 << r))
+                .collect::<Vec<_>>(),
             10
         )
     );

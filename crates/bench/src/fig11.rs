@@ -13,14 +13,12 @@ use crate::{header, row, Defaults, Scale};
 /// Builds a skewed rebalance input at defaults scale (hash-routed Zipf
 /// interval).
 pub fn skewed_input(d: &Defaults) -> RebalanceInput {
-    use streambal_baselines::Partitioner;
+    use streambal_core::Partitioner;
     let mut src = d.source();
     let mut hash = streambal_baselines::HashPartitioner::new(d.nd);
-    let stats = streambal_sim::source::IntervalSource::next_interval(
-        &mut src,
-        d.nd,
-        &mut |k| hash.route(k),
-    );
+    let stats = streambal_sim::source::IntervalSource::next_interval(&mut src, d.nd, &mut |k| {
+        hash.route(k)
+    });
     let records = stats
         .iter()
         .map(|(k, s)| {
@@ -100,7 +98,9 @@ pub fn fig11(scale: Scale) -> String {
     let thetas = [0.0, 0.02, 0.08, 0.15];
     out.push_str(&header(
         "θmax \\ R",
-        &rs.iter().map(|r| format!("{}", 1u64 << r)).collect::<Vec<_>>(),
+        &rs.iter()
+            .map(|r| format!("{}", 1u64 << r))
+            .collect::<Vec<_>>(),
         9,
     ));
     out.push('\n');

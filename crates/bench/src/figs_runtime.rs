@@ -6,10 +6,9 @@
 //! due to routing and migration behaviour.
 
 use streambal_baselines::{
-    HashPartitioner, Partitioner, PkgPartitioner, ReadjConfig, ReadjPartitioner,
-    ShufflePartitioner,
+    HashPartitioner, PkgPartitioner, ReadjConfig, ReadjPartitioner, ShufflePartitioner,
 };
-use streambal_core::{Key, RebalanceStrategy};
+use streambal_core::{Key, Partitioner, RebalanceStrategy};
 use streambal_hashring::FxHashMap;
 use streambal_runtime::{
     CoJoinOp, Collector, Engine, EngineConfig, EngineReport, SumCollector, Tuple,
@@ -415,11 +414,7 @@ impl Collector for Q5Collector {
     }
 
     fn result(&mut self) -> Vec<(u64, u64)> {
-        let mut v: Vec<(u64, u64)> = self
-            .revenue
-            .iter()
-            .map(|(&n, &r)| (n as u64, r))
-            .collect();
+        let mut v: Vec<(u64, u64)> = self.revenue.iter().map(|(&n, &r)| (n as u64, r)).collect();
         v.sort_unstable();
         v
     }

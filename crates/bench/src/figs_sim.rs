@@ -1,7 +1,7 @@
 //! Simulator-based figures: 7, 8, 9, 10, 12, 17, 18, 19, 20, 21.
 
-use streambal_baselines::{HashPartitioner, Partitioner};
-use streambal_core::{rebalance, RebalanceInput, RebalanceStrategy};
+use streambal_baselines::HashPartitioner;
+use streambal_core::{rebalance, Partitioner, RebalanceInput, RebalanceStrategy};
 use streambal_sim::skewness_samples;
 
 use crate::{header, row, run_core_sim, run_readj_best, Defaults, Scale, READJ_SIGMAS};
@@ -49,7 +49,10 @@ pub fn fig07(scale: Scale) -> String {
     out.push_str("# Fig 7(a): skewness CDF under hash, varying ND (z=0.85)\n");
     out.push_str(&header(
         "ND \\ percentile",
-        &percentiles.iter().map(|p| format!("{:.0}%", p * 100.0)).collect::<Vec<_>>(),
+        &percentiles
+            .iter()
+            .map(|p| format!("{:.0}%", p * 100.0))
+            .collect::<Vec<_>>(),
         8,
     ));
     out.push('\n');
@@ -61,7 +64,10 @@ pub fn fig07(scale: Scale) -> String {
     out.push_str("\n# Fig 7(b): skewness CDF under hash, varying K (ND=10)\n");
     out.push_str(&header(
         "K \\ percentile",
-        &percentiles.iter().map(|p| format!("{:.0}%", p * 100.0)).collect::<Vec<_>>(),
+        &percentiles
+            .iter()
+            .map(|p| format!("{:.0}%", p * 100.0))
+            .collect::<Vec<_>>(),
         8,
     ));
     out.push('\n');
@@ -402,12 +408,7 @@ pub fn fig20_21(scale: Scale) -> String {
             d.beta = beta;
             d.table_max = usize::MAX;
             let r = run_core_sim(&d, RebalanceStrategy::MinMig);
-            tvals.push(
-                r.table_series
-                    .points()
-                    .last()
-                    .map_or(0.0, |&(_, v)| v),
-            );
+            tvals.push(r.table_series.points().last().map_or(0.0, |&(_, v)| v));
             mvals.push(r.mig_fraction.mean() * 100.0);
         }
         table_rows.push((theta, tvals));

@@ -15,8 +15,8 @@ pub mod fig11;
 pub mod figs_runtime;
 pub mod figs_sim;
 
-use streambal_baselines::{CoreBalancer, Partitioner, ReadjConfig, ReadjPartitioner};
-use streambal_core::{BalanceParams, RebalanceStrategy};
+use streambal_baselines::{CoreBalancer, ReadjConfig, ReadjPartitioner};
+use streambal_core::{BalanceParams, Partitioner, RebalanceStrategy};
 use streambal_sim::source::ZipfSource;
 use streambal_sim::{run_sim, SimConfig, SimReport};
 

@@ -186,11 +186,7 @@ pub struct CompactOutcome {
 /// materializes an exact plan (paper §IV-A).
 ///
 /// `r` is the discretization degree (`R = 2^r`).
-pub fn compact_mixed(
-    input: &RebalanceInput,
-    params: &BalanceParams,
-    r: u32,
-) -> CompactOutcome {
+pub fn compact_mixed(input: &RebalanceInput, params: &BalanceParams, r: u32) -> CompactOutcome {
     let t_build = std::time::Instant::now();
     let stats = CompactStats::build(&input.records, r);
     let build_time = t_build.elapsed();
@@ -202,10 +198,7 @@ pub fn compact_mixed(
         .filter(|&i| stats.records[i].cur != stats.records[i].hash)
         .collect();
     eta.sort_unstable_by_key(|&i| (stats.records[i].vs, i));
-    let total_table_units: u32 = eta
-        .iter()
-        .map(|&i| stats.records[i].count() as u32)
-        .sum();
+    let total_table_units: u32 = eta.iter().map(|&i| stats.records[i].count() as u32).sum();
 
     let mut n = 0u32;
     let mut state;
@@ -241,7 +234,11 @@ pub fn compact_mixed(
         outcome,
         n_records: stats.len(),
         est_loads,
-        estimation_error: if err_n == 0 { 0.0 } else { err_sum / err_n as f64 },
+        estimation_error: if err_n == 0 {
+            0.0
+        } else {
+            err_sum / err_n as f64
+        },
         build_time,
         solve_time,
         materialize_time,
@@ -346,7 +343,16 @@ fn run_trial(
             while pending[ri] > 0 {
                 any = true;
                 let rec = &stats.records[ri];
-                place_units(&mut state, stats, &mut pending, ri, rec.vc, lmax, beta, force);
+                place_units(
+                    &mut state,
+                    stats,
+                    &mut pending,
+                    ri,
+                    rec.vc,
+                    lmax,
+                    beta,
+                    force,
+                );
             }
         }
         if !any {
@@ -508,10 +514,7 @@ mod tests {
                 rec(i, cost, cost * 3, if i < n_keys / 20 { 0 } else { d }, d)
             })
             .collect();
-        RebalanceInput {
-            n_tasks,
-            records,
-        }
+        RebalanceInput { n_tasks, records }
     }
 
     #[test]

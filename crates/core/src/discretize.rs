@@ -155,11 +155,7 @@ mod tests {
                 let reps = hlhe_representatives(max, r);
                 let s = max / (1 << r);
                 let expect = (r as u64 + s).max(1);
-                assert_eq!(
-                    reps.len() as u64,
-                    expect,
-                    "r={r} max={max}: reps {reps:?}"
-                );
+                assert_eq!(reps.len() as u64, expect, "r={r} max={max}: reps {reps:?}");
             }
         }
     }
@@ -192,10 +188,7 @@ mod tests {
         let values = [8u64, 6, 3, 2, 2, 1, 1, 1, 1, 1];
         let naive = discretize_naive(&values, 2);
         let greedy = discretize(&values, 2);
-        assert!(
-            total_deviation(&values, &naive).abs()
-                > total_deviation(&values, &greedy).abs()
-        );
+        assert!(total_deviation(&values, &naive).abs() > total_deviation(&values, &greedy).abs());
     }
 
     #[test]

@@ -52,6 +52,12 @@
 //! interval statistics, and emits [`MigrationPlan`]s; the engine applies
 //! plans with the pause → migrate → ack → resume protocol (implemented in
 //! `streambal-runtime`).
+//!
+//! The pluggable strategy interface the simulator and engine drive —
+//! [`Partitioner`] and its shippable [`RoutingView`] snapshot — also
+//! lives here (module [`partitioner`]): drivers depend on this crate
+//! alone, and `streambal-baselines` merely implements the trait for the
+//! competitors.
 
 pub mod compact;
 pub mod discretize;
@@ -63,6 +69,7 @@ pub mod migration;
 pub mod minmig;
 pub mod mintable;
 pub mod mixed;
+pub mod partitioner;
 pub mod rebalance;
 pub mod routing;
 pub mod simple;
@@ -72,6 +79,7 @@ pub use intern::KeyInterner;
 pub use key::{Key, TaskId};
 pub use load::{balance_indicator, loads_of, max_skewness, needs_rebalance, LoadSummary};
 pub use migration::{migration_delta, MigrationPlan, Move};
+pub use partitioner::{Partitioner, RoutingView};
 pub use rebalance::{
     outcome_from_assignment, rebalance, BalanceParams, RebalanceInput, RebalanceOutcome,
     RebalanceStrategy, Rebalancer, TriggerPolicy,

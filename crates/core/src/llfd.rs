@@ -395,7 +395,11 @@ mod tests {
         ]
     }
 
-    fn run_llfd(records: &[KeyRecord], theta: f64, criteria: Criteria) -> (Vec<TaskId>, LlfdReport) {
+    fn run_llfd(
+        records: &[KeyRecord],
+        theta: f64,
+        criteria: Criteria,
+    ) -> (Vec<TaskId>, LlfdReport) {
         let mut arena = Arena::new(records, 2, criteria, |_, r| r.current);
         let cands = arena.drain_overloaded(theta);
         let report = llfd(&mut arena, cands, theta);
@@ -424,9 +428,7 @@ mod tests {
         // with d2 = {k1,k3,k6} and d1 = {k2,k4,k5}.
         let records = fig4_records();
         let (assign, _) = run_llfd(&records, 0.0, Criteria::HighestCost);
-        let dest = |key: u64| {
-            assign[records.iter().position(|r| r.key == Key(key)).unwrap()]
-        };
+        let dest = |key: u64| assign[records.iter().position(|r| r.key == Key(key)).unwrap()];
         assert_eq!(dest(1), TaskId(1), "k1 moves to d2");
         assert_eq!(dest(3), TaskId(1), "k3 stays on d2 after failed d1 try");
         assert_eq!(dest(4), TaskId(0), "k4 ends on d1");
@@ -533,7 +535,10 @@ mod tests {
         let cands = without.drain_overloaded(0.0);
         let report = llfd_with_options(&mut without, cands, 0.0, LlfdOptions { exchange: false });
         assert!(report.exchanges == 0, "exchange disabled");
-        assert!(report.forced > 0, "without exchange, k1 cannot be placed cleanly");
+        assert!(
+            report.forced > 0,
+            "without exchange, k1 cannot be placed cleanly"
+        );
     }
 
     #[test]
@@ -547,12 +552,9 @@ mod tests {
         };
         // Same cost, different memory: γ favors the low-memory key.
         let records = vec![rec(1, 10, 100), rec(2, 10, 1), rec(3, 1, 1)];
-        let mut arena = Arena::new(
-            &records,
-            2,
-            Criteria::LargestGamma { beta: 1.0 },
-            |_, r| r.current,
-        );
+        let mut arena = Arena::new(&records, 2, Criteria::LargestGamma { beta: 1.0 }, |_, r| {
+            r.current
+        });
         let cands = arena.drain_overloaded(0.0);
         // Drained in γ order: key 2 (γ=10) before key 1 (γ=0.1).
         assert_eq!(records[cands[0] as usize].key, Key(2));

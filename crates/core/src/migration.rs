@@ -120,10 +120,7 @@ impl MigrationPlan {
 
 /// Computes `Δ(F, F′)` as a [`MigrationPlan`], given the records (carrying
 /// `F` in `current`) and the new assignment `F′` as a lookup.
-pub fn migration_delta(
-    records: &[KeyRecord],
-    new_assign: impl Fn(Key) -> TaskId,
-) -> MigrationPlan {
+pub fn migration_delta(records: &[KeyRecord], new_assign: impl Fn(Key) -> TaskId) -> MigrationPlan {
     MigrationPlan::from_moves(records.iter().map(|r| Move {
         key: r.key,
         from: r.current,
@@ -208,9 +205,7 @@ mod tests {
 
     #[test]
     fn split_rounds_respects_budget_and_covers_all() {
-        let p = MigrationPlan::from_moves(
-            (0..20u64).map(|i| mv(i, 0, 1, 10 + i * 7)),
-        );
+        let p = MigrationPlan::from_moves((0..20u64).map(|i| mv(i, 0, 1, 10 + i * 7)));
         let rounds = p.split_rounds(100);
         // Coverage: the union of rounds is the original plan.
         let mut all: Vec<Move> = rounds.iter().flat_map(|r| r.moves().to_vec()).collect();

@@ -20,12 +20,9 @@ pub fn minmig_assign(
     beta: f64,
 ) -> Vec<TaskId> {
     // Phase I: do nothing — start from the current assignment.
-    let mut arena = Arena::new(
-        records,
-        n_tasks,
-        Criteria::LargestGamma { beta },
-        |_, r| r.current,
-    );
+    let mut arena = Arena::new(records, n_tasks, Criteria::LargestGamma { beta }, |_, r| {
+        r.current
+    });
     // Phase II: drain overloaded instances, largest γ first.
     let candidates = arena.drain_overloaded(theta_max);
     // Phase III: LLFD with the same ψ.
@@ -80,9 +77,7 @@ mod tests {
 
     #[test]
     fn balances_under_skew() {
-        let records: Vec<_> = (0..30)
-            .map(|i| rec(i, 4 + i % 5, 10, 0, 0))
-            .collect();
+        let records: Vec<_> = (0..30).map(|i| rec(i, 4 + i % 5, 10, 0, 0)).collect();
         let assign = minmig_assign(&records, 3, 0.05, 1.5);
         let mut loads = vec![0u64; 3];
         for (r, d) in records.iter().zip(&assign) {

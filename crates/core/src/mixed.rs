@@ -83,12 +83,13 @@ fn trial(
     for &i in &eta[..n.min(eta.len())] {
         moved_back[i as usize] = true;
     }
-    let mut arena = Arena::new(
-        records,
-        n_tasks,
-        Criteria::LargestGamma { beta },
-        |i, r| if moved_back[i] { r.hash_dest } else { r.current },
-    );
+    let mut arena = Arena::new(records, n_tasks, Criteria::LargestGamma { beta }, |i, r| {
+        if moved_back[i] {
+            r.hash_dest
+        } else {
+            r.current
+        }
+    });
     let candidates = arena.drain_overloaded(theta_max);
     llfd(&mut arena, candidates, theta_max);
     arena.into_assignment()
@@ -102,7 +103,14 @@ pub fn mixed_assign(
     beta: f64,
     table_max: usize,
 ) -> MixedResult {
-    mixed_assign_with_eta(records, n_tasks, theta_max, beta, table_max, EtaOrder::default())
+    mixed_assign_with_eta(
+        records,
+        n_tasks,
+        theta_max,
+        beta,
+        table_max,
+        EtaOrder::default(),
+    )
 }
 
 /// [`mixed_assign`] with an explicit Phase-I cleaning order (ablation).
@@ -238,11 +246,7 @@ mod tests {
             rec(6, 5, 60, 0, 1),
         ];
         let res = mixed_assign(&records, 2, 0.0, 1.5, 2);
-        assert!(
-            res.table_len <= 2,
-            "table {} exceeds Amax=2",
-            res.table_len
-        );
+        assert!(res.table_len <= 2, "table {} exceeds Amax=2", res.table_len);
         assert!(res.cleaned >= 4, "cleaned {}", res.cleaned);
         // Cleaning order is smallest-memory-first: keys 1 and 2 clean
         // before 5 and 6. The survivors (if any) are the biggest states.
@@ -259,10 +263,7 @@ mod tests {
             rec(4, 1, 999, 0, 0), // not a table entry
         ];
         let eta = table_entries_by_eta(&records, EtaOrder::SmallestMem);
-        let keys: Vec<u64> = eta
-            .iter()
-            .map(|&i| records[i as usize].key.raw())
-            .collect();
+        let keys: Vec<u64> = eta.iter().map(|&i| records[i as usize].key.raw()).collect();
         assert_eq!(keys, vec![2, 3, 1]);
     }
 
@@ -294,7 +295,10 @@ mod tests {
                 mig_of(&mixed.assign)
             );
         }
-        assert_eq!(bf.trials, table_entries_by_eta(&records, EtaOrder::SmallestMem).len() + 1);
+        assert_eq!(
+            bf.trials,
+            table_entries_by_eta(&records, EtaOrder::SmallestMem).len() + 1
+        );
     }
 
     #[test]

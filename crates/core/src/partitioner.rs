@@ -1,0 +1,151 @@
+//! The partitioning interface: the contract between routing strategies
+//! and everything that drives them (the simulator, the engine, the
+//! experiment harness).
+//!
+//! This lives in `streambal-core` — not in the baselines crate — because
+//! the trait *is* the paper's framing: any strategy, including the
+//! competitors reproduced in `streambal-baselines`, is a routing function
+//! plus an interval-boundary rebalance hook (§II). Drivers depend on this
+//! crate alone; the baselines crate implements the trait for Storm-style
+//! hashing, shuffle, PKG, and Readj, and adapts [`Rebalancer`] through its
+//! `CoreBalancer` wrapper.
+//!
+//! [`Rebalancer`]: crate::Rebalancer
+
+use crate::routing::RoutingTable;
+use crate::stats::IntervalStats;
+use crate::{Key, RebalanceOutcome, TaskId};
+
+/// A cheap, self-contained snapshot of a partitioner's routing function,
+/// shippable to source threads (the engine's "tuples router" of Fig. 5
+/// holds one of these and receives a fresh one on each Resume).
+#[derive(Debug, Clone)]
+pub enum RoutingView {
+    /// Explicit table over a consistent-hash fallback (Eq. 1). The hash
+    /// ring is reconstructed deterministically from `n_tasks`.
+    TablePlusHash {
+        /// The explicit entries.
+        table: RoutingTable,
+        /// Ring size.
+        n_tasks: usize,
+    },
+    /// PKG's power-of-two-choices (the view carries no load state; each
+    /// holder balances with its own local estimates, as PKG prescribes).
+    TwoChoice {
+        /// Slot count.
+        n_tasks: usize,
+    },
+    /// Key-oblivious round-robin.
+    RoundRobin {
+        /// Slot count.
+        n_tasks: usize,
+    },
+}
+
+/// A pluggable tuple-routing strategy with an interval-boundary hook.
+///
+/// `route` is the per-tuple hot path (may mutate internal load estimates,
+/// as PKG does). `end_interval` receives the statistics collected during
+/// the closing interval and may return a rebalance outcome whose migration
+/// plan the engine must then execute.
+pub trait Partitioner: Send {
+    /// Display name matching the paper's figure legends.
+    fn name(&self) -> String;
+
+    /// Current downstream parallelism.
+    fn n_tasks(&self) -> usize;
+
+    /// Routes one tuple.
+    fn route(&mut self, key: Key) -> TaskId;
+
+    /// Interval boundary: ingest stats, possibly rebalance.
+    fn end_interval(&mut self, stats: IntervalStats) -> Option<RebalanceOutcome>;
+
+    /// Adds a downstream instance (scale-out). Default: unsupported.
+    fn add_task(&mut self) -> TaskId {
+        unimplemented!("{} does not support scale-out", self.name())
+    }
+
+    /// State-placement-preserving scale-out: implementations that own a
+    /// routing table pin hash-churned `live` keys to their old location so
+    /// physical state placement stays truthful (see
+    /// `Rebalancer::scale_out`). Default: plain [`Partitioner::add_task`].
+    fn scale_out(&mut self, live: &[Key]) -> TaskId {
+        let _ = live;
+        self.add_task()
+    }
+
+    /// A shippable snapshot of the current routing function.
+    fn routing_view(&self) -> RoutingView;
+
+    /// Whether the strategy preserves key-grouping semantics (all tuples
+    /// of a key on one worker). PKG does not — stateful aggregation then
+    /// needs partial/merge topology support, and joins are impossible.
+    fn preserves_key_semantics(&self) -> bool {
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{BalanceParams, RebalanceStrategy, Rebalancer};
+
+    /// A minimal trait impl, checking the default hooks compile and act
+    /// as documented.
+    struct Fixed(usize);
+
+    impl Partitioner for Fixed {
+        fn name(&self) -> String {
+            "Fixed".into()
+        }
+
+        fn n_tasks(&self) -> usize {
+            self.0
+        }
+
+        fn route(&mut self, key: Key) -> TaskId {
+            TaskId::from(key.raw() as usize % self.0)
+        }
+
+        fn end_interval(&mut self, _stats: IntervalStats) -> Option<RebalanceOutcome> {
+            None
+        }
+
+        fn routing_view(&self) -> RoutingView {
+            RoutingView::RoundRobin { n_tasks: self.0 }
+        }
+    }
+
+    #[test]
+    fn default_hooks() {
+        let mut p = Fixed(3);
+        assert!(p.preserves_key_semantics());
+        assert_eq!(p.route(Key(7)), TaskId(1));
+        assert!(p.end_interval(IntervalStats::new()).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "does not support scale-out")]
+    fn default_scale_out_is_unsupported() {
+        Fixed(2).scale_out(&[Key(1)]);
+    }
+
+    /// The crate's own Rebalancer is usable through the trait without the
+    /// baselines adapter (drivers can depend on core alone).
+    #[test]
+    fn rebalancer_satisfies_contract_via_view() {
+        let r = Rebalancer::new(4, 1, RebalanceStrategy::Mixed, BalanceParams::default());
+        let view = RoutingView::TablePlusHash {
+            table: r.assignment().table().clone(),
+            n_tasks: r.assignment().n_tasks(),
+        };
+        match view {
+            RoutingView::TablePlusHash { table, n_tasks } => {
+                assert_eq!(n_tasks, 4);
+                assert!(table.is_empty());
+            }
+            _ => unreachable!(),
+        }
+    }
+}

@@ -154,12 +154,9 @@ pub fn rebalance(
         RebalanceStrategy::MinTable => {
             mintable_assign(&input.records, input.n_tasks, params.theta_max)
         }
-        RebalanceStrategy::MinMig => minmig_assign(
-            &input.records,
-            input.n_tasks,
-            params.theta_max,
-            params.beta,
-        ),
+        RebalanceStrategy::MinMig => {
+            minmig_assign(&input.records, input.n_tasks, params.theta_max, params.beta)
+        }
         RebalanceStrategy::Mixed => {
             mixed_assign(
                 &input.records,
@@ -423,7 +420,10 @@ mod tests {
             r.current = TaskId(0);
             r.hash_dest = TaskId(0);
         }
-        let input = RebalanceInput { n_tasks: 3, records };
+        let input = RebalanceInput {
+            n_tasks: 3,
+            records,
+        };
         let params = BalanceParams::default();
         for strategy in [
             RebalanceStrategy::MinTable,

@@ -247,9 +247,13 @@ mod tests {
 
     #[test]
     fn sorted_entries_deterministic() {
-        let t: RoutingTable = [(Key(5), TaskId(0)), (Key(2), TaskId(1)), (Key(9), TaskId(0))]
-            .into_iter()
-            .collect();
+        let t: RoutingTable = [
+            (Key(5), TaskId(0)),
+            (Key(2), TaskId(1)),
+            (Key(9), TaskId(0)),
+        ]
+        .into_iter()
+        .collect();
         let keys: Vec<u64> = t.sorted_entries().iter().map(|(k, _)| k.raw()).collect();
         assert_eq!(keys, vec![2, 5, 9]);
     }

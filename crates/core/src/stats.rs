@@ -162,10 +162,7 @@ impl StatsWindow {
     /// Keys observed only in older intervals (state still alive, but no
     /// fresh tuples) are included with zero cost: their state still has to
     /// move if the key is reassigned, and the optimizer must know that.
-    pub fn records(
-        &self,
-        mut route: impl FnMut(Key) -> (TaskId, TaskId),
-    ) -> Vec<KeyRecord> {
+    pub fn records(&self, mut route: impl FnMut(Key) -> (TaskId, TaskId)) -> Vec<KeyRecord> {
         let mut mem: FxHashMap<Key, u64> = FxHashMap::default();
         for iv in &self.intervals {
             for (k, s) in iv.iter() {

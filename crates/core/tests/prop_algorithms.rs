@@ -4,9 +4,7 @@ use proptest::prelude::*;
 use streambal_core::compact::{compact_mixed, CompactStats};
 use streambal_core::discretize::{discretize, hlhe_representatives, total_deviation};
 use streambal_core::llfd::{llfd, Arena, Criteria};
-use streambal_core::{
-    BalanceParams, Key, KeyRecord, LoadSummary, RebalanceInput, TaskId,
-};
+use streambal_core::{BalanceParams, Key, KeyRecord, LoadSummary, RebalanceInput, TaskId};
 
 fn arb_records(max_tasks: usize) -> impl Strategy<Value = (usize, Vec<KeyRecord>)> {
     (2usize..=max_tasks, 1usize..80).prop_flat_map(|(n_tasks, n_keys)| {

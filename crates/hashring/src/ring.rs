@@ -82,10 +82,7 @@ impl HashRing {
     pub fn add_slot(&mut self) -> usize {
         let slot = self.slots as u32;
         for v in 0..self.vnodes {
-            let pos = mix64_seeded(
-                (slot as u64) << 32 | v as u64,
-                0x5851_F42D_4C95_7F2D,
-            );
+            let pos = mix64_seeded((slot as u64) << 32 | v as u64, 0x5851_F42D_4C95_7F2D);
             let at = self.points.partition_point(|&(p, _)| p < pos);
             self.points.insert(at, (pos, slot));
         }

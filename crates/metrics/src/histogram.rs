@@ -198,7 +198,10 @@ mod tests {
         for &(q, expect) in &[(0.5, 50_000.0), (0.9, 90_000.0), (0.99, 99_000.0)] {
             let got = h.quantile(q) as f64;
             let rel = (got - expect).abs() / expect;
-            assert!(rel < 0.15, "q={q}: got {got}, want ≈{expect} (rel {rel:.3})");
+            assert!(
+                rel < 0.15,
+                "q={q}: got {got}, want ≈{expect} (rel {rel:.3})"
+            );
         }
         assert_eq!(h.quantile(0.0), 1);
         assert_eq!(h.quantile(1.0), 100_000);

@@ -8,8 +8,7 @@
 //! reflection, auditable by eye.
 
 use bytes::{Buf, BufMut, Bytes, BytesMut};
-use streambal_baselines::RoutingView;
-use streambal_core::{Key, MigrationPlan, Move, RoutingTable, TaskId};
+use streambal_core::{Key, MigrationPlan, Move, RoutingTable, RoutingView, TaskId};
 
 /// Codec format version (first byte of every message).
 pub const CODEC_VERSION: u8 = 1;
@@ -153,7 +152,9 @@ mod tests {
     use super::*;
 
     fn sample_table(n: u64) -> RoutingTable {
-        (0..n).map(|k| (Key(k * 7), TaskId((k % 5) as u32))).collect()
+        (0..n)
+            .map(|k| (Key(k * 7), TaskId((k % 5) as u32)))
+            .collect()
     }
 
     #[test]
@@ -166,8 +167,14 @@ mod tests {
         let decoded = decode_view(bytes).unwrap();
         match (view, decoded) {
             (
-                RoutingView::TablePlusHash { table: a, n_tasks: na },
-                RoutingView::TablePlusHash { table: b, n_tasks: nb },
+                RoutingView::TablePlusHash {
+                    table: a,
+                    n_tasks: na,
+                },
+                RoutingView::TablePlusHash {
+                    table: b,
+                    n_tasks: nb,
+                },
             ) => {
                 assert_eq!(na, nb);
                 assert_eq!(a.sorted_entries(), b.sorted_entries());
@@ -239,7 +246,10 @@ mod tests {
         raw.put_u8(CODEC_VERSION);
         raw.put_u8(77);
         raw.put_u32_le(1);
-        assert_eq!(decode_view(raw.freeze()).unwrap_err(), CodecError::BadTag(77));
+        assert_eq!(
+            decode_view(raw.freeze()).unwrap_err(),
+            CodecError::BadTag(77)
+        );
     }
 
     #[test]

@@ -7,8 +7,7 @@ use std::time::{Duration, Instant};
 
 use bytes::Bytes;
 use crossbeam::channel::{bounded, unbounded, Receiver, Select, Sender};
-use streambal_baselines::{Partitioner, RoutingView};
-use streambal_core::{IntervalStats, Key, TaskId};
+use streambal_core::{IntervalStats, Key, Partitioner, RoutingView, TaskId};
 use streambal_hashring::{FxHashMap, FxHashSet};
 use streambal_metrics::{Counter, Histogram, RateMeter, TimeSeries};
 
@@ -265,8 +264,7 @@ impl Engine {
             // Per round: (merged stats, reports received, reports expected).
             // The expected count is pinned at issue time — scale-out must
             // not retroactively change how many workers a round waits for.
-            let mut stats_acc: FxHashMap<u64, (IntervalStats, usize, usize)> =
-                FxHashMap::default();
+            let mut stats_acc: FxHashMap<u64, (IntervalStats, usize, usize)> = FxHashMap::default();
             let mut outstanding_stats = 0usize;
             let mut source_finished = false;
             let mut draining = false;
@@ -306,9 +304,7 @@ impl Engine {
                                 outstanding_stats += 1;
                             }
                             SourceEvent::PauseAck { epoch } => {
-                                let m = pending
-                                    .as_mut()
-                                    .expect("ack without pending migration");
+                                let m = pending.as_mut().expect("ack without pending migration");
                                 debug_assert_eq!(m.epoch, epoch);
                                 for (&w, moves) in &m.plan.by_source {
                                     m.awaiting_out.insert(w);
@@ -348,8 +344,7 @@ impl Engine {
                                     let (merged, _, _) = stats_acc.remove(&interval).unwrap();
                                     outstanding_stats -= 1;
                                     // Scale-out between rounds (Fig. 15).
-                                    if config.scale_out_at == Some(interval)
-                                        && active < max_workers
+                                    if config.scale_out_at == Some(interval) && active < max_workers
                                     {
                                         let live: Vec<Key> =
                                             merged.iter().map(|(k, _)| k).collect();
@@ -370,8 +365,7 @@ impl Engine {
                                     if let Some(out) = partitioner.end_interval(merged) {
                                         if !out.plan.is_empty() {
                                             report.rebalances += 1;
-                                            report.migrated_keys +=
-                                                out.plan.keys_moved() as u64;
+                                            report.migrated_keys += out.plan.keys_moved() as u64;
                                             report.migrated_bytes += out.plan.cost_bytes();
                                             let mut by_source: FxHashMap<
                                                 TaskId,
@@ -400,8 +394,7 @@ impl Engine {
                                 epoch,
                                 states,
                             } => {
-                                let m =
-                                    pending.as_mut().expect("state without migration");
+                                let m = pending.as_mut().expect("state without migration");
                                 debug_assert_eq!(m.epoch, epoch);
                                 m.collected.extend(states);
                                 m.awaiting_out.remove(&worker);
@@ -421,9 +414,8 @@ impl Engine {
                                     } else {
                                         for (dest, states) in by_dest {
                                             m.awaiting_install.insert(dest);
-                                            let _ = worker_txs[dest.index()].send(
-                                                Message::StateInstall { epoch, states },
-                                            );
+                                            let _ = worker_txs[dest.index()]
+                                                .send(Message::StateInstall { epoch, states });
                                         }
                                     }
                                 }
@@ -530,9 +522,9 @@ fn source_loop<F>(
 
     // Drains pending control messages; returns false on Shutdown.
     let handle_ctl = |msg: SourceCtl,
-                          router: &mut SourceRouter,
-                          paused: &mut Option<(u64, FxHashSet<Key>)>,
-                          buffer: &mut Vec<Tuple>|
+                      router: &mut SourceRouter,
+                      paused: &mut Option<(u64, FxHashSet<Key>)>,
+                      buffer: &mut Vec<Tuple>|
      -> bool {
         match msg {
             SourceCtl::Pause { epoch, affected } => {
@@ -599,7 +591,8 @@ fn source_loop<F>(
 mod tests {
     use super::*;
     use crate::operator::WordCountOp;
-    use streambal_baselines::{CoreBalancer, HashPartitioner};
+    use streambal_baselines::CoreBalancer;
+    use streambal_baselines::HashPartitioner;
     use streambal_core::{BalanceParams, RebalanceStrategy};
     use streambal_workloads::FluctuatingWorkload;
 
@@ -645,12 +638,16 @@ mod tests {
             small_config(),
             Box::new(HashPartitioner::new(3)),
             |_| Box::new(WordCountOp::new()),
-            move |iv| feed.get(iv as usize).map(|ks| {
-                ks.iter().map(|&k| Tuple::keyed(k)).collect()
-            }),
+            move |iv| {
+                feed.get(iv as usize)
+                    .map(|ks| ks.iter().map(|&k| Tuple::keyed(k)).collect())
+            },
             None,
         );
-        assert_eq!(report.processed, intervals.iter().map(|v| v.len() as u64).sum());
+        assert_eq!(
+            report.processed,
+            intervals.iter().map(|v| v.len() as u64).sum()
+        );
         assert_eq!(decode_counts(&report.final_states), expect);
         assert_eq!(report.rebalances, 0);
     }
@@ -680,9 +677,10 @@ mod tests {
                 },
             )),
             |_| Box::new(WordCountOp::new()),
-            move |iv| feed.get(iv as usize).map(|ks| {
-                ks.iter().map(|&k| Tuple::keyed(k)).collect()
-            }),
+            move |iv| {
+                feed.get(iv as usize)
+                    .map(|ks| ks.iter().map(|&k| Tuple::keyed(k)).collect())
+            },
             None,
         );
         assert!(report.rebalances > 0, "skew must trigger migration");
@@ -696,9 +694,7 @@ mod tests {
             small_config(),
             Box::new(HashPartitioner::new(3)),
             |_| Box::new(WordCountOp::new()),
-            |iv| {
-                (iv < 2).then(|| (0..2000u64).map(|i| Tuple::keyed(Key(i % 50))).collect())
-            },
+            |iv| (iv < 2).then(|| (0..2000u64).map(|i| Tuple::keyed(Key(i % 50))).collect()),
             None,
         );
         assert_eq!(report.processed, 4000);
@@ -713,20 +709,23 @@ mod tests {
         use crate::operator::SumCollector;
         use streambal_baselines::PkgPartitioner;
         let mut w = FluctuatingWorkload::new(100, 0.9, 4_000, 0.0, 7);
-        let intervals: Vec<Vec<Key>> = (0..3).map(|_| {
-            let t = w.tuples();
-            w.advance(3, |k| TaskId::from((k.raw() % 3) as usize));
-            t
-        }).collect();
+        let intervals: Vec<Vec<Key>> = (0..3)
+            .map(|_| {
+                let t = w.tuples();
+                w.advance(3, |k| TaskId::from((k.raw() % 3) as usize));
+                t
+            })
+            .collect();
         let expect = reference_counts(&intervals);
         let feed = intervals.clone();
         let report = Engine::run(
             small_config(),
             Box::new(PkgPartitioner::new(3)),
             |_| Box::new(WordCountOp::with_partial_emission(16)),
-            move |iv| feed.get(iv as usize).map(|ks| {
-                ks.iter().map(|&k| Tuple::keyed(k)).collect()
-            }),
+            move |iv| {
+                feed.get(iv as usize)
+                    .map(|ks| ks.iter().map(|&k| Tuple::keyed(k)).collect())
+            },
             Some(Box::new(SumCollector::new())),
         );
         // The merged partial counts must equal the reference exactly.
@@ -762,9 +761,10 @@ mod tests {
                 },
             )),
             |_| Box::new(WordCountOp::new()),
-            move |iv| feed.get(iv as usize).map(|ks| {
-                ks.iter().map(|&k| Tuple::keyed(k)).collect()
-            }),
+            move |iv| {
+                feed.get(iv as usize)
+                    .map(|ks| ks.iter().map(|&k| Tuple::keyed(k)).collect())
+            },
             None,
         );
         // The third worker processed something after joining.

@@ -51,8 +51,7 @@ pub use codec::{decode_plan, decode_view, encode_plan, encode_view, CodecError};
 pub use engine::{Engine, EngineConfig, EngineReport};
 pub use message::{Message, SourceCtl, SourceEvent, WorkerEvent};
 pub use operator::{
-    CoJoinOp, Collector, CountingCollector, Operator, SumCollector, WindowedSelfJoinOp,
-    WordCountOp,
+    CoJoinOp, Collector, CountingCollector, Operator, SumCollector, WindowedSelfJoinOp, WordCountOp,
 };
 pub use router::SourceRouter;
 pub use topk::TopKOp;

@@ -1,8 +1,7 @@
 //! Channel message types: worker inputs, worker events, source control.
 
 use bytes::Bytes;
-use streambal_baselines::RoutingView;
-use streambal_core::{IntervalStats, Key, TaskId};
+use streambal_core::{IntervalStats, Key, RoutingView, TaskId};
 
 use crate::tuple::Tuple;
 

@@ -389,7 +389,7 @@ impl Operator for CoJoinOp {
             if let Some(slots) = self.left.get(&tuple.key) {
                 for (_, order) in slots.iter() {
                     emit(Tuple::tagged(
-                        Key(tuple.vals[0]),  // suppkey
+                        Key(tuple.vals[0]), // suppkey
                         TAG_PARTIAL,
                         [tuple.vals[1], order[0]], // [revenue, custkey]
                     ));
@@ -572,11 +572,9 @@ mod tests {
         let mut op = CoJoinOp::new();
         let mut emitted = Vec::new();
         // Order 100 from customer 5.
-        op.process(
-            &Tuple::tagged(Key(100), TAG_LEFT, [5, 0]),
-            0,
-            &mut |t| emitted.push(t),
-        );
+        op.process(&Tuple::tagged(Key(100), TAG_LEFT, [5, 0]), 0, &mut |t| {
+            emitted.push(t)
+        });
         // Lineitem for order 100: supplier 9, revenue 1234.
         op.process(
             &Tuple::tagged(Key(100), TAG_RIGHT, [9, 1234]),
@@ -610,11 +608,9 @@ mod tests {
         let mut b = CoJoinOp::new();
         b.install(Key(42), blob);
         let mut emitted = Vec::new();
-        b.process(
-            &Tuple::tagged(Key(42), TAG_RIGHT, [1, 500]),
-            2,
-            &mut |t| emitted.push(t),
-        );
+        b.process(&Tuple::tagged(Key(42), TAG_RIGHT, [1, 500]), 2, &mut |t| {
+            emitted.push(t)
+        });
         assert_eq!(emitted.len(), 1, "migrated order still joins");
         assert_eq!(emitted[0].vals, [500, 7]);
     }

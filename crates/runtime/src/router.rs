@@ -1,7 +1,6 @@
 //! The source-side router: a materialized [`RoutingView`].
 
-use streambal_baselines::RoutingView;
-use streambal_core::{AssignmentFn, Key, TaskId};
+use streambal_core::{AssignmentFn, Key, RoutingView, TaskId};
 
 /// Evaluates a routing view per tuple on the source thread.
 ///

@@ -137,7 +137,10 @@ impl Operator for TopKOp {
         }
         let count = buf.get_u64_le();
         let error = buf.get_u64_le();
-        let e = self.counters.entry(key).or_insert(Slot { count: 0, error: 0 });
+        let e = self
+            .counters
+            .entry(key)
+            .or_insert(Slot { count: 0, error: 0 });
         e.count += count;
         e.error += error;
         // Over capacity after an install: evict minima until bounded.

@@ -165,7 +165,9 @@ mod tests {
         }
         tx.send(Message::StatsRequest { interval: 0 }).unwrap();
         match erx.recv().unwrap() {
-            WorkerEvent::Stats { interval, stats, .. } => {
+            WorkerEvent::Stats {
+                interval, stats, ..
+            } => {
                 assert_eq!(interval, 0);
                 let s = stats.get(Key(1)).unwrap();
                 assert_eq!(s.freq, 10);

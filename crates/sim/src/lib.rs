@@ -19,8 +19,7 @@ pub mod source;
 pub use report::SimReport;
 pub use source::IntervalSource;
 
-use streambal_baselines::Partitioner;
-use streambal_core::{loads_of, Key, RebalanceInput, TaskId};
+use streambal_core::{loads_of, Key, Partitioner, RebalanceInput, TaskId};
 use streambal_metrics::Stopwatch;
 
 /// Simulation dimensions.
@@ -109,7 +108,8 @@ pub fn skewness_samples(
 mod tests {
     use super::*;
     use source::ZipfSource;
-    use streambal_baselines::{CoreBalancer, HashPartitioner};
+    use streambal_baselines::CoreBalancer;
+    use streambal_baselines::HashPartitioner;
     use streambal_core::{BalanceParams, RebalanceStrategy};
 
     fn zipf_source(k: usize, z: f64, f: f64) -> ZipfSource {

@@ -64,7 +64,8 @@ impl SimReport {
         self.gen_time_ms.add(gen_ms);
         self.mig_fraction.add(out.migration_fraction);
         self.theta_after.add(out.achieved_theta);
-        self.table_series.push(interval as f64, out.table.len() as f64);
+        self.table_series
+            .push(interval as f64, out.table.len() as f64);
     }
 
     /// Mean workload skewness across intervals.

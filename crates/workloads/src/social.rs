@@ -154,11 +154,7 @@ mod tests {
         let before: Vec<u64> = (0..2000u64).map(|k| w.freq(Key(k))).collect();
         w.advance();
         let after: Vec<u64> = (0..2000u64).map(|k| w.freq(Key(k))).collect();
-        let changed = before
-            .iter()
-            .zip(&after)
-            .filter(|(b, a)| b != a)
-            .count();
+        let changed = before.iter().zip(&after).filter(|(b, a)| b != a).count();
         assert!(changed > 0, "drift must change something");
         // Adjacent-rank swaps: total tuple mass is conserved...
         assert_eq!(
@@ -171,10 +167,7 @@ mod tests {
         for (k, (&b, &a)) in before.iter().zip(&after).enumerate() {
             if b > 100 {
                 let ratio = a as f64 / b as f64;
-                assert!(
-                    (0.2..5.0).contains(&ratio),
-                    "key {k} jumped {b} → {a}"
-                );
+                assert!((0.2..5.0).contains(&ratio), "key {k} jumped {b} → {a}");
             }
         }
     }

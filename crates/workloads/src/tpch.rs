@@ -200,7 +200,7 @@ impl TpchGen {
                 let supp_rank = self.zipf_supp.sample(&mut self.rng);
                 let suppkey = self.supp_of_rank[supp_rank] as u64;
                 let price = self.rng.gen_range(10_000..1_000_000_u64);
-                let discount = self.rng.gen_range(0..=10); // 0–10 %
+                let discount = self.rng.gen_range(0..=10u64); // 0–10 %
                 out.push(TpchEvent::Lineitem {
                     orderkey,
                     suppkey,
@@ -301,10 +301,7 @@ mod tests {
                     seen_orders.insert(orderkey);
                 }
                 TpchEvent::Lineitem { orderkey, .. } => {
-                    assert!(
-                        seen_orders.contains(&orderkey),
-                        "lineitem before its order"
-                    );
+                    assert!(seen_orders.contains(&orderkey), "lineitem before its order");
                 }
             }
         }
@@ -324,10 +321,7 @@ mod tests {
         let max = *counts.values().max().unwrap();
         let total: u64 = counts.values().sum();
         let mean = total as f64 / counts.len() as f64;
-        assert!(
-            max as f64 > mean * 5.0,
-            "hot customer {max} vs mean {mean}"
-        );
+        assert!(max as f64 > mean * 5.0, "hot customer {max} vs mean {mean}");
     }
 
     #[test]

@@ -155,9 +155,7 @@ impl FluctuatingWorkload {
         if self.f <= 0.0 || self.freqs.len() < 2 || n_tasks < 2 {
             return;
         }
-        let key_dest: Vec<TaskId> = (0..self.freqs.len())
-            .map(|i| dest(Key(i as u64)))
-            .collect();
+        let key_dest: Vec<TaskId> = (0..self.freqs.len()).map(|i| dest(Key(i as u64))).collect();
         let total: u64 = self.freqs.iter().sum();
         let mean = total as f64 / n_tasks as f64;
         if mean == 0.0 {
@@ -353,15 +351,12 @@ mod tests {
 
     #[test]
     fn interval_stats_match_freqs() {
-        let w = FluctuatingWorkload::new(100, 0.85, 1_000, 0.0, 1)
-            .with_cost_model(CostModel {
-                cost_per_tuple: 2,
-                state_per_tuple: 16,
-            });
+        let w = FluctuatingWorkload::new(100, 0.85, 1_000, 0.0, 1).with_cost_model(CostModel {
+            cost_per_tuple: 2,
+            state_per_tuple: 16,
+        });
         let iv = w.interval_stats();
-        let hot = (0..100)
-            .max_by_key(|&i| w.freqs()[i as usize])
-            .unwrap();
+        let hot = (0..100).max_by_key(|&i| w.freqs()[i as usize]).unwrap();
         let s = iv.get(Key(hot as u64)).unwrap();
         assert_eq!(s.cost, s.freq * 2);
         assert_eq!(s.mem, s.freq * 16);

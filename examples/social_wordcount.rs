@@ -58,11 +58,7 @@ fn run(name: &str, partitioner: Box<dyn Partitioner>, feed: Vec<Vec<Key>>) {
 
 fn main() {
     println!("Social word count, 4 workers, 5 intervals, ~100k tuples\n");
-    run(
-        "Storm",
-        Box::new(HashPartitioner::new(4)),
-        intervals(7),
-    );
+    run("Storm", Box::new(HashPartitioner::new(4)), intervals(7));
     run(
         "Mixed",
         Box::new(CoreBalancer::new(

@@ -11,9 +11,7 @@
 use streambal::baselines::CoreBalancer;
 use streambal::core::{BalanceParams, Key, RebalanceStrategy};
 use streambal::hashring::FxHashMap;
-use streambal::runtime::{
-    CoJoinOp, Collector, Engine, EngineConfig, Tuple, TAG_LEFT, TAG_RIGHT,
-};
+use streambal::runtime::{CoJoinOp, Collector, Engine, EngineConfig, Tuple, TAG_LEFT, TAG_RIGHT};
 use streambal::workloads::tpch::{REGION_NAMES, REGION_OF_NATION};
 use streambal::workloads::{TpchEvent, TpchGen, TpchParams};
 
@@ -128,7 +126,10 @@ fn main() {
         report.rebalances,
         report.migrated_keys
     );
-    println!("{:<10} {:>16} {:>16}", "nation", "streaming ¢", "reference ¢");
+    println!(
+        "{:<10} {:>16} {:>16}",
+        "nation", "streaming ¢", "reference ¢"
+    );
     let mut ok = true;
     for &(nation, revenue) in &report.collector_result {
         let expect = reference.get(&(nation as u8)).copied().unwrap_or(0);

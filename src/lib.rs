@@ -29,10 +29,15 @@ pub use streambal_sim as sim;
 pub use streambal_workloads as workloads;
 
 /// Convenience prelude pulling in the types most programs need.
+///
+/// The strategy interface ([`Partitioner`](streambal_core::Partitioner),
+/// [`RoutingView`](streambal_core::RoutingView)) is re-exported from
+/// `streambal-core`, where it lives — downstream users never need to
+/// import `baselines` just to name the trait.
 pub mod prelude {
     pub use streambal_core::{
-        AssignmentFn, BalanceParams, Key, MigrationPlan, RebalanceStrategy, Rebalancer,
-        RoutingTable, TaskId,
+        AssignmentFn, BalanceParams, Key, MigrationPlan, Partitioner, RebalanceStrategy,
+        Rebalancer, RoutingTable, RoutingView, TaskId,
     };
     pub use streambal_hashring::HashRing;
 }

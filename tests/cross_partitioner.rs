@@ -1,0 +1,189 @@
+//! Cross-partitioner invariants: every routing strategy in the workspace
+//! — the four baselines and the paper's four core strategies behind
+//! `CoreBalancer` — must drive both the simulator (`run_sim`) and the
+//! live engine (`Engine::run`) on the same workload.
+//!
+//! For the engine, correctness is checked end-to-end: strategies that
+//! preserve key-grouping semantics must produce *exact* word counts in
+//! worker state; key-splitting strategies (Shuffle, PKG) must produce
+//! exact counts after the partial/merge collector. Either way, no tuple
+//! may be lost or double-counted, migrations included.
+
+use streambal::baselines::{
+    CoreBalancer, HashPartitioner, PkgPartitioner, ReadjConfig, ReadjPartitioner,
+    ShufflePartitioner,
+};
+use streambal::core::{BalanceParams, RebalanceStrategy};
+use streambal::hashring::FxHashMap;
+use streambal::prelude::{Key, Partitioner, TaskId};
+use streambal::runtime::{Collector, Engine, EngineConfig, SumCollector, Tuple, WordCountOp};
+use streambal::sim::source::ZipfSource;
+use streambal::sim::{run_sim, SimConfig};
+use streambal::workloads::FluctuatingWorkload;
+
+/// Workload parameters shared by the sim and engine sides.
+const N_TASKS: usize = 3;
+const KEYS: usize = 400;
+const ZIPF: f64 = 1.0;
+const TUPLES: u64 = 6_000;
+const FLUCTUATION: f64 = 0.6;
+const SEED: u64 = 4242;
+const INTERVALS: usize = 5;
+
+/// Every partitioner under test, freshly constructed.
+fn all_partitioners() -> Vec<Box<dyn Partitioner>> {
+    let params = BalanceParams {
+        theta_max: 0.05,
+        ..BalanceParams::default()
+    };
+    let mut out: Vec<Box<dyn Partitioner>> = vec![
+        Box::new(HashPartitioner::new(N_TASKS)),
+        Box::new(ShufflePartitioner::new(N_TASKS)),
+        Box::new(PkgPartitioner::new(N_TASKS)),
+        Box::new(ReadjPartitioner::new(
+            N_TASKS,
+            100,
+            ReadjConfig {
+                theta_max: 0.05,
+                sigma: 0.01,
+                max_actions: 512,
+            },
+        )),
+    ];
+    for strategy in [
+        RebalanceStrategy::Mixed,
+        RebalanceStrategy::MinTable,
+        RebalanceStrategy::MinMig,
+        RebalanceStrategy::Simple,
+    ] {
+        out.push(Box::new(CoreBalancer::new(N_TASKS, 100, strategy, params)));
+    }
+    out
+}
+
+fn keyed_intervals() -> Vec<Vec<Key>> {
+    let mut w = FluctuatingWorkload::new(KEYS, ZIPF, TUPLES, FLUCTUATION, SEED);
+    (0..INTERVALS)
+        .map(|i| {
+            if i > 0 {
+                w.advance(N_TASKS, |k| TaskId::from(k.raw() as usize % N_TASKS));
+            }
+            w.tuples()
+        })
+        .collect()
+}
+
+fn reference_counts(intervals: &[Vec<Key>]) -> FxHashMap<Key, u64> {
+    let mut m = FxHashMap::default();
+    for iv in intervals {
+        for &k in iv {
+            *m.entry(k).or_insert(0) += 1;
+        }
+    }
+    m
+}
+
+/// Sim side: each partitioner completes the interval loop and reports one
+/// θ sample per interval.
+#[test]
+fn every_partitioner_completes_a_sim_run() {
+    let cfg = SimConfig {
+        n_tasks: N_TASKS,
+        intervals: INTERVALS,
+    };
+    for mut p in all_partitioners() {
+        let name = p.name();
+        let mut src = ZipfSource::new(KEYS, ZIPF, TUPLES, FLUCTUATION, SEED);
+        let report = run_sim(p.as_mut(), &mut src, &cfg);
+        assert_eq!(
+            report.theta_series.len(),
+            INTERVALS,
+            "{name}: interval count"
+        );
+        assert!(
+            report.mean_skewness() >= 1.0 - 1e-9,
+            "{name}: skewness below 1: {}",
+            report.mean_skewness()
+        );
+    }
+}
+
+/// The adaptive strategies must actually fire rebalances on this skewed,
+/// fluctuating workload in the simulator (static ones must not).
+#[test]
+fn adaptive_strategies_rebalance_in_sim() {
+    let cfg = SimConfig {
+        n_tasks: N_TASKS,
+        intervals: INTERVALS,
+    };
+    for mut p in all_partitioners() {
+        let name = p.name();
+        let mut src = ZipfSource::new(KEYS, ZIPF, TUPLES, FLUCTUATION, SEED);
+        let report = run_sim(p.as_mut(), &mut src, &cfg);
+        let adaptive = !matches!(name.as_str(), "Storm" | "Ideal" | "PKG");
+        if adaptive {
+            assert!(report.rebalances > 0, "{name}: expected rebalances");
+        } else {
+            assert_eq!(report.rebalances, 0, "{name}: static strategy rebalanced");
+        }
+    }
+}
+
+/// Engine side: every partitioner processes the full input, and word
+/// counts are exact — from worker state where key grouping holds, from
+/// the partial/merge collector where it does not.
+#[test]
+fn engine_word_counts_exact_across_partitioners() {
+    let intervals = keyed_intervals();
+    let expect = reference_counts(&intervals);
+    let total: u64 = intervals.iter().map(|iv| iv.len() as u64).sum();
+
+    for p in all_partitioners() {
+        let name = p.name();
+        let preserves = p.preserves_key_semantics();
+        let feed = intervals.clone();
+        let report = Engine::run(
+            EngineConfig {
+                n_workers: N_TASKS,
+                max_workers: N_TASKS,
+                spin_work: 10,
+                window: 100, // retain all state: exact count validation
+                ..EngineConfig::default()
+            },
+            p,
+            |_| {
+                if preserves {
+                    Box::new(WordCountOp::new())
+                } else {
+                    // Split keys need partial emission + a merge stage.
+                    Box::new(WordCountOp::with_partial_emission(32))
+                }
+            },
+            move |iv| {
+                feed.get(iv as usize)
+                    .map(|ks| ks.iter().map(|&k| Tuple::keyed(k)).collect())
+            },
+            (!preserves).then(|| Box::new(SumCollector::new()) as Box<dyn Collector>),
+        );
+
+        assert_eq!(report.processed, total, "{name}: tuples lost or duplicated");
+
+        let got: FxHashMap<Key, u64> = if preserves {
+            report
+                .final_states
+                .iter()
+                .map(|(k, blob)| {
+                    let n: u64 = WordCountOp::decode(blob).iter().map(|&(_, c)| c).sum();
+                    (*k, n)
+                })
+                .collect()
+        } else {
+            report
+                .collector_result
+                .iter()
+                .map(|&(k, v)| (Key(k), v))
+                .collect()
+        };
+        assert_eq!(got, expect, "{name}: word counts diverged");
+    }
+}

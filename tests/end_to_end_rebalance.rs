@@ -41,7 +41,10 @@ fn final_counts(report: &streambal::runtime::EngineReport) -> FxHashMap<Key, u64
     m
 }
 
-fn run(partitioner: Box<dyn Partitioner>, intervals: &[Vec<Key>]) -> streambal::runtime::EngineReport {
+fn run(
+    partitioner: Box<dyn Partitioner>,
+    intervals: &[Vec<Key>],
+) -> streambal::runtime::EngineReport {
     let feed = intervals.to_vec();
     Engine::run(
         EngineConfig {

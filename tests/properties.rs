@@ -35,12 +35,10 @@ fn arb_input() -> impl Strategy<Value = RebalanceInput> {
 }
 
 fn arb_params() -> impl Strategy<Value = BalanceParams> {
-    (0.0f64..0.5, 1.0f64..2.0, 0usize..200).prop_map(|(theta_max, beta, table_max)| {
-        BalanceParams {
-            theta_max,
-            beta,
-            table_max,
-        }
+    (0.0f64..0.5, 1.0f64..2.0, 0usize..200).prop_map(|(theta_max, beta, table_max)| BalanceParams {
+        theta_max,
+        beta,
+        table_max,
     })
 }
 

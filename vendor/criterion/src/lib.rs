@@ -1,0 +1,171 @@
+//! Offline shim for `criterion`.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors the thin API slice its benches use. Methodology is
+//! deliberately simple — per benchmark: one warm-up call, then
+//! `sample_size` timed iterations reported as min/mean — enough to
+//! compare routing strategies locally and to keep `cargo bench` working
+//! as a compile-and-smoke target in CI.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Top-level benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _priv: (),
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup {
+        println!("\ngroup {name}");
+        BenchmarkGroup { sample_size: 20 }
+    }
+
+    /// Runs a single stand-alone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        run_one(id, 20, &mut f);
+        self
+    }
+}
+
+/// A named group sharing settings.
+#[derive(Debug)]
+pub struct BenchmarkGroup {
+    sample_size: usize,
+}
+
+impl BenchmarkGroup {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Benchmarks `f` with a fixed input.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        run_one(&id.0, self.sample_size, &mut |b| f(b, input));
+        self
+    }
+
+    /// Benchmarks `f` without an input.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        run_one(id, self.sample_size, &mut f);
+        self
+    }
+
+    /// Ends the group (upstream criterion emits summaries here).
+    pub fn finish(self) {}
+}
+
+fn run_one(id: &str, samples: usize, f: &mut dyn FnMut(&mut Bencher)) {
+    let mut b = Bencher {
+        samples,
+        total: Duration::ZERO,
+        min: Duration::MAX,
+        iters: 0,
+    };
+    f(&mut b);
+    if b.iters == 0 {
+        println!("  {id:<40} (no iterations)");
+        return;
+    }
+    let mean = b.total / b.iters as u32;
+    println!(
+        "  {id:<40} mean {:>12.3?}  min {:>12.3?}  ({} samples)",
+        mean, b.min, b.iters
+    );
+}
+
+/// Passed to benchmark closures; call [`Bencher::iter`].
+#[derive(Debug)]
+pub struct Bencher {
+    samples: usize,
+    total: Duration,
+    min: Duration,
+    iters: usize,
+}
+
+impl Bencher {
+    /// Times `routine` `sample_size` times (after one warm-up call).
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        black_box(routine()); // warm-up, untimed
+        for _ in 0..self.samples {
+            let t0 = Instant::now();
+            black_box(routine());
+            let dt = t0.elapsed();
+            self.total += dt;
+            self.min = self.min.min(dt);
+            self.iters += 1;
+        }
+    }
+}
+
+/// A function/parameter pair naming one benchmark.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// `function_name/parameter` display form, as upstream.
+    pub fn new<P: Display>(function_name: &str, parameter: P) -> Self {
+        BenchmarkId(format!("{function_name}/{parameter}"))
+    }
+
+    /// Parameter-only form.
+    pub fn from_parameter<P: Display>(parameter: P) -> Self {
+        BenchmarkId(parameter.to_string())
+    }
+}
+
+/// Declares a group-runner function over benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` over the declared groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_runs_requested_samples() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        group.sample_size(5);
+        let mut calls = 0usize;
+        group.bench_with_input(BenchmarkId::new("f", 1), &3u64, |b, &x| {
+            b.iter(|| {
+                calls += 1;
+                x * 2
+            })
+        });
+        group.finish();
+        assert_eq!(calls, 6, "1 warm-up + 5 samples");
+    }
+}

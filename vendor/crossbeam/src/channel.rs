@@ -1,0 +1,380 @@
+//! MPSC channels with crossbeam-channel's API shape.
+//!
+//! Semantics the engine relies on:
+//! * `bounded(cap)`: `send` blocks while the queue holds `cap` messages —
+//!   this is the backpressure path.
+//! * `unbounded()`: `send` never blocks.
+//! * `recv` blocks until a message arrives or every sender is dropped.
+//! * A channel with no receivers fails sends with [`SendError`], waking
+//!   blocked senders (teardown safety).
+//! * [`Select`] waits on several receivers at once; a disconnected
+//!   channel counts as ready, exactly like crossbeam.
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+
+/// The sending half failed because all receivers are gone.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SendError<T>(pub T);
+
+/// The receiving half failed because the channel is empty and all senders
+/// are gone.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecvError;
+
+/// Why `try_recv` returned nothing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TryRecvError {
+    /// No message queued right now.
+    Empty,
+    /// No message queued and no sender remains.
+    Disconnected,
+}
+
+struct State<T> {
+    queue: VecDeque<T>,
+    senders: usize,
+    receivers: usize,
+}
+
+struct Shared<T> {
+    state: Mutex<State<T>>,
+    /// Signalled on enqueue and on sender-side disconnect.
+    not_empty: Condvar,
+    /// Signalled on dequeue and on receiver-side disconnect.
+    not_full: Condvar,
+    cap: Option<usize>,
+}
+
+impl<T> Shared<T> {
+    fn new(cap: Option<usize>) -> Arc<Self> {
+        Arc::new(Shared {
+            state: Mutex::new(State {
+                queue: VecDeque::new(),
+                senders: 1,
+                receivers: 1,
+            }),
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+            cap,
+        })
+    }
+}
+
+/// The sending half. Clonable; dropping the last sender disconnects.
+pub struct Sender<T> {
+    shared: Arc<Shared<T>>,
+}
+
+/// The receiving half. Dropping it disconnects the channel.
+pub struct Receiver<T> {
+    shared: Arc<Shared<T>>,
+}
+
+/// Creates a channel that holds at most `cap` messages; `send` blocks when
+/// full.
+pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+    // cap = 0 (rendezvous) is not needed here; treat it as capacity 1.
+    let shared = Shared::new(Some(cap.max(1)));
+    (
+        Sender {
+            shared: Arc::clone(&shared),
+        },
+        Receiver { shared },
+    )
+}
+
+/// Creates a channel with no capacity limit.
+pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+    let shared = Shared::new(None);
+    (
+        Sender {
+            shared: Arc::clone(&shared),
+        },
+        Receiver { shared },
+    )
+}
+
+impl<T> Sender<T> {
+    /// Enqueues `msg`, blocking while a bounded channel is full. Fails
+    /// only when every receiver is gone.
+    pub fn send(&self, msg: T) -> Result<(), SendError<T>> {
+        let mut state = self.shared.state.lock().unwrap();
+        loop {
+            if state.receivers == 0 {
+                return Err(SendError(msg));
+            }
+            match self.shared.cap {
+                Some(cap) if state.queue.len() >= cap => {
+                    state = self.shared.not_full.wait(state).unwrap();
+                }
+                _ => break,
+            }
+        }
+        state.queue.push_back(msg);
+        drop(state);
+        self.shared.not_empty.notify_one();
+        Ok(())
+    }
+}
+
+impl<T> Clone for Sender<T> {
+    fn clone(&self) -> Self {
+        self.shared.state.lock().unwrap().senders += 1;
+        Sender {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+}
+
+impl<T> Drop for Sender<T> {
+    fn drop(&mut self) {
+        let mut state = self.shared.state.lock().unwrap();
+        state.senders -= 1;
+        let last = state.senders == 0;
+        drop(state);
+        if last {
+            // Wake receivers blocked on an empty queue so they observe
+            // the disconnect.
+            self.shared.not_empty.notify_all();
+        }
+    }
+}
+
+impl<T> Receiver<T> {
+    /// Dequeues a message, blocking until one arrives or all senders are
+    /// dropped.
+    pub fn recv(&self) -> Result<T, RecvError> {
+        let mut state = self.shared.state.lock().unwrap();
+        loop {
+            if let Some(msg) = state.queue.pop_front() {
+                drop(state);
+                self.shared.not_full.notify_one();
+                return Ok(msg);
+            }
+            if state.senders == 0 {
+                return Err(RecvError);
+            }
+            state = self.shared.not_empty.wait(state).unwrap();
+        }
+    }
+
+    /// Dequeues a message if one is ready.
+    pub fn try_recv(&self) -> Result<T, TryRecvError> {
+        let mut state = self.shared.state.lock().unwrap();
+        if let Some(msg) = state.queue.pop_front() {
+            drop(state);
+            self.shared.not_full.notify_one();
+            return Ok(msg);
+        }
+        if state.senders == 0 {
+            Err(TryRecvError::Disconnected)
+        } else {
+            Err(TryRecvError::Empty)
+        }
+    }
+
+    /// Whether a `recv` would return without blocking (message queued or
+    /// channel disconnected).
+    fn ready(&self) -> bool {
+        let state = self.shared.state.lock().unwrap();
+        !state.queue.is_empty() || state.senders == 0
+    }
+}
+
+impl<T> Drop for Receiver<T> {
+    fn drop(&mut self) {
+        let mut state = self.shared.state.lock().unwrap();
+        state.receivers -= 1;
+        let last = state.receivers == 0;
+        drop(state);
+        if last {
+            // Wake senders blocked on a full queue so they observe the
+            // disconnect.
+            self.shared.not_full.notify_all();
+        }
+    }
+}
+
+/// Object-safe readiness probe, so [`Select`] can hold receivers of
+/// different message types.
+trait Ready {
+    fn ready(&self) -> bool;
+}
+
+impl<T> Ready for Receiver<T> {
+    fn ready(&self) -> bool {
+        Receiver::ready(self)
+    }
+}
+
+/// Waits for any of several registered receivers to become ready.
+///
+/// Readiness polling with a capped backoff (≤ 100 µs sleeps): simple and
+/// good enough for the control-plane traffic this serves — data tuples
+/// never cross a `Select`.
+pub struct Select<'a> {
+    handles: Vec<&'a dyn Ready>,
+    /// Round-robin start position, so one busy channel cannot starve the
+    /// others.
+    next: usize,
+}
+
+impl<'a> Select<'a> {
+    /// Creates an empty selector.
+    #[allow(clippy::new_without_default)]
+    pub fn new() -> Self {
+        Select {
+            handles: Vec::new(),
+            next: 0,
+        }
+    }
+
+    /// Registers a receive operation; returns its index.
+    pub fn recv<T>(&mut self, r: &'a Receiver<T>) -> usize {
+        self.handles.push(r);
+        self.handles.len() - 1
+    }
+
+    /// Blocks until a registered operation is ready.
+    pub fn select(&mut self) -> SelectedOperation {
+        assert!(!self.handles.is_empty(), "empty Select");
+        let mut spins = 0u32;
+        loop {
+            let n = self.handles.len();
+            for off in 0..n {
+                let idx = (self.next + off) % n;
+                if self.handles[idx].ready() {
+                    self.next = (idx + 1) % n;
+                    return SelectedOperation { index: idx };
+                }
+            }
+            // Backoff: yield a few times, then sleep briefly.
+            spins += 1;
+            if spins < 32 {
+                std::thread::yield_now();
+            } else {
+                std::thread::sleep(Duration::from_micros(100));
+            }
+        }
+    }
+}
+
+/// A ready operation returned by [`Select::select`]; complete it with
+/// [`SelectedOperation::recv`] on the receiver it fired for.
+pub struct SelectedOperation {
+    index: usize,
+}
+
+impl SelectedOperation {
+    /// Index of the operation, as returned by [`Select::recv`].
+    pub fn index(&self) -> usize {
+        self.index
+    }
+
+    /// Completes the receive. The selecting thread is the only consumer,
+    /// so a ready channel yields without blocking; `Err` reports
+    /// disconnection.
+    pub fn recv<T>(self, r: &Receiver<T>) -> Result<T, RecvError> {
+        match r.try_recv() {
+            Ok(v) => Ok(v),
+            Err(TryRecvError::Disconnected) => Err(RecvError),
+            // Raced with nothing (sole consumer) — readiness was a
+            // disconnect-in-progress; block for the definitive answer.
+            Err(TryRecvError::Empty) => r.recv(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    #[test]
+    fn unbounded_fifo_and_disconnect() {
+        let (tx, rx) = unbounded();
+        tx.send(1).unwrap();
+        tx.send(2).unwrap();
+        assert_eq!(rx.recv(), Ok(1));
+        assert_eq!(rx.recv(), Ok(2));
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Empty));
+        drop(tx);
+        assert_eq!(rx.recv(), Err(RecvError));
+    }
+
+    #[test]
+    fn bounded_blocks_until_drained() {
+        let (tx, rx) = bounded(2);
+        tx.send(1).unwrap();
+        tx.send(2).unwrap();
+        let t = thread::spawn(move || {
+            tx.send(3).unwrap(); // must block until a recv happens
+            tx.send(4).unwrap();
+        });
+        assert_eq!(rx.recv(), Ok(1));
+        assert_eq!(rx.recv(), Ok(2));
+        assert_eq!(rx.recv(), Ok(3));
+        assert_eq!(rx.recv(), Ok(4));
+        t.join().unwrap();
+    }
+
+    #[test]
+    fn send_fails_when_receiver_gone() {
+        let (tx, rx) = bounded(1);
+        drop(rx);
+        assert!(tx.send(9).is_err());
+    }
+
+    #[test]
+    fn dropped_receiver_wakes_blocked_sender() {
+        let (tx, rx) = bounded(1);
+        tx.send(1).unwrap();
+        let t = thread::spawn(move || tx.send(2)); // blocks: queue full
+        thread::sleep(Duration::from_millis(20));
+        drop(rx);
+        assert!(t.join().unwrap().is_err());
+    }
+
+    #[test]
+    fn select_picks_ready_channel_and_reports_disconnect() {
+        let (tx_a, rx_a) = unbounded::<u32>();
+        let (tx_b, rx_b) = unbounded::<String>();
+        let mut sel = Select::new();
+        let ia = sel.recv(&rx_a);
+        let ib = sel.recv(&rx_b);
+
+        tx_b.send("hi".into()).unwrap();
+        let op = sel.select();
+        assert_eq!(op.index(), ib);
+        assert_eq!(op.recv(&rx_b).unwrap(), "hi");
+
+        tx_a.send(5).unwrap();
+        let op = sel.select();
+        assert_eq!(op.index(), ia);
+        assert_eq!(op.recv(&rx_a), Ok(5));
+
+        drop(tx_a);
+        let op = sel.select(); // disconnected channel is "ready"
+        assert_eq!(op.index(), ia);
+        assert!(op.recv(&rx_a).is_err());
+    }
+
+    #[test]
+    fn cross_thread_select_wakes() {
+        let (tx, rx) = unbounded::<u64>();
+        let (_keep, rx_idle) = unbounded::<u64>();
+        let t = thread::spawn(move || {
+            thread::sleep(Duration::from_millis(30));
+            tx.send(77).unwrap();
+        });
+        let mut sel = Select::new();
+        let i_busy = sel.recv(&rx);
+        let _i_idle = sel.recv(&rx_idle);
+        let op = sel.select();
+        assert_eq!(op.index(), i_busy);
+        assert_eq!(op.recv(&rx), Ok(77));
+        t.join().unwrap();
+    }
+}

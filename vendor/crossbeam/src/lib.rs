@@ -1,0 +1,9 @@
+//! Offline shim for `crossbeam`, backed by `std::sync`.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors the thin API slice it actually uses: MPSC channels (bounded
+//! with blocking backpressure, and unbounded) plus a two-way [`channel::Select`].
+//! Blocking send/recv use condvars; only `Select` polls (short
+//! exponential backoff), which is fine for the control plane it serves.
+
+pub mod channel;

@@ -1,0 +1,127 @@
+//! Offline shim for `proptest`.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors the thin API slice its property tests use: the [`proptest!`]
+//! macro, range/tuple/`Just`/`vec`/`any` strategies, `prop_map` /
+//! `prop_flat_map`, and the `prop_assert*` family. Differences from
+//! upstream: cases are generated from a fixed deterministic seed sequence,
+//! there is **no shrinking** (a failure reports the failing inputs via the
+//! panic message of the underlying `assert!`), and `prop_assume!` skips
+//! the case without drawing a replacement.
+
+pub mod arbitrary;
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+/// The commonly used names, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+}
+
+/// Asserts a condition inside a property (panics on failure, as upstream
+/// does after shrinking).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($t:tt)*) => { assert!($($t)*) };
+}
+
+/// Asserts equality inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($t:tt)*) => { assert_eq!($($t)*) };
+}
+
+/// Asserts inequality inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($t:tt)*) => { assert_ne!($($t)*) };
+}
+
+/// Skips the current case when the precondition does not hold.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(, $($rest:tt)*)?) => {
+        if !($cond) {
+            return ::std::option::Option::None;
+        }
+    };
+}
+
+/// Declares property tests: each `fn name(pat in strategy, ...) { body }`
+/// becomes a `#[test]` (the attribute is written by the caller, as
+/// upstream requires) running `cases` deterministic draws.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!{@items $cfg; $($rest)*}
+    };
+    (@items $cfg:expr; $(
+        $(#[$meta:meta])*
+        fn $name:ident ( $($pat:pat in $strat:expr),+ $(,)? ) $body:block
+    )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config = $cfg;
+                for case in 0..config.cases {
+                    let mut rng = $crate::test_runner::case_rng(case);
+                    $(
+                        let $pat =
+                            $crate::strategy::Strategy::generate(&($strat), &mut rng);
+                    )+
+                    // The closure gives `prop_assume!` an early exit;
+                    // `None` marks a skipped case.
+                    #[allow(clippy::redundant_closure_call)]
+                    let _skipped: ::std::option::Option<()> = (|| {
+                        $body
+                        ::std::option::Option::Some(())
+                    })();
+                }
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!{@items $crate::test_runner::ProptestConfig::default(); $($rest)*}
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// Doc comments and multi-arg patterns parse; draws honour ranges.
+        #[test]
+        fn ranges_and_tuples((a, b) in (1usize..5, 10u64..=12), f in -1.0f64..1.0) {
+            prop_assert!((1..5).contains(&a));
+            prop_assert!((10..=12).contains(&b));
+            prop_assert!((-1.0..1.0).contains(&f));
+        }
+
+        #[test]
+        fn map_flat_map_vec(v in crate::collection::vec((0u32..7).prop_map(|x| x * 2), 1..9)) {
+            prop_assert!(!v.is_empty() && v.len() < 9);
+            for x in v {
+                prop_assert!(x % 2 == 0 && x < 14);
+            }
+        }
+
+        #[test]
+        fn assume_skips(n in 0usize..10) {
+            prop_assume!(n % 2 == 0);
+            prop_assert!(n % 2 == 0);
+        }
+
+        #[test]
+        fn flat_map_dependent(pair in (2usize..6).prop_flat_map(|n| (Just(n), 0..n as u32))) {
+            let (n, v) = pair;
+            prop_assert!((v as usize) < n);
+        }
+    }
+}
