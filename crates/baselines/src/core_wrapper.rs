@@ -48,6 +48,10 @@ impl Partitioner for CoreBalancer {
         self.inner.route(key)
     }
 
+    fn route_batch(&mut self, keys: &[Key], out: &mut Vec<TaskId>) {
+        self.inner.route_batch(keys, out);
+    }
+
     fn end_interval(&mut self, stats: IntervalStats) -> Option<RebalanceOutcome> {
         self.inner.end_interval(stats)
     }

@@ -35,6 +35,10 @@ impl Partitioner for HashPartitioner {
         self.assignment.route(key)
     }
 
+    fn route_batch(&mut self, keys: &[Key], out: &mut Vec<TaskId>) {
+        self.assignment.route_batch(keys, out);
+    }
+
     fn end_interval(&mut self, _stats: IntervalStats) -> Option<RebalanceOutcome> {
         None // never rebalances
     }

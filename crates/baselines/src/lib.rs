@@ -62,6 +62,39 @@ mod tests {
         }
     }
 
+    /// Batched routing must be observationally identical to per-key
+    /// routing — including for stateful strategies (shuffle cursor, PKG
+    /// estimates), compared against a freshly built twin.
+    #[test]
+    fn route_batch_matches_per_key_for_all_baselines() {
+        use streambal_core::{BalanceParams, RebalanceStrategy, TaskId};
+        fn fresh_pair() -> Vec<(Box<dyn Partitioner>, Box<dyn Partitioner>)> {
+            fn build() -> Vec<Box<dyn Partitioner>> {
+                vec![
+                    Box::new(HashPartitioner::new(5)),
+                    Box::new(ShufflePartitioner::new(5)),
+                    Box::new(PkgPartitioner::new(5)),
+                    Box::new(ReadjPartitioner::new(5, 2, ReadjConfig::default())),
+                    Box::new(CoreBalancer::new(
+                        5,
+                        2,
+                        RebalanceStrategy::Mixed,
+                        BalanceParams::default(),
+                    )),
+                ]
+            }
+            build().into_iter().zip(build()).collect()
+        }
+        let keys: Vec<Key> = (0..2_000u64).map(Key).collect();
+        for (mut batched, mut per_key) in fresh_pair() {
+            let name = batched.name();
+            let mut out = Vec::new();
+            batched.route_batch(&keys, &mut out);
+            let expect: Vec<TaskId> = keys.iter().map(|&k| per_key.route(k)).collect();
+            assert_eq!(out, expect, "{name}: batch diverged from per-key");
+        }
+    }
+
     #[test]
     fn key_semantics_flags() {
         assert!(HashPartitioner::new(2).preserves_key_semantics());

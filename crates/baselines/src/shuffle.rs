@@ -39,6 +39,18 @@ impl Partitioner for ShufflePartitioner {
         TaskId::from(d)
     }
 
+    fn route_batch(&mut self, keys: &[Key], out: &mut Vec<TaskId>) {
+        // Key-oblivious: emit the cursor sequence directly.
+        out.clear();
+        out.reserve(keys.len());
+        let mut d = self.next;
+        for _ in keys {
+            out.push(TaskId::from(d));
+            d = (d + 1) % self.n_tasks;
+        }
+        self.next = d;
+    }
+
     fn end_interval(&mut self, _stats: IntervalStats) -> Option<RebalanceOutcome> {
         None
     }

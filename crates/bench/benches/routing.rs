@@ -1,30 +1,361 @@
-//! Criterion bench: per-tuple routing cost of the mixed strategy (Eq. 1)
-//! at several routing-table sizes vs pure hashing — the framework's
-//! constant-factor overhead claim ("both the memory and computation cost
-//! of the scheme are acceptable", §II).
+//! Criterion bench: per-tuple routing cost of the mixed strategy (Eq. 1).
+//!
+//! Three comparisons, all at the paper's production table bound
+//! (`Amax = 3000`, §II "both the memory and computation cost of the
+//! scheme are acceptable"), on table hits, misses (ring fallback), and a
+//! 50/50 mix:
+//!
+//! 1. **the seed hot path vs. the new one** — `seed_map_per_tuple` is
+//!    what the drivers actually paid per tuple before this rework: one
+//!    dynamic `Partitioner::route` dispatch plus one `FxHashMap` probe.
+//!    `compiled_batched` is the replacement: one dynamic `route_batch`
+//!    dispatch per channel batch, flat-table probes inside. This pair is
+//!    the acceptance ratio.
+//! 2. **map vs. compiled table, dispatch-free** — `map_per_tuple_inlined`
+//!    vs. `compiled_per_tuple`, isolating the flat-table win from the
+//!    batching win.
+//! 3. **table-size sweep** — batched routing from an empty table to 50k
+//!    entries (the seed bench's sweep, batched).
+//!
+//! Every benchmark routes the same `BATCH × REPS` keys per timed sample,
+//! so mean sample times divide directly into ns/key and compare across
+//! benchmarks. Results are printed and written machine-readably to
+//! `bench_results/routing.json` (hand-rolled writer, no serde) so future
+//! PRs can diff the trajectory. `--test` (as passed by the CI smoke step
+//! via `cargo bench --bench routing -- --test`) shrinks the sample count
+//! and writes to `bench_results/routing.smoke.json` instead, so noisy
+//! smoke numbers can never clobber the committed full-run file.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use streambal_core::{AssignmentFn, Key, RoutingTable, TaskId};
+use criterion::{black_box, take_measurements, BenchmarkId, Criterion, Measurement};
+use streambal_bench::json::{write_json, Json};
+use streambal_core::{
+    AssignmentFn, IntervalStats, Key, Partitioner, RebalanceOutcome, RoutingTable, RoutingView,
+    TaskId,
+};
+use streambal_hashring::mix64;
 
-fn bench_routing(c: &mut Criterion) {
-    let mut group = c.benchmark_group("routing");
-    let n_tasks = 10;
-    for table_size in [0usize, 1_000, 10_000, 50_000] {
-        let table: RoutingTable = (0..table_size as u64)
-            .map(|k| (Key(k), TaskId((k % n_tasks as u64) as u32)))
-            .collect();
-        let f = AssignmentFn::with_table(n_tasks, table);
-        group.bench_with_input(BenchmarkId::new("route", table_size), &f, |b, f| {
-            let mut key = 0u64;
-            b.iter(|| {
-                // Alternate table hits and misses.
-                key = key.wrapping_add(1);
-                f.route(Key(key % (2 * table_size.max(1)) as u64))
-            })
-        });
+/// Downstream parallelism `N_D`.
+const N_TASKS: usize = 10;
+/// Routing-table size for the comparison group: the paper's `Amax`.
+const TABLE_SIZE: usize = 3_000;
+/// Keys routed per `route_batch` call (a channel batch).
+const BATCH: usize = 1_024;
+/// Batch repetitions per timed sample, so samples are ≳ 100 µs and well
+/// above timer resolution.
+const REPS: usize = 32;
+
+fn assignment(table_size: usize) -> AssignmentFn {
+    let table: RoutingTable = (0..table_size as u64)
+        .map(|k| (Key(k), TaskId((k % N_TASKS as u64) as u32)))
+        .collect();
+    AssignmentFn::with_table(N_TASKS, table)
+}
+
+/// `BATCH` keys present in a `table_size`-entry table, in shuffled order.
+fn hit_keys(table_size: usize) -> Vec<Key> {
+    (0..BATCH as u64)
+        .map(|i| Key(mix64(i) % table_size as u64))
+        .collect()
+}
+
+/// `BATCH` keys guaranteed absent from the table (raw ≥ table size).
+fn miss_keys(table_size: usize) -> Vec<Key> {
+    (0..BATCH as u64)
+        .map(|i| Key(table_size as u64 + mix64(i) / 2))
+        .collect()
+}
+
+/// Alternating hit/miss keys.
+fn mixed_keys(table_size: usize) -> Vec<Key> {
+    hit_keys(table_size)
+        .into_iter()
+        .zip(miss_keys(table_size))
+        .enumerate()
+        .map(|(i, (h, m))| if i % 2 == 0 { h } else { m })
+        .collect()
+}
+
+/// The seed's router shape behind the driver-facing trait: every
+/// [`Partitioner::route`] call — one dynamic dispatch — probes the
+/// `FxHashMap` (and `route_batch` stays the per-key default, as the seed
+/// had no batch API).
+struct SeedMapRouter(AssignmentFn);
+
+impl Partitioner for SeedMapRouter {
+    fn name(&self) -> String {
+        "seed-map".into()
+    }
+
+    fn n_tasks(&self) -> usize {
+        self.0.n_tasks()
+    }
+
+    fn route(&mut self, key: Key) -> TaskId {
+        self.0.route_via_map(key)
+    }
+
+    fn end_interval(&mut self, _stats: IntervalStats) -> Option<RebalanceOutcome> {
+        None
+    }
+
+    fn routing_view(&self) -> RoutingView {
+        RoutingView::TablePlusHash {
+            table: self.0.table().clone(),
+            n_tasks: self.0.n_tasks(),
+        }
+    }
+}
+
+/// The reworked router behind the same trait: compiled-table lookups,
+/// with `route_batch` overridden to the batched fast path.
+struct CompiledRouter(AssignmentFn);
+
+impl Partitioner for CompiledRouter {
+    fn name(&self) -> String {
+        "compiled".into()
+    }
+
+    fn n_tasks(&self) -> usize {
+        self.0.n_tasks()
+    }
+
+    fn route(&mut self, key: Key) -> TaskId {
+        self.0.route(key)
+    }
+
+    fn route_batch(&mut self, keys: &[Key], out: &mut Vec<TaskId>) {
+        self.0.route_batch(keys, out);
+    }
+
+    fn end_interval(&mut self, _stats: IntervalStats) -> Option<RebalanceOutcome> {
+        None
+    }
+
+    fn routing_view(&self) -> RoutingView {
+        RoutingView::TablePlusHash {
+            table: self.0.table().clone(),
+            n_tasks: self.0.n_tasks(),
+        }
+    }
+}
+
+/// The seed-vs-new and map-vs-compiled comparisons at `Amax`.
+fn bench_compare(c: &mut Criterion, samples: usize) {
+    let f = assignment(TABLE_SIZE);
+    let mut group = c.benchmark_group("routing_compare");
+    group.sample_size(samples);
+    for (set, keys) in [
+        ("hit", hit_keys(TABLE_SIZE)),
+        ("miss", miss_keys(TABLE_SIZE)),
+        ("mixed", mixed_keys(TABLE_SIZE)),
+    ] {
+        // 1a. The seed hot path: dyn dispatch + map probe, per tuple
+        // (exactly `run_sim`'s and the engine's former inner loop).
+        let mut seed = SeedMapRouter(f.clone());
+        group.bench_with_input(
+            BenchmarkId::new("seed_map_per_tuple", set),
+            &keys,
+            |b, keys| {
+                let p: &mut dyn Partitioner = black_box(&mut seed);
+                b.iter(|| {
+                    let mut acc = 0u32;
+                    for _ in 0..REPS {
+                        for &k in keys {
+                            acc ^= p.route(black_box(k)).0;
+                        }
+                    }
+                    acc
+                })
+            },
+        );
+        // 1b. The new hot path: one dyn dispatch per batch, compiled
+        // probes inside.
+        let mut compiled = CompiledRouter(f.clone());
+        group.bench_with_input(
+            BenchmarkId::new("compiled_batched", set),
+            &keys,
+            |b, keys| {
+                let p: &mut dyn Partitioner = black_box(&mut compiled);
+                let mut out: Vec<TaskId> = Vec::with_capacity(BATCH);
+                b.iter(|| {
+                    let mut acc = 0u32;
+                    for _ in 0..REPS {
+                        p.route_batch(black_box(keys), &mut out);
+                        acc ^= out.last().map_or(0, |d| d.0);
+                    }
+                    acc
+                })
+            },
+        );
+        // 2. Dispatch-free pair, isolating the flat table vs the map.
+        group.bench_with_input(
+            BenchmarkId::new("map_per_tuple_inlined", set),
+            &keys,
+            |b, keys| {
+                b.iter(|| {
+                    let mut acc = 0u32;
+                    for _ in 0..REPS {
+                        for &k in keys {
+                            acc ^= f.route_via_map(black_box(k)).0;
+                        }
+                    }
+                    acc
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("compiled_per_tuple", set),
+            &keys,
+            |b, keys| {
+                b.iter(|| {
+                    let mut acc = 0u32;
+                    for _ in 0..REPS {
+                        for &k in keys {
+                            acc ^= f.route(black_box(k)).0;
+                        }
+                    }
+                    acc
+                })
+            },
+        );
     }
     group.finish();
 }
 
-criterion_group!(benches, bench_routing);
-criterion_main!(benches);
+/// Batched routing across table sizes (the seed bench's sweep, batched):
+/// alternating hits and misses, as upstream tuple streams do.
+fn bench_sweep(c: &mut Criterion, samples: usize) {
+    let mut group = c.benchmark_group("routing_sweep");
+    group.sample_size(samples);
+    for table_size in [0usize, 1_000, 10_000, 50_000] {
+        let f = assignment(table_size);
+        let keys = if table_size == 0 {
+            miss_keys(1) // empty table: everything is a ring lookup
+        } else {
+            mixed_keys(table_size)
+        };
+        group.bench_with_input(
+            BenchmarkId::new("route_batch", table_size),
+            &keys,
+            |b, keys| {
+                let mut out: Vec<TaskId> = Vec::with_capacity(BATCH);
+                b.iter(|| {
+                    let mut acc = 0u32;
+                    for _ in 0..REPS {
+                        f.route_batch(black_box(keys), &mut out);
+                        acc ^= out.last().map_or(0, |d| d.0);
+                    }
+                    acc
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn mean_ns(ms: &[Measurement], id: &str) -> Option<f64> {
+    ms.iter()
+        .find(|m| m.id == id)
+        .map(|m| m.mean.as_nanos() as f64)
+}
+
+fn min_ns(ms: &[Measurement], id: &str) -> Option<f64> {
+    ms.iter()
+        .find(|m| m.id == id)
+        .map(|m| m.min.as_nanos() as f64)
+}
+
+/// Serializes measurements (and derived per-key costs / speedups) to
+/// `bench_results/routing.json`.
+fn write_results(ms: &[Measurement], smoke: bool) {
+    let keys_per_sample = (BATCH * REPS) as f64;
+    let results: Vec<Json> = ms
+        .iter()
+        .map(|m| {
+            Json::obj([
+                ("id", Json::str(m.id.clone())),
+                ("mean_ns", Json::Num(m.mean.as_nanos() as f64)),
+                ("min_ns", Json::Num(m.min.as_nanos() as f64)),
+                (
+                    "ns_per_key",
+                    Json::Num(m.mean.as_nanos() as f64 / keys_per_sample),
+                ),
+                ("samples", Json::Int(m.samples as u64)),
+            ])
+        })
+        .collect();
+    // The acceptance ratios: the new hot path (batched dispatch +
+    // compiled probes) against the seed hot path (per-tuple dispatch +
+    // map probes), per key set. Ratios of means plus ratios of minima —
+    // the minima are the noise-robust point estimates.
+    let mut speedups_mean = Vec::new();
+    let mut speedups_min = Vec::new();
+    for set in ["hit", "miss", "mixed"] {
+        let seed_id = format!("seed_map_per_tuple/{set}");
+        let new_id = format!("compiled_batched/{set}");
+        if let (Some(seed), Some(new)) = (mean_ns(ms, &seed_id), mean_ns(ms, &new_id)) {
+            speedups_mean.push((set, Json::Num(if new > 0.0 { seed / new } else { 0.0 })));
+        }
+        if let (Some(seed), Some(new)) = (min_ns(ms, &seed_id), min_ns(ms, &new_id)) {
+            speedups_min.push((set, Json::Num(if new > 0.0 { seed / new } else { 0.0 })));
+        }
+    }
+    let doc = Json::obj([
+        ("bench", Json::str("routing")),
+        ("n_tasks", Json::Int(N_TASKS as u64)),
+        ("table_size", Json::Int(TABLE_SIZE as u64)),
+        ("batch", Json::Int(BATCH as u64)),
+        ("reps", Json::Int(REPS as u64)),
+        ("smoke", Json::Bool(smoke)),
+        ("results", Json::Arr(results)),
+        (
+            "speedup_batched_vs_seed_per_tuple",
+            Json::Obj(
+                speedups_mean
+                    .into_iter()
+                    .map(|(k, v)| (k.to_string(), v))
+                    .collect(),
+            ),
+        ),
+        (
+            "speedup_batched_vs_seed_per_tuple_min",
+            Json::Obj(
+                speedups_min
+                    .into_iter()
+                    .map(|(k, v)| (k.to_string(), v))
+                    .collect(),
+            ),
+        ),
+    ]);
+    // Anchor at the workspace root — cargo runs bench binaries with the
+    // package dir (crates/bench) as CWD. Smoke runs (3 noisy samples) go
+    // to a separate, untracked path so they can never clobber the
+    // committed full-run trajectory in routing.json.
+    let path = if smoke {
+        concat!(
+            env!("CARGO_MANIFEST_DIR"),
+            "/../../bench_results/routing.smoke.json"
+        )
+    } else {
+        concat!(
+            env!("CARGO_MANIFEST_DIR"),
+            "/../../bench_results/routing.json"
+        )
+    };
+    match write_json(path, &doc) {
+        Ok(()) => println!("\nwrote {path}"),
+        Err(e) => eprintln!("\nfailed to write {path}: {e}"),
+    }
+}
+
+fn main() {
+    // `cargo bench --bench routing -- --test` (the CI smoke step) passes
+    // `--test`; shrink the sample count but keep the JSON emission.
+    let smoke = std::env::args().any(|a| a == "--test");
+    let samples = if smoke { 3 } else { 40 };
+    let mut c = Criterion::default();
+    bench_compare(&mut c, samples);
+    bench_sweep(&mut c, samples);
+    let ms = take_measurements();
+    write_results(&ms, smoke);
+}

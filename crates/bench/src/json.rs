@@ -1,0 +1,184 @@
+//! Minimal hand-rolled JSON emission for machine-readable bench output.
+//!
+//! The sandbox has no serde, and the data is small (a handful of bench
+//! measurements per run), so this is a tiny value tree with a pretty
+//! printer — just enough for `bench_results/*.json` files that are stable
+//! under `diff` across PRs. Not a parser; writing only.
+
+use std::fmt::Write as _;
+use std::io;
+use std::path::Path;
+
+/// A JSON value. Object fields keep insertion order so output is
+/// deterministic and diffs stay minimal.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// A string (escaped on render).
+    Str(String),
+    /// A finite float; non-finite values render as `null` (JSON has no
+    /// NaN/∞), which keeps a single bad measurement from corrupting the
+    /// whole file.
+    Num(f64),
+    /// An unsigned integer, rendered exactly (no float rounding).
+    Int(u64),
+    /// A boolean.
+    Bool(bool),
+    /// An ordered array.
+    Arr(Vec<Json>),
+    /// An ordered object.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Convenience: a string value.
+    pub fn str(s: impl Into<String>) -> Json {
+        Json::Str(s.into())
+    }
+
+    /// Convenience: an object from `(key, value)` pairs.
+    pub fn obj(fields: impl IntoIterator<Item = (&'static str, Json)>) -> Json {
+        Json::Obj(
+            fields
+                .into_iter()
+                .map(|(k, v)| (k.to_string(), v))
+                .collect(),
+        )
+    }
+
+    /// Renders with two-space indentation and a trailing newline.
+    pub fn to_pretty(&self) -> String {
+        let mut out = String::new();
+        self.render(&mut out, 0);
+        out.push('\n');
+        out
+    }
+
+    fn render(&self, out: &mut String, depth: usize) {
+        match self {
+            Json::Str(s) => {
+                out.push('"');
+                escape_into(s, out);
+                out.push('"');
+            }
+            Json::Num(v) => {
+                if v.is_finite() {
+                    // `Display` for f64 is the shortest round-trip form.
+                    let _ = write!(out, "{v}");
+                } else {
+                    out.push_str("null");
+                }
+            }
+            Json::Int(v) => {
+                let _ = write!(out, "{v}");
+            }
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Arr(items) => render_block(out, depth, '[', ']', items.len(), |out, i| {
+                items[i].render(out, depth + 1);
+            }),
+            Json::Obj(fields) => render_block(out, depth, '{', '}', fields.len(), |out, i| {
+                let (k, v) = &fields[i];
+                out.push('"');
+                escape_into(k, out);
+                out.push_str("\": ");
+                v.render(out, depth + 1);
+            }),
+        }
+    }
+}
+
+/// Renders a `[...]`/`{...}` block: empty inline, otherwise one element
+/// per line at `depth + 1` indentation.
+fn render_block(
+    out: &mut String,
+    depth: usize,
+    open: char,
+    close: char,
+    len: usize,
+    mut elem: impl FnMut(&mut String, usize),
+) {
+    out.push(open);
+    if len == 0 {
+        out.push(close);
+        return;
+    }
+    for i in 0..len {
+        out.push('\n');
+        for _ in 0..(depth + 1) * 2 {
+            out.push(' ');
+        }
+        elem(out, i);
+        if i + 1 < len {
+            out.push(',');
+        }
+    }
+    out.push('\n');
+    for _ in 0..depth * 2 {
+        out.push(' ');
+    }
+    out.push(close);
+}
+
+/// Escapes `s` per RFC 8259 (quotes, backslash, control characters).
+fn escape_into(s: &str, out: &mut String) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+/// Writes `value` pretty-printed to `path`, creating parent directories.
+pub fn write_json(path: impl AsRef<Path>, value: &Json) -> io::Result<()> {
+    let path = path.as_ref();
+    if let Some(parent) = path.parent() {
+        std::fs::create_dir_all(parent)?;
+    }
+    std::fs::write(path, value.to_pretty())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_scalars() {
+        assert_eq!(Json::str("a\"b\\c\nd").to_pretty(), "\"a\\\"b\\\\c\\nd\"\n");
+        assert_eq!(Json::Num(1.5).to_pretty(), "1.5\n");
+        assert_eq!(Json::Num(f64::NAN).to_pretty(), "null\n");
+        assert_eq!(Json::Int(u64::MAX).to_pretty(), "18446744073709551615\n");
+        assert_eq!(Json::Bool(true).to_pretty(), "true\n");
+        assert_eq!(Json::Str("\u{1}".into()).to_pretty(), "\"\\u0001\"\n");
+    }
+
+    #[test]
+    fn renders_nested_pretty() {
+        let v = Json::obj([
+            ("name", Json::str("routing")),
+            ("empty", Json::Arr(vec![])),
+            (
+                "rows",
+                Json::Arr(vec![Json::obj([("ns", Json::Num(2.25))])]),
+            ),
+        ]);
+        let expect = "{\n  \"name\": \"routing\",\n  \"empty\": [],\n  \"rows\": [\n    {\n      \"ns\": 2.25\n    }\n  ]\n}\n";
+        assert_eq!(v.to_pretty(), expect);
+    }
+
+    #[test]
+    fn write_json_creates_parents() {
+        let dir = std::env::temp_dir().join("streambal_json_test");
+        let _ = std::fs::remove_dir_all(&dir);
+        let path = dir.join("nested/out.json");
+        write_json(&path, &Json::Int(7)).unwrap();
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), "7\n");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -44,11 +44,26 @@ impl LoadSummary {
             .fold(0.0, f64::max)
     }
 
+    /// The overload cutoff actually compared against: `Lmax` plus a small
+    /// epsilon absorbing `(1+θmax)·L̄` rounding, so an exactly-at-bound
+    /// task never counts as overloaded.
+    #[inline]
+    fn lmax_cutoff(&self, theta_max: f64) -> f64 {
+        self.l_max(theta_max) + 1e-9
+    }
+
+    /// True when any task exceeds `Lmax` — the trigger condition, without
+    /// materializing the candidate list.
+    pub fn is_overloaded(&self, theta_max: f64) -> bool {
+        let cutoff = self.lmax_cutoff(theta_max);
+        self.loads.iter().any(|&l| l as f64 > cutoff)
+    }
+
     /// Tasks exceeding `Lmax`, the candidates drained in Phase II.
     pub fn overloaded(&self, theta_max: f64) -> Vec<TaskId> {
-        let lmax = self.l_max(theta_max);
+        let cutoff = self.lmax_cutoff(theta_max);
         (0..self.loads.len())
-            .filter(|&i| self.loads[i] as f64 > lmax)
+            .filter(|&i| self.loads[i] as f64 > cutoff)
             .map(TaskId::from)
             .collect()
     }
@@ -84,9 +99,17 @@ pub fn loads_of(records: &[KeyRecord], n_tasks: usize) -> LoadSummary {
 }
 
 /// The trigger predicate evaluated by the controller at each interval end:
-/// does any task violate `θ(d) ≤ θmax`?
+/// is any task *overloaded*, i.e. `L(d) > Lmax = (1+θmax)·L̄` (§II-A)?
+///
+/// Deliberately one-sided. `θ` measures absolute deviation, so a merely
+/// *under*-loaded task (a hash gap leaving one worker idle) drives
+/// `max θ` past `θmax` without any task exceeding `Lmax`; triggering on
+/// that would fire a rebalance — and pay its migration cost — every
+/// interval while fixing nothing, since no key move can fill a hash gap
+/// the generator never feeds. The paper's controller only reacts to
+/// overload, and Phase II only drains tasks above `Lmax`.
 pub fn needs_rebalance(summary: &LoadSummary, theta_max: f64) -> bool {
-    summary.max_theta() > theta_max + 1e-9
+    summary.is_overloaded(theta_max)
 }
 
 /// Convenience: `max L(d) / L̄` over an explicit load vector.
@@ -141,6 +164,48 @@ mod tests {
         let skewed = LoadSummary::new(vec![20, 5, 5]);
         assert!(needs_rebalance(&skewed, 0.08));
         assert!(!needs_rebalance(&skewed, 1.0));
+    }
+
+    #[test]
+    fn underload_alone_never_triggers() {
+        // One idle task (hash gap): max θ = |0 − 75|/75 = 1.0 > θmax, but
+        // no task exceeds Lmax = 1.5 · 75 = 112.5. The deviation-based
+        // predicate this replaces fired a spurious rebalance every
+        // interval here; the documented overload predicate must not.
+        let s = LoadSummary::new(vec![0, 100, 100, 100]);
+        assert!(s.max_theta() > 0.5, "deviation exceeds θmax by design");
+        assert!(s.overloaded(0.5).is_empty());
+        assert!(!needs_rebalance(&s, 0.5));
+        // The same loads with a genuinely overloaded task still trigger.
+        let s = LoadSummary::new(vec![0, 100, 100, 250]);
+        assert!(needs_rebalance(&s, 0.5));
+    }
+
+    #[test]
+    fn trigger_matches_hand_computed_lmax() {
+        // Each expectation computed by hand from L̄ and Lmax = (1+θmax)·L̄,
+        // independently of the implementation.
+        for (loads, theta_max, expect) in [
+            (vec![20u64, 5, 5], 0.08, true),      // L̄=10, Lmax=10.8 < 20
+            (vec![20, 5, 5], 1.0, false),         // Lmax=20, 20 not > 20
+            (vec![10, 10, 10], 0.0, false),       // exactly at the bound
+            (vec![1, 0, 0, 0], 0.0, true),        // L̄=0.25, 1 > 0.25
+            (vec![1, 0, 0, 0], 2.9, true),        // Lmax=0.975 < 1
+            (vec![1, 0, 0, 0], 3.0, false),       // Lmax=1.0, 1 not > 1
+            (vec![0, 100, 100, 100], 0.5, false), // L̄=75, Lmax=112.5
+        ] {
+            let s = LoadSummary::new(loads.clone());
+            assert_eq!(
+                needs_rebalance(&s, theta_max),
+                expect,
+                "loads {loads:?}, θmax {theta_max}"
+            );
+            assert_eq!(
+                s.overloaded(theta_max).is_empty(),
+                !expect,
+                "candidate list must agree: loads {loads:?}, θmax {theta_max}"
+            );
+        }
     }
 
     #[test]

@@ -58,6 +58,24 @@ pub trait Partitioner: Send {
     /// Routes one tuple.
     fn route(&mut self, key: Key) -> TaskId;
 
+    /// Routes a batch of tuples, appending one destination per key to
+    /// `out` (cleared first). Must be observationally identical to calling
+    /// [`Partitioner::route`] once per key in order — stateful strategies
+    /// (PKG's load estimates, shuffle's cursor) advance exactly as they
+    /// would per tuple.
+    ///
+    /// The default delegates to `route`; table-backed implementations
+    /// override this with `AssignmentFn::route_batch` so the compiled-table
+    /// probe sequence pipelines across keys (see `routing` module docs in
+    /// this crate).
+    fn route_batch(&mut self, keys: &[Key], out: &mut Vec<TaskId>) {
+        out.clear();
+        out.reserve(keys.len());
+        for &k in keys {
+            out.push(self.route(k));
+        }
+    }
+
     /// Interval boundary: ingest stats, possibly rebalance.
     fn end_interval(&mut self, stats: IntervalStats) -> Option<RebalanceOutcome>;
 
@@ -123,6 +141,16 @@ mod tests {
         assert!(p.preserves_key_semantics());
         assert_eq!(p.route(Key(7)), TaskId(1));
         assert!(p.end_interval(IntervalStats::new()).is_none());
+    }
+
+    #[test]
+    fn default_route_batch_matches_per_key_order() {
+        let mut p = Fixed(3);
+        let keys: Vec<Key> = (0..50u64).map(Key).collect();
+        let mut out = vec![TaskId(7); 4]; // stale content must be cleared
+        p.route_batch(&keys, &mut out);
+        let expect: Vec<TaskId> = keys.iter().map(|&k| Fixed(3).route(k)).collect();
+        assert_eq!(out, expect);
     }
 
     #[test]

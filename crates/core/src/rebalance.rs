@@ -255,6 +255,12 @@ impl Rebalancer {
         self.assignment.route(key)
     }
 
+    /// Routes a batch of keys under the current `F` (see
+    /// [`AssignmentFn::route_batch`]).
+    pub fn route_batch(&self, keys: &[Key], out: &mut Vec<TaskId>) {
+        self.assignment.route_batch(keys, out);
+    }
+
     /// The live assignment function.
     pub fn assignment(&self) -> &AssignmentFn {
         &self.assignment
@@ -284,14 +290,7 @@ impl Rebalancer {
     /// then migrates keys onto the empty instance with a proper plan.
     pub fn scale_out(&mut self, live: impl IntoIterator<Item = Key>) -> TaskId {
         let live: Vec<Key> = live.into_iter().collect();
-        let old: Vec<TaskId> = live.iter().map(|&k| self.assignment.route(k)).collect();
-        let new_task = self.assignment.add_task();
-        for (&k, &old_d) in live.iter().zip(&old) {
-            if self.assignment.route(k) != old_d {
-                self.assignment.insert_entry(k, old_d);
-            }
-        }
-        new_task
+        self.assignment.add_task_pinned(&live)
     }
 
     /// Builds the rebalance input from the current window and assignment.

@@ -13,6 +13,11 @@
 //!   the Rust Performance Book's hashing chapter).
 //! * [`FxHashMap`]/[`FxHashSet`] — std collections pre-wired with the fast
 //!   hasher.
+//! * [`fx_hash_u64`] — the same hash as a one-shot function over `u64`,
+//!   for flat structures or parity checks that need `FxHashMap`'s exact
+//!   probe hash without the hasher machinery. (The routing layer's
+//!   compiled table indexes with plain [`mix64`] instead — one multiply
+//!   cheaper, same avalanche family; see its docs.)
 //! * [`HashRing`] — a consistent hash ring with virtual nodes mapping `u64`
 //!   keys onto `n` task slots, supporting incremental scale-out (the
 //!   Fig. 15 experiments add an instance at runtime).
@@ -22,7 +27,7 @@
 pub mod fx;
 pub mod ring;
 
-pub use fx::{mix64, mix64_seeded, FxBuildHasher, FxHashMap, FxHashSet, FxHasher64};
+pub use fx::{fx_hash_u64, mix64, mix64_seeded, FxBuildHasher, FxHashMap, FxHashSet, FxHasher64};
 pub use ring::HashRing;
 
 /// Returns the two independent candidate slots `(h1(key), h2(key))` in

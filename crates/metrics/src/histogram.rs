@@ -29,6 +29,10 @@ pub struct Histogram {
 }
 
 impl Histogram {
+    /// Total number of buckets; `bucket_of` returns indices in
+    /// `0..BUCKET_COUNT` and `bucket_value` accepts exactly that range.
+    pub const BUCKET_COUNT: usize = BUCKETS;
+
     /// Creates an empty histogram.
     pub fn new() -> Self {
         Histogram {
@@ -40,8 +44,13 @@ impl Histogram {
         }
     }
 
+    /// Bucket index of `value`. Monotone in `value`, and
+    /// `bucket_value(bucket_of(v)) ≤ v` for every `v` (the property tests
+    /// in `tests/prop_metrics.rs` pin both across the exact/geometric
+    /// boundary). Public for those tests and for external bucket-level
+    /// consumers; recording should go through [`Histogram::record`].
     #[inline]
-    fn bucket_of(value: u64) -> usize {
+    pub fn bucket_of(value: u64) -> usize {
         // Values below 2·GRADE get exact buckets; above, the bucket is the
         // exponent octave refined by the three bits following the MSB.
         if value < 2 * GRADE as u64 {
@@ -53,7 +62,7 @@ impl Histogram {
     }
 
     /// Lower-bound value of bucket `b` (exact for the small-value buckets).
-    fn bucket_value(b: usize) -> u64 {
+    pub fn bucket_value(b: usize) -> u64 {
         if b < 2 * GRADE as usize {
             return b as u64;
         }

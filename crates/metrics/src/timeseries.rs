@@ -63,18 +63,19 @@ impl TimeSeries {
         self.points.iter().map(|&(_, v)| v).sum::<f64>() / self.points.len() as f64
     }
 
-    /// Mean of the values in the tick range `[from, to)`.
+    /// Mean of the values in the tick range `[from, to)`. A single
+    /// streaming sum/count pass — called once per interval by report
+    /// generation, so it must not allocate.
     pub fn mean_in(&self, from: f64, to: f64) -> f64 {
-        let vals: Vec<f64> = self
+        let (sum, count) = self
             .points
             .iter()
             .filter(|&&(t, _)| t >= from && t < to)
-            .map(|&(_, v)| v)
-            .collect();
-        if vals.is_empty() {
+            .fold((0.0f64, 0usize), |(s, n), &(_, v)| (s + v, n + 1));
+        if count == 0 {
             return 0.0;
         }
-        vals.iter().sum::<f64>() / vals.len() as f64
+        sum / count as f64
     }
 
     /// First tick at which `value >= threshold` holds and keeps holding for

@@ -3,8 +3,57 @@
 use proptest::prelude::*;
 use streambal_metrics::{Cdf, Histogram, OnlineStats};
 
+/// Maps a generator triple onto a bucketing test value, biased towards the
+/// boundaries the histogram's exact/geometric split makes delicate: the
+/// split itself (15/16/17 at `GRADE = 8`), powers of two ± 1, and the top
+/// of the domain.
+fn bucket_probe_value(sel: usize, raw: u64, exp: u32) -> u64 {
+    match sel {
+        0 => raw,                             // anywhere in the domain
+        1 => 15 + raw % 3,                    // 15, 16, 17
+        2 => (1u64 << exp) - 1,               // 2^e − 1
+        3 => 1u64 << exp,                     // 2^e
+        4 => (1u64 << exp).saturating_add(1), // 2^e + 1
+        _ => u64::MAX - raw % 2,              // top of the domain
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// `bucket_of` is monotone and `bucket_value` is a true lower bound,
+    /// across the exact/geometric boundary (`v ∈ {15, 16, 17}`), powers
+    /// of two ± 1, and `u64::MAX`.
+    #[test]
+    fn histogram_bucket_monotone_and_lower_bound(
+        (sel_a, raw_a, exp_a) in (0usize..6, 0u64..=u64::MAX, 1u32..=63),
+        (sel_b, raw_b, exp_b) in (0usize..6, 0u64..=u64::MAX, 1u32..=63),
+    ) {
+        let a = bucket_probe_value(sel_a, raw_a, exp_a);
+        let b = bucket_probe_value(sel_b, raw_b, exp_b);
+        for v in [a, b] {
+            let bucket = Histogram::bucket_of(v);
+            let lower = Histogram::bucket_value(bucket);
+            prop_assert!(
+                lower <= v,
+                "bucket_value(bucket_of({v})) = {lower} exceeds the value"
+            );
+            prop_assert!(bucket < Histogram::BUCKET_COUNT);
+            // The lower bound is tight: the next bucket starts above v
+            // (the last bucket has no successor to check).
+            if bucket + 1 < Histogram::BUCKET_COUNT {
+                let next = Histogram::bucket_value(bucket + 1);
+                prop_assert!(next > v, "value {v} belongs to bucket {}", bucket + 1);
+            }
+        }
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        prop_assert!(
+            Histogram::bucket_of(lo) <= Histogram::bucket_of(hi),
+            "bucket_of not monotone: {lo} → {}, {hi} → {}",
+            Histogram::bucket_of(lo),
+            Histogram::bucket_of(hi)
+        );
+    }
 
     /// Histogram quantiles stay within the recorded range and within the
     /// documented relative error of the exact quantile.

@@ -266,6 +266,7 @@ impl Engine {
             // not retroactively change how many workers a round waits for.
             let mut stats_acc: FxHashMap<u64, (IntervalStats, usize, usize)> = FxHashMap::default();
             let mut outstanding_stats = 0usize;
+            let mut outstanding_resumes = 0usize;
             let mut source_finished = false;
             let mut draining = false;
             let mut drained = 0usize;
@@ -319,8 +320,12 @@ impl Engine {
                                         epoch,
                                         view: m.plan.view.clone(),
                                     });
+                                    outstanding_resumes += 1;
                                     pending = None;
                                 }
+                            }
+                            SourceEvent::ResumeAck { .. } => {
+                                outstanding_resumes -= 1;
                             }
                             SourceEvent::Finished => {
                                 source_finished = true;
@@ -410,6 +415,7 @@ impl Engine {
                                             epoch,
                                             view: m.plan.view.clone(),
                                         });
+                                        outstanding_resumes += 1;
                                         pending = None;
                                     } else {
                                         for (dest, states) in by_dest {
@@ -430,6 +436,7 @@ impl Engine {
                                         epoch,
                                         view: m.plan.view.clone(),
                                     });
+                                    outstanding_resumes += 1;
                                     pending = None;
                                 }
                             }
@@ -470,12 +477,16 @@ impl Engine {
                     }
                 }
 
-                // Shutdown when fully quiesced.
+                // Shutdown when fully quiesced. `outstanding_resumes`
+                // guards the flush race: the source must confirm it has
+                // re-enqueued all pause-buffered tuples before Shutdown
+                // markers enter the worker channels behind them.
                 if source_finished
                     && !draining
                     && pending.is_none()
                     && queue.is_empty()
                     && outstanding_stats == 0
+                    && outstanding_resumes == 0
                 {
                     draining = true;
                     for tx in worker_txs.iter().take(active) {
@@ -504,8 +515,21 @@ impl Engine {
     }
 }
 
+/// Tuples routed per [`SourceRouter::route_batch`] call on the source
+/// thread. Also the control-poll granularity: between batches the source
+/// drains pending pause/resume/view updates, so a batch bounds how many
+/// tuples can be routed under a stale view — up to 256, versus the 64 the
+/// old per-tuple loop polled at. The looser bound trades a little
+/// migration latency for batch throughput and is safe: affected-key
+/// tuples enqueued before the `PauseAck` are processed before the
+/// `MigrateOut` behind it (worker-channel FIFO), so their state migrates
+/// with the key regardless of when within a batch the pause lands.
+const ROUTE_BATCH: usize = 256;
+
 /// The source thread: feeds tuples, honours pause/resume, reports
-/// interval boundaries.
+/// interval boundaries. Routing happens per channel batch, not per tuple:
+/// up to [`ROUTE_BATCH`] unpaused tuples are staged, their keys routed
+/// with one batch call, and the tuples fanned out to the worker channels.
 fn source_loop<F>(
     mut feeder: F,
     view: RoutingView,
@@ -519,6 +543,10 @@ fn source_loop<F>(
     let mut router = SourceRouter::from_view(view);
     let mut paused: Option<(u64, FxHashSet<Key>)> = None;
     let mut buffer: Vec<Tuple> = Vec::new();
+    // Batch scratch, reused across chunks to stay allocation-free.
+    let mut staged: Vec<Tuple> = Vec::with_capacity(ROUTE_BATCH);
+    let mut keys: Vec<Key> = Vec::with_capacity(ROUTE_BATCH);
+    let mut dests: Vec<TaskId> = Vec::with_capacity(ROUTE_BATCH);
 
     // Drains pending control messages; returns false on Shutdown.
     let handle_ctl = |msg: SourceCtl,
@@ -531,13 +559,18 @@ fn source_loop<F>(
                 *paused = Some((epoch, affected.into_iter().collect()));
                 let _ = events.send(SourceEvent::PauseAck { epoch });
             }
-            SourceCtl::Resume { epoch: _, view } => {
+            SourceCtl::Resume { epoch, view } => {
                 router.update(view);
                 for t in buffer.drain(..) {
                     let d = router.route(t.key);
                     let _ = worker_txs[d.index()].send(Message::Tuple(t));
                 }
                 *paused = None;
+                // Flush complete: only now may the controller shut workers
+                // down (Message ordering across two senders is otherwise
+                // unconstrained, and a Shutdown overtaking the flushed
+                // tuples would drop them).
+                let _ = events.send(SourceEvent::ResumeAck { epoch });
             }
             SourceCtl::UpdateView { view } => router.update(view),
             SourceCtl::Shutdown => return false,
@@ -550,23 +583,38 @@ fn source_loop<F>(
         let Some(tuples) = feeder(interval) else {
             break 'feed;
         };
-        for (i, mut t) in tuples.into_iter().enumerate() {
-            if i % 64 == 0 {
-                while let Ok(msg) = ctl.try_recv() {
-                    if !handle_ctl(msg, &mut router, &mut paused, &mut buffer) {
-                        return;
+        let mut pending = tuples.into_iter();
+        loop {
+            while let Ok(msg) = ctl.try_recv() {
+                if !handle_ctl(msg, &mut router, &mut paused, &mut buffer) {
+                    return;
+                }
+            }
+            // Stage the next batch, holding back keys paused for an
+            // in-flight migration.
+            staged.clear();
+            keys.clear();
+            while staged.len() < ROUTE_BATCH {
+                let Some(mut t) = pending.next() else {
+                    break;
+                };
+                t.emitted_us = epoch.elapsed().as_micros() as u64;
+                if let Some((_, affected)) = &paused {
+                    if affected.contains(&t.key) {
+                        buffer.push(t);
+                        continue;
                     }
                 }
+                keys.push(t.key);
+                staged.push(t);
             }
-            t.emitted_us = epoch.elapsed().as_micros() as u64;
-            if let Some((_, affected)) = &paused {
-                if affected.contains(&t.key) {
-                    buffer.push(t);
-                    continue;
-                }
+            if staged.is_empty() && pending.len() == 0 {
+                break;
             }
-            let d = router.route(t.key);
-            let _ = worker_txs[d.index()].send(Message::Tuple(t));
+            router.route_batch(&keys, &mut dests);
+            for (t, d) in staged.drain(..).zip(&dests) {
+                let _ = worker_txs[d.index()].send(Message::Tuple(t));
+            }
         }
         while let Ok(msg) = ctl.try_recv() {
             if !handle_ctl(msg, &mut router, &mut paused, &mut buffer) {

@@ -118,6 +118,15 @@ pub enum SourceEvent {
         /// Migration epoch.
         epoch: u64,
     },
+    /// Acknowledges [`SourceCtl::Resume`]: every tuple buffered during the
+    /// pause has been enqueued downstream. The controller must not ship
+    /// worker `Shutdown` with a resume outstanding — the shutdown marker
+    /// would overtake the flushed tuples in the worker channels and the
+    /// workers would drain without processing them.
+    ResumeAck {
+        /// Migration epoch.
+        epoch: u64,
+    },
     /// The feeder is exhausted; no more tuples will ever be emitted.
     Finished,
 }

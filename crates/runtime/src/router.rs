@@ -78,6 +78,35 @@ impl SourceRouter {
         }
     }
 
+    /// Routes a batch of keys, appending one destination per key to `out`
+    /// (cleared first). Observationally identical to routing each key in
+    /// order with [`SourceRouter::route`]; the table+hash variant uses the
+    /// compiled-table batch path so the probe sequence pipelines across
+    /// the channel batch (see `streambal_core::routing` docs).
+    pub fn route_batch(&mut self, keys: &[Key], out: &mut Vec<TaskId>) {
+        match self {
+            SourceRouter::Assignment(a) => a.route_batch(keys, out),
+            SourceRouter::TwoChoice { n, est } => {
+                out.clear();
+                out.reserve(keys.len());
+                for &k in keys {
+                    let (a, b) = streambal_hashring::two_choices(k.raw(), *n);
+                    let d = if est[a] <= est[b] { a } else { b };
+                    est[d] += 1;
+                    out.push(TaskId::from(d));
+                }
+            }
+            SourceRouter::RoundRobin { n, next } => {
+                out.clear();
+                out.reserve(keys.len());
+                for _ in keys {
+                    out.push(TaskId::from(*next));
+                    *next = (*next + 1) % *n;
+                }
+            }
+        }
+    }
+
     /// Current slot count.
     pub fn n_tasks(&self) -> usize {
         match self {
@@ -128,6 +157,28 @@ mod tests {
             let (a, b) = streambal_hashring::two_choices(k, 6);
             let d = r.route(Key(k)).index();
             assert!(d == a || d == b);
+        }
+    }
+
+    #[test]
+    fn route_batch_matches_per_key_for_every_view() {
+        let mut table = RoutingTable::new();
+        for k in 0..50u64 {
+            table.insert(Key(k * 3), TaskId((k % 4) as u32));
+        }
+        let views = [
+            RoutingView::TablePlusHash { table, n_tasks: 4 },
+            RoutingView::TwoChoice { n_tasks: 4 },
+            RoutingView::RoundRobin { n_tasks: 4 },
+        ];
+        let keys: Vec<Key> = (0..500u64).map(Key).collect();
+        for view in views {
+            let mut batched = SourceRouter::from_view(view.clone());
+            let mut per_key = SourceRouter::from_view(view);
+            let mut out = Vec::new();
+            batched.route_batch(&keys, &mut out);
+            let expect: Vec<TaskId> = keys.iter().map(|&k| per_key.route(k)).collect();
+            assert_eq!(out, expect);
         }
     }
 

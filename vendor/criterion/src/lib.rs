@@ -6,11 +6,40 @@
 //! `sample_size` timed iterations reported as min/mean — enough to
 //! compare routing strategies locally and to keep `cargo bench` working
 //! as a compile-and-smoke target in CI.
+//!
+//! Beyond printing, every completed benchmark is also recorded in a
+//! process-wide registry ([`take_measurements`]) so bench binaries can
+//! emit machine-readable output (the routing bench writes
+//! `bench_results/routing.json` from it). Upstream criterion persists
+//! measurements itself under `target/criterion`; the shim keeps the data
+//! in memory and leaves serialization to the caller.
 
 use std::fmt::Display;
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 pub use std::hint::black_box;
+
+/// One completed benchmark's summary statistics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Measurement {
+    /// Benchmark id (`group` not included; `function/parameter` form).
+    pub id: String,
+    /// Mean wall time per timed sample.
+    pub mean: Duration,
+    /// Fastest timed sample.
+    pub min: Duration,
+    /// Number of timed samples.
+    pub samples: usize,
+}
+
+/// Process-wide registry of completed measurements, in completion order.
+static MEASUREMENTS: Mutex<Vec<Measurement>> = Mutex::new(Vec::new());
+
+/// Drains and returns every measurement recorded so far in this process.
+pub fn take_measurements() -> Vec<Measurement> {
+    std::mem::take(&mut MEASUREMENTS.lock().expect("measurement registry"))
+}
 
 /// Top-level benchmark driver.
 #[derive(Debug, Default)]
@@ -86,6 +115,15 @@ fn run_one(id: &str, samples: usize, f: &mut dyn FnMut(&mut Bencher)) {
         "  {id:<40} mean {:>12.3?}  min {:>12.3?}  ({} samples)",
         mean, b.min, b.iters
     );
+    MEASUREMENTS
+        .lock()
+        .expect("measurement registry")
+        .push(Measurement {
+            id: id.to_string(),
+            mean,
+            min: b.min,
+            samples: b.iters,
+        });
 }
 
 /// Passed to benchmark closures; call [`Bencher::iter`].
@@ -167,5 +205,22 @@ mod tests {
         });
         group.finish();
         assert_eq!(calls, 6, "1 warm-up + 5 samples");
+    }
+
+    #[test]
+    fn measurements_are_recorded_and_drained() {
+        // Runs single-threaded within this test; other tests in this
+        // binary also record, so filter by a unique id.
+        let mut c = Criterion::default();
+        c.bench_function("registry_probe", |b| b.iter(|| black_box(1 + 1)));
+        let ms = take_measurements();
+        let m = ms
+            .iter()
+            .find(|m| m.id == "registry_probe")
+            .expect("recorded");
+        assert_eq!(m.samples, 20);
+        assert!(m.min <= m.mean);
+        // Drained: a second take only sees what ran in between.
+        assert!(!take_measurements().iter().any(|m| m.id == "registry_probe"));
     }
 }
