@@ -1,0 +1,212 @@
+//! End-to-end engine throughput: the seed per-tuple data plane
+//! (`Message::Tuple`, one channel op + one counter increment + one clock
+//! read per tuple) against the batched plane (`Message::TupleBatch`,
+//! pooled buffers, one channel op / `Counter::add(n)` / clock read per
+//! batch).
+//!
+//! Three measurement groups, all on a hash-routed Zipf word count (no
+//! rebalances, so the data plane — not the scheduler — is what moves):
+//!
+//! 1. **seed vs batched at the paper's default config** — Tab. II skew
+//!    (`z = 0.85`) through `EngineConfig::default()` (4 workers, batch
+//!    256, spin 500). The tuples/sec ratio is the acceptance number.
+//! 2. **batch-size sweep** — 1, 16, 64, 256, 1024 at the default worker
+//!    count. Batch 1 ships one-tuple batches through the pooled path and
+//!    must not regress against the seed shape.
+//! 3. **worker-count sweep** — seed vs batch-256 at 2 and 4 workers.
+//!
+//! Each configuration runs `REPS` times over an identical pre-generated
+//! tuple sequence; the mean and best (max) throughput are reported. The
+//! results are printed and written to `bench_results/engine.json`
+//! (hand-rolled writer, no serde) so future PRs can diff the trajectory.
+//! `--test` (as passed by the CI smoke step via `cargo bench --bench
+//! engine -- --test`) shrinks the workload and writes to
+//! `bench_results/engine.smoke.json` instead, so noisy smoke numbers can
+//! never clobber the committed full-run file.
+
+use streambal_baselines::HashPartitioner;
+use streambal_bench::json::{write_json, Json};
+use streambal_core::Key;
+use streambal_runtime::{Engine, EngineConfig, Tuple, WordCountOp};
+use streambal_workloads::FluctuatingWorkload;
+
+/// Tab. II defaults (quick scale): key-domain size and skew.
+const KEY_DOMAIN: usize = 20_000;
+const ZIPF_Z: f64 = 0.85;
+const SEED: u64 = 42;
+
+/// One measured configuration.
+#[derive(Clone, Copy)]
+struct Shape {
+    /// `true` = the seed per-tuple data plane.
+    per_tuple: bool,
+    batch: usize,
+    workers: usize,
+}
+
+impl Shape {
+    fn label(&self) -> String {
+        if self.per_tuple {
+            format!("seed_per_tuple/w{}", self.workers)
+        } else {
+            format!("batched/b{}/w{}", self.batch, self.workers)
+        }
+    }
+}
+
+/// Runs one engine pass over `intervals` and returns end-to-end
+/// tuples/sec (processed over wall time, setup and drain included).
+fn run_once(shape: Shape, intervals: &[Vec<Key>]) -> f64 {
+    let feed: Vec<Vec<Key>> = intervals.to_vec();
+    let config = EngineConfig {
+        n_workers: shape.workers,
+        max_workers: shape.workers,
+        batch_size: shape.batch,
+        per_tuple: shape.per_tuple,
+        ..EngineConfig::default()
+    };
+    let report = Engine::run(
+        config,
+        Box::new(HashPartitioner::new(shape.workers)),
+        |_| Box::new(WordCountOp::new()),
+        move |iv| {
+            feed.get(iv as usize)
+                .map(|ks| ks.iter().map(|&k| Tuple::keyed(k)).collect())
+        },
+        None,
+    );
+    let total: u64 = intervals.iter().map(|v| v.len() as u64).sum();
+    assert_eq!(report.processed, total, "tuples lost in {}", shape.label());
+    report.mean_throughput
+}
+
+/// Pre-generates identical Zipf interval key sequences for every shape.
+fn make_intervals(tuples: u64, n_intervals: usize) -> Vec<Vec<Key>> {
+    let mut w = FluctuatingWorkload::new(KEY_DOMAIN, ZIPF_Z, tuples, 0.0, SEED);
+    (0..n_intervals).map(|_| w.tuples()).collect()
+}
+
+fn mean(xs: &[f64]) -> f64 {
+    xs.iter().sum::<f64>() / xs.len().max(1) as f64
+}
+
+fn max(xs: &[f64]) -> f64 {
+    xs.iter().cloned().fold(0.0, f64::max)
+}
+
+fn main() {
+    // `cargo bench --bench engine -- --test` (the CI smoke step) passes
+    // `--test`; shrink the workload but keep the JSON emission.
+    let smoke = std::env::args().any(|a| a == "--test");
+    let (tuples, n_intervals, reps) = if smoke {
+        (5_000, 2, 1)
+    } else {
+        (120_000, 4, 4)
+    };
+    let intervals = make_intervals(tuples, n_intervals);
+    let default_workers = EngineConfig::default().n_workers;
+
+    let mut shapes: Vec<Shape> = Vec::new();
+    for workers in [2, default_workers] {
+        shapes.push(Shape {
+            per_tuple: true,
+            batch: 1,
+            workers,
+        });
+    }
+    for batch in [1usize, 16, 64, 256, 1024] {
+        shapes.push(Shape {
+            per_tuple: false,
+            batch,
+            workers: default_workers,
+        });
+    }
+    shapes.push(Shape {
+        per_tuple: false,
+        batch: 256,
+        workers: 2,
+    });
+
+    let mut rows: Vec<Json> = Vec::new();
+    let mut best: Vec<(String, f64)> = Vec::new();
+    println!(
+        "engine throughput: {} tuples/run, {} reps (z={ZIPF_Z}, K={KEY_DOMAIN}, spin={})",
+        tuples * n_intervals as u64,
+        reps,
+        EngineConfig::default().spin_work,
+    );
+    for shape in &shapes {
+        // One untimed warm-up pass (page-in, pool priming parity).
+        let _ = run_once(*shape, &intervals);
+        let runs: Vec<f64> = (0..reps).map(|_| run_once(*shape, &intervals)).collect();
+        let (m, b) = (mean(&runs), max(&runs));
+        println!(
+            "  {:<24} mean {:>10.0} t/s   best {:>10.0} t/s",
+            shape.label(),
+            m,
+            b
+        );
+        best.push((shape.label(), b));
+        rows.push(Json::obj([
+            ("id", Json::str(shape.label())),
+            ("per_tuple", Json::Bool(shape.per_tuple)),
+            ("batch", Json::Int(shape.batch as u64)),
+            ("workers", Json::Int(shape.workers as u64)),
+            ("mean_tuples_per_sec", Json::Num(m)),
+            ("best_tuples_per_sec", Json::Num(b)),
+            ("reps", Json::Int(reps as u64)),
+        ]));
+    }
+
+    let get = |id: &str| best.iter().find(|(l, _)| l == id).map(|&(_, v)| v);
+    let seed_default = get(&format!("seed_per_tuple/w{default_workers}"));
+    let batched_default = get(&format!("batched/b256/w{default_workers}"));
+    let batched_one = get(&format!("batched/b1/w{default_workers}"));
+    let ratio = |a: Option<f64>, b: Option<f64>| match (a, b) {
+        (Some(x), Some(y)) if y > 0.0 => Json::Num(x / y),
+        _ => Json::Num(f64::NAN),
+    };
+
+    let doc = Json::obj([
+        ("bench", Json::str("engine")),
+        ("key_domain", Json::Int(KEY_DOMAIN as u64)),
+        ("zipf_z", Json::Num(ZIPF_Z)),
+        ("tuples_per_run", Json::Int(tuples * n_intervals as u64)),
+        (
+            "spin_work",
+            Json::Int(EngineConfig::default().spin_work as u64),
+        ),
+        ("default_workers", Json::Int(default_workers as u64)),
+        ("smoke", Json::Bool(smoke)),
+        ("results", Json::Arr(rows)),
+        // The acceptance ratios, on best-of-reps (noise-robust) numbers:
+        // batched-at-default vs the seed shape, and batch-size-1 vs the
+        // seed shape (the no-regression guard).
+        (
+            "speedup_batched_vs_seed_default",
+            ratio(batched_default, seed_default),
+        ),
+        ("ratio_batch1_vs_seed", ratio(batched_one, seed_default)),
+        // batch_size = 1 degenerates to the identical scalar data plane
+        // (see EngineConfig::batch_size), so this ratio's deviation from
+        // 1.0 is pure run-to-run measurement noise, not a code-path
+        // difference.
+        (
+            "note_batch1",
+            Json::str("batch 1 runs the same scalar plane as the seed shape"),
+        ),
+    ]);
+    // Anchored at the workspace root (cargo runs bench binaries with the
+    // package dir as CWD). Smoke runs go to a separate, untracked path so
+    // they can never clobber the committed full-run trajectory in
+    // engine.json.
+    let path = streambal_bench::figure::results_dir().join(if smoke {
+        "engine.smoke.json"
+    } else {
+        "engine.json"
+    });
+    match write_json(&path, &doc) {
+        Ok(()) => println!("\nwrote {}", path.display()),
+        Err(e) => eprintln!("\nfailed to write {}: {e}", path.display()),
+    }
+}

@@ -327,24 +327,18 @@ fn write_results(ms: &[Measurement], smoke: bool) {
             ),
         ),
     ]);
-    // Anchor at the workspace root — cargo runs bench binaries with the
-    // package dir (crates/bench) as CWD. Smoke runs (3 noisy samples) go
-    // to a separate, untracked path so they can never clobber the
-    // committed full-run trajectory in routing.json.
-    let path = if smoke {
-        concat!(
-            env!("CARGO_MANIFEST_DIR"),
-            "/../../bench_results/routing.smoke.json"
-        )
+    // Anchored at the workspace root (cargo runs bench binaries with the
+    // package dir as CWD). Smoke runs (3 noisy samples) go to a separate,
+    // untracked path so they can never clobber the committed full-run
+    // trajectory in routing.json.
+    let path = streambal_bench::figure::results_dir().join(if smoke {
+        "routing.smoke.json"
     } else {
-        concat!(
-            env!("CARGO_MANIFEST_DIR"),
-            "/../../bench_results/routing.json"
-        )
-    };
-    match write_json(path, &doc) {
-        Ok(()) => println!("\nwrote {path}"),
-        Err(e) => eprintln!("\nfailed to write {path}: {e}"),
+        "routing.json"
+    });
+    match write_json(&path, &doc) {
+        Ok(()) => println!("\nwrote {}", path.display()),
+        Err(e) => eprintln!("\nfailed to write {}: {e}", path.display()),
     }
 }
 

@@ -11,6 +11,7 @@ fn bench_engine(c: &mut Criterion) {
         intervals: 3,
         spin: 200,
         window: 5,
+        batch: 256,
     };
     let intervals = zipf_intervals(&rt, 1_000, 0.95, 0.5, 77);
     let mut group = c.benchmark_group("engine_wordcount");

@@ -1,17 +1,19 @@
 //! Runs every figure experiment and writes the outputs to
-//! `bench_results/figNN.txt` (plus stdout). `STREAMBAL_SCALE=full` for
-//! paper-scale runs.
+//! `bench_results/figNN.json` (machine-readable, diffable across PRs)
+//! plus `bench_results/figNN.txt` (the text tables, also printed).
+//! `STREAMBAL_SCALE=full` for paper-scale runs.
 
 use std::fs;
 use std::time::Instant;
 
+use streambal_bench::figure::Figure;
 use streambal_bench::{fig11, figs_runtime, figs_sim, Scale};
 
-type FigureFn = Box<dyn Fn(Scale) -> String>;
+type FigureFn = Box<dyn Fn(Scale) -> Figure>;
 
 fn main() {
     let scale = Scale::from_env();
-    let dir = std::path::Path::new("bench_results");
+    let dir = streambal_bench::figure::results_dir();
     fs::create_dir_all(dir).expect("create bench_results/");
 
     let figures: Vec<(&str, FigureFn)> = vec![
@@ -34,10 +36,12 @@ fn main() {
     for (name, run) in figures {
         let t0 = Instant::now();
         eprintln!(">>> {name} ...");
-        let out = run(scale);
-        println!("{out}");
-        fs::write(dir.join(format!("{name}.txt")), &out).expect("write result");
+        let fig = run(scale);
+        debug_assert_eq!(fig.name(), name);
+        println!("{}", fig.to_text());
+        fs::write(dir.join(format!("{name}.txt")), fig.to_text()).expect("write text result");
+        fig.write_json(dir, scale).expect("write json result");
         eprintln!("<<< {name} done in {:.1}s", t0.elapsed().as_secs_f64());
     }
-    eprintln!("all figures written to bench_results/");
+    eprintln!("all figures written to bench_results/ (.txt + .json)");
 }

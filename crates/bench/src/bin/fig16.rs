@@ -1,5 +1,6 @@
-//! Regenerates the paper's Fig. 16 (see EXPERIMENTS.md).
+//! Regenerates the paper's Fig. 16 (see EXPERIMENTS.md): prints the text
+//! tables and writes `bench_results/fig16.json`.
 fn main() {
     let scale = streambal_bench::Scale::from_env();
-    print!("{}", streambal_bench::figs_runtime::fig16(scale));
+    streambal_bench::figure::emit(&streambal_bench::figs_runtime::fig16(scale), scale);
 }

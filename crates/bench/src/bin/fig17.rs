@@ -1,5 +1,6 @@
-//! Regenerates the paper's Fig. 17 (see EXPERIMENTS.md).
+//! Regenerates the paper's Fig. 17 (see EXPERIMENTS.md): prints the text
+//! tables and writes `bench_results/fig17.json`.
 fn main() {
     let scale = streambal_bench::Scale::from_env();
-    print!("{}", streambal_bench::figs_sim::fig17(scale));
+    streambal_bench::figure::emit(&streambal_bench::figs_sim::fig17(scale), scale);
 }

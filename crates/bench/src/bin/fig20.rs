@@ -1,5 +1,6 @@
-//! Regenerates the paper's Figs. 20-21 (see EXPERIMENTS.md).
+//! Regenerates the paper's Figs. 20-21 (see EXPERIMENTS.md): prints the text
+//! tables and writes `bench_results/fig20_21.json`.
 fn main() {
     let scale = streambal_bench::Scale::from_env();
-    print!("{}", streambal_bench::figs_sim::fig20_21(scale));
+    streambal_bench::figure::emit(&streambal_bench::figs_sim::fig20_21(scale), scale);
 }

@@ -8,7 +8,8 @@
 use streambal_core::{compact::compact_mixed, rebalance, RebalanceInput, RebalanceStrategy};
 use streambal_metrics::Stopwatch;
 
-use crate::{header, row, Defaults, Scale};
+use crate::figure::{Figure, Table};
+use crate::{Defaults, Scale};
 
 /// Builds a skewed rebalance input at defaults scale (hash-routed Zipf
 /// interval).
@@ -39,23 +40,27 @@ pub fn skewed_input(d: &Defaults) -> RebalanceInput {
 }
 
 /// Runs the Fig. 11 experiment.
-pub fn fig11(scale: Scale) -> String {
+pub fn fig11(scale: Scale) -> Figure {
     let mut d = Defaults::at(scale);
     d.k = scale.pick(30_000, 200_000);
     d.tuples = scale.pick(300_000, 2_000_000);
     let input = skewed_input(&d);
     let rs: Vec<u32> = vec![0, 1, 2, 3, 4, 5, 6, 7, 8]; // R = 2^r → 1..256
-    let mut out = String::new();
+    let mut fig = Figure::new("fig11");
 
     // (a) generation time. The paper's controller receives pre-aggregated
     // compact records from the workers (§IV), so its plan latency is the
     // solve time over records; build/materialize are shown separately.
-    out.push_str("# Fig 11(a): plan-generation time (ms) vs R (plus original key space)\n");
     let reps = scale.pick(3, 5);
     let mut cols: Vec<String> = rs.iter().map(|r| format!("R={}", 1u64 << r)).collect();
     cols.push("orig".into());
-    out.push_str(&header("", &cols, 9));
-    out.push('\n');
+    let mut a = Table::new(
+        "Fig 11(a): plan-generation time (ms) vs R (plus original key space)",
+        "",
+        cols,
+        9,
+        2,
+    );
     let mut solve = Vec::new();
     let mut build = Vec::new();
     let mut materialize = Vec::new();
@@ -83,27 +88,22 @@ pub fn fig11(scale: Scale) -> String {
     solve.push(orig);
     build.push(0.0);
     materialize.push(0.0);
-    out.push_str(&row("plan time (ms)", &solve, 9, 2));
-    out.push('\n');
-    out.push_str(&row("  +build (worker)", &build, 9, 2));
-    out.push('\n');
-    out.push_str(&row("  +materialize", &materialize, 9, 2));
-    out.push('\n');
+    a.row("plan time (ms)", &solve);
+    a.row("  +build (worker)", &build);
+    a.row("  +materialize", &materialize);
     n_records.push(input.records.len() as f64);
-    out.push_str(&row("working set", &n_records, 9, 0));
-    out.push('\n');
+    a.row_prec("working set", &n_records, 0);
+    fig.push(a);
 
     // (b) estimation error.
-    out.push_str("\n# Fig 11(b): load-estimation error (%) vs R\n");
     let thetas = [0.0, 0.02, 0.08, 0.15];
-    out.push_str(&header(
+    let mut b = Table::new(
+        "Fig 11(b): load-estimation error (%) vs R",
         "θmax \\ R",
-        &rs.iter()
-            .map(|r| format!("{}", 1u64 << r))
-            .collect::<Vec<_>>(),
+        rs.iter().map(|r| format!("{}", 1u64 << r)).collect(),
         9,
-    ));
-    out.push('\n');
+        4,
+    );
     for &theta in &thetas {
         let mut params = d.params();
         params.theta_max = theta;
@@ -112,10 +112,10 @@ pub fn fig11(scale: Scale) -> String {
             let c = compact_mixed(&input, &params, r);
             vals.push(c.estimation_error * 100.0);
         }
-        out.push_str(&row(&format!("θmax={theta}"), &vals, 9, 4));
-        out.push('\n');
+        b.row(format!("θmax={theta}"), &vals);
     }
-    out
+    fig.push(b);
+    fig
 }
 
 #[cfg(test)]

@@ -18,7 +18,8 @@ use streambal_workloads::{
     FluctuatingWorkload, SocialWorkload, StockWorkload, TpchEvent, TpchGen, TpchParams,
 };
 
-use crate::{core_partitioner, header, row, Defaults, Scale};
+use crate::figure::{Figure, Table};
+use crate::{core_partitioner, Defaults, Scale};
 
 /// Runtime experiment sizing.
 #[derive(Debug, Clone, Copy)]
@@ -33,6 +34,8 @@ pub struct RtParams {
     pub spin: u32,
     /// State window.
     pub window: usize,
+    /// Data-plane batch size (tuples per `TupleBatch` send).
+    pub batch: usize,
 }
 
 impl RtParams {
@@ -50,6 +53,7 @@ impl RtParams {
             intervals: scale.pick(6, 12),
             spin: scale.pick(6_000, 8_000),
             window: 5,
+            batch: EngineConfig::default().batch_size,
         }
     }
 
@@ -59,6 +63,7 @@ impl RtParams {
             max_workers: self.nd,
             spin_work: self.spin,
             window: self.window,
+            batch_size: self.batch,
             ..EngineConfig::default()
         }
     }
@@ -236,7 +241,7 @@ pub fn stock_intervals(rt: &RtParams, seed: u64) -> Vec<Vec<Key>> {
 }
 
 /// Fig. 13 — throughput and latency vs fluctuation rate `f`.
-pub fn fig13(scale: Scale) -> String {
+pub fn fig13(scale: Scale) -> Figure {
     let rt = RtParams::at(scale);
     let fs: Vec<f64> = scale.pick(vec![0.1, 0.9, 1.7], vec![0.1, 0.5, 0.9, 1.3, 1.7, 2.0]);
     let strategies = [
@@ -258,35 +263,47 @@ pub fn fig13(scale: Scale) -> String {
         }
     }
     let cols: Vec<String> = fs.iter().map(|f| format!("f={f}")).collect();
-    let mut out = String::new();
-    out.push_str("# Fig 13(a): throughput (10^3 tuples/s) vs f\n");
-    out.push_str(&header("strategy", &cols, 9));
-    out.push('\n');
+    let mut fig = Figure::new("fig13");
+    let mut a = Table::new(
+        "Fig 13(a): throughput (10^3 tuples/s) vs f",
+        "strategy",
+        cols.clone(),
+        9,
+        1,
+    );
     for (i, &s) in strategies.iter().enumerate() {
-        out.push_str(&row(s.name(), &thr[i], 9, 1));
-        out.push('\n');
+        a.row(s.name(), &thr[i]);
     }
-    out.push_str("\n# Fig 13(b): mean processing latency (ms) vs f\n");
-    out.push_str(&header("strategy", &cols, 9));
-    out.push('\n');
+    fig.push(a);
+    let mut b = Table::new(
+        "Fig 13(b): mean processing latency (ms) vs f",
+        "strategy",
+        cols,
+        9,
+        2,
+    );
     for (i, &s) in strategies.iter().enumerate() {
-        out.push_str(&row(s.name(), &lat[i], 9, 2));
-        out.push('\n');
+        b.row(s.name(), &lat[i]);
     }
-    out
+    fig.push(b);
+    fig
 }
 
 /// Fig. 14 — throughput on the Social (word count) and Stock (self-join)
 /// workloads across `θmax` settings.
-pub fn fig14(scale: Scale) -> String {
+pub fn fig14(scale: Scale) -> Figure {
     let rt = RtParams::at(scale);
     let thetas = [0.02, 0.08, 0.15, 0.3];
     let cols: Vec<String> = thetas.iter().map(|t| format!("θ={t}")).collect();
-    let mut out = String::new();
+    let mut fig = Figure::new("fig14");
 
-    out.push_str("# Fig 14(a): throughput (10^3 tuples/s) on Social data\n");
-    out.push_str(&header("strategy", &cols, 9));
-    out.push('\n');
+    let mut a = Table::new(
+        "Fig 14(a): throughput (10^3 tuples/s) on Social data",
+        "strategy",
+        cols.clone(),
+        9,
+        1,
+    );
     let social = social_intervals(&rt, scale, 7);
     for s in [
         RtStrategy::Storm,
@@ -300,13 +317,17 @@ pub fn fig14(scale: Scale) -> String {
             let r = run_wordcount(&rt, s, theta, &social, None);
             vals.push(r.mean_throughput / 1e3);
         }
-        out.push_str(&row(s.name(), &vals, 9, 1));
-        out.push('\n');
+        a.row(s.name(), &vals);
     }
+    fig.push(a);
 
-    out.push_str("\n# Fig 14(b): throughput (10^3 tuples/s) on Stock data (join: no PKG)\n");
-    out.push_str(&header("strategy", &cols, 9));
-    out.push('\n');
+    let mut b = Table::new(
+        "Fig 14(b): throughput (10^3 tuples/s) on Stock data (join: no PKG)",
+        "strategy",
+        cols,
+        9,
+        1,
+    );
     let stock = stock_intervals(&rt, 9);
     for s in [
         RtStrategy::Storm,
@@ -319,29 +340,33 @@ pub fn fig14(scale: Scale) -> String {
             let r = run_selfjoin(&rt, s, theta, &stock, None);
             vals.push(r.mean_throughput / 1e3);
         }
-        out.push_str(&row(s.name(), &vals, 9, 1));
-        out.push('\n');
+        b.row(s.name(), &vals);
     }
-    out
+    fig.push(b);
+    fig
 }
 
 /// Fig. 15 — throughput timeline during scale-out (one worker added
 /// mid-run) on Social and Stock.
-pub fn fig15(scale: Scale) -> String {
+pub fn fig15(scale: Scale) -> Figure {
     let mut rt = RtParams::at(scale);
     rt.intervals = scale.pick(8, 16);
     let add_at = (rt.intervals / 3) as u64;
-    let mut out = String::new();
+    let mut fig = Figure::new("fig15");
     for (name, intervals, join) in [
         ("Social", social_intervals(&rt, scale, 21), false),
         ("Stock", stock_intervals(&rt, 22), true),
     ] {
-        out.push_str(&format!(
-            "# Fig 15 ({name}): interval throughput (10^3 t/s), +1 worker after interval {add_at}\n"
-        ));
         let cols: Vec<String> = (0..rt.intervals).map(|i| format!("iv{i}")).collect();
-        out.push_str(&header("strategy", &cols, 7));
-        out.push('\n');
+        let mut t = Table::new(
+            format!(
+                "Fig 15 ({name}): interval throughput (10^3 t/s), +1 worker after interval {add_at}"
+            ),
+            "strategy",
+            cols,
+            7,
+            0,
+        );
         let mut runs: Vec<(String, EngineReport)> = Vec::new();
         for &theta in &[0.1, 0.2] {
             for s in [RtStrategy::Mixed, RtStrategy::Readj] {
@@ -370,12 +395,11 @@ pub fn fig15(scale: Scale) -> String {
                 .iter()
                 .map(|&(_, v)| v / 1e3)
                 .collect();
-            out.push_str(&row(label, &vals, 7, 0));
-            out.push('\n');
+            t.row(label.clone(), &vals);
         }
-        out.push('\n');
+        fig.push(t);
     }
-    out
+    fig
 }
 
 /// The Q5 downstream aggregation: joins the dimension tables, filters one
@@ -461,7 +485,7 @@ pub fn run_q5(
 
 /// Fig. 16 — TPC-H Q5 throughput timeline with a distribution change
 /// every few intervals, for `θmax ∈ {0.1, 0.2}`.
-pub fn fig16(scale: Scale) -> String {
+pub fn fig16(scale: Scale) -> Figure {
     let mut rt = RtParams::at(scale);
     rt.intervals = scale.pick(9, 16);
     let region = 2; // ASIA
@@ -481,14 +505,18 @@ pub fn fig16(scale: Scale) -> String {
         }
         intervals.push(gen.interval_events());
     }
-    let mut out = String::new();
+    let mut fig = Figure::new("fig16");
     for &theta in &[0.1, 0.2] {
-        out.push_str(&format!(
-            "# Fig 16 (θmax={theta}): Q5 interval throughput (10^3 t/s), reshuffle every {change_every} intervals\n"
-        ));
         let cols: Vec<String> = (0..rt.intervals).map(|i| format!("iv{i}")).collect();
-        out.push_str(&header("strategy", &cols, 7));
-        out.push('\n');
+        let mut t = Table::new(
+            format!(
+                "Fig 16 (θmax={theta}): Q5 interval throughput (10^3 t/s), reshuffle every {change_every} intervals"
+            ),
+            "strategy",
+            cols,
+            7,
+            0,
+        );
         for s in [
             RtStrategy::Mixed,
             RtStrategy::Readj,
@@ -502,12 +530,11 @@ pub fn fig16(scale: Scale) -> String {
                 .iter()
                 .map(|&(_, v)| v / 1e3)
                 .collect();
-            out.push_str(&row(s.name(), &vals, 7, 0));
-            out.push('\n');
+            t.row(s.name(), &vals);
         }
-        out.push('\n');
+        fig.push(t);
     }
-    out
+    fig
 }
 
 #[cfg(test)]
@@ -521,6 +548,7 @@ mod tests {
             intervals: 3,
             spin: 50,
             window: 10,
+            batch: 32,
         }
     }
 

@@ -1,15 +1,19 @@
 //! Simulator-based figures: 7, 8, 9, 10, 12, 17, 18, 19, 20, 21.
+//!
+//! Every figure returns a [`Figure`], rendering to both the fixed-width
+//! console tables and `bench_results/figNN.json`.
 
 use streambal_baselines::HashPartitioner;
 use streambal_core::{rebalance, Partitioner, RebalanceInput, RebalanceStrategy};
 use streambal_sim::skewness_samples;
 
-use crate::{header, row, run_core_sim, run_readj_best, Defaults, Scale, READJ_SIGMAS};
+use crate::figure::{Figure, Table};
+use crate::{run_core_sim, run_readj_best, Defaults, Scale, READJ_SIGMAS};
 
 /// Fig. 7 — cumulative distribution of workload skewness under pure
 /// hashing, varying (a) the number of task instances and (b) the key
 /// domain size.
-pub fn fig07(scale: Scale) -> String {
+pub fn fig07(scale: Scale) -> Figure {
     let d = Defaults::at(scale);
     // Each run is one random draw of key-popularity → ring placement;
     // pool per-task samples over several seeds so the CDF reflects the
@@ -44,57 +48,48 @@ pub fn fig07(scale: Scale) -> String {
             })
             .collect()
     };
+    let pct_cols: Vec<String> = percentiles
+        .iter()
+        .map(|p| format!("{:.0}%", p * 100.0))
+        .collect();
 
-    let mut out = String::new();
-    out.push_str("# Fig 7(a): skewness CDF under hash, varying ND (z=0.85)\n");
-    out.push_str(&header(
+    let mut fig = Figure::new("fig07");
+    let mut a = Table::new(
+        "Fig 7(a): skewness CDF under hash, varying ND (z=0.85)",
         "ND \\ percentile",
-        &percentiles
-            .iter()
-            .map(|p| format!("{:.0}%", p * 100.0))
-            .collect::<Vec<_>>(),
+        pct_cols.clone(),
         8,
-    ));
-    out.push('\n');
+        3,
+    );
     for nd in [5usize, 10, 20, 40] {
-        out.push_str(&row(&format!("ND={nd}"), &at(&pooled(d.k, nd)), 8, 3));
-        out.push('\n');
+        a.row(format!("ND={nd}"), &at(&pooled(d.k, nd)));
     }
+    fig.push(a);
 
-    out.push_str("\n# Fig 7(b): skewness CDF under hash, varying K (ND=10)\n");
-    out.push_str(&header(
+    let mut b = Table::new(
+        "Fig 7(b): skewness CDF under hash, varying K (ND=10)",
         "K \\ percentile",
-        &percentiles
-            .iter()
-            .map(|p| format!("{:.0}%", p * 100.0))
-            .collect::<Vec<_>>(),
+        pct_cols,
         8,
-    ));
-    out.push('\n');
+        3,
+    );
     let ks = match scale {
         Scale::Quick => vec![5_000usize, 10_000, 100_000],
         Scale::Full => vec![5_000, 10_000, 100_000, 1_000_000],
     };
     for k in ks {
-        out.push_str(&row(&format!("K={k}"), &at(&pooled(k, d.nd)), 8, 3));
-        out.push('\n');
+        b.row(format!("K={k}"), &at(&pooled(k, d.nd)));
     }
-    out
+    fig.push(b);
+    fig
 }
 
 /// Fig. 8 — plan-generation time and migration cost vs `N_D`
 /// (Mixed vs MinTable, `w ∈ {1, 5}`).
-pub fn fig08(scale: Scale) -> String {
+pub fn fig08(scale: Scale) -> Figure {
     let base = Defaults::at(scale);
     let nds: Vec<usize> = scale.pick(vec![5, 10, 20, 30, 40], vec![5, 10, 15, 20, 25, 30, 35, 40]);
-    let mut out = String::new();
-    out.push_str("# Fig 8(a): avg plan-generation time (ms) vs ND\n");
-    out.push_str(&header(
-        "strategy \\ ND",
-        &nds.iter().map(|n| n.to_string()).collect::<Vec<_>>(),
-        8,
-    ));
-    out.push('\n');
+    let cols: Vec<String> = nds.iter().map(|n| n.to_string()).collect();
     let mut gen: Vec<Vec<f64>> = vec![vec![], vec![]];
     let mut mig: Vec<Vec<f64>> = vec![vec![], vec![], vec![], vec![]];
     for &nd in &nds {
@@ -114,34 +109,40 @@ pub fn fig08(scale: Scale) -> String {
             }
         }
     }
-    out.push_str(&row("Mixed", &gen[0], 8, 2));
-    out.push('\n');
-    out.push_str(&row("MinTable", &gen[1], 8, 2));
-    out.push('\n');
-    out.push_str("\n# Fig 8(b): migration cost (%) vs ND\n");
-    out.push_str(&header(
+    let mut fig = Figure::new("fig08");
+    let mut a = Table::new(
+        "Fig 8(a): avg plan-generation time (ms) vs ND",
         "strategy \\ ND",
-        &nds.iter().map(|n| n.to_string()).collect::<Vec<_>>(),
+        cols.clone(),
         8,
-    ));
-    out.push('\n');
+        2,
+    );
+    a.row("Mixed", &gen[0]);
+    a.row("MinTable", &gen[1]);
+    fig.push(a);
+    let mut b = Table::new(
+        "Fig 8(b): migration cost (%) vs ND",
+        "strategy \\ ND",
+        cols,
+        8,
+        2,
+    );
     for (label, series) in [
         ("Mixed w=1", &mig[0]),
         ("Mixed w=5", &mig[1]),
         ("MinTable w=1", &mig[2]),
         ("MinTable w=5", &mig[3]),
     ] {
-        out.push_str(&row(label, series, 8, 2));
-        out.push('\n');
+        b.row(label, series);
     }
-    out
+    fig.push(b);
+    fig
 }
 
 /// Fig. 9 — generation time / migration cost vs `θmax`.
-pub fn fig09(scale: Scale) -> String {
+pub fn fig09(scale: Scale) -> Figure {
     let base = Defaults::at(scale);
     let thetas = [0.02, 0.05, 0.08, 0.11, 0.14, 0.17, 0.2, 0.3, 0.4, 0.5];
-    let mut out = String::new();
     let cols: Vec<String> = thetas.iter().map(|t| format!("{t}")).collect();
     let mut gen = [vec![], vec![]];
     let mut mig: Vec<Vec<f64>> = vec![vec![], vec![], vec![], vec![]];
@@ -162,30 +163,38 @@ pub fn fig09(scale: Scale) -> String {
             }
         }
     }
-    out.push_str("# Fig 9(a): avg plan-generation time (ms) vs θmax\n");
-    out.push_str(&header("strategy \\ θmax", &cols, 8));
-    out.push('\n');
-    out.push_str(&row("Mixed", &gen[0], 8, 2));
-    out.push('\n');
-    out.push_str(&row("MinTable", &gen[1], 8, 2));
-    out.push('\n');
-    out.push_str("\n# Fig 9(b): migration cost (%) vs θmax\n");
-    out.push_str(&header("strategy \\ θmax", &cols, 8));
-    out.push('\n');
+    let mut fig = Figure::new("fig09");
+    let mut a = Table::new(
+        "Fig 9(a): avg plan-generation time (ms) vs θmax",
+        "strategy \\ θmax",
+        cols.clone(),
+        8,
+        2,
+    );
+    a.row("Mixed", &gen[0]);
+    a.row("MinTable", &gen[1]);
+    fig.push(a);
+    let mut b = Table::new(
+        "Fig 9(b): migration cost (%) vs θmax",
+        "strategy \\ θmax",
+        cols,
+        8,
+        2,
+    );
     for (label, series) in [
         ("Mixed w=1", &mig[0]),
         ("Mixed w=5", &mig[1]),
         ("MinTable w=1", &mig[2]),
         ("MinTable w=5", &mig[3]),
     ] {
-        out.push_str(&row(label, series, 8, 2));
-        out.push('\n');
+        b.row(label, series);
     }
-    out
+    fig.push(b);
+    fig
 }
 
 /// Fig. 10 — generation time / migration cost vs key-domain size `K`.
-pub fn fig10(scale: Scale) -> String {
+pub fn fig10(scale: Scale) -> Figure {
     let base = Defaults::at(scale);
     let ks: Vec<usize> = scale.pick(
         vec![5_000, 10_000, 100_000],
@@ -211,32 +220,39 @@ pub fn fig10(scale: Scale) -> String {
             }
         }
     }
-    let mut out = String::new();
-    out.push_str("# Fig 10(a): avg plan-generation time (ms) vs K\n");
-    out.push_str(&header("strategy \\ K", &cols, 9));
-    out.push('\n');
-    out.push_str(&row("Mixed", &gen[0], 9, 2));
-    out.push('\n');
-    out.push_str(&row("MinTable", &gen[1], 9, 2));
-    out.push('\n');
-    out.push_str("\n# Fig 10(b): migration cost (%) vs K\n");
-    out.push_str(&header("strategy \\ K", &cols, 9));
-    out.push('\n');
+    let mut fig = Figure::new("fig10");
+    let mut a = Table::new(
+        "Fig 10(a): avg plan-generation time (ms) vs K",
+        "strategy \\ K",
+        cols.clone(),
+        9,
+        2,
+    );
+    a.row("Mixed", &gen[0]);
+    a.row("MinTable", &gen[1]);
+    fig.push(a);
+    let mut b = Table::new(
+        "Fig 10(b): migration cost (%) vs K",
+        "strategy \\ K",
+        cols,
+        9,
+        2,
+    );
     for (label, series) in [
         ("Mixed w=1", &mig[0]),
         ("Mixed w=5", &mig[1]),
         ("MinTable w=1", &mig[2]),
         ("MinTable w=5", &mig[3]),
     ] {
-        out.push_str(&row(label, series, 9, 2));
-        out.push('\n');
+        b.row(label, series);
     }
-    out
+    fig.push(b);
+    fig
 }
 
 /// Fig. 12 — generation time / migration cost vs fluctuation rate `f`,
 /// comparing Mixed, MinTable, Readj (best σ) and MixedBF.
-pub fn fig12(scale: Scale) -> String {
+pub fn fig12(scale: Scale) -> Figure {
     let mut base = Defaults::at(scale);
     // BF re-runs the pipeline per candidate n; keep the domain small like
     // the paper's Fig. 12 setting.
@@ -266,45 +282,45 @@ pub fn fig12(scale: Scale) -> String {
         gen[3].push(r.gen_time_ms.mean());
         mig[3].push(r.mig_fraction.mean() * 100.0);
     }
-    let mut out = String::new();
-    out.push_str("# Fig 12(a): avg plan-generation time (ms) vs f\n");
-    out.push_str(&header("strategy \\ f", &cols, 9));
-    out.push('\n');
-    for (label, series) in [
-        ("Mixed", &gen[0]),
-        ("MinTable", &gen[1]),
-        ("MixedBF", &gen[2]),
-        ("Readj", &gen[3]),
-    ] {
-        out.push_str(&row(label, series, 9, 2));
-        out.push('\n');
+    let mut fig = Figure::new("fig12");
+    let mut a = Table::new(
+        "Fig 12(a): avg plan-generation time (ms) vs f",
+        "strategy \\ f",
+        cols.clone(),
+        9,
+        2,
+    );
+    let mut b = Table::new(
+        "Fig 12(b): migration cost (%) vs f",
+        "strategy \\ f",
+        cols,
+        9,
+        2,
+    );
+    for (i, label) in ["Mixed", "MinTable", "MixedBF", "Readj"].iter().enumerate() {
+        a.row(*label, &gen[i]);
+        b.row(*label, &mig[i]);
     }
-    out.push_str("\n# Fig 12(b): migration cost (%) vs f\n");
-    out.push_str(&header("strategy \\ f", &cols, 9));
-    out.push('\n');
-    for (label, series) in [
-        ("Mixed", &mig[0]),
-        ("MinTable", &mig[1]),
-        ("MixedBF", &mig[2]),
-        ("Readj", &mig[3]),
-    ] {
-        out.push_str(&row(label, series, 9, 2));
-        out.push('\n');
-    }
-    out
+    fig.push(a);
+    fig.push(b);
+    fig
 }
 
 /// Fig. 17 (appendix) — Mixed's migration cost vs the routing-table bound
 /// `N_A = 2^i`, for several `θmax`.
-pub fn fig17(scale: Scale) -> String {
+pub fn fig17(scale: Scale) -> Figure {
     let base = Defaults::at(scale);
     let is: Vec<u32> = scale.pick(vec![1, 3, 5, 7, 9, 11, 13], vec![1, 3, 5, 7, 9, 11, 13]);
     let thetas = [0.02, 0.08, 0.15, 0.3];
     let cols: Vec<String> = is.iter().map(|i| format!("2^{i}")).collect();
-    let mut out = String::new();
-    out.push_str("# Fig 17: Mixed migration cost (%) vs table bound NA\n");
-    out.push_str(&header("θmax \\ NA", &cols, 8));
-    out.push('\n');
+    let mut fig = Figure::new("fig17");
+    let mut t = Table::new(
+        "Fig 17: Mixed migration cost (%) vs table bound NA",
+        "θmax \\ NA",
+        cols,
+        8,
+        2,
+    );
     for &theta in &thetas {
         let mut vals = Vec::new();
         for &i in &is {
@@ -314,32 +330,32 @@ pub fn fig17(scale: Scale) -> String {
             let r = run_core_sim(&d, RebalanceStrategy::Mixed);
             vals.push(r.mig_fraction.mean() * 100.0);
         }
-        out.push_str(&row(&format!("θmax={theta}"), &vals, 8, 2));
-        out.push('\n');
+        t.row(format!("θmax={theta}"), &vals);
     }
-    out
+    fig.push(t);
+    fig
 }
 
 /// Fig. 18 (appendix) — MinMig's routing-table growth over successive
 /// adjustments, converging toward `(N_D − 1)/N_D · K`.
-pub fn fig18(scale: Scale) -> String {
+pub fn fig18(scale: Scale) -> Figure {
     let mut d = Defaults::at(scale);
     d.k = 10_000; // the paper sets K = 10^4 here
     d.tuples = scale.pick(100_000, 500_000);
     d.intervals = scale.pick(64, 256);
     let thetas = [0.02, 0.08, 0.15, 0.3];
-    let mut out = String::new();
-    out.push_str("# Fig 18: MinMig routing-table size vs #adjustments (K=10^4)\n");
     let marks: Vec<usize> = (0..)
         .map(|i| 1usize << i)
         .take_while(|&m| m <= d.intervals)
         .collect();
-    out.push_str(&header(
+    let mut fig = Figure::new("fig18");
+    let mut t = Table::new(
+        "Fig 18: MinMig routing-table size vs #adjustments (K=10^4)",
         "θmax \\ #adj",
-        &marks.iter().map(|m| m.to_string()).collect::<Vec<_>>(),
+        marks.iter().map(|m| m.to_string()).collect(),
         8,
-    ));
-    out.push('\n');
+        0,
+    );
     for &theta in &thetas {
         let mut dd = d;
         dd.theta_max = theta;
@@ -357,25 +373,28 @@ pub fn fig18(scale: Scale) -> String {
                 .map_or(0.0, |&(_, v)| v);
             vals.push(v);
         }
-        out.push_str(&row(&format!("θmax={theta}"), &vals, 8, 0));
-        out.push('\n');
+        t.row(format!("θmax={theta}"), &vals);
     }
-    out.push_str(&format!(
-        "(convergence bound (ND-1)/ND·K = {:.0})\n",
+    t.note(format!(
+        "(convergence bound (ND-1)/ND·K = {:.0})",
         (d.nd - 1) as f64 / d.nd as f64 * d.k as f64
     ));
-    out
+    fig.push(t);
+    fig
 }
 
 /// Fig. 19 (appendix) — migration cost vs the window size `w`.
-pub fn fig19(scale: Scale) -> String {
+pub fn fig19(scale: Scale) -> Figure {
     let base = Defaults::at(scale);
     let ws = [1usize, 3, 5, 7, 9, 11, 13, 15];
-    let cols: Vec<String> = ws.iter().map(|w| w.to_string()).collect();
-    let mut out = String::new();
-    out.push_str("# Fig 19: migration cost (%) vs window size w\n");
-    out.push_str(&header("strategy \\ w", &cols, 8));
-    out.push('\n');
+    let mut fig = Figure::new("fig19");
+    let mut t = Table::new(
+        "Fig 19: migration cost (%) vs window size w",
+        "strategy \\ w",
+        ws.iter().map(|w| w.to_string()).collect(),
+        8,
+        2,
+    );
     for strategy in [RebalanceStrategy::Mixed, RebalanceStrategy::MinTable] {
         let mut vals = Vec::new();
         for &w in &ws {
@@ -384,15 +403,15 @@ pub fn fig19(scale: Scale) -> String {
             let r = run_core_sim(&d, strategy);
             vals.push(r.mig_fraction.mean() * 100.0);
         }
-        out.push_str(&row(strategy.name(), &vals, 8, 2));
-        out.push('\n');
+        t.row(strategy.name(), &vals);
     }
-    out
+    fig.push(t);
+    fig
 }
 
 /// Figs. 20 & 21 (appendix) — MinMig's routing-table size and migration
 /// cost vs the weight-scaling factor `β`.
-pub fn fig20_21(scale: Scale) -> String {
+pub fn fig20_21(scale: Scale) -> Figure {
     let base = Defaults::at(scale);
     let betas = [1.0, 1.2, 1.4, 1.5, 1.6, 1.8, 2.0];
     let thetas = [0.02, 0.08, 0.15, 0.3];
@@ -414,22 +433,30 @@ pub fn fig20_21(scale: Scale) -> String {
         table_rows.push((theta, tvals));
         mig_rows.push((theta, mvals));
     }
-    let mut out = String::new();
-    out.push_str("# Fig 20: MinMig routing-table size vs β\n");
-    out.push_str(&header("θmax \\ β", &cols, 8));
-    out.push('\n');
+    let mut fig = Figure::new("fig20_21");
+    let mut a = Table::new(
+        "Fig 20: MinMig routing-table size vs β",
+        "θmax \\ β",
+        cols.clone(),
+        8,
+        0,
+    );
     for (theta, vals) in &table_rows {
-        out.push_str(&row(&format!("θmax={theta}"), vals, 8, 0));
-        out.push('\n');
+        a.row(format!("θmax={theta}"), vals);
     }
-    out.push_str("\n# Fig 21: MinMig migration cost (%) vs β\n");
-    out.push_str(&header("θmax \\ β", &cols, 8));
-    out.push('\n');
+    fig.push(a);
+    let mut b = Table::new(
+        "Fig 21: MinMig migration cost (%) vs β",
+        "θmax \\ β",
+        cols,
+        8,
+        2,
+    );
     for (theta, vals) in &mig_rows {
-        out.push_str(&row(&format!("θmax={theta}"), vals, 8, 2));
-        out.push('\n');
+        b.row(format!("θmax={theta}"), vals);
     }
-    out
+    fig.push(b);
+    fig
 }
 
 /// Sanity helper for tests: a single Mixed rebalance over a fixed skewed
@@ -463,11 +490,16 @@ mod tests {
 
     #[test]
     fn fig07_emits_all_rows() {
-        let out = fig07(Scale::Quick);
+        let fig = fig07(Scale::Quick);
+        let out = fig.to_text();
         for nd in [5, 10, 20, 40] {
             assert!(out.contains(&format!("ND={nd}")), "missing ND={nd}\n{out}");
         }
         assert!(out.contains("K=5000"));
+        // And the JSON carries the same rows.
+        let json = fig.to_json(Scale::Quick).to_pretty();
+        assert!(json.contains("\"label\": \"ND=40\""));
+        assert!(json.contains("\"figure\": \"fig07\""));
     }
 
     #[test]

@@ -14,6 +14,7 @@
 pub mod fig11;
 pub mod figs_runtime;
 pub mod figs_sim;
+pub mod figure;
 pub mod json;
 
 use streambal_baselines::{CoreBalancer, ReadjConfig, ReadjPartitioner};

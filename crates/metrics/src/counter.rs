@@ -133,6 +133,41 @@ mod tests {
         assert_eq!(c.get(), 0);
     }
 
+    /// Pins the batched-increment contract the runtime's worker loop
+    /// relies on: one `add(n)` per drained batch must be exactly
+    /// equivalent to `n` `incr()`s, including under concurrency.
+    #[test]
+    fn add_matches_repeated_incr() {
+        let batched = Counter::new();
+        let scalar = Counter::new();
+        for batch in [1u64, 16, 256, 1024] {
+            batched.add(batch);
+            for _ in 0..batch {
+                scalar.incr();
+            }
+        }
+        assert_eq!(batched.get(), scalar.get());
+        assert_eq!(batched.get(), 1 + 16 + 256 + 1024);
+    }
+
+    #[test]
+    fn add_across_threads_totals_exactly() {
+        let c = Arc::new(Counter::new());
+        let mut handles = Vec::new();
+        for _ in 0..8 {
+            let c = Arc::clone(&c);
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..1_000 {
+                    c.add(64); // one batch of 64 per "channel op"
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(c.get(), 8 * 1_000 * 64);
+    }
+
     #[test]
     fn counter_across_threads() {
         let c = Arc::new(Counter::new());

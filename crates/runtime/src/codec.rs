@@ -112,6 +112,46 @@ pub fn decode_view(mut buf: Bytes) -> Result<RoutingView, CodecError> {
     }
 }
 
+/// Serializes a tuple batch — the wire form of one
+/// [`crate::Message::TupleBatch`] channel send, for a transport that ships
+/// the batched data plane between processes. Fixed 25 bytes per tuple
+/// after the 5-byte header, so frames size predictably per batch.
+pub fn encode_tuple_batch(batch: &[crate::Tuple]) -> Bytes {
+    let mut buf = BytesMut::with_capacity(5 + batch.len() * 25);
+    buf.put_u8(CODEC_VERSION);
+    buf.put_u32_le(batch.len() as u32);
+    for t in batch {
+        buf.put_u64_le(t.key.raw());
+        buf.put_u8(t.tag);
+        buf.put_u64_le(t.vals[0]);
+        buf.put_u64_le(t.vals[1]);
+    }
+    buf.freeze()
+}
+
+/// Deserializes a tuple batch into `out` (cleared first; reuse the buffer
+/// across frames, like the in-process pool does). `emitted_us` is not on
+/// the wire — the receiver stamps batches against its own clock, exactly
+/// as the in-process source stamps once per staged batch.
+pub fn decode_tuple_batch(mut buf: Bytes, out: &mut Vec<crate::Tuple>) -> Result<(), CodecError> {
+    need(&buf, 5)?;
+    let version = buf.get_u8();
+    if version != CODEC_VERSION {
+        return Err(CodecError::BadVersion(version));
+    }
+    let n = buf.get_u32_le() as usize;
+    need(&buf, n * 25)?;
+    out.clear();
+    out.reserve(n);
+    for _ in 0..n {
+        let key = Key(buf.get_u64_le());
+        let tag = buf.get_u8();
+        let vals = [buf.get_u64_le(), buf.get_u64_le()];
+        out.push(crate::Tuple::tagged(key, tag, vals));
+    }
+    Ok(())
+}
+
 /// Serializes a migration plan (step-3 broadcast payload).
 pub fn encode_plan(plan: &MigrationPlan) -> Bytes {
     let mut buf = BytesMut::with_capacity(6 + plan.keys_moved() * 24);
@@ -218,6 +258,24 @@ mod tests {
     fn empty_plan_roundtrip() {
         let decoded = decode_plan(encode_plan(&MigrationPlan::empty())).unwrap();
         assert!(decoded.is_empty());
+    }
+
+    #[test]
+    fn tuple_batch_roundtrip() {
+        use crate::tuple::{Tuple, TAG_LEFT};
+        let batch: Vec<Tuple> = (0..100u64)
+            .map(|i| Tuple::tagged(Key(i * 3), TAG_LEFT, [i, i * i]))
+            .collect();
+        let bytes = encode_tuple_batch(&batch);
+        assert_eq!(bytes.len(), 5 + batch.len() * 25);
+        let mut out = vec![Tuple::keyed(Key(999))]; // must be cleared
+        decode_tuple_batch(bytes.clone(), &mut out).unwrap();
+        assert_eq!(out, batch);
+        // Truncation detected mid-batch.
+        assert_eq!(
+            decode_tuple_batch(bytes.slice(0..bytes.len() - 1), &mut out),
+            Err(CodecError::Truncated)
+        );
     }
 
     #[test]

@@ -1,4 +1,16 @@
 //! Engine wiring: source, workers, collector, and the Fig. 5 controller.
+//!
+//! The data plane is batched end-to-end: the source routes and ships
+//! tuples as [`Message::TupleBatch`]es from per-destination fan-out
+//! accumulators (one channel send per destination per routed batch),
+//! workers drain whole batches, and drained buffers recycle to the
+//! source over a pool channel. Consistency: batches and migration
+//! markers share each worker's FIFO channel, and the source only
+//! acknowledges `Pause`/`Resume` between routed batches when its
+//! accumulators are flushed, so every marker the controller sends after
+//! an ack lands behind every batch the ack covered — the per-tuple
+//! FIFO argument (see the crate docs) carries over verbatim with
+//! "tuple" replaced by "batch".
 
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -25,11 +37,31 @@ pub struct EngineConfig {
     /// Pre-provisioned worker slots (≥ `n_workers`; extra slots allow
     /// scale-out).
     pub max_workers: usize,
-    /// Source → worker channel depth; a full channel backpressures the
-    /// source (the paper's "backpushing effect").
+    /// Source → worker channel depth in *tuples*; a full channel
+    /// backpressures the source (the paper's "backpushing effect").
+    /// Batched sends are weighted by their tuple count
+    /// (`send_weighted`), so the bound stays exactly tuple-denominated
+    /// at any batch size and any fan-out fill — control markers weigh 1,
+    /// as they did when every message was one tuple.
     pub channel_capacity: usize,
-    /// Worker → collector channel depth (PKG's max-pending analogue).
+    /// Worker → collector channel depth in *tuples* (PKG's max-pending
+    /// analogue), weighted like [`EngineConfig::channel_capacity`].
     pub collector_capacity: usize,
+    /// Tuples staged per routed batch on the source thread — the
+    /// data-plane batch. Each routed batch fans out into per-destination
+    /// buffers shipped as one [`Message::TupleBatch`] per destination
+    /// touched. The source drains pause/resume/view updates every
+    /// `max(batch_size, 256)` staged tuples, bounding how many tuples can
+    /// be routed under a stale view. `1` degenerates to scalar
+    /// [`Message::Tuple`] sends — a one-tuple batch buys no amortization
+    /// and would only pay the buffer indirection — so the batched plane
+    /// never regresses below the seed shape at any batch size.
+    pub batch_size: usize,
+    /// Ship every tuple as an individual [`Message::Tuple`] with
+    /// per-tuple clock reads and counter increments — the seed data
+    /// plane, kept so benchmarks can measure the batched plane against
+    /// it.
+    pub per_tuple: bool,
     /// Busy-work iterations per tuple — calibrates per-tuple CPU cost so
     /// the workers saturate, as the paper's experiments arrange.
     pub spin_work: u32,
@@ -40,6 +72,15 @@ pub struct EngineConfig {
     pub scale_out_at: Option<u64>,
 }
 
+impl EngineConfig {
+    /// Whether the data plane ships scalar [`Message::Tuple`]s: the
+    /// explicit seed shape, or `batch_size ≤ 1` (a one-tuple batch buys
+    /// no amortization).
+    fn scalar_plane(&self) -> bool {
+        self.per_tuple || self.batch_size <= 1
+    }
+}
+
 impl Default for EngineConfig {
     fn default() -> Self {
         EngineConfig {
@@ -47,6 +88,8 @@ impl Default for EngineConfig {
             max_workers: 4,
             channel_capacity: 1024,
             collector_capacity: 256,
+            batch_size: 256,
+            per_tuple: false,
             spin_work: 500,
             window: 5,
             scale_out_at: None,
@@ -106,9 +149,11 @@ struct ActiveMigration {
 /// scale-out).
 struct WorkerSpawner {
     event_tx: Sender<WorkerEvent>,
-    col_tx: Option<Sender<Tuple>>,
+    col_tx: Option<Sender<Vec<Tuple>>>,
+    pool_tx: Sender<Vec<Vec<Tuple>>>,
     spin_work: u32,
     window: u64,
+    emit_batch: usize,
     counter: Arc<Counter>,
     epoch: Instant,
 }
@@ -133,6 +178,8 @@ impl WorkerSpawner {
             processed_counter: Arc::clone(&self.counter),
             epoch: self.epoch,
             start_interval,
+            pool: self.pool_tx.clone(),
+            emit_batch: self.emit_batch,
         };
         s.spawn(move || run_worker(ctx));
     }
@@ -171,7 +218,10 @@ impl Engine {
             "partitioner and engine must agree on initial parallelism"
         );
 
-        // Channels.
+        // Channels. Capacities are tuple-denominated: batch sends are
+        // weighted by their tuple count, so the in-flight bound — the
+        // backpushing effect — is exactly what the config documents at
+        // any batch size and any fan-out fill.
         let mut worker_txs: Vec<Sender<Message>> = Vec::with_capacity(max_workers);
         let mut worker_rxs: Vec<Option<Receiver<Message>>> = Vec::with_capacity(max_workers);
         for _ in 0..max_workers {
@@ -182,7 +232,12 @@ impl Engine {
         let (event_tx, event_rx) = unbounded::<WorkerEvent>();
         let (ctl_tx, ctl_rx) = unbounded::<SourceCtl>();
         let (src_evt_tx, src_evt_rx) = unbounded::<SourceEvent>();
-        let (col_tx, col_rx) = bounded::<Tuple>(config.collector_capacity);
+        let (col_tx, col_rx) = bounded::<Vec<Tuple>>(config.collector_capacity);
+        // Batch-buffer free list: workers (and the collector) return
+        // drained `Vec<Tuple>`s here — in groups, amortizing the channel
+        // lock — and the source reuses them, so the steady-state data
+        // plane allocates nothing per batch.
+        let (pool_tx, pool_rx) = unbounded::<Vec<Vec<Tuple>>>();
 
         let counter = Arc::new(Counter::new());
         let stop = Arc::new(AtomicBool::new(false));
@@ -212,8 +267,10 @@ impl Engine {
             let spawner = WorkerSpawner {
                 event_tx: event_tx.clone(),
                 col_tx: has_collector.then(|| col_tx.clone()),
+                pool_tx: pool_tx.clone(),
                 spin_work: config.spin_work,
                 window: config.window as u64,
+                emit_batch: config.batch_size.max(1),
                 counter: Arc::clone(&counter),
                 epoch: t0,
             };
@@ -224,9 +281,20 @@ impl Engine {
 
             // --- collector -----------------------------------------------
             let col_handle = collector.map(|mut c| {
+                let col_pool_tx = pool_tx.clone();
                 s.spawn(move || {
-                    while let Ok(t) = col_rx.recv() {
-                        c.collect(&t);
+                    let mut returns: Vec<Vec<Tuple>> = Vec::new();
+                    while let Ok(mut batch) = col_rx.recv() {
+                        for t in &batch {
+                            c.collect(t);
+                        }
+                        batch.clear();
+                        // Recycle toward the source in groups; ignore
+                        // failure (source already gone at teardown).
+                        returns.push(batch);
+                        if returns.len() >= 8 {
+                            let _ = col_pool_tx.send(std::mem::take(&mut returns));
+                        }
                     }
                     c.result()
                 })
@@ -252,8 +320,18 @@ impl Engine {
 
             // --- source ---------------------------------------------------
             let src_worker_txs = worker_txs.clone();
+            let src_config = config;
             s.spawn(move || {
-                source_loop(feeder, initial_view, src_worker_txs, ctl_rx, src_evt_tx, t0)
+                source_loop(
+                    feeder,
+                    initial_view,
+                    src_worker_txs,
+                    ctl_rx,
+                    src_evt_tx,
+                    pool_rx,
+                    t0,
+                    src_config,
+                )
             });
 
             // --- controller (this thread) ----------------------------------
@@ -515,68 +593,194 @@ impl Engine {
     }
 }
 
-/// Tuples routed per [`SourceRouter::route_batch`] call on the source
-/// thread. Also the control-poll granularity: between batches the source
-/// drains pending pause/resume/view updates, so a batch bounds how many
-/// tuples can be routed under a stale view — up to 256, versus the 64 the
-/// old per-tuple loop polled at. The looser bound trades a little
-/// migration latency for batch throughput and is safe: affected-key
-/// tuples enqueued before the `PauseAck` are processed before the
-/// `MigrateOut` behind it (worker-channel FIFO), so their state migrates
-/// with the key regardless of when within a batch the pause lands.
-const ROUTE_BATCH: usize = 256;
+/// The source-thread data plane: router, fan-out accumulators, pause
+/// buffer, and the batch-buffer free list.
+///
+/// Every `batch_size` staged tuples are routed with one
+/// [`SourceRouter::route_batch`] call, scattered into per-destination
+/// buffers, and shipped as one [`Message::TupleBatch`] per destination
+/// touched. Every routed batch is flushed whole before control messages
+/// are drained (polling happens only between routed batches), so the
+/// accumulators are empty at every poll point: a `PauseAck` never races
+/// unsent data and the FIFO consistency argument (see crate docs)
+/// carries over from the per-tuple protocol unchanged.
+struct SourcePlane {
+    router: SourceRouter,
+    worker_txs: Vec<Sender<Message>>,
+    events: Sender<SourceEvent>,
+    /// In-flight migration: epoch and the paused key set.
+    paused: Option<(u64, FxHashSet<Key>)>,
+    /// Tuples of paused keys, held until `Resume`.
+    buffer: Vec<Tuple>,
+    /// Per-destination batch accumulators (indexed by worker slot).
+    fan: Vec<Vec<Tuple>>,
+    /// Destinations with a non-empty accumulator, in first-touch order.
+    touched: Vec<usize>,
+    /// Grouped drained-buffer returns from workers and the collector.
+    pool: Receiver<Vec<Vec<Tuple>>>,
+    /// Local free list fed from the pool.
+    free: Vec<Vec<Tuple>>,
+    /// Routing scratch, reused across batches.
+    keys: Vec<Key>,
+    dests: Vec<TaskId>,
+    batch: usize,
+    per_tuple: bool,
+}
+
+impl SourcePlane {
+    /// A buffer from the free list (refilled from the pool channel), or a
+    /// fresh one on a miss (only until enough buffers circulate).
+    fn take_buf(&mut self) -> Vec<Tuple> {
+        if let Some(buf) = self.free.pop() {
+            return buf;
+        }
+        if let Ok(group) = self.pool.try_recv() {
+            self.free.extend(group);
+            if let Some(buf) = self.free.pop() {
+                return buf;
+            }
+        }
+        Vec::with_capacity(self.batch)
+    }
+
+    /// Drains every pending pool return into the free list and bounds
+    /// it. Called at control-poll points: in the scalar shape `ship`
+    /// never consumes buffers, yet collector-emission buffers still
+    /// return here — without reclamation the unbounded pool channel
+    /// would grow for the whole run. The bound also caps the free list
+    /// in the batched shape (excess capacity is just dropped).
+    fn reclaim(&mut self) {
+        while let Ok(group) = self.pool.try_recv() {
+            self.free.extend(group);
+        }
+        let cap = self.fan.len() * 4 + 8;
+        self.free.truncate(cap);
+    }
+
+    /// Routes `staged` and ships it downstream: one channel send per
+    /// destination touched (or per tuple in the seed shape). Drains
+    /// `staged`, preserving per-destination tuple order.
+    fn ship(&mut self, staged: &mut Vec<Tuple>) {
+        if staged.is_empty() {
+            return;
+        }
+        self.keys.clear();
+        self.keys.extend(staged.iter().map(|t| t.key));
+        self.router.route_batch(&self.keys, &mut self.dests);
+        if self.per_tuple {
+            for (t, d) in staged.drain(..).zip(&self.dests) {
+                let _ = self.worker_txs[d.index()].send(Message::Tuple(t));
+            }
+            return;
+        }
+        for (t, d) in staged.drain(..).zip(&self.dests) {
+            let slot = &mut self.fan[d.index()];
+            if slot.is_empty() {
+                self.touched.push(d.index());
+            }
+            slot.push(t);
+        }
+        for i in 0..self.touched.len() {
+            let d = self.touched[i];
+            let next = self.take_buf();
+            let batch = std::mem::replace(&mut self.fan[d], next);
+            let weight = batch.len();
+            let _ = self.worker_txs[d].send_weighted(Message::TupleBatch(batch), weight);
+        }
+        self.touched.clear();
+    }
+
+    /// Handles one control message; returns false on Shutdown.
+    fn handle_ctl(&mut self, msg: SourceCtl) -> bool {
+        match msg {
+            SourceCtl::Pause { epoch, affected } => {
+                self.paused = Some((epoch, affected.into_iter().collect()));
+                let _ = self.events.send(SourceEvent::PauseAck { epoch });
+            }
+            SourceCtl::Resume { epoch, view } => {
+                self.router.update(view);
+                // Flush the pause buffer under the new view, batched like
+                // the main path (order within each key is the buffer's
+                // arrival order, which scatter preserves per destination).
+                // The flush goes through ship() in batch-sized chunks, so
+                // the tuple-denominated channel bound holds even for a
+                // buffer that grew far beyond one batch during the pause
+                // (an unchunked flush would also recycle an oversized
+                // buffer into the pool, pinning its capacity for the
+                // rest of the run).
+                let mut buffered = std::mem::take(&mut self.buffer);
+                let mut staged: Vec<Tuple> = Vec::with_capacity(self.batch);
+                for t in buffered.drain(..) {
+                    staged.push(t);
+                    if staged.len() >= self.batch {
+                        self.ship(&mut staged);
+                    }
+                }
+                self.ship(&mut staged);
+                self.buffer = buffered; // drained; keeps its capacity
+                self.paused = None;
+                // Flush complete: only now may the controller shut workers
+                // down (Message ordering across two senders is otherwise
+                // unconstrained, and a Shutdown overtaking the flushed
+                // tuples would drop them).
+                let _ = self.events.send(SourceEvent::ResumeAck { epoch });
+            }
+            SourceCtl::UpdateView { view } => self.router.update(view),
+            SourceCtl::Shutdown => return false,
+        }
+        true
+    }
+}
 
 /// The source thread: feeds tuples, honours pause/resume, reports
-/// interval boundaries. Routing happens per channel batch, not per tuple:
-/// up to [`ROUTE_BATCH`] unpaused tuples are staged, their keys routed
-/// with one batch call, and the tuples fanned out to the worker channels.
+/// interval boundaries. Staging, routing, and shipping all happen per
+/// batch of `config.batch_size` tuples; emission timestamps are taken
+/// once per staged batch (per tuple in the seed `per_tuple` shape).
+#[allow(clippy::too_many_arguments)]
 fn source_loop<F>(
     mut feeder: F,
     view: RoutingView,
     worker_txs: Vec<Sender<Message>>,
     ctl: Receiver<SourceCtl>,
     events: Sender<SourceEvent>,
+    pool: Receiver<Vec<Vec<Tuple>>>,
     epoch: Instant,
+    config: EngineConfig,
 ) where
     F: FnMut(u64) -> Option<Vec<Tuple>> + Send,
 {
-    let mut router = SourceRouter::from_view(view);
-    let mut paused: Option<(u64, FxHashSet<Key>)> = None;
-    let mut buffer: Vec<Tuple> = Vec::new();
-    // Batch scratch, reused across chunks to stay allocation-free.
-    let mut staged: Vec<Tuple> = Vec::with_capacity(ROUTE_BATCH);
-    let mut keys: Vec<Key> = Vec::with_capacity(ROUTE_BATCH);
-    let mut dests: Vec<TaskId> = Vec::with_capacity(ROUTE_BATCH);
-
-    // Drains pending control messages; returns false on Shutdown.
-    let handle_ctl = |msg: SourceCtl,
-                      router: &mut SourceRouter,
-                      paused: &mut Option<(u64, FxHashSet<Key>)>,
-                      buffer: &mut Vec<Tuple>|
-     -> bool {
-        match msg {
-            SourceCtl::Pause { epoch, affected } => {
-                *paused = Some((epoch, affected.into_iter().collect()));
-                let _ = events.send(SourceEvent::PauseAck { epoch });
-            }
-            SourceCtl::Resume { epoch, view } => {
-                router.update(view);
-                for t in buffer.drain(..) {
-                    let d = router.route(t.key);
-                    let _ = worker_txs[d.index()].send(Message::Tuple(t));
-                }
-                *paused = None;
-                // Flush complete: only now may the controller shut workers
-                // down (Message ordering across two senders is otherwise
-                // unconstrained, and a Shutdown overtaking the flushed
-                // tuples would drop them).
-                let _ = events.send(SourceEvent::ResumeAck { epoch });
-            }
-            SourceCtl::UpdateView { view } => router.update(view),
-            SourceCtl::Shutdown => return false,
-        }
-        true
+    let batch = config.batch_size.max(1);
+    // Control-poll granularity: at least every CTL_POLL staged tuples,
+    // decoupled from the batch size so tiny batches do not pay a control
+    // channel probe per send. 256 matches the pre-batching loop's bound
+    // on tuples routed under a stale view.
+    const CTL_POLL: usize = 256;
+    let ctl_every = batch.max(CTL_POLL);
+    // Batch size 1 degenerates to the scalar plane: same protocol
+    // positions, no pooled-buffer indirection for zero amortization.
+    let per_tuple = config.scalar_plane();
+    // Scalar sends have no fan-out to size, so staging (which only sets
+    // stamping and poll granularity there) stays at the poll bound.
+    let stage_size = if per_tuple { ctl_every } else { batch };
+    let n_slots = worker_txs.len();
+    let mut plane = SourcePlane {
+        router: SourceRouter::from_view(view),
+        worker_txs,
+        events,
+        paused: None,
+        buffer: Vec::new(),
+        fan: (0..n_slots).map(|_| Vec::with_capacity(batch)).collect(),
+        touched: Vec::with_capacity(n_slots),
+        pool,
+        free: Vec::new(),
+        keys: Vec::with_capacity(batch),
+        dests: Vec::with_capacity(batch),
+        batch,
+        per_tuple,
     };
+    // Staging scratch, reused across batches to stay allocation-free.
+    let mut staged: Vec<Tuple> = Vec::with_capacity(stage_size);
+    let mut since_ctl = usize::MAX; // poll before the first batch
 
     let mut interval = 0u64;
     'feed: loop {
@@ -585,51 +789,69 @@ fn source_loop<F>(
         };
         let mut pending = tuples.into_iter();
         loop {
-            while let Ok(msg) = ctl.try_recv() {
-                if !handle_ctl(msg, &mut router, &mut paused, &mut buffer) {
-                    return;
+            if since_ctl >= ctl_every {
+                since_ctl = 0;
+                plane.reclaim();
+                while let Ok(msg) = ctl.try_recv() {
+                    if !plane.handle_ctl(msg) {
+                        return;
+                    }
                 }
             }
             // Stage the next batch, holding back keys paused for an
-            // in-flight migration.
+            // in-flight migration. One clock read stamps the whole batch;
+            // the scalar shape stamps each tuple, as the seed always did.
+            // The loop is bounded by tuples *consumed*, not staged: under
+            // a pause that covers the hot keys, nearly everything goes to
+            // the pause buffer, and a staged-only bound would starve the
+            // control poll (and the Resume that empties that buffer) for
+            // the rest of the interval.
             staged.clear();
-            keys.clear();
-            while staged.len() < ROUTE_BATCH {
+            let mut consumed = 0usize;
+            let batch_us = if per_tuple {
+                0
+            } else {
+                epoch.elapsed().as_micros() as u64
+            };
+            while staged.len() < stage_size && consumed < stage_size {
                 let Some(mut t) = pending.next() else {
                     break;
                 };
-                t.emitted_us = epoch.elapsed().as_micros() as u64;
-                if let Some((_, affected)) = &paused {
+                consumed += 1;
+                t.emitted_us = if per_tuple {
+                    epoch.elapsed().as_micros() as u64
+                } else {
+                    batch_us
+                };
+                if let Some((_, affected)) = &plane.paused {
                     if affected.contains(&t.key) {
-                        buffer.push(t);
+                        plane.buffer.push(t);
                         continue;
                     }
                 }
-                keys.push(t.key);
                 staged.push(t);
             }
-            if staged.is_empty() && pending.len() == 0 {
+            if consumed == 0 && pending.len() == 0 {
                 break;
             }
-            router.route_batch(&keys, &mut dests);
-            for (t, d) in staged.drain(..).zip(&dests) {
-                let _ = worker_txs[d.index()].send(Message::Tuple(t));
-            }
+            since_ctl += consumed;
+            plane.ship(&mut staged);
         }
+        since_ctl = usize::MAX; // interval boundary: poll immediately
         while let Ok(msg) = ctl.try_recv() {
-            if !handle_ctl(msg, &mut router, &mut paused, &mut buffer) {
+            if !plane.handle_ctl(msg) {
                 return;
             }
         }
-        let _ = events.send(SourceEvent::IntervalDone { interval });
+        let _ = plane.events.send(SourceEvent::IntervalDone { interval });
         interval += 1;
     }
-    let _ = events.send(SourceEvent::Finished);
+    let _ = plane.events.send(SourceEvent::Finished);
 
     // Stay responsive to control traffic (in-flight migrations) until the
     // controller says shutdown.
     while let Ok(msg) = ctl.recv() {
-        if !handle_ctl(msg, &mut router, &mut paused, &mut buffer) {
+        if !plane.handle_ctl(msg) {
             return;
         }
     }
@@ -670,6 +892,8 @@ mod tests {
             max_workers: 3,
             channel_capacity: 256,
             collector_capacity: 64,
+            batch_size: 32, // small batches: more batch boundaries under test
+            per_tuple: false,
             spin_work: 10,
             window: 100, // keep everything: exact count validation
             scale_out_at: None,
@@ -822,6 +1046,84 @@ mod tests {
             report.per_worker_processed
         );
         assert_eq!(decode_counts(&report.final_states), expect);
+    }
+
+    /// The seed per-tuple shape and batch sizes 1 and 256 must all be
+    /// observationally identical: exact counts, exact processed totals,
+    /// exact latency sample counts.
+    #[test]
+    fn per_tuple_and_batched_shapes_agree() {
+        let mut w = FluctuatingWorkload::new(200, 0.9, 3_000, 0.0, 19);
+        let intervals: Vec<Vec<Key>> = (0..3).map(|_| w.tuples()).collect();
+        let expect = reference_counts(&intervals);
+        let total: u64 = intervals.iter().map(|v| v.len() as u64).sum();
+        for (per_tuple, batch_size) in [(true, 256), (false, 1), (false, 256)] {
+            let config = EngineConfig {
+                per_tuple,
+                batch_size,
+                ..small_config()
+            };
+            let feed = intervals.clone();
+            let report = Engine::run(
+                config,
+                Box::new(HashPartitioner::new(3)),
+                |_| Box::new(WordCountOp::new()),
+                move |iv| {
+                    feed.get(iv as usize)
+                        .map(|ks| ks.iter().map(|&k| Tuple::keyed(k)).collect())
+                },
+                None,
+            );
+            let label = if per_tuple {
+                "per-tuple".to_string()
+            } else {
+                format!("batch={batch_size}")
+            };
+            assert_eq!(report.processed, total, "{label}");
+            assert_eq!(report.latency_us.count(), total, "{label}");
+            assert_eq!(decode_counts(&report.final_states), expect, "{label}");
+        }
+    }
+
+    /// Migration consistency under batching with the channels squeezed to
+    /// almost nothing: batch flushes must never reorder around
+    /// `MigrateOut`/`Shutdown` markers even when every send blocks.
+    #[test]
+    fn tiny_channels_with_migrations_stay_exact() {
+        let mut w = FluctuatingWorkload::new(300, 1.0, 4_000, 0.8, 29);
+        let mut intervals: Vec<Vec<Key>> = Vec::new();
+        for _ in 0..4 {
+            intervals.push(w.tuples());
+            w.advance(3, |k| TaskId::from((k.raw() % 3) as usize));
+        }
+        let expect = reference_counts(&intervals);
+        let feed = intervals.clone();
+        let config = EngineConfig {
+            channel_capacity: 4,
+            collector_capacity: 2,
+            batch_size: 16,
+            ..small_config()
+        };
+        let report = Engine::run(
+            config,
+            Box::new(CoreBalancer::new(
+                3,
+                100,
+                RebalanceStrategy::Mixed,
+                BalanceParams {
+                    theta_max: 0.05,
+                    ..BalanceParams::default()
+                },
+            )),
+            |_| Box::new(WordCountOp::new()),
+            move |iv| {
+                feed.get(iv as usize)
+                    .map(|ks| ks.iter().map(|&k| Tuple::keyed(k)).collect())
+            },
+            None,
+        );
+        assert!(report.rebalances > 0, "skew must trigger migration");
+        assert_eq!(decode_counts(&report.final_states), expect, "exactly-once");
     }
 
     #[test]

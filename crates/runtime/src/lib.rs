@@ -15,12 +15,21 @@
 //!
 //! * The **source** pulls tuples from a feeder closure, stamps them, and
 //!   routes them with a local [`SourceRouter`] snapshot — the "tuples
-//!   router" of Fig. 5.
+//!   router" of Fig. 5. The data plane is *batched*: every
+//!   `batch_size` tuples are routed with one `route_batch` call,
+//!   scattered into per-destination buffers, and shipped as one
+//!   [`Message::TupleBatch`] per destination touched, so a channel
+//!   operation is paid per batch, not per tuple. Batch buffers are
+//!   pooled — workers and the collector return drained `Vec<Tuple>`s to
+//!   the source over a recycle channel, so the steady state allocates
+//!   nothing per batch.
 //! * **Workers** are downstream task instances: one thread per instance,
 //!   one bounded input channel each (full channel = backpressure, the
-//!   "backpushing effect" of the paper's Fig. 1). They run an
-//!   [`Operator`], keep windowed per-key state, and account per-key
-//!   statistics.
+//!   "backpushing effect" of the paper's Fig. 1 — now at batch
+//!   granularity). They run an [`Operator`], keep windowed per-key state,
+//!   and account per-key statistics, draining a whole batch per channel
+//!   operation: one shared-counter `add(n)`, one latency clock read, and
+//!   one batch-local statistics merge per batch.
 //! * The **controller** implements the paper's rebalance workflow
 //!   (Fig. 5): ① collect per-interval statistics; ② run the partitioner's
 //!   rebalance; ③④ broadcast the plan and pause affected keys at the
@@ -28,11 +37,18 @@
 //!   in-band messages; ⑥ collect acks; ⑦ resume with the new routing
 //!   table. Tuples of unaffected keys keep flowing throughout.
 //!
-//! In-band delivery over FIFO channels gives exactly-once state movement:
-//! `MigrateOut` markers are enqueued only after the source acknowledged
-//! the pause, so they land *behind* every pre-pause tuple; `Resume` is
-//! sent only after the destination acknowledged installation, so
-//! post-resume tuples land behind the installed state.
+//! In-band delivery over FIFO channels gives exactly-once state movement,
+//! and the argument survives batching unchanged because batches and
+//! markers share the same FIFO channel: a `MigrateOut` marker is enqueued
+//! only after the source acknowledged the pause, and the source only
+//! acknowledges between routed batches — when every per-destination
+//! accumulator has been flushed — so the marker lands *behind* every
+//! batch containing pre-pause tuples, and a worker drains those batches
+//! whole before extracting state. Likewise `Resume` is sent only after
+//! the destination acknowledged installation, so post-resume batches land
+//! behind the installed state; and the controller ships `Shutdown` only
+//! after the source's `ResumeAck` confirms the pause-buffer flush
+//! batches are already enqueued ahead of it.
 //!
 //! CPU saturation is emulated by `spin_work` busy-iterations per tuple,
 //! mirroring the paper's "controlling the latency on tuple processing to
@@ -47,7 +63,10 @@ pub mod topk;
 pub mod tuple;
 pub mod worker;
 
-pub use codec::{decode_plan, decode_view, encode_plan, encode_view, CodecError};
+pub use codec::{
+    decode_plan, decode_tuple_batch, decode_view, encode_plan, encode_tuple_batch, encode_view,
+    CodecError,
+};
 pub use engine::{Engine, EngineConfig, EngineReport};
 pub use message::{Message, SourceCtl, SourceEvent, WorkerEvent};
 pub use operator::{

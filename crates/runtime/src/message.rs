@@ -5,13 +5,22 @@ use streambal_core::{IntervalStats, Key, RoutingView, TaskId};
 
 use crate::tuple::Tuple;
 
-/// Messages flowing into a worker's input channel. Tuples and control
-/// markers share the channel, so FIFO ordering *is* the migration
-/// consistency argument (see crate docs).
+/// Messages flowing into a worker's input channel. Tuple batches and
+/// control markers share the channel, so FIFO ordering *is* the migration
+/// consistency argument (see crate docs): a batch enqueued before a
+/// `MigrateOut`/`StateInstall`/`Shutdown` marker is processed — whole —
+/// before it, exactly as the per-tuple protocol guaranteed per tuple.
 #[derive(Debug)]
 pub enum Message {
-    /// A data tuple.
+    /// A single data tuple — the seed's per-tuple data plane, kept for
+    /// benchmarking against ([`crate::EngineConfig::per_tuple`]) and for
+    /// tests. The batched hot path never sends it.
     Tuple(Tuple),
+    /// A batch of data tuples: one channel operation covers the whole
+    /// vector. The buffer is pooled — after draining it, the worker
+    /// returns it (cleared, capacity intact) to the source through the
+    /// engine's recycle channel, so the steady state allocates nothing.
+    TupleBatch(Vec<Tuple>),
     /// Interval boundary: report statistics, advance the window.
     StatsRequest {
         /// The interval being closed.

@@ -131,7 +131,13 @@ fn every_key_preserving_strategy_is_exactly_once() {
 
 #[test]
 fn mixed_migrates_and_balances_worker_load() {
-    let intervals = skewed_intervals(6, 99);
+    // 10 intervals, not 6: Mixed's spread advantage accrues over the time
+    // spent under rebalanced tables, while its reaction latency (pause →
+    // migrate → resume) is paid per rebalance and inflates when the test
+    // binary's engines contend for cores. A longer run keeps the
+    // advantage comfortably above scheduling noise so the zero-margin
+    // comparison below cannot tie.
+    let intervals = skewed_intervals(10, 99);
     let mixed = run(
         Box::new(CoreBalancer::new(
             3,

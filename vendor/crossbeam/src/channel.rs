@@ -1,8 +1,14 @@
 //! MPSC channels with crossbeam-channel's API shape.
 //!
 //! Semantics the engine relies on:
-//! * `bounded(cap)`: `send` blocks while the queue holds `cap` messages —
-//!   this is the backpressure path.
+//! * `bounded(cap)`: `send` blocks while the queue holds `cap` units of
+//!   weight — this is the backpressure path. Plain `send` weighs 1;
+//!   [`Sender::send_weighted`] lets a batch message count as its tuple
+//!   count, so a capacity stays denominated in tuples no matter how
+//!   messages group them (an extension over upstream crossbeam, which
+//!   counts messages only). A message heavier than the whole capacity is
+//!   admitted once the channel is empty, so oversized batches make
+//!   progress instead of deadlocking.
 //! * `unbounded()`: `send` never blocks.
 //! * `recv` blocks until a message arrives or every sender is dropped.
 //! * A channel with no receivers fails sends with [`SendError`], waking
@@ -33,7 +39,10 @@ pub enum TryRecvError {
 }
 
 struct State<T> {
-    queue: VecDeque<T>,
+    /// Queued messages with their weights.
+    queue: VecDeque<(T, usize)>,
+    /// Total weight currently queued.
+    used: usize,
     senders: usize,
     receivers: usize,
 }
@@ -52,6 +61,7 @@ impl<T> Shared<T> {
         Arc::new(Shared {
             state: Mutex::new(State {
                 queue: VecDeque::new(),
+                used: 0,
                 senders: 1,
                 receivers: 1,
             }),
@@ -98,21 +108,32 @@ pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
 
 impl<T> Sender<T> {
     /// Enqueues `msg`, blocking while a bounded channel is full. Fails
-    /// only when every receiver is gone.
+    /// only when every receiver is gone. Weighs 1 capacity unit.
     pub fn send(&self, msg: T) -> Result<(), SendError<T>> {
+        self.send_weighted(msg, 1)
+    }
+
+    /// Enqueues `msg` counting as `weight` capacity units (min 1) — a
+    /// batch message weighted by its element count keeps the channel's
+    /// capacity denominated in elements. Blocks while the queued weight
+    /// leaves no room; a message heavier than the whole capacity is
+    /// admitted when the channel is empty (progress over strictness).
+    pub fn send_weighted(&self, msg: T, weight: usize) -> Result<(), SendError<T>> {
+        let w = weight.max(1);
         let mut state = self.shared.state.lock().unwrap();
         loop {
             if state.receivers == 0 {
                 return Err(SendError(msg));
             }
             match self.shared.cap {
-                Some(cap) if state.queue.len() >= cap => {
+                Some(cap) if state.used > 0 && state.used + w > cap => {
                     state = self.shared.not_full.wait(state).unwrap();
                 }
                 _ => break,
             }
         }
-        state.queue.push_back(msg);
+        state.used += w;
+        state.queue.push_back((msg, w));
         drop(state);
         self.shared.not_empty.notify_one();
         Ok(())
@@ -148,9 +169,13 @@ impl<T> Receiver<T> {
     pub fn recv(&self) -> Result<T, RecvError> {
         let mut state = self.shared.state.lock().unwrap();
         loop {
-            if let Some(msg) = state.queue.pop_front() {
+            if let Some((msg, w)) = state.queue.pop_front() {
+                state.used -= w;
                 drop(state);
-                self.shared.not_full.notify_one();
+                // A weighted pop can free room for several blocked
+                // senders at once (e.g. many workers on the collector
+                // channel); wake them all rather than guess.
+                self.shared.not_full.notify_all();
                 return Ok(msg);
             }
             if state.senders == 0 {
@@ -163,9 +188,10 @@ impl<T> Receiver<T> {
     /// Dequeues a message if one is ready.
     pub fn try_recv(&self) -> Result<T, TryRecvError> {
         let mut state = self.shared.state.lock().unwrap();
-        if let Some(msg) = state.queue.pop_front() {
+        if let Some((msg, w)) = state.queue.pop_front() {
+            state.used -= w;
             drop(state);
-            self.shared.not_full.notify_one();
+            self.shared.not_full.notify_all();
             return Ok(msg);
         }
         if state.senders == 0 {
@@ -318,6 +344,54 @@ mod tests {
         assert_eq!(rx.recv(), Ok(3));
         assert_eq!(rx.recv(), Ok(4));
         t.join().unwrap();
+    }
+
+    #[test]
+    fn weighted_sends_block_at_weight_capacity() {
+        let (tx, rx) = bounded(8);
+        tx.send_weighted(vec![0u8; 5], 5).unwrap();
+        tx.send_weighted(vec![0u8; 3], 3).unwrap(); // exactly full
+        let t = thread::spawn(move || {
+            tx.send_weighted(vec![0u8; 4], 4).unwrap(); // must block
+            tx.send(vec![9u8]).unwrap();
+        });
+        assert_eq!(rx.recv().unwrap().len(), 5); // frees 5 → 4 fits
+        assert_eq!(rx.recv().unwrap().len(), 3);
+        assert_eq!(rx.recv().unwrap().len(), 4);
+        assert_eq!(rx.recv().unwrap(), vec![9u8]);
+        t.join().unwrap();
+    }
+
+    #[test]
+    fn oversized_weighted_message_admitted_when_empty() {
+        let (tx, rx) = bounded(4);
+        // Heavier than the whole capacity: admitted on an empty channel
+        // (progress over strictness), then blocks everything behind it.
+        tx.send_weighted(vec![0u8; 100], 100).unwrap();
+        let t = thread::spawn(move || tx.send(vec![1u8]));
+        assert_eq!(rx.recv().unwrap().len(), 100);
+        assert_eq!(rx.recv().unwrap(), vec![1u8]);
+        t.join().unwrap().unwrap();
+    }
+
+    #[test]
+    fn weighted_pop_wakes_multiple_blocked_senders() {
+        let (tx, rx) = bounded(10);
+        tx.send_weighted((), 10).unwrap(); // full
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            let tx = tx.clone();
+            handles.push(thread::spawn(move || tx.send(()).unwrap()));
+        }
+        thread::sleep(Duration::from_millis(20));
+        // One pop frees 10 units: all four weight-1 senders must get in.
+        rx.recv().unwrap();
+        for h in handles {
+            h.join().unwrap();
+        }
+        for _ in 0..4 {
+            rx.recv().unwrap();
+        }
     }
 
     #[test]
