@@ -64,6 +64,10 @@ impl Partitioner for CoreBalancer {
         self.inner.scale_out(live.iter().copied())
     }
 
+    fn scale_in(&mut self, victim: TaskId, live: &[Key]) {
+        self.inner.scale_in(victim, live.iter().copied());
+    }
+
     fn routing_view(&self) -> RoutingView {
         RoutingView::TablePlusHash {
             table: self.inner.assignment().table().clone(),

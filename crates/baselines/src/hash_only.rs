@@ -47,6 +47,15 @@ impl Partitioner for HashPartitioner {
         self.assignment.add_task()
     }
 
+    fn scale_in(&mut self, victim: TaskId, live: &[Key]) {
+        assert_eq!(
+            victim.index(),
+            self.assignment.n_tasks() - 1,
+            "scale-in retires the highest-numbered task"
+        );
+        self.assignment.remove_task_pinned(live);
+    }
+
     fn routing_view(&self) -> RoutingView {
         RoutingView::TablePlusHash {
             table: self.assignment.table().clone(),
@@ -67,6 +76,21 @@ mod tests {
         assert!(p.end_interval(IntervalStats::new()).is_none());
         let after: Vec<TaskId> = (0..500u64).map(|k| p.route(Key(k))).collect();
         assert_eq!(before, after);
+    }
+
+    #[test]
+    fn scale_in_reroutes_only_the_victims_keys() {
+        let mut p = HashPartitioner::new(5);
+        let before: Vec<TaskId> = (0..2000u64).map(|k| p.route(Key(k))).collect();
+        p.scale_in(TaskId(4), &[]);
+        assert_eq!(p.n_tasks(), 4);
+        for (k, &old) in before.iter().enumerate() {
+            let now = p.route(Key(k as u64));
+            assert!(now.index() < 4);
+            if old.index() < 4 {
+                assert_eq!(now, old, "survivor key {k} churned");
+            }
+        }
     }
 
     #[test]

@@ -95,6 +95,37 @@ mod tests {
         }
     }
 
+    /// Every baseline supports a scale-out → scale-in round trip and never
+    /// routes to the retired task afterwards.
+    #[test]
+    fn scale_round_trip_for_all_baselines() {
+        use streambal_core::{BalanceParams, RebalanceStrategy};
+        let live: Vec<Key> = (0..500u64).map(Key).collect();
+        let parts: Vec<Box<dyn Partitioner>> = vec![
+            Box::new(HashPartitioner::new(3)),
+            Box::new(ShufflePartitioner::new(3)),
+            Box::new(PkgPartitioner::new(3)),
+            Box::new(ReadjPartitioner::new(3, 2, ReadjConfig::default())),
+            Box::new(CoreBalancer::new(
+                3,
+                2,
+                RebalanceStrategy::Mixed,
+                BalanceParams::default(),
+            )),
+        ];
+        for mut p in parts {
+            let name = p.name();
+            let new = p.scale_out(&live);
+            assert_eq!(new.index(), 3, "{name}");
+            assert_eq!(p.n_tasks(), 4, "{name}");
+            p.scale_in(new, &live);
+            assert_eq!(p.n_tasks(), 3, "{name}");
+            for &k in &live {
+                assert!(p.route(k).index() < 3, "{name}: routed to retired task");
+            }
+        }
+    }
+
     #[test]
     fn key_semantics_flags() {
         assert!(HashPartitioner::new(2).preserves_key_semantics());

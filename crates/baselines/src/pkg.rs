@@ -88,6 +88,19 @@ impl Partitioner for PkgPartitioner {
         TaskId::from(self.n_tasks - 1)
     }
 
+    fn scale_in(&mut self, victim: TaskId, _live: &[Key]) {
+        assert!(self.n_tasks > 1, "cannot scale in below one task");
+        assert_eq!(
+            victim.index(),
+            self.n_tasks - 1,
+            "scale-in retires the highest-numbered task"
+        );
+        // PKG splits keys anyway: shrinking the choice space re-pairs
+        // some keys, which is fine under partial/merge semantics.
+        self.n_tasks -= 1;
+        self.est_load.truncate(self.n_tasks);
+    }
+
     fn routing_view(&self) -> RoutingView {
         RoutingView::TwoChoice {
             n_tasks: self.n_tasks,
@@ -173,6 +186,20 @@ mod tests {
         assert_eq!(p.n_tasks(), 3);
         for k in 0..100u64 {
             assert!(p.route(Key(k)).index() < 3);
+        }
+    }
+
+    #[test]
+    fn scale_in_shrinks_choices() {
+        let mut p = PkgPartitioner::new(4);
+        for k in 0..100u64 {
+            p.route(Key(k));
+        }
+        p.scale_in(TaskId(3), &[]);
+        assert_eq!(p.n_tasks(), 3);
+        assert_eq!(p.estimates().len(), 3);
+        for k in 0..500u64 {
+            assert!(p.route(Key(k)).index() < 3, "routed to retired task");
         }
     }
 }

@@ -262,6 +262,15 @@ impl Partitioner for ReadjPartitioner {
         self.assignment.add_task_pinned(live)
     }
 
+    fn scale_in(&mut self, victim: TaskId, live: &[Key]) {
+        assert_eq!(
+            victim.index(),
+            self.assignment.n_tasks() - 1,
+            "scale-in retires the highest-numbered task"
+        );
+        self.assignment.remove_task_pinned(live);
+    }
+
     fn routing_view(&self) -> RoutingView {
         RoutingView::TablePlusHash {
             table: self.assignment.table().clone(),

@@ -60,6 +60,17 @@ impl Partitioner for ShufflePartitioner {
         TaskId::from(self.n_tasks - 1)
     }
 
+    fn scale_in(&mut self, victim: TaskId, _live: &[Key]) {
+        assert!(self.n_tasks > 1, "cannot scale in below one task");
+        assert_eq!(
+            victim.index(),
+            self.n_tasks - 1,
+            "scale-in retires the highest-numbered task"
+        );
+        self.n_tasks -= 1;
+        self.next %= self.n_tasks;
+    }
+
     fn routing_view(&self) -> RoutingView {
         RoutingView::RoundRobin {
             n_tasks: self.n_tasks,
@@ -92,6 +103,17 @@ mod tests {
         assert_eq!(p.n_tasks(), 3);
         let hits: Vec<usize> = (0..3).map(|_| p.route(Key(0)).index()).collect();
         assert_eq!(hits, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn scale_in_shrinks_the_cycle() {
+        let mut p = ShufflePartitioner::new(3);
+        p.route(Key(0));
+        p.route(Key(0)); // cursor at 2 — about to point at the victim
+        p.scale_in(TaskId(2), &[]);
+        assert_eq!(p.n_tasks(), 2);
+        let hits: Vec<usize> = (0..4).map(|_| p.route(Key(0)).index()).collect();
+        assert_eq!(hits, vec![0, 1, 0, 1], "cursor wrapped into range");
     }
 
     #[test]

@@ -1,0 +1,281 @@
+//! `benchdiff` — compare two `bench_results/` trees and print per-metric
+//! deltas, flagging changes beyond a regression threshold.
+//!
+//! ```text
+//! benchdiff <baseline-dir> <candidate-dir> [--threshold 0.10] [--fail-on-regression]
+//! ```
+//!
+//! Every `*.json` file present in both trees is parsed (the hand-rolled
+//! reader in `streambal_bench::json`), its numeric leaves flattened to
+//! `file :: path.to.metric` keys — array elements are keyed by their
+//! `id`/`name`/`label`/`bench` field when they carry one, by index
+//! otherwise — and matched pairwise. A delta beyond `--threshold`
+//! (relative, default 10%) is printed and classified:
+//!
+//! * **regression / improvement** when the metric's name reveals its
+//!   direction — `throughput`, `per_sec`, `speedup`, `ratio` count up;
+//!   `latency`, `_ns`, `_ms`, `_us`, `seconds`, `migrated`, `gen_time`
+//!   count down;
+//! * **change** when the direction is unknown (reported, never fatal).
+//!
+//! Exit status: 0 normally; 2 with `--fail-on-regression` when at least
+//! one *directional* metric regressed beyond the threshold — so CI can
+//! run it as a non-blocking report step today and tighten later. Missing
+//! files or metrics on either side are reported but never fatal (figures
+//! come and go across PRs); smoke-mode files (`*.smoke.json`) compare
+//! like any other when present in both trees.
+
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use streambal_bench::json::Json;
+
+/// Relative change beyond which a metric is reported.
+const DEFAULT_THRESHOLD: f64 = 0.10;
+
+/// Which way "better" points for a metric, inferred from its name.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Direction {
+    HigherIsBetter,
+    LowerIsBetter,
+    Unknown,
+}
+
+fn direction_of(key: &str) -> Direction {
+    let k = key.to_ascii_lowercase();
+    const UP: [&str; 6] = [
+        "throughput",
+        "per_sec",
+        "per_s",
+        "speedup",
+        "tuples_s",
+        "ratio",
+    ];
+    const DOWN: [&str; 9] = [
+        "latency", "_ns", "_ms", "_us", "seconds", "migrated", "gen_time", "mig_", "wall",
+    ];
+    if UP.iter().any(|p| k.contains(p)) {
+        return Direction::HigherIsBetter;
+    }
+    if DOWN.iter().any(|p| k.contains(p)) {
+        return Direction::LowerIsBetter;
+    }
+    Direction::Unknown
+}
+
+/// Flattens numeric leaves of `v` into `out` under dotted paths.
+fn flatten(v: &Json, path: &mut String, out: &mut BTreeMap<String, f64>) {
+    match v {
+        Json::Obj(fields) => {
+            for (k, child) in fields {
+                let len = path.len();
+                if !path.is_empty() {
+                    path.push('.');
+                }
+                path.push_str(k);
+                flatten(child, path, out);
+                path.truncate(len);
+            }
+        }
+        Json::Arr(items) => {
+            for (i, child) in items.iter().enumerate() {
+                // Prefer a stable element label over a positional index:
+                // rows reorder across PRs, positions lie.
+                let label = ["id", "name", "label", "bench"]
+                    .iter()
+                    .find_map(|f| child.get(f).and_then(Json::as_str).map(str::to_string))
+                    .unwrap_or_else(|| i.to_string());
+                let len = path.len();
+                if !path.is_empty() {
+                    path.push('.');
+                }
+                path.push_str(&label);
+                flatten(child, path, out);
+                path.truncate(len);
+            }
+        }
+        _ => {
+            if let Some(x) = v.as_f64() {
+                out.insert(path.clone(), x);
+            }
+        }
+    }
+}
+
+fn load_metrics(path: &Path) -> Result<BTreeMap<String, f64>, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
+    let doc = Json::parse(&text).map_err(|e| format!("{}: {e}", path.display()))?;
+    let mut out = BTreeMap::new();
+    flatten(&doc, &mut String::new(), &mut out);
+    Ok(out)
+}
+
+/// JSON files directly inside `dir` (one level — bench_results is flat),
+/// sorted by name.
+fn json_files(dir: &Path) -> Vec<PathBuf> {
+    let mut out: Vec<PathBuf> = std::fs::read_dir(dir)
+        .map(|rd| {
+            rd.filter_map(|e| e.ok())
+                .map(|e| e.path())
+                .filter(|p| p.extension().and_then(|e| e.to_str()) == Some("json"))
+                .collect()
+        })
+        .unwrap_or_default();
+    out.sort();
+    out
+}
+
+struct Args {
+    baseline: PathBuf,
+    candidate: PathBuf,
+    threshold: f64,
+    fail_on_regression: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut pos: Vec<String> = Vec::new();
+    let mut threshold = DEFAULT_THRESHOLD;
+    let mut fail_on_regression = false;
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--threshold" => {
+                let v = it.next().ok_or("--threshold needs a value")?;
+                threshold = v
+                    .parse::<f64>()
+                    .map_err(|_| format!("bad threshold '{v}'"))?;
+                if threshold.is_nan() || threshold < 0.0 {
+                    return Err(format!("bad threshold '{v}'"));
+                }
+            }
+            "--fail-on-regression" => fail_on_regression = true,
+            "--help" | "-h" => {
+                return Err("usage: benchdiff <baseline-dir> <candidate-dir> \
+                     [--threshold 0.10] [--fail-on-regression]"
+                    .into())
+            }
+            _ => pos.push(a),
+        }
+    }
+    if pos.len() != 2 {
+        return Err("usage: benchdiff <baseline-dir> <candidate-dir> \
+             [--threshold 0.10] [--fail-on-regression]"
+            .into());
+    }
+    Ok(Args {
+        baseline: PathBuf::from(&pos[0]),
+        candidate: PathBuf::from(&pos[1]),
+        threshold,
+        fail_on_regression,
+    })
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::from(1);
+        }
+    };
+    println!(
+        "benchdiff: {} → {} (threshold {:.0}%)",
+        args.baseline.display(),
+        args.candidate.display(),
+        args.threshold * 100.0
+    );
+
+    let base_files = json_files(&args.baseline);
+    let cand_names: std::collections::BTreeSet<String> = json_files(&args.candidate)
+        .iter()
+        .filter_map(|p| p.file_name().map(|n| n.to_string_lossy().into_owned()))
+        .collect();
+
+    let mut regressions = 0usize;
+    let mut improvements = 0usize;
+    let mut changes = 0usize;
+    let mut compared = 0usize;
+
+    for base_path in &base_files {
+        let name = base_path
+            .file_name()
+            .unwrap()
+            .to_string_lossy()
+            .into_owned();
+        if !cand_names.contains(&name) {
+            println!("  {name}: only in baseline (skipped)");
+            continue;
+        }
+        let cand_path = args.candidate.join(&name);
+        let (base, cand) = match (load_metrics(base_path), load_metrics(&cand_path)) {
+            (Ok(b), Ok(c)) => (b, c),
+            (Err(e), _) | (_, Err(e)) => {
+                println!("  {name}: unreadable ({e})");
+                continue;
+            }
+        };
+        let mut printed_header = false;
+        for (key, &b) in &base {
+            let Some(&c) = cand.get(key) else { continue };
+            compared += 1;
+            // Relative change against the baseline magnitude; a zero
+            // baseline reports only when the candidate moved off it.
+            let rel = if b != 0.0 {
+                (c - b) / b.abs()
+            } else if c != 0.0 {
+                f64::INFINITY
+            } else {
+                0.0
+            };
+            if rel.abs() <= args.threshold {
+                continue;
+            }
+            let dir = direction_of(key);
+            let verdict = match dir {
+                Direction::HigherIsBetter if rel < 0.0 => "REGRESSION",
+                Direction::LowerIsBetter if rel > 0.0 => "REGRESSION",
+                Direction::Unknown => "change",
+                _ => "improvement",
+            };
+            match verdict {
+                "REGRESSION" => regressions += 1,
+                "improvement" => improvements += 1,
+                _ => changes += 1,
+            }
+            if !printed_header {
+                println!("  {name}:");
+                printed_header = true;
+            }
+            println!(
+                "    {verdict:<11} {key}: {b:.4} → {c:.4} ({rel:+.1}%)",
+                rel = rel * 100.0
+            );
+        }
+        let missing = base.keys().filter(|k| !cand.contains_key(*k)).count();
+        let added = cand.keys().filter(|k| !base.contains_key(*k)).count();
+        if missing + added > 0 {
+            if !printed_header {
+                println!("  {name}:");
+            }
+            println!("    metrics: {missing} removed, {added} added");
+        }
+    }
+    for name in &cand_names {
+        if !base_files
+            .iter()
+            .any(|p| p.file_name().is_some_and(|n| n.to_string_lossy() == *name))
+        {
+            println!("  {name}: only in candidate (skipped)");
+        }
+    }
+
+    println!(
+        "compared {compared} metrics: {regressions} regressions, \
+         {improvements} improvements, {changes} neutral changes beyond threshold"
+    );
+    if args.fail_on_regression && regressions > 0 {
+        return ExitCode::from(2);
+    }
+    ExitCode::SUCCESS
+}

@@ -9,6 +9,7 @@ use streambal_baselines::{
     HashPartitioner, PkgPartitioner, ReadjConfig, ReadjPartitioner, ShufflePartitioner,
 };
 use streambal_core::{Key, Partitioner, RebalanceStrategy};
+use streambal_elastic::FixedSchedule;
 use streambal_hashring::FxHashMap;
 use streambal_runtime::{
     CoJoinOp, Collector, Engine, EngineConfig, EngineReport, SumCollector, Tuple,
@@ -135,9 +136,9 @@ pub fn run_wordcount(
 ) -> EngineReport {
     let feed: Vec<Vec<Key>> = intervals.to_vec();
     let mut config = rt.engine_config();
-    if scale_out_at.is_some() {
+    if let Some(iv) = scale_out_at {
         config.max_workers = rt.nd + 1;
-        config.scale_out_at = scale_out_at;
+        config.elasticity = Box::new(FixedSchedule::scale_out_at(iv));
     }
     let pkg = strategy == RtStrategy::Pkg;
     Engine::run(
@@ -168,9 +169,9 @@ pub fn run_selfjoin(
 ) -> EngineReport {
     let feed: Vec<Vec<Key>> = intervals.to_vec();
     let mut config = rt.engine_config();
-    if scale_out_at.is_some() {
+    if let Some(iv) = scale_out_at {
         config.max_workers = rt.nd + 1;
-        config.scale_out_at = scale_out_at;
+        config.elasticity = Box::new(FixedSchedule::scale_out_at(iv));
     }
     Engine::run(
         config,

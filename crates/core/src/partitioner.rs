@@ -93,6 +93,20 @@ pub trait Partitioner: Send {
         self.add_task()
     }
 
+    /// Removes a downstream instance (scale-in). `victim` must be the
+    /// highest-numbered task (the engine retires the tail slot, keeping
+    /// task ids contiguous); after the call no key may route to it.
+    /// Table-backed implementations drop the victim's explicit entries and
+    /// shrink the hash ring consistently, pinning any `live` key whose
+    /// route would churn between *survivors* so physical state placement
+    /// stays truthful — the victim's own state is migrated by the caller
+    /// (the engine's drain → retire → re-install protocol, see
+    /// `streambal-elastic`). Default: unsupported.
+    fn scale_in(&mut self, victim: TaskId, live: &[Key]) {
+        let _ = (victim, live);
+        unimplemented!("{} does not support scale-in", self.name())
+    }
+
     /// A shippable snapshot of the current routing function.
     fn routing_view(&self) -> RoutingView;
 
@@ -157,6 +171,12 @@ mod tests {
     #[should_panic(expected = "does not support scale-out")]
     fn default_scale_out_is_unsupported() {
         Fixed(2).scale_out(&[Key(1)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not support scale-in")]
+    fn default_scale_in_is_unsupported() {
+        Fixed(2).scale_in(TaskId(1), &[Key(1)]);
     }
 
     /// The crate's own Rebalancer is usable through the trait without the

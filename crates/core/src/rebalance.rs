@@ -293,6 +293,26 @@ impl Rebalancer {
         self.assignment.add_task_pinned(&live)
     }
 
+    /// Scale-in (the inverse of [`Rebalancer::scale_out`]): retires the
+    /// highest-numbered instance, dropping its explicit table entries and
+    /// shrinking the ring consistently, with `live` keys pinned against
+    /// survivor churn (see `AssignmentFn::remove_task_pinned`). The
+    /// victim's physical state must be migrated by the caller before the
+    /// instance disappears; subsequent `end_interval` calls see the
+    /// shrunk load vector.
+    ///
+    /// # Panics
+    /// Panics if `victim` is not the last task or only one task remains.
+    pub fn scale_in(&mut self, victim: TaskId, live: impl IntoIterator<Item = Key>) {
+        assert_eq!(
+            victim.index(),
+            self.assignment.n_tasks() - 1,
+            "scale-in retires the highest-numbered task"
+        );
+        let live: Vec<Key> = live.into_iter().collect();
+        self.assignment.remove_task_pinned(&live);
+    }
+
     /// Builds the rebalance input from the current window and assignment.
     pub fn build_input(&self) -> RebalanceInput {
         let assignment = &self.assignment;
@@ -477,6 +497,44 @@ mod tests {
         let onto_new = outcome.plan.moves_to(new).count();
         assert!(onto_new > 0, "keys must move to the new instance");
         assert!(outcome.achieved_theta < 0.2);
+    }
+
+    #[test]
+    fn scale_in_retires_last_task_and_rebalance_avoids_it() {
+        let mut rb = Rebalancer::new(
+            3,
+            1,
+            RebalanceStrategy::Mixed,
+            BalanceParams {
+                theta_max: 0.05,
+                ..BalanceParams::default()
+            },
+        );
+        let mut iv = IntervalStats::new();
+        for k in 0..3_000u64 {
+            iv.observe(Key(k), 1, 10, 10);
+        }
+        let _ = rb.end_interval(iv.clone());
+        let live: Vec<Key> = (0..3_000u64).map(Key).collect();
+        rb.scale_in(TaskId(2), live.iter().copied());
+        assert_eq!(rb.assignment().n_tasks(), 2);
+        for &k in &live {
+            assert!(rb.route(k).index() < 2, "key routed to retired task");
+        }
+        // The next interval rebalances (if at all) over two tasks only.
+        if let Some(out) = rb.end_interval(iv) {
+            assert_eq!(out.loads.loads.len(), 2);
+            for mv in out.plan.moves() {
+                assert!(mv.to.index() < 2);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "highest-numbered task")]
+    fn scale_in_rejects_non_tail_victim() {
+        let mut rb = Rebalancer::new(3, 1, RebalanceStrategy::Mixed, BalanceParams::default());
+        rb.scale_in(TaskId(0), std::iter::empty());
     }
 
     #[test]

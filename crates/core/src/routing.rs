@@ -362,6 +362,49 @@ impl AssignmentFn {
         new_task
     }
 
+    /// Scale-in that preserves physical state placement on the
+    /// *survivors*: removes the highest-numbered instance from the ring
+    /// (the exact inverse of [`AssignmentFn::add_task`] — only the
+    /// victim's keys change hash owner), drops every table entry pointing
+    /// at the victim (those keys fall back to their shrunk-ring hash
+    /// destination; the caller is responsible for migrating their state
+    /// off the victim, which is exactly what the engine's retire protocol
+    /// does), and pins any `live` key that was *not* on the victim but
+    /// whose route would nevertheless churn back to its old destination.
+    /// With a consistent ring that pin set is empty; it is kept as a
+    /// structural guarantee so survivors' placement stays truthful under
+    /// any ring behaviour. Returns the retired task id.
+    ///
+    /// # Panics
+    /// Panics if only one task remains.
+    pub fn remove_task_pinned(&mut self, live: &[Key]) -> TaskId {
+        assert!(self.n_tasks() > 1, "cannot scale in below one task");
+        let victim = TaskId::from(self.n_tasks() - 1);
+        let old: Vec<TaskId> = live.iter().map(|&k| self.route(k)).collect();
+        // Drop entries pointing at the victim *before* shrinking the ring
+        // so their keys re-route by hash, and redundant entries (equal to
+        // the shrunk-ring hash) never enter the table.
+        let stale: Vec<Key> = self
+            .table
+            .iter()
+            .filter(|&(_, d)| d == victim)
+            .map(|(k, _)| k)
+            .collect();
+        for k in stale {
+            self.table.remove(k);
+        }
+        self.ring.remove_slot();
+        self.compiled = CompiledTable::build(&self.table);
+        let pins: Vec<(Key, TaskId)> = live
+            .iter()
+            .zip(&old)
+            .filter(|&(&k, &old_d)| old_d != victim && self.route(k) != old_d)
+            .map(|(&k, &old_d)| (k, old_d))
+            .collect();
+        self.insert_entries(pins);
+        victim
+    }
+
     /// Normalizes the table against the ring: removes entries whose
     /// destination equals the hash destination (they waste table space).
     /// Returns how many entries were dropped.
@@ -451,6 +494,60 @@ mod tests {
         assert_eq!(new, TaskId(3));
         assert_eq!(f.n_tasks(), 4);
         assert_eq!(f.route(k), pinned, "explicit entries survive scale-out");
+    }
+
+    #[test]
+    fn remove_task_drops_victim_entries_and_keeps_survivor_routes() {
+        let mut f = AssignmentFn::hash_only(4);
+        let victim = TaskId(3);
+        // One entry pinning a key to the victim, one pinning elsewhere.
+        let to_victim = Key(100);
+        let elsewhere = Key(200);
+        let other = TaskId((f.hash_route(elsewhere).0 + 1) % 3); // survivor slot
+        let mut t = RoutingTable::new();
+        t.insert(to_victim, victim);
+        t.insert(elsewhere, other);
+        f.swap_table(t);
+        let live: Vec<Key> = (0..2_000u64).map(Key).collect();
+        let before: Vec<TaskId> = live.iter().map(|&k| f.route(k)).collect();
+        assert_eq!(f.remove_task_pinned(&live), victim);
+        assert_eq!(f.n_tasks(), 3);
+        // The victim entry is gone; the survivor entry is intact.
+        assert_eq!(f.table().get(to_victim), None);
+        assert_eq!(f.route(elsewhere), other);
+        // No key routes to the victim anymore, and every key that was on
+        // a survivor stays exactly where it was.
+        for (&k, &old) in live.iter().zip(&before) {
+            let now = f.route(k);
+            assert_ne!(now, victim, "key {k:?} still routed to retired task");
+            if old != victim && k != to_victim {
+                assert_eq!(now, old, "survivor key {k:?} churned {old:?}→{now:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn scale_out_then_remove_task_restores_routes() {
+        let mut f = AssignmentFn::hash_only(4);
+        let live: Vec<Key> = (0..1_000u64).map(Key).collect();
+        let before: Vec<TaskId> = live.iter().map(|&k| f.route(k)).collect();
+        f.add_task_pinned(&live);
+        f.remove_task_pinned(&live);
+        // Pinned scale-out kept every live key in place, so the round
+        // trip is the identity on live keys and leaves no stale entries
+        // pointing at the removed slot.
+        for (&k, &old) in live.iter().zip(&before) {
+            assert_eq!(f.route(k), old);
+        }
+        for (_, d) in f.table().iter() {
+            assert!(d.index() < 4);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "below one task")]
+    fn remove_task_below_one_panics() {
+        AssignmentFn::hash_only(1).remove_task_pinned(&[]);
     }
 
     #[test]

@@ -1,0 +1,681 @@
+//! # streambal-elastic
+//!
+//! The elasticity controller: per-interval **scale-out / scale-in / hold**
+//! decisions driving downstream parallelism, the decision layer the paper
+//! motivates but leaves to a single hard-coded scale-out experiment
+//! (Fig. 15). Both drivers consult the same [`ElasticityPolicy`] at every
+//! interval boundary — the simulator through `run_sim_elastic`, the engine
+//! through `EngineConfig::elasticity` — so a policy's decision trace is
+//! identical across them for matching load observations.
+//!
+//! ## The observation
+//!
+//! A policy sees an [`IntervalObservation`]: the closed interval's index,
+//! the current parallelism, and the per-task load vector `Lᵢ(d)` (cost
+//! units, the same `cᵢ(k)` sums the rebalance algorithms consume). From it
+//! the policy derives whatever signal it wants — the built-ins use the
+//! mean load against a per-task capacity budget shaped by the paper's
+//! `θmax` (`budget = capacity / (1 + θmax)`: a task whose *mean* share
+//! exceeds the budget is within θmax of overload even under perfect
+//! balance, which is exactly when adding instances — not moving keys —
+//! is the only remaining repair).
+//!
+//! ## Built-in policies
+//!
+//! * [`HoldPolicy`] — never scales (the default; today's static engine).
+//! * [`FixedSchedule`] — replays a fixed `(interval → decision)` table;
+//!   [`FixedSchedule::scale_out_at`] reproduces the old
+//!   `EngineConfig::scale_out_at` behaviour exactly.
+//! * [`ThresholdPolicy`] — θ/`Lmax`-style watermarks with hysteresis:
+//!   scale out when the mean load stays above the high watermark for
+//!   `up_after` consecutive intervals, scale in when the load the
+//!   survivors would inherit stays below the low watermark for
+//!   `down_after` intervals, with a cooldown after every action. The two
+//!   watermarks plus the post-action re-evaluation window are what keeps
+//!   a flat load from flapping 4→5→4→5.
+//! * [`TargetPlanner`] — the multi-step re-provisioner: smooths total
+//!   load with an EWMA, computes a target parallelism
+//!   `⌈load / (target_util · capacity)⌉`, and steps **one instance per
+//!   interval** toward it, so a large deficit is provisioned over several
+//!   intervals instead of one jump (each step's migration stays small and
+//!   the policy re-plans against the load it just changed).
+//!
+//! ## How the engine executes a `ScaleIn` (drain → migrate → retire)
+//!
+//! Deciding is cheap; retiring a live worker losslessly is the protocol
+//! (implemented in `streambal-runtime`, restated here because this crate
+//! owns the decision semantics):
+//!
+//! 1. **Shrink the routing function.** `Partitioner::scale_in(victim, …)`
+//!    removes the victim (always the highest-numbered task) from the
+//!    table and ring; no key routes to it under the *new* view. The
+//!    source keeps routing under the *old* view until step 4.
+//! 2. **Pause.** The controller sends the source a victim-destination
+//!    pause. The source acknowledges only between routed batches, when
+//!    its fan-out accumulators are flushed — so the ack certifies that
+//!    every tuple the source will ever send the victim is already in the
+//!    victim's FIFO channel, and tuples for victims-to-be are locally
+//!    buffered from then on.
+//! 3. **Drain + retire.** The controller enqueues a `Retire` marker to
+//!    the victim. FIFO ordering puts it behind every batch from step 2,
+//!    so the victim processes its entire backlog, then extracts **all**
+//!    remaining key state (not just last-interval keys — windowed state
+//!    outlives the statistics that created it), ships it to the
+//!    controller with its metrics and its (still-connected) channel
+//!    receiver, and exits.
+//! 4. **Migrate + resume.** The controller re-installs the drained state
+//!    on each key's new home under the shrunk view (`StateInstall`, the
+//!    Fig. 5 step-5b path), waits for the install acks, and only then
+//!    sends `Resume` with the new view — so a key's tuples can reach its
+//!    new home only after its state did. The source flushes the pause
+//!    buffer under the new view and acknowledges; the controller ships
+//!    no worker `Shutdown` while that flush is outstanding.
+//!
+//! **FIFO-consistency argument.** Every hazard is an ordering between a
+//! data batch and a control marker on a single FIFO channel, and each is
+//! closed by construction: pre-pause batches precede `Retire` (step 2's
+//! ack orders them), `StateInstall` precedes the first post-resume batch
+//! on every destination (step 4 sends `Resume` only after install acks),
+//! and the buffered-tuple flush precedes `Shutdown` (`ResumeAck`). Hence
+//! no tuple is lost or double-counted and no state is extracted before
+//! the tuples that produced it have landed — the per-tuple argument of
+//! the migration protocol, with "the victim's whole key set" as the
+//! affected set. The slot's channel survives retirement (the receiver
+//! travels back to the controller), so a later scale-out can re-provision
+//! the same slot mid-run with a fresh worker thread.
+//!
+//! This crate is dependency-free: policies are pure decision logic over
+//! load vectors, equally usable from the simulator, the engine, and the
+//! benches.
+
+/// One elasticity decision for the coming interval.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScaleDecision {
+    /// Keep the current parallelism.
+    Hold,
+    /// Add one downstream instance.
+    ScaleOut,
+    /// Retire the highest-numbered downstream instance.
+    ScaleIn,
+}
+
+impl ScaleDecision {
+    /// Short display name (`hold` / `out` / `in`).
+    pub fn name(self) -> &'static str {
+        match self {
+            ScaleDecision::Hold => "hold",
+            ScaleDecision::ScaleOut => "out",
+            ScaleDecision::ScaleIn => "in",
+        }
+    }
+}
+
+/// One executed parallelism change, as drivers record it (the simulator's
+/// and the engine's reports share this type, so decision traces compare
+/// with `==`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ScaleEvent {
+    /// The interval whose statistics triggered the decision.
+    pub interval: u64,
+    /// Parallelism before.
+    pub from: usize,
+    /// Parallelism after.
+    pub to: usize,
+}
+
+/// What a policy sees at an interval boundary.
+#[derive(Debug, Clone, Copy)]
+pub struct IntervalObservation<'a> {
+    /// The interval just closed.
+    pub interval: u64,
+    /// The *planned* downstream parallelism: what the routing function
+    /// targets after every decision taken so far, which is what the next
+    /// decision must reason about. In the engine this can be smaller than
+    /// `loads.len()` while scale-ins are still re-provisioning.
+    pub n_tasks: usize,
+    /// Per-task load `Lᵢ(d)` of the closed interval, in cost units,
+    /// indexed by task id. May be *longer* than `n_tasks` while a
+    /// retiring worker still drains: its slot's load is real traffic the
+    /// survivors inherit, so totals keep counting it.
+    pub loads: &'a [u64],
+}
+
+impl IntervalObservation<'_> {
+    /// Total load of the interval.
+    pub fn total(&self) -> u64 {
+        self.loads.iter().sum()
+    }
+
+    /// Mean per-task load `L̄ᵢ` over the *planned* parallelism — the load
+    /// each task will carry once in-flight re-provisioning completes,
+    /// which is the quantity watermark policies must compare against
+    /// capacity (dividing by the physical count would hide that a
+    /// just-decided scale-in leaves the survivors over budget).
+    pub fn mean(&self) -> f64 {
+        if self.n_tasks == 0 {
+            return 0.0;
+        }
+        self.total() as f64 / self.n_tasks as f64
+    }
+
+    /// Worst balance indicator `max θ(d) = max |L(d) − L̄| / L̄` (0 when
+    /// idle) — the paper's per-interval imbalance signal.
+    pub fn max_theta(&self) -> f64 {
+        let mean = self.mean();
+        if mean == 0.0 {
+            return 0.0;
+        }
+        self.loads
+            .iter()
+            .map(|&l| (l as f64 - mean).abs() / mean)
+            .fold(0.0, f64::max)
+    }
+}
+
+/// A pluggable per-interval elasticity decision-maker.
+///
+/// Policies are stateful (streaks, cooldowns, EWMAs) and deterministic:
+/// the same observation sequence yields the same decision sequence, which
+/// is what makes sim and runtime traces comparable. Drivers clamp
+/// decisions against their hard bounds (a free worker slot for scale-out,
+/// more than one task for scale-in) — a clamped decision is skipped, not
+/// deferred, and the policy is *not* told, so it must keep deciding from
+/// observations alone.
+pub trait ElasticityPolicy: Send + std::fmt::Debug {
+    /// Display name for reports and bench legends.
+    fn name(&self) -> String;
+
+    /// Decides what to do after the observed interval.
+    fn decide(&mut self, obs: &IntervalObservation) -> ScaleDecision;
+
+    /// Clones the policy with its current state (lets `EngineConfig`
+    /// remain `Clone` while holding a boxed policy).
+    fn box_clone(&self) -> Box<dyn ElasticityPolicy>;
+}
+
+impl Clone for Box<dyn ElasticityPolicy> {
+    fn clone(&self) -> Self {
+        self.box_clone()
+    }
+}
+
+// ------------------------------------------------------------------
+// Hold
+// ------------------------------------------------------------------
+
+/// Never scales — the static engine of every earlier PR.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct HoldPolicy;
+
+impl ElasticityPolicy for HoldPolicy {
+    fn name(&self) -> String {
+        "hold".into()
+    }
+
+    fn decide(&mut self, _obs: &IntervalObservation) -> ScaleDecision {
+        ScaleDecision::Hold
+    }
+
+    fn box_clone(&self) -> Box<dyn ElasticityPolicy> {
+        Box::new(*self)
+    }
+}
+
+// ------------------------------------------------------------------
+// Fixed schedule
+// ------------------------------------------------------------------
+
+/// Replays a fixed `(interval → decision)` schedule — the reproduction
+/// policy. [`FixedSchedule::scale_out_at`] is byte-for-byte the old
+/// `EngineConfig::scale_out_at` behaviour (one worker added after that
+/// interval's statistics are collected).
+#[derive(Debug, Clone, Default)]
+pub struct FixedSchedule {
+    at: Vec<(u64, ScaleDecision)>,
+}
+
+impl FixedSchedule {
+    /// A schedule from explicit `(interval, decision)` pairs. Intervals
+    /// without an entry hold.
+    pub fn new(at: impl IntoIterator<Item = (u64, ScaleDecision)>) -> Self {
+        FixedSchedule {
+            at: at.into_iter().collect(),
+        }
+    }
+
+    /// The Fig. 15 experiment: one scale-out after `interval`.
+    pub fn scale_out_at(interval: u64) -> Self {
+        FixedSchedule::new([(interval, ScaleDecision::ScaleOut)])
+    }
+
+    /// The forced elasticity cycle the tests pin: scale out (to double
+    /// the parallelism) after `out_at`, scale back in after `in_at` —
+    /// `steps` workers each way, one per interval.
+    pub fn cycle(out_at: u64, in_at: u64, steps: u64) -> Self {
+        let mut at = Vec::new();
+        for s in 0..steps {
+            at.push((out_at + s, ScaleDecision::ScaleOut));
+            at.push((in_at + s, ScaleDecision::ScaleIn));
+        }
+        FixedSchedule::new(at)
+    }
+}
+
+impl ElasticityPolicy for FixedSchedule {
+    fn name(&self) -> String {
+        "fixed".into()
+    }
+
+    fn decide(&mut self, obs: &IntervalObservation) -> ScaleDecision {
+        self.at
+            .iter()
+            .find(|&&(iv, _)| iv == obs.interval)
+            .map_or(ScaleDecision::Hold, |&(_, d)| d)
+    }
+
+    fn box_clone(&self) -> Box<dyn ElasticityPolicy> {
+        Box::new(self.clone())
+    }
+}
+
+// ------------------------------------------------------------------
+// Threshold with hysteresis
+// ------------------------------------------------------------------
+
+/// θ/`Lmax`-style watermark policy with hysteresis.
+///
+/// The per-task budget is `capacity / (1 + theta_max)`: `capacity` is the
+/// load (cost units per interval) one task can sustain, and dividing by
+/// `1 + θmax` reserves the imbalance headroom the rebalancer is allowed
+/// to leave — when even the *mean* exceeds the budget, some task must sit
+/// above `Lmax` no matter how well keys are placed, so more parallelism
+/// is the only repair. Symmetrically, scale-in fires only when the load
+/// the `n − 1` survivors would inherit stays under `low · budget`.
+///
+/// Hysteresis: `high > low` separates the watermarks, `up_after` /
+/// `down_after` demand consecutive violations, and `cooldown` suppresses
+/// decisions right after an action (whose own transient would otherwise
+/// re-trigger).
+#[derive(Debug, Clone)]
+pub struct ThresholdPolicy {
+    /// Sustainable load (cost units per interval) of one task.
+    pub capacity: f64,
+    /// Imbalance tolerance `θmax` shaping the budget (paper default 0.08).
+    pub theta_max: f64,
+    /// Scale out when `mean > high · budget` (default 0.9).
+    pub high: f64,
+    /// Scale in when `total / (n−1) < low · budget` (default 0.6).
+    pub low: f64,
+    /// Consecutive high intervals before scaling out (default 1).
+    pub up_after: usize,
+    /// Consecutive low intervals before scaling in (default 2).
+    pub down_after: usize,
+    /// Intervals to hold after any action (default 1).
+    pub cooldown: u64,
+    /// Lower parallelism bound.
+    pub min_tasks: usize,
+    /// Upper parallelism bound.
+    pub max_tasks: usize,
+    high_streak: usize,
+    low_streak: usize,
+    hold_until: u64,
+}
+
+impl ThresholdPolicy {
+    /// A policy for tasks sustaining `capacity` cost units per interval,
+    /// scaling within `[min_tasks, max_tasks]`.
+    pub fn new(capacity: f64, min_tasks: usize, max_tasks: usize) -> Self {
+        assert!(capacity > 0.0, "capacity must be positive");
+        assert!(min_tasks >= 1 && min_tasks <= max_tasks, "bad task bounds");
+        ThresholdPolicy {
+            capacity,
+            theta_max: 0.08,
+            high: 0.9,
+            low: 0.6,
+            up_after: 1,
+            down_after: 2,
+            cooldown: 1,
+            min_tasks,
+            max_tasks,
+            high_streak: 0,
+            low_streak: 0,
+            hold_until: 0,
+        }
+    }
+
+    /// The per-task budget `capacity / (1 + θmax)`.
+    pub fn budget(&self) -> f64 {
+        self.capacity / (1.0 + self.theta_max)
+    }
+}
+
+impl ElasticityPolicy for ThresholdPolicy {
+    fn name(&self) -> String {
+        "threshold".into()
+    }
+
+    fn decide(&mut self, obs: &IntervalObservation) -> ScaleDecision {
+        let budget = self.budget();
+        let n = obs.n_tasks;
+        let total = obs.total() as f64;
+        let mean = obs.mean();
+        // Streaks advance even inside the cooldown window: the cooldown
+        // delays the *action*, not the evidence.
+        if mean > self.high * budget {
+            self.high_streak += 1;
+        } else {
+            self.high_streak = 0;
+        }
+        let survivors_mean = if n > 1 {
+            total / (n - 1) as f64
+        } else {
+            f64::MAX
+        };
+        if survivors_mean < self.low * budget {
+            self.low_streak += 1;
+        } else {
+            self.low_streak = 0;
+        }
+        if obs.interval < self.hold_until {
+            return ScaleDecision::Hold;
+        }
+        if self.high_streak >= self.up_after && n < self.max_tasks {
+            self.high_streak = 0;
+            self.low_streak = 0;
+            self.hold_until = obs.interval + 1 + self.cooldown;
+            return ScaleDecision::ScaleOut;
+        }
+        if self.low_streak >= self.down_after && n > self.min_tasks {
+            self.low_streak = 0;
+            self.high_streak = 0;
+            self.hold_until = obs.interval + 1 + self.cooldown;
+            return ScaleDecision::ScaleIn;
+        }
+        ScaleDecision::Hold
+    }
+
+    fn box_clone(&self) -> Box<dyn ElasticityPolicy> {
+        Box::new(self.clone())
+    }
+}
+
+// ------------------------------------------------------------------
+// Multi-step target planner
+// ------------------------------------------------------------------
+
+/// The multi-step re-provisioner: plans a target parallelism from
+/// EWMA-smoothed total load and walks toward it one instance per
+/// interval.
+///
+/// `target = ⌈ewma_load / (target_util · capacity)⌉`, clamped to
+/// `[min_tasks, max_tasks]`. Stepping (instead of jumping) bounds each
+/// interval's migration volume to one worker's worth of state and lets
+/// the plan self-correct: the next observation already includes the
+/// previous step's effect.
+#[derive(Debug, Clone)]
+pub struct TargetPlanner {
+    /// Sustainable load (cost units per interval) of one task.
+    pub capacity: f64,
+    /// Fraction of capacity to plan for (default 0.7 — headroom for
+    /// variance between plans).
+    pub target_util: f64,
+    /// EWMA smoothing factor α on total load (default 0.5; 1.0 = react
+    /// to the last interval only).
+    pub alpha: f64,
+    /// Lower parallelism bound.
+    pub min_tasks: usize,
+    /// Upper parallelism bound.
+    pub max_tasks: usize,
+    ewma: Option<f64>,
+}
+
+impl TargetPlanner {
+    /// A planner for tasks sustaining `capacity` cost units per interval,
+    /// scaling within `[min_tasks, max_tasks]`.
+    pub fn new(capacity: f64, min_tasks: usize, max_tasks: usize) -> Self {
+        assert!(capacity > 0.0, "capacity must be positive");
+        assert!(min_tasks >= 1 && min_tasks <= max_tasks, "bad task bounds");
+        TargetPlanner {
+            capacity,
+            target_util: 0.7,
+            alpha: 0.5,
+            min_tasks,
+            max_tasks,
+            ewma: None,
+        }
+    }
+
+    /// The parallelism currently planned for (after the last `decide`).
+    pub fn planned_tasks(&self) -> Option<usize> {
+        self.ewma.map(|l| self.target_for(l))
+    }
+
+    fn target_for(&self, load: f64) -> usize {
+        let per_task = self.target_util * self.capacity;
+        let raw = (load / per_task).ceil() as usize;
+        raw.clamp(self.min_tasks, self.max_tasks)
+    }
+}
+
+impl ElasticityPolicy for TargetPlanner {
+    fn name(&self) -> String {
+        "planner".into()
+    }
+
+    fn decide(&mut self, obs: &IntervalObservation) -> ScaleDecision {
+        let total = obs.total() as f64;
+        let smoothed = match self.ewma {
+            None => total,
+            Some(prev) => self.alpha * total + (1.0 - self.alpha) * prev,
+        };
+        self.ewma = Some(smoothed);
+        let target = self.target_for(smoothed);
+        match target.cmp(&obs.n_tasks) {
+            std::cmp::Ordering::Greater => ScaleDecision::ScaleOut,
+            std::cmp::Ordering::Less => ScaleDecision::ScaleIn,
+            std::cmp::Ordering::Equal => ScaleDecision::Hold,
+        }
+    }
+
+    fn box_clone(&self) -> Box<dyn ElasticityPolicy> {
+        Box::new(self.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn obs(interval: u64, loads: &[u64]) -> IntervalObservation<'_> {
+        IntervalObservation {
+            interval,
+            n_tasks: loads.len(),
+            loads,
+        }
+    }
+
+    #[test]
+    fn observation_derivations() {
+        let loads = [16, 4];
+        let o = obs(0, &loads);
+        assert_eq!(o.total(), 20);
+        assert!((o.mean() - 10.0).abs() < 1e-12);
+        assert!((o.max_theta() - 0.6).abs() < 1e-12);
+        let empty: [u64; 0] = [];
+        let o = IntervalObservation {
+            interval: 0,
+            n_tasks: 0,
+            loads: &empty,
+        };
+        assert_eq!(o.mean(), 0.0);
+        assert_eq!(o.max_theta(), 0.0);
+    }
+
+    #[test]
+    fn hold_never_scales() {
+        let mut p = HoldPolicy;
+        for iv in 0..10 {
+            assert_eq!(p.decide(&obs(iv, &[1_000_000, 0])), ScaleDecision::Hold);
+        }
+    }
+
+    #[test]
+    fn fixed_schedule_reproduces_scale_out_at() {
+        let mut p = FixedSchedule::scale_out_at(2);
+        let decisions: Vec<ScaleDecision> =
+            (0..5).map(|iv| p.decide(&obs(iv, &[10, 10]))).collect();
+        assert_eq!(
+            decisions,
+            vec![
+                ScaleDecision::Hold,
+                ScaleDecision::Hold,
+                ScaleDecision::ScaleOut,
+                ScaleDecision::Hold,
+                ScaleDecision::Hold,
+            ]
+        );
+    }
+
+    #[test]
+    fn fixed_cycle_schedules_out_then_in() {
+        let mut p = FixedSchedule::cycle(1, 4, 2);
+        let decisions: Vec<&str> = (0..7)
+            .map(|iv| p.decide(&obs(iv, &[10, 10])).name())
+            .collect();
+        assert_eq!(
+            decisions,
+            vec!["hold", "out", "out", "hold", "in", "in", "hold"]
+        );
+    }
+
+    #[test]
+    fn threshold_scales_out_on_sustained_overload_only() {
+        let mut p = ThresholdPolicy::new(100.0, 1, 8);
+        p.up_after = 2;
+        p.low = 0.0; // disable scale-in for this test
+                     // budget ≈ 92.6; mean 95 > 0.9·budget ≈ 83.3.
+        assert_eq!(p.decide(&obs(0, &[95, 95])), ScaleDecision::Hold);
+        assert_eq!(p.decide(&obs(1, &[95, 95])), ScaleDecision::ScaleOut);
+        // Cooldown: the next interval holds even under overload.
+        assert_eq!(p.decide(&obs(2, &[95, 95, 95])), ScaleDecision::Hold);
+    }
+
+    #[test]
+    fn threshold_scales_in_when_survivors_absorb_the_load() {
+        let mut p = ThresholdPolicy::new(100.0, 1, 8);
+        p.down_after = 2;
+        // 4 tasks at 20 → survivors' mean 80/3 ≈ 26.7 < 0.6·92.6 ≈ 55.6.
+        assert_eq!(p.decide(&obs(0, &[20, 20, 20, 20])), ScaleDecision::Hold);
+        assert_eq!(p.decide(&obs(1, &[20, 20, 20, 20])), ScaleDecision::ScaleIn);
+    }
+
+    #[test]
+    fn threshold_hysteresis_does_not_flap() {
+        // A load flat at mid-band (between low·budget·(n−1)/n and
+        // high·budget) must never trigger in either direction.
+        let mut p = ThresholdPolicy::new(100.0, 1, 8);
+        for iv in 0..20 {
+            // mean 70: below high (83.3); survivors' mean 93.3 above low.
+            assert_eq!(
+                p.decide(&obs(iv, &[70, 70, 70])),
+                ScaleDecision::Hold,
+                "interval {iv}"
+            );
+        }
+    }
+
+    #[test]
+    fn threshold_respects_bounds() {
+        let mut p = ThresholdPolicy::new(100.0, 2, 2);
+        assert_eq!(p.decide(&obs(0, &[500, 500])), ScaleDecision::Hold);
+        let mut p = ThresholdPolicy::new(100.0, 2, 2);
+        p.down_after = 1;
+        assert_eq!(p.decide(&obs(0, &[1, 1])), ScaleDecision::Hold);
+    }
+
+    #[test]
+    fn threshold_streaks_reset_on_recovery() {
+        let mut p = ThresholdPolicy::new(100.0, 1, 8);
+        p.up_after = 2;
+        assert_eq!(p.decide(&obs(0, &[95, 95])), ScaleDecision::Hold);
+        // Recovery interval breaks the streak.
+        assert_eq!(p.decide(&obs(1, &[70, 70])), ScaleDecision::Hold);
+        assert_eq!(p.decide(&obs(2, &[95, 95])), ScaleDecision::Hold);
+    }
+
+    #[test]
+    fn planner_steps_toward_target_one_at_a_time() {
+        let mut p = TargetPlanner::new(100.0, 1, 16);
+        p.alpha = 1.0; // no smoothing: deterministic targets
+                       // Load 560 at util 0.7 → target ⌈560/70⌉ = 8; from 4 tasks the
+                       // planner emits ScaleOut each interval until parallelism reaches
+                       // the target, then holds.
+        let mut n = 4usize;
+        let mut steps = Vec::new();
+        for iv in 0..8 {
+            let loads: Vec<u64> = (0..n).map(|_| 560 / n as u64).collect();
+            let d = p.decide(&obs(iv, &loads));
+            if d == ScaleDecision::ScaleOut {
+                n += 1;
+            }
+            steps.push((d, n));
+        }
+        assert_eq!(p.planned_tasks(), Some(8));
+        assert_eq!(n, 8, "reached the target: {steps:?}");
+        assert!(
+            steps[4..].iter().all(|&(d, _)| d == ScaleDecision::Hold),
+            "held after convergence: {steps:?}"
+        );
+    }
+
+    #[test]
+    fn planner_steps_back_down_when_load_drops() {
+        let mut p = TargetPlanner::new(100.0, 2, 16);
+        p.alpha = 1.0;
+        let loads = [10u64, 10, 10, 10, 10, 10];
+        // Target ⌈60/70⌉ = 1, clamped to min 2 → scale in from 6.
+        assert_eq!(p.decide(&obs(0, &loads)), ScaleDecision::ScaleIn);
+    }
+
+    #[test]
+    fn planner_ewma_smooths_spikes() {
+        let mut p = TargetPlanner::new(100.0, 1, 16);
+        p.alpha = 0.25;
+        // Steady 140 (target 2), one interval spikes to 1400.
+        let steady = [70u64, 70];
+        assert_eq!(p.decide(&obs(0, &steady)), ScaleDecision::Hold);
+        // Smoothed: 0.25·1400 + 0.75·140 = 455 → target 7 > 2 → out,
+        // but one recovery interval pulls the EWMA back down fast.
+        let spike = [700u64, 700];
+        assert_eq!(p.decide(&obs(1, &spike)), ScaleDecision::ScaleOut);
+        let mut n = 3usize;
+        let mut peak = n;
+        for iv in 2..40 {
+            let loads: Vec<u64> = vec![140 / n as u64; n];
+            match p.decide(&obs(iv, &loads)) {
+                ScaleDecision::ScaleIn => n -= 1,
+                ScaleDecision::ScaleOut => n += 1,
+                ScaleDecision::Hold => {}
+            }
+            peak = peak.max(n);
+        }
+        // α = 0.25 discounts the one-interval spike: the overshoot stays
+        // far below the spike's raw target (⌈1400/70⌉ = 20)…
+        assert!(peak <= 7, "smoothing failed: peaked at {peak}");
+        // …and the EWMA walks parallelism back once the load recovers.
+        assert_eq!(n, 2, "EWMA converged back after the spike");
+    }
+
+    #[test]
+    fn boxed_policies_clone_with_state() {
+        let mut p = ThresholdPolicy::new(100.0, 1, 8);
+        p.up_after = 2;
+        let _ = p.decide(&obs(0, &[95, 95])); // streak = 1
+        let mut boxed: Box<dyn ElasticityPolicy> = Box::new(p);
+        let mut cloned = boxed.clone();
+        // Both fire on the next interval: the streak survived the clone.
+        assert_eq!(cloned.decide(&obs(1, &[95, 95])), ScaleDecision::ScaleOut);
+        assert_eq!(boxed.decide(&obs(1, &[95, 95])), ScaleDecision::ScaleOut);
+        assert_eq!(boxed.name(), "threshold");
+    }
+}

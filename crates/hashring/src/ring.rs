@@ -90,6 +90,23 @@ impl HashRing {
         self.slots - 1
     }
 
+    /// Removes the most recently added slot (scale-in), returning its
+    /// former index. The exact inverse of [`HashRing::add_slot`]: only the
+    /// removed slot's virtual points leave the ring, so every key it owned
+    /// redistributes to surviving slots and every other key keeps its
+    /// owner — the consistency property scale-in relies on, mirrored from
+    /// scale-out.
+    ///
+    /// # Panics
+    /// Panics if the ring has only one slot (a ring must own the circle).
+    pub fn remove_slot(&mut self) -> usize {
+        assert!(self.slots > 1, "cannot remove the last ring slot");
+        let slot = (self.slots - 1) as u32;
+        self.points.retain(|&(_, s)| s != slot);
+        self.slots -= 1;
+        slot as usize
+    }
+
     /// Maps a key to its owning slot.
     #[inline]
     pub fn slot_of(&self, key: u64) -> usize {
@@ -174,6 +191,39 @@ mod tests {
             (moved as f64) < expect * 1.5 && (moved as f64) > expect * 0.5,
             "moved {moved}, expected ≈ {expect}"
         );
+    }
+
+    #[test]
+    fn remove_slot_is_the_inverse_of_add_slot() {
+        let mut ring = HashRing::new(6);
+        let before: Vec<usize> = (0..50_000u64).map(|k| ring.slot_of(k)).collect();
+        ring.add_slot();
+        assert_eq!(ring.remove_slot(), 6);
+        assert_eq!(ring.slots(), 6);
+        let after: Vec<usize> = (0..50_000u64).map(|k| ring.slot_of(k)).collect();
+        assert_eq!(before, after, "add then remove must restore ownership");
+    }
+
+    #[test]
+    fn remove_slot_only_moves_the_victims_keys() {
+        let mut ring = HashRing::new(7);
+        let before: Vec<usize> = (0..50_000u64).map(|k| ring.slot_of(k)).collect();
+        let victim = ring.remove_slot();
+        assert_eq!(victim, 6);
+        for (k, &old) in before.iter().enumerate() {
+            let now = ring.slot_of(k as u64);
+            if old == victim {
+                assert_ne!(now, victim, "key {k} still owned by removed slot");
+            } else {
+                assert_eq!(now, old, "key {k} moved {old}→{now} without cause");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot remove the last ring slot")]
+    fn remove_last_slot_panics() {
+        HashRing::new(1).remove_slot();
     }
 
     #[test]

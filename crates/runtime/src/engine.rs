@@ -20,6 +20,9 @@ use std::time::{Duration, Instant};
 use bytes::Bytes;
 use crossbeam::channel::{bounded, unbounded, Receiver, Select, Sender};
 use streambal_core::{IntervalStats, Key, Partitioner, RoutingView, TaskId};
+use streambal_elastic::{
+    ElasticityPolicy, FixedSchedule, HoldPolicy, IntervalObservation, ScaleDecision,
+};
 use streambal_hashring::{FxHashMap, FxHashSet};
 use streambal_metrics::{Counter, Histogram, RateMeter, TimeSeries};
 
@@ -30,7 +33,10 @@ use crate::tuple::Tuple;
 use crate::worker::{run_worker, WorkerCtx};
 
 /// Engine sizing and behaviour knobs.
-#[derive(Debug, Clone, Copy, PartialEq)]
+///
+/// `Clone` but not `Copy`: the elasticity policy is a boxed, stateful
+/// object (cloned with its state via `ElasticityPolicy::box_clone`).
+#[derive(Debug, Clone)]
 pub struct EngineConfig {
     /// Initial downstream parallelism `N_D`.
     pub n_workers: usize,
@@ -67,9 +73,16 @@ pub struct EngineConfig {
     pub spin_work: u32,
     /// State window `w` in intervals.
     pub window: usize,
-    /// Add one worker after this interval's statistics are collected
-    /// (the Fig. 15 scale-out experiment).
-    pub scale_out_at: Option<u64>,
+    /// The elasticity policy consulted after every interval's statistics
+    /// round: it decides `ScaleOut` / `ScaleIn` / `Hold`, and the
+    /// controller executes the decision (spawn + re-pin for out; the
+    /// drain → migrate → retire protocol for in — see `streambal-elastic`
+    /// crate docs). Decisions are clamped to `[1, max_workers]`;
+    /// scale-ins may queue up (multi-step re-provisioning executes them
+    /// in order), while a scale-out arriving before queued retires finish
+    /// is skipped, because the spawn slot must be the contiguous physical
+    /// tail. Default: [`HoldPolicy`] (the static engine).
+    pub elasticity: Box<dyn ElasticityPolicy>,
 }
 
 impl EngineConfig {
@@ -78,6 +91,19 @@ impl EngineConfig {
     /// no amortization).
     fn scalar_plane(&self) -> bool {
         self.per_tuple || self.batch_size <= 1
+    }
+
+    /// Back-compat constructor for the retired `scale_out_at` knob: the
+    /// default config with one pre-provisioned spare slot and a
+    /// [`FixedSchedule`] adding one worker after `interval`'s statistics
+    /// are collected — behaviourally identical to the old field.
+    pub fn with_scale_out_at(interval: u64) -> Self {
+        let base = EngineConfig::default();
+        EngineConfig {
+            max_workers: base.n_workers + 1,
+            elasticity: Box::new(FixedSchedule::scale_out_at(interval)),
+            ..base
+        }
     }
 }
 
@@ -92,10 +118,12 @@ impl Default for EngineConfig {
             per_tuple: false,
             spin_work: 500,
             window: 5,
-            scale_out_at: None,
+            elasticity: Box::new(HoldPolicy),
         }
     }
 }
+
+pub use streambal_elastic::ScaleEvent;
 
 /// Everything one engine run measured.
 #[derive(Debug)]
@@ -120,12 +148,18 @@ pub struct EngineReport {
     pub migrated_keys: u64,
     /// State bytes migrated across all rebalances.
     pub migrated_bytes: u64,
-    /// Tuples processed per worker slot.
+    /// Tuples processed per worker slot (summed across respawns when a
+    /// slot is retired and later re-provisioned).
     pub per_worker_processed: Vec<u64>,
     /// All key state at shutdown (sorted by key) for validation.
     pub final_states: Vec<(Key, Bytes)>,
     /// The collector's result rows, if a collector ran.
     pub collector_result: Vec<(u64, u64)>,
+    /// Executed elasticity decisions, in order.
+    pub scale_events: Vec<ScaleEvent>,
+    /// Integral of live workers over wall time (the provisioning cost an
+    /// elastic policy saves against a static peak-sized deployment).
+    pub worker_seconds: f64,
 }
 
 /// A planned migration waiting its turn (one in flight at a time).
@@ -136,6 +170,24 @@ struct PlannedMigration {
     view: RoutingView,
 }
 
+/// A control-plane operation queued behind the in-flight one. Migrations
+/// and scale-ins serialize through the same queue, so state placement
+/// always advances one routing-function delta at a time — each op moves
+/// state from the previous op's placement to its own captured view.
+enum PlannedOp {
+    /// A rebalance migration (Fig. 5).
+    Migrate(PlannedMigration),
+    /// Retire `victim` (always the then-highest slot) under `view`, the
+    /// routing function captured right after `Partitioner::scale_in`.
+    ScaleIn { victim: TaskId, view: RoutingView },
+}
+
+impl PlannedOp {
+    fn is_scale_in(&self) -> bool {
+        matches!(self, PlannedOp::ScaleIn { .. })
+    }
+}
+
 /// An in-flight migration epoch.
 struct ActiveMigration {
     epoch: u64,
@@ -143,6 +195,26 @@ struct ActiveMigration {
     awaiting_out: FxHashSet<TaskId>,
     collected: Vec<(Key, TaskId, Bytes)>,
     awaiting_install: FxHashSet<TaskId>,
+}
+
+/// An in-flight scale-in: pause-dest → retire → re-install → resume.
+struct ActiveRetire {
+    epoch: u64,
+    victim: TaskId,
+    view: RoutingView,
+    awaiting_install: FxHashSet<TaskId>,
+}
+
+/// The one control-plane operation in flight.
+enum ActiveOp {
+    Migration(ActiveMigration),
+    Retire(ActiveRetire),
+}
+
+impl ActiveOp {
+    fn is_scale_in(&self) -> bool {
+        matches!(self, ActiveOp::Retire(_))
+    }
 }
 
 /// Shared ingredients for spawning worker threads (initially and on
@@ -260,6 +332,8 @@ impl Engine {
             per_worker_processed: vec![0; max_workers],
             final_states: Vec::new(),
             collector_result: Vec::new(),
+            scale_events: Vec::new(),
+            worker_seconds: 0.0,
         };
 
         std::thread::scope(|s| {
@@ -320,7 +394,7 @@ impl Engine {
 
             // --- source ---------------------------------------------------
             let src_worker_txs = worker_txs.clone();
-            let src_config = config;
+            let src_config = config.clone();
             s.spawn(move || {
                 source_loop(
                     feeder,
@@ -335,20 +409,38 @@ impl Engine {
             });
 
             // --- controller (this thread) ----------------------------------
+            let mut policy = config.elasticity.clone();
             let mut active = config.n_workers;
-            let mut pending: Option<ActiveMigration> = None;
-            let mut queue: VecDeque<PlannedMigration> = VecDeque::new();
+            let mut pending: Option<ActiveOp> = None;
+            let mut queue: VecDeque<PlannedOp> = VecDeque::new();
             let mut next_epoch = 0u64;
-            // Per round: (merged stats, reports received, reports expected).
-            // The expected count is pinned at issue time — scale-out must
-            // not retroactively change how many workers a round waits for.
-            let mut stats_acc: FxHashMap<u64, (IntervalStats, usize, usize)> = FxHashMap::default();
+            // One open statistics round: merged stats, per-slot loads (the
+            // elasticity observation), reports received and expected. The
+            // expected count is pinned at issue time — scale-out must not
+            // retroactively change how many workers a round waits for, and
+            // a victim whose Retire marker is already enqueued is excluded
+            // because it will never answer.
+            struct StatsRound {
+                merged: IntervalStats,
+                loads: Vec<u64>,
+                received: usize,
+                expected: usize,
+            }
+            let mut stats_acc: FxHashMap<u64, StatsRound> = FxHashMap::default();
             let mut outstanding_stats = 0usize;
             let mut outstanding_resumes = 0usize;
+            // Set between sending a `Retire` marker and its `Retired` ack.
+            let mut retiring: Option<TaskId> = None;
+            // A retired victim's residual statistics when no round was
+            // open to absorb them — folded into the next round issued.
+            let mut carry: IntervalStats = IntervalStats::new();
             let mut source_finished = false;
             let mut draining = false;
             let mut drained = 0usize;
             let mut last_interval_mark = (Instant::now(), 0u64);
+            // Worker-seconds integration mark: advanced at every change of
+            // `active` (and once at shutdown).
+            let mut ws_mark = t0;
 
             let mut select = Select::new();
             let src_idx = select.recv(&src_evt_rx);
@@ -375,29 +467,70 @@ impl Engine {
                                     (count - last_interval_mark.1) as f64 / dt,
                                 );
                                 last_interval_mark = (now, count);
-                                // In-band stats round.
-                                for tx in worker_txs.iter().take(active) {
+                                // In-band stats round, skipping a retiring
+                                // victim (its Retire marker is already in
+                                // the channel ahead of this request).
+                                let mut expected = 0usize;
+                                for (i, tx) in worker_txs.iter().enumerate().take(active) {
+                                    if retiring == Some(TaskId::from(i)) {
+                                        continue;
+                                    }
                                     let _ = tx.send(Message::StatsRequest { interval });
+                                    expected += 1;
                                 }
-                                stats_acc.insert(interval, (IntervalStats::new(), 0, active));
-                                outstanding_stats += 1;
+                                if expected > 0 {
+                                    let mut round = StatsRound {
+                                        merged: IntervalStats::new(),
+                                        loads: vec![0; active],
+                                        received: 0,
+                                        expected,
+                                    };
+                                    if !carry.is_empty() {
+                                        // A victim retired between rounds:
+                                        // its residual load counts here (the
+                                        // slot attribution is gone with the
+                                        // slot; totals are what policies
+                                        // consume).
+                                        round.loads[active - 1] +=
+                                            carry.iter().map(|(_, s)| s.cost).sum::<u64>();
+                                        round.merged.merge(&carry);
+                                        carry = IntervalStats::new();
+                                    }
+                                    stats_acc.insert(interval, round);
+                                    outstanding_stats += 1;
+                                }
                             }
                             SourceEvent::PauseAck { epoch } => {
-                                let m = pending.as_mut().expect("ack without pending migration");
-                                debug_assert_eq!(m.epoch, epoch);
-                                for (&w, moves) in &m.plan.by_source {
-                                    m.awaiting_out.insert(w);
-                                    let _ = worker_txs[w.index()].send(Message::MigrateOut {
-                                        epoch,
-                                        moves: moves.clone(),
-                                    });
-                                }
-                                if m.awaiting_out.is_empty() {
-                                    // Degenerate plan: resume immediately.
-                                    let _ = ctl_tx.send(SourceCtl::Resume {
-                                        epoch,
-                                        view: m.plan.view.clone(),
-                                    });
+                                let resume_now =
+                                    match pending.as_mut().expect("ack without pending op") {
+                                        ActiveOp::Migration(m) => {
+                                            debug_assert_eq!(m.epoch, epoch);
+                                            for (&w, moves) in &m.plan.by_source {
+                                                m.awaiting_out.insert(w);
+                                                let _ = worker_txs[w.index()].send(
+                                                    Message::MigrateOut {
+                                                        epoch,
+                                                        moves: moves.clone(),
+                                                    },
+                                                );
+                                            }
+                                            // Degenerate plan: resume immediately.
+                                            m.awaiting_out.is_empty().then(|| m.plan.view.clone())
+                                        }
+                                        ActiveOp::Retire(r) => {
+                                            debug_assert_eq!(r.epoch, epoch);
+                                            // Every tuple the source will ever
+                                            // send the victim is now in its
+                                            // channel; the Retire marker lands
+                                            // behind all of them.
+                                            let _ = worker_txs[r.victim.index()]
+                                                .send(Message::Retire { epoch });
+                                            retiring = Some(r.victim);
+                                            None
+                                        }
+                                    };
+                                if let Some(view) = resume_now {
+                                    let _ = ctl_tx.send(SourceCtl::Resume { epoch, view });
                                     outstanding_resumes += 1;
                                     pending = None;
                                 }
@@ -416,34 +549,100 @@ impl Engine {
                         };
                         match ev {
                             WorkerEvent::Stats {
-                                interval, stats, ..
+                                worker,
+                                interval,
+                                stats,
                             } => {
                                 let entry = stats_acc
                                     .get_mut(&interval)
                                     .expect("stats for unknown round");
-                                entry.0.merge(&stats);
-                                entry.1 += 1;
-                                if entry.1 == entry.2 {
-                                    let (merged, _, _) = stats_acc.remove(&interval).unwrap();
+                                // Accumulate (each worker reports once per
+                                // round): a retired victim's residue may
+                                // already be folded into this slot, and
+                                // assignment would silently discard it.
+                                entry.loads[worker.index()] +=
+                                    stats.iter().map(|(_, s)| s.cost).sum::<u64>();
+                                entry.merged.merge(&stats);
+                                entry.received += 1;
+                                if entry.received == entry.expected {
+                                    let StatsRound { merged, loads, .. } =
+                                        stats_acc.remove(&interval).unwrap();
                                     outstanding_stats -= 1;
-                                    // Scale-out between rounds (Fig. 15).
-                                    if config.scale_out_at == Some(interval) && active < max_workers
-                                    {
-                                        let live: Vec<Key> =
-                                            merged.iter().map(|(k, _)| k).collect();
-                                        let rx = worker_rxs[active].take().expect("slot");
-                                        spawner.spawn(
-                                            s,
-                                            active,
-                                            rx,
-                                            op_factory(TaskId::from(active)),
-                                            interval + 1,
-                                        );
-                                        partitioner.scale_out(&live);
-                                        active += 1;
-                                        let _ = ctl_tx.send(SourceCtl::UpdateView {
-                                            view: partitioner.routing_view(),
-                                        });
+                                    // Elasticity decision. The observation's
+                                    // parallelism is the *planned* one —
+                                    // `partitioner.n_tasks()`, which every
+                                    // decision mutates immediately — not the
+                                    // physical worker count, which lags while
+                                    // retires drain; deciding on the stale
+                                    // physical count would re-trigger on
+                                    // parallelism the policy already gave up.
+                                    // Scale-ins may queue (victims walk down
+                                    // from the planned tail, ops execute in
+                                    // order); a scale-out is skipped while any
+                                    // scale-in is still re-provisioning, since
+                                    // the spawn slot must be the contiguous
+                                    // physical tail.
+                                    let planned = partitioner.n_tasks();
+                                    let scale_in_flight =
+                                        pending.as_ref().is_some_and(ActiveOp::is_scale_in)
+                                            || queue.iter().any(PlannedOp::is_scale_in);
+                                    let obs = IntervalObservation {
+                                        interval,
+                                        n_tasks: planned,
+                                        loads: &loads,
+                                    };
+                                    match policy.decide(&obs) {
+                                        ScaleDecision::ScaleOut
+                                            if !scale_in_flight && active < max_workers =>
+                                        {
+                                            debug_assert_eq!(planned, active);
+                                            let now = Instant::now();
+                                            report.worker_seconds += active as f64
+                                                * now.duration_since(ws_mark).as_secs_f64();
+                                            ws_mark = now;
+                                            let live: Vec<Key> =
+                                                merged.iter().map(|(k, _)| k).collect();
+                                            let rx = worker_rxs[active].take().expect("slot");
+                                            spawner.spawn(
+                                                s,
+                                                active,
+                                                rx,
+                                                op_factory(TaskId::from(active)),
+                                                interval + 1,
+                                            );
+                                            let new = partitioner.scale_out(&live);
+                                            debug_assert_eq!(new.index(), active);
+                                            report.scale_events.push(ScaleEvent {
+                                                interval,
+                                                from: active,
+                                                to: active + 1,
+                                            });
+                                            active += 1;
+                                            let _ = ctl_tx.send(SourceCtl::UpdateView {
+                                                view: partitioner.routing_view(),
+                                            });
+                                        }
+                                        ScaleDecision::ScaleIn if planned > 1 => {
+                                            // Shrink the routing function now
+                                            // (later decisions and rebalances
+                                            // build on it); the physical
+                                            // retirement queues behind any
+                                            // in-flight op.
+                                            let victim = TaskId::from(planned - 1);
+                                            let live: Vec<Key> =
+                                                merged.iter().map(|(k, _)| k).collect();
+                                            partitioner.scale_in(victim, &live);
+                                            report.scale_events.push(ScaleEvent {
+                                                interval,
+                                                from: planned,
+                                                to: planned - 1,
+                                            });
+                                            queue.push_back(PlannedOp::ScaleIn {
+                                                victim,
+                                                view: partitioner.routing_view(),
+                                            });
+                                        }
+                                        _ => {}
                                     }
                                     if let Some(out) = partitioner.end_interval(merged) {
                                         if !out.plan.is_empty() {
@@ -463,11 +662,11 @@ impl Engine {
                                                     .or_default()
                                                     .push((mv.key, mv.to));
                                             }
-                                            queue.push_back(PlannedMigration {
+                                            queue.push_back(PlannedOp::Migrate(PlannedMigration {
                                                 by_source,
                                                 affected,
                                                 view: partitioner.routing_view(),
-                                            });
+                                            }));
                                         }
                                     }
                                 }
@@ -477,7 +676,10 @@ impl Engine {
                                 epoch,
                                 states,
                             } => {
-                                let m = pending.as_mut().expect("state without migration");
+                                let m = match pending.as_mut() {
+                                    Some(ActiveOp::Migration(m)) => m,
+                                    _ => panic!("state without migration"),
+                                };
                                 debug_assert_eq!(m.epoch, epoch);
                                 m.collected.extend(states);
                                 m.awaiting_out.remove(&worker);
@@ -505,17 +707,101 @@ impl Engine {
                                 }
                             }
                             WorkerEvent::InstallAck { worker, epoch } => {
-                                let m = pending.as_mut().expect("ack without migration");
-                                debug_assert_eq!(m.epoch, epoch);
-                                m.awaiting_install.remove(&worker);
-                                if m.awaiting_install.is_empty() {
-                                    // Step 7: resume with F′.
-                                    let _ = ctl_tx.send(SourceCtl::Resume {
-                                        epoch,
-                                        view: m.plan.view.clone(),
-                                    });
+                                let resume_view = match pending
+                                    .as_mut()
+                                    .expect("ack without pending op")
+                                {
+                                    ActiveOp::Migration(m) => {
+                                        debug_assert_eq!(m.epoch, epoch);
+                                        m.awaiting_install.remove(&worker);
+                                        // Step 7: resume with F′.
+                                        m.awaiting_install.is_empty().then(|| m.plan.view.clone())
+                                    }
+                                    ActiveOp::Retire(r) => {
+                                        debug_assert_eq!(r.epoch, epoch);
+                                        r.awaiting_install.remove(&worker);
+                                        // Re-provision complete: resume
+                                        // under the shrunk view.
+                                        r.awaiting_install.is_empty().then(|| r.view.clone())
+                                    }
+                                };
+                                if let Some(view) = resume_view {
+                                    let _ = ctl_tx.send(SourceCtl::Resume { epoch, view });
                                     outstanding_resumes += 1;
                                     pending = None;
+                                }
+                            }
+                            WorkerEvent::Retired {
+                                worker,
+                                epoch,
+                                states,
+                                stats,
+                                processed,
+                                latency,
+                                rx,
+                            } => {
+                                let mut r = match pending.take() {
+                                    Some(ActiveOp::Retire(r)) => r,
+                                    _ => panic!("retired without pending scale-in"),
+                                };
+                                debug_assert_eq!(r.epoch, epoch);
+                                debug_assert_eq!(r.victim, worker);
+                                report.per_worker_processed[worker.index()] += processed;
+                                report.processed += processed;
+                                report.latency_us.merge(&latency);
+                                // Fold the victim's unreported residue into
+                                // the oldest open round (issued while the
+                                // victim was alive, so its slot exists) —
+                                // dropping it would read as a load dip and
+                                // re-trigger the scale-in policy.
+                                if !stats.is_empty() {
+                                    if let Some(oldest) = stats_acc.keys().min().copied() {
+                                        let entry = stats_acc.get_mut(&oldest).unwrap();
+                                        let slot = worker.index().min(entry.loads.len() - 1);
+                                        entry.loads[slot] +=
+                                            stats.iter().map(|(_, s)| s.cost).sum::<u64>();
+                                        entry.merged.merge(&stats);
+                                    } else {
+                                        carry.merge(&stats);
+                                    }
+                                }
+                                // The slot's channel stays connected (our
+                                // sender clones live on), so a later
+                                // scale-out can respawn here and no message
+                                // can ever be silently dropped.
+                                worker_rxs[worker.index()] = Some(rx);
+                                retiring = None;
+                                let now = Instant::now();
+                                report.worker_seconds +=
+                                    active as f64 * now.duration_since(ws_mark).as_secs_f64();
+                                ws_mark = now;
+                                active -= 1;
+                                debug_assert_eq!(worker.index(), active);
+                                // Re-home the drained state under the op's
+                                // captured view — the placement every later
+                                // op's delta is computed against.
+                                let mut router = SourceRouter::from_view(r.view.clone());
+                                let mut by_dest: FxHashMap<TaskId, Vec<(Key, Bytes)>> =
+                                    FxHashMap::default();
+                                for (k, blob) in states {
+                                    if !blob.is_empty() {
+                                        by_dest.entry(router.route(k)).or_default().push((k, blob));
+                                    }
+                                }
+                                if by_dest.is_empty() {
+                                    let _ = ctl_tx.send(SourceCtl::Resume {
+                                        epoch,
+                                        view: r.view.clone(),
+                                    });
+                                    outstanding_resumes += 1;
+                                } else {
+                                    for (dest, states) in by_dest {
+                                        debug_assert!(dest.index() < active);
+                                        r.awaiting_install.insert(dest);
+                                        let _ = worker_txs[dest.index()]
+                                            .send(Message::StateInstall { epoch, states });
+                                    }
+                                    pending = Some(ActiveOp::Retire(r));
                                 }
                             }
                             WorkerEvent::Drained {
@@ -524,7 +810,7 @@ impl Engine {
                                 processed,
                                 latency,
                             } => {
-                                report.per_worker_processed[worker.index()] = processed;
+                                report.per_worker_processed[worker.index()] += processed;
                                 report.processed += processed;
                                 report.latency_us.merge(&latency);
                                 report.final_states.extend(final_states);
@@ -537,21 +823,37 @@ impl Engine {
                     }
                 }
 
-                // Start the next queued migration when idle.
+                // Start the next queued control-plane op when idle.
                 if pending.is_none() {
-                    if let Some(plan) = queue.pop_front() {
+                    if let Some(op) = queue.pop_front() {
                         next_epoch += 1;
-                        let _ = ctl_tx.send(SourceCtl::Pause {
-                            epoch: next_epoch,
-                            affected: plan.affected.clone(),
-                        });
-                        pending = Some(ActiveMigration {
-                            epoch: next_epoch,
-                            plan,
-                            awaiting_out: FxHashSet::default(),
-                            collected: Vec::new(),
-                            awaiting_install: FxHashSet::default(),
-                        });
+                        match op {
+                            PlannedOp::Migrate(plan) => {
+                                let _ = ctl_tx.send(SourceCtl::Pause {
+                                    epoch: next_epoch,
+                                    affected: plan.affected.clone(),
+                                });
+                                pending = Some(ActiveOp::Migration(ActiveMigration {
+                                    epoch: next_epoch,
+                                    plan,
+                                    awaiting_out: FxHashSet::default(),
+                                    collected: Vec::new(),
+                                    awaiting_install: FxHashSet::default(),
+                                }));
+                            }
+                            PlannedOp::ScaleIn { victim, view } => {
+                                let _ = ctl_tx.send(SourceCtl::PauseDest {
+                                    epoch: next_epoch,
+                                    dest: victim,
+                                });
+                                pending = Some(ActiveOp::Retire(ActiveRetire {
+                                    epoch: next_epoch,
+                                    victim,
+                                    view,
+                                    awaiting_install: FxHashSet::default(),
+                                }));
+                            }
+                        }
                     }
                 }
 
@@ -573,9 +875,12 @@ impl Engine {
                 }
             }
 
-            // All workers drained. Tear down the auxiliaries. The spawner
-            // holds a collector-sender clone; it must drop before the
-            // collector join, or the collector never observes closure.
+            // All workers drained. Close the worker-seconds integral and
+            // tear down the auxiliaries. The spawner holds a
+            // collector-sender clone; it must drop before the collector
+            // join, or the collector never observes closure.
+            report.worker_seconds +=
+                active as f64 * Instant::now().duration_since(ws_mark).as_secs_f64();
             let _ = ctl_tx.send(SourceCtl::Shutdown);
             stop.store(true, Ordering::Relaxed);
             drop(spawner);
@@ -604,12 +909,22 @@ impl Engine {
 /// accumulators are empty at every poll point: a `PauseAck` never races
 /// unsent data and the FIFO consistency argument (see crate docs)
 /// carries over from the per-tuple protocol unchanged.
+/// What the source is holding back during an in-flight control op.
+enum PauseFilter {
+    /// Migration: the affected key set `Δ(F, F′)`.
+    Keys(FxHashSet<Key>),
+    /// Scale-in: everything routed to the retiring destination. Evaluated
+    /// *after* routing (in [`SourcePlane::ship`]), because membership is a
+    /// property of the route, not the key.
+    Dest(TaskId),
+}
+
 struct SourcePlane {
     router: SourceRouter,
     worker_txs: Vec<Sender<Message>>,
     events: Sender<SourceEvent>,
-    /// In-flight migration: epoch and the paused key set.
-    paused: Option<(u64, FxHashSet<Key>)>,
+    /// In-flight control op: epoch and the pause filter.
+    paused: Option<(u64, PauseFilter)>,
     /// Tuples of paused keys, held until `Resume`.
     buffer: Vec<Tuple>,
     /// Per-destination batch accumulators (indexed by worker slot).
@@ -659,7 +974,10 @@ impl SourcePlane {
 
     /// Routes `staged` and ships it downstream: one channel send per
     /// destination touched (or per tuple in the seed shape). Drains
-    /// `staged`, preserving per-destination tuple order.
+    /// `staged`, preserving per-destination tuple order. Under a
+    /// destination pause (scale-in), tuples routed to the quiesced worker
+    /// divert to the pause buffer instead — in arrival order, so the
+    /// Resume flush replays them FIFO under the new view.
     fn ship(&mut self, staged: &mut Vec<Tuple>) {
         if staged.is_empty() {
             return;
@@ -667,13 +985,25 @@ impl SourcePlane {
         self.keys.clear();
         self.keys.extend(staged.iter().map(|t| t.key));
         self.router.route_batch(&self.keys, &mut self.dests);
+        let pause_dest = match &self.paused {
+            Some((_, PauseFilter::Dest(d))) => Some(*d),
+            _ => None,
+        };
         if self.per_tuple {
             for (t, d) in staged.drain(..).zip(&self.dests) {
+                if pause_dest == Some(*d) {
+                    self.buffer.push(t);
+                    continue;
+                }
                 let _ = self.worker_txs[d.index()].send(Message::Tuple(t));
             }
             return;
         }
         for (t, d) in staged.drain(..).zip(&self.dests) {
+            if pause_dest == Some(*d) {
+                self.buffer.push(t);
+                continue;
+            }
             let slot = &mut self.fan[d.index()];
             if slot.is_empty() {
                 self.touched.push(d.index());
@@ -694,10 +1024,22 @@ impl SourcePlane {
     fn handle_ctl(&mut self, msg: SourceCtl) -> bool {
         match msg {
             SourceCtl::Pause { epoch, affected } => {
-                self.paused = Some((epoch, affected.into_iter().collect()));
+                self.paused = Some((epoch, PauseFilter::Keys(affected.into_iter().collect())));
+                let _ = self.events.send(SourceEvent::PauseAck { epoch });
+            }
+            SourceCtl::PauseDest { epoch, dest } => {
+                // The ack is valid here for the same reason as a key-set
+                // pause: control runs only between routed batches, when
+                // the fan-out accumulators are empty — everything routed
+                // to `dest` so far is already in its channel.
+                self.paused = Some((epoch, PauseFilter::Dest(dest)));
                 let _ = self.events.send(SourceEvent::PauseAck { epoch });
             }
             SourceCtl::Resume { epoch, view } => {
+                // Clear the pause *before* flushing: the flush below runs
+                // through ship(), which must not divert tuples back into
+                // the buffer it is draining.
+                self.paused = None;
                 self.router.update(view);
                 // Flush the pause buffer under the new view, batched like
                 // the main path (order within each key is the buffer's
@@ -718,11 +1060,10 @@ impl SourcePlane {
                 }
                 self.ship(&mut staged);
                 self.buffer = buffered; // drained; keeps its capacity
-                self.paused = None;
-                // Flush complete: only now may the controller shut workers
-                // down (Message ordering across two senders is otherwise
-                // unconstrained, and a Shutdown overtaking the flushed
-                // tuples would drop them).
+                                        // Flush complete: only now may the controller shut workers
+                                        // down (Message ordering across two senders is otherwise
+                                        // unconstrained, and a Shutdown overtaking the flushed
+                                        // tuples would drop them).
                 let _ = self.events.send(SourceEvent::ResumeAck { epoch });
             }
             SourceCtl::UpdateView { view } => self.router.update(view),
@@ -823,7 +1164,7 @@ fn source_loop<F>(
                 } else {
                     batch_us
                 };
-                if let Some((_, affected)) = &plane.paused {
+                if let Some((_, PauseFilter::Keys(affected))) = &plane.paused {
                     if affected.contains(&t.key) {
                         plane.buffer.push(t);
                         continue;
@@ -896,7 +1237,7 @@ mod tests {
             per_tuple: false,
             spin_work: 10,
             window: 100, // keep everything: exact count validation
-            scale_out_at: None,
+            elasticity: Box::new(HoldPolicy),
         }
     }
 
@@ -1009,6 +1350,31 @@ mod tests {
         assert_eq!(merged, expect, "partial/merge must reconstruct counts");
     }
 
+    /// The back-compat constructor reproduces the retired knob: one
+    /// spare slot, one worker added after the given interval.
+    #[test]
+    fn with_scale_out_at_matches_the_old_knob() {
+        let config = EngineConfig::with_scale_out_at(1);
+        assert_eq!(config.max_workers, config.n_workers + 1);
+        let n_workers = config.n_workers;
+        let report = Engine::run(
+            config,
+            Box::new(HashPartitioner::new(n_workers)),
+            |_| Box::new(WordCountOp::new()),
+            |iv| (iv < 4).then(|| (0..1500u64).map(|i| Tuple::keyed(Key(i % 40))).collect()),
+            None,
+        );
+        assert_eq!(report.processed, 6000);
+        assert_eq!(
+            report.scale_events,
+            vec![ScaleEvent {
+                interval: 1,
+                from: n_workers,
+                to: n_workers + 1
+            }]
+        );
+    }
+
     #[test]
     fn scale_out_adds_worker_and_keeps_counts_exact() {
         let mut w = FluctuatingWorkload::new(200, 0.9, 4_000, 0.0, 31);
@@ -1018,7 +1384,7 @@ mod tests {
         let config = EngineConfig {
             n_workers: 2,
             max_workers: 3,
-            scale_out_at: Some(2),
+            elasticity: Box::new(FixedSchedule::scale_out_at(2)),
             ..small_config()
         };
         let report = Engine::run(
@@ -1046,6 +1412,183 @@ mod tests {
             report.per_worker_processed
         );
         assert_eq!(decode_counts(&report.final_states), expect);
+        assert_eq!(
+            report.scale_events,
+            vec![ScaleEvent {
+                interval: 2,
+                from: 2,
+                to: 3
+            }]
+        );
+    }
+
+    /// A full scale-out → scale-in cycle mid-run: the retired worker's
+    /// state is re-homed losslessly (exact counts), its slot stops
+    /// receiving traffic, and the report pins both events.
+    #[test]
+    fn scale_cycle_is_lossless_and_retires_the_worker() {
+        let mut w = FluctuatingWorkload::new(250, 0.9, 4_000, 0.0, 57);
+        let intervals: Vec<Vec<Key>> = (0..8).map(|_| w.tuples()).collect();
+        let expect = reference_counts(&intervals);
+        let total: u64 = intervals.iter().map(|v| v.len() as u64).sum();
+        let feed = intervals.clone();
+        let config = EngineConfig {
+            n_workers: 2,
+            max_workers: 3,
+            elasticity: Box::new(FixedSchedule::cycle(1, 4, 1)),
+            ..small_config()
+        };
+        let report = Engine::run(
+            config,
+            Box::new(CoreBalancer::new(
+                2,
+                100,
+                RebalanceStrategy::Mixed,
+                BalanceParams {
+                    theta_max: 0.1,
+                    ..BalanceParams::default()
+                },
+            )),
+            |_| Box::new(WordCountOp::new()),
+            move |iv| {
+                feed.get(iv as usize)
+                    .map(|ks| ks.iter().map(|&k| Tuple::keyed(k)).collect())
+            },
+            None,
+        );
+        assert_eq!(
+            report.scale_events,
+            vec![
+                ScaleEvent {
+                    interval: 1,
+                    from: 2,
+                    to: 3
+                },
+                ScaleEvent {
+                    interval: 4,
+                    from: 3,
+                    to: 2
+                },
+            ]
+        );
+        assert_eq!(report.processed, total, "tuples lost or duplicated");
+        // Counts are summed per key: scale-out without state movement may
+        // split a key across workers; the sum must still be exact.
+        let mut got: FxHashMap<Key, u64> = FxHashMap::default();
+        for (k, blob) in &report.final_states {
+            let n: u64 = WordCountOp::decode(blob).iter().map(|&(_, c)| c).sum();
+            *got.entry(*k).or_insert(0) += n;
+        }
+        assert_eq!(got, expect, "exactly-once across the cycle");
+        assert!(
+            report.per_worker_processed[2] > 0,
+            "the transient worker processed traffic"
+        );
+        assert!(report.worker_seconds > 0.0);
+    }
+
+    /// Retiring into a re-provision: 2 → 3 → 2 → 3 reuses the retired
+    /// slot's channel for a fresh worker, and counts stay exact.
+    #[test]
+    fn slot_reuse_after_scale_in_stays_exact() {
+        let mut w = FluctuatingWorkload::new(150, 0.8, 3_000, 0.0, 71);
+        let intervals: Vec<Vec<Key>> = (0..10).map(|_| w.tuples()).collect();
+        let expect = reference_counts(&intervals);
+        let feed = intervals.clone();
+        let config = EngineConfig {
+            n_workers: 2,
+            max_workers: 3,
+            elasticity: Box::new(FixedSchedule::new([
+                (1, ScaleDecision::ScaleOut),
+                (3, ScaleDecision::ScaleIn),
+                (5, ScaleDecision::ScaleOut),
+                (7, ScaleDecision::ScaleIn),
+            ])),
+            ..small_config()
+        };
+        let report = Engine::run(
+            config,
+            Box::new(HashPartitioner::new(2)),
+            |_| Box::new(WordCountOp::new()),
+            move |iv| {
+                feed.get(iv as usize)
+                    .map(|ks| ks.iter().map(|&k| Tuple::keyed(k)).collect())
+            },
+            None,
+        );
+        assert_eq!(report.scale_events.len(), 4, "{:?}", report.scale_events);
+        let mut got: FxHashMap<Key, u64> = FxHashMap::default();
+        for (k, blob) in &report.final_states {
+            let n: u64 = WordCountOp::decode(blob).iter().map(|&(_, c)| c).sum();
+            *got.entry(*k).or_insert(0) += n;
+        }
+        assert_eq!(got, expect, "exactly-once across two cycles");
+    }
+
+    /// A threshold policy on a ramp-up/ramp-down workload scales out at
+    /// the burst and back in after it, and worker-seconds reflect the
+    /// shorter high-parallelism span.
+    #[test]
+    fn threshold_policy_tracks_a_burst() {
+        use streambal_elastic::ThresholdPolicy;
+        // Interval volumes: 2 quiet, 4 burst (4×), 4 quiet; round-robin
+        // over 200 keys, which hashing spreads evenly enough.
+        let volumes = [800u64, 800, 3200, 3200, 3200, 3200, 800, 800, 800, 800];
+        let intervals: Vec<Vec<Key>> = volumes
+            .iter()
+            .map(|&v| (0..v).map(|i| Key(i % 200)).collect())
+            .collect();
+        let expect = reference_counts(&intervals);
+        // Worker cost per tuple = spin_work + 1 = 11: quiet total
+        // Q = 8 800, burst total R = 35 200. On a one-core box the OS can
+        // merge adjacent intervals into one stats round, so the
+        // watermarks are placed to survive that blur: budget = 20 000,
+        // high·budget = 14 000 — a burst round at 2 workers (mean 17 600)
+        // fires, a double-merged quiet round (mean 8 800) cannot — and
+        // low·budget = 12 000, below which no spreading of the 4-interval
+        // quiet tail (4Q = 35 200 total) can keep *every* round's
+        // survivors-mean: all ≥ 12 000 at 3 tasks needs ≥ 24 000 cost per
+        // round, i.e. ≥ 96 000 in the tail. Mass conservation guarantees
+        // the scale-in.
+        let mut policy = ThresholdPolicy::new(21_600.0, 2, 4);
+        policy.high = 0.7;
+        policy.low = 0.6;
+        policy.up_after = 1;
+        policy.down_after = 1;
+        policy.cooldown = 0;
+        let feed = intervals.clone();
+        let config = EngineConfig {
+            n_workers: 2,
+            max_workers: 4,
+            elasticity: Box::new(policy),
+            ..small_config()
+        };
+        let report = Engine::run(
+            config,
+            Box::new(HashPartitioner::new(2)),
+            |_| Box::new(WordCountOp::new()),
+            move |iv| {
+                feed.get(iv as usize)
+                    .map(|ks| ks.iter().map(|&k| Tuple::keyed(k)).collect())
+            },
+            None,
+        );
+        assert!(
+            report.scale_events.iter().any(|e| e.to > e.from),
+            "burst must trigger scale-out: {:?}",
+            report.scale_events
+        );
+        assert!(
+            report.scale_events.iter().any(|e| e.to < e.from),
+            "quiet tail must trigger scale-in: {:?}",
+            report.scale_events
+        );
+        let mut got: FxHashMap<Key, u64> = FxHashMap::default();
+        for (k, blob) in &report.final_states {
+            let n: u64 = WordCountOp::decode(blob).iter().map(|&(_, c)| c).sum();
+            *got.entry(*k).or_insert(0) += n;
+        }
+        assert_eq!(got, expect, "elastic run stays exact");
     }
 
     /// The seed per-tuple shape and batch sizes 1 and 256 must all be

@@ -50,6 +50,20 @@
 //! after the source's `ResumeAck` confirms the pause-buffer flush
 //! batches are already enqueued ahead of it.
 //!
+//! ## Elasticity
+//!
+//! The controller consults an `ElasticityPolicy` (crate
+//! `streambal-elastic`) after every statistics round and executes its
+//! decision: **scale-out** spawns a worker on a pre-provisioned slot and
+//! re-pins churned keys (Fig. 15); **scale-in** runs the
+//! drain → migrate → retire protocol — pause the victim's destination at
+//! the source, enqueue a `Retire` marker behind the victim's backlog,
+//! re-install its entire drained state at each key's new home, and only
+//! then resume under the shrunk view. The FIFO-consistency argument is
+//! spelled out in the `streambal-elastic` crate docs; the retired slot's
+//! channel survives (the receiver travels back in the `Retired` event),
+//! so a later scale-out can re-provision the same slot mid-run.
+//!
 //! CPU saturation is emulated by `spin_work` busy-iterations per tuple,
 //! mirroring the paper's "controlling the latency on tuple processing to
 //! force the system to a saturation point".
@@ -67,7 +81,7 @@ pub use codec::{
     decode_plan, decode_tuple_batch, decode_view, encode_plan, encode_tuple_batch, encode_view,
     CodecError,
 };
-pub use engine::{Engine, EngineConfig, EngineReport};
+pub use engine::{Engine, EngineConfig, EngineReport, ScaleEvent};
 pub use message::{Message, SourceCtl, SourceEvent, WorkerEvent};
 pub use operator::{
     CoJoinOp, Collector, CountingCollector, Operator, SumCollector, WindowedSelfJoinOp, WordCountOp,

@@ -40,6 +40,14 @@ pub enum Message {
         /// `(key, serialized state)` pairs.
         states: Vec<(Key, Bytes)>,
     },
+    /// Scale-in: drain the backlog already in the channel (FIFO puts this
+    /// marker behind it), extract *all* remaining key state, report it
+    /// with [`WorkerEvent::Retired`] — channel receiver included, so the
+    /// slot can be re-provisioned later — and exit.
+    Retire {
+        /// The scale-in epoch (same counter as migration epochs).
+        epoch: u64,
+    },
     /// Drain final state and exit.
     Shutdown,
 }
@@ -73,6 +81,30 @@ pub enum WorkerEvent {
         /// Migration epoch.
         epoch: u64,
     },
+    /// Response to [`Message::Retire`]: everything the controller needs
+    /// to re-home the victim's state and later reuse its slot.
+    Retired {
+        /// The retiring worker.
+        worker: TaskId,
+        /// Scale-in epoch.
+        epoch: u64,
+        /// All `(key, state)` pairs the worker still held — the whole
+        /// windowed state, not just last-interval keys.
+        states: Vec<(Key, Bytes)>,
+        /// Statistics accumulated since the victim's last stats report —
+        /// the controller folds them into the open round so retirement
+        /// never makes load observations under-count (a dropped share
+        /// reads as a load drop and can re-trigger the scale-in policy).
+        stats: IntervalStats,
+        /// Tuples processed over the worker's lifetime.
+        processed: u64,
+        /// Lifetime latency distribution (µs).
+        latency: Box<streambal_metrics::Histogram>,
+        /// The worker's channel receiver, handed back so the slot's
+        /// channel stays connected (messages can never be silently
+        /// dropped) and a later scale-out can respawn on the same slot.
+        rx: crossbeam::channel::Receiver<Message>,
+    },
     /// Response to [`Message::Shutdown`]: final state for validation.
     Drained {
         /// Exiting worker.
@@ -96,6 +128,19 @@ pub enum SourceCtl {
         epoch: u64,
         /// Keys in `Δ(F, F′)`.
         affected: Vec<Key>,
+    },
+    /// Scale-in analogue of `Pause`: stop sending to (and locally buffer
+    /// tuples routed to) one destination — the worker about to retire.
+    /// The ack carries the same guarantee as a key-set pause: it is sent
+    /// only between routed batches, so every tuple the source will ever
+    /// send the victim is already in its channel when the controller
+    /// reads the ack, and the `Retire` marker it then enqueues lands
+    /// behind all of them.
+    PauseDest {
+        /// Scale-in epoch.
+        epoch: u64,
+        /// The destination to quiesce.
+        dest: TaskId,
     },
     /// Step 7: switch to the new routing view and flush buffered tuples.
     Resume {

@@ -248,6 +248,31 @@ pub(crate) fn run_worker(mut ctx: WorkerCtx) {
                     epoch,
                 });
             }
+            Message::Retire { epoch } => {
+                // Scale-in: the FIFO channel already delivered every
+                // batch the source sent before the pause ack, so the
+                // backlog is fully processed — drain *all* remaining
+                // state (windowed state outlives the statistics that
+                // created it) and hand everything back, including the
+                // receiver, so the slot's channel stays connected for a
+                // later re-provision.
+                ctx.op.flush(&mut |t| emitter.emit(t));
+                emitter.flush();
+                if !returns.is_empty() {
+                    let _ = ctx.pool.send(std::mem::take(&mut returns));
+                }
+                let states = ctx.op.drain();
+                let _ = ctx.events.send(WorkerEvent::Retired {
+                    worker: ctx.id,
+                    epoch,
+                    states,
+                    stats: std::mem::take(&mut stats),
+                    processed,
+                    latency,
+                    rx: ctx.rx,
+                });
+                return;
+            }
             Message::Shutdown => {
                 ctx.op.flush(&mut |t| emitter.emit(t));
                 emitter.flush();
@@ -467,6 +492,40 @@ mod tests {
         let _ = erx_a.recv();
         ha.join().unwrap();
         hb.join().unwrap();
+    }
+
+    /// Retire must process the whole backlog first (FIFO), then hand back
+    /// every piece of state, the lifetime metrics, and the still-usable
+    /// channel receiver.
+    #[test]
+    fn retire_drains_backlog_and_returns_receiver() {
+        let (tx, erx, _pool, h) = spawn_worker(100);
+        tx.send(Message::TupleBatch(vec![Tuple::keyed(Key(1)); 3]))
+            .unwrap();
+        tx.send(Message::Tuple(Tuple::keyed(Key(2)))).unwrap();
+        tx.send(Message::Retire { epoch: 9 }).unwrap();
+        match erx.recv().unwrap() {
+            WorkerEvent::Retired {
+                epoch,
+                states,
+                processed,
+                latency,
+                rx,
+                ..
+            } => {
+                assert_eq!(epoch, 9);
+                assert_eq!(processed, 4, "backlog processed before retiring");
+                assert_eq!(latency.count(), 4);
+                let keys: Vec<u64> = states.iter().map(|(k, _)| k.raw()).collect();
+                assert_eq!(keys, vec![1, 2], "all state handed back");
+                // The channel stayed connected: a respawn on the same
+                // slot picks up right where the retiree left.
+                tx.send(Message::Tuple(Tuple::keyed(Key(3)))).unwrap();
+                assert!(matches!(rx.recv().unwrap(), Message::Tuple(_)));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        h.join().unwrap();
     }
 
     #[test]

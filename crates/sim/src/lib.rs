@@ -20,6 +20,9 @@ pub use report::SimReport;
 pub use source::IntervalSource;
 
 use streambal_core::{loads_of, Key, Partitioner, RebalanceInput, TaskId};
+use streambal_elastic::{
+    ElasticityPolicy, HoldPolicy, IntervalObservation, ScaleDecision, ScaleEvent,
+};
 use streambal_metrics::Stopwatch;
 
 /// Simulation dimensions.
@@ -32,16 +35,47 @@ pub struct SimConfig {
 }
 
 /// Runs `partitioner` against `source` for `cfg.intervals` intervals and
-/// collects the paper's scheduling metrics.
-///
-/// Per interval: the source advances (its fluctuation process sees the
-/// partitioner's current destinations, as the paper's generator does),
-/// loads are evaluated under the current assignment, and the partitioner's
-/// `end_interval` runs under a stopwatch.
+/// collects the paper's scheduling metrics. Parallelism stays fixed at
+/// `cfg.n_tasks` (a [`HoldPolicy`]); see [`run_sim_elastic`] for
+/// policy-driven elasticity.
 pub fn run_sim(
     partitioner: &mut dyn Partitioner,
     source: &mut dyn IntervalSource,
     cfg: &SimConfig,
+) -> SimReport {
+    run_sim_elastic(partitioner, source, cfg, &mut HoldPolicy, cfg.n_tasks)
+}
+
+/// [`run_sim`] with an elasticity hook: the same per-interval decision
+/// sequence the engine's controller runs, recorded in the same
+/// [`SimReport::scale_events`] shape as `EngineReport::scale_events` so
+/// traces compare with `==`.
+///
+/// Per interval, in engine order: the source advances (its fluctuation
+/// process sees the partitioner's current destinations), loads are
+/// evaluated under the current assignment, the policy decides on those
+/// loads — `ScaleOut` applies `Partitioner::scale_out` (clamped at
+/// `max_tasks`), `ScaleIn` applies `Partitioner::scale_in` on the
+/// highest-numbered task (clamped at one task) — and only then does
+/// `end_interval` run under the stopwatch, exactly as the controller
+/// consults the policy before the rebalance hook.
+///
+/// One divergence from the engine is inherent: the simulator has no
+/// physical state to drain, so a scale-in is instantaneous here, while
+/// the engine re-provisions over its retire protocol and *skips* a
+/// `ScaleOut` decided before queued retires finish (its spawn slot must
+/// be the contiguous physical tail). A policy that flaps in→out across
+/// adjacent intervals can therefore record a `ScaleOut` event here that
+/// the engine drops; traces are identical whenever consecutive opposite
+/// decisions are at least one engine re-provision apart (any policy with
+/// hysteresis or a cooldown, and every fixed schedule that spaces its
+/// reversals — `tests/elasticity.rs` pins the replay identity).
+pub fn run_sim_elastic(
+    partitioner: &mut dyn Partitioner,
+    source: &mut dyn IntervalSource,
+    cfg: &SimConfig,
+    policy: &mut dyn ElasticityPolicy,
+    max_tasks: usize,
 ) -> SimReport {
     let mut report = SimReport::new(partitioner.name(), cfg.n_tasks);
     // Batch scratch reused across intervals: the destination evaluation is
@@ -50,13 +84,14 @@ pub fn run_sim(
     let mut keys: Vec<Key> = Vec::new();
     let mut dests: Vec<TaskId> = Vec::new();
     for interval in 0..cfg.intervals {
-        let stats = source.next_interval(cfg.n_tasks, &mut |k| partitioner.route(k));
+        let n_tasks = partitioner.n_tasks();
+        let stats = source.next_interval(n_tasks, &mut |k| partitioner.route(k));
         // Loads under the current assignment (before any rebalance).
         keys.clear();
         keys.extend(stats.iter().map(|(k, _)| k));
         partitioner.route_batch(&keys, &mut dests);
         let records_input = RebalanceInput {
-            n_tasks: cfg.n_tasks,
+            n_tasks,
             records: {
                 let mut v = Vec::with_capacity(stats.len());
                 for ((k, s), &d) in stats.iter().zip(&dests) {
@@ -71,8 +106,36 @@ pub fn run_sim(
                 v
             },
         };
-        let summary = loads_of(&records_input.records, cfg.n_tasks);
+        let summary = loads_of(&records_input.records, n_tasks);
         report.observe_interval(interval, &summary);
+
+        // Elasticity decision on this interval's loads, mirroring the
+        // engine's controller (clamped decisions are skipped, and the
+        // policy is not told — it keeps deciding from observations).
+        let obs = IntervalObservation {
+            interval: interval as u64,
+            n_tasks,
+            loads: &summary.loads,
+        };
+        match policy.decide(&obs) {
+            ScaleDecision::ScaleOut if n_tasks < max_tasks => {
+                partitioner.scale_out(&keys);
+                report.observe_scale(ScaleEvent {
+                    interval: interval as u64,
+                    from: n_tasks,
+                    to: n_tasks + 1,
+                });
+            }
+            ScaleDecision::ScaleIn if n_tasks > 1 => {
+                partitioner.scale_in(TaskId::from(n_tasks - 1), &keys);
+                report.observe_scale(ScaleEvent {
+                    interval: interval as u64,
+                    from: n_tasks,
+                    to: n_tasks - 1,
+                });
+            }
+            _ => {}
+        }
 
         let watch = Stopwatch::start();
         let outcome = partitioner.end_interval(stats);
@@ -239,6 +302,92 @@ mod tests {
         }
         let mean: f64 = samples.iter().sum::<f64>() / 10.0;
         assert!((mean - 1.0).abs() < 0.01, "normalized mean ≈ 1, got {mean}");
+    }
+
+    #[test]
+    fn elastic_sim_executes_a_fixed_cycle() {
+        use streambal_elastic::FixedSchedule;
+        let cfg = SimConfig {
+            n_tasks: 4,
+            intervals: 8,
+        };
+        let mut p = CoreBalancer::new(
+            4,
+            5,
+            RebalanceStrategy::Mixed,
+            BalanceParams {
+                theta_max: 0.2,
+                ..BalanceParams::default()
+            },
+        );
+        let mut src = zipf_source(3_000, 0.9, 0.3);
+        let mut policy = FixedSchedule::cycle(2, 5, 1);
+        let report = run_sim_elastic(&mut p, &mut src, &cfg, &mut policy, 5);
+        use streambal_elastic::ScaleEvent;
+        assert_eq!(
+            report.scale_events,
+            vec![
+                ScaleEvent {
+                    interval: 2,
+                    from: 4,
+                    to: 5
+                },
+                ScaleEvent {
+                    interval: 5,
+                    from: 5,
+                    to: 4
+                },
+            ]
+        );
+        assert_eq!(p.n_tasks(), 4, "round trip restores parallelism");
+        assert_eq!(report.theta_series.len(), 8);
+    }
+
+    /// Clamping: a policy demanding growth past `max_tasks` (or shrink
+    /// below one task) is skipped without recording an event.
+    #[test]
+    fn elastic_sim_clamps_decisions() {
+        use streambal_elastic::{ElasticityPolicy, IntervalObservation, ScaleDecision};
+        #[derive(Debug, Clone)]
+        struct Always(ScaleDecision);
+        impl ElasticityPolicy for Always {
+            fn name(&self) -> String {
+                "always".into()
+            }
+            fn decide(&mut self, _obs: &IntervalObservation) -> ScaleDecision {
+                self.0
+            }
+            fn box_clone(&self) -> Box<dyn ElasticityPolicy> {
+                Box::new(self.clone())
+            }
+        }
+        let cfg = SimConfig {
+            n_tasks: 2,
+            intervals: 5,
+        };
+        let mut p = HashPartitioner::new(2);
+        let mut src = zipf_source(500, 0.5, 0.0);
+        let report = run_sim_elastic(
+            &mut p,
+            &mut src,
+            &cfg,
+            &mut Always(ScaleDecision::ScaleOut),
+            3,
+        );
+        assert_eq!(p.n_tasks(), 3, "grew to the cap and stopped");
+        assert_eq!(report.scale_events.len(), 1);
+
+        let mut p = HashPartitioner::new(2);
+        let mut src = zipf_source(500, 0.5, 0.0);
+        let report = run_sim_elastic(
+            &mut p,
+            &mut src,
+            &cfg,
+            &mut Always(ScaleDecision::ScaleIn),
+            3,
+        );
+        assert_eq!(p.n_tasks(), 1, "shrank to one task and stopped");
+        assert_eq!(report.scale_events.len(), 1);
     }
 
     #[test]

@@ -1,6 +1,7 @@
 //! Collected scheduling metrics of one simulation run.
 
 use streambal_core::{LoadSummary, RebalanceOutcome};
+use streambal_elastic::ScaleEvent;
 use streambal_metrics::{OnlineStats, TimeSeries};
 
 /// Everything a simulation run measures, mirroring the paper's §V metric
@@ -24,7 +25,12 @@ pub struct SimReport {
     pub theta_after: OnlineStats,
     /// Number of rebalances fired.
     pub rebalances: usize,
+    /// Executed elasticity decisions, in order (same type as the engine
+    /// report's, so sim and runtime decision traces compare directly).
+    pub scale_events: Vec<ScaleEvent>,
     /// Per-task accumulated normalized load (for Fig. 7-style CDFs).
+    /// Grows with scale-out; a retired task's accumulation stops but its
+    /// history remains.
     per_task_norm_load: Vec<f64>,
     intervals_seen: usize,
 }
@@ -41,6 +47,7 @@ impl SimReport {
             mig_fraction: OnlineStats::new(),
             theta_after: OnlineStats::new(),
             rebalances: 0,
+            scale_events: Vec::new(),
             per_task_norm_load: vec![0.0; n_tasks],
             intervals_seen: 0,
         }
@@ -50,12 +57,21 @@ impl SimReport {
     pub fn observe_interval(&mut self, interval: usize, summary: &LoadSummary) {
         self.theta_series.push(interval as f64, summary.max_theta());
         self.skew_series.push(interval as f64, summary.skewness());
+        if summary.loads.len() > self.per_task_norm_load.len() {
+            // Scale-out mid-run: new slots join with zero history.
+            self.per_task_norm_load.resize(summary.loads.len(), 0.0);
+        }
         if summary.mean > 0.0 {
             for (d, &l) in summary.loads.iter().enumerate() {
                 self.per_task_norm_load[d] += l as f64 / summary.mean;
             }
         }
         self.intervals_seen += 1;
+    }
+
+    /// Records one executed elasticity decision.
+    pub fn observe_scale(&mut self, event: ScaleEvent) {
+        self.scale_events.push(event);
     }
 
     /// Records one fired rebalance.

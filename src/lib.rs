@@ -16,12 +16,15 @@
 //! * [`sim`] — interval-driven simulator for algorithm-level metrics.
 //! * [`runtime`] — a thread-based mini stream engine with live state
 //!   migration (the Storm substitute).
+//! * [`elastic`] — elasticity policies deciding scale-out / scale-in /
+//!   hold per interval, shared by the simulator and the engine.
 //! * [`metrics`] — counters, histograms, time-series.
 //!
 //! See `examples/quickstart.rs` for a five-minute tour.
 
 pub use streambal_baselines as baselines;
 pub use streambal_core as core;
+pub use streambal_elastic as elastic;
 pub use streambal_hashring as hashring;
 pub use streambal_metrics as metrics;
 pub use streambal_runtime as runtime;

@@ -14,6 +14,7 @@ use streambal::baselines::{
     ShufflePartitioner,
 };
 use streambal::core::{BalanceParams, RebalanceStrategy};
+use streambal::elastic::FixedSchedule;
 use streambal::hashring::FxHashMap;
 use streambal::prelude::{Key, Partitioner, TaskId};
 use streambal::runtime::{Collector, Engine, EngineConfig, SumCollector, Tuple, WordCountOp};
@@ -160,7 +161,7 @@ fn tiny_channels_rebalance_and_scale_out_stay_exact() {
                 per_tuple,
                 spin_work: 10,
                 window: 100, // retain all state: exact count validation
-                scale_out_at: Some(1),
+                elasticity: Box::new(FixedSchedule::scale_out_at(1)),
             },
             Box::new(CoreBalancer::new(
                 N_TASKS,
@@ -194,6 +195,90 @@ fn tiny_channels_rebalance_and_scale_out_stay_exact() {
             *got.entry(*k).or_insert(0) += n;
         }
         assert_eq!(got, expect, "{label}: word counts diverged");
+    }
+}
+
+/// Scale-in across every partitioner, under maximal stress: a forced
+/// scale-out → scale-in round trip mid-run (grow after interval 1, retire
+/// after interval 3) with channels squeezed to 4 tuples, across the seed
+/// per-tuple shape and batch sizes 1/3/256. Exact word counts prove the
+/// drain → migrate → retire protocol loses nothing: a tuple dropped
+/// around the victim's `Retire` marker, state extracted before its
+/// pre-pause tuples landed, or a pause-buffered tuple overtaken by
+/// `Shutdown` would all surface as a count mismatch. Counts are summed
+/// per key across workers (scale-out pins keys without moving old state,
+/// so a key's count may be legitimately split).
+#[test]
+fn scale_round_trip_stays_exact_for_all_partitioners() {
+    let intervals = keyed_intervals();
+    let expect = reference_counts(&intervals);
+    let total: u64 = intervals.iter().map(|iv| iv.len() as u64).sum();
+    for (per_tuple, batch_size) in [(true, 256), (false, 1), (false, 3), (false, 256)] {
+        for p in all_partitioners() {
+            let name = p.name();
+            let label = format!(
+                "{name}/{}",
+                if per_tuple {
+                    "per-tuple".to_string()
+                } else {
+                    format!("batch={batch_size}")
+                }
+            );
+            let preserves = p.preserves_key_semantics();
+            let feed = intervals.clone();
+            let report = Engine::run(
+                EngineConfig {
+                    n_workers: N_TASKS,
+                    max_workers: N_TASKS + 1,
+                    channel_capacity: 4,
+                    collector_capacity: 2,
+                    batch_size,
+                    per_tuple,
+                    spin_work: 10,
+                    window: 100, // retain all state: exact count validation
+                    elasticity: Box::new(FixedSchedule::cycle(1, 3, 1)),
+                },
+                p,
+                |_| {
+                    if preserves {
+                        Box::new(WordCountOp::new())
+                    } else {
+                        Box::new(WordCountOp::with_partial_emission(8))
+                    }
+                },
+                move |iv| {
+                    feed.get(iv as usize)
+                        .map(|ks| ks.iter().map(|&k| Tuple::keyed(k)).collect())
+                },
+                (!preserves).then(|| Box::new(SumCollector::new()) as Box<dyn Collector>),
+            );
+            // The cycle executed: up to N_TASKS+1 and back.
+            assert_eq!(
+                report
+                    .scale_events
+                    .iter()
+                    .map(|e| (e.interval, e.from, e.to))
+                    .collect::<Vec<_>>(),
+                vec![(1, N_TASKS, N_TASKS + 1), (3, N_TASKS + 1, N_TASKS),],
+                "{label}: cycle not executed"
+            );
+            assert_eq!(report.processed, total, "{label}: tuples lost/duplicated");
+            let got: FxHashMap<Key, u64> = if preserves {
+                let mut m: FxHashMap<Key, u64> = FxHashMap::default();
+                for (k, blob) in &report.final_states {
+                    let n: u64 = WordCountOp::decode(blob).iter().map(|&(_, c)| c).sum();
+                    *m.entry(*k).or_insert(0) += n;
+                }
+                m
+            } else {
+                report
+                    .collector_result
+                    .iter()
+                    .map(|&(k, v)| (Key(k), v))
+                    .collect()
+            };
+            assert_eq!(got, expect, "{label}: word counts diverged");
+        }
     }
 }
 

@@ -1,0 +1,211 @@
+//! The elasticity hook behaves identically across drivers: a decision
+//! trace planned in the simulator (`run_sim_elastic`) replays on the live
+//! engine (`EngineConfig::elasticity`) `ScaleEvent` for `ScaleEvent`.
+//!
+//! Two layers, split by what can be made deterministic on a one-core CI
+//! box. The *policy* layer is pinned in the simulator, which observes
+//! exact interval statistics: the threshold policy must produce exactly
+//! the expected out/in trace on the burst workload. The *execution*
+//! layer is pinned in the engine with the sim's trace replayed as a
+//! `FixedSchedule`: schedule decisions depend only on interval numbers —
+//! which the stats rounds carry exactly, however the OS scheduler blurs
+//! *which tuples* each round observes — so the engine must emit the
+//! byte-identical event sequence, proving the hook, clamping, victim
+//! selection, and event recording agree across drivers. (Asserting the
+//! engine's *load-driven* trace instead would be inherently flaky here:
+//! with every thread time-sharing one core, a descheduled controller can
+//! collapse whole intervals into one statistics round, and no watermark
+//! margin survives a 2× total-load distortion. The engine's load-driven
+//! behaviour is covered by its own tests with order-robust assertions.)
+
+use streambal::baselines::CoreBalancer;
+use streambal::core::{BalanceParams, IntervalStats, RebalanceStrategy};
+use streambal::elastic::{FixedSchedule, ScaleDecision, ScaleEvent, ThresholdPolicy};
+use streambal::prelude::Key;
+use streambal::runtime::{Engine, EngineConfig, Tuple, WordCountOp};
+use streambal::sim::source::ReplaySource;
+use streambal::sim::{run_sim_elastic, SimConfig};
+
+const N_TASKS: usize = 3;
+const MAX_TASKS: usize = 4;
+const SPIN: u32 = 10; // per-tuple cost = SPIN + 1 = 11, in both drivers
+const QUIET: u64 = 4_000; // tuples per quiet interval
+const KEYS: u64 = 500;
+
+/// Interval tuple sequences: 2 quiet, 2 at 4× burst, 3 quiet.
+fn intervals() -> Vec<Vec<Key>> {
+    [1u64, 1, 4, 4, 1, 1, 1]
+        .iter()
+        .map(|&m| (0..QUIET * m).map(|i| Key(i % KEYS)).collect())
+        .collect()
+}
+
+/// The same policy for both drivers: budget ≈ 0.7·L where L is the quiet
+/// interval's total cost — quiet holds at 3 tasks, the burst scales out,
+/// the quiet tail scales back in. `down_after = 2` is load-bearing for
+/// determinism: a control-plane pause spanning a stats-round boundary can
+/// deflate one round's observed load (its tuples land in the next round),
+/// and requiring two consecutive low rounds means a single distorted
+/// round can never fire a spurious scale-in.
+fn policy() -> ThresholdPolicy {
+    let quiet_load = QUIET as f64 * (SPIN + 1) as f64;
+    let mut p = ThresholdPolicy::new(1.08 * 0.7 * quiet_load, 2, MAX_TASKS);
+    p.up_after = 1;
+    p.down_after = 2;
+    p.cooldown = 1;
+    p
+}
+
+/// θmax is set far above any observable imbalance so the rebalancer never
+/// fires: this test isolates the elasticity trace, and a migration's own
+/// pause window shifting tuples across round boundaries would add timing
+/// noise to the observed loads.
+fn partitioner() -> CoreBalancer {
+    CoreBalancer::new(
+        N_TASKS,
+        100,
+        RebalanceStrategy::Mixed,
+        BalanceParams {
+            theta_max: 5.0,
+            ..BalanceParams::default()
+        },
+    )
+}
+
+/// The trace both drivers must produce: out after the first burst
+/// interval (cooldown suppresses the second), in after two consecutive
+/// quiet tail intervals (the cooldown then covers the run's remainder).
+fn expected_trace() -> Vec<ScaleEvent> {
+    vec![
+        ScaleEvent {
+            interval: 2,
+            from: 3,
+            to: 4,
+        },
+        ScaleEvent {
+            interval: 5,
+            from: 4,
+            to: 3,
+        },
+    ]
+}
+
+#[test]
+fn sim_plans_and_engine_replays_the_identical_trace() {
+    let intervals = intervals();
+
+    // --- simulator ----------------------------------------------------
+    let stats: Vec<IntervalStats> = intervals
+        .iter()
+        .map(|keys| {
+            let mut iv = IntervalStats::new();
+            let mut freqs = vec![0u64; KEYS as usize];
+            for k in keys {
+                freqs[k.raw() as usize] += 1;
+            }
+            for (i, &f) in freqs.iter().enumerate() {
+                if f > 0 {
+                    iv.observe(Key(i as u64), f, f * (SPIN as u64 + 1), f * 8);
+                }
+            }
+            iv
+        })
+        .collect();
+    let mut src = ReplaySource::new(stats);
+    let mut sim_policy = policy();
+    let mut p = partitioner();
+    let sim_report = run_sim_elastic(
+        &mut p,
+        &mut src,
+        &SimConfig {
+            n_tasks: N_TASKS,
+            intervals: intervals.len(),
+        },
+        &mut sim_policy,
+        MAX_TASKS,
+    );
+
+    // The policy layer is deterministic in the sim: exact stats in,
+    // exact trace out.
+    assert_eq!(sim_report.scale_events, expected_trace(), "sim trace");
+
+    // --- engine: replay the sim's plan --------------------------------
+    let schedule = FixedSchedule::new(sim_report.scale_events.iter().map(|e| {
+        (
+            e.interval,
+            if e.to > e.from {
+                ScaleDecision::ScaleOut
+            } else {
+                ScaleDecision::ScaleIn
+            },
+        )
+    }));
+    let feed = intervals.clone();
+    let engine_report = Engine::run(
+        EngineConfig {
+            n_workers: N_TASKS,
+            max_workers: MAX_TASKS,
+            spin_work: SPIN,
+            window: 100,
+            elasticity: Box::new(schedule),
+            ..EngineConfig::default()
+        },
+        Box::new(partitioner()),
+        |_| Box::new(WordCountOp::new()),
+        move |iv| {
+            feed.get(iv as usize)
+                .map(|ks| ks.iter().map(|&k| Tuple::keyed(k)).collect())
+        },
+        None,
+    );
+
+    assert_eq!(
+        engine_report.scale_events, sim_report.scale_events,
+        "engine replay diverged from the sim plan"
+    );
+    // And the engine run stayed lossless through the cycle.
+    let total: u64 = intervals.iter().map(|v| v.len() as u64).sum();
+    assert_eq!(engine_report.processed, total);
+}
+
+/// Worker-seconds accounting: an elastic run that spends part of its
+/// life below the static peak must bill fewer worker-seconds than its
+/// peak parallelism sustained for the same wall time would.
+#[test]
+fn elastic_run_bills_fewer_worker_seconds_than_static_peak() {
+    let intervals = intervals();
+    let feed = intervals.clone();
+    let report = Engine::run(
+        EngineConfig {
+            n_workers: N_TASKS,
+            max_workers: MAX_TASKS,
+            // Small channels keep the stats rounds close to the interval
+            // boundaries, so the policy sees the burst while it happens.
+            channel_capacity: 64,
+            batch_size: 32,
+            spin_work: SPIN,
+            window: 100,
+            elasticity: Box::new(policy()),
+            ..EngineConfig::default()
+        },
+        Box::new(partitioner()),
+        |_| Box::new(WordCountOp::new()),
+        move |iv| {
+            feed.get(iv as usize)
+                .map(|ks| ks.iter().map(|&k| Tuple::keyed(k)).collect())
+        },
+        None,
+    );
+    let wall = report.wall.as_secs_f64();
+    assert!(
+        report.worker_seconds < MAX_TASKS as f64 * wall,
+        "elastic {} !< static peak {}",
+        report.worker_seconds,
+        MAX_TASKS as f64 * wall
+    );
+    assert!(
+        report.worker_seconds >= N_TASKS as f64 * wall * 0.5,
+        "integral implausibly small: {}",
+        report.worker_seconds
+    );
+}

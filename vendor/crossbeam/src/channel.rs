@@ -82,6 +82,20 @@ pub struct Receiver<T> {
     shared: Arc<Shared<T>>,
 }
 
+// Opaque Debug (no `T: Debug` bound, no queue contents), matching
+// upstream crossbeam — events that carry a channel half stay derivable.
+impl<T> std::fmt::Debug for Sender<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("Sender { .. }")
+    }
+}
+
+impl<T> std::fmt::Debug for Receiver<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("Receiver { .. }")
+    }
+}
+
 /// Creates a channel that holds at most `cap` messages; `send` blocks when
 /// full.
 pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
@@ -317,6 +331,14 @@ impl SelectedOperation {
 mod tests {
     use super::*;
     use std::thread;
+
+    #[test]
+    fn halves_debug_without_t_debug() {
+        struct Opaque; // no Debug
+        let (tx, rx) = unbounded::<Opaque>();
+        assert_eq!(format!("{tx:?}"), "Sender { .. }");
+        assert_eq!(format!("{rx:?}"), "Receiver { .. }");
+    }
 
     #[test]
     fn unbounded_fifo_and_disconnect() {
