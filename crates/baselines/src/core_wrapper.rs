@@ -32,6 +32,16 @@ impl CoreBalancer {
     pub fn rebalancer(&self) -> &Rebalancer {
         &self.inner
     }
+
+    /// Overrides the rebalance trigger damping (see
+    /// [`streambal_core::TriggerPolicy`]): a cooldown or
+    /// consecutive-violation requirement sets the strategy's effective
+    /// *rebalance period*, which is exactly the cold-start lag a pinned
+    /// scale-out pays while the new instance waits for the next plan.
+    pub fn with_trigger_policy(mut self, trigger: streambal_core::TriggerPolicy) -> Self {
+        self.inner = self.inner.with_trigger_policy(trigger);
+        self
+    }
 }
 
 impl Partitioner for CoreBalancer {
@@ -62,6 +72,10 @@ impl Partitioner for CoreBalancer {
 
     fn scale_out(&mut self, live: &[Key]) -> TaskId {
         self.inner.scale_out(live.iter().copied())
+    }
+
+    fn scale_out_plan(&mut self, live: &[Key]) -> (TaskId, Vec<(Key, TaskId)>) {
+        self.inner.scale_out_plan(live.iter().copied())
     }
 
     fn scale_in(&mut self, victim: TaskId, live: &[Key]) {
@@ -100,5 +114,50 @@ mod tests {
         let mut p = CoreBalancer::new(2, 1, RebalanceStrategy::MinTable, BalanceParams::default());
         assert_eq!(p.add_task(), TaskId(2));
         assert_eq!(p.n_tasks(), 3);
+    }
+
+    /// The pre-placement plan flows through the wrapper: churned live
+    /// keys route to the new task, each move naming the old holder.
+    #[test]
+    fn scale_out_plan_passthrough() {
+        let mut p = CoreBalancer::new(3, 1, RebalanceStrategy::Mixed, BalanceParams::default());
+        let live: Vec<Key> = (0..1_500u64).map(Key).collect();
+        let before: Vec<TaskId> = live.iter().map(|&k| p.route(k)).collect();
+        let (new, moves) = p.scale_out_plan(&live);
+        assert_eq!(new, TaskId(3));
+        assert!(!moves.is_empty(), "a 1500-key population must churn");
+        for &(k, holder) in &moves {
+            assert_eq!(p.route(k), new);
+            let idx = live.iter().position(|&x| x == k).unwrap();
+            assert_eq!(holder, before[idx]);
+        }
+    }
+
+    /// A trigger cooldown damps the wrapped rebalancer: after a plan
+    /// fires, nothing may fire for `cooldown` intervals even under
+    /// sustained heavy skew.
+    #[test]
+    fn trigger_policy_passthrough_damps_rebalances() {
+        use streambal_core::TriggerPolicy;
+        let mut p = CoreBalancer::new(4, 1, RebalanceStrategy::Mixed, BalanceParams::default())
+            .with_trigger_policy(TriggerPolicy {
+                cooldown: 3,
+                consecutive: 1,
+            });
+        let skewed = || {
+            let mut iv = IntervalStats::new();
+            for k in 0..500u64 {
+                let cost = if k < 3 { 1000 } else { 2 };
+                iv.observe(Key(k), 1, cost, cost);
+            }
+            iv
+        };
+        assert!(p.end_interval(skewed()).is_some(), "first violation fires");
+        for i in 0..3 {
+            assert!(
+                p.end_interval(skewed()).is_none(),
+                "interval {i} inside the cooldown must be damped"
+            );
+        }
     }
 }

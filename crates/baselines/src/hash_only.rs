@@ -47,6 +47,12 @@ impl Partitioner for HashPartitioner {
         self.assignment.add_task()
     }
 
+    fn scale_out_plan(&mut self, live: &[Key]) -> (TaskId, Vec<(Key, TaskId)>) {
+        // Pure consistent hashing: the moves are exactly the `add_slot`
+        // delta — live keys the grown ring re-homes onto the new slot.
+        self.assignment.add_task_with_moves(live)
+    }
+
     fn scale_in(&mut self, victim: TaskId, live: &[Key]) {
         assert_eq!(
             victim.index(),

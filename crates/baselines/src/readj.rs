@@ -262,6 +262,15 @@ impl Partitioner for ReadjPartitioner {
         self.assignment.add_task_pinned(live)
     }
 
+    fn scale_out_plan(&mut self, live: &[Key]) -> (TaskId, Vec<(Key, TaskId)>) {
+        // Plan over the union of the caller's observation and the
+        // statistics window (`StatsWindow::union_keys`): every key that
+        // recently carried state is a pre-placement candidate, however
+        // thin a keyspace slice the last (possibly blurred) round saw.
+        let live = self.window.union_keys(live.iter().copied());
+        self.assignment.add_task_with_moves(&live)
+    }
+
     fn scale_in(&mut self, victim: TaskId, live: &[Key]) {
         assert_eq!(
             victim.index(),

@@ -20,15 +20,25 @@
 //! worker-seconds (the provisioning cost), and the parallelism
 //! trajectory. The acceptance numbers: the threshold policy's peak
 //! throughput within 10% of `static/w8` while spending fewer
-//! worker-seconds. Results print as a table and land in
-//! `bench_results/elastic.json` (`--test` smoke runs shrink the workload
-//! and write `elastic.smoke.json` so noisy numbers never clobber the
-//! committed trajectory).
+//! worker-seconds.
+//!
+//! A second scenario measures the **cold scale-out lag**: time-to-first-
+//! tuple on a scaled-out slot with state pre-placement (the default)
+//! against the seed behaviour (churn pinned away, the slot idling until
+//! the next rebalance) — acceptance: ≤ 1 interval vs. ≥ the damped
+//! trigger's full rebalance period.
+//!
+//! Results print as a table and land in `bench_results/elastic.json`
+//! (`--test` smoke runs shrink the workload and write
+//! `elastic.smoke.json` so noisy numbers never clobber the committed
+//! trajectory).
 
 use streambal_baselines::CoreBalancer;
 use streambal_bench::json::{write_json, Json};
-use streambal_core::{BalanceParams, Key, RebalanceStrategy};
-use streambal_elastic::{ElasticityPolicy, HoldPolicy, TargetPlanner, ThresholdPolicy};
+use streambal_core::{BalanceParams, Key, RebalanceStrategy, TriggerPolicy};
+use streambal_elastic::{
+    ElasticityPolicy, FixedSchedule, HoldPolicy, TargetPlanner, ThresholdPolicy,
+};
 use streambal_runtime::{Engine, EngineConfig, EngineReport, Tuple, WordCountOp};
 use streambal_workloads::ChurnWorkload;
 
@@ -149,6 +159,125 @@ fn peak_interval_throughput(r: &EngineReport) -> f64 {
         .fold(0.0, f64::max)
 }
 
+/// The cold scale-out scenario: time-to-first-tuple on the scaled-out
+/// slot, pre-placement vs. the seed behaviour.
+///
+/// A uniform workload keeps the rebalancer quiet until a fixed-schedule
+/// scale-out at `DECISION`; the trigger demands
+/// `REBALANCE_PERIOD` consecutive violating rounds (a damped production
+/// trigger), so the post-scale-out imbalance the *seed* shape leaves
+/// behind — four loaded workers, one empty slot — takes a full rebalance
+/// period to repair, and the new worker idles for exactly that long.
+/// Pre-placement migrates the churned keys' state inside the scale-out
+/// quiescence window instead, so the slot's first tuple lands in the
+/// decision interval itself.
+fn preplacement_scenario(tuples_per_interval: u64) -> Json {
+    const DECISION: u64 = 3;
+    const REBALANCE_PERIOD: usize = 3; // trigger `consecutive`
+    /// Heavier per-tuple cost than the policy scenarios: the interval
+    /// must dwarf scheduler quanta on a small box, or the measured lag
+    /// is the OS's, not the placement protocol's.
+    const SPIN_PRE: u32 = 2_500;
+    let n_intervals = 12usize;
+    let intervals: Vec<Vec<Key>> = (0..n_intervals)
+        .map(|_| (0..tuples_per_interval).map(|i| Key(i % 600)).collect())
+        .collect();
+    let total: u64 = intervals.iter().map(|v| v.len() as u64).sum();
+
+    let mut rows: Vec<Json> = Vec::new();
+    let mut ttft: Vec<(String, i64)> = Vec::new();
+    for (label, preplace) in [("preplace/on", true), ("preplace/off", false)] {
+        let feed = intervals.clone();
+        let config = EngineConfig {
+            n_workers: MIN_W,
+            max_workers: MIN_W + 1,
+            spin_work: SPIN_PRE,
+            window: 3,
+            // Small channels keep the source within a fraction of an
+            // interval of the workers, so statistics rounds track real
+            // interval boundaries and the measured lag is the protocol's,
+            // not the backlog's.
+            channel_capacity: 64,
+            batch_size: 32,
+            elasticity: Box::new(FixedSchedule::scale_out_at(DECISION)),
+            preplace,
+            ..EngineConfig::default()
+        };
+        let report = Engine::run(
+            config,
+            Box::new(
+                CoreBalancer::new(
+                    MIN_W,
+                    3,
+                    RebalanceStrategy::Mixed,
+                    BalanceParams {
+                        theta_max: 0.2,
+                        ..BalanceParams::default()
+                    },
+                )
+                .with_trigger_policy(TriggerPolicy {
+                    cooldown: 0,
+                    consecutive: REBALANCE_PERIOD,
+                }),
+            ),
+            |_| Box::new(WordCountOp::new()),
+            move |iv| {
+                feed.get(iv as usize)
+                    .map(|ks| ks.iter().map(|&k| Tuple::keyed(k)).collect())
+            },
+            None,
+        );
+        assert_eq!(report.processed, total, "{label}: tuples lost");
+        // Intervals from the decision to the slot's first tuple; a slot
+        // never fed scores the whole remaining run (worst case).
+        let lag = report.first_tuple_interval[MIN_W]
+            .map_or(n_intervals as i64 - DECISION as i64, |f| {
+                f as i64 - DECISION as i64
+            });
+        println!(
+            "  {:<16} time-to-first-tuple {:>2} intervals  new-slot tuples {:>8}  rebalances {}  mig {:>6} keys",
+            label,
+            lag,
+            report.per_worker_processed[MIN_W],
+            report.rebalances,
+            report.migrated_keys,
+        );
+        ttft.push((label.to_string(), lag));
+        rows.push(Json::obj([
+            ("id", Json::str(label)),
+            ("time_to_first_tuple_intervals", Json::Num(lag as f64)),
+            (
+                "new_worker_tuples",
+                Json::Int(report.per_worker_processed[MIN_W]),
+            ),
+            ("rebalances", Json::Int(report.rebalances as u64)),
+            ("migrated_keys", Json::Int(report.migrated_keys)),
+            ("mean_tuples_per_sec", Json::Num(report.mean_throughput)),
+        ]));
+    }
+    let find = |label: &str| ttft.iter().find(|(l, _)| l == label).unwrap().1;
+    let (on, off) = (find("preplace/on"), find("preplace/off"));
+    println!(
+        "preplacement: ttft {} vs seed {} intervals (acceptance: ≤ 1 vs ≥ rebalance period {})",
+        on, off, REBALANCE_PERIOD
+    );
+    Json::obj([
+        (
+            "scenario",
+            Json::str("uniform keys, fixed scale-out, damped rebalance trigger"),
+        ),
+        ("decision_interval", Json::Int(DECISION)),
+        (
+            "rebalance_period_intervals",
+            Json::Int(REBALANCE_PERIOD as u64),
+        ),
+        ("tuples_per_interval", Json::Int(tuples_per_interval)),
+        ("results", Json::Arr(rows)),
+        ("ttft_preplace_intervals", Json::Num(on as f64)),
+        ("ttft_seed_intervals", Json::Num(off as f64)),
+    ])
+}
+
 fn main() {
     let smoke = std::env::args().any(|a| a == "--test");
     let (quiet_tuples, n_intervals, reps) = if smoke {
@@ -229,6 +358,12 @@ fn main() {
          worker-seconds ratio {ws_ratio:.3} (acceptance < 1.0)"
     );
 
+    // Interval length must dwarf the control-plane round-trip latency
+    // (the protocol costs a handful of controller wakeups), or the
+    // measured lag is the event loop's, not the placement's.
+    println!("\npre-placement (cold scale-out lag):");
+    let preplacement = preplacement_scenario(if smoke { 10_000 } else { 50_000 });
+
     let doc = Json::obj([
         ("bench", Json::str("elastic")),
         ("workload", Json::str("churn-burst")),
@@ -250,6 +385,10 @@ fn main() {
             "worker_seconds_ratio_threshold_vs_static8",
             Json::Num(ws_ratio),
         ),
+        // The cold scale-out lag: the scaled-out worker's first tuple
+        // lands in the decision interval with pre-placement, vs. a full
+        // (damped) rebalance period later with the seed behaviour.
+        ("preplacement", preplacement),
     ]);
     let path = streambal_bench::figure::results_dir().join(if smoke {
         "elastic.smoke.json"

@@ -52,8 +52,24 @@ fn direction_of(key: &str) -> Direction {
         "tuples_s",
         "ratio",
     ];
-    const DOWN: [&str; 9] = [
-        "latency", "_ns", "_ms", "_us", "seconds", "migrated", "gen_time", "mig_", "wall",
+    // Note `queue`/`ttft`/`time_to_first` (the elasticity backpressure
+    // and cold-start metrics): a shallower queue and a faster first
+    // tuple on a scaled-out slot are improvements, and must not be
+    // flagged as regressions when they drop.
+    const DOWN: [&str; 13] = [
+        "latency",
+        "_ns",
+        "_ms",
+        "_us",
+        "seconds",
+        "migrated",
+        "gen_time",
+        "mig_",
+        "wall",
+        "queue",
+        "ttft",
+        "time_to_first",
+        "backlog",
     ];
     if UP.iter().any(|p| k.contains(p)) {
         return Direction::HigherIsBetter;
@@ -278,4 +294,40 @@ fn main() -> ExitCode {
         return ExitCode::from(2);
     }
     ExitCode::SUCCESS
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn directions_for_elasticity_metrics() {
+        // Queue-depth and time-to-first-tuple count down: a drop is an
+        // improvement, not a regression.
+        for key in [
+            "elastic.json :: preplacement.results.preplace/on.time_to_first_tuple_intervals",
+            "elastic.json :: preplacement.ttft_preplace_intervals",
+            "elastic.json :: preplacement.ttft_seed_intervals",
+            "some.queue_depth_p99",
+            "rows.w4.max_queue_tuples",
+            "modeled_backlog_tuples",
+        ] {
+            assert_eq!(
+                direction_of(key),
+                Direction::LowerIsBetter,
+                "{key} must count down"
+            );
+        }
+        // The existing up/down families keep their directions.
+        assert_eq!(
+            direction_of("results.static/w8.mean_tuples_per_sec"),
+            Direction::HigherIsBetter
+        );
+        assert_eq!(
+            direction_of("peak_ratio_threshold_vs_static8"),
+            Direction::HigherIsBetter
+        );
+        assert_eq!(direction_of("worker_seconds"), Direction::LowerIsBetter);
+        assert_eq!(direction_of("scale_events.0.from"), Direction::Unknown);
+    }
 }

@@ -93,6 +93,28 @@ pub trait Partitioner: Send {
         self.add_task()
     }
 
+    /// Scale-out with a **pre-placement plan**: adds an instance and
+    /// returns `(new_task, moves)`, where each move `(key, holder)` names
+    /// a `live` key that now routes to the new instance and the task
+    /// currently holding its state. The caller migrates those keys' state
+    /// into the new instance inside the scale-out quiescence window
+    /// (plan → quiesce → install → resume), so the new slot takes load in
+    /// the very interval the decision fired instead of sitting empty
+    /// until the next rebalance — the cold-start defect
+    /// [`Partitioner::scale_out`]'s pinning trades into.
+    ///
+    /// Table-backed implementations let hash-churned `live` keys follow
+    /// the grown ring to the new slot and report them as moves (the
+    /// `add_slot` delta: under consistent hashing churned keys relocate
+    /// *only* onto the new slot); keys with explicit table entries stay
+    /// put. The default delegates to [`Partitioner::scale_out`] with no
+    /// moves — correct for key-oblivious and key-splitting strategies
+    /// (shuffle, PKG), whose new instance receives traffic immediately
+    /// without any state movement.
+    fn scale_out_plan(&mut self, live: &[Key]) -> (TaskId, Vec<(Key, TaskId)>) {
+        (self.scale_out(live), Vec::new())
+    }
+
     /// Removes a downstream instance (scale-in). `victim` must be the
     /// highest-numbered task (the engine retires the tail slot, keeping
     /// task ids contiguous); after the call no key may route to it.
@@ -171,6 +193,38 @@ mod tests {
     #[should_panic(expected = "does not support scale-out")]
     fn default_scale_out_is_unsupported() {
         Fixed(2).scale_out(&[Key(1)]);
+    }
+
+    /// The default plan delegates to `scale_out` and pre-places nothing.
+    #[test]
+    fn default_scale_out_plan_has_no_moves() {
+        struct Growable(usize);
+        impl Partitioner for Growable {
+            fn name(&self) -> String {
+                "Growable".into()
+            }
+            fn n_tasks(&self) -> usize {
+                self.0
+            }
+            fn route(&mut self, key: Key) -> TaskId {
+                TaskId::from(key.raw() as usize % self.0)
+            }
+            fn end_interval(&mut self, _stats: IntervalStats) -> Option<RebalanceOutcome> {
+                None
+            }
+            fn add_task(&mut self) -> TaskId {
+                self.0 += 1;
+                TaskId::from(self.0 - 1)
+            }
+            fn routing_view(&self) -> RoutingView {
+                RoutingView::RoundRobin { n_tasks: self.0 }
+            }
+        }
+        let mut p = Growable(2);
+        let (new, moves) = p.scale_out_plan(&[Key(1), Key(2)]);
+        assert_eq!(new, TaskId(2));
+        assert!(moves.is_empty());
+        assert_eq!(p.n_tasks(), 3);
     }
 
     #[test]

@@ -293,6 +293,26 @@ impl Rebalancer {
         self.assignment.add_task_pinned(&live)
     }
 
+    /// Scale-out with a pre-placement plan: instead of pinning the ring
+    /// churn away (which leaves the new instance empty until the next
+    /// rebalance migrates keys onto it), lets churned state-bearing keys
+    /// follow the grown ring and returns them as `(key, old_holder)`
+    /// moves for the caller to migrate inside the scale-out quiescence
+    /// window (see `AssignmentFn::add_task_with_moves`).
+    ///
+    /// The plan covers the union of the caller's `live` keys and every
+    /// key in this rebalancer's statistics window
+    /// ([`StatsWindow::union_keys`]) — exactly the set whose placement
+    /// the plan must keep truthful, however thin a keyspace slice the
+    /// last single (possibly blurred) round observed.
+    pub fn scale_out_plan(
+        &mut self,
+        live: impl IntoIterator<Item = Key>,
+    ) -> (TaskId, Vec<(Key, TaskId)>) {
+        let live = self.window.union_keys(live);
+        self.assignment.add_task_with_moves(&live)
+    }
+
     /// Scale-in (the inverse of [`Rebalancer::scale_out`]): retires the
     /// highest-numbered instance, dropping its explicit table entries and
     /// shrinking the ring consistently, with `live` keys pinned against

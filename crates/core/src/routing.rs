@@ -362,6 +362,40 @@ impl AssignmentFn {
         new_task
     }
 
+    /// Scale-out that **reports** churn instead of pinning it: adds an
+    /// instance and returns `(new_task, moves)` — every `live` key whose
+    /// route churned onto the new ring slot, paired with the task that
+    /// held it before the slot was added (its current state holder).
+    /// The table is untouched: churned keys route to the new slot by
+    /// hash, and the caller is responsible for migrating their state
+    /// there (the engine's scale-out pre-placement does exactly that
+    /// inside the quiescence window). Keys with explicit table entries
+    /// never churn, so their placement stays truthful for free.
+    ///
+    /// This is the dual of [`AssignmentFn::add_task_pinned`]: pinning
+    /// keeps routing truthful by suppressing the ring delta, this keeps
+    /// it truthful by executing the delta as a migration. Under a
+    /// consistent ring the delta moves keys *only* onto the new slot, so
+    /// every reported move's destination is the returned task.
+    pub fn add_task_with_moves(&mut self, live: &[Key]) -> (TaskId, Vec<(Key, TaskId)>) {
+        let old: Vec<TaskId> = live.iter().map(|&k| self.route(k)).collect();
+        let new_task = self.add_task();
+        let moves: Vec<(Key, TaskId)> = live
+            .iter()
+            .zip(&old)
+            .filter(|&(&k, &old_d)| {
+                let now = self.route(k);
+                debug_assert!(
+                    now == old_d || now == new_task,
+                    "ring churn must target the new slot only"
+                );
+                now != old_d
+            })
+            .map(|(&k, &old_d)| (k, old_d))
+            .collect();
+        (new_task, moves)
+    }
+
     /// Scale-in that preserves physical state placement on the
     /// *survivors*: removes the highest-numbered instance from the ring
     /// (the exact inverse of [`AssignmentFn::add_task`] — only the
@@ -548,6 +582,42 @@ mod tests {
     #[should_panic(expected = "below one task")]
     fn remove_task_below_one_panics() {
         AssignmentFn::hash_only(1).remove_task_pinned(&[]);
+    }
+
+    /// `add_task_with_moves` reports exactly the ring churn: every move
+    /// is a live key now routing to the new slot, paired with its old
+    /// holder; keys with explicit table entries never move; non-churned
+    /// keys keep their routes.
+    #[test]
+    fn add_task_with_moves_reports_the_ring_delta() {
+        let mut f = AssignmentFn::hash_only(4);
+        let pinned = Key(7);
+        let home = f.route(pinned);
+        f.insert_entry(pinned, home); // explicit entry: must not move
+        let live: Vec<Key> = (0..2_000u64).map(Key).collect();
+        let before: Vec<TaskId> = live.iter().map(|&k| f.route(k)).collect();
+        let (new_task, moves) = f.add_task_with_moves(&live);
+        assert_eq!(new_task, TaskId(4));
+        assert!(!moves.is_empty(), "a 2000-key population must churn");
+        let moved: std::collections::HashMap<Key, TaskId> = moves.iter().copied().collect();
+        assert!(!moved.contains_key(&pinned), "table entry churned");
+        for (&k, &old) in live.iter().zip(&before) {
+            let now = f.route(k);
+            match moved.get(&k) {
+                Some(&holder) => {
+                    assert_eq!(now, new_task, "move {k:?} must target the new slot");
+                    assert_eq!(holder, old, "move {k:?} must name the old holder");
+                }
+                None => assert_eq!(now, old, "unmoved key {k:?} churned"),
+            }
+        }
+        // The same population pinned instead: the pin set is exactly the
+        // move set (the two scale-out flavours see one ring delta).
+        let mut g = AssignmentFn::hash_only(4);
+        g.insert_entry(pinned, home);
+        let before_pins = g.table().len();
+        g.add_task_pinned(&live);
+        assert_eq!(g.table().len() - before_pins, moves.len());
     }
 
     #[test]

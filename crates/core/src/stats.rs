@@ -146,6 +146,28 @@ impl StatsWindow {
         self.intervals.back()
     }
 
+    /// Iterates the held intervals, oldest first — the windowed key
+    /// enumeration scale planning needs (every key listed here recently
+    /// carried state, whatever slice of them the last single interval
+    /// happened to observe).
+    pub fn intervals(&self) -> impl Iterator<Item = &IntervalStats> + '_ {
+        self.intervals.iter()
+    }
+
+    /// The union of `live` with every key in the window, deduplicated —
+    /// the state-bearing key set scale-out pre-placement plans over.
+    /// `live` is typically the just-closed interval's observations,
+    /// which on a loaded box can be an arbitrarily thin slice of the
+    /// keyspace (statistics rounds blur when the controller lags), while
+    /// the window names every key that recently carried state.
+    pub fn union_keys(&self, live: impl IntoIterator<Item = Key>) -> Vec<Key> {
+        let mut seen: streambal_hashring::FxHashSet<Key> = live.into_iter().collect();
+        for iv in self.intervals() {
+            seen.extend(iv.iter().map(|(k, _)| k));
+        }
+        seen.into_iter().collect()
+    }
+
     /// Windowed memory `Sᵢ(k, w)` — the migration cost contribution of `k`.
     pub fn windowed_mem(&self, key: Key) -> u64 {
         self.intervals

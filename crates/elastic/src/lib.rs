@@ -11,14 +11,19 @@
 //! ## The observation
 //!
 //! A policy sees an [`IntervalObservation`]: the closed interval's index,
-//! the current parallelism, and the per-task load vector `Lᵢ(d)` (cost
-//! units, the same `cᵢ(k)` sums the rebalance algorithms consume). From it
-//! the policy derives whatever signal it wants — the built-ins use the
-//! mean load against a per-task capacity budget shaped by the paper's
-//! `θmax` (`budget = capacity / (1 + θmax)`: a task whose *mean* share
-//! exceeds the budget is within θmax of overload even under perfect
-//! balance, which is exactly when adding instances — not moving keys —
-//! is the only remaining repair).
+//! the current parallelism, the per-task load vector `Lᵢ(d)` (cost
+//! units, the same `cᵢ(k)` sums the rebalance algorithms consume), the
+//! per-task input **queue depth** at interval close (tuples — the
+//! engine samples tuple-weighted channel occupancy, the simulator a
+//! modeled backlog proxy), and the interval's **mean/p99 end-to-end
+//! latency** (µs). From it the policy derives whatever signal it wants —
+//! the load-watermark built-ins use the mean load against a per-task
+//! capacity budget shaped by the paper's `θmax`
+//! (`budget = capacity / (1 + θmax)`: a task whose *mean* share exceeds
+//! the budget is within θmax of overload even under perfect balance,
+//! which is exactly when adding instances — not moving keys — is the
+//! only remaining repair), while [`BackpressurePolicy`] watches the
+//! queue/latency symptoms directly.
 //!
 //! ## Built-in policies
 //!
@@ -33,6 +38,12 @@
 //!   `down_after` intervals, with a cooldown after every action. The two
 //!   watermarks plus the post-action re-evaluation window are what keeps
 //!   a flat load from flapping 4→5→4→5.
+//! * [`BackpressurePolicy`] — queue-depth watermarks with the same
+//!   hysteresis/cooldown shape: scale out on a standing per-task queue
+//!   (optionally a blown p99 latency), scale in when the whole pipeline's
+//!   backlog stays drained. This is the Dhalion-style symptom-driven
+//!   diagnosis: backpushing shows up in channel depth and latency before
+//!   any load/capacity model notices.
 //! * [`TargetPlanner`] — the multi-step re-provisioner: smooths total
 //!   load with an EWMA, computes a target parallelism
 //!   `⌈load / (target_util · capacity)⌉`, and steps **one instance per
@@ -138,6 +149,19 @@ pub struct IntervalObservation<'a> {
     /// retiring worker still drains: its slot's load is real traffic the
     /// survivors inherit, so totals keep counting it.
     pub loads: &'a [u64],
+    /// Per-task input queue depth at interval close, in *tuples*
+    /// (tuple-weighted channel occupancy in the engine; the modeled
+    /// backlog proxy in the simulator). This is where the paper's
+    /// backpushing effect shows up first: a worker whose queue stays deep
+    /// is saturated even when its per-interval load share looks
+    /// acceptable. Empty when the driver has no queue signal.
+    pub queue_depths: &'a [u64],
+    /// Mean end-to-end tuple latency over the closed interval, µs
+    /// (0 when the driver has no latency signal).
+    pub mean_latency_us: f64,
+    /// 99th-percentile end-to-end tuple latency over the closed
+    /// interval, µs (0 when the driver has no latency signal).
+    pub p99_latency_us: f64,
 }
 
 impl IntervalObservation<'_> {
@@ -156,6 +180,17 @@ impl IntervalObservation<'_> {
             return 0.0;
         }
         self.total() as f64 / self.n_tasks as f64
+    }
+
+    /// Deepest per-task input queue at interval close, in tuples (0 when
+    /// the driver supplies no queue signal).
+    pub fn max_queue(&self) -> u64 {
+        self.queue_depths.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Total queued tuples across all tasks at interval close.
+    pub fn total_queue(&self) -> u64 {
+        self.queue_depths.iter().sum()
     }
 
     /// Worst balance indicator `max θ(d) = max |L(d) − L̄| / L̄` (0 when
@@ -400,6 +435,121 @@ impl ElasticityPolicy for ThresholdPolicy {
 }
 
 // ------------------------------------------------------------------
+// Backpressure watermarks
+// ------------------------------------------------------------------
+
+/// Queue-depth watermark policy — the Dhalion-style diagnosis: decide
+/// from the *symptom* (standing backlog in the worker channels, where
+/// the paper's backpushing effect surfaces first) instead of the cause
+/// (per-task load vs. a capacity model the operator must calibrate).
+///
+/// Scale out when the deepest per-task queue stays above `high_depth`
+/// tuples for `up_after` consecutive intervals — a standing queue means
+/// some worker's service rate lost to its arrival rate, whatever the
+/// load numbers claim. Optionally the p99 interval latency doubles as a
+/// second overload symptom (`high_p99_us`, disabled by default): queues
+/// saturate at the channel capacity, latency keeps growing past it.
+/// Scale in when the *total* queued backlog stays below `low_depth` for
+/// `down_after` intervals — survivors can only be expected to absorb a
+/// retiree's traffic while the whole pipeline is drained-ish. The
+/// hysteresis shape (consecutive-interval streaks, post-action cooldown,
+/// `high_depth > low_depth`) is [`ThresholdPolicy`]'s, applied to queue
+/// watermarks.
+///
+/// Unlike load watermarks, queue depth needs no per-task capacity
+/// estimate — but it is bounded by the driver's channel capacity, so
+/// `high_depth` must sit below that bound to be reachable.
+#[derive(Debug, Clone)]
+pub struct BackpressurePolicy {
+    /// Scale out when `max_queue() > high_depth` (tuples).
+    pub high_depth: u64,
+    /// Scale in when `total_queue() < low_depth` (tuples).
+    pub low_depth: u64,
+    /// Additional overload symptom: p99 interval latency above this many
+    /// µs counts like a deep queue (`f64::INFINITY` = disabled, the
+    /// default).
+    pub high_p99_us: f64,
+    /// Consecutive backed-up intervals before scaling out (default 1).
+    pub up_after: usize,
+    /// Consecutive drained intervals before scaling in (default 2).
+    pub down_after: usize,
+    /// Intervals to hold after any action (default 1).
+    pub cooldown: u64,
+    /// Lower parallelism bound.
+    pub min_tasks: usize,
+    /// Upper parallelism bound.
+    pub max_tasks: usize,
+    high_streak: usize,
+    low_streak: usize,
+    hold_until: u64,
+}
+
+impl BackpressurePolicy {
+    /// A policy scaling within `[min_tasks, max_tasks]` on queue-depth
+    /// watermarks `high_depth`/`low_depth` (tuples).
+    pub fn new(high_depth: u64, low_depth: u64, min_tasks: usize, max_tasks: usize) -> Self {
+        assert!(high_depth > low_depth, "watermarks must separate");
+        assert!(min_tasks >= 1 && min_tasks <= max_tasks, "bad task bounds");
+        BackpressurePolicy {
+            high_depth,
+            low_depth,
+            high_p99_us: f64::INFINITY,
+            up_after: 1,
+            down_after: 2,
+            cooldown: 1,
+            min_tasks,
+            max_tasks,
+            high_streak: 0,
+            low_streak: 0,
+            hold_until: 0,
+        }
+    }
+}
+
+impl ElasticityPolicy for BackpressurePolicy {
+    fn name(&self) -> String {
+        "backpressure".into()
+    }
+
+    fn decide(&mut self, obs: &IntervalObservation) -> ScaleDecision {
+        // Streaks advance inside the cooldown window, as in
+        // `ThresholdPolicy`: the cooldown delays the action, not the
+        // evidence.
+        let backed_up = obs.max_queue() > self.high_depth || obs.p99_latency_us > self.high_p99_us;
+        if backed_up {
+            self.high_streak += 1;
+        } else {
+            self.high_streak = 0;
+        }
+        if obs.total_queue() < self.low_depth {
+            self.low_streak += 1;
+        } else {
+            self.low_streak = 0;
+        }
+        if obs.interval < self.hold_until {
+            return ScaleDecision::Hold;
+        }
+        if self.high_streak >= self.up_after && obs.n_tasks < self.max_tasks {
+            self.high_streak = 0;
+            self.low_streak = 0;
+            self.hold_until = obs.interval + 1 + self.cooldown;
+            return ScaleDecision::ScaleOut;
+        }
+        if self.low_streak >= self.down_after && obs.n_tasks > self.min_tasks {
+            self.low_streak = 0;
+            self.high_streak = 0;
+            self.hold_until = obs.interval + 1 + self.cooldown;
+            return ScaleDecision::ScaleIn;
+        }
+        ScaleDecision::Hold
+    }
+
+    fn box_clone(&self) -> Box<dyn ElasticityPolicy> {
+        Box::new(self.clone())
+    }
+}
+
+// ------------------------------------------------------------------
 // Multi-step target planner
 // ------------------------------------------------------------------
 
@@ -491,6 +641,22 @@ mod tests {
             interval,
             n_tasks: loads.len(),
             loads,
+            queue_depths: &[],
+            mean_latency_us: 0.0,
+            p99_latency_us: 0.0,
+        }
+    }
+
+    /// An observation with a queue signal (loads idle: backpressure
+    /// policies must not need them).
+    fn obs_q<'a>(interval: u64, n_tasks: usize, queues: &'a [u64]) -> IntervalObservation<'a> {
+        IntervalObservation {
+            interval,
+            n_tasks,
+            loads: &[],
+            queue_depths: queues,
+            mean_latency_us: 0.0,
+            p99_latency_us: 0.0,
         }
     }
 
@@ -506,9 +672,14 @@ mod tests {
             interval: 0,
             n_tasks: 0,
             loads: &empty,
+            queue_depths: &empty,
+            mean_latency_us: 0.0,
+            p99_latency_us: 0.0,
         };
         assert_eq!(o.mean(), 0.0);
         assert_eq!(o.max_theta(), 0.0);
+        assert_eq!(o.max_queue(), 0);
+        assert_eq!(o.total_queue(), 0);
     }
 
     #[test]
@@ -601,6 +772,77 @@ mod tests {
         // Recovery interval breaks the streak.
         assert_eq!(p.decide(&obs(1, &[70, 70])), ScaleDecision::Hold);
         assert_eq!(p.decide(&obs(2, &[95, 95])), ScaleDecision::Hold);
+    }
+
+    #[test]
+    fn backpressure_scales_out_on_standing_queue_only() {
+        let mut p = BackpressurePolicy::new(100, 10, 1, 8);
+        p.up_after = 2;
+        // One deep sample is noise; two consecutive are a standing queue.
+        assert_eq!(p.decide(&obs_q(0, 2, &[150, 0])), ScaleDecision::Hold);
+        assert_eq!(p.decide(&obs_q(1, 2, &[150, 0])), ScaleDecision::ScaleOut);
+        // Cooldown: the next interval holds even while still backed up.
+        assert_eq!(p.decide(&obs_q(2, 3, &[150, 0, 0])), ScaleDecision::Hold);
+    }
+
+    #[test]
+    fn backpressure_streak_resets_when_queue_drains() {
+        let mut p = BackpressurePolicy::new(100, 10, 1, 8);
+        p.up_after = 2;
+        assert_eq!(p.decide(&obs_q(0, 2, &[150, 0])), ScaleDecision::Hold);
+        assert_eq!(p.decide(&obs_q(1, 2, &[0, 0])), ScaleDecision::Hold);
+        assert_eq!(p.decide(&obs_q(2, 2, &[150, 0])), ScaleDecision::Hold);
+    }
+
+    #[test]
+    fn backpressure_scales_in_when_pipeline_drains() {
+        let mut p = BackpressurePolicy::new(100, 10, 1, 8);
+        p.down_after = 2;
+        assert_eq!(p.decide(&obs_q(0, 4, &[1, 2, 0, 1])), ScaleDecision::Hold);
+        assert_eq!(
+            p.decide(&obs_q(1, 4, &[1, 2, 0, 1])),
+            ScaleDecision::ScaleIn
+        );
+    }
+
+    #[test]
+    fn backpressure_mid_band_never_flaps() {
+        // Queues between the watermarks (total ≥ low, max ≤ high): hold
+        // forever in either direction.
+        let mut p = BackpressurePolicy::new(100, 10, 1, 8);
+        for iv in 0..20 {
+            assert_eq!(
+                p.decide(&obs_q(iv, 3, &[40, 30, 20])),
+                ScaleDecision::Hold,
+                "interval {iv}"
+            );
+        }
+    }
+
+    #[test]
+    fn backpressure_respects_bounds() {
+        let mut p = BackpressurePolicy::new(100, 10, 2, 2);
+        assert_eq!(p.decide(&obs_q(0, 2, &[500, 500])), ScaleDecision::Hold);
+        let mut p = BackpressurePolicy::new(100, 10, 2, 2);
+        p.down_after = 1;
+        assert_eq!(p.decide(&obs_q(0, 2, &[0, 0])), ScaleDecision::Hold);
+    }
+
+    #[test]
+    fn backpressure_latency_symptom_counts_as_overload() {
+        let mut p = BackpressurePolicy::new(100, 10, 1, 8);
+        p.high_p99_us = 5_000.0;
+        // Queues shallow (sampled between bursts) but tail latency blown:
+        // the latency symptom fires the same scale-out path.
+        let o = IntervalObservation {
+            interval: 0,
+            n_tasks: 2,
+            loads: &[],
+            queue_depths: &[3, 1],
+            mean_latency_us: 2_000.0,
+            p99_latency_us: 20_000.0,
+        };
+        assert_eq!(p.decide(&o), ScaleDecision::ScaleOut);
     }
 
     #[test]

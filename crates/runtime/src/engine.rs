@@ -19,13 +19,14 @@ use std::time::{Duration, Instant};
 
 use bytes::Bytes;
 use crossbeam::channel::{bounded, unbounded, Receiver, Select, Sender};
-use streambal_core::{IntervalStats, Key, Partitioner, RoutingView, TaskId};
+use streambal_core::{Key, Partitioner, RoutingView, TaskId};
 use streambal_elastic::{
     ElasticityPolicy, FixedSchedule, HoldPolicy, IntervalObservation, ScaleDecision,
 };
 use streambal_hashring::{FxHashMap, FxHashSet};
 use streambal_metrics::{Counter, Histogram, RateMeter, TimeSeries};
 
+use crate::controller::{StatsLedger, WorkerSeconds};
 use crate::message::{Message, SourceCtl, SourceEvent, WorkerEvent};
 use crate::operator::{Collector, Operator};
 use crate::router::SourceRouter;
@@ -75,14 +76,26 @@ pub struct EngineConfig {
     pub window: usize,
     /// The elasticity policy consulted after every interval's statistics
     /// round: it decides `ScaleOut` / `ScaleIn` / `Hold`, and the
-    /// controller executes the decision (spawn + re-pin for out; the
-    /// drain → migrate → retire protocol for in — see `streambal-elastic`
-    /// crate docs). Decisions are clamped to `[1, max_workers]`;
-    /// scale-ins may queue up (multi-step re-provisioning executes them
-    /// in order), while a scale-out arriving before queued retires finish
-    /// is skipped, because the spawn slot must be the contiguous physical
-    /// tail. Default: [`HoldPolicy`] (the static engine).
+    /// controller executes the decision (spawn + state pre-placement for
+    /// out — see [`EngineConfig::preplace`]; the drain → migrate → retire
+    /// protocol for in — see `streambal-elastic` crate docs). Decisions
+    /// are clamped to `[1, max_workers]`; scale-ins may queue up
+    /// (multi-step re-provisioning executes them in order), while a
+    /// scale-out arriving before queued retires finish is skipped,
+    /// because the spawn slot must be the contiguous physical tail.
+    /// Default: [`HoldPolicy`] (the static engine).
     pub elasticity: Box<dyn ElasticityPolicy>,
+    /// Pre-place state at scale-out (default `true`): the controller asks
+    /// the partitioner for a migration plan
+    /// (`Partitioner::scale_out_plan`) at provision time and executes it
+    /// through the drain → migrate → resume machinery inside the
+    /// scale-out quiescence window, so the new worker owns its keys — and
+    /// takes their traffic — in the decision interval itself. `false`
+    /// reproduces the seed behaviour (`Partitioner::scale_out` pins
+    /// churned keys back to their old homes), where the new slot sits
+    /// empty until the next rebalance migrates keys onto it — exactly the
+    /// intervals the policy scaled out for.
+    pub preplace: bool,
 }
 
 impl EngineConfig {
@@ -119,6 +132,7 @@ impl Default for EngineConfig {
             spin_work: 500,
             window: 5,
             elasticity: Box::new(HoldPolicy),
+            preplace: true,
         }
     }
 }
@@ -160,6 +174,21 @@ pub struct EngineReport {
     /// Integral of live workers over wall time (the provisioning cost an
     /// elastic policy saves against a static peak-sized deployment).
     pub worker_seconds: f64,
+    /// Per slot: the earliest interval a worker on that slot processed a
+    /// tuple (`None` if the slot never saw traffic). For a scaled-out
+    /// slot, `first − decision_interval` is its time-to-first-tuple in
+    /// intervals — the cold-start lag pre-placement closes.
+    pub first_tuple_interval: Vec<Option<u64>>,
+}
+
+/// Keeps the earliest first-tuple interval across a slot's successive
+/// occupants (a retired slot can be re-provisioned mid-run).
+fn merge_first(slot: &mut Option<u64>, seen: Option<u64>) {
+    *slot = match (*slot, seen) {
+        (Some(a), Some(b)) => Some(a.min(b)),
+        (a, None) => a,
+        (None, b) => b,
+    };
 }
 
 /// A planned migration waiting its turn (one in flight at a time).
@@ -168,6 +197,12 @@ struct PlannedMigration {
     by_source: FxHashMap<TaskId, Vec<(Key, TaskId)>>,
     affected: Vec<Key>,
     view: RoutingView,
+    /// A scale-out pre-placement plan (vs. a rebalance): its
+    /// `migrated_bytes` are billed from the *actual* extracted blobs at
+    /// `StateOut` — the plan covers windowed state a single interval's
+    /// statistics cannot size — where a rebalance is billed up front
+    /// from its plan's windowed-mem estimate, as always.
+    preplaced: bool,
 }
 
 /// A control-plane operation queued behind the in-flight one. Migrations
@@ -334,6 +369,7 @@ impl Engine {
             collector_result: Vec::new(),
             scale_events: Vec::new(),
             worker_seconds: 0.0,
+            first_tuple_interval: vec![None; max_workers],
         };
 
         std::thread::scope(|s| {
@@ -414,33 +450,24 @@ impl Engine {
             let mut pending: Option<ActiveOp> = None;
             let mut queue: VecDeque<PlannedOp> = VecDeque::new();
             let mut next_epoch = 0u64;
-            // One open statistics round: merged stats, per-slot loads (the
-            // elasticity observation), reports received and expected. The
-            // expected count is pinned at issue time — scale-out must not
-            // retroactively change how many workers a round waits for, and
-            // a victim whose Retire marker is already enqueued is excluded
-            // because it will never answer.
-            struct StatsRound {
-                merged: IntervalStats,
-                loads: Vec<u64>,
-                received: usize,
-                expected: usize,
-            }
-            let mut stats_acc: FxHashMap<u64, StatsRound> = FxHashMap::default();
-            let mut outstanding_stats = 0usize;
+            // The statistics-round ledger (see `controller.rs`): open
+            // rounds, retired-victim residue, and graceful handling of
+            // late or duplicate reports. The expected count is pinned at
+            // issue time — scale-out must not retroactively change how
+            // many workers a round waits for, and a victim whose Retire
+            // marker is already enqueued is excluded because it will
+            // never answer.
+            let mut ledger = StatsLedger::new();
             let mut outstanding_resumes = 0usize;
             // Set between sending a `Retire` marker and its `Retired` ack.
             let mut retiring: Option<TaskId> = None;
-            // A retired victim's residual statistics when no round was
-            // open to absorb them — folded into the next round issued.
-            let mut carry: IntervalStats = IntervalStats::new();
             let mut source_finished = false;
             let mut draining = false;
             let mut drained = 0usize;
             let mut last_interval_mark = (Instant::now(), 0u64);
-            // Worker-seconds integration mark: advanced at every change of
-            // `active` (and once at shutdown).
-            let mut ws_mark = t0;
+            // Worker-seconds integral, advanced at every change of
+            // `active` (and closed once at shutdown).
+            let mut ws = WorkerSeconds::new(t0, config.n_workers);
 
             let mut select = Select::new();
             let src_idx = select.recv(&src_evt_rx);
@@ -467,6 +494,15 @@ impl Engine {
                                     (count - last_interval_mark.1) as f64 / dt,
                                 );
                                 last_interval_mark = (now, count);
+                                // Queue depths sampled at interval close
+                                // (tuple-weighted channel occupancy, the
+                                // backpressure signal), *before* the stats
+                                // markers join the queues they measure.
+                                let queues: Vec<u64> = worker_txs
+                                    .iter()
+                                    .take(active)
+                                    .map(|tx| tx.queued_weight() as u64)
+                                    .collect();
                                 // In-band stats round, skipping a retiring
                                 // victim (its Retire marker is already in
                                 // the channel ahead of this request).
@@ -479,25 +515,7 @@ impl Engine {
                                     expected += 1;
                                 }
                                 if expected > 0 {
-                                    let mut round = StatsRound {
-                                        merged: IntervalStats::new(),
-                                        loads: vec![0; active],
-                                        received: 0,
-                                        expected,
-                                    };
-                                    if !carry.is_empty() {
-                                        // A victim retired between rounds:
-                                        // its residual load counts here (the
-                                        // slot attribution is gone with the
-                                        // slot; totals are what policies
-                                        // consume).
-                                        round.loads[active - 1] +=
-                                            carry.iter().map(|(_, s)| s.cost).sum::<u64>();
-                                        round.merged.merge(&carry);
-                                        carry = IntervalStats::new();
-                                    }
-                                    stats_acc.insert(interval, round);
-                                    outstanding_stats += 1;
+                                    ledger.open(interval, active, expected, queues);
                                 }
                             }
                             SourceEvent::PauseAck { epoch } => {
@@ -552,22 +570,19 @@ impl Engine {
                                 worker,
                                 interval,
                                 stats,
+                                latency,
                             } => {
-                                let entry = stats_acc
-                                    .get_mut(&interval)
-                                    .expect("stats for unknown round");
-                                // Accumulate (each worker reports once per
-                                // round): a retired victim's residue may
-                                // already be folded into this slot, and
-                                // assignment would silently discard it.
-                                entry.loads[worker.index()] +=
-                                    stats.iter().map(|(_, s)| s.cost).sum::<u64>();
-                                entry.merged.merge(&stats);
-                                entry.received += 1;
-                                if entry.received == entry.expected {
-                                    let StatsRound { merged, loads, .. } =
-                                        stats_acc.remove(&interval).unwrap();
-                                    outstanding_stats -= 1;
+                                // The ledger absorbs late and duplicate
+                                // reports (a retiring worker can answer a
+                                // round the controller already closed)
+                                // instead of crashing; a report only
+                                // completes a round when every distinct
+                                // expected worker has answered.
+                                if let Some(round) =
+                                    ledger.on_stats(worker, interval, stats, &latency)
+                                {
+                                    let merged = round.merged;
+                                    let loads = round.loads;
                                     // Elasticity decision. The observation's
                                     // parallelism is the *planned* one —
                                     // `partitioner.n_tasks()`, which every
@@ -590,16 +605,16 @@ impl Engine {
                                         interval,
                                         n_tasks: planned,
                                         loads: &loads,
+                                        queue_depths: &round.queues,
+                                        mean_latency_us: round.mean_latency_us,
+                                        p99_latency_us: round.p99_latency_us,
                                     };
                                     match policy.decide(&obs) {
                                         ScaleDecision::ScaleOut
                                             if !scale_in_flight && active < max_workers =>
                                         {
                                             debug_assert_eq!(planned, active);
-                                            let now = Instant::now();
-                                            report.worker_seconds += active as f64
-                                                * now.duration_since(ws_mark).as_secs_f64();
-                                            ws_mark = now;
+                                            ws.set_active(Instant::now(), active + 1);
                                             let live: Vec<Key> =
                                                 merged.iter().map(|(k, _)| k).collect();
                                             let rx = worker_rxs[active].take().expect("slot");
@@ -610,7 +625,21 @@ impl Engine {
                                                 op_factory(TaskId::from(active)),
                                                 interval + 1,
                                             );
-                                            let new = partitioner.scale_out(&live);
+                                            // Pre-placement (default): plan
+                                            // the migration at provision
+                                            // time — the new slot's keys
+                                            // move in through the same
+                                            // quiesce → install → resume
+                                            // machinery as a rebalance, so
+                                            // it takes load this interval.
+                                            // The seed shape pins churn
+                                            // instead and the slot idles
+                                            // until the next rebalance.
+                                            let (new, moves) = if config.preplace {
+                                                partitioner.scale_out_plan(&live)
+                                            } else {
+                                                (partitioner.scale_out(&live), Vec::new())
+                                            };
                                             debug_assert_eq!(new.index(), active);
                                             report.scale_events.push(ScaleEvent {
                                                 interval,
@@ -618,9 +647,39 @@ impl Engine {
                                                 to: active + 1,
                                             });
                                             active += 1;
-                                            let _ = ctl_tx.send(SourceCtl::UpdateView {
-                                                view: partitioner.routing_view(),
-                                            });
+                                            if moves.is_empty() {
+                                                // Nothing to pre-place (seed
+                                                // shape, or a key-oblivious
+                                                // strategy whose new worker
+                                                // takes traffic without any
+                                                // state): publish the grown
+                                                // view directly.
+                                                let _ = ctl_tx.send(SourceCtl::UpdateView {
+                                                    view: partitioner.routing_view(),
+                                                });
+                                            } else {
+                                                report.migrated_keys += moves.len() as u64;
+                                                let mut by_source: FxHashMap<
+                                                    TaskId,
+                                                    Vec<(Key, TaskId)>,
+                                                > = FxHashMap::default();
+                                                let mut affected = Vec::with_capacity(moves.len());
+                                                for (k, holder) in moves {
+                                                    affected.push(k);
+                                                    by_source
+                                                        .entry(holder)
+                                                        .or_default()
+                                                        .push((k, new));
+                                                }
+                                                queue.push_back(PlannedOp::Migrate(
+                                                    PlannedMigration {
+                                                        by_source,
+                                                        affected,
+                                                        view: partitioner.routing_view(),
+                                                        preplaced: true,
+                                                    },
+                                                ));
+                                            }
                                         }
                                         ScaleDecision::ScaleIn if planned > 1 => {
                                             // Shrink the routing function now
@@ -666,6 +725,7 @@ impl Engine {
                                                 by_source,
                                                 affected,
                                                 view: partitioner.routing_view(),
+                                                preplaced: false,
                                             }));
                                         }
                                     }
@@ -681,6 +741,15 @@ impl Engine {
                                     _ => panic!("state without migration"),
                                 };
                                 debug_assert_eq!(m.epoch, epoch);
+                                if m.plan.preplaced {
+                                    // Pre-placement bills the bytes actually
+                                    // extracted: the plan moves windowed
+                                    // state no single interval's statistics
+                                    // can size (rebalances bill their plan's
+                                    // windowed-mem estimate up front).
+                                    report.migrated_bytes +=
+                                        states.iter().map(|(_, _, b)| b.len() as u64).sum::<u64>();
+                                }
                                 m.collected.extend(states);
                                 m.awaiting_out.remove(&worker);
                                 if m.awaiting_out.is_empty() {
@@ -738,6 +807,7 @@ impl Engine {
                                 stats,
                                 processed,
                                 latency,
+                                first_interval,
                                 rx,
                             } => {
                                 let mut r = match pending.take() {
@@ -749,32 +819,23 @@ impl Engine {
                                 report.per_worker_processed[worker.index()] += processed;
                                 report.processed += processed;
                                 report.latency_us.merge(&latency);
+                                merge_first(
+                                    &mut report.first_tuple_interval[worker.index()],
+                                    first_interval,
+                                );
                                 // Fold the victim's unreported residue into
                                 // the oldest open round (issued while the
                                 // victim was alive, so its slot exists) —
                                 // dropping it would read as a load dip and
                                 // re-trigger the scale-in policy.
-                                if !stats.is_empty() {
-                                    if let Some(oldest) = stats_acc.keys().min().copied() {
-                                        let entry = stats_acc.get_mut(&oldest).unwrap();
-                                        let slot = worker.index().min(entry.loads.len() - 1);
-                                        entry.loads[slot] +=
-                                            stats.iter().map(|(_, s)| s.cost).sum::<u64>();
-                                        entry.merged.merge(&stats);
-                                    } else {
-                                        carry.merge(&stats);
-                                    }
-                                }
+                                ledger.on_residue(worker, &stats);
                                 // The slot's channel stays connected (our
                                 // sender clones live on), so a later
                                 // scale-out can respawn here and no message
                                 // can ever be silently dropped.
                                 worker_rxs[worker.index()] = Some(rx);
                                 retiring = None;
-                                let now = Instant::now();
-                                report.worker_seconds +=
-                                    active as f64 * now.duration_since(ws_mark).as_secs_f64();
-                                ws_mark = now;
+                                ws.set_active(Instant::now(), active - 1);
                                 active -= 1;
                                 debug_assert_eq!(worker.index(), active);
                                 // Re-home the drained state under the op's
@@ -809,10 +870,15 @@ impl Engine {
                                 final_states,
                                 processed,
                                 latency,
+                                first_interval,
                             } => {
                                 report.per_worker_processed[worker.index()] += processed;
                                 report.processed += processed;
                                 report.latency_us.merge(&latency);
+                                merge_first(
+                                    &mut report.first_tuple_interval[worker.index()],
+                                    first_interval,
+                                );
                                 report.final_states.extend(final_states);
                                 drained += 1;
                                 if drained == active {
@@ -865,7 +931,7 @@ impl Engine {
                     && !draining
                     && pending.is_none()
                     && queue.is_empty()
-                    && outstanding_stats == 0
+                    && ledger.outstanding() == 0
                     && outstanding_resumes == 0
                 {
                     draining = true;
@@ -879,8 +945,7 @@ impl Engine {
             // tear down the auxiliaries. The spawner holds a
             // collector-sender clone; it must drop before the collector
             // join, or the collector never observes closure.
-            report.worker_seconds +=
-                active as f64 * Instant::now().duration_since(ws_mark).as_secs_f64();
+            report.worker_seconds = ws.finish(Instant::now());
             let _ = ctl_tx.send(SourceCtl::Shutdown);
             stop.store(true, Ordering::Relaxed);
             drop(spawner);
@@ -1238,6 +1303,7 @@ mod tests {
             spin_work: 10,
             window: 100, // keep everything: exact count validation
             elasticity: Box::new(HoldPolicy),
+            preplace: true,
         }
     }
 
@@ -1589,6 +1655,77 @@ mod tests {
             *got.entry(*k).or_insert(0) += n;
         }
         assert_eq!(got, expect, "elastic run stays exact");
+    }
+
+    /// The cold scale-out lag, pinned from both sides. With the rebalance
+    /// trigger damped (so no migration can mask the effect), a *seed*
+    /// (`preplace: false`) scale-out pins every churned key back to its
+    /// old home: the new slot never receives a tuple for the rest of the
+    /// run. Pre-placement (the default) migrates the churned keys' state
+    /// into the new worker inside the scale-out quiescence window, so it
+    /// takes their traffic within an interval or two of the decision —
+    /// and the run stays exact either way.
+    #[test]
+    fn preplacement_feeds_the_new_worker_seed_never_does() {
+        use streambal_core::TriggerPolicy;
+        let intervals: Vec<Vec<Key>> = (0..8)
+            .map(|_| (0..3_000u64).map(|i| Key(i % 300)).collect())
+            .collect();
+        let expect = reference_counts(&intervals);
+        let damped = || {
+            CoreBalancer::new(3, 100, RebalanceStrategy::Mixed, BalanceParams::default())
+                .with_trigger_policy(TriggerPolicy {
+                    cooldown: 0,
+                    consecutive: 100, // never fires within this run
+                })
+        };
+        let decision = 1u64;
+        let run = |preplace: bool| {
+            let feed = intervals.clone();
+            Engine::run(
+                EngineConfig {
+                    max_workers: 4,
+                    elasticity: Box::new(FixedSchedule::scale_out_at(decision)),
+                    preplace,
+                    // Small channels keep stats rounds close to interval
+                    // boundaries, so the decision lands promptly.
+                    channel_capacity: 64,
+                    ..small_config()
+                },
+                Box::new(damped()),
+                |_| Box::new(WordCountOp::new()),
+                move |iv| {
+                    feed.get(iv as usize)
+                        .map(|ks| ks.iter().map(|&k| Tuple::keyed(k)).collect())
+                },
+                None,
+            )
+        };
+
+        let pre = run(true);
+        assert_eq!(pre.rebalances, 0, "trigger must stay damped");
+        assert!(
+            pre.migrated_keys > 0,
+            "pre-placement must move the churned keys' state"
+        );
+        let first = pre.first_tuple_interval[3].expect("new worker fed");
+        assert!(
+            first <= decision + 2,
+            "pre-placed worker cold for {} intervals",
+            first - decision
+        );
+        assert!(pre.per_worker_processed[3] > 0);
+        assert_eq!(decode_counts(&pre.final_states), expect, "pre-place exact");
+
+        let seed = run(false);
+        assert_eq!(seed.rebalances, 0);
+        assert_eq!(
+            seed.first_tuple_interval[3], None,
+            "seed scale-out pins churn away: the slot must starve until a \
+             rebalance that never comes"
+        );
+        assert_eq!(seed.per_worker_processed[3], 0);
+        assert_eq!(decode_counts(&seed.final_states), expect, "seed exact");
     }
 
     /// The seed per-tuple shape and batch sizes 1 and 256 must all be

@@ -53,22 +53,53 @@
 //! ## Elasticity
 //!
 //! The controller consults an `ElasticityPolicy` (crate
-//! `streambal-elastic`) after every statistics round and executes its
-//! decision: **scale-out** spawns a worker on a pre-provisioned slot and
-//! re-pins churned keys (Fig. 15); **scale-in** runs the
-//! drain → migrate → retire protocol — pause the victim's destination at
-//! the source, enqueue a `Retire` marker behind the victim's backlog,
-//! re-install its entire drained state at each key's new home, and only
-//! then resume under the shrunk view. The FIFO-consistency argument is
-//! spelled out in the `streambal-elastic` crate docs; the retired slot's
-//! channel survives (the receiver travels back in the `Retired` event),
-//! so a later scale-out can re-provision the same slot mid-run.
+//! `streambal-elastic`) after every statistics round — observing per-task
+//! loads, per-task queue depth (tuple-weighted channel occupancy sampled
+//! at interval close: the backpushing signal), and the interval's
+//! mean/p99 latency — and executes its decision.
+//!
+//! **Scale-out** pre-places state at provision time
+//! (`EngineConfig::preplace`, the default), in four ordered steps:
+//!
+//! 1. **Plan.** Spawn the worker on its pre-provisioned slot, then ask
+//!    the partitioner for the placement delta at the same instant the
+//!    routing function grows (`Partitioner::scale_out_plan`): the live
+//!    keys the grown hash ring re-homes onto the new slot, each paired
+//!    with the task currently holding its state.
+//! 2. **Quiesce.** The plan runs through the rebalance machinery: the
+//!    source pauses (and locally buffers) exactly the moved keys — its
+//!    ack certifies every pre-pause tuple is already in the old holders'
+//!    FIFO channels, and `MigrateOut` markers land behind them.
+//! 3. **Install.** The old holders extract the moved keys' windowed
+//!    state after draining their backlogs; the controller installs it in
+//!    the new worker and waits for the ack.
+//! 4. **Resume.** Only then does the source adopt the grown view and
+//!    flush its pause buffer, so a moved key's tuples can reach the new
+//!    worker only after its state did.
+//!
+//! The new slot therefore takes its keys' traffic in the decision
+//! interval itself — without pre-placement (the seed behaviour, kept as
+//! `preplace: false`) churned keys are pinned back to their old homes
+//! and the slot idles until the next rebalance deigns to move keys onto
+//! it, which is exactly the overloaded stretch the policy scaled out
+//! for. Strategies with no state to move (shuffle, PKG) return an empty
+//! plan and the grown view is published directly.
+//!
+//! **Scale-in** runs the drain → migrate → retire protocol — pause the
+//! victim's destination at the source, enqueue a `Retire` marker behind
+//! the victim's backlog, re-install its entire drained state at each
+//! key's new home, and only then resume under the shrunk view. The
+//! FIFO-consistency argument is spelled out in the `streambal-elastic`
+//! crate docs; the retired slot's channel survives (the receiver travels
+//! back in the `Retired` event), so a later scale-out can re-provision
+//! the same slot mid-run.
 //!
 //! CPU saturation is emulated by `spin_work` busy-iterations per tuple,
 //! mirroring the paper's "controlling the latency on tuple processing to
 //! force the system to a saturation point".
 
 pub mod codec;
+pub(crate) mod controller;
 pub mod engine;
 pub mod message;
 pub mod operator;

@@ -64,6 +64,10 @@ pub enum WorkerEvent {
         interval: u64,
         /// Statistics collected since the previous request.
         stats: IntervalStats,
+        /// End-to-end tuple latency distribution of the closed interval
+        /// (µs) — the controller merges the per-worker histograms into
+        /// the interval's mean/p99 observation for elasticity policies.
+        latency: Box<streambal_metrics::Histogram>,
     },
     /// Response to [`Message::MigrateOut`]: extracted states (step 6a).
     StateOut {
@@ -100,6 +104,10 @@ pub enum WorkerEvent {
         processed: u64,
         /// Lifetime latency distribution (µs).
         latency: Box<streambal_metrics::Histogram>,
+        /// The interval this worker processed its first tuple in, if it
+        /// processed any (time-to-first-tuple instrumentation for
+        /// scale-out pre-placement).
+        first_interval: Option<u64>,
         /// The worker's channel receiver, handed back so the slot's
         /// channel stays connected (messages can never be silently
         /// dropped) and a later scale-out can respawn on the same slot.
@@ -115,6 +123,10 @@ pub enum WorkerEvent {
         processed: u64,
         /// This worker's end-to-end tuple latency distribution (µs).
         latency: Box<streambal_metrics::Histogram>,
+        /// The interval this worker processed its first tuple in, if any
+        /// (time-to-first-tuple instrumentation for scale-out
+        /// pre-placement).
+        first_interval: Option<u64>,
     },
 }
 

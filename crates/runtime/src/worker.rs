@@ -129,7 +129,13 @@ impl BatchEmitter {
 pub(crate) fn run_worker(mut ctx: WorkerCtx) {
     let mut stats = IntervalStats::new();
     let mut latency = Box::new(Histogram::new());
+    // Interval-scoped latency: recorded per tuple, shipped with each
+    // stats report (the controller merges workers into the interval's
+    // mean/p99 observation), folded into the lifetime histogram at every
+    // boundary so totals never double-count.
+    let mut iv_latency = Box::new(Histogram::new());
     let mut processed = 0u64;
+    let mut first_interval: Option<u64> = None;
     let mut current_interval = ctx.start_interval;
     let mut emitter = BatchEmitter::new(ctx.collector.clone(), ctx.emit_batch);
     // Drained buffers awaiting a grouped pool return.
@@ -149,7 +155,8 @@ pub(crate) fn run_worker(mut ctx: WorkerCtx) {
                     .process(&t, current_interval, &mut |t| emitter.emit(t));
                 stats.observe(t.key, 1, ctx.spin_work as u64 + 1, mem);
                 let now_us = ctx.epoch.elapsed().as_micros() as u64;
-                latency.record(now_us.saturating_sub(t.emitted_us));
+                iv_latency.record(now_us.saturating_sub(t.emitted_us));
+                first_interval.get_or_insert(current_interval);
                 processed += 1;
                 ctx.processed_counter.incr();
                 emitter.flush();
@@ -194,7 +201,10 @@ pub(crate) fn run_worker(mut ctx: WorkerCtx) {
                 // cache-hot pass over the stamps.
                 let now_us = ctx.epoch.elapsed().as_micros() as u64;
                 for t in batch.iter() {
-                    latency.record(now_us.saturating_sub(t.emitted_us));
+                    iv_latency.record(now_us.saturating_sub(t.emitted_us));
+                }
+                if n > 0 {
+                    first_interval.get_or_insert(current_interval);
                 }
                 batch.clear();
                 processed += n;
@@ -214,10 +224,15 @@ pub(crate) fn run_worker(mut ctx: WorkerCtx) {
                 ctx.op.flush(&mut |t| emitter.emit(t));
                 emitter.flush();
                 let out = std::mem::take(&mut stats);
+                // Fold the interval's latency into the lifetime total,
+                // then ship the interval histogram with the report.
+                latency.merge(&iv_latency);
+                let out_latency = std::mem::take(&mut iv_latency);
                 let _ = ctx.events.send(WorkerEvent::Stats {
                     worker: ctx.id,
                     interval,
                     stats: out,
+                    latency: out_latency,
                 });
                 current_interval = interval + 1;
                 // Keep the last `window` intervals: evict everything
@@ -262,6 +277,7 @@ pub(crate) fn run_worker(mut ctx: WorkerCtx) {
                     let _ = ctx.pool.send(std::mem::take(&mut returns));
                 }
                 let states = ctx.op.drain();
+                latency.merge(&iv_latency);
                 let _ = ctx.events.send(WorkerEvent::Retired {
                     worker: ctx.id,
                     epoch,
@@ -269,6 +285,7 @@ pub(crate) fn run_worker(mut ctx: WorkerCtx) {
                     stats: std::mem::take(&mut stats),
                     processed,
                     latency,
+                    first_interval,
                     rx: ctx.rx,
                 });
                 return;
@@ -280,11 +297,13 @@ pub(crate) fn run_worker(mut ctx: WorkerCtx) {
                     let _ = ctx.pool.send(std::mem::take(&mut returns));
                 }
                 let final_states = ctx.op.drain();
+                latency.merge(&iv_latency);
                 let _ = ctx.events.send(WorkerEvent::Drained {
                     worker: ctx.id,
                     final_states,
                     processed,
                     latency,
+                    first_interval,
                 });
                 return;
             }
@@ -340,14 +359,26 @@ mod tests {
         tx.send(Message::StatsRequest { interval: 0 }).unwrap();
         match erx.recv().unwrap() {
             WorkerEvent::Stats {
-                interval, stats, ..
+                interval,
+                stats,
+                latency,
+                ..
             } => {
                 assert_eq!(interval, 0);
                 let s = stats.get(Key(1)).unwrap();
                 assert_eq!(s.freq, 10);
                 assert_eq!(s.cost, 50); // (spin_work + 1) · freq
                 assert_eq!(s.mem, 80);
+                // The interval's latency distribution rides the report.
+                assert_eq!(latency.count(), 10);
             }
+            other => panic!("unexpected {other:?}"),
+        }
+        // An idle interval ships an empty latency histogram (it was
+        // drained into the lifetime total, not resent).
+        tx.send(Message::StatsRequest { interval: 1 }).unwrap();
+        match erx.recv().unwrap() {
+            WorkerEvent::Stats { latency, .. } => assert_eq!(latency.count(), 0),
             other => panic!("unexpected {other:?}"),
         }
         tx.send(Message::Shutdown).unwrap();
@@ -355,10 +386,14 @@ mod tests {
             WorkerEvent::Drained {
                 processed,
                 final_states,
+                latency,
+                first_interval,
                 ..
             } => {
                 assert_eq!(processed, 10);
                 assert_eq!(final_states.len(), 1);
+                assert_eq!(latency.count(), 10, "lifetime total survives shipping");
+                assert_eq!(first_interval, Some(0));
             }
             other => panic!("unexpected {other:?}"),
         }

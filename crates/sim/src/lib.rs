@@ -46,19 +46,80 @@ pub fn run_sim(
     run_sim_elastic(partitioner, source, cfg, &mut HoldPolicy, cfg.n_tasks)
 }
 
+/// Deterministic queue/latency proxy for [`run_sim_elastic_queued`]: the
+/// simulator has no physical channels, so the backpressure signals the
+/// engine samples (tuple-weighted channel occupancy at interval close,
+/// per-interval latency) are modeled as a per-task fluid queue. Each
+/// interval a task receives its routed tuple count and drains up to
+/// `service_rate` tuples; the standing remainder is its queue depth,
+/// clamped to `channel_capacity` exactly as the engine's bounded channel
+/// clamps real occupancy (beyond the bound, backpressure stalls the
+/// source instead of growing the queue). Latency is a sojourn proxy:
+/// a tuple waits `us_per_tuple` behind the standing backlog plus half
+/// its own interval's cohort — coarse, but it moves when and only when
+/// queues move, which is all a watermark policy consumes.
+#[derive(Debug, Clone, Copy)]
+pub struct QueueModel {
+    /// Tuples one task drains per interval.
+    pub service_rate: f64,
+    /// Queue-depth clamp, in tuples (the engine's `channel_capacity`).
+    pub channel_capacity: u64,
+    /// Modeled service time per tuple, µs (latency conversion).
+    pub us_per_tuple: f64,
+}
+
+impl QueueModel {
+    /// No backpressure modeling: infinite service rate, so queue depths
+    /// and latencies observe as zero (the pre-queue-signal behaviour).
+    pub fn none() -> Self {
+        QueueModel {
+            service_rate: f64::INFINITY,
+            channel_capacity: 0,
+            us_per_tuple: 0.0,
+        }
+    }
+}
+
 /// [`run_sim`] with an elasticity hook: the same per-interval decision
 /// sequence the engine's controller runs, recorded in the same
 /// [`SimReport::scale_events`] shape as `EngineReport::scale_events` so
-/// traces compare with `==`.
+/// traces compare with `==`. Queue/latency observations are zero (see
+/// [`run_sim_elastic_queued`] for the modeled backpressure signals).
+pub fn run_sim_elastic(
+    partitioner: &mut dyn Partitioner,
+    source: &mut dyn IntervalSource,
+    cfg: &SimConfig,
+    policy: &mut dyn ElasticityPolicy,
+    max_tasks: usize,
+) -> SimReport {
+    run_sim_elastic_queued(
+        partitioner,
+        source,
+        cfg,
+        policy,
+        max_tasks,
+        QueueModel::none(),
+    )
+}
+
+/// [`run_sim_elastic`] with modeled backpressure signals: per-task queue
+/// depths and interval latency from a [`QueueModel`] fluid queue, filled
+/// into the same [`IntervalObservation`] fields the engine samples from
+/// its real channels — so queue-driven policies
+/// (`streambal_elastic::BackpressurePolicy`) plan in the simulator and
+/// replay on the engine exactly like load-driven ones.
 ///
 /// Per interval, in engine order: the source advances (its fluctuation
 /// process sees the partitioner's current destinations), loads are
-/// evaluated under the current assignment, the policy decides on those
-/// loads — `ScaleOut` applies `Partitioner::scale_out` (clamped at
-/// `max_tasks`), `ScaleIn` applies `Partitioner::scale_in` on the
-/// highest-numbered task (clamped at one task) — and only then does
-/// `end_interval` run under the stopwatch, exactly as the controller
-/// consults the policy before the rebalance hook.
+/// evaluated under the current assignment, the queue model absorbs the
+/// interval's arrivals, the policy decides on those observations —
+/// `ScaleOut` applies `Partitioner::scale_out_plan` (clamped at
+/// `max_tasks`; the pre-placement moves are notional here, state being
+/// simulated, but the *routing* delta matches the engine's exactly),
+/// `ScaleIn` applies `Partitioner::scale_in` on the highest-numbered
+/// task (clamped at one task) — and only then does `end_interval` run
+/// under the stopwatch, exactly as the controller consults the policy
+/// before the rebalance hook.
 ///
 /// One divergence from the engine is inherent: the simulator has no
 /// physical state to drain, so a scale-in is instantaneous here, while
@@ -70,12 +131,13 @@ pub fn run_sim(
 /// decisions are at least one engine re-provision apart (any policy with
 /// hysteresis or a cooldown, and every fixed schedule that spaces its
 /// reversals — `tests/elasticity.rs` pins the replay identity).
-pub fn run_sim_elastic(
+pub fn run_sim_elastic_queued(
     partitioner: &mut dyn Partitioner,
     source: &mut dyn IntervalSource,
     cfg: &SimConfig,
     policy: &mut dyn ElasticityPolicy,
     max_tasks: usize,
+    model: QueueModel,
 ) -> SimReport {
     let mut report = SimReport::new(partitioner.name(), cfg.n_tasks);
     // Batch scratch reused across intervals: the destination evaluation is
@@ -83,6 +145,8 @@ pub fn run_sim_elastic(
     // (one call per interval) instead of a map probe per key.
     let mut keys: Vec<Key> = Vec::new();
     let mut dests: Vec<TaskId> = Vec::new();
+    // Modeled standing backlog per task, in tuples.
+    let mut backlog: Vec<f64> = vec![0.0; cfg.n_tasks];
     for interval in 0..cfg.intervals {
         let n_tasks = partitioner.n_tasks();
         let stats = source.next_interval(n_tasks, &mut |k| partitioner.route(k));
@@ -109,17 +173,56 @@ pub fn run_sim_elastic(
         let summary = loads_of(&records_input.records, n_tasks);
         report.observe_interval(interval, &summary);
 
-        // Elasticity decision on this interval's loads, mirroring the
-        // engine's controller (clamped decisions are skipped, and the
+        // Queue model: absorb this interval's per-task arrivals, drain
+        // the service rate, clamp to the channel bound — the state at
+        // interval close is what the engine's controller samples.
+        let mut arrivals = vec![0.0f64; n_tasks];
+        for ((_, s), &d) in stats.iter().zip(&dests) {
+            arrivals[d.index()] += s.freq as f64;
+        }
+        let mut queues: Vec<u64> = Vec::with_capacity(n_tasks);
+        let mut lat_weighted = 0.0f64;
+        let mut lat_total = 0.0f64;
+        let mut p99 = 0.0f64;
+        for d in 0..n_tasks {
+            let standing = backlog[d];
+            let after = (standing + arrivals[d] - model.service_rate)
+                .max(0.0)
+                .min(model.channel_capacity as f64);
+            backlog[d] = after;
+            queues.push(after.round() as u64);
+            // Sojourn proxy: wait behind the standing backlog plus half
+            // the own cohort (mean); the cohort's last tuple (p99-ish)
+            // waits behind all of it.
+            let mean_d = model.us_per_tuple * (standing + arrivals[d] * 0.5);
+            lat_weighted += mean_d * arrivals[d];
+            lat_total += arrivals[d];
+            p99 = p99.max(model.us_per_tuple * (standing + arrivals[d]));
+        }
+        let mean_latency_us = if lat_total > 0.0 {
+            lat_weighted / lat_total
+        } else {
+            0.0
+        };
+
+        // Elasticity decision on this interval's observations, mirroring
+        // the engine's controller (clamped decisions are skipped, and the
         // policy is not told — it keeps deciding from observations).
         let obs = IntervalObservation {
             interval: interval as u64,
             n_tasks,
             loads: &summary.loads,
+            queue_depths: &queues,
+            mean_latency_us,
+            p99_latency_us: p99,
         };
         match policy.decide(&obs) {
             ScaleDecision::ScaleOut if n_tasks < max_tasks => {
-                partitioner.scale_out(&keys);
+                // The engine's pre-placement path: churned keys follow
+                // the grown ring (their simulated state moves with them
+                // for free — only the routing delta matters here).
+                let _ = partitioner.scale_out_plan(&keys);
+                backlog.push(0.0); // the new slot joins drained
                 report.observe_scale(ScaleEvent {
                     interval: interval as u64,
                     from: n_tasks,
@@ -128,6 +231,10 @@ pub fn run_sim_elastic(
             }
             ScaleDecision::ScaleIn if n_tasks > 1 => {
                 partitioner.scale_in(TaskId::from(n_tasks - 1), &keys);
+                // The victim drains its own backlog before retiring (the
+                // engine's Retire marker lands behind it), so its queue
+                // leaves with it.
+                backlog.truncate(n_tasks - 1);
                 report.observe_scale(ScaleEvent {
                     interval: interval as u64,
                     from: n_tasks,
@@ -388,6 +495,98 @@ mod tests {
         );
         assert_eq!(p.n_tasks(), 1, "shrank to one task and stopped");
         assert_eq!(report.scale_events.len(), 1);
+    }
+
+    /// The modeled queue proxy drives `BackpressurePolicy` exactly like
+    /// the engine's sampled channel occupancy: a volume burst beyond the
+    /// service rate builds a standing queue → scale out; the quiet tail
+    /// drains it → scale in. Replayed load alone would show the same
+    /// totals spread differently — the *queue* signal is what reacts.
+    #[test]
+    fn backpressure_policy_reacts_to_modeled_queues() {
+        use source::ReplaySource;
+        use streambal_core::IntervalStats;
+        use streambal_elastic::BackpressurePolicy;
+        let volumes = [400u64, 400, 1600, 1600, 400, 400, 400];
+        let stats: Vec<IntervalStats> = volumes
+            .iter()
+            .map(|&v| {
+                let mut iv = IntervalStats::new();
+                for k in 0..200u64 {
+                    iv.observe(Key(k), v / 200, v / 200, 8);
+                }
+                iv
+            })
+            .collect();
+        let mut src = ReplaySource::new(stats);
+        let mut p = HashPartitioner::new(2);
+        // Service 300 t/interval/task: 2 tasks absorb the quiet 400 but
+        // queue ~500/task at the 1600 burst — clamped at the channel
+        // bound, exactly as real occupancy would be, so the quiet tail
+        // can drain it within a couple of intervals.
+        let model = QueueModel {
+            service_rate: 300.0,
+            channel_capacity: 256,
+            us_per_tuple: 50.0,
+        };
+        let mut policy = BackpressurePolicy::new(100, 20, 2, 4);
+        policy.down_after = 2;
+        policy.cooldown = 0;
+        let report = run_sim_elastic_queued(
+            &mut p,
+            &mut src,
+            &SimConfig {
+                n_tasks: 2,
+                intervals: volumes.len(),
+            },
+            &mut policy,
+            4,
+            model,
+        );
+        assert!(
+            report.scale_events.iter().any(|e| e.to > e.from),
+            "burst queue must trigger scale-out: {:?}",
+            report.scale_events
+        );
+        assert!(
+            report.scale_events.iter().any(|e| e.to < e.from),
+            "drained tail must trigger scale-in: {:?}",
+            report.scale_events
+        );
+        // Without a queue model the same policy never fires: the load
+        // totals are identical, the symptom is gone.
+        let mut src = ReplaySource::new(
+            volumes
+                .iter()
+                .map(|&v| {
+                    let mut iv = IntervalStats::new();
+                    for k in 0..200u64 {
+                        iv.observe(Key(k), v / 200, v / 200, 8);
+                    }
+                    iv
+                })
+                .collect::<Vec<_>>(),
+        );
+        let mut p = HashPartitioner::new(2);
+        let mut policy = BackpressurePolicy::new(100, 20, 2, 4);
+        policy.down_after = 2;
+        policy.cooldown = 0;
+        let report = run_sim_elastic(
+            &mut p,
+            &mut src,
+            &SimConfig {
+                n_tasks: 2,
+                intervals: volumes.len(),
+            },
+            &mut policy,
+            4,
+        );
+        assert!(
+            report.scale_events.is_empty(),
+            "no queue signal → no symptom → no events (min_tasks clamps \
+             the drained-pipeline scale-in): {:?}",
+            report.scale_events
+        );
     }
 
     #[test]

@@ -162,6 +162,7 @@ fn tiny_channels_rebalance_and_scale_out_stay_exact() {
                 spin_work: 10,
                 window: 100, // retain all state: exact count validation
                 elasticity: Box::new(FixedSchedule::scale_out_at(1)),
+                preplace: true,
             },
             Box::new(CoreBalancer::new(
                 N_TASKS,
@@ -195,6 +196,101 @@ fn tiny_channels_rebalance_and_scale_out_stay_exact() {
             *got.entry(*k).or_insert(0) += n;
         }
         assert_eq!(got, expect, "{label}: word counts diverged");
+    }
+}
+
+/// A pre-placed scale-out across every partitioner, under maximal
+/// stress: channels squeezed to 4 tuples, a skewed fluctuating workload,
+/// one forced scale-out after interval 1, across the seed per-tuple
+/// shape and batch sizes 3/256. Exact word counts prove the
+/// plan → quiesce → install → resume window loses nothing: state
+/// extracted before its pre-pause tuples landed, a tuple slipping to the
+/// new worker before its key's state installed, or a pause-buffered
+/// tuple lost in the flush would all surface as a count mismatch. And
+/// the point of pre-placement — the new worker takes traffic instead of
+/// idling — holds for *all* strategies: table-backed ones receive their
+/// churned keys' state inside the scale-out window, key-oblivious and
+/// key-splitting ones route to the new slot immediately.
+#[test]
+fn preplaced_scale_out_stays_exact_for_all_partitioners() {
+    let intervals = keyed_intervals();
+    let expect = reference_counts(&intervals);
+    let total: u64 = intervals.iter().map(|iv| iv.len() as u64).sum();
+    for (per_tuple, batch_size) in [(true, 256), (false, 3), (false, 256)] {
+        for p in all_partitioners() {
+            let name = p.name();
+            let label = format!(
+                "{name}/{}",
+                if per_tuple {
+                    "per-tuple".to_string()
+                } else {
+                    format!("batch={batch_size}")
+                }
+            );
+            let preserves = p.preserves_key_semantics();
+            let feed = intervals.clone();
+            let report = Engine::run(
+                EngineConfig {
+                    n_workers: N_TASKS,
+                    max_workers: N_TASKS + 1,
+                    channel_capacity: 4,
+                    collector_capacity: 2,
+                    batch_size,
+                    per_tuple,
+                    spin_work: 10,
+                    window: 100, // retain all state: exact count validation
+                    elasticity: Box::new(FixedSchedule::scale_out_at(1)),
+                    preplace: true,
+                },
+                p,
+                |_| {
+                    if preserves {
+                        Box::new(WordCountOp::new())
+                    } else {
+                        Box::new(WordCountOp::with_partial_emission(8))
+                    }
+                },
+                move |iv| {
+                    feed.get(iv as usize)
+                        .map(|ks| ks.iter().map(|&k| Tuple::keyed(k)).collect())
+                },
+                (!preserves).then(|| Box::new(SumCollector::new()) as Box<dyn Collector>),
+            );
+            assert_eq!(
+                report
+                    .scale_events
+                    .iter()
+                    .map(|e| (e.interval, e.from, e.to))
+                    .collect::<Vec<_>>(),
+                vec![(1, N_TASKS, N_TASKS + 1)],
+                "{label}: scale-out not executed"
+            );
+            assert!(
+                report.per_worker_processed[N_TASKS] > 0,
+                "{label}: scaled-out worker stayed cold: {:?}",
+                report.per_worker_processed
+            );
+            assert!(
+                report.first_tuple_interval[N_TASKS].is_some(),
+                "{label}: no first-tuple interval recorded for the new slot"
+            );
+            assert_eq!(report.processed, total, "{label}: tuples lost/duplicated");
+            let got: FxHashMap<Key, u64> = if preserves {
+                let mut m: FxHashMap<Key, u64> = FxHashMap::default();
+                for (k, blob) in &report.final_states {
+                    let n: u64 = WordCountOp::decode(blob).iter().map(|&(_, c)| c).sum();
+                    *m.entry(*k).or_insert(0) += n;
+                }
+                m
+            } else {
+                report
+                    .collector_result
+                    .iter()
+                    .map(|&(k, v)| (Key(k), v))
+                    .collect()
+            };
+            assert_eq!(got, expect, "{label}: word counts diverged");
+        }
     }
 }
 
@@ -237,6 +333,7 @@ fn scale_round_trip_stays_exact_for_all_partitioners() {
                     spin_work: 10,
                     window: 100, // retain all state: exact count validation
                     elasticity: Box::new(FixedSchedule::cycle(1, 3, 1)),
+                    preplace: true,
                 },
                 p,
                 |_| {

@@ -20,11 +20,13 @@
 
 use streambal::baselines::CoreBalancer;
 use streambal::core::{BalanceParams, IntervalStats, RebalanceStrategy};
-use streambal::elastic::{FixedSchedule, ScaleDecision, ScaleEvent, ThresholdPolicy};
+use streambal::elastic::{
+    BackpressurePolicy, FixedSchedule, ScaleDecision, ScaleEvent, ThresholdPolicy,
+};
 use streambal::prelude::Key;
 use streambal::runtime::{Engine, EngineConfig, Tuple, WordCountOp};
 use streambal::sim::source::ReplaySource;
-use streambal::sim::{run_sim_elastic, SimConfig};
+use streambal::sim::{run_sim_elastic, run_sim_elastic_queued, QueueModel, SimConfig};
 
 const N_TASKS: usize = 3;
 const MAX_TASKS: usize = 4;
@@ -166,6 +168,124 @@ fn sim_plans_and_engine_replays_the_identical_trace() {
     // And the engine run stayed lossless through the cycle.
     let total: u64 = intervals.iter().map(|v| v.len() as u64).sum();
     assert_eq!(engine_report.processed, total);
+}
+
+/// The queue-signal analogue of the trace-identity test above, for
+/// [`BackpressurePolicy`]: the simulator plans from the *modeled* queue
+/// proxy (per-task fluid backlog over a service rate, clamped at the
+/// channel bound — the same `IntervalObservation::queue_depths` field the
+/// engine fills from sampled channel occupancy), and the engine replays
+/// that plan event-for-event. The policy layer is deterministic in the
+/// sim (exact stats in, exact queue model, exact trace out); the engine
+/// layer proves the hook, clamping, pre-placement spawn, and event
+/// recording agree — `scale_events` must compare equal under `==`.
+#[test]
+fn backpressure_sim_plan_replays_identically_on_the_engine() {
+    let intervals = intervals();
+
+    // --- simulator: plan from the modeled queue signal ------------------
+    let stats: Vec<IntervalStats> = intervals
+        .iter()
+        .map(|keys| {
+            let mut iv = IntervalStats::new();
+            let mut freqs = vec![0u64; KEYS as usize];
+            for k in keys {
+                freqs[k.raw() as usize] += 1;
+            }
+            for (i, &f) in freqs.iter().enumerate() {
+                if f > 0 {
+                    iv.observe(Key(i as u64), f, f * (SPIN as u64 + 1), f * 8);
+                }
+            }
+            iv
+        })
+        .collect();
+    let mut src = ReplaySource::new(stats);
+    // Service 2000 tuples/task/interval: the quiet 4000 over 3 tasks
+    // (≈ 1300/task) drains every interval; the 4× burst (≈ 5300/task)
+    // leaves a standing backlog clamped at the channel bound, far above
+    // the high watermark. After the burst the residue drains within two
+    // quiet intervals, putting the total under the low watermark for the
+    // two consecutive rounds `down_after` demands.
+    let model = QueueModel {
+        service_rate: 2_000.0,
+        channel_capacity: 1_024,
+        us_per_tuple: 50.0,
+    };
+    let mut policy = BackpressurePolicy::new(512, 16, N_TASKS, MAX_TASKS);
+    policy.up_after = 1;
+    policy.down_after = 2;
+    policy.cooldown = 1;
+    let mut p = partitioner();
+    let sim_report = run_sim_elastic_queued(
+        &mut p,
+        &mut src,
+        &SimConfig {
+            n_tasks: N_TASKS,
+            intervals: intervals.len(),
+        },
+        &mut policy,
+        MAX_TASKS,
+        model,
+    );
+    assert_eq!(
+        sim_report.scale_events,
+        vec![
+            ScaleEvent {
+                interval: 2,
+                from: 3,
+                to: 4,
+            },
+            ScaleEvent {
+                interval: 6,
+                from: 4,
+                to: 3,
+            },
+        ],
+        "sim backpressure trace"
+    );
+
+    // --- engine: replay the sim's plan ----------------------------------
+    let schedule = FixedSchedule::new(sim_report.scale_events.iter().map(|e| {
+        (
+            e.interval,
+            if e.to > e.from {
+                ScaleDecision::ScaleOut
+            } else {
+                ScaleDecision::ScaleIn
+            },
+        )
+    }));
+    let feed = intervals.clone();
+    let engine_report = Engine::run(
+        EngineConfig {
+            n_workers: N_TASKS,
+            max_workers: MAX_TASKS,
+            spin_work: SPIN,
+            window: 100,
+            elasticity: Box::new(schedule),
+            ..EngineConfig::default()
+        },
+        Box::new(partitioner()),
+        |_| Box::new(WordCountOp::new()),
+        move |iv| {
+            feed.get(iv as usize)
+                .map(|ks| ks.iter().map(|&k| Tuple::keyed(k)).collect())
+        },
+        None,
+    );
+    assert_eq!(
+        engine_report.scale_events, sim_report.scale_events,
+        "engine replay diverged from the sim's backpressure plan"
+    );
+    let total: u64 = intervals.iter().map(|v| v.len() as u64).sum();
+    assert_eq!(engine_report.processed, total);
+    // The pre-placed scale-out worker actually absorbed traffic.
+    assert!(
+        engine_report.per_worker_processed[N_TASKS] > 0,
+        "pre-placement left the scaled-out worker cold: {:?}",
+        engine_report.per_worker_processed
+    );
 }
 
 /// Worker-seconds accounting: an elastic run that spends part of its

@@ -152,6 +152,15 @@ impl<T> Sender<T> {
         self.shared.not_empty.notify_one();
         Ok(())
     }
+
+    /// Total weight currently queued (the sum of `send_weighted` weights
+    /// not yet received) — for a tuple-weighted channel, its occupancy in
+    /// tuples. A sampling probe: the value is exact at the instant the
+    /// internal lock is held and can change the moment it returns, which
+    /// is all a backpressure signal needs.
+    pub fn queued_weight(&self) -> usize {
+        self.shared.state.lock().unwrap().used
+    }
 }
 
 impl<T> Clone for Sender<T> {
@@ -414,6 +423,19 @@ mod tests {
         for _ in 0..4 {
             rx.recv().unwrap();
         }
+    }
+
+    #[test]
+    fn queued_weight_tracks_occupancy() {
+        let (tx, rx) = bounded(16);
+        assert_eq!(tx.queued_weight(), 0);
+        tx.send_weighted(vec![0u8; 5], 5).unwrap();
+        tx.send(vec![1u8]).unwrap(); // weighs 1
+        assert_eq!(tx.queued_weight(), 6);
+        rx.recv().unwrap();
+        assert_eq!(tx.queued_weight(), 1);
+        rx.recv().unwrap();
+        assert_eq!(tx.queued_weight(), 0);
     }
 
     #[test]
