@@ -88,6 +88,10 @@ impl Partitioner for CoreBalancer {
             n_tasks: self.inner.assignment().n_tasks(),
         }
     }
+
+    fn last_install_was_delta(&self) -> bool {
+        self.inner.last_install_was_delta()
+    }
 }
 
 #[cfg(test)]

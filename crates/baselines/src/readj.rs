@@ -182,6 +182,7 @@ pub struct ReadjPartitioner {
     window: StatsWindow,
     cfg: ReadjConfig,
     rebalances: usize,
+    last_install_was_delta: bool,
 }
 
 impl ReadjPartitioner {
@@ -193,6 +194,7 @@ impl ReadjPartitioner {
             window: StatsWindow::new(window),
             cfg,
             rebalances: 0,
+            last_install_was_delta: false,
         }
     }
 
@@ -249,7 +251,11 @@ impl Partitioner for ReadjPartitioner {
         }
         let assign = readj_rebalance(&input.records, input.n_tasks, &self.cfg);
         let outcome = outcome_from_assignment(&input, &assign);
-        self.assignment.swap_table(outcome.table.clone());
+        // Delta install (O(churn)) with an occasional staleness resync —
+        // not the old whole-table clone-and-swap per rebalance.
+        self.last_install_was_delta = self
+            .assignment
+            .install_rebalance(&outcome.table, outcome.plan.moves());
         self.rebalances += 1;
         Some(outcome)
     }
@@ -285,6 +291,10 @@ impl Partitioner for ReadjPartitioner {
             table: self.assignment.table().clone(),
             n_tasks: self.assignment.n_tasks(),
         }
+    }
+
+    fn last_install_was_delta(&self) -> bool {
+        self.last_install_was_delta
     }
 }
 

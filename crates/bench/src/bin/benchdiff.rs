@@ -55,8 +55,12 @@ fn direction_of(key: &str) -> Direction {
     // Note `queue`/`ttft`/`time_to_first` (the elasticity backpressure
     // and cold-start metrics): a shallower queue and a faster first
     // tuple on a scaled-out slot are improvements, and must not be
-    // flagged as regressions when they drop.
-    const DOWN: [&str; 13] = [
+    // flagged as regressions when they drop. `rebuild`/`apply_delta`/
+    // `mutation` are the routing bench's table-maintenance latency rows
+    // (`results.rebuild/300000.ns_per_key`-style keys), and `ns_per_key`
+    // is its per-key probe cost — all wall time, all count down. Their
+    // derived `*_speedup_*` metrics hit the UP list first, as intended.
+    const DOWN: [&str; 17] = [
         "latency",
         "_ns",
         "_ms",
@@ -70,6 +74,10 @@ fn direction_of(key: &str) -> Direction {
         "ttft",
         "time_to_first",
         "backlog",
+        "rebuild",
+        "apply_delta",
+        "mutation",
+        "ns_per_key",
     ];
     if UP.iter().any(|p| k.contains(p)) {
         return Direction::HigherIsBetter;
@@ -318,6 +326,40 @@ mod tests {
                 "{key} must count down"
             );
         }
+    }
+
+    #[test]
+    fn directions_for_table_maintenance_metrics() {
+        // The routing bench's mutation-latency rows count down: a faster
+        // rebuild or delta apply is an improvement.
+        for key in [
+            "routing.json :: results.rebuild/3000000.ns_per_key",
+            "routing.json :: results.apply_delta/300000.mean_ns",
+            "routing.json :: results.compiled_batched/hit.ns_per_key",
+            "mutation_wall_time",
+        ] {
+            assert_eq!(
+                direction_of(key),
+                Direction::LowerIsBetter,
+                "{key} must count down"
+            );
+        }
+        // The derived speedups count up — "speedup" wins even though the
+        // key also names the down-counting rows it derives from.
+        for key in [
+            "mutation_speedup_delta_vs_rebuild.300000",
+            "prefetch_speedup_batched_vs_scalar.hit/3000000",
+        ] {
+            assert_eq!(
+                direction_of(key),
+                Direction::HigherIsBetter,
+                "{key} must count up"
+            );
+        }
+    }
+
+    #[test]
+    fn directions_for_legacy_families() {
         // The existing up/down families keep their directions.
         assert_eq!(
             direction_of("results.static/w8.mean_tuples_per_sec"),

@@ -40,6 +40,20 @@ pub enum RoutingView {
         /// Slot count.
         n_tasks: usize,
     },
+    /// An incremental update to a previously shipped
+    /// [`RoutingView::TablePlusHash`]: the rebalance's move list, to be
+    /// applied on top of the holder's current table
+    /// (`AssignmentFn::apply_delta` semantics — a move to the key's hash
+    /// destination removes its entry). `O(churn)` to ship and apply where
+    /// a full view is `O(table)`; only valid against a holder already
+    /// carrying a table view with the same `n_tasks` (full views remain
+    /// the resync points: startup, scale-out/in, staleness resyncs).
+    TableDelta {
+        /// Ring size the delta was computed against (unchanged by it).
+        n_tasks: usize,
+        /// The rebalance's `(key, new destination)` moves.
+        moves: Vec<(Key, TaskId)>,
+    },
 }
 
 /// A pluggable tuple-routing strategy with an interval-boundary hook.
@@ -131,6 +145,19 @@ pub trait Partitioner: Send {
 
     /// A shippable snapshot of the current routing function.
     fn routing_view(&self) -> RoutingView;
+
+    /// Whether the most recent [`Partitioner::end_interval`] rebalance
+    /// was installed as an incremental delta (moves applied in place)
+    /// rather than a table swap. When true, the driver may ship sources a
+    /// [`RoutingView::TableDelta`] of the outcome's moves instead of a
+    /// full [`Partitioner::routing_view`] — the two leave table-view
+    /// holders routing identically, because the holder's table and the
+    /// partitioner's were equal before the rebalance and receive the same
+    /// mutation. Default false: strategies that swap (or don't own a
+    /// table) always need the full view.
+    fn last_install_was_delta(&self) -> bool {
+        false
+    }
 
     /// Whether the strategy preserves key-grouping semantics (all tuples
     /// of a key on one worker). PKG does not — stateful aggregation then

@@ -219,6 +219,7 @@ pub struct Rebalancer {
     trigger: TriggerPolicy,
     intervals_since_rebalance: usize,
     consecutive_violations: usize,
+    last_install_was_delta: bool,
 }
 
 impl Rebalancer {
@@ -239,6 +240,7 @@ impl Rebalancer {
             trigger: TriggerPolicy::default(),
             intervals_since_rebalance: usize::MAX,
             consecutive_violations: 0,
+            last_install_was_delta: false,
         }
     }
 
@@ -274,6 +276,14 @@ impl Rebalancer {
     /// How many rebalances have fired so far.
     pub fn rebalances(&self) -> usize {
         self.rebalances
+    }
+
+    /// Whether the most recent rebalance was installed as an incremental
+    /// delta (`O(churn)`) rather than a full table swap (see
+    /// [`AssignmentFn::install_rebalance`]). Drivers use this to ship
+    /// sources a matching move-list view instead of the whole table.
+    pub fn last_install_was_delta(&self) -> bool {
+        self.last_install_was_delta
     }
 
     /// Adds a downstream instance (scale-out, Fig. 15). The next
@@ -369,7 +379,11 @@ impl Rebalancer {
             return None; // damped
         }
         let outcome = rebalance(&input, self.strategy, &self.params);
-        self.assignment.swap_table(outcome.table.clone());
+        // O(churn) delta install, with an occasional staleness resync —
+        // never the old O(table) clone-and-swap per rebalance.
+        self.last_install_was_delta = self
+            .assignment
+            .install_rebalance(&outcome.table, outcome.plan.moves());
         self.rebalances += 1;
         self.intervals_since_rebalance = 0;
         self.consecutive_violations = 0;

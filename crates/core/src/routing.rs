@@ -3,66 +3,130 @@
 //! # Hot-path design: compiled table + batched routing
 //!
 //! Routing is the one operation executed *per tuple*; everything else in
-//! the framework runs per interval. Two structural decisions keep it fast:
+//! the framework runs per interval. Three structural decisions keep it
+//! fast, from the paper's `Amax = 3000` up to the millions of explicitly
+//! routed keys the production regime needs:
 //!
 //! 1. **The table is compiled, not probed.** [`RoutingTable`] stays a
 //!    `FxHashMap` — the right shape for the rebalance algorithms, which
 //!    insert/remove entries incrementally — but the read side never touches
-//!    it. Every table mutation rebuilds a [`CompiledTable`]: the entries
-//!    frozen into a flat, power-of-two, open-addressed slot array (≤ 50%
-//!    load factor, linear probing) indexed by the ring's own avalanche
+//!    it. Reads go through a [`CompiledTable`]: the entries in a flat,
+//!    power-of-two, open-addressed slot array (≤ 50% load factor counting
+//!    tombstones, linear probing) indexed by the ring's own avalanche
 //!    primitive ([`streambal_hashring::mix64`] — see the `CompiledTable`
 //!    docs for why a full avalanche, not the raw Fx multiply, is
 //!    required). A lookup is one short hash, one mask, and on average
 //!    about one slot read on a contiguous, bounds-check-free cache line —
-//!    no control-byte metadata, no bucket machinery. Rebuilds cost
-//!    `O(N_A)` once per routing-view swap (at most once per interval,
-//!    `N_A ≤ Amax`), which is noise next to the millions of per-tuple
-//!    lookups between swaps.
+//!    no control-byte metadata, no bucket machinery.
 //!
-//! 2. **Routing is batched.** [`AssignmentFn::route_batch`] routes a slice
-//!    of keys per call. Callers (the engine's source loop, the simulator's
-//!    interval loop) amortize dispatch and let the compiler pipeline the
-//!    hash/probe sequence across independent keys instead of paying a call
-//!    and a branch-misprediction window per tuple. The same shape is what a
-//!    future sharded/async data plane needs: hand a *batch* to a channel,
-//!    not a tuple.
+//! 2. **Maintenance is incremental.** Table mutations no longer rebuild
+//!    the compiled view: [`CompiledTable::insert`] and
+//!    [`CompiledTable::remove`] update the slab in place (removal leaves a
+//!    tombstone that keeps probe chains intact), so a rebalance costs
+//!    `O(churn)` through [`AssignmentFn::apply_delta`], not `O(N_A)` — at
+//!    millions of entries a full rebuild is a multi-millisecond
+//!    source-stalling pause per mutation. Full rebuilds still happen in
+//!    exactly two places: (a) a whole-table replacement
+//!    ([`AssignmentFn::swap_table`], inherently `O(new table)`), and (b)
+//!    the **rehash threshold** — when live entries plus tombstones would
+//!    exceed the 50% load factor, the slab rehashes into
+//!    `(2·(live+1)).next_power_of_two()` slots, clearing tombstones;
+//!    amortized `O(1)` per insert. Stateful wrappers
+//!    ([`crate::Rebalancer`], the Readj baseline) use
+//!    [`AssignmentFn::install_rebalance`], which applies the outcome's
+//!    move list as a delta and falls back to a swap only when stale
+//!    entries for departed keys outnumber the live table (a rare,
+//!    amortized resync that bounds table growth under churning key
+//!    domains).
 //!
-//! The `benches/routing.rs` bench in `streambal-bench` measures both
-//! levers against the per-tuple `FxHashMap` probe they replaced and writes
-//! the numbers to `bench_results/routing.json`.
+//! 3. **Routing is batched — and prefetched past L2.**
+//!    [`AssignmentFn::route_batch`] routes a slice of keys per call.
+//!    Callers (the engine's source loop, the simulator's interval loop)
+//!    amortize dispatch and let the compiler pipeline the hash/probe
+//!    sequence across independent keys instead of paying a call and a
+//!    branch-misprediction window per tuple. Because the whole batch is
+//!    known up front, tables too large to sit in L2 additionally issue a
+//!    software prefetch for key `i + 8`'s home slot while probing key `i`
+//!    ([`CompiledTable::prefetch`]), hiding the DRAM latency that
+//!    dominates once the slab outgrows the cache; small tables keep the
+//!    plain scalar loop (the prefetch instructions were measured neutral
+//!    at L2-resident sizes, so `Amax = 3000` routing is unchanged).
+//!
+//! The `benches/routing.rs` bench in `streambal-bench` measures all three
+//! levers — including a 3e3→3e6 table-size sweep and rebuild-vs-delta
+//! mutation latency — and writes the numbers to
+//! `bench_results/routing.json`.
 
 use streambal_hashring::{mix64, FxHashMap, HashRing};
 
 use crate::key::{Key, TaskId};
+use crate::migration::Move;
 
 /// Sentinel marking an empty [`CompiledTable`] slot. Destinations are task
 /// indices `0..N_D` with `N_D` bounded far below `u32::MAX` (task-id
-/// construction panics past `u32`), so the sentinel can never collide with
-/// a real destination.
+/// construction panics past `u32`), so the sentinels can never collide
+/// with a real destination.
 const EMPTY_SLOT: u32 = u32::MAX;
 
-/// A [`RoutingTable`] frozen into a flat open-addressed array for the
+/// Sentinel marking a removed (tombstoned) [`CompiledTable`] slot: probe
+/// chains walk through it (unlike [`EMPTY_SLOT`], which terminates them)
+/// so entries displaced past the removed one stay reachable.
+const TOMBSTONE: u32 = u32::MAX - 1;
+
+/// Slab size (in slots) from which [`AssignmentFn::route_batch`] switches
+/// to the software-prefetch probe loop: `1 << 18` slots × 16 bytes = 4 MiB,
+/// the first power-of-two size class strictly larger than a typical 1–2 MiB
+/// L2, where probe latency turns memory-bound. Below it the scalar loop is
+/// kept — prefetch instructions are pure overhead on a cache-resident slab
+/// (measured ~20% slower at 1 MiB on a 2 MiB-L2 Xeon), and `Amax = 3000`
+/// compiles to an 8192-slot slab, comfortably under the threshold.
+const PREFETCH_MIN_SLOTS: usize = 1 << 18;
+
+/// How many keys ahead [`AssignmentFn::route_batch`] prefetches: far
+/// enough to cover a DRAM round-trip with ~8 probes of work, close enough
+/// that the line is still resident when its key comes up.
+const PREFETCH_AHEAD: usize = 8;
+
+/// A [`RoutingTable`] compiled into a flat open-addressed array for the
 /// per-tuple hot path.
 ///
-/// Immutable by construction: build once with [`CompiledTable::build`]
-/// whenever the authoritative table changes, then serve unlimited lookups.
-/// Slots hold `(key, dest)` pairs in a power-of-two array at ≤ 50% load
-/// factor with linear probing, indexed by the low bits of [`mix64`] — the
-/// ring's avalanche primitive, one multiply cheaper than the `FxHashMap`
-/// probe hash it replaces. The avalanche is load-bearing: indexing by the
-/// raw Fx *multiply* alone clusters dense sequential key domains (the
-/// three-distance effect pushes measured probe chains from ~1.3 to ~4.4
-/// slots at `Amax = 3000`), and dense integer keys are exactly what the
-/// workloads produce.
+/// Build once with [`CompiledTable::build`] when a whole table is
+/// installed, then maintain in place: [`CompiledTable::insert`] and
+/// [`CompiledTable::remove`] keep the slab consistent per mutation at
+/// `O(probe chain)` cost, with an amortized rehash when live entries plus
+/// tombstones would exceed the 50% load factor. Slots hold `(key, dest)`
+/// pairs in a power-of-two array with linear probing, indexed by the low
+/// bits of [`mix64`] — the ring's avalanche primitive, one multiply
+/// cheaper than the `FxHashMap` probe hash it replaces. The avalanche is
+/// load-bearing: indexing by the raw Fx *multiply* alone clusters dense
+/// sequential key domains (the three-distance effect pushes measured
+/// probe chains from ~1.3 to ~4.4 slots at `Amax = 3000`), and dense
+/// integer keys are exactly what the workloads produce.
+///
+/// # Invariants
+///
+/// - At most one slot per key carries that key, live **or** tombstoned;
+///   a live slot never sits later in its probe chain than a tombstoned
+///   slot of the same key (inserts reuse the earliest reusable slot).
+///   Lookups may therefore stop at the first key match.
+/// - `occupied() ≤ capacity() / 2` after every mutation (counting
+///   tombstones), so at least half the slots are [`EMPTY_SLOT`] and every
+///   probe loop terminates without a length check.
+///
+/// Equality (`PartialEq`) is structural — two tables with the same live
+/// entries but different tombstone histories may compare unequal; compare
+/// lookups, not slabs, for semantic equivalence.
 #[derive(Debug, Clone, PartialEq)]
 pub struct CompiledTable {
-    /// `(key, dest)` slots; `dest == EMPTY_SLOT` marks a free slot. Always
-    /// at least one slot (and under 50% full), so probe loops terminate
-    /// without a length check.
+    /// `(key, dest)` slots; `dest == EMPTY_SLOT` marks a never-used free
+    /// slot, `dest == TOMBSTONE` a removed entry whose key is kept so the
+    /// probe chain through it stays intact.
     slots: Box<[(u64, u32)]>,
     /// Number of live entries.
     len: usize,
+    /// Number of non-[`EMPTY_SLOT`] slots: live entries plus tombstones.
+    /// This — not `len` — is what the load-factor invariant bounds.
+    used: usize,
 }
 
 impl Default for CompiledTable {
@@ -72,6 +136,7 @@ impl Default for CompiledTable {
         CompiledTable {
             slots: vec![(0u64, EMPTY_SLOT); 1].into_boxed_slice(),
             len: 0,
+            used: 0,
         }
     }
 }
@@ -94,10 +159,14 @@ impl CompiledTable {
             }
             slots[i] = (k.raw(), d.0);
         }
-        CompiledTable { slots, len }
+        CompiledTable {
+            slots,
+            len,
+            used: len,
+        }
     }
 
-    /// Number of compiled entries.
+    /// Number of live entries.
     #[inline]
     pub fn len(&self) -> usize {
         self.len
@@ -107,6 +176,116 @@ impl CompiledTable {
     #[inline]
     pub fn is_empty(&self) -> bool {
         self.len == 0
+    }
+
+    /// Total slot count (always a power of two). Exposed so invariant
+    /// tests can check the load-factor bound; not meaningful to routing.
+    #[inline]
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Non-empty slots: live entries plus tombstones. The load-factor
+    /// invariant is `occupied() ≤ capacity() / 2` after every mutation,
+    /// which guarantees probe termination.
+    #[inline]
+    pub fn occupied(&self) -> usize {
+        self.used
+    }
+
+    /// Inserts or replaces an entry in place, returning the previous
+    /// destination. Amortized `O(1)`: rehashes (clearing tombstones) only
+    /// when live entries plus tombstones would cross the 50% load factor.
+    pub fn insert(&mut self, key: Key, dest: TaskId) -> Option<TaskId> {
+        // Grow/clean eagerly so the probe below always terminates and the
+        // write below never violates the load-factor invariant. This may
+        // rehash before an in-place update that needed no room — rare
+        // (only at the threshold) and harmless (the rehash was due).
+        if (self.used + 1) * 2 > self.slots.len() {
+            self.rehash();
+        }
+        let mask = self.slots.len() - 1;
+        let raw = key.raw();
+        let mut i = mix64(raw) as usize & mask;
+        let mut grave: Option<usize> = None;
+        loop {
+            let (k, d) = self.slots[i];
+            if d == EMPTY_SLOT {
+                break;
+            }
+            if k == raw {
+                if d != TOMBSTONE {
+                    self.slots[i].1 = dest.0;
+                    return Some(TaskId(d));
+                }
+                // The key's own tombstone: no live slot for this key can
+                // sit past it (struct invariant), so stop probing.
+                grave.get_or_insert(i);
+                break;
+            }
+            if d == TOMBSTONE {
+                grave.get_or_insert(i);
+            }
+            i = (i + 1) & mask;
+        }
+        match grave {
+            // Reusing the earliest tombstone keeps chains short and — for
+            // the key's own tombstone — preserves the one-slot-per-key
+            // invariant.
+            Some(g) => self.slots[g] = (raw, dest.0),
+            None => {
+                self.slots[i] = (raw, dest.0);
+                self.used += 1;
+            }
+        }
+        self.len += 1;
+        None
+    }
+
+    /// Removes an entry in place, returning its destination. The slot
+    /// becomes a tombstone (key kept, [`TOMBSTONE`] dest) so probe chains
+    /// running through it stay connected; the slot is reclaimed by a later
+    /// insert of any key probing past it, or by the next rehash.
+    pub fn remove(&mut self, key: Key) -> Option<TaskId> {
+        let mask = self.slots.len() - 1;
+        let raw = key.raw();
+        let mut i = mix64(raw) as usize & mask;
+        loop {
+            let (k, d) = self.slots[i];
+            if d == EMPTY_SLOT {
+                return None;
+            }
+            if k == raw {
+                if d == TOMBSTONE {
+                    return None;
+                }
+                self.slots[i].1 = TOMBSTONE;
+                self.len -= 1;
+                return Some(TaskId(d));
+            }
+            i = (i + 1) & mask;
+        }
+    }
+
+    /// Rebuilds the slab at `(2·(len+1)).next_power_of_two()` slots,
+    /// dropping tombstones. `O(capacity)`, amortized against the inserts
+    /// that grew `used` to the threshold.
+    fn rehash(&mut self) {
+        let cap = ((self.len + 1) * 2).next_power_of_two();
+        let mut slots = vec![(0u64, EMPTY_SLOT); cap].into_boxed_slice();
+        let mask = cap - 1;
+        for &(k, d) in self.slots.iter() {
+            if d == EMPTY_SLOT || d == TOMBSTONE {
+                continue;
+            }
+            let mut i = mix64(k) as usize & mask;
+            while slots[i].1 != EMPTY_SLOT {
+                i = (i + 1) & mask;
+            }
+            slots[i] = (k, d);
+        }
+        self.slots = slots;
+        self.used = self.len;
     }
 
     /// Looks up the explicit destination for `key`, if present.
@@ -131,10 +310,42 @@ impl CompiledTable {
                 return None;
             }
             if k == raw {
-                return Some(TaskId(d));
+                // A tombstoned match means the key was removed; no other
+                // slot can carry it (struct invariant), so stop here. The
+                // comparison folds into the same branch structure as the
+                // pre-tombstone hot path — small-table routing is
+                // unchanged.
+                return (d != TOMBSTONE).then_some(TaskId(d));
             }
             i = (i + 1) & mask;
         }
+    }
+
+    /// True when the slab is large enough (≥ 4 MiB) that probe latency is
+    /// DRAM-bound and [`AssignmentFn::route_batch`] should run the
+    /// software-prefetch loop.
+    #[inline]
+    pub fn wants_prefetch(&self) -> bool {
+        self.slots.len() >= PREFETCH_MIN_SLOTS
+    }
+
+    /// Issues a best-effort prefetch of `key`'s home slot into L1, hiding
+    /// DRAM latency when the probe for `key` runs ~[`PREFETCH_AHEAD`]
+    /// iterations later. A hint only (no-op on non-x86_64): correctness
+    /// never depends on it, and keys whose chains extend past the home
+    /// slot's cache line still take the miss on the spilled slots.
+    #[inline(always)]
+    pub fn prefetch(&self, key: Key) {
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: the home index is masked into `self.slots`' bounds, and
+        // prefetch has no architectural effect beyond the cache.
+        unsafe {
+            use std::arch::x86_64::{_mm_prefetch, _MM_HINT_T0};
+            let i = mix64(key.raw()) as usize & (self.slots.len() - 1);
+            _mm_prefetch::<_MM_HINT_T0>(self.slots.as_ptr().add(i).cast());
+        }
+        #[cfg(not(target_arch = "x86_64"))]
+        let _ = key;
     }
 }
 
@@ -185,6 +396,12 @@ impl RoutingTable {
         self.entries.remove(&key)
     }
 
+    /// Keeps only the entries for which `f` returns true, visiting each
+    /// once (the incremental alternative to collect-then-remove sweeps).
+    pub fn retain(&mut self, mut f: impl FnMut(Key, TaskId) -> bool) {
+        self.entries.retain(|&k, &mut d| f(k, d));
+    }
+
     /// Iterates entries in unspecified order.
     pub fn iter(&self) -> impl Iterator<Item = (Key, TaskId)> + '_ {
         self.entries.iter().map(|(&k, &d)| (k, d))
@@ -213,8 +430,9 @@ impl FromIterator<(Key, TaskId)> for RoutingTable {
 /// lookup; this is the structure the upstream "tuples router" evaluates per
 /// tuple (Fig. 3 / Fig. 5). The authoritative `FxHashMap`-backed
 /// [`RoutingTable`] is kept for mutation and inspection, but reads go
-/// through the [`CompiledTable`] rebuilt on every table change (see the
-/// module docs).
+/// through the [`CompiledTable`], maintained incrementally alongside
+/// every table mutation (see the module docs for when full rebuilds
+/// still happen).
 #[derive(Debug, Clone)]
 pub struct AssignmentFn {
     table: RoutingTable,
@@ -259,16 +477,50 @@ impl AssignmentFn {
     /// Evaluates `F(k)` for a batch of keys, filling `out` with one
     /// destination per key (previous contents discarded). One call per
     /// channel batch amortizes dispatch and keeps the probe sequence
-    /// pipelined; the resize-then-overwrite shape avoids both a capacity
-    /// check per key and (when the caller reuses a same-sized buffer, as
-    /// the drivers do) any zero-fill. See module docs.
+    /// pipelined; past the 4 MiB slab threshold it additionally
+    /// prefetches upcoming home slots to hide DRAM latency (see module
+    /// docs). Observationally identical to routing each key in order.
     #[inline]
     pub fn route_batch(&self, keys: &[Key], out: &mut Vec<TaskId>) {
+        if self.compiled.wants_prefetch() {
+            self.route_batch_prefetched(keys, out);
+        } else {
+            self.route_batch_scalar(keys, out);
+        }
+    }
+
+    /// The plain batched probe loop, with no prefetching. Public as the
+    /// reference implementation the prefetched path is verified and
+    /// benchmarked against (like [`AssignmentFn::route_via_map`] for the
+    /// compiled table itself); [`AssignmentFn::route_batch`] is the API
+    /// callers should use.
+    #[inline]
+    pub fn route_batch_scalar(&self, keys: &[Key], out: &mut Vec<TaskId>) {
+        // The resize-then-overwrite shape avoids both a capacity check
+        // per key and (when the caller reuses a same-sized buffer, as the
+        // drivers do) any zero-fill.
         out.resize(keys.len(), TaskId(0));
         for (o, &k) in out.iter_mut().zip(keys) {
             // Open-coded `route`: the table probe must stay inline in this
             // loop (see `CompiledTable::lookup`); the ring fallback may be
             // an out-of-line call — a miss pays a binary search anyway.
+            *o = match self.compiled.lookup(k) {
+                Some(d) => d,
+                None => self.hash_route(k),
+            };
+        }
+    }
+
+    /// The batched probe loop for larger-than-L2 slabs: while probing key
+    /// `i`, issues a prefetch for key `i + PREFETCH_AHEAD`'s home slot,
+    /// so by the time that key's probe runs its cache line is (usually)
+    /// already in flight or resident.
+    fn route_batch_prefetched(&self, keys: &[Key], out: &mut Vec<TaskId>) {
+        out.resize(keys.len(), TaskId(0));
+        for (i, (o, &k)) in out.iter_mut().zip(keys).enumerate() {
+            if let Some(&ahead) = keys.get(i + PREFETCH_AHEAD) {
+                self.compiled.prefetch(ahead);
+            }
             *o = match self.compiled.lookup(k) {
                 Some(d) => d,
                 None => self.hash_route(k),
@@ -304,34 +556,87 @@ impl AssignmentFn {
         &self.compiled
     }
 
-    /// Replaces the routing table (the controller broadcasts `F′` in step 3
-    /// of the Fig. 5 protocol), returning the old one. Recompiles the
-    /// read-side view.
+    /// Replaces the routing table wholesale (the controller broadcasts
+    /// `F′` in step 3 of the Fig. 5 protocol — or a resync, see
+    /// [`AssignmentFn::install_rebalance`]), returning the old one. This
+    /// is the one deliberate full rebuild of the read-side view,
+    /// inherently `O(new table)`.
     pub fn swap_table(&mut self, table: RoutingTable) -> RoutingTable {
         let old = std::mem::replace(&mut self.table, table);
         self.compiled = CompiledTable::build(&self.table);
         old
     }
 
-    /// Inserts a single explicit entry. Recompiles the read-side view per
-    /// call; bulk changes must use [`AssignmentFn::insert_entries`] or
-    /// [`AssignmentFn::swap_table`] to recompile once.
+    /// Inserts a single explicit entry, updating the read-side view in
+    /// place (`O(probe chain)`, not `O(table)`).
     pub fn insert_entry(&mut self, key: Key, dest: TaskId) {
         self.table.insert(key, dest);
-        self.compiled = CompiledTable::build(&self.table);
+        self.compiled.insert(key, dest);
     }
 
-    /// Inserts many explicit entries with a single recompile (used to pin
-    /// hash-churned keys to their physical location during scale-out,
-    /// where per-entry recompiles would make pinning quadratic).
+    /// Inserts many explicit entries (used to pin hash-churned keys to
+    /// their physical location during scale-out). Each insert is
+    /// incremental, so the batch costs `O(batch)` regardless of how large
+    /// the surrounding table is.
     pub fn insert_entries(&mut self, entries: impl IntoIterator<Item = (Key, TaskId)>) {
-        let mut changed = false;
         for (k, d) in entries {
             self.table.insert(k, d);
-            changed = true;
+            self.compiled.insert(k, d);
         }
-        if changed {
-            self.compiled = CompiledTable::build(&self.table);
+    }
+
+    /// Removes a single explicit entry (the key falls back to hash
+    /// routing), updating the read-side view in place. Returns the
+    /// removed destination.
+    pub fn remove_entry(&mut self, key: Key) -> Option<TaskId> {
+        let old = self.table.remove(key);
+        if old.is_some() {
+            self.compiled.remove(key);
+        }
+        old
+    }
+
+    /// Applies a rebalance delta: for each `(key, dest)` move, installs
+    /// an explicit entry — or removes the key's entry when `dest` is the
+    /// key's hash destination (an explicit entry would be redundant; this
+    /// is how move-backs to `h(k)` shrink the table). Costs `O(moves)`,
+    /// independent of table size — the entry point that makes million-key
+    /// rebalances affordable.
+    pub fn apply_delta(&mut self, moves: impl IntoIterator<Item = (Key, TaskId)>) {
+        for (k, d) in moves {
+            if d == self.hash_route(k) {
+                self.remove_entry(k);
+            } else {
+                self.insert_entry(k, d);
+            }
+        }
+    }
+
+    /// Installs a rebalance outcome: `table` is the outcome's full table
+    /// (entries where `F′(k) ≠ h(k)` over the stats window) and
+    /// `plan_moves` its migration plan. Applies the plan as a delta
+    /// (`O(churn)`) rather than swapping in `table` (`O(table)`).
+    ///
+    /// The two differ only on *stale* entries: keys that departed the
+    /// stats window keep their old entries under the delta while the swap
+    /// would drop them. Both route every windowed (stateful) key
+    /// identically — departed keys have no windowed state, so the stale
+    /// entries are harmless to correctness but accumulate under churning
+    /// key domains. When they outgrow the live outcome
+    /// (`held > 2·outcome + 64`), the install falls back to a full
+    /// [`AssignmentFn::swap_table`] resync — rare, and amortized against
+    /// the cheap installs that let the staleness build up.
+    ///
+    /// Returns `true` when the delta sufficed, `false` when it resynced —
+    /// the caller's signal for whether sources can be updated with a
+    /// matching delta view or need the full table.
+    pub fn install_rebalance(&mut self, table: &RoutingTable, plan_moves: &[Move]) -> bool {
+        self.apply_delta(plan_moves.iter().map(|m| (m.key, m.to)));
+        if self.table.len() > 2 * table.len() + 64 {
+            self.swap_table(table.clone());
+            false
+        } else {
+            true
         }
     }
 
@@ -418,17 +723,15 @@ impl AssignmentFn {
         // Drop entries pointing at the victim *before* shrinking the ring
         // so their keys re-route by hash, and redundant entries (equal to
         // the shrunk-ring hash) never enter the table.
-        let stale: Vec<Key> = self
-            .table
-            .iter()
-            .filter(|&(_, d)| d == victim)
-            .map(|(k, _)| k)
-            .collect();
-        for k in stale {
-            self.table.remove(k);
-        }
+        let compiled = &mut self.compiled;
+        self.table.retain(|k, d| {
+            let keep = d != victim;
+            if !keep {
+                compiled.remove(k);
+            }
+            keep
+        });
         self.ring.remove_slot();
-        self.compiled = CompiledTable::build(&self.table);
         let pins: Vec<(Key, TaskId)> = live
             .iter()
             .zip(&old)
@@ -441,24 +744,21 @@ impl AssignmentFn {
 
     /// Normalizes the table against the ring: removes entries whose
     /// destination equals the hash destination (they waste table space).
-    /// Returns how many entries were dropped.
+    /// Each removal goes through the incremental read-side path — one
+    /// sweep over the map, no rebuild. Returns how many entries were
+    /// dropped.
     pub fn prune_redundant(&mut self) -> usize {
         let ring = &self.ring;
+        let compiled = &mut self.compiled;
         let before = self.table.len();
-        let redundant: Vec<Key> = self
-            .table
-            .iter()
-            .filter(|&(k, d)| TaskId::from(ring.slot_of(k.raw())) == d)
-            .map(|(k, _)| k)
-            .collect();
-        for k in redundant {
-            self.table.remove(k);
-        }
-        let dropped = before - self.table.len();
-        if dropped > 0 {
-            self.compiled = CompiledTable::build(&self.table);
-        }
-        dropped
+        self.table.retain(|k, d| {
+            let keep = TaskId::from(ring.slot_of(k.raw())) != d;
+            if !keep {
+                compiled.remove(k);
+            }
+            keep
+        });
+        before - self.table.len()
     }
 }
 
@@ -678,19 +978,24 @@ mod tests {
     }
 
     #[test]
-    fn mutations_recompile_the_read_side() {
+    fn mutations_update_the_read_side() {
         let mut f = AssignmentFn::hash_only(4);
         let k = Key(42);
         let pinned = TaskId((f.hash_route(k).0 + 1) % 4);
-        // insert_entry recompiles.
+        // insert_entry updates the compiled view.
         f.insert_entry(k, pinned);
         assert_eq!(f.route(k), pinned);
         assert_eq!(f.compiled().len(), 1);
-        // swap_table recompiles.
+        // remove_entry drops it again.
+        assert_eq!(f.remove_entry(k), Some(pinned));
+        assert_eq!(f.route(k), f.hash_route(k));
+        assert_eq!(f.remove_entry(k), None);
+        // swap_table rebuilds.
+        f.insert_entry(k, pinned);
         f.swap_table(RoutingTable::new());
         assert_eq!(f.route(k), f.hash_route(k));
         assert!(f.compiled().is_empty());
-        // prune_redundant recompiles.
+        // prune_redundant removes through the incremental path.
         let mut t = RoutingTable::new();
         t.insert(k, f.hash_route(k)); // redundant entry
         t.insert(Key(7), TaskId((f.hash_route(Key(7)).0 + 1) % 4));
@@ -701,7 +1006,7 @@ mod tests {
     }
 
     #[test]
-    fn insert_entries_batches_one_recompile() {
+    fn insert_entries_applies_whole_batch() {
         let mut f = AssignmentFn::hash_only(4);
         let pins: Vec<(Key, TaskId)> = (0..100u64)
             .map(Key)
@@ -716,6 +1021,164 @@ mod tests {
         let before = f.compiled().clone();
         f.insert_entries(std::iter::empty());
         assert_eq!(f.compiled(), &before);
+    }
+
+    /// Incremental insert/remove keeps lookups equivalent to a fresh
+    /// build through growth (rehash) and tombstone churn — the
+    /// deterministic core of the property pinned down in
+    /// `tests/compiled_table_props.rs`.
+    #[test]
+    fn incremental_insert_remove_matches_fresh_build() {
+        let mut table = RoutingTable::new();
+        let mut c = CompiledTable::default();
+        assert_eq!(c.capacity(), 1);
+        // Grow from the 1-slot default through several rehashes.
+        for k in 0..600u64 {
+            let d = TaskId((k % 9) as u32);
+            assert_eq!(c.insert(Key(k), d), table.insert(Key(k), d));
+        }
+        // Tombstone a third, overwrite a third.
+        for k in (0..600u64).step_by(3) {
+            assert_eq!(c.remove(Key(k)), table.remove(Key(k)));
+        }
+        for k in (1..600u64).step_by(3) {
+            let d = TaskId((k % 5) as u32);
+            assert_eq!(c.insert(Key(k), d), table.insert(Key(k), d));
+        }
+        // Re-insert some removed keys (exercises tombstone reuse).
+        for k in (0..300u64).step_by(3) {
+            let d = TaskId(7);
+            assert_eq!(c.insert(Key(k), d), table.insert(Key(k), d));
+        }
+        let fresh = CompiledTable::build(&table);
+        assert_eq!(c.len(), fresh.len());
+        for k in 0..700u64 {
+            assert_eq!(c.lookup(Key(k)), fresh.lookup(Key(k)), "key {k}");
+            assert_eq!(c.lookup(Key(k)), table.get(Key(k)), "key {k}");
+        }
+    }
+
+    /// After any mutation sequence: at most one slot per key and at most
+    /// 50% occupancy (tombstones included), so probes terminate.
+    #[test]
+    fn tombstone_churn_keeps_load_factor_and_termination_invariants() {
+        let mut c = CompiledTable::default();
+        // Repeated insert/remove of the same window would, without
+        // tombstone reuse and rehash, fill the slab with graves.
+        for round in 0..50u64 {
+            for k in 0..64u64 {
+                c.insert(Key(k), TaskId((round % 4) as u32));
+            }
+            for k in (0..64u64).step_by(2) {
+                c.remove(Key(k));
+            }
+            assert!(
+                c.occupied() * 2 <= c.capacity(),
+                "round {round}: occupied {} of {} breaks the load factor",
+                c.occupied(),
+                c.capacity()
+            );
+            assert!(c.occupied() >= c.len());
+        }
+        // Misses on never-inserted keys must terminate (would hang
+        // forever if a probe chain had no EMPTY slot).
+        for k in 1000..1100u64 {
+            assert_eq!(c.lookup(Key(k)), None);
+        }
+        assert_eq!(c.len(), 32);
+    }
+
+    #[test]
+    fn apply_delta_inserts_moves_and_removes_movebacks() {
+        let mut f = AssignmentFn::hash_only(4);
+        let k_pin = Key(11);
+        let k_back = Key(22);
+        let elsewhere = TaskId((f.hash_route(k_back).0 + 1) % 4);
+        f.insert_entry(k_back, elsewhere);
+        let to_pin = TaskId((f.hash_route(k_pin).0 + 1) % 4);
+        // One move to a non-hash destination, one move-back to h(k).
+        f.apply_delta([(k_pin, to_pin), (k_back, f.hash_route(k_back))]);
+        assert_eq!(f.route(k_pin), to_pin);
+        assert_eq!(f.table().get(k_pin), Some(to_pin));
+        assert_eq!(f.route(k_back), f.hash_route(k_back));
+        assert_eq!(
+            f.table().get(k_back),
+            None,
+            "move-back must shrink the table"
+        );
+        // The read side agrees with the map everywhere.
+        for raw in 0..200u64 {
+            assert_eq!(f.route(Key(raw)), f.route_via_map(Key(raw)));
+        }
+    }
+
+    #[test]
+    fn install_rebalance_delta_then_resync() {
+        let mut f = AssignmentFn::hash_only(4);
+        // A big held table whose keys all "departed": the outcome table
+        // is tiny, so the staleness bound forces a resync.
+        let big: Vec<(Key, TaskId)> = (0..500u64)
+            .map(Key)
+            .map(|k| (k, TaskId((f.hash_route(k).0 + 1) % 4)))
+            .collect();
+        f.insert_entries(big);
+        let outcome: RoutingTable = (1000..1010u64)
+            .map(|k| (Key(k), TaskId((f.hash_route(Key(k)).0 + 1) % 4)))
+            .collect();
+        let moves: Vec<Move> = outcome
+            .iter()
+            .map(|(k, d)| Move {
+                key: k,
+                from: f.hash_route(k),
+                to: d,
+                state_bytes: 0,
+            })
+            .collect();
+        assert!(!f.install_rebalance(&outcome, &moves), "must resync");
+        assert_eq!(
+            f.table().len(),
+            outcome.len(),
+            "resync swapped in the outcome"
+        );
+        // A small table with a small delta stays on the delta path and
+        // routes every moved key correctly.
+        let outcome2: RoutingTable = outcome.iter().chain([(Key(2000), TaskId(0))]).collect();
+        let moves2 = [Move {
+            key: Key(2000),
+            from: f.hash_route(Key(2000)),
+            to: TaskId(0),
+            state_bytes: 0,
+        }];
+        assert!(f.install_rebalance(&outcome2, &moves2), "delta suffices");
+        for (k, d) in outcome2.iter() {
+            if d != f.hash_route(k) {
+                assert_eq!(f.route(k), d);
+            }
+        }
+    }
+
+    /// The prefetched batch path kicks in at the slab threshold and stays
+    /// observationally identical to the scalar loop.
+    #[test]
+    fn prefetched_route_batch_matches_scalar() {
+        // 140_000 entries → 524_288 slots ≥ PREFETCH_MIN_SLOTS.
+        let table: RoutingTable = (0..140_000u64)
+            .map(|k| (Key(k * 7), TaskId((k % 6) as u32)))
+            .collect();
+        let f = AssignmentFn::with_table(6, table);
+        assert!(
+            f.compiled().wants_prefetch(),
+            "slab must cross the threshold"
+        );
+        let keys: Vec<Key> = (0..5_000u64).map(|k| Key(k * 11)).collect();
+        let (mut a, mut b) = (Vec::new(), Vec::new());
+        f.route_batch(&keys, &mut a);
+        f.route_batch_scalar(&keys, &mut b);
+        assert_eq!(a, b);
+        // Small tables stay under the threshold (Amax = 3000 unchanged).
+        let small: RoutingTable = (0..3_000u64).map(|k| (Key(k), TaskId(0))).collect();
+        let g = AssignmentFn::with_table(4, small);
+        assert!(!g.compiled().wants_prefetch());
     }
 
     #[test]

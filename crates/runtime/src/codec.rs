@@ -16,6 +16,7 @@ pub const CODEC_VERSION: u8 = 1;
 const VIEW_TABLE_PLUS_HASH: u8 = 0;
 const VIEW_TWO_CHOICE: u8 = 1;
 const VIEW_ROUND_ROBIN: u8 = 2;
+const VIEW_TABLE_DELTA: u8 = 3;
 
 /// Decoding failure.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -70,6 +71,17 @@ pub fn encode_view(view: &RoutingView) -> Bytes {
             buf.put_u8(VIEW_ROUND_ROBIN);
             buf.put_u32_le(*n_tasks as u32);
         }
+        RoutingView::TableDelta { n_tasks, moves } => {
+            // Same 12-byte entry shape as the full table — the delta's
+            // wire win is its length (O(churn) entries, not O(table)).
+            buf.put_u8(VIEW_TABLE_DELTA);
+            buf.put_u32_le(*n_tasks as u32);
+            buf.put_u32_le(moves.len() as u32);
+            for (k, d) in moves {
+                buf.put_u64_le(k.raw());
+                buf.put_u32_le(d.0);
+            }
+        }
     }
     buf.freeze()
 }
@@ -107,6 +119,19 @@ pub fn decode_view(mut buf: Bytes) -> Result<RoutingView, CodecError> {
             Ok(RoutingView::RoundRobin {
                 n_tasks: buf.get_u32_le() as usize,
             })
+        }
+        VIEW_TABLE_DELTA => {
+            need(&buf, 8)?;
+            let n_tasks = buf.get_u32_le() as usize;
+            let n_moves = buf.get_u32_le() as usize;
+            need(&buf, n_moves * 12)?;
+            let mut moves = Vec::with_capacity(n_moves);
+            for _ in 0..n_moves {
+                let k = Key(buf.get_u64_le());
+                let d = TaskId(buf.get_u32_le());
+                moves.push((k, d));
+            }
+            Ok(RoutingView::TableDelta { n_tasks, moves })
         }
         other => Err(CodecError::BadTag(other)),
     }
@@ -238,6 +263,33 @@ mod tests {
                 ) => assert_eq!(a, b),
                 _ => panic!("variant mismatch"),
             }
+        }
+    }
+
+    #[test]
+    fn view_roundtrip_table_delta() {
+        let view = RoutingView::TableDelta {
+            n_tasks: 6,
+            moves: (0..40u64)
+                .map(|i| (Key(i * 13), TaskId((i % 6) as u32)))
+                .collect(),
+        };
+        let decoded = decode_view(encode_view(&view)).unwrap();
+        match (view, decoded) {
+            (
+                RoutingView::TableDelta {
+                    n_tasks: na,
+                    moves: a,
+                },
+                RoutingView::TableDelta {
+                    n_tasks: nb,
+                    moves: b,
+                },
+            ) => {
+                assert_eq!(na, nb);
+                assert_eq!(a, b, "move order is part of delta semantics");
+            }
+            _ => panic!("variant changed"),
         }
     }
 

@@ -721,10 +721,33 @@ impl Engine {
                                                     .or_default()
                                                     .push((mv.key, mv.to));
                                             }
+                                            // When the partitioner applied
+                                            // the rebalance as a delta, ship
+                                            // the source the same delta —
+                                            // O(churn), and the source's
+                                            // table stays in lockstep because
+                                            // both sides mutate equal tables
+                                            // identically. Swaps (and every
+                                            // scale op above) keep shipping
+                                            // full views: those are the
+                                            // resync points.
+                                            let view = if partitioner.last_install_was_delta() {
+                                                RoutingView::TableDelta {
+                                                    n_tasks: partitioner.n_tasks(),
+                                                    moves: out
+                                                        .plan
+                                                        .moves()
+                                                        .iter()
+                                                        .map(|m| (m.key, m.to))
+                                                        .collect(),
+                                                }
+                                            } else {
+                                                partitioner.routing_view()
+                                            };
                                             queue.push_back(PlannedOp::Migrate(PlannedMigration {
                                                 by_source,
                                                 affected,
-                                                view: partitioner.routing_view(),
+                                                view,
                                                 preplaced: false,
                                             }));
                                         }

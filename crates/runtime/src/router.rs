@@ -30,6 +30,11 @@ pub enum SourceRouter {
 
 impl SourceRouter {
     /// Materializes a view.
+    ///
+    /// # Panics
+    /// Panics on [`RoutingView::TableDelta`]: a delta is an update to an
+    /// existing table view, not a materializable starting point — fresh
+    /// routers (startup, retire re-homing) must receive a full view.
     pub fn from_view(view: RoutingView) -> Self {
         match view {
             RoutingView::TablePlusHash { table, n_tasks } => {
@@ -43,20 +48,40 @@ impl SourceRouter {
                 n: n_tasks,
                 next: 0,
             },
+            RoutingView::TableDelta { .. } => {
+                panic!("a TableDelta updates an existing table view; it cannot seed a router")
+            }
         }
     }
 
     /// Replaces the routing function, preserving PKG's local estimates
-    /// where slot counts allow.
+    /// where slot counts allow. A [`RoutingView::TableDelta`] is applied
+    /// in place on the held table (`O(moves)`, no rebuild) — the
+    /// controller only ships one when this router already holds the
+    /// matching table view (see `Partitioner::last_install_was_delta`).
+    ///
+    /// # Panics
+    /// Panics when a delta arrives against a non-table router or a
+    /// different slot count — both mean the controller and source views
+    /// have diverged, which must never be routed through silently.
     pub fn update(&mut self, view: RoutingView) {
-        if let (SourceRouter::TwoChoice { n, est }, RoutingView::TwoChoice { n_tasks }) =
-            (&mut *self, &view)
-        {
-            est.resize(*n_tasks, 0);
-            *n = *n_tasks;
-            return;
+        match (&mut *self, view) {
+            (SourceRouter::TwoChoice { n, est }, RoutingView::TwoChoice { n_tasks }) => {
+                est.resize(n_tasks, 0);
+                *n = n_tasks;
+            }
+            (SourceRouter::Assignment(a), RoutingView::TableDelta { n_tasks, moves }) => {
+                assert_eq!(
+                    a.n_tasks(),
+                    n_tasks,
+                    "table delta against a mismatched ring"
+                );
+                a.apply_delta(moves);
+            }
+            // Any other delta pairing falls through to from_view, which
+            // panics with the diagnosis; full views simply re-materialize.
+            (_, view) => *self = SourceRouter::from_view(view),
         }
-        *self = SourceRouter::from_view(view);
     }
 
     /// Routes one key.
@@ -187,6 +212,62 @@ mod tests {
         let mut r = SourceRouter::from_view(RoutingView::RoundRobin { n_tasks: 3 });
         let seq: Vec<usize> = (0..6).map(|_| r.route(Key(0)).index()).collect();
         assert_eq!(seq, vec![0, 1, 2, 0, 1, 2]);
+    }
+
+    /// Applying a delta leaves the router routing exactly like a holder
+    /// of the equivalent full view — the controller/source lockstep the
+    /// engine's delta shipping relies on.
+    #[test]
+    fn table_delta_matches_full_view_install() {
+        let table: RoutingTable = (0..100u64)
+            .map(|k| (Key(k), TaskId((k % 3) as u32)))
+            .collect();
+        let mut delta_router = SourceRouter::from_view(RoutingView::TablePlusHash {
+            table: table.clone(),
+            n_tasks: 4,
+        });
+        // A mixed delta: new pins, re-pins, and move-backs to h(k).
+        let reference = AssignmentFn::with_table(4, table.clone());
+        let moves: Vec<(Key, TaskId)> = vec![
+            (Key(500), TaskId(2)),                    // new entry
+            (Key(7), TaskId(3)),                      // re-pin
+            (Key(11), reference.hash_route(Key(11))), // move-back
+        ];
+        delta_router.update(RoutingView::TableDelta {
+            n_tasks: 4,
+            moves: moves.clone(),
+        });
+        let mut full = AssignmentFn::with_table(4, table);
+        full.apply_delta(moves);
+        let mut fresh = SourceRouter::from_view(RoutingView::TablePlusHash {
+            table: full.table().clone(),
+            n_tasks: 4,
+        });
+        for k in 0..1_000u64 {
+            assert_eq!(delta_router.route(Key(k)), fresh.route(Key(k)), "key {k}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot seed a router")]
+    fn table_delta_cannot_seed_a_router() {
+        SourceRouter::from_view(RoutingView::TableDelta {
+            n_tasks: 2,
+            moves: vec![],
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "mismatched ring")]
+    fn table_delta_against_wrong_ring_panics() {
+        let mut r = SourceRouter::from_view(RoutingView::TablePlusHash {
+            table: RoutingTable::new(),
+            n_tasks: 3,
+        });
+        r.update(RoutingView::TableDelta {
+            n_tasks: 4,
+            moves: vec![],
+        });
     }
 
     #[test]

@@ -1,0 +1,170 @@
+//! Property tests pinning the incremental [`CompiledTable`] maintenance
+//! path to the fresh-build semantics (proptest), plus a regression test
+//! that delta application over heavy tombstone churn preserves the
+//! slab's structural invariants.
+//!
+//! The deterministic core of the equivalence property also lives as a
+//! unit test next to the implementation
+//! (`crates/core/src/routing.rs::incremental_insert_remove_matches_fresh_build`);
+//! these tests drive the same invariants through randomized op
+//! sequences, where collision chains, tombstone reuse, and rehash
+//! timing vary per case.
+
+use std::collections::BTreeMap;
+
+use proptest::prelude::*;
+use streambal::core::{AssignmentFn, CompiledTable, Key, RoutingTable, TaskId};
+
+/// The structural invariants every mutation must preserve:
+///
+/// * **load factor** — occupied slots (live + tombstoned) never exceed
+///   half the capacity, so linear probes always terminate at an empty
+///   slot;
+/// * **probe termination witness** — at least one genuinely empty slot
+///   exists (implied by the load factor for any capacity ≥ 2, asserted
+///   separately so a violation reports which side broke);
+/// * **size accounting** — `len()` equals the number of live entries
+///   the reference model holds.
+fn assert_invariants(c: &CompiledTable, model: &BTreeMap<u64, u32>) {
+    assert!(
+        c.occupied() * 2 <= c.capacity(),
+        "load factor violated: {} occupied of {} slots",
+        c.occupied(),
+        c.capacity()
+    );
+    assert!(
+        c.occupied() < c.capacity(),
+        "no empty slot left: probes could spin"
+    );
+    assert_eq!(c.len(), model.len(), "live-entry count diverged from model");
+}
+
+/// Checks `c` against `model` on every key in `domain` — present keys
+/// must resolve to the modeled destination, absent keys to `None`.
+fn assert_lookups(c: &CompiledTable, model: &BTreeMap<u64, u32>, domain: u64) {
+    for k in 0..domain {
+        assert_eq!(
+            c.lookup(Key(k)),
+            model.get(&k).map(|&d| TaskId(d)),
+            "lookup diverged for key {k}"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Any interleaving of inserts, overwrites, and removes — applied
+    /// incrementally from an empty table, through however many rehashes
+    /// the sequence provokes — answers every lookup exactly like a
+    /// `CompiledTable::build` of the surviving entries. The key domain
+    /// is kept small (96) relative to the op count so chains collide,
+    /// removes hit live slots, and re-inserts land on tombstones.
+    #[test]
+    fn incremental_ops_match_fresh_build(
+        ops in proptest::collection::vec((0u64..96, 0u32..8), 1..400),
+    ) {
+        let mut c = CompiledTable::default();
+        let mut model: BTreeMap<u64, u32> = BTreeMap::new();
+        for (k, action) in ops {
+            if action == 0 {
+                prop_assert_eq!(
+                    c.remove(Key(k)),
+                    model.remove(&k).map(TaskId),
+                    "remove returned the wrong prior destination"
+                );
+            } else {
+                prop_assert_eq!(
+                    c.insert(Key(k), TaskId(action)),
+                    model.insert(k, action).map(TaskId),
+                    "insert returned the wrong prior destination"
+                );
+            }
+            assert_invariants(&c, &model);
+        }
+        // The surviving entries, built fresh: same answers everywhere.
+        let table: RoutingTable = model
+            .iter()
+            .map(|(&k, &d)| (Key(k), TaskId(d)))
+            .collect();
+        let fresh = CompiledTable::build(&table);
+        prop_assert_eq!(c.len(), fresh.len());
+        assert_lookups(&c, &model, 96);
+        assert_lookups(&fresh, &model, 96);
+    }
+
+    /// `AssignmentFn::apply_delta` on randomized rebalance-shaped move
+    /// lists (moves to the hash destination remove the entry, others
+    /// pin it) keeps the compiled slab consistent with the owned
+    /// `RoutingTable` and the structural invariants intact.
+    #[test]
+    fn apply_delta_keeps_table_and_slab_in_lockstep(
+        rounds in proptest::collection::vec(
+            proptest::collection::vec((0u64..64, 0u32..4), 1..32),
+            1..12,
+        ),
+    ) {
+        let n_tasks = 4usize;
+        let mut f = AssignmentFn::with_table(n_tasks, RoutingTable::default());
+        for round in rounds {
+            let moves: Vec<(Key, TaskId)> = round
+                .into_iter()
+                .map(|(k, d)| (Key(k), TaskId(d)))
+                .collect();
+            f.apply_delta(moves.iter().copied());
+            prop_assert_eq!(f.compiled().len(), f.table().len());
+            for (k, d) in f.table().iter() {
+                prop_assert_eq!(f.compiled().lookup(k), Some(d));
+                prop_assert_ne!(d, f.hash_route(k), "redundant entry survived");
+            }
+            prop_assert!(f.compiled().occupied() * 2 <= f.compiled().capacity());
+        }
+    }
+}
+
+/// Regression: sustained delta application whose move-backs tombstone
+/// entries and whose re-pins reuse those tombstones — the steady-state
+/// rebalance cadence — never lets tombstone debris break the load
+/// factor or leave the slab without an empty slot, and the read side
+/// stays exact throughout.
+#[test]
+fn delta_after_tombstone_churn_keeps_invariants() {
+    let n_tasks = 6usize;
+    let table: RoutingTable = (0..512u64)
+        .map(|k| (Key(k), TaskId((k % n_tasks as u64) as u32)))
+        .collect();
+    let mut f = AssignmentFn::with_table(n_tasks, table);
+    let pin =
+        |f: &AssignmentFn, k: Key, off: u32| TaskId((f.hash_route(k).0 + 1 + off) % n_tasks as u32);
+    for round in 0..200u64 {
+        // Half the window moves back to h(k) (tombstoning the slot),
+        // half re-pins (filling tombstones left by earlier rounds).
+        let lo = (round * 37) % 400;
+        let moves: Vec<(Key, TaskId)> = (lo..lo + 64)
+            .map(Key)
+            .map(|k| {
+                if (k.raw() + round) % 2 == 0 {
+                    (k, f.hash_route(k))
+                } else {
+                    (k, pin(&f, k, (round % 4) as u32))
+                }
+            })
+            .collect();
+        f.apply_delta(moves.iter().copied());
+
+        let c = f.compiled();
+        assert!(
+            c.occupied() * 2 <= c.capacity(),
+            "round {round}: load factor violated ({} of {})",
+            c.occupied(),
+            c.capacity()
+        );
+        assert!(c.occupied() < c.capacity(), "round {round}: no empty slot");
+        assert_eq!(c.len(), f.table().len(), "round {round}: len diverged");
+    }
+    // End state still answers exactly like a fresh build.
+    let fresh = CompiledTable::build(f.table());
+    for k in (0..512u64).map(Key) {
+        assert_eq!(f.compiled().lookup(k), fresh.lookup(k));
+    }
+}
