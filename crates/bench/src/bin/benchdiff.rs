@@ -7,16 +7,22 @@
 //!
 //! Every `*.json` file present in both trees is parsed (the hand-rolled
 //! reader in `streambal_bench::json`), its numeric leaves flattened to
-//! `file :: path.to.metric` keys — array elements are keyed by their
-//! `id`/`name`/`label`/`bench` field when they carry one, by index
-//! otherwise — and matched pairwise. A delta beyond `--threshold`
-//! (relative, default 10%) is printed and classified:
+//! `file :: path.to.metric` keys ([`flatten_metrics`] — array elements
+//! are keyed by their `id`/`name`/`label`/`bench` field when they carry
+//! one, by index otherwise) and matched pairwise. A delta beyond
+//! `--threshold` (relative, default 10%) is printed and classified by
+//! the metric's direction from the shared table in
+//! [`streambal_bench::direction`] (which lint rule L005 keeps closed
+//! over the committed files):
 //!
-//! * **regression / improvement** when the metric's name reveals its
-//!   direction — `throughput`, `per_sec`, `speedup`, `ratio` count up;
-//!   `latency`, `_ns`, `_ms`, `_us`, `seconds`, `migrated`, `gen_time`
-//!   count down;
-//! * **change** when the direction is unknown (reported, never fatal).
+//! * **regression / improvement** when the direction is
+//!   [`Direction::HigherIsBetter`] or [`Direction::LowerIsBetter`];
+//! * **change** when the key is declared [`Direction::Neutral`]
+//!   (reported, never fatal);
+//! * **change (NO DIRECTION)** when the key is [`Direction::Unknown`] —
+//!   still never fatal here, but `streambal-lint` fails CI until the key
+//!   is added to the table, so a renamed throughput metric cannot
+//!   silently stop gating regressions.
 //!
 //! Exit status: 0 normally; 2 with `--fail-on-regression` when at least
 //! one *directional* metric regressed beyond the threshold — so CI can
@@ -29,110 +35,16 @@ use std::collections::BTreeMap;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
+use streambal_bench::direction::{direction_of, flatten_metrics, Direction};
 use streambal_bench::json::Json;
 
 /// Relative change beyond which a metric is reported.
 const DEFAULT_THRESHOLD: f64 = 0.10;
 
-/// Which way "better" points for a metric, inferred from its name.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum Direction {
-    HigherIsBetter,
-    LowerIsBetter,
-    Unknown,
-}
-
-fn direction_of(key: &str) -> Direction {
-    let k = key.to_ascii_lowercase();
-    const UP: [&str; 6] = [
-        "throughput",
-        "per_sec",
-        "per_s",
-        "speedup",
-        "tuples_s",
-        "ratio",
-    ];
-    // Note `queue`/`ttft`/`time_to_first` (the elasticity backpressure
-    // and cold-start metrics): a shallower queue and a faster first
-    // tuple on a scaled-out slot are improvements, and must not be
-    // flagged as regressions when they drop. `rebuild`/`apply_delta`/
-    // `mutation` are the routing bench's table-maintenance latency rows
-    // (`results.rebuild/300000.ns_per_key`-style keys), and `ns_per_key`
-    // is its per-key probe cost — all wall time, all count down. Their
-    // derived `*_speedup_*` metrics hit the UP list first, as intended.
-    const DOWN: [&str; 17] = [
-        "latency",
-        "_ns",
-        "_ms",
-        "_us",
-        "seconds",
-        "migrated",
-        "gen_time",
-        "mig_",
-        "wall",
-        "queue",
-        "ttft",
-        "time_to_first",
-        "backlog",
-        "rebuild",
-        "apply_delta",
-        "mutation",
-        "ns_per_key",
-    ];
-    if UP.iter().any(|p| k.contains(p)) {
-        return Direction::HigherIsBetter;
-    }
-    if DOWN.iter().any(|p| k.contains(p)) {
-        return Direction::LowerIsBetter;
-    }
-    Direction::Unknown
-}
-
-/// Flattens numeric leaves of `v` into `out` under dotted paths.
-fn flatten(v: &Json, path: &mut String, out: &mut BTreeMap<String, f64>) {
-    match v {
-        Json::Obj(fields) => {
-            for (k, child) in fields {
-                let len = path.len();
-                if !path.is_empty() {
-                    path.push('.');
-                }
-                path.push_str(k);
-                flatten(child, path, out);
-                path.truncate(len);
-            }
-        }
-        Json::Arr(items) => {
-            for (i, child) in items.iter().enumerate() {
-                // Prefer a stable element label over a positional index:
-                // rows reorder across PRs, positions lie.
-                let label = ["id", "name", "label", "bench"]
-                    .iter()
-                    .find_map(|f| child.get(f).and_then(Json::as_str).map(str::to_string))
-                    .unwrap_or_else(|| i.to_string());
-                let len = path.len();
-                if !path.is_empty() {
-                    path.push('.');
-                }
-                path.push_str(&label);
-                flatten(child, path, out);
-                path.truncate(len);
-            }
-        }
-        _ => {
-            if let Some(x) = v.as_f64() {
-                out.insert(path.clone(), x);
-            }
-        }
-    }
-}
-
 fn load_metrics(path: &Path) -> Result<BTreeMap<String, f64>, String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
     let doc = Json::parse(&text).map_err(|e| format!("{}: {e}", path.display()))?;
-    let mut out = BTreeMap::new();
-    flatten(&doc, &mut String::new(), &mut out);
-    Ok(out)
+    Ok(flatten_metrics(&doc))
 }
 
 /// JSON files directly inside `dir` (one level — bench_results is flat),
@@ -255,11 +167,13 @@ fn main() -> ExitCode {
             if rel.abs() <= args.threshold {
                 continue;
             }
-            let dir = direction_of(key);
-            let verdict = match dir {
+            let verdict = match direction_of(key) {
                 Direction::HigherIsBetter if rel < 0.0 => "REGRESSION",
                 Direction::LowerIsBetter if rel > 0.0 => "REGRESSION",
-                Direction::Unknown => "change",
+                Direction::Neutral => "change",
+                // Lint rule L005 fails CI on these until the key joins
+                // the table; report, never gate.
+                Direction::Unknown => "change (NO DIRECTION)",
                 _ => "improvement",
             };
             match verdict {
@@ -370,6 +284,6 @@ mod tests {
             Direction::HigherIsBetter
         );
         assert_eq!(direction_of("worker_seconds"), Direction::LowerIsBetter);
-        assert_eq!(direction_of("scale_events.0.from"), Direction::Unknown);
+        assert_eq!(direction_of("scale_events.0.from"), Direction::Neutral);
     }
 }

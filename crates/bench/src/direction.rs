@@ -1,0 +1,273 @@
+//! The metric-direction table: which way "better" points for every
+//! metric key in `bench_results/`.
+//!
+//! `benchdiff` classifies a delta as regression or improvement by the
+//! metric's direction, inferred from its (dotted, file-qualified) key.
+//! This used to be a private heuristic inside the binary, which meant an
+//! unknown key silently compared as directionless — a renamed throughput
+//! metric would stop gating regressions without anyone noticing. The
+//! table is now public so `streambal-lint` (rule L005) can enforce the
+//! closed-world property: **every numeric key committed under
+//! `bench_results/` must classify as something other than
+//! [`Direction::Unknown`]** — either a real direction or an explicit
+//! [`Direction::Neutral`] (configuration echoes, figure rows, trajectory
+//! facts).
+//!
+//! Precedence is positional: [`UP_PATTERNS`] are checked first, then
+//! [`DOWN_PATTERNS`], then [`NEUTRAL_PATTERNS`] — so a derived
+//! `rebuild_speedup` key counts up even though `rebuild` alone counts
+//! down, and `worker_seconds` counts down even though bare `workers` is
+//! a neutral shape echo. Matching is case-insensitive substring over the
+//! full flattened key (`file :: path.to.metric` included), so a pattern
+//! can anchor on any path segment.
+
+use std::collections::BTreeMap;
+
+use crate::json::Json;
+
+/// Which way "better" points for a metric.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Direction {
+    /// Bigger is better (throughput, speedups, ratios).
+    HigherIsBetter,
+    /// Smaller is better (latency, wall time, migration cost, queues).
+    LowerIsBetter,
+    /// Declared directionless: configuration echoes, figure-table rows,
+    /// and trajectory facts. Reported on change, never a regression.
+    Neutral,
+    /// Not in the table at all. `benchdiff` reports these like
+    /// [`Direction::Neutral`]; lint rule L005 makes them a hard error so
+    /// the table stays closed over the committed result files.
+    Unknown,
+}
+
+/// Substring patterns for higher-is-better metrics (checked first).
+pub const UP_PATTERNS: &[&str] = &[
+    "throughput",
+    "per_sec",
+    "per_s",
+    "speedup",
+    "tuples_s",
+    "ratio",
+    // The pre-placement scenario's "is the new slot actually fed" count:
+    // more tuples on the scaled-out worker is the whole point.
+    "new_worker_tuples",
+];
+
+/// Substring patterns for lower-is-better metrics (checked second).
+///
+/// `queue`/`ttft`/`time_to_first` are the elasticity backpressure and
+/// cold-start metrics: a shallower queue and a faster first tuple on a
+/// scaled-out slot are improvements, and must not be flagged as
+/// regressions when they drop. `rebuild`/`apply_delta`/`mutation` are
+/// the routing bench's table-maintenance latency rows and `ns_per_key`
+/// its per-key probe cost — all wall time, all count down. Their derived
+/// `*_speedup_*` metrics hit [`UP_PATTERNS`] first, as intended.
+pub const DOWN_PATTERNS: &[&str] = &[
+    "latency",
+    "_ns",
+    "_ms",
+    "_us",
+    "seconds",
+    "migrated",
+    "gen_time",
+    "mig_",
+    "wall",
+    "queue",
+    "ttft",
+    "time_to_first",
+    "backlog",
+    "rebuild",
+    "apply_delta",
+    "mutation",
+    "ns_per_key",
+];
+
+/// Substring patterns for declaredly directionless keys (checked last,
+/// so a real direction anywhere in the key wins).
+///
+/// Three families:
+/// * **configuration echoes** — the shape parameters a bench writes next
+///   to its results so a JSON file is self-describing (`batch`, `reps`,
+///   `workers`, `spin_work`, `zipf_z`, …). Comparing them across trees
+///   only detects that the scenario changed, which is worth a "change"
+///   line but can never be a regression;
+/// * **figure-table rows** — the `figNN.json` ports of the paper's
+///   figures (`tables.N.rows.<label>.values.M`). Their directions vary
+///   per figure (a θ row counts down, a throughput row up) and the row
+///   labels are display strings; they are tracked as diffable artifacts,
+///   not gated metrics;
+/// * **trajectory facts** — scale-event logs, worker-count extrema,
+///   rebalance counts: facts about what a policy did, where "more" is
+///   neither better nor worse without the scenario in hand.
+pub const NEUTRAL_PATTERNS: &[&str] = &[
+    // Configuration echoes.
+    "batch",
+    "reps",
+    "workers",
+    "samples",
+    "spin",
+    "zipf",
+    "domain",
+    "table_size",
+    "capacity",
+    "churn",
+    "quiet",
+    "schedule",
+    "tuples_per",
+    "n_tasks",
+    "seed",
+    "theta",
+    // Figure-table rows.
+    ".rows.",
+    // Trajectory facts.
+    "interval",
+    "scale_events",
+    "rebalances",
+];
+
+/// The direction for a flattened metric key, by positional pattern
+/// precedence (up, then down, then neutral; no match ⇒ unknown).
+pub fn direction_of(key: &str) -> Direction {
+    let k = key.to_ascii_lowercase();
+    if UP_PATTERNS.iter().any(|p| k.contains(p)) {
+        return Direction::HigherIsBetter;
+    }
+    if DOWN_PATTERNS.iter().any(|p| k.contains(p)) {
+        return Direction::LowerIsBetter;
+    }
+    if NEUTRAL_PATTERNS.iter().any(|p| k.contains(p)) {
+        return Direction::Neutral;
+    }
+    Direction::Unknown
+}
+
+/// Flattens the numeric leaves of a parsed result document into dotted
+/// keys — the key space [`direction_of`] classifies. Array elements are
+/// keyed by their `id`/`name`/`label`/`bench` field when they carry one
+/// (rows reorder across PRs, positions lie), by index otherwise.
+pub fn flatten_metrics(doc: &Json) -> BTreeMap<String, f64> {
+    let mut out = BTreeMap::new();
+    flatten(doc, &mut String::new(), &mut out);
+    out
+}
+
+fn flatten(v: &Json, path: &mut String, out: &mut BTreeMap<String, f64>) {
+    match v {
+        Json::Obj(fields) => {
+            for (k, child) in fields {
+                let len = path.len();
+                if !path.is_empty() {
+                    path.push('.');
+                }
+                path.push_str(k);
+                flatten(child, path, out);
+                path.truncate(len);
+            }
+        }
+        Json::Arr(items) => {
+            for (i, child) in items.iter().enumerate() {
+                let label = ["id", "name", "label", "bench"]
+                    .iter()
+                    .find_map(|f| child.get(f).and_then(Json::as_str).map(str::to_string))
+                    .unwrap_or_else(|| i.to_string());
+                let len = path.len();
+                if !path.is_empty() {
+                    path.push('.');
+                }
+                path.push_str(&label);
+                flatten(child, path, out);
+                path.truncate(len);
+            }
+        }
+        _ => {
+            if let Some(x) = v.as_f64() {
+                out.insert(path.clone(), x);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn real_directions_win_over_neutral_echoes() {
+        // Quality metrics keep their direction even when the key also
+        // contains a neutral pattern.
+        assert_eq!(
+            direction_of("results.batched/b256/w4.tuples_per_sec"),
+            Direction::HigherIsBetter
+        );
+        assert_eq!(
+            direction_of("elastic.json :: results.threshold/4..8.worker_seconds"),
+            Direction::LowerIsBetter
+        );
+        assert_eq!(
+            direction_of("results.rebuild/300000.ns_per_key_speedup_vs_rebuild"),
+            Direction::HigherIsBetter
+        );
+        assert_eq!(
+            direction_of("preplacement.results.preplace/on.new_worker_tuples"),
+            Direction::HigherIsBetter
+        );
+    }
+
+    #[test]
+    fn shape_echoes_and_trajectories_are_neutral() {
+        for key in [
+            "results.batched/b256/w4.batch",
+            "results.planner/4..8.scale_events.3.from",
+            "results.static/w8.workers_max",
+            "tables.0.rows.Mixed θ=0.2.values.5",
+            "volume_schedule.7",
+            "zipf_z",
+            "preplacement.decision_interval",
+        ] {
+            assert_eq!(direction_of(key), Direction::Neutral, "{key}");
+        }
+    }
+
+    #[test]
+    fn unknown_means_not_in_the_table() {
+        assert_eq!(direction_of("entirely_new_metric"), Direction::Unknown);
+    }
+
+    /// The closed-world property lint rule L005 enforces at CI time:
+    /// every numeric key in every committed result file classifies.
+    #[test]
+    fn every_committed_key_classifies() {
+        let dir = crate::figure::results_dir();
+        let mut seen = 0usize;
+        for entry in std::fs::read_dir(dir).expect("bench_results exists") {
+            let path = entry.expect("readable entry").path();
+            if path.extension().and_then(|e| e.to_str()) != Some("json") {
+                continue;
+            }
+            let text = std::fs::read_to_string(&path).expect("readable file");
+            let doc = Json::parse(&text).expect("parseable result file");
+            let name = path.file_name().expect("file name").to_string_lossy();
+            for key in flatten_metrics(&doc).keys() {
+                seen += 1;
+                assert_ne!(
+                    direction_of(&format!("{name} :: {key}")),
+                    Direction::Unknown,
+                    "{name} :: {key} has no direction — add it to the table \
+                     in crates/bench/src/direction.rs"
+                );
+            }
+        }
+        assert!(seen > 100, "committed results should have many metrics");
+    }
+
+    #[test]
+    fn flatten_prefers_stable_labels_over_indices() {
+        let doc = Json::parse(r#"{"rows": [{"id": "hash", "v": 1}, {"v": 2}], "x": 3.5}"#)
+            .expect("parses");
+        let m = flatten_metrics(&doc);
+        assert_eq!(m.get("rows.hash.v"), Some(&1.0));
+        assert_eq!(m.get("rows.1.v"), Some(&2.0));
+        assert_eq!(m.get("x"), Some(&3.5));
+    }
+}

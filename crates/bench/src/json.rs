@@ -56,6 +56,7 @@ impl Json {
     /// `Json::Num(f64::NAN)`.
     pub fn parse(text: &str) -> Result<Json, ParseError> {
         let mut p = Parser {
+            text,
             bytes: text.as_bytes(),
             at: 0,
         };
@@ -202,6 +203,10 @@ impl std::fmt::Display for ParseError {
 impl std::error::Error for ParseError {}
 
 struct Parser<'a> {
+    /// The document; `bytes` is its byte view and `at` always sits on a
+    /// char boundary (it only ever advances by ASCII steps or whole
+    /// `len_utf8()` strides).
+    text: &'a str,
     bytes: &'a [u8],
     at: usize,
 }
@@ -345,11 +350,13 @@ impl Parser<'_> {
                     }
                 }
                 Some(_) => {
-                    // Consume one UTF-8 scalar (input is &str, so slices
-                    // at char boundaries are valid).
-                    let rest = &self.bytes[self.at..];
-                    let s = unsafe { std::str::from_utf8_unchecked(rest) };
-                    let c = s.chars().next().unwrap();
+                    // Consume one UTF-8 scalar. `at` advances only by
+                    // whole chars, so the boundary slice always succeeds;
+                    // the checked `get` keeps that an error, not UB, if
+                    // the invariant is ever broken.
+                    let Some(c) = self.text.get(self.at..).and_then(|s| s.chars().next()) else {
+                        return Err(self.err("not a char boundary"));
+                    };
                     out.push(c);
                     self.at += c.len_utf8();
                 }
@@ -383,7 +390,9 @@ impl Parser<'_> {
                 self.at += 1;
             }
         }
-        let text = std::str::from_utf8(&self.bytes[start..self.at]).unwrap();
+        // Only ASCII digits/signs/dots were consumed, so the slice sits
+        // on char boundaries.
+        let text = &self.text[start..self.at];
         if integral {
             if let Ok(v) = text.parse::<u64>() {
                 return Ok(Json::Int(v));

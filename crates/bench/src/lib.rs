@@ -11,6 +11,7 @@
 //! variable: `quick` (default; minutes, smaller key domains) and `full`
 //! (closer to Tab. II's bold defaults).
 
+pub mod direction;
 pub mod fig11;
 pub mod figs_runtime;
 pub mod figs_sim;

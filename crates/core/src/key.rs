@@ -59,6 +59,9 @@ impl From<u32> for TaskId {
 impl From<usize> for TaskId {
     #[inline]
     fn from(v: usize) -> Self {
+        // lint: allow(panic, reason = "task indices are bounded by worker
+        // count (tens); 2^32 tasks means the caller's arithmetic is broken
+        // and truncating would silently alias two workers")
         TaskId(u32::try_from(v).expect("task index exceeds u32"))
     }
 }

@@ -158,6 +158,9 @@ impl<'a> Arena<'a> {
     /// Extracts the final assignment vector; panics if any key is still a
     /// candidate (callers must run LLFD to completion first).
     pub fn into_assignment(self) -> Vec<TaskId> {
+        // lint: allow(panic, reason = "documented contract: callers run LLFD
+        // to completion first; an unassigned key here would otherwise
+        // surface as keys silently routed to task 0")
         self.assign
             .into_iter()
             .map(|a| a.expect("LLFD left an unassigned key"))
@@ -186,11 +189,17 @@ impl<'a> Arena<'a> {
     /// Disassociates key `idx` from its task into the candidate set,
     /// returning its record. No-op panic guard: key must be assigned.
     pub fn disassociate(&mut self, idx: u32) -> &KeyRecord {
+        // lint: allow(panic, reason = "documented no-op panic guard: callers
+        // only disassociate assigned keys; proceeding would corrupt the
+        // load accounting the whole Phase II drain is built on")
         let d = self.assign[idx as usize]
             .take()
             .expect("key already disassociated");
         self.loads[d.index()] -= self.records[idx as usize].cost;
         let keys = &mut self.task_keys[d.index()];
+        // lint: allow(panic, reason = "place() inserts every assigned key
+        // into its task's list; absence means the two structures diverged
+        // and any rebalance computed from them would be garbage")
         let pos = keys
             .iter()
             .position(|&k| k == idx)

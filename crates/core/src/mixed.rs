@@ -181,6 +181,8 @@ pub fn mixed_bf_assign(
             best = Some((feasible, mig, table_len, assign, n));
         }
     }
+    // lint: allow(panic, reason = "the trial loop runs at least once for any
+    // non-empty candidate ladder, which the caller constructs from n >= 1")
     let (_, _, table_len, assign, cleaned) = best.expect("at least one trial ran");
     MixedResult {
         assign,

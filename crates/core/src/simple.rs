@@ -26,6 +26,8 @@ pub fn simple_assign(records: &[KeyRecord], n_tasks: usize) -> Vec<TaskId> {
     let mut assign = vec![TaskId(0); records.len()];
     for idx in order {
         // Least-loaded instance, ties by id.
+        // lint: allow(panic, reason = "min over 0..n_tasks is None only for
+        // n_tasks == 0, and a zero-task topology cannot be constructed")
         let d = (0..n_tasks)
             .min_by_key(|&i| (loads[i], i))
             .expect("n_tasks > 0");

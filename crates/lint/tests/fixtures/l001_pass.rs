@@ -1,0 +1,40 @@
+// Fixture: all the shapes L001 must NOT flag.
+
+pub fn annotated(x: Option<u32>) -> u32 {
+    // lint: allow(panic, reason = "fixture: invariant documented here,
+    // continued on a second comment line")
+    x.expect("fixture invariant")
+}
+
+pub fn annotated_macro(cond: bool) {
+    if !cond {
+        // lint: allow(panic, reason = "fixture: tested contract")
+        panic!("fixture contract");
+    }
+}
+
+pub fn not_a_panic(x: Option<u32>) -> u32 {
+    x.unwrap_or_default()
+}
+
+pub fn lookalikes() {
+    // A comment saying unwrap() and panic!() is not code.
+    let _s = "x.unwrap(); panic!(\"in a string\")";
+    let _r = r#"y.expect("raw")"#;
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_code_may_unwrap() {
+        let v: Option<u32> = Some(1);
+        v.unwrap();
+        Some(2u32).expect("tests are exempt");
+    }
+
+    #[test]
+    #[should_panic]
+    fn test_code_may_panic() {
+        panic!("exempt");
+    }
+}

@@ -1,0 +1,17 @@
+// Fixture: every panic family member in library code, unannotated.
+
+pub fn take(x: Option<u32>) -> u32 {
+    x.unwrap()
+}
+
+pub fn must(x: Option<u32>) -> u32 {
+    x.expect("fixture")
+}
+
+pub fn boom() {
+    panic!("fixture");
+}
+
+pub fn never() {
+    unreachable!();
+}

@@ -1,0 +1,21 @@
+// Fixture: SAFETY-commented unsafe, including with an attribute and
+// extra comment lines between the marker and the block.
+
+pub fn read(p: *const u8) -> u8 {
+    // SAFETY: fixture — the caller guarantees `p` is valid for reads.
+    unsafe { *p }
+}
+
+pub fn gated(p: *const u8) -> u8 {
+    // SAFETY: fixture — marker above an attribute still counts.
+    #[cfg(target_arch = "x86_64")]
+    // A hint only; correctness never depends on it.
+    unsafe {
+        return *p;
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        let _ = p;
+        0
+    }
+}

@@ -1,0 +1,5 @@
+// Fixture: an unsafe block with no SAFETY comment.
+
+pub fn read(p: *const u8) -> u8 {
+    unsafe { *p }
+}

@@ -1,0 +1,14 @@
+// Fixture: swap_table mentioned in docs and called from test code only.
+
+/// Rebuild docs may reference `swap_table` freely — comments are not
+/// calls. Even "swap_table(" in a string is fine:
+pub const NOTE: &str = "swap_table(..) is confined to the resync path";
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_rebuild() {
+        let mut f = AssignmentFn::new(4);
+        f.swap_table(RoutingTable::new());
+    }
+}

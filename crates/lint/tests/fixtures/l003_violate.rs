@@ -1,0 +1,5 @@
+// Fixture: a swap_table call outside the whitelisted resync path.
+
+pub fn sneaky_rebuild(f: &mut AssignmentFn, t: RoutingTable) {
+    f.swap_table(t);
+}

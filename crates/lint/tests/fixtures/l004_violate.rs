@@ -1,0 +1,9 @@
+// Fixture: plain sends of a TupleBatch on the data plane.
+
+fn ship(tx: &Sender<Message>, batch: Vec<Tuple>) {
+    let _ = tx.send(Message::TupleBatch(batch));
+}
+
+fn ship_nb(tx: &Sender<Message>, batch: Vec<Tuple>) {
+    let _ = tx.try_send(Message::TupleBatch(batch));
+}

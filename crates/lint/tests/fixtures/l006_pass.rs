@@ -1,0 +1,24 @@
+// Fixture: intrinsics under cfg(target_arch) gates, at item and
+// expression position.
+
+#[cfg(target_arch = "x86_64")]
+pub fn warm(p: *const i8) {
+    // SAFETY: fixture — prefetch has no architectural effect.
+    unsafe {
+        use core::arch::x86_64::{_mm_prefetch, _MM_HINT_T0};
+        _mm_prefetch::<_MM_HINT_T0>(p);
+    }
+}
+
+#[cfg(not(target_arch = "x86_64"))]
+pub fn warm(_p: *const i8) {}
+
+pub fn inline_gate(p: *const i8) {
+    #[cfg(target_arch = "x86_64")]
+    // SAFETY: fixture — gated expression block.
+    unsafe {
+        core::arch::x86_64::_mm_prefetch::<0>(p);
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    let _ = p;
+}

@@ -1,0 +1,8 @@
+// Fixture: an x86 intrinsic with no cfg(target_arch) gate.
+
+pub fn warm(p: *const i8) {
+    // SAFETY: fixture — prefetch has no architectural effect.
+    unsafe {
+        core::arch::x86_64::_mm_prefetch::<0>(p);
+    }
+}

@@ -113,14 +113,15 @@ impl StatsLedger {
         // must not advance completion, or the round would close while a
         // distinct worker's report is still in flight.
         if round.reporters.insert(worker) && round.reporters.len() == round.expected {
-            let round = self.rounds.remove(&interval).expect("round present");
-            return Some(ClosedRound {
-                merged: round.merged,
-                loads: round.loads,
-                queues: round.queues,
-                mean_latency_us: round.latency.mean(),
-                p99_latency_us: round.latency.quantile(0.99) as f64,
-            });
+            if let Some(round) = self.rounds.remove(&interval) {
+                return Some(ClosedRound {
+                    merged: round.merged,
+                    loads: round.loads,
+                    queues: round.queues,
+                    mean_latency_us: round.latency.mean(),
+                    p99_latency_us: round.latency.quantile(0.99) as f64,
+                });
+            }
         }
         None
     }
@@ -136,8 +137,7 @@ impl StatsLedger {
     }
 
     fn absorb(&mut self, worker: TaskId, stats: &IntervalStats) {
-        if let Some(oldest) = self.rounds.keys().min().copied() {
-            let round = self.rounds.get_mut(&oldest).expect("oldest round present");
+        if let Some((_, round)) = self.rounds.iter_mut().min_by_key(|(k, _)| **k) {
             let slot = worker.index().min(round.loads.len() - 1);
             round.loads[slot] += stats.iter().map(|(_, s)| s.cost).sum::<u64>();
             round.merged.merge(stats);

@@ -179,6 +179,15 @@ pub struct EngineReport {
     /// slot, `first − decision_interval` is its time-to-first-tuple in
     /// intervals — the cold-start lag pre-placement closes.
     pub first_tuple_interval: Vec<Option<u64>>,
+    /// Violations of the pause→migrate→resume protocol the controller
+    /// observed and survived: an ack or state transfer arriving with no
+    /// matching in-flight op, a scale-out slot with no receiver, an
+    /// auxiliary thread that panicked. Each entry names the event and
+    /// what was dropped or skipped. The controller used to panic on
+    /// these (poisoning every channel and deadlocking the topology
+    /// mid-protocol); now the run completes and the report carries the
+    /// evidence — **empty on every healthy run**, and tests assert so.
+    pub protocol_errors: Vec<String>,
 }
 
 /// Keeps the earliest first-tuple interval across a slot's successive
@@ -370,6 +379,7 @@ impl Engine {
             scale_events: Vec::new(),
             worker_seconds: 0.0,
             first_tuple_interval: vec![None; max_workers],
+            protocol_errors: Vec::new(),
         };
 
         std::thread::scope(|s| {
@@ -385,6 +395,9 @@ impl Engine {
                 epoch: t0,
             };
             for (d, slot) in worker_rxs.iter_mut().enumerate().take(config.n_workers) {
+                // lint: allow(panic, reason = "startup invariant: every slot was
+                // filled Some(rx) in the channel-construction loop above and
+                // nothing has taken from them yet")
                 let rx = slot.take().expect("slot free");
                 spawner.spawn(s, d, rx, op_factory(TaskId::from(d)), 0);
             }
@@ -519,34 +532,43 @@ impl Engine {
                                 }
                             }
                             SourceEvent::PauseAck { epoch } => {
-                                let resume_now =
-                                    match pending.as_mut().expect("ack without pending op") {
-                                        ActiveOp::Migration(m) => {
-                                            debug_assert_eq!(m.epoch, epoch);
-                                            for (&w, moves) in &m.plan.by_source {
-                                                m.awaiting_out.insert(w);
-                                                let _ = worker_txs[w.index()].send(
-                                                    Message::MigrateOut {
-                                                        epoch,
-                                                        moves: moves.clone(),
-                                                    },
-                                                );
-                                            }
-                                            // Degenerate plan: resume immediately.
-                                            m.awaiting_out.is_empty().then(|| m.plan.view.clone())
+                                let resume_now = match pending.as_mut() {
+                                    None => {
+                                        // A pause ack with nothing in
+                                        // flight: the op protocol has
+                                        // desynced. Record and carry on
+                                        // — the source is not paused on
+                                        // anything we know about.
+                                        report.protocol_errors.push(format!(
+                                            "PauseAck for epoch {epoch} with no pending op"
+                                        ));
+                                        None
+                                    }
+                                    Some(ActiveOp::Migration(m)) => {
+                                        debug_assert_eq!(m.epoch, epoch);
+                                        for (&w, moves) in &m.plan.by_source {
+                                            m.awaiting_out.insert(w);
+                                            let _ =
+                                                worker_txs[w.index()].send(Message::MigrateOut {
+                                                    epoch,
+                                                    moves: moves.clone(),
+                                                });
                                         }
-                                        ActiveOp::Retire(r) => {
-                                            debug_assert_eq!(r.epoch, epoch);
-                                            // Every tuple the source will ever
-                                            // send the victim is now in its
-                                            // channel; the Retire marker lands
-                                            // behind all of them.
-                                            let _ = worker_txs[r.victim.index()]
-                                                .send(Message::Retire { epoch });
-                                            retiring = Some(r.victim);
-                                            None
-                                        }
-                                    };
+                                        // Degenerate plan: resume immediately.
+                                        m.awaiting_out.is_empty().then(|| m.plan.view.clone())
+                                    }
+                                    Some(ActiveOp::Retire(r)) => {
+                                        debug_assert_eq!(r.epoch, epoch);
+                                        // Every tuple the source will ever
+                                        // send the victim is now in its
+                                        // channel; the Retire marker lands
+                                        // behind all of them.
+                                        let _ = worker_txs[r.victim.index()]
+                                            .send(Message::Retire { epoch });
+                                        retiring = Some(r.victim);
+                                        None
+                                    }
+                                };
                                 if let Some(view) = resume_now {
                                     let _ = ctl_tx.send(SourceCtl::Resume { epoch, view });
                                     outstanding_resumes += 1;
@@ -612,12 +634,26 @@ impl Engine {
                                     match policy.decide(&obs) {
                                         ScaleDecision::ScaleOut
                                             if !scale_in_flight && active < max_workers =>
-                                        {
+                                        'scale_out: {
                                             debug_assert_eq!(planned, active);
+                                            let Some(rx) = worker_rxs[active].take() else {
+                                                // The slot's receiver was never
+                                                // returned (a prior retire
+                                                // mismatch): record it and keep
+                                                // running at the current width
+                                                // rather than tearing down the
+                                                // topology.
+                                                report.protocol_errors.push(format!(
+                                                    "scale-out to {} aborted: worker slot {} \
+                                                     has no channel to hand out",
+                                                    active + 1,
+                                                    active,
+                                                ));
+                                                break 'scale_out;
+                                            };
                                             ws.set_active(Instant::now(), active + 1);
                                             let live: Vec<Key> =
                                                 merged.iter().map(|(k, _)| k).collect();
-                                            let rx = worker_rxs[active].take().expect("slot");
                                             spawner.spawn(
                                                 s,
                                                 active,
@@ -758,10 +794,26 @@ impl Engine {
                                 worker,
                                 epoch,
                                 states,
-                            } => {
+                            } => 'state_out: {
                                 let m = match pending.as_mut() {
                                     Some(ActiveOp::Migration(m)) => m,
-                                    _ => panic!("state without migration"),
+                                    _ => {
+                                        // A well-formed worker only emits
+                                        // StateOut in answer to a MigrateOut,
+                                        // which only a pending migration
+                                        // sends. Arriving here means the op
+                                        // bookkeeping diverged; the extracted
+                                        // states have left their owner, so
+                                        // losing them is worth shouting about.
+                                        report.protocol_errors.push(format!(
+                                            "StateOut from worker {} for epoch {epoch} \
+                                             with no migration in flight; {} key states \
+                                             dropped",
+                                            worker.index(),
+                                            states.len(),
+                                        ));
+                                        break 'state_out;
+                                    }
                                 };
                                 debug_assert_eq!(m.epoch, epoch);
                                 if m.plan.preplaced {
@@ -799,22 +851,32 @@ impl Engine {
                                 }
                             }
                             WorkerEvent::InstallAck { worker, epoch } => {
-                                let resume_view = match pending
-                                    .as_mut()
-                                    .expect("ack without pending op")
-                                {
-                                    ActiveOp::Migration(m) => {
+                                let resume_view = match pending.as_mut() {
+                                    Some(ActiveOp::Migration(m)) => {
                                         debug_assert_eq!(m.epoch, epoch);
                                         m.awaiting_install.remove(&worker);
                                         // Step 7: resume with F′.
                                         m.awaiting_install.is_empty().then(|| m.plan.view.clone())
                                     }
-                                    ActiveOp::Retire(r) => {
+                                    Some(ActiveOp::Retire(r)) => {
                                         debug_assert_eq!(r.epoch, epoch);
                                         r.awaiting_install.remove(&worker);
                                         // Re-provision complete: resume
                                         // under the shrunk view.
                                         r.awaiting_install.is_empty().then(|| r.view.clone())
+                                    }
+                                    None => {
+                                        // Installs are only sent by a pending
+                                        // op, and the op stays pending until
+                                        // every install is acked — a stray ack
+                                        // is bookkeeping divergence, not a
+                                        // reason to kill the pipeline.
+                                        report.protocol_errors.push(format!(
+                                            "InstallAck from worker {} for epoch {epoch} \
+                                             with no pending op",
+                                            worker.index(),
+                                        ));
+                                        None
                                     }
                                 };
                                 if let Some(view) = resume_view {
@@ -832,10 +894,26 @@ impl Engine {
                                 latency,
                                 first_interval,
                                 rx,
-                            } => {
+                            } => 'retired: {
                                 let mut r = match pending.take() {
                                     Some(ActiveOp::Retire(r)) => r,
-                                    _ => panic!("retired without pending scale-in"),
+                                    other => {
+                                        // Retired is the victim's answer to a
+                                        // Retire marker only a pending
+                                        // scale-in sends. Put back whatever op
+                                        // actually was in flight and the
+                                        // slot's channel (so a later
+                                        // scale-out can still reuse it), and
+                                        // surface the divergence.
+                                        pending = other;
+                                        worker_rxs[worker.index()] = Some(rx);
+                                        report.protocol_errors.push(format!(
+                                            "Retired from worker {} for epoch {epoch} \
+                                             with no pending scale-in",
+                                            worker.index(),
+                                        ));
+                                        break 'retired;
+                                    }
                                 };
                                 debug_assert_eq!(r.epoch, epoch);
                                 debug_assert_eq!(r.victim, worker);
@@ -973,9 +1051,19 @@ impl Engine {
             stop.store(true, Ordering::Relaxed);
             drop(spawner);
             drop(col_tx);
-            report.throughput = sampler.join().expect("sampler");
+            match sampler.join() {
+                Ok(t) => report.throughput = t,
+                Err(_) => report
+                    .protocol_errors
+                    .push("throughput sampler thread panicked".into()),
+            }
             if let Some(h) = col_handle {
-                report.collector_result = h.join().expect("collector");
+                match h.join() {
+                    Ok(r) => report.collector_result = r,
+                    Err(_) => report
+                        .protocol_errors
+                        .push("collector thread panicked".into()),
+                }
             }
             report.final_states.sort_unstable_by_key(|&(k, _)| k);
         });

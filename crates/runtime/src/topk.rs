@@ -86,11 +86,11 @@ impl TopKOp {
         }
         // Evict the minimum counter; the newcomer adopts its count as its
         // error bound — the Space-Saving step.
-        let (&victim, &slot) = self
-            .counters
-            .iter()
-            .min_by_key(|(k, s)| (s.count, k.raw()))
-            .expect("non-empty at capacity");
+        let Some((&victim, &slot)) = self.counters.iter().min_by_key(|(k, s)| (s.count, k.raw()))
+        else {
+            // capacity == 0: degenerate sketch, count nothing.
+            return;
+        };
         self.counters.remove(&victim);
         self.counters.insert(
             key,
@@ -145,11 +145,10 @@ impl Operator for TopKOp {
         e.error += error;
         // Over capacity after an install: evict minima until bounded.
         while self.counters.len() > self.capacity {
-            let (&victim, _) = self
-                .counters
-                .iter()
-                .min_by_key(|(k, s)| (s.count, k.raw()))
-                .unwrap();
+            let Some((&victim, _)) = self.counters.iter().min_by_key(|(k, s)| (s.count, k.raw()))
+            else {
+                break;
+            };
             self.counters.remove(&victim);
         }
     }

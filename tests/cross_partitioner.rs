@@ -196,6 +196,11 @@ fn tiny_channels_rebalance_and_scale_out_stay_exact() {
             *got.entry(*k).or_insert(0) += n;
         }
         assert_eq!(got, expect, "{label}: word counts diverged");
+        assert!(
+            report.protocol_errors.is_empty(),
+            "{label}: protocol errors: {:?}",
+            report.protocol_errors
+        );
     }
 }
 
@@ -290,6 +295,11 @@ fn preplaced_scale_out_stays_exact_for_all_partitioners() {
                     .collect()
             };
             assert_eq!(got, expect, "{label}: word counts diverged");
+            assert!(
+                report.protocol_errors.is_empty(),
+                "{label}: protocol errors: {:?}",
+                report.protocol_errors
+            );
         }
     }
 }
@@ -375,6 +385,11 @@ fn scale_round_trip_stays_exact_for_all_partitioners() {
                     .collect()
             };
             assert_eq!(got, expect, "{label}: word counts diverged");
+            assert!(
+                report.protocol_errors.is_empty(),
+                "{label}: protocol errors: {:?}",
+                report.protocol_errors
+            );
         }
     }
 }
