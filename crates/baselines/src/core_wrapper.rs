@@ -92,6 +92,19 @@ impl Partitioner for CoreBalancer {
     fn last_install_was_delta(&self) -> bool {
         self.inner.last_install_was_delta()
     }
+
+    fn reroute_dead(
+        &mut self,
+        dead: TaskId,
+        is_dead: &dyn Fn(usize) -> bool,
+    ) -> Vec<(Key, TaskId)> {
+        self.inner.reroute_dead(dead, is_dead)
+    }
+
+    fn apply_moves(&mut self, moves: &[(Key, TaskId)]) -> bool {
+        self.inner.apply_moves(moves);
+        true
+    }
 }
 
 #[cfg(test)]

@@ -296,6 +296,19 @@ impl Partitioner for ReadjPartitioner {
     fn last_install_was_delta(&self) -> bool {
         self.last_install_was_delta
     }
+
+    fn reroute_dead(
+        &mut self,
+        dead: TaskId,
+        is_dead: &dyn Fn(usize) -> bool,
+    ) -> Vec<(Key, TaskId)> {
+        self.assignment.repin_dead(dead, is_dead)
+    }
+
+    fn apply_moves(&mut self, moves: &[(Key, TaskId)]) -> bool {
+        self.assignment.apply_delta(moves.iter().copied());
+        true
+    }
 }
 
 #[cfg(test)]

@@ -81,6 +81,13 @@ pub const DOWN_PATTERNS: &[&str] = &[
     "apply_delta",
     "mutation",
     "ns_per_key",
+    // Chaos-bench degradation metrics: fewer lost tuples, a shorter
+    // recovery window, and a cheaper rollback are all improvements.
+    // (`degraded_throughput_ratio` hits UP first via "ratio", as
+    // intended — closer to the healthy baseline is better.)
+    "lost",
+    "recovery",
+    "rollback",
 ];
 
 /// Substring patterns for declaredly directionless keys (checked last,
@@ -124,6 +131,18 @@ pub const NEUTRAL_PATTERNS: &[&str] = &[
     "interval",
     "scale_events",
     "rebalances",
+    // Chaos-ledger event counts: how many retries/aborts/absorptions a
+    // fault plan provoked is a fact about the plan, not a quality
+    // metric ("fault" also matches "default", which is equally
+    // neutral). The *costs* of those events classify above: lost
+    // tuples, recovery windows, and rollback overhead all count down.
+    "fault",
+    "abort",
+    "retri",
+    "absorb",
+    "stall",
+    "timed_out",
+    "fed_tuples",
 ];
 
 /// The direction for a flattened metric key, by positional pattern

@@ -165,6 +165,41 @@ pub trait Partitioner: Send {
     fn preserves_key_semantics(&self) -> bool {
         true
     }
+
+    /// A worker died without draining: pin every explicit table entry
+    /// routed to `dead` onto a surviving task and return the applied
+    /// `(key, new destination)` moves, for shipping to sources as a
+    /// delta. Survivors are chosen by [`crate::routing::next_live`] from
+    /// each key's hash home — the same rule sources use to divert
+    /// hash-fallback keys at send time, so every view holder agrees
+    /// where the dead slot's traffic lands. The parallelism does **not**
+    /// shrink: slot ids stay dense and a later scale-out can re-provision
+    /// the slot. `is_dead` must report every currently-dead slot,
+    /// `dead` included.
+    ///
+    /// Default: no routing table to re-pin, no moves — key-oblivious and
+    /// key-splitting strategies (shuffle, PKG) route around dead slots
+    /// at the source alone.
+    fn reroute_dead(
+        &mut self,
+        dead: TaskId,
+        is_dead: &dyn Fn(usize) -> bool,
+    ) -> Vec<(Key, TaskId)> {
+        let _ = (dead, is_dead);
+        Vec::new()
+    }
+
+    /// Applies an explicit `(key, destination)` move list to the routing
+    /// table (`AssignmentFn::apply_delta` semantics), returning `true`
+    /// when the strategy held a table to patch. The rollback path of an
+    /// aborted migration uses this to pin the plan's keys back onto the
+    /// workers still holding their state; `false` tells the caller the
+    /// strategy routes without a table, so there is nothing to undo.
+    /// Default: `false`.
+    fn apply_moves(&mut self, moves: &[(Key, TaskId)]) -> bool {
+        let _ = moves;
+        false
+    }
 }
 
 #[cfg(test)]

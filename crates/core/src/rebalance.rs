@@ -273,6 +273,23 @@ impl Rebalancer {
         &self.params
     }
 
+    /// A worker slot died without draining: re-pin its explicit entries
+    /// onto survivors (see [`AssignmentFn::repin_dead`]) and return the
+    /// applied moves.
+    pub fn reroute_dead(
+        &mut self,
+        dead: TaskId,
+        is_dead: &dyn Fn(usize) -> bool,
+    ) -> Vec<(Key, TaskId)> {
+        self.assignment.repin_dead(dead, is_dead)
+    }
+
+    /// Applies an explicit move list to the live assignment (the aborted
+    /// -migration rollback path; see [`AssignmentFn::apply_delta`]).
+    pub fn apply_moves(&mut self, moves: &[(Key, TaskId)]) {
+        self.assignment.apply_delta(moves.iter().copied());
+    }
+
     /// How many rebalances have fired so far.
     pub fn rebalances(&self) -> usize {
         self.rebalances

@@ -742,6 +742,37 @@ impl AssignmentFn {
         victim
     }
 
+    /// A worker slot died without draining: pins every explicit table
+    /// entry routed to `dead` onto a surviving slot and returns the
+    /// applied `(key, new destination)` moves, for shipping to other
+    /// view holders as a delta. Each key's survivor starts from its
+    /// *hash home* ([`next_live`] cycles past dead slots from there), so
+    /// the dead slot's keys spread over survivors instead of piling onto
+    /// one neighbour — and a key whose hash home is itself live simply
+    /// drops its entry ([`AssignmentFn::apply_delta`] semantics),
+    /// shrinking the table. The ring does **not** shrink: slot ids stay
+    /// dense and the slot can be re-provisioned later. Hash-fallback
+    /// keys routed to `dead` have no entries to re-pin; holders divert
+    /// them with the same [`next_live`] rule at send time.
+    pub fn repin_dead(
+        &mut self,
+        dead: TaskId,
+        is_dead: &dyn Fn(usize) -> bool,
+    ) -> Vec<(Key, TaskId)> {
+        let n = self.n_tasks();
+        let moves: Vec<(Key, TaskId)> = self
+            .table
+            .iter()
+            .filter(|&(_, d)| d == dead)
+            .map(|(k, _)| {
+                let home = self.hash_route(k).index();
+                (k, TaskId::from(next_live(home, n, is_dead)))
+            })
+            .collect();
+        self.apply_delta(moves.iter().copied());
+        moves
+    }
+
     /// Normalizes the table against the ring: removes entries whose
     /// destination equals the hash destination (they waste table space).
     /// Each removal goes through the incremental read-side path — one
@@ -760,6 +791,24 @@ impl AssignmentFn {
         });
         before - self.table.len()
     }
+}
+
+/// The next live slot at or after `dest`, cycling over `0..n` — the one
+/// divert rule shared by every holder of a routing view: sources route
+/// around a dead slot with it, [`AssignmentFn::repin_dead`] picks
+/// survivors with it, and controllers re-home state with it, so traffic
+/// and state land on the same survivor no matter who diverts.
+///
+/// Returns `dest` unchanged when every slot is dead (the caller is about
+/// to fail the send and account the loss anyway).
+pub fn next_live(dest: usize, n: usize, is_dead: impl Fn(usize) -> bool) -> usize {
+    for off in 0..n {
+        let d = (dest + off) % n;
+        if !is_dead(d) {
+            return d;
+        }
+    }
+    dest
 }
 
 #[cfg(test)]

@@ -162,6 +162,13 @@ pub struct IntervalObservation<'a> {
     /// 99th-percentile end-to-end tuple latency over the closed
     /// interval, µs (0 when the driver has no latency signal).
     pub p99_latency_us: f64,
+    /// Worker slots that are dead but not yet respawned. While this is
+    /// non-zero the survivors already carry the casualties' keys, so the
+    /// observed per-task signals describe a *degraded* topology: policies
+    /// must not volunteer a scale-in on top of an unplanned capacity loss
+    /// (the engine additionally refuses one), though scale-out remains
+    /// the correct response to the resulting overload.
+    pub n_dead: usize,
 }
 
 impl IntervalObservation<'_> {
@@ -420,7 +427,7 @@ impl ElasticityPolicy for ThresholdPolicy {
             self.hold_until = obs.interval + 1 + self.cooldown;
             return ScaleDecision::ScaleOut;
         }
-        if self.low_streak >= self.down_after && n > self.min_tasks {
+        if self.low_streak >= self.down_after && n > self.min_tasks && obs.n_dead == 0 {
             self.low_streak = 0;
             self.high_streak = 0;
             self.hold_until = obs.interval + 1 + self.cooldown;
@@ -535,7 +542,7 @@ impl ElasticityPolicy for BackpressurePolicy {
             self.hold_until = obs.interval + 1 + self.cooldown;
             return ScaleDecision::ScaleOut;
         }
-        if self.low_streak >= self.down_after && obs.n_tasks > self.min_tasks {
+        if self.low_streak >= self.down_after && obs.n_tasks > self.min_tasks && obs.n_dead == 0 {
             self.low_streak = 0;
             self.high_streak = 0;
             self.hold_until = obs.interval + 1 + self.cooldown;
@@ -622,8 +629,8 @@ impl ElasticityPolicy for TargetPlanner {
         let target = self.target_for(smoothed);
         match target.cmp(&obs.n_tasks) {
             std::cmp::Ordering::Greater => ScaleDecision::ScaleOut,
-            std::cmp::Ordering::Less => ScaleDecision::ScaleIn,
-            std::cmp::Ordering::Equal => ScaleDecision::Hold,
+            std::cmp::Ordering::Less if obs.n_dead == 0 => ScaleDecision::ScaleIn,
+            _ => ScaleDecision::Hold,
         }
     }
 
@@ -644,6 +651,7 @@ mod tests {
             queue_depths: &[],
             mean_latency_us: 0.0,
             p99_latency_us: 0.0,
+            n_dead: 0,
         }
     }
 
@@ -657,6 +665,7 @@ mod tests {
             queue_depths: queues,
             mean_latency_us: 0.0,
             p99_latency_us: 0.0,
+            n_dead: 0,
         }
     }
 
@@ -675,6 +684,7 @@ mod tests {
             queue_depths: &empty,
             mean_latency_us: 0.0,
             p99_latency_us: 0.0,
+            n_dead: 0,
         };
         assert_eq!(o.mean(), 0.0);
         assert_eq!(o.max_theta(), 0.0);
@@ -841,8 +851,56 @@ mod tests {
             queue_depths: &[3, 1],
             mean_latency_us: 2_000.0,
             p99_latency_us: 20_000.0,
+            n_dead: 0,
         };
         assert_eq!(p.decide(&o), ScaleDecision::ScaleOut);
+    }
+
+    /// While a worker slot is dead, policies must refuse to scale in no
+    /// matter how drained the survivors look — an unplanned capacity loss
+    /// never justifies a voluntary one — but must still allow scale-out.
+    #[test]
+    fn no_policy_scales_in_while_degraded() {
+        let degraded = |interval, loads: &'static [u64]| IntervalObservation {
+            interval,
+            n_tasks: loads.len(),
+            loads,
+            queue_depths: &[],
+            mean_latency_us: 0.0,
+            p99_latency_us: 0.0,
+            n_dead: 1,
+        };
+        let mut t = ThresholdPolicy::new(100.0, 1, 8);
+        t.down_after = 1;
+        for iv in 0..4 {
+            assert_eq!(
+                t.decide(&degraded(iv, &[5, 5, 5, 5])),
+                ScaleDecision::Hold,
+                "threshold interval {iv}"
+            );
+        }
+        // The same trace with the slot revived scales in at once: the
+        // low streak kept accumulating while the action was held.
+        assert_eq!(t.decide(&obs(4, &[5, 5, 5, 5])), ScaleDecision::ScaleIn);
+
+        let mut b = BackpressurePolicy::new(100, 10, 1, 8);
+        b.down_after = 1;
+        let mut drained = degraded(0, &[]);
+        drained.n_tasks = 3;
+        assert_eq!(b.decide(&drained), ScaleDecision::Hold, "backpressure");
+
+        let mut pl = TargetPlanner::new(100.0, 1, 16);
+        pl.alpha = 1.0;
+        assert_eq!(pl.decide(&degraded(0, &[5, 5, 5, 5])), ScaleDecision::Hold);
+
+        // Scale-out stays live under degradation: overload on the
+        // survivors is exactly when replacement capacity is needed.
+        let mut t = ThresholdPolicy::new(100.0, 1, 8);
+        assert_eq!(
+            t.decide(&degraded(0, &[95, 95])),
+            ScaleDecision::ScaleOut,
+            "degradation must not block scale-out"
+        );
     }
 
     #[test]

@@ -13,15 +13,38 @@ use streambal_metrics::Histogram;
 
 /// One open statistics round: merged stats, per-slot loads, queue-depth
 /// samples, the interval's latency distribution, and which workers have
-/// reported. The expected count is pinned at issue time — scale-out must
-/// not retroactively change how many workers a round waits for.
+/// reported. The expected *set* is pinned at issue time — scale-out must
+/// not retroactively change which workers a round waits for — but it can
+/// shrink: a reporter that dies mid-round is struck off
+/// ([`StatsLedger::on_worker_dead`]), and a round that outlives its
+/// deadline closes with whoever answered
+/// ([`StatsLedger::expire_rounds`]), so a dead or wedged worker cannot
+/// hold statistics — or shutdown, which waits on open rounds — hostage.
 struct StatsRound {
     merged: IntervalStats,
     loads: Vec<u64>,
     queues: Vec<u64>,
     latency: Histogram,
     reporters: FxHashSet<TaskId>,
-    expected: usize,
+    expected: FxHashSet<TaskId>,
+    /// When the round was issued (wall half of the expiry deadline).
+    opened: Instant,
+}
+
+impl StatsRound {
+    fn is_complete(&self) -> bool {
+        self.expected.iter().all(|w| self.reporters.contains(w))
+    }
+
+    fn close(self) -> ClosedRound {
+        ClosedRound {
+            merged: self.merged,
+            loads: self.loads,
+            queues: self.queues,
+            mean_latency_us: self.latency.mean(),
+            p99_latency_us: self.latency.quantile(0.99) as f64,
+        }
+    }
 }
 
 /// Everything a completed round hands the elasticity policy and the
@@ -66,20 +89,21 @@ impl StatsLedger {
         self.rounds.len()
     }
 
-    /// Opens the round for `interval`, expecting `expected` reports over
-    /// `active` worker slots, with `queues` the per-slot queue depths
-    /// sampled at interval close. Any carried residue is folded in (the
-    /// slot attribution is gone with the retired slot; totals are what
-    /// policies consume).
-    pub fn open(&mut self, interval: u64, active: usize, expected: usize, queues: Vec<u64>) {
-        debug_assert!(expected > 0 && active > 0);
+    /// Opens the round for `interval`, expecting a report from each
+    /// worker in `expected`, over `active` worker slots, with `queues`
+    /// the per-slot queue depths sampled at interval close. Any carried
+    /// residue is folded in (the slot attribution is gone with the
+    /// retired slot; totals are what policies consume).
+    pub fn open(&mut self, interval: u64, active: usize, expected: Vec<TaskId>, queues: Vec<u64>) {
+        debug_assert!(!expected.is_empty() && active > 0);
         let mut round = StatsRound {
             merged: IntervalStats::new(),
             loads: vec![0; active],
             queues,
             latency: Histogram::new(),
             reporters: FxHashSet::default(),
-            expected,
+            expected: expected.into_iter().collect(),
+            opened: Instant::now(),
         };
         if !self.carry.is_empty() {
             round.loads[active - 1] += self.carry.iter().map(|(_, s)| s.cost).sum::<u64>();
@@ -87,6 +111,69 @@ impl StatsLedger {
             self.carry = IntervalStats::new();
         }
         self.rounds.insert(interval, round);
+    }
+
+    /// Strikes a dead worker off every open round's expected set and
+    /// closes the rounds that were only waiting on it, oldest first.
+    /// Its already-merged contributions stay — the load was real.
+    pub fn on_worker_dead(&mut self, worker: TaskId) -> Vec<(u64, ClosedRound)> {
+        for round in self.rounds.values_mut() {
+            round.expected.remove(&worker);
+        }
+        self.drain_complete()
+    }
+
+    /// Closes rounds past their deadline — `deadline_intervals` newer
+    /// intervals have been issued (the deterministic clock) *and*
+    /// `deadline` wall time has passed since the round opened — with
+    /// whoever answered. Returns `(interval, round, missing reporters)`
+    /// oldest first; the caller records the missing set in the fault
+    /// ledger. A silent-but-subscribed worker thus delays statistics by
+    /// a bounded amount instead of wedging shutdown.
+    pub fn expire_rounds(
+        &mut self,
+        current_interval: u64,
+        deadline_intervals: u64,
+        deadline: std::time::Duration,
+    ) -> Vec<(u64, ClosedRound, Vec<usize>)> {
+        let now = Instant::now();
+        let mut expired: Vec<u64> = self
+            .rounds
+            .iter()
+            .filter(|(iv, round)| {
+                current_interval.saturating_sub(**iv) >= deadline_intervals
+                    && now.duration_since(round.opened) >= deadline
+            })
+            .map(|(iv, _)| *iv)
+            .collect();
+        expired.sort_unstable();
+        expired
+            .into_iter()
+            .filter_map(|iv| {
+                let round = self.rounds.remove(&iv)?;
+                let mut missing: Vec<usize> = round
+                    .expected
+                    .difference(&round.reporters)
+                    .map(|w| w.index())
+                    .collect();
+                missing.sort_unstable();
+                Some((iv, round.close(), missing))
+            })
+            .collect()
+    }
+
+    /// Removes and returns every complete round, oldest first.
+    fn drain_complete(&mut self) -> Vec<(u64, ClosedRound)> {
+        let mut done: Vec<u64> = self
+            .rounds
+            .iter()
+            .filter(|(_, r)| r.is_complete())
+            .map(|(iv, _)| *iv)
+            .collect();
+        done.sort_unstable();
+        done.into_iter()
+            .filter_map(|iv| Some((iv, self.rounds.remove(&iv)?.close())))
+            .collect()
     }
 
     /// Ingests one worker report. Returns the completed round when this
@@ -112,16 +199,8 @@ impl StatsLedger {
         // A duplicate reporter merges (discarding would under-count) but
         // must not advance completion, or the round would close while a
         // distinct worker's report is still in flight.
-        if round.reporters.insert(worker) && round.reporters.len() == round.expected {
-            if let Some(round) = self.rounds.remove(&interval) {
-                return Some(ClosedRound {
-                    merged: round.merged,
-                    loads: round.loads,
-                    queues: round.queues,
-                    mean_latency_us: round.latency.mean(),
-                    p99_latency_us: round.latency.quantile(0.99) as f64,
-                });
-            }
+        if round.reporters.insert(worker) && round.is_complete() {
+            return self.rounds.remove(&interval).map(StatsRound::close);
         }
         None
     }
@@ -196,6 +275,10 @@ mod tests {
         s
     }
 
+    fn expect_n(n: usize) -> Vec<TaskId> {
+        (0..n).map(TaskId::from).collect()
+    }
+
     fn close_all_but(ledger: &mut StatsLedger, interval: u64, workers: &[usize]) {
         for &w in workers {
             assert!(ledger
@@ -212,7 +295,7 @@ mod tests {
     #[test]
     fn round_closes_when_all_expected_report() {
         let mut ledger = StatsLedger::new();
-        ledger.open(0, 3, 3, vec![5, 0, 2]);
+        ledger.open(0, 3, expect_n(3), vec![5, 0, 2]);
         close_all_but(&mut ledger, 0, &[0, 1]);
         let closed = ledger
             .on_stats(TaskId(2), 0, stats_with_cost(2, 30), &Histogram::new())
@@ -228,15 +311,15 @@ mod tests {
     #[test]
     fn late_report_folds_into_oldest_open_round() {
         let mut ledger = StatsLedger::new();
-        ledger.open(0, 2, 2, vec![0, 0]);
+        ledger.open(0, 2, expect_n(2), vec![0, 0]);
         close_all_but(&mut ledger, 0, &[0]);
         assert!(ledger
             .on_stats(TaskId(1), 0, stats_with_cost(1, 10), &Histogram::new())
             .is_some());
         // Round 0 is gone. Rounds 1 and 2 are open; a late report for
         // round 0 lands in round 1 (the oldest), clamped to its slots.
-        ledger.open(1, 2, 2, vec![0, 0]);
-        ledger.open(2, 2, 2, vec![0, 0]);
+        ledger.open(1, 2, expect_n(2), vec![0, 0]);
+        ledger.open(2, 2, expect_n(2), vec![0, 0]);
         assert!(ledger
             .on_stats(TaskId(7), 0, stats_with_cost(9, 55), &Histogram::new())
             .is_none());
@@ -256,7 +339,7 @@ mod tests {
         assert!(ledger
             .on_stats(TaskId(3), 9, stats_with_cost(4, 40), &Histogram::new())
             .is_none());
-        ledger.open(10, 2, 2, vec![0, 0]);
+        ledger.open(10, 2, expect_n(2), vec![0, 0]);
         close_all_but(&mut ledger, 10, &[0]);
         let closed = ledger
             .on_stats(TaskId(1), 10, stats_with_cost(1, 10), &Histogram::new())
@@ -270,7 +353,7 @@ mod tests {
     #[test]
     fn duplicate_report_merges_without_advancing_completion() {
         let mut ledger = StatsLedger::new();
-        ledger.open(0, 3, 3, vec![0, 0, 0]);
+        ledger.open(0, 3, expect_n(3), vec![0, 0, 0]);
         close_all_but(&mut ledger, 0, &[0, 1]);
         // Worker 1 reports again: still waiting on worker 2.
         assert!(ledger
@@ -287,14 +370,14 @@ mod tests {
         let mut ledger = StatsLedger::new();
         // No round open: residue carries into the next open().
         ledger.on_residue(TaskId(2), &stats_with_cost(5, 21));
-        ledger.open(0, 2, 2, vec![0, 0]);
+        ledger.open(0, 2, expect_n(2), vec![0, 0]);
         close_all_but(&mut ledger, 0, &[0]);
         let closed = ledger
             .on_stats(TaskId(1), 0, stats_with_cost(1, 10), &Histogram::new())
             .expect("closes");
         assert_eq!(closed.loads, vec![10, 31]);
         // Round open: residue folds straight in, slot clamped.
-        ledger.open(1, 2, 2, vec![0, 0]);
+        ledger.open(1, 2, expect_n(2), vec![0, 0]);
         ledger.on_residue(TaskId(6), &stats_with_cost(5, 9));
         close_all_but(&mut ledger, 1, &[0]);
         let closed = ledger
@@ -306,7 +389,7 @@ mod tests {
     #[test]
     fn latency_summary_merges_across_reporters() {
         let mut ledger = StatsLedger::new();
-        ledger.open(0, 2, 2, vec![0, 0]);
+        ledger.open(0, 2, expect_n(2), vec![0, 0]);
         let mut h0 = Histogram::new();
         h0.record(100);
         let mut h1 = Histogram::new();
@@ -319,6 +402,57 @@ mod tests {
             .expect("closes");
         assert_eq!(closed.mean_latency_us, 200.0);
         assert!(closed.p99_latency_us >= 250.0, "{}", closed.p99_latency_us);
+    }
+
+    /// A reporter that dies mid-round must not wedge the round: striking
+    /// it off closes every round that was only waiting on it, and its
+    /// already-merged load stays in the closed totals.
+    #[test]
+    fn dead_reporter_closes_waiting_rounds() {
+        let mut ledger = StatsLedger::new();
+        ledger.open(0, 3, expect_n(3), vec![0, 0, 0]);
+        ledger.open(1, 3, expect_n(3), vec![0, 0, 0]);
+        close_all_but(&mut ledger, 0, &[0, 1]);
+        close_all_but(&mut ledger, 1, &[0]);
+        // Worker 2 dies. Round 0 was only waiting on it → closes with
+        // the two real reports; round 1 still waits on worker 1.
+        let closed = ledger.on_worker_dead(TaskId(2));
+        assert_eq!(closed.len(), 1);
+        assert_eq!(closed[0].0, 0);
+        assert_eq!(closed[0].1.loads, vec![10, 10, 0]);
+        assert_eq!(ledger.outstanding(), 1);
+        let done = ledger
+            .on_stats(TaskId(1), 1, stats_with_cost(1, 10), &Histogram::new())
+            .expect("round 1 closes without the dead worker");
+        assert_eq!(done.loads, vec![10, 10, 0]);
+        assert_eq!(ledger.outstanding(), 0);
+    }
+
+    /// The satellite regression: a permanently-silent reporter (alive
+    /// but never answering) delays a round only until the deadline, then
+    /// the round closes with whoever answered and names the missing
+    /// worker — instead of holding `outstanding()` (and shutdown, which
+    /// gates on it) hostage forever.
+    #[test]
+    fn silent_reporter_round_closes_by_deadline() {
+        let mut ledger = StatsLedger::new();
+        ledger.open(0, 2, expect_n(2), vec![0, 0]);
+        close_all_but(&mut ledger, 0, &[0]);
+        // Worker 1 never reports. Not enough intervals elapsed: no expiry.
+        assert!(ledger
+            .expire_rounds(1, 2, Duration::from_millis(0))
+            .is_empty());
+        // Interval clock satisfied but wall deadline not yet: no expiry.
+        assert!(ledger
+            .expire_rounds(5, 2, Duration::from_secs(3600))
+            .is_empty());
+        let expired = ledger.expire_rounds(5, 2, Duration::from_millis(0));
+        assert_eq!(expired.len(), 1);
+        let (iv, round, missing) = &expired[0];
+        assert_eq!(*iv, 0);
+        assert_eq!(round.loads, vec![10, 0]);
+        assert_eq!(missing, &vec![1], "the silent worker is named");
+        assert_eq!(ledger.outstanding(), 0, "shutdown is no longer gated");
     }
 
     /// The hand-computed worker-seconds trace for a queued scale-in: a

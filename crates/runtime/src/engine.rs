@@ -18,7 +18,7 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use bytes::Bytes;
-use crossbeam::channel::{bounded, unbounded, Receiver, Select, Sender};
+use crossbeam::channel::{bounded, unbounded, Receiver, Select, SendTimeoutError, Sender};
 use streambal_core::{Key, Partitioner, RoutingView, TaskId};
 use streambal_elastic::{
     ElasticityPolicy, FixedSchedule, HoldPolicy, IntervalObservation, ScaleDecision,
@@ -26,7 +26,8 @@ use streambal_elastic::{
 use streambal_hashring::{FxHashMap, FxHashSet};
 use streambal_metrics::{Counter, Histogram, RateMeter, TimeSeries};
 
-use crate::controller::{StatsLedger, WorkerSeconds};
+use crate::controller::{ClosedRound, StatsLedger, WorkerSeconds};
+use crate::fault::{next_live, CtlKind, FaultEvent, FaultInjector, FaultPlan, OpKind, SendPeer};
 use crate::message::{Message, SourceCtl, SourceEvent, WorkerEvent};
 use crate::operator::{Collector, Operator};
 use crate::router::SourceRouter;
@@ -96,6 +97,31 @@ pub struct EngineConfig {
     /// empty until the next rebalance migrates keys onto it — exactly the
     /// intervals the policy scaled out for.
     pub preplace: bool,
+    /// Deterministic fault schedule for this run (default: none). See
+    /// [`crate::fault`] — every fired fault and recovery action lands in
+    /// [`EngineReport::faults`], and unrecoverable tuples are accounted
+    /// per key in [`EngineReport::lost_tuples`].
+    pub fault_plan: FaultPlan,
+    /// Protocol-op deadline, interval-denominated: an in-flight
+    /// `Pause`/`MigrateOut`/`StateInstall`/`Retire` phase showing no
+    /// progress for this many source intervals *and*
+    /// [`EngineConfig::op_deadline`] of wall time is retried once, then
+    /// aborted with rollback. Intervals are the primary clock (they are
+    /// deterministic per run); the wall bound keeps healthy-but-slow
+    /// runs from spurious expiry and takes over alone once the source
+    /// has finished and intervals stop.
+    pub op_deadline_intervals: u64,
+    /// Wall-clock component of the op deadline (see above).
+    pub op_deadline: Duration,
+    /// Stats-round deadline, interval-denominated: a round still
+    /// missing reporters after this many further intervals *and*
+    /// [`EngineConfig::round_deadline`] of wall time closes with what
+    /// it has (the missing reporters are recorded in the fault ledger),
+    /// so a dead or wedged worker cannot hold statistics — or shutdown,
+    /// which waits on open rounds — hostage.
+    pub round_deadline_intervals: u64,
+    /// Wall-clock component of the round deadline (see above).
+    pub round_deadline: Duration,
 }
 
 impl EngineConfig {
@@ -133,6 +159,11 @@ impl Default for EngineConfig {
             window: 5,
             elasticity: Box::new(HoldPolicy),
             preplace: true,
+            fault_plan: FaultPlan::none(),
+            op_deadline_intervals: 4,
+            op_deadline: Duration::from_secs(5),
+            round_deadline_intervals: 4,
+            round_deadline: Duration::from_secs(5),
         }
     }
 }
@@ -188,6 +219,18 @@ pub struct EngineReport {
     /// mid-protocol); now the run completes and the report carries the
     /// evidence — **empty on every healthy run**, and tests assert so.
     pub protocol_errors: Vec<String>,
+    /// The fault ledger: every injected fault that fired and every
+    /// recovery action the controller took (deaths, re-routes, op
+    /// retries/aborts, timed-out stats rounds). Structural entries only
+    /// — replaying the same [`EngineConfig::fault_plan`] yields the
+    /// same ledger (see [`crate::fault`]). Empty on every healthy run.
+    pub faults: Vec<FaultEvent>,
+    /// Per-key tuple counts irrecoverably lost to worker deaths (held
+    /// state, un-flushed partials, and in-flight messages drained from
+    /// a dead worker's channel), sorted by key. The accounting
+    /// invariant chaos tests assert: `fed − lost == observed`. Empty on
+    /// every healthy run.
+    pub lost_tuples: Vec<(Key, u64)>,
 }
 
 /// Keeps the earliest first-tuple interval across a slot's successive
@@ -236,9 +279,16 @@ impl PlannedOp {
 struct ActiveMigration {
     epoch: u64,
     plan: PlannedMigration,
+    /// Whether the source acknowledged the pause — the phase a deadline
+    /// retry must re-drive when false.
+    pause_acked: bool,
     awaiting_out: FxHashSet<TaskId>,
     collected: Vec<(Key, TaskId, Bytes)>,
     awaiting_install: FxHashSet<TaskId>,
+    /// Installs already sent, kept for idempotent deadline resends (the
+    /// worker dedupes by epoch) and for rollback accounting. `Bytes`
+    /// blobs are refcounted, so the clones are cheap.
+    sent_installs: FxHashMap<TaskId, Vec<(Key, Bytes)>>,
 }
 
 /// An in-flight scale-in: pause-dest → retire → re-install → resume.
@@ -246,7 +296,13 @@ struct ActiveRetire {
     epoch: u64,
     victim: TaskId,
     view: RoutingView,
+    pause_acked: bool,
+    /// Whether the Retire marker went out (deadline retries resend it —
+    /// the victim answers the first one it sees; a duplicate lands on a
+    /// drained channel and is discarded with it).
+    retire_sent: bool,
     awaiting_install: FxHashSet<TaskId>,
+    sent_installs: FxHashMap<TaskId, Vec<(Key, Bytes)>>,
 }
 
 /// The one control-plane operation in flight.
@@ -261,6 +317,173 @@ impl ActiveOp {
     }
 }
 
+/// Deadline clock for the one in-flight op: reset on every phase
+/// progress, compared against the interval count *and* wall time (see
+/// [`EngineConfig::op_deadline_intervals`]).
+struct OpClock {
+    started: Instant,
+    started_interval: u64,
+    /// One retry per phase-stall; the second expiry aborts.
+    retried: bool,
+}
+
+impl OpClock {
+    fn start(interval: u64) -> Self {
+        OpClock {
+            started: Instant::now(),
+            started_interval: interval,
+            retried: false,
+        }
+    }
+}
+
+/// An outstanding source resume: the view to re-drive it with and its
+/// deadline clock. Resumes are retried but never aborted — an abandoned
+/// resume would leave pause-buffered tuples unflushed, which is
+/// unaccounted loss; and the source cannot have died (it runs the
+/// resume handler) short of the whole engine tearing down.
+struct ResumeClock {
+    view: RoutingView,
+    started: Instant,
+    started_interval: u64,
+    retried: bool,
+}
+
+/// Longest the controller will wait for room in a worker's channel. A
+/// live worker drains continuously, so a one-unit slot opens in well
+/// under this; only a worker that died with a full queue (its `Killed`
+/// event still in flight) keeps the channel full for the whole bound.
+const CTL_SEND_TIMEOUT: Duration = Duration::from_millis(100);
+
+/// Bounded-wait control send to worker slot `w`. The controller must
+/// never block indefinitely against a worker channel: the worker may
+/// have died with a full queue before its `Killed` event was processed,
+/// and a wedged controller can drain neither that event nor the dead
+/// channel. A timeout is treated like a message lost in flight — the
+/// deadline machinery re-drives it; a disconnect is recorded.
+fn ctl_send(injector: &FaultInjector, tx: &Sender<Message>, w: usize, msg: Message) -> bool {
+    match tx.send_timeout(msg, CTL_SEND_TIMEOUT) {
+        Ok(()) => true,
+        Err(SendTimeoutError::Timeout(_)) => false,
+        Err(SendTimeoutError::Disconnected(_)) => {
+            injector.record(FaultEvent::SendFailed {
+                to: SendPeer::Worker(w),
+            });
+            false
+        }
+    }
+}
+
+/// Sends a control marker to worker `w` through the drop gate. Returns
+/// false when the message did not reach the channel — injected drop
+/// (proceed as if lost in flight; the deadline machinery recovers), a
+/// full channel that never opened (same recovery), or a disconnected
+/// receiver, which is recorded as a failed send.
+fn send_ctl_marker(
+    injector: &FaultInjector,
+    txs: &[Sender<Message>],
+    w: usize,
+    kind: CtlKind,
+    msg: Message,
+) -> bool {
+    if !injector.is_passive() && injector.should_drop(kind) {
+        return false;
+    }
+    ctl_send(injector, &txs[w], w, msg)
+}
+
+/// Drains whatever currently sits in a dead worker's channel, counting
+/// every in-flight tuple and state blob into the per-key loss map;
+/// returns the total drained. Called repeatedly while the source may
+/// still be routing at the slot — a bounded channel left un-drained
+/// would fill and backpressure the source against a corpse — and one
+/// final time when the source acknowledges the death.
+fn drain_dead_channel(
+    rx: &Receiver<Message>,
+    sop: &mut dyn Operator,
+    lost: &mut FxHashMap<Key, u64>,
+) -> u64 {
+    let mut n_lost = 0u64;
+    while let Ok(msg) = rx.try_recv() {
+        match msg {
+            Message::Tuple(t) => {
+                *lost.entry(t.key).or_insert(0) += 1;
+                n_lost += 1;
+            }
+            Message::TupleBatch(batch) => {
+                for t in &batch {
+                    *lost.entry(t.key).or_insert(0) += 1;
+                    n_lost += 1;
+                }
+            }
+            Message::StateInstall { states, .. } => {
+                for (k, blob) in states {
+                    let n = sop.tuples_in_blob(&blob);
+                    *lost.entry(k).or_insert(0) += n;
+                    n_lost += n;
+                }
+            }
+            _ => {}
+        }
+    }
+    n_lost
+}
+
+/// Issues (or re-issues on a fresh epoch) a source resume and arms its
+/// deadline clock. A resume dropped by the injector is indistinguishable
+/// from a slow one; the clock re-drives it.
+fn issue_resume(
+    injector: &FaultInjector,
+    ctl_tx: &Sender<SourceCtl>,
+    resume_state: &mut FxHashMap<u64, ResumeClock>,
+    epoch: u64,
+    view: RoutingView,
+    current_interval: u64,
+) {
+    send_src(
+        injector,
+        ctl_tx,
+        Some(CtlKind::Resume),
+        SourceCtl::Resume {
+            epoch,
+            view: view.clone(),
+        },
+    );
+    resume_state.insert(
+        epoch,
+        ResumeClock {
+            view,
+            started: Instant::now(),
+            started_interval: current_interval,
+            retried: false,
+        },
+    );
+}
+
+/// Sends a source control message, drop-gating it when `kind` names a
+/// droppable control kind (view updates and shutdown are never dropped:
+/// losing them models nothing a real network loses independently of the
+/// protocol messages around them).
+fn send_src(
+    injector: &FaultInjector,
+    ctl_tx: &Sender<SourceCtl>,
+    kind: Option<CtlKind>,
+    msg: SourceCtl,
+) -> bool {
+    if let Some(k) = kind {
+        if !injector.is_passive() && injector.should_drop(k) {
+            return false;
+        }
+    }
+    if ctl_tx.send(msg).is_err() {
+        injector.record(FaultEvent::SendFailed {
+            to: SendPeer::Source,
+        });
+        return false;
+    }
+    true
+}
+
 /// Shared ingredients for spawning worker threads (initially and on
 /// scale-out).
 struct WorkerSpawner {
@@ -272,6 +495,7 @@ struct WorkerSpawner {
     emit_batch: usize,
     counter: Arc<Counter>,
     epoch: Instant,
+    injector: Arc<FaultInjector>,
 }
 
 impl WorkerSpawner {
@@ -296,6 +520,7 @@ impl WorkerSpawner {
             start_interval,
             pool: self.pool_tx.clone(),
             emit_batch: self.emit_batch,
+            injector: Arc::clone(&self.injector),
         };
         s.spawn(move || run_worker(ctx));
     }
@@ -380,7 +605,14 @@ impl Engine {
             worker_seconds: 0.0,
             first_tuple_interval: vec![None; max_workers],
             protocol_errors: Vec::new(),
+            faults: Vec::new(),
+            lost_tuples: Vec::new(),
         };
+
+        // One injector per run, shared with the source loop and every
+        // worker. Drop ordinals are global (each kind is sent from one
+        // thread), so all sites must share this instance.
+        let injector = Arc::new(FaultInjector::new(config.fault_plan.clone()));
 
         std::thread::scope(|s| {
             // --- workers -------------------------------------------------
@@ -393,6 +625,7 @@ impl Engine {
                 emit_batch: config.batch_size.max(1),
                 counter: Arc::clone(&counter),
                 epoch: t0,
+                injector: Arc::clone(&injector),
             };
             for (d, slot) in worker_rxs.iter_mut().enumerate().take(config.n_workers) {
                 // lint: allow(panic, reason = "startup invariant: every slot was
@@ -444,7 +677,8 @@ impl Engine {
             // --- source ---------------------------------------------------
             let src_worker_txs = worker_txs.clone();
             let src_config = config.clone();
-            s.spawn(move || {
+            let src_injector = Arc::clone(&injector);
+            let src_handle = s.spawn(move || {
                 source_loop(
                     feeder,
                     initial_view,
@@ -454,6 +688,7 @@ impl Engine {
                     pool_rx,
                     t0,
                     src_config,
+                    src_injector,
                 )
             });
 
@@ -471,573 +706,1529 @@ impl Engine {
             // marker is already enqueued is excluded because it will
             // never answer.
             let mut ledger = StatsLedger::new();
-            let mut outstanding_resumes = 0usize;
+            // Outstanding source resumes, keyed by epoch: the view to
+            // re-drive each with and its deadline clock. Resumes retry
+            // forever (never abort — an abandoned resume would leave
+            // pause-buffered tuples unflushed, which is unaccounted
+            // loss); a duplicate ack is absorbed by the missing key.
+            let mut resume_state: FxHashMap<u64, ResumeClock> = FxHashMap::default();
             // Set between sending a `Retire` marker and its `Retired` ack.
             let mut retiring: Option<TaskId> = None;
             let mut source_finished = false;
             let mut draining = false;
             let mut drained = 0usize;
+            // Shutdown markers actually delivered (dead slots and failed
+            // sends are excluded — they will never answer `Drained`).
+            let mut drain_target = 0usize;
             let mut last_interval_mark = (Instant::now(), 0u64);
-            // Worker-seconds integral, advanced at every change of
-            // `active` (and closed once at shutdown).
+            // Worker-seconds integral, advanced at every change of the
+            // *live* count (and closed once at shutdown).
             let mut ws = WorkerSeconds::new(t0, config.n_workers);
+            // --- fault-recovery state ------------------------------------
+            // Dead worker slots (indices < active). `active` never
+            // shrinks on a death: the routing function still counts the
+            // slot, the source diverts its traffic to survivors, and a
+            // later scale-out decision re-provisions it (SlotRevived).
+            let mut dead: FxHashSet<usize> = FxHashSet::default();
+            // A dead worker's receiver, held until the source
+            // acknowledges the re-route; then drained (every in-flight
+            // tuple counted lost) and dropped, so later sends fail fast.
+            let mut dead_pending: FxHashMap<usize, Receiver<Message>> = FxHashMap::default();
+            // Per-key tuples irrecoverably lost to deaths.
+            let mut lost: FxHashMap<Key, u64> = FxHashMap::default();
+            // The deterministic half of every deadline: the latest
+            // source interval observed.
+            let mut current_interval = 0u64;
+            // Deadline clock for the one in-flight op; re-armed on every
+            // phase progress.
+            let mut op_clock: Option<OpClock> = None;
+            // Epochs that finished, aborted, or were synthesized for
+            // rollback installs: late echoes (a retried op's duplicate
+            // ack, a zombie victim's `Retired`) are absorbed as stale
+            // instead of counted as protocol errors.
+            let mut closed_epochs: FxHashMap<u64, &'static str> = FxHashMap::default();
+            // Lazily-built operator used only to size state blobs drained
+            // from a dead worker's channel (loss accounting).
+            let mut scratch_op: Option<Box<dyn Operator>> = None;
+            // Completed stats rounds awaiting the decision block — filled
+            // by reports, dead-worker strikes, and deadline expiry alike,
+            // so every round is decided by exactly one code path.
+            let mut closed_rounds: Vec<(u64, ClosedRound)> = Vec::new();
 
             let mut select = Select::new();
             let src_idx = select.recv(&src_evt_rx);
             let _evt_idx = select.recv(&event_rx);
 
-            loop {
-                let op_ready = select.select();
-                match op_ready.index() {
-                    i if i == src_idx => {
-                        let Ok(ev) = op_ready.recv(&src_evt_rx) else {
-                            continue;
-                        };
-                        match ev {
-                            SourceEvent::IntervalDone { interval } => {
-                                // Interval throughput point.
-                                let now = Instant::now();
-                                let count = counter.get();
-                                let dt = now
-                                    .duration_since(last_interval_mark.0)
-                                    .as_secs_f64()
-                                    .max(1e-9);
-                                report.interval_throughput.push(
-                                    interval as f64,
-                                    (count - last_interval_mark.1) as f64 / dt,
-                                );
-                                last_interval_mark = (now, count);
-                                // Queue depths sampled at interval close
-                                // (tuple-weighted channel occupancy, the
-                                // backpressure signal), *before* the stats
-                                // markers join the queues they measure.
-                                let queues: Vec<u64> = worker_txs
-                                    .iter()
-                                    .take(active)
-                                    .map(|tx| tx.queued_weight() as u64)
-                                    .collect();
-                                // In-band stats round, skipping a retiring
-                                // victim (its Retire marker is already in
-                                // the channel ahead of this request).
-                                let mut expected = 0usize;
-                                for (i, tx) in worker_txs.iter().enumerate().take(active) {
-                                    if retiring == Some(TaskId::from(i)) {
-                                        continue;
-                                    }
-                                    let _ = tx.send(Message::StatsRequest { interval });
-                                    expected += 1;
-                                }
-                                if expected > 0 {
-                                    ledger.open(interval, active, expected, queues);
-                                }
-                            }
-                            SourceEvent::PauseAck { epoch } => {
-                                let resume_now = match pending.as_mut() {
-                                    None => {
-                                        // A pause ack with nothing in
-                                        // flight: the op protocol has
-                                        // desynced. Record and carry on
-                                        // — the source is not paused on
-                                        // anything we know about.
-                                        report.protocol_errors.push(format!(
-                                            "PauseAck for epoch {epoch} with no pending op"
-                                        ));
-                                        None
-                                    }
-                                    Some(ActiveOp::Migration(m)) => {
-                                        debug_assert_eq!(m.epoch, epoch);
-                                        for (&w, moves) in &m.plan.by_source {
-                                            m.awaiting_out.insert(w);
-                                            let _ =
-                                                worker_txs[w.index()].send(Message::MigrateOut {
-                                                    epoch,
-                                                    moves: moves.clone(),
-                                                });
+            'ctl: loop {
+                // Bounded wait: the bottom half of the loop (deadline
+                // retries/aborts, stats-round expiry, the shutdown gate)
+                // must run even when no event arrives.
+                if let Ok(op_ready) = select.select_timeout(Duration::from_millis(10)) {
+                    match op_ready.index() {
+                        i if i == src_idx => {
+                            let Ok(ev) = op_ready.recv(&src_evt_rx) else {
+                                continue;
+                            };
+                            match ev {
+                                SourceEvent::IntervalDone { interval } => {
+                                    current_interval = interval;
+                                    // Interval throughput point.
+                                    let now = Instant::now();
+                                    let count = counter.get();
+                                    let dt = now
+                                        .duration_since(last_interval_mark.0)
+                                        .as_secs_f64()
+                                        .max(1e-9);
+                                    report.interval_throughput.push(
+                                        interval as f64,
+                                        (count - last_interval_mark.1) as f64 / dt,
+                                    );
+                                    last_interval_mark = (now, count);
+                                    // Queue depths sampled at interval close
+                                    // (tuple-weighted channel occupancy, the
+                                    // backpressure signal), *before* the stats
+                                    // markers join the queues they measure.
+                                    let queues: Vec<u64> = worker_txs
+                                        .iter()
+                                        .take(active)
+                                        .map(|tx| tx.queued_weight() as u64)
+                                        .collect();
+                                    // In-band stats round, skipping a retiring
+                                    // victim (its Retire marker is already in
+                                    // the channel ahead of this request) and
+                                    // dead slots. A request dropped by the
+                                    // injector stays *expected* — the
+                                    // controller cannot know it was lost in
+                                    // flight; the round deadline closes it.
+                                    let mut expected: Vec<TaskId> = Vec::new();
+                                    for (i, tx) in worker_txs.iter().enumerate().take(active) {
+                                        if retiring == Some(TaskId::from(i)) || dead.contains(&i) {
+                                            continue;
                                         }
-                                        // Degenerate plan: resume immediately.
-                                        m.awaiting_out.is_empty().then(|| m.plan.view.clone())
+                                        if !injector.is_passive()
+                                            && injector.should_drop(CtlKind::StatsRequest)
+                                        {
+                                            expected.push(TaskId::from(i));
+                                            continue;
+                                        }
+                                        if !ctl_send(
+                                            &injector,
+                                            tx,
+                                            i,
+                                            Message::StatsRequest { interval },
+                                        ) {
+                                            continue;
+                                        }
+                                        expected.push(TaskId::from(i));
                                     }
-                                    Some(ActiveOp::Retire(r)) => {
-                                        debug_assert_eq!(r.epoch, epoch);
-                                        // Every tuple the source will ever
-                                        // send the victim is now in its
-                                        // channel; the Retire marker lands
-                                        // behind all of them.
-                                        let _ = worker_txs[r.victim.index()]
-                                            .send(Message::Retire { epoch });
-                                        retiring = Some(r.victim);
-                                        None
+                                    if !expected.is_empty() {
+                                        ledger.open(interval, active, expected, queues);
                                     }
-                                };
-                                if let Some(view) = resume_now {
-                                    let _ = ctl_tx.send(SourceCtl::Resume { epoch, view });
-                                    outstanding_resumes += 1;
-                                    pending = None;
                                 }
-                            }
-                            SourceEvent::ResumeAck { .. } => {
-                                outstanding_resumes -= 1;
-                            }
-                            SourceEvent::Finished => {
-                                source_finished = true;
-                            }
-                        }
-                    }
-                    _ => {
-                        let Ok(ev) = op_ready.recv(&event_rx) else {
-                            continue;
-                        };
-                        match ev {
-                            WorkerEvent::Stats {
-                                worker,
-                                interval,
-                                stats,
-                                latency,
-                            } => {
-                                // The ledger absorbs late and duplicate
-                                // reports (a retiring worker can answer a
-                                // round the controller already closed)
-                                // instead of crashing; a report only
-                                // completes a round when every distinct
-                                // expected worker has answered.
-                                if let Some(round) =
-                                    ledger.on_stats(worker, interval, stats, &latency)
-                                {
-                                    let merged = round.merged;
-                                    let loads = round.loads;
-                                    // Elasticity decision. The observation's
-                                    // parallelism is the *planned* one —
-                                    // `partitioner.n_tasks()`, which every
-                                    // decision mutates immediately — not the
-                                    // physical worker count, which lags while
-                                    // retires drain; deciding on the stale
-                                    // physical count would re-trigger on
-                                    // parallelism the policy already gave up.
-                                    // Scale-ins may queue (victims walk down
-                                    // from the planned tail, ops execute in
-                                    // order); a scale-out is skipped while any
-                                    // scale-in is still re-provisioning, since
-                                    // the spawn slot must be the contiguous
-                                    // physical tail.
-                                    let planned = partitioner.n_tasks();
-                                    let scale_in_flight =
-                                        pending.as_ref().is_some_and(ActiveOp::is_scale_in)
-                                            || queue.iter().any(PlannedOp::is_scale_in);
-                                    let obs = IntervalObservation {
-                                        interval,
-                                        n_tasks: planned,
-                                        loads: &loads,
-                                        queue_depths: &round.queues,
-                                        mean_latency_us: round.mean_latency_us,
-                                        p99_latency_us: round.p99_latency_us,
-                                    };
-                                    match policy.decide(&obs) {
-                                        ScaleDecision::ScaleOut
-                                            if !scale_in_flight && active < max_workers =>
-                                        'scale_out: {
-                                            debug_assert_eq!(planned, active);
-                                            let Some(rx) = worker_rxs[active].take() else {
-                                                // The slot's receiver was never
-                                                // returned (a prior retire
-                                                // mismatch): record it and keep
-                                                // running at the current width
-                                                // rather than tearing down the
-                                                // topology.
-                                                report.protocol_errors.push(format!(
-                                                    "scale-out to {} aborted: worker slot {} \
-                                                     has no channel to hand out",
-                                                    active + 1,
-                                                    active,
-                                                ));
-                                                break 'scale_out;
-                                            };
-                                            ws.set_active(Instant::now(), active + 1);
-                                            let live: Vec<Key> =
-                                                merged.iter().map(|(k, _)| k).collect();
-                                            spawner.spawn(
-                                                s,
-                                                active,
-                                                rx,
-                                                op_factory(TaskId::from(active)),
-                                                interval + 1,
-                                            );
-                                            // Pre-placement (default): plan
-                                            // the migration at provision
-                                            // time — the new slot's keys
-                                            // move in through the same
-                                            // quiesce → install → resume
-                                            // machinery as a rebalance, so
-                                            // it takes load this interval.
-                                            // The seed shape pins churn
-                                            // instead and the slot idles
-                                            // until the next rebalance.
-                                            let (new, moves) = if config.preplace {
-                                                partitioner.scale_out_plan(&live)
-                                            } else {
-                                                (partitioner.scale_out(&live), Vec::new())
-                                            };
-                                            debug_assert_eq!(new.index(), active);
-                                            report.scale_events.push(ScaleEvent {
-                                                interval,
-                                                from: active,
-                                                to: active + 1,
-                                            });
-                                            active += 1;
-                                            if moves.is_empty() {
-                                                // Nothing to pre-place (seed
-                                                // shape, or a key-oblivious
-                                                // strategy whose new worker
-                                                // takes traffic without any
-                                                // state): publish the grown
-                                                // view directly.
-                                                let _ = ctl_tx.send(SourceCtl::UpdateView {
-                                                    view: partitioner.routing_view(),
+                                SourceEvent::PauseAck { epoch } => {
+                                    let resume_now = match pending.as_mut() {
+                                        None => {
+                                            // A pause ack with nothing in
+                                            // flight: a late echo of a closed
+                                            // epoch (absorbed), or genuine
+                                            // protocol desync (recorded).
+                                            if closed_epochs.contains_key(&epoch) {
+                                                injector.record(FaultEvent::StaleEpochAbsorbed {
+                                                    epoch,
+                                                    what: "pause ack",
                                                 });
                                             } else {
-                                                report.migrated_keys += moves.len() as u64;
-                                                let mut by_source: FxHashMap<
-                                                    TaskId,
-                                                    Vec<(Key, TaskId)>,
-                                                > = FxHashMap::default();
-                                                let mut affected = Vec::with_capacity(moves.len());
-                                                for (k, holder) in moves {
-                                                    affected.push(k);
-                                                    by_source
-                                                        .entry(holder)
-                                                        .or_default()
-                                                        .push((k, new));
-                                                }
-                                                queue.push_back(PlannedOp::Migrate(
-                                                    PlannedMigration {
-                                                        by_source,
-                                                        affected,
-                                                        view: partitioner.routing_view(),
-                                                        preplaced: true,
-                                                    },
+                                                report.protocol_errors.push(format!(
+                                                    "PauseAck for epoch {epoch} with no pending op"
                                                 ));
                                             }
+                                            None
                                         }
-                                        ScaleDecision::ScaleIn if planned > 1 => {
-                                            // Shrink the routing function now
-                                            // (later decisions and rebalances
-                                            // build on it); the physical
-                                            // retirement queues behind any
-                                            // in-flight op.
-                                            let victim = TaskId::from(planned - 1);
-                                            let live: Vec<Key> =
-                                                merged.iter().map(|(k, _)| k).collect();
-                                            partitioner.scale_in(victim, &live);
-                                            report.scale_events.push(ScaleEvent {
-                                                interval,
-                                                from: planned,
-                                                to: planned - 1,
+                                        Some(ActiveOp::Migration(m)) if m.epoch == epoch => {
+                                            if m.pause_acked {
+                                                // Duplicate (the pause was
+                                                // retried but the original ack
+                                                // was merely slow, not lost).
+                                                injector.record(FaultEvent::StaleEpochAbsorbed {
+                                                    epoch,
+                                                    what: "pause ack",
+                                                });
+                                                None
+                                            } else {
+                                                m.pause_acked = true;
+                                                op_clock = Some(OpClock::start(current_interval));
+                                                for (&w, moves) in &m.plan.by_source {
+                                                    // A holder that died after
+                                                    // planning has nothing left
+                                                    // to extract (its loss is
+                                                    // already accounted).
+                                                    if dead.contains(&w.index()) {
+                                                        continue;
+                                                    }
+                                                    m.awaiting_out.insert(w);
+                                                    // Dropped markers stay
+                                                    // awaited: the op deadline
+                                                    // re-drives them.
+                                                    send_ctl_marker(
+                                                        &injector,
+                                                        &worker_txs,
+                                                        w.index(),
+                                                        CtlKind::MigrateOut,
+                                                        Message::MigrateOut {
+                                                            epoch,
+                                                            moves: moves.clone(),
+                                                        },
+                                                    );
+                                                }
+                                                // Degenerate plan: resume immediately.
+                                                m.awaiting_out
+                                                    .is_empty()
+                                                    .then(|| m.plan.view.clone())
+                                            }
+                                        }
+                                        Some(ActiveOp::Retire(r)) if r.epoch == epoch => {
+                                            if r.pause_acked {
+                                                injector.record(FaultEvent::StaleEpochAbsorbed {
+                                                    epoch,
+                                                    what: "pause ack",
+                                                });
+                                            } else {
+                                                r.pause_acked = true;
+                                                op_clock = Some(OpClock::start(current_interval));
+                                                // Every tuple the source will ever
+                                                // send the victim is now in its
+                                                // channel; the Retire marker lands
+                                                // behind all of them. A dropped
+                                                // marker is re-driven by the op
+                                                // deadline.
+                                                send_ctl_marker(
+                                                    &injector,
+                                                    &worker_txs,
+                                                    r.victim.index(),
+                                                    CtlKind::Retire,
+                                                    Message::Retire { epoch },
+                                                );
+                                                r.retire_sent = true;
+                                                retiring = Some(r.victim);
+                                            }
+                                            None
+                                        }
+                                        Some(_) => {
+                                            injector.record(FaultEvent::StaleEpochAbsorbed {
+                                                epoch,
+                                                what: "pause ack",
                                             });
-                                            queue.push_back(PlannedOp::ScaleIn {
-                                                victim,
-                                                view: partitioner.routing_view(),
+                                            None
+                                        }
+                                    };
+                                    if let Some(view) = resume_now {
+                                        issue_resume(
+                                            &injector,
+                                            &ctl_tx,
+                                            &mut resume_state,
+                                            epoch,
+                                            view,
+                                            current_interval,
+                                        );
+                                        closed_epochs.insert(epoch, "done");
+                                        pending = None;
+                                        op_clock = None;
+                                    }
+                                }
+                                SourceEvent::ResumeAck { epoch } => {
+                                    if resume_state.remove(&epoch).is_none() {
+                                        injector.record(FaultEvent::StaleEpochAbsorbed {
+                                            epoch,
+                                            what: "resume ack",
+                                        });
+                                    }
+                                }
+                                SourceEvent::DeadDestAck { dest } => {
+                                    // The source has stopped routing to the
+                                    // dead slot; drain its channel (counting
+                                    // every in-flight tuple and state blob as
+                                    // lost) and drop the receiver so any
+                                    // later send fails fast instead of
+                                    // queueing into a void.
+                                    if let Some(rx) = dead_pending.remove(&dest.index()) {
+                                        let sop =
+                                            scratch_op.get_or_insert_with(|| op_factory(dest));
+                                        let n = drain_dead_channel(&rx, sop.as_mut(), &mut lost);
+                                        injector.add_lost(n);
+                                    }
+                                }
+                                SourceEvent::SendFailed { dest } => {
+                                    // The source hit a disconnected channel
+                                    // before (or after) the controller's
+                                    // DeadDest reached it; the tuples were
+                                    // re-shipped to a survivor, so this is an
+                                    // observation, not a loss.
+                                    injector.record(FaultEvent::SendFailed {
+                                        to: SendPeer::Worker(dest.index()),
+                                    });
+                                }
+                                SourceEvent::Finished => {
+                                    source_finished = true;
+                                }
+                            }
+                        }
+                        _ => {
+                            let Ok(ev) = op_ready.recv(&event_rx) else {
+                                continue;
+                            };
+                            match ev {
+                                WorkerEvent::Stats {
+                                    worker,
+                                    interval,
+                                    stats,
+                                    latency,
+                                } => {
+                                    // The ledger absorbs late and duplicate
+                                    // reports (a retiring worker can answer a
+                                    // round the controller already closed)
+                                    // instead of crashing; a report only
+                                    // completes a round when every distinct
+                                    // expected worker has answered. Completed
+                                    // rounds queue for the decision pass at
+                                    // the bottom of the loop — the same path
+                                    // that decides rounds closed by a death
+                                    // or by deadline expiry.
+                                    if let Some(round) =
+                                        ledger.on_stats(worker, interval, stats, &latency)
+                                    {
+                                        closed_rounds.push((interval, round));
+                                    }
+                                }
+                                WorkerEvent::StateOut {
+                                    worker,
+                                    epoch,
+                                    states,
+                                } => 'state_out: {
+                                    let m = match pending.as_mut() {
+                                        Some(ActiveOp::Migration(m)) if m.epoch == epoch => m,
+                                        _ => {
+                                            // A late answer on a closed epoch is
+                                            // absorbed — but not dropped. An
+                                            // aborted migration's victim can wake
+                                            // after the rollback, process the
+                                            // queued MigrateOut, and ship real
+                                            // state here; the blobs have left
+                                            // their owner, so they are re-homed
+                                            // under the *current* (rolled-back)
+                                            // view on a fresh pre-closed epoch.
+                                            // A retried MigrateOut's empty
+                                            // double-answer re-homes nothing.
+                                            // Anything else is genuine
+                                            // bookkeeping divergence, worth
+                                            // shouting about.
+                                            if closed_epochs.contains_key(&epoch) {
+                                                injector.record(FaultEvent::StaleEpochAbsorbed {
+                                                    epoch,
+                                                    what: "state out",
+                                                });
+                                                let n_tasks = partitioner.n_tasks();
+                                                let mut router = SourceRouter::from_view(
+                                                    partitioner.routing_view(),
+                                                );
+                                                let mut by_dest: FxHashMap<
+                                                    TaskId,
+                                                    Vec<(Key, Bytes)>,
+                                                > = FxHashMap::default();
+                                                for (k, _to, blob) in states {
+                                                    if blob.is_empty() {
+                                                        continue;
+                                                    }
+                                                    let mut d = router.route(k);
+                                                    if dead.contains(&d.index()) {
+                                                        d = TaskId::from(next_live(
+                                                            d.index(),
+                                                            n_tasks,
+                                                            |x| dead.contains(&x),
+                                                        ));
+                                                    }
+                                                    by_dest.entry(d).or_default().push((k, blob));
+                                                }
+                                                if !by_dest.is_empty() {
+                                                    next_epoch += 1;
+                                                    closed_epochs.insert(next_epoch, "rehome");
+                                                    for (dest, st) in by_dest {
+                                                        ctl_send(
+                                                            &injector,
+                                                            &worker_txs[dest.index()],
+                                                            dest.index(),
+                                                            Message::StateInstall {
+                                                                epoch: next_epoch,
+                                                                states: st,
+                                                            },
+                                                        );
+                                                    }
+                                                }
+                                            } else {
+                                                report.protocol_errors.push(format!(
+                                                    "StateOut from worker {} for epoch {epoch} \
+                                                 with no migration in flight; {} key states \
+                                                 dropped",
+                                                    worker.index(),
+                                                    states.len(),
+                                                ));
+                                            }
+                                            break 'state_out;
+                                        }
+                                    };
+                                    if !m.awaiting_out.remove(&worker) {
+                                        // Duplicate answer to a re-driven
+                                        // MigrateOut: the first extraction
+                                        // emptied the keys, so this one
+                                        // carries nothing to keep.
+                                        injector.record(FaultEvent::StaleEpochAbsorbed {
+                                            epoch,
+                                            what: "state out",
+                                        });
+                                        break 'state_out;
+                                    }
+                                    op_clock = Some(OpClock::start(current_interval));
+                                    if m.plan.preplaced {
+                                        // Pre-placement bills the bytes actually
+                                        // extracted: the plan moves windowed
+                                        // state no single interval's statistics
+                                        // can size (rebalances bill their plan's
+                                        // windowed-mem estimate up front).
+                                        report.migrated_bytes += states
+                                            .iter()
+                                            .map(|(_, _, b)| b.len() as u64)
+                                            .sum::<u64>();
+                                    }
+                                    m.collected.extend(states);
+                                    if m.awaiting_out.is_empty() {
+                                        // Step 5b: forward to destinations,
+                                        // diverting any that died since the
+                                        // plan was cut to the next live slot
+                                        // (state must land where it can be
+                                        // drained at shutdown).
+                                        let n_tasks = partitioner.n_tasks();
+                                        let mut by_dest: FxHashMap<TaskId, Vec<(Key, Bytes)>> =
+                                            FxHashMap::default();
+                                        for (k, to, blob) in m.collected.drain(..) {
+                                            let d = if dead.contains(&to.index()) {
+                                                TaskId::from(next_live(to.index(), n_tasks, |x| {
+                                                    dead.contains(&x)
+                                                }))
+                                            } else {
+                                                to
+                                            };
+                                            by_dest.entry(d).or_default().push((k, blob));
+                                        }
+                                        if by_dest.is_empty() {
+                                            issue_resume(
+                                                &injector,
+                                                &ctl_tx,
+                                                &mut resume_state,
+                                                epoch,
+                                                m.plan.view.clone(),
+                                                current_interval,
+                                            );
+                                            closed_epochs.insert(epoch, "done");
+                                            pending = None;
+                                            op_clock = None;
+                                        } else {
+                                            for (dest, states) in by_dest {
+                                                m.awaiting_install.insert(dest);
+                                                // StateInstall is never
+                                                // injector-dropped (it carries
+                                                // state); a failed send is
+                                                // recovered by the deadline or
+                                                // the dest's own death event.
+                                                ctl_send(
+                                                    &injector,
+                                                    &worker_txs[dest.index()],
+                                                    dest.index(),
+                                                    Message::StateInstall {
+                                                        epoch,
+                                                        states: states.clone(),
+                                                    },
+                                                );
+                                                m.sent_installs.insert(dest, states);
+                                            }
+                                        }
+                                    }
+                                }
+                                WorkerEvent::InstallAck { worker, epoch } => {
+                                    let resume_view = match pending.as_mut() {
+                                        Some(ActiveOp::Migration(m)) if m.epoch == epoch => {
+                                            if m.awaiting_install.remove(&worker) {
+                                                op_clock = Some(OpClock::start(current_interval));
+                                                // Step 7: resume with F′.
+                                                m.awaiting_install
+                                                    .is_empty()
+                                                    .then(|| m.plan.view.clone())
+                                            } else {
+                                                // Duplicate ack of a re-driven
+                                                // install (the worker dedupes
+                                                // the install, then re-acks).
+                                                injector.record(FaultEvent::StaleEpochAbsorbed {
+                                                    epoch,
+                                                    what: "install ack",
+                                                });
+                                                None
+                                            }
+                                        }
+                                        Some(ActiveOp::Retire(r)) if r.epoch == epoch => {
+                                            if r.awaiting_install.remove(&worker) {
+                                                op_clock = Some(OpClock::start(current_interval));
+                                                // Re-provision complete: resume
+                                                // under the shrunk view.
+                                                r.awaiting_install
+                                                    .is_empty()
+                                                    .then(|| r.view.clone())
+                                            } else {
+                                                injector.record(FaultEvent::StaleEpochAbsorbed {
+                                                    epoch,
+                                                    what: "install ack",
+                                                });
+                                                None
+                                            }
+                                        }
+                                        _ => {
+                                            // Installs are only sent by a pending
+                                            // op (or fire-and-forget under a
+                                            // pre-closed rollback epoch, absorbed
+                                            // here) — a stray ack for an unknown
+                                            // epoch is bookkeeping divergence,
+                                            // not a reason to kill the pipeline.
+                                            if closed_epochs.contains_key(&epoch) {
+                                                injector.record(FaultEvent::StaleEpochAbsorbed {
+                                                    epoch,
+                                                    what: "install ack",
+                                                });
+                                            } else {
+                                                report.protocol_errors.push(format!(
+                                                    "InstallAck from worker {} for epoch {epoch} \
+                                                 with no pending op",
+                                                    worker.index(),
+                                                ));
+                                            }
+                                            None
+                                        }
+                                    };
+                                    if let Some(view) = resume_view {
+                                        issue_resume(
+                                            &injector,
+                                            &ctl_tx,
+                                            &mut resume_state,
+                                            epoch,
+                                            view,
+                                            current_interval,
+                                        );
+                                        closed_epochs.insert(epoch, "done");
+                                        pending = None;
+                                        op_clock = None;
+                                    }
+                                }
+                                WorkerEvent::Retired {
+                                    worker,
+                                    epoch,
+                                    states,
+                                    stats,
+                                    processed,
+                                    latency,
+                                    first_interval,
+                                    rx,
+                                } => 'retired: {
+                                    let is_ours = matches!(
+                                        pending.as_ref(),
+                                        Some(ActiveOp::Retire(r)) if r.epoch == epoch
+                                    );
+                                    if !is_ours {
+                                        // A zombie victim: its scale-in was
+                                        // aborted (deadline) but the Retire
+                                        // marker had already landed, so the
+                                        // drain completed anyway — or genuine
+                                        // divergence. Either way, keep the
+                                        // books: merge its totals, give the
+                                        // slot's channel back, and re-home its
+                                        // state under the *current* view on a
+                                        // fresh, pre-closed epoch (the installs
+                                        // are fire-and-forget; their acks
+                                        // absorb as stale).
+                                        let stale = closed_epochs.contains_key(&epoch);
+                                        if stale {
+                                            injector.record(FaultEvent::StaleEpochAbsorbed {
+                                                epoch,
+                                                what: "retired",
                                             });
+                                        } else {
+                                            report.protocol_errors.push(format!(
+                                                "Retired from worker {} for epoch {epoch} \
+                                             with no pending scale-in",
+                                                worker.index(),
+                                            ));
+                                        }
+                                        report.per_worker_processed[worker.index()] += processed;
+                                        report.processed += processed;
+                                        report.latency_us.merge(&latency);
+                                        merge_first(
+                                            &mut report.first_tuple_interval[worker.index()],
+                                            first_interval,
+                                        );
+                                        ledger.on_residue(worker, &stats);
+                                        worker_rxs[worker.index()] = Some(rx);
+                                        if retiring == Some(worker) {
+                                            retiring = None;
+                                        }
+                                        if stale && worker.index() == active - 1 {
+                                            ws.set_active(Instant::now(), active - 1 - dead.len());
+                                            active -= 1;
+                                        }
+                                        if stale {
+                                            let n_tasks = partitioner.n_tasks();
+                                            let mut router =
+                                                SourceRouter::from_view(partitioner.routing_view());
+                                            let mut by_dest: FxHashMap<TaskId, Vec<(Key, Bytes)>> =
+                                                FxHashMap::default();
+                                            for (k, blob) in states {
+                                                if blob.is_empty() {
+                                                    continue;
+                                                }
+                                                let mut d = router.route(k);
+                                                if dead.contains(&d.index()) {
+                                                    d = TaskId::from(next_live(
+                                                        d.index(),
+                                                        n_tasks,
+                                                        |x| dead.contains(&x),
+                                                    ));
+                                                }
+                                                by_dest.entry(d).or_default().push((k, blob));
+                                            }
+                                            if !by_dest.is_empty() {
+                                                next_epoch += 1;
+                                                closed_epochs.insert(next_epoch, "rehome");
+                                                for (dest, st) in by_dest {
+                                                    ctl_send(
+                                                        &injector,
+                                                        &worker_txs[dest.index()],
+                                                        dest.index(),
+                                                        Message::StateInstall {
+                                                            epoch: next_epoch,
+                                                            states: st,
+                                                        },
+                                                    );
+                                                }
+                                            }
+                                        }
+                                        break 'retired;
+                                    }
+                                    // lint: allow(panic, reason = "is_ours above
+                                    // matched pending as Some(Retire) with this
+                                    // epoch, and nothing between takes it")
+                                    let Some(ActiveOp::Retire(mut r)) = pending.take() else {
+                                        unreachable!("checked above");
+                                    };
+                                    debug_assert_eq!(r.victim, worker);
+                                    op_clock = Some(OpClock::start(current_interval));
+                                    report.per_worker_processed[worker.index()] += processed;
+                                    report.processed += processed;
+                                    report.latency_us.merge(&latency);
+                                    merge_first(
+                                        &mut report.first_tuple_interval[worker.index()],
+                                        first_interval,
+                                    );
+                                    // Fold the victim's unreported residue into
+                                    // the oldest open round (issued while the
+                                    // victim was alive, so its slot exists) —
+                                    // dropping it would read as a load dip and
+                                    // re-trigger the scale-in policy.
+                                    ledger.on_residue(worker, &stats);
+                                    // The slot's channel stays connected (our
+                                    // sender clones live on), so a later
+                                    // scale-out can respawn here and no message
+                                    // can ever be silently dropped.
+                                    worker_rxs[worker.index()] = Some(rx);
+                                    retiring = None;
+                                    ws.set_active(Instant::now(), active - 1 - dead.len());
+                                    active -= 1;
+                                    debug_assert_eq!(worker.index(), active);
+                                    // Re-home the drained state under the op's
+                                    // captured view — the placement every later
+                                    // op's delta is computed against — diverting
+                                    // destinations that died since the view was
+                                    // cut.
+                                    let n_tasks = partitioner.n_tasks();
+                                    let mut router = SourceRouter::from_view(r.view.clone());
+                                    let mut by_dest: FxHashMap<TaskId, Vec<(Key, Bytes)>> =
+                                        FxHashMap::default();
+                                    for (k, blob) in states {
+                                        if blob.is_empty() {
+                                            continue;
+                                        }
+                                        let mut d = router.route(k);
+                                        if dead.contains(&d.index()) {
+                                            d = TaskId::from(next_live(d.index(), n_tasks, |x| {
+                                                dead.contains(&x)
+                                            }));
+                                        }
+                                        by_dest.entry(d).or_default().push((k, blob));
+                                    }
+                                    if by_dest.is_empty() {
+                                        issue_resume(
+                                            &injector,
+                                            &ctl_tx,
+                                            &mut resume_state,
+                                            epoch,
+                                            r.view.clone(),
+                                            current_interval,
+                                        );
+                                        closed_epochs.insert(epoch, "done");
+                                        op_clock = None;
+                                    } else {
+                                        for (dest, st) in by_dest {
+                                            debug_assert!(dest.index() < active);
+                                            r.awaiting_install.insert(dest);
+                                            ctl_send(
+                                                &injector,
+                                                &worker_txs[dest.index()],
+                                                dest.index(),
+                                                Message::StateInstall {
+                                                    epoch,
+                                                    states: st.clone(),
+                                                },
+                                            );
+                                            r.sent_installs.insert(dest, st);
+                                        }
+                                        pending = Some(ActiveOp::Retire(r));
+                                    }
+                                }
+                                WorkerEvent::Killed {
+                                    worker,
+                                    lost: worker_lost,
+                                    stats,
+                                    processed,
+                                    latency,
+                                    first_interval,
+                                    rx,
+                                } => {
+                                    let w = worker.index();
+                                    injector.record(FaultEvent::WorkerDead { worker: w });
+                                    // Keep the books: what the worker *did*
+                                    // process counts; what it held is lost and
+                                    // accounted per key.
+                                    report.per_worker_processed[w] += processed;
+                                    report.processed += processed;
+                                    report.latency_us.merge(&latency);
+                                    merge_first(
+                                        &mut report.first_tuple_interval[w],
+                                        first_interval,
+                                    );
+                                    ledger.on_residue(worker, &stats);
+                                    for closed in ledger.on_worker_dead(worker) {
+                                        closed_rounds.push(closed);
+                                    }
+                                    let mut n_lost = 0u64;
+                                    for (k, n) in worker_lost {
+                                        n_lost += n;
+                                        *lost.entry(k).or_insert(0) += n;
+                                    }
+                                    injector.add_lost(n_lost);
+                                    injector.record(FaultEvent::StateLost { worker: w });
+                                    dead.insert(w);
+                                    ws.set_active(Instant::now(), active - dead.len());
+                                    // Pin the dead slot's keys onto survivors
+                                    // (via each key's hash home, cycled past
+                                    // dead slots) and tell the source; its ack
+                                    // returns when the re-route is live, at
+                                    // which point the channel backlog is
+                                    // drained and accounted (DeadDestAck).
+                                    let moves =
+                                        partitioner.reroute_dead(worker, &|x| dead.contains(&x));
+                                    injector.record(FaultEvent::Rerouted {
+                                        from_worker: w,
+                                        moved_keys: moves.len(),
+                                    });
+                                    send_src(
+                                        &injector,
+                                        &ctl_tx,
+                                        None,
+                                        SourceCtl::DeadDest {
+                                            dest: worker,
+                                            moves,
+                                        },
+                                    );
+                                    dead_pending.insert(w, rx);
+                                    // Untangle the in-flight op from the
+                                    // corpse: a pending phase waiting on the
+                                    // dead worker must not wait for the
+                                    // deadline to notice.
+                                    let mut resolve_retire: Option<(u64, RoutingView)> = None;
+                                    let mut forward_now = false;
+                                    match pending.as_mut() {
+                                        Some(ActiveOp::Migration(m)) => {
+                                            if m.awaiting_out.remove(&worker)
+                                                && m.awaiting_out.is_empty()
+                                            {
+                                                // Remaining extractions are all
+                                                // in; forward below (outside
+                                                // this borrow).
+                                                forward_now = true;
+                                            }
+                                            if m.awaiting_install.remove(&worker)
+                                                && m.awaiting_install.is_empty()
+                                            {
+                                                let epoch = m.epoch;
+                                                let view = m.plan.view.clone();
+                                                issue_resume(
+                                                    &injector,
+                                                    &ctl_tx,
+                                                    &mut resume_state,
+                                                    epoch,
+                                                    view,
+                                                    current_interval,
+                                                );
+                                                closed_epochs.insert(epoch, "done");
+                                                pending = None;
+                                                op_clock = None;
+                                            }
+                                        }
+                                        Some(ActiveOp::Retire(r)) if r.victim == worker => {
+                                            // The victim died mid-retire: its
+                                            // state died with it (accounted
+                                            // above); resume under the shrunk
+                                            // view and close the op.
+                                            resolve_retire = Some((r.epoch, r.view.clone()));
+                                        }
+                                        Some(ActiveOp::Retire(r)) => {
+                                            // A re-home install dest died; the
+                                            // blob in its channel is counted
+                                            // by the DeadDestAck drain.
+                                            let was_awaited = r.awaiting_install.remove(&worker);
+                                            if was_awaited && r.awaiting_install.is_empty() {
+                                                resolve_retire = Some((r.epoch, r.view.clone()));
+                                            }
                                         }
                                         _ => {}
                                     }
-                                    if let Some(out) = partitioner.end_interval(merged) {
-                                        if !out.plan.is_empty() {
-                                            report.rebalances += 1;
-                                            report.migrated_keys += out.plan.keys_moved() as u64;
-                                            report.migrated_bytes += out.plan.cost_bytes();
-                                            let mut by_source: FxHashMap<
-                                                TaskId,
-                                                Vec<(Key, TaskId)>,
-                                            > = FxHashMap::default();
-                                            let mut affected =
-                                                Vec::with_capacity(out.plan.keys_moved());
-                                            for mv in out.plan.moves() {
-                                                affected.push(mv.key);
-                                                by_source
-                                                    .entry(mv.from)
-                                                    .or_default()
-                                                    .push((mv.key, mv.to));
+                                    if forward_now {
+                                        // Re-enter the forwarding step exactly
+                                        // as a final StateOut would have.
+                                        if let Some(ActiveOp::Migration(m)) = pending.as_mut() {
+                                            let n_tasks = partitioner.n_tasks();
+                                            let epoch = m.epoch;
+                                            let mut by_dest: FxHashMap<TaskId, Vec<(Key, Bytes)>> =
+                                                FxHashMap::default();
+                                            for (k, to, blob) in m.collected.drain(..) {
+                                                let d = if dead.contains(&to.index()) {
+                                                    TaskId::from(next_live(
+                                                        to.index(),
+                                                        n_tasks,
+                                                        |x| dead.contains(&x),
+                                                    ))
+                                                } else {
+                                                    to
+                                                };
+                                                by_dest.entry(d).or_default().push((k, blob));
                                             }
-                                            // When the partitioner applied
-                                            // the rebalance as a delta, ship
-                                            // the source the same delta —
-                                            // O(churn), and the source's
-                                            // table stays in lockstep because
-                                            // both sides mutate equal tables
-                                            // identically. Swaps (and every
-                                            // scale op above) keep shipping
-                                            // full views: those are the
-                                            // resync points.
-                                            let view = if partitioner.last_install_was_delta() {
-                                                RoutingView::TableDelta {
-                                                    n_tasks: partitioner.n_tasks(),
-                                                    moves: out
-                                                        .plan
-                                                        .moves()
-                                                        .iter()
-                                                        .map(|m| (m.key, m.to))
-                                                        .collect(),
-                                                }
+                                            if by_dest.is_empty() {
+                                                issue_resume(
+                                                    &injector,
+                                                    &ctl_tx,
+                                                    &mut resume_state,
+                                                    epoch,
+                                                    m.plan.view.clone(),
+                                                    current_interval,
+                                                );
+                                                closed_epochs.insert(epoch, "done");
+                                                pending = None;
+                                                op_clock = None;
                                             } else {
-                                                partitioner.routing_view()
-                                            };
-                                            queue.push_back(PlannedOp::Migrate(PlannedMigration {
-                                                by_source,
-                                                affected,
-                                                view,
-                                                preplaced: false,
-                                            }));
+                                                for (dest, st) in by_dest {
+                                                    m.awaiting_install.insert(dest);
+                                                    ctl_send(
+                                                        &injector,
+                                                        &worker_txs[dest.index()],
+                                                        dest.index(),
+                                                        Message::StateInstall {
+                                                            epoch,
+                                                            states: st.clone(),
+                                                        },
+                                                    );
+                                                    m.sent_installs.insert(dest, st);
+                                                }
+                                            }
                                         }
                                     }
-                                }
-                            }
-                            WorkerEvent::StateOut {
-                                worker,
-                                epoch,
-                                states,
-                            } => 'state_out: {
-                                let m = match pending.as_mut() {
-                                    Some(ActiveOp::Migration(m)) => m,
-                                    _ => {
-                                        // A well-formed worker only emits
-                                        // StateOut in answer to a MigrateOut,
-                                        // which only a pending migration
-                                        // sends. Arriving here means the op
-                                        // bookkeeping diverged; the extracted
-                                        // states have left their owner, so
-                                        // losing them is worth shouting about.
-                                        report.protocol_errors.push(format!(
-                                            "StateOut from worker {} for epoch {epoch} \
-                                             with no migration in flight; {} key states \
-                                             dropped",
-                                            worker.index(),
-                                            states.len(),
-                                        ));
-                                        break 'state_out;
-                                    }
-                                };
-                                debug_assert_eq!(m.epoch, epoch);
-                                if m.plan.preplaced {
-                                    // Pre-placement bills the bytes actually
-                                    // extracted: the plan moves windowed
-                                    // state no single interval's statistics
-                                    // can size (rebalances bill their plan's
-                                    // windowed-mem estimate up front).
-                                    report.migrated_bytes +=
-                                        states.iter().map(|(_, _, b)| b.len() as u64).sum::<u64>();
-                                }
-                                m.collected.extend(states);
-                                m.awaiting_out.remove(&worker);
-                                if m.awaiting_out.is_empty() {
-                                    // Step 5b: forward to destinations.
-                                    let mut by_dest: FxHashMap<TaskId, Vec<(Key, Bytes)>> =
-                                        FxHashMap::default();
-                                    for (k, to, blob) in m.collected.drain(..) {
-                                        by_dest.entry(to).or_default().push((k, blob));
-                                    }
-                                    if by_dest.is_empty() {
-                                        let _ = ctl_tx.send(SourceCtl::Resume {
+                                    if let Some((epoch, view)) = resolve_retire {
+                                        issue_resume(
+                                            &injector,
+                                            &ctl_tx,
+                                            &mut resume_state,
                                             epoch,
-                                            view: m.plan.view.clone(),
-                                        });
-                                        outstanding_resumes += 1;
+                                            view,
+                                            current_interval,
+                                        );
+                                        closed_epochs.insert(epoch, "done");
+                                        if retiring == Some(worker) {
+                                            retiring = None;
+                                        }
                                         pending = None;
-                                    } else {
-                                        for (dest, states) in by_dest {
-                                            m.awaiting_install.insert(dest);
-                                            let _ = worker_txs[dest.index()]
-                                                .send(Message::StateInstall { epoch, states });
+                                        op_clock = None;
+                                    }
+                                    // A death during the drain means one
+                                    // Shutdown marker will never be answered.
+                                    if draining {
+                                        drain_target = drain_target.saturating_sub(1);
+                                        if drained >= drain_target {
+                                            break 'ctl;
                                         }
                                     }
                                 }
-                            }
-                            WorkerEvent::InstallAck { worker, epoch } => {
-                                let resume_view = match pending.as_mut() {
-                                    Some(ActiveOp::Migration(m)) => {
-                                        debug_assert_eq!(m.epoch, epoch);
-                                        m.awaiting_install.remove(&worker);
-                                        // Step 7: resume with F′.
-                                        m.awaiting_install.is_empty().then(|| m.plan.view.clone())
-                                    }
-                                    Some(ActiveOp::Retire(r)) => {
-                                        debug_assert_eq!(r.epoch, epoch);
-                                        r.awaiting_install.remove(&worker);
-                                        // Re-provision complete: resume
-                                        // under the shrunk view.
-                                        r.awaiting_install.is_empty().then(|| r.view.clone())
-                                    }
-                                    None => {
-                                        // Installs are only sent by a pending
-                                        // op, and the op stays pending until
-                                        // every install is acked — a stray ack
-                                        // is bookkeeping divergence, not a
-                                        // reason to kill the pipeline.
-                                        report.protocol_errors.push(format!(
-                                            "InstallAck from worker {} for epoch {epoch} \
-                                             with no pending op",
-                                            worker.index(),
-                                        ));
-                                        None
-                                    }
-                                };
-                                if let Some(view) = resume_view {
-                                    let _ = ctl_tx.send(SourceCtl::Resume { epoch, view });
-                                    outstanding_resumes += 1;
-                                    pending = None;
-                                }
-                            }
-                            WorkerEvent::Retired {
-                                worker,
-                                epoch,
-                                states,
-                                stats,
-                                processed,
-                                latency,
-                                first_interval,
-                                rx,
-                            } => 'retired: {
-                                let mut r = match pending.take() {
-                                    Some(ActiveOp::Retire(r)) => r,
-                                    other => {
-                                        // Retired is the victim's answer to a
-                                        // Retire marker only a pending
-                                        // scale-in sends. Put back whatever op
-                                        // actually was in flight and the
-                                        // slot's channel (so a later
-                                        // scale-out can still reuse it), and
-                                        // surface the divergence.
-                                        pending = other;
-                                        worker_rxs[worker.index()] = Some(rx);
-                                        report.protocol_errors.push(format!(
-                                            "Retired from worker {} for epoch {epoch} \
-                                             with no pending scale-in",
-                                            worker.index(),
-                                        ));
-                                        break 'retired;
-                                    }
-                                };
-                                debug_assert_eq!(r.epoch, epoch);
-                                debug_assert_eq!(r.victim, worker);
-                                report.per_worker_processed[worker.index()] += processed;
-                                report.processed += processed;
-                                report.latency_us.merge(&latency);
-                                merge_first(
-                                    &mut report.first_tuple_interval[worker.index()],
+                                WorkerEvent::Drained {
+                                    worker,
+                                    final_states,
+                                    processed,
+                                    latency,
                                     first_interval,
-                                );
-                                // Fold the victim's unreported residue into
-                                // the oldest open round (issued while the
-                                // victim was alive, so its slot exists) —
-                                // dropping it would read as a load dip and
-                                // re-trigger the scale-in policy.
-                                ledger.on_residue(worker, &stats);
-                                // The slot's channel stays connected (our
-                                // sender clones live on), so a later
-                                // scale-out can respawn here and no message
-                                // can ever be silently dropped.
-                                worker_rxs[worker.index()] = Some(rx);
-                                retiring = None;
-                                ws.set_active(Instant::now(), active - 1);
-                                active -= 1;
-                                debug_assert_eq!(worker.index(), active);
-                                // Re-home the drained state under the op's
-                                // captured view — the placement every later
-                                // op's delta is computed against.
-                                let mut router = SourceRouter::from_view(r.view.clone());
-                                let mut by_dest: FxHashMap<TaskId, Vec<(Key, Bytes)>> =
-                                    FxHashMap::default();
-                                for (k, blob) in states {
-                                    if !blob.is_empty() {
-                                        by_dest.entry(router.route(k)).or_default().push((k, blob));
+                                } => {
+                                    report.per_worker_processed[worker.index()] += processed;
+                                    report.processed += processed;
+                                    report.latency_us.merge(&latency);
+                                    merge_first(
+                                        &mut report.first_tuple_interval[worker.index()],
+                                        first_interval,
+                                    );
+                                    report.final_states.extend(final_states);
+                                    drained += 1;
+                                    if draining && drained >= drain_target {
+                                        break 'ctl;
                                     }
-                                }
-                                if by_dest.is_empty() {
-                                    let _ = ctl_tx.send(SourceCtl::Resume {
-                                        epoch,
-                                        view: r.view.clone(),
-                                    });
-                                    outstanding_resumes += 1;
-                                } else {
-                                    for (dest, states) in by_dest {
-                                        debug_assert!(dest.index() < active);
-                                        r.awaiting_install.insert(dest);
-                                        let _ = worker_txs[dest.index()]
-                                            .send(Message::StateInstall { epoch, states });
-                                    }
-                                    pending = Some(ActiveOp::Retire(r));
-                                }
-                            }
-                            WorkerEvent::Drained {
-                                worker,
-                                final_states,
-                                processed,
-                                latency,
-                                first_interval,
-                            } => {
-                                report.per_worker_processed[worker.index()] += processed;
-                                report.processed += processed;
-                                report.latency_us.merge(&latency);
-                                merge_first(
-                                    &mut report.first_tuple_interval[worker.index()],
-                                    first_interval,
-                                );
-                                report.final_states.extend(final_states);
-                                drained += 1;
-                                if drained == active {
-                                    break;
                                 }
                             }
                         }
                     }
+                }
+
+                // ---- bottom half: runs every wake-up, timeouts included ----
+
+                // Keep dead channels drained while the source may still
+                // be routing at them (its DeadDest is in flight): a
+                // bounded channel left full would backpressure the source
+                // against a corpse and stall the data plane. Everything
+                // drained is accounted as lost, exactly as the final
+                // DeadDestAck drain does.
+                for (&w, rx) in &dead_pending {
+                    let sop = scratch_op.get_or_insert_with(|| op_factory(TaskId::from(w)));
+                    let n = drain_dead_channel(rx, sop.as_mut(), &mut lost);
+                    injector.add_lost(n);
+                }
+
+                // Stats rounds whose reporters went silent close by
+                // deadline, so a wedged worker cannot hold decisions — or
+                // shutdown, which waits on open rounds — hostage.
+                for (interval, round, missing) in ledger.expire_rounds(
+                    current_interval,
+                    config.round_deadline_intervals,
+                    config.round_deadline,
+                ) {
+                    injector.record(FaultEvent::RoundTimedOut { interval, missing });
+                    closed_rounds.push((interval, round));
+                }
+
+                // Decide every round closed this tick — whether a full
+                // report set, a dead-worker strike, or deadline expiry
+                // closed it, the same code decides.
+                for (interval, round) in std::mem::take(&mut closed_rounds) {
+                    let merged = round.merged;
+                    let loads = round.loads;
+                    // Elasticity decision. The observation's parallelism
+                    // is the *planned* one — `partitioner.n_tasks()`,
+                    // which every decision mutates immediately — not the
+                    // physical worker count, which lags while retires
+                    // drain; deciding on the stale physical count would
+                    // re-trigger on parallelism the policy already gave
+                    // up. Scale-ins may queue (victims walk down from the
+                    // planned tail, ops execute in order); a scale-out is
+                    // skipped while any scale-in is still
+                    // re-provisioning, since the spawn slot must be the
+                    // contiguous physical tail.
+                    let planned = partitioner.n_tasks();
+                    let scale_in_flight = pending.as_ref().is_some_and(ActiveOp::is_scale_in)
+                        || queue.iter().any(PlannedOp::is_scale_in);
+                    let obs = IntervalObservation {
+                        interval,
+                        n_tasks: planned,
+                        loads: &loads,
+                        queue_depths: &round.queues,
+                        mean_latency_us: round.mean_latency_us,
+                        p99_latency_us: round.p99_latency_us,
+                        n_dead: dead.len(),
+                    };
+                    match policy.decide(&obs) {
+                        ScaleDecision::ScaleOut if !dead.is_empty() => {
+                            // Re-provision the lowest dead slot rather
+                            // than widening: the capacity the policy
+                            // wants back is the capacity the death took.
+                            // Routing is untouched (the revived slot
+                            // starts key-less; the next rebalance loads
+                            // it) — only the source's divert set shrinks,
+                            // once it swaps in the fresh channel that
+                            // `ReviveDest` carries.
+                            // lint: allow(panic, reason = "guarded by
+                            // !dead.is_empty() on the arm")
+                            let slot = *dead.iter().min().expect("dead non-empty");
+                            let (tx, rx) = bounded(config.channel_capacity);
+                            worker_txs[slot] = tx.clone();
+                            spawner.spawn(
+                                s,
+                                slot,
+                                rx,
+                                op_factory(TaskId::from(slot)),
+                                interval + 1,
+                            );
+                            send_src(
+                                &injector,
+                                &ctl_tx,
+                                None,
+                                SourceCtl::ReviveDest {
+                                    dest: TaskId::from(slot),
+                                    tx,
+                                },
+                            );
+                            dead.remove(&slot);
+                            ws.set_active(Instant::now(), active - dead.len());
+                            injector.record(FaultEvent::SlotRevived { worker: slot });
+                        }
+                        ScaleDecision::ScaleOut if !scale_in_flight && active < max_workers => 'scale_out: {
+                            debug_assert_eq!(planned, active);
+                            let Some(rx) = worker_rxs[active].take() else {
+                                // The slot's receiver was never
+                                // returned (a prior retire
+                                // mismatch): record it and keep
+                                // running at the current width
+                                // rather than tearing down the
+                                // topology.
+                                report.protocol_errors.push(format!(
+                                    "scale-out to {} aborted: worker slot {} \
+                                     has no channel to hand out",
+                                    active + 1,
+                                    active,
+                                ));
+                                break 'scale_out;
+                            };
+                            ws.set_active(Instant::now(), active + 1 - dead.len());
+                            let live: Vec<Key> = merged.iter().map(|(k, _)| k).collect();
+                            spawner.spawn(
+                                s,
+                                active,
+                                rx,
+                                op_factory(TaskId::from(active)),
+                                interval + 1,
+                            );
+                            // Pre-placement (default): plan
+                            // the migration at provision
+                            // time — the new slot's keys
+                            // move in through the same
+                            // quiesce → install → resume
+                            // machinery as a rebalance, so
+                            // it takes load this interval.
+                            // The seed shape pins churn
+                            // instead and the slot idles
+                            // until the next rebalance.
+                            let (new, moves) = if config.preplace {
+                                partitioner.scale_out_plan(&live)
+                            } else {
+                                (partitioner.scale_out(&live), Vec::new())
+                            };
+                            debug_assert_eq!(new.index(), active);
+                            report.scale_events.push(ScaleEvent {
+                                interval,
+                                from: active,
+                                to: active + 1,
+                            });
+                            active += 1;
+                            if moves.is_empty() {
+                                // Nothing to pre-place (seed
+                                // shape, or a key-oblivious
+                                // strategy whose new worker
+                                // takes traffic without any
+                                // state): publish the grown
+                                // view directly.
+                                send_src(
+                                    &injector,
+                                    &ctl_tx,
+                                    None,
+                                    SourceCtl::UpdateView {
+                                        view: partitioner.routing_view(),
+                                    },
+                                );
+                            } else {
+                                report.migrated_keys += moves.len() as u64;
+                                let mut by_source: FxHashMap<TaskId, Vec<(Key, TaskId)>> =
+                                    FxHashMap::default();
+                                let mut affected = Vec::with_capacity(moves.len());
+                                for (k, holder) in moves {
+                                    affected.push(k);
+                                    by_source.entry(holder).or_default().push((k, new));
+                                }
+                                queue.push_back(PlannedOp::Migrate(PlannedMigration {
+                                    by_source,
+                                    affected,
+                                    view: partitioner.routing_view(),
+                                    preplaced: true,
+                                }));
+                            }
+                        }
+                        ScaleDecision::ScaleIn if !dead.is_empty() => {
+                            // Degraded: retiring a live worker while a
+                            // dead slot's keys are already packed onto
+                            // survivors would shed real capacity on top
+                            // of the loss. Hold, and let the ledger say
+                            // why the policy's wish was refused.
+                            injector.record(FaultEvent::ScaleHeld { interval });
+                        }
+                        ScaleDecision::ScaleIn if planned > 1 => {
+                            // Shrink the routing function now
+                            // (later decisions and rebalances
+                            // build on it); the physical
+                            // retirement queues behind any
+                            // in-flight op.
+                            let victim = TaskId::from(planned - 1);
+                            let live: Vec<Key> = merged.iter().map(|(k, _)| k).collect();
+                            partitioner.scale_in(victim, &live);
+                            report.scale_events.push(ScaleEvent {
+                                interval,
+                                from: planned,
+                                to: planned - 1,
+                            });
+                            queue.push_back(PlannedOp::ScaleIn {
+                                victim,
+                                view: partitioner.routing_view(),
+                            });
+                        }
+                        _ => {}
+                    }
+                    if let Some(out) = partitioner.end_interval(merged) {
+                        if !out.plan.is_empty() {
+                            report.rebalances += 1;
+                            report.migrated_keys += out.plan.keys_moved() as u64;
+                            report.migrated_bytes += out.plan.cost_bytes();
+                            let n_tasks = partitioner.n_tasks();
+                            let mut dead_involved = false;
+                            let mut fixups: Vec<(Key, TaskId)> = Vec::new();
+                            let mut by_source: FxHashMap<TaskId, Vec<(Key, TaskId)>> =
+                                FxHashMap::default();
+                            let mut affected = Vec::with_capacity(out.plan.keys_moved());
+                            for mv in out.plan.moves() {
+                                affected.push(mv.key);
+                                let to = if dead.contains(&mv.to.index()) {
+                                    // The planner aimed a key at a corpse
+                                    // (its stats predate the death):
+                                    // divert it to the slot its traffic
+                                    // already lands on.
+                                    dead_involved = true;
+                                    let d = TaskId::from(next_live(mv.to.index(), n_tasks, |x| {
+                                        dead.contains(&x)
+                                    }));
+                                    fixups.push((mv.key, d));
+                                    d
+                                } else {
+                                    mv.to
+                                };
+                                if dead.contains(&mv.from.index()) {
+                                    // The holder died: its state is gone
+                                    // and already accounted, so this is a
+                                    // routing-only move.
+                                    dead_involved = true;
+                                    continue;
+                                }
+                                by_source.entry(mv.from).or_default().push((mv.key, to));
+                            }
+                            if !fixups.is_empty() {
+                                partitioner.apply_moves(&fixups);
+                            }
+                            // When the partitioner applied
+                            // the rebalance as a delta, ship
+                            // the source the same delta —
+                            // O(churn), and the source's
+                            // table stays in lockstep because
+                            // both sides mutate equal tables
+                            // identically. Swaps (and every
+                            // scale op above) keep shipping
+                            // full views: those are the
+                            // resync points. Dead involvement
+                            // also forces a full view — the
+                            // fixups above made the
+                            // controller's table diverge from
+                            // the plan's moves, so the raw
+                            // delta would desync the source.
+                            let view = if dead_involved {
+                                partitioner.routing_view()
+                            } else if partitioner.last_install_was_delta() {
+                                RoutingView::TableDelta {
+                                    n_tasks: partitioner.n_tasks(),
+                                    moves: out.plan.moves().iter().map(|m| (m.key, m.to)).collect(),
+                                }
+                            } else {
+                                partitioner.routing_view()
+                            };
+                            queue.push_back(PlannedOp::Migrate(PlannedMigration {
+                                by_source,
+                                affected,
+                                view,
+                                preplaced: false,
+                            }));
+                        }
+                    }
+                }
+
+                // In-flight-op deadline. Intervals are the deterministic
+                // clock; the wall bound keeps healthy-but-slow runs from
+                // spurious expiry, and rules alone once the source has
+                // finished and intervals stop. First expiry re-drives
+                // the stuck phase (markers are idempotent: workers and
+                // source absorb duplicates by epoch); the second aborts
+                // with rollback.
+                let mut abort_op = false;
+                if let (Some(op), Some(clock)) = (pending.as_mut(), op_clock.as_mut()) {
+                    let wall_ok = clock.started.elapsed() < config.op_deadline;
+                    let iv_ok =
+                        current_interval < clock.started_interval + config.op_deadline_intervals;
+                    if !wall_ok && (!iv_ok || source_finished) {
+                        if clock.retried {
+                            abort_op = true;
+                        } else {
+                            clock.retried = true;
+                            clock.started = Instant::now();
+                            clock.started_interval = current_interval;
+                            match op {
+                                ActiveOp::Migration(m) => {
+                                    injector.record(FaultEvent::OpRetried {
+                                        op: OpKind::Migrate,
+                                        epoch: m.epoch,
+                                    });
+                                    if !m.pause_acked {
+                                        send_src(
+                                            &injector,
+                                            &ctl_tx,
+                                            Some(CtlKind::Pause),
+                                            SourceCtl::Pause {
+                                                epoch: m.epoch,
+                                                affected: m.plan.affected.clone(),
+                                            },
+                                        );
+                                    } else if !m.awaiting_out.is_empty() {
+                                        let stuck: Vec<TaskId> =
+                                            m.awaiting_out.iter().copied().collect();
+                                        for w in stuck {
+                                            if dead.contains(&w.index()) {
+                                                continue;
+                                            }
+                                            let moves = m
+                                                .plan
+                                                .by_source
+                                                .get(&w)
+                                                .cloned()
+                                                .unwrap_or_default();
+                                            send_ctl_marker(
+                                                &injector,
+                                                &worker_txs,
+                                                w.index(),
+                                                CtlKind::MigrateOut,
+                                                Message::MigrateOut {
+                                                    epoch: m.epoch,
+                                                    moves,
+                                                },
+                                            );
+                                        }
+                                    } else {
+                                        for (&dst, states) in &m.sent_installs {
+                                            if !m.awaiting_install.contains(&dst)
+                                                || dead.contains(&dst.index())
+                                            {
+                                                continue;
+                                            }
+                                            ctl_send(
+                                                &injector,
+                                                &worker_txs[dst.index()],
+                                                dst.index(),
+                                                Message::StateInstall {
+                                                    epoch: m.epoch,
+                                                    states: states.clone(),
+                                                },
+                                            );
+                                        }
+                                    }
+                                }
+                                ActiveOp::Retire(r) => {
+                                    injector.record(FaultEvent::OpRetried {
+                                        op: OpKind::Retire,
+                                        epoch: r.epoch,
+                                    });
+                                    if !r.pause_acked {
+                                        send_src(
+                                            &injector,
+                                            &ctl_tx,
+                                            Some(CtlKind::Pause),
+                                            SourceCtl::PauseDest {
+                                                epoch: r.epoch,
+                                                dest: r.victim,
+                                            },
+                                        );
+                                    } else if retiring == Some(r.victim) {
+                                        send_ctl_marker(
+                                            &injector,
+                                            &worker_txs,
+                                            r.victim.index(),
+                                            CtlKind::Retire,
+                                            Message::Retire { epoch: r.epoch },
+                                        );
+                                    } else {
+                                        for (&dst, states) in &r.sent_installs {
+                                            if !r.awaiting_install.contains(&dst)
+                                                || dead.contains(&dst.index())
+                                            {
+                                                continue;
+                                            }
+                                            ctl_send(
+                                                &injector,
+                                                &worker_txs[dst.index()],
+                                                dst.index(),
+                                                Message::StateInstall {
+                                                    epoch: r.epoch,
+                                                    states: states.clone(),
+                                                },
+                                            );
+                                        }
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+                if abort_op {
+                    if let Some(op) = pending.take() {
+                        op_clock = None;
+                        match op {
+                            ActiveOp::Migration(m) => {
+                                injector.record(FaultEvent::OpAborted {
+                                    op: OpKind::Migrate,
+                                    epoch: m.epoch,
+                                });
+                                closed_epochs.insert(m.epoch, "aborted");
+                                // Roll the routing back: every affected
+                                // key returns to its origin (diverted
+                                // past corpses). State still in hand
+                                // (`collected`) is re-installed under a
+                                // fresh pre-closed epoch; state already
+                                // delivered stays where it landed —
+                                // re-sending it could double-count, and
+                                // per-key counts merge at shutdown
+                                // regardless of which slot holds them.
+                                let n_tasks = partitioner.n_tasks();
+                                let mut origin_of: FxHashMap<Key, TaskId> = FxHashMap::default();
+                                let mut reverse: Vec<(Key, TaskId)> = Vec::new();
+                                for (&src, moves) in &m.plan.by_source {
+                                    let home = if dead.contains(&src.index()) {
+                                        TaskId::from(next_live(src.index(), n_tasks, |x| {
+                                            dead.contains(&x)
+                                        }))
+                                    } else {
+                                        src
+                                    };
+                                    for &(k, _) in moves {
+                                        reverse.push((k, home));
+                                        origin_of.insert(k, home);
+                                    }
+                                }
+                                partitioner.apply_moves(&reverse);
+                                next_epoch += 1;
+                                closed_epochs.insert(next_epoch, "rollback");
+                                let mut by_origin: FxHashMap<TaskId, Vec<(Key, Bytes)>> =
+                                    FxHashMap::default();
+                                for (k, _to, blob) in m.collected {
+                                    let Some(&home) = origin_of.get(&k) else {
+                                        continue;
+                                    };
+                                    by_origin.entry(home).or_default().push((k, blob));
+                                }
+                                for (dst, states) in by_origin {
+                                    ctl_send(
+                                        &injector,
+                                        &worker_txs[dst.index()],
+                                        dst.index(),
+                                        Message::StateInstall {
+                                            epoch: next_epoch,
+                                            states,
+                                        },
+                                    );
+                                }
+                                issue_resume(
+                                    &injector,
+                                    &ctl_tx,
+                                    &mut resume_state,
+                                    m.epoch,
+                                    partitioner.routing_view(),
+                                    current_interval,
+                                );
+                            }
+                            ActiveOp::Retire(r) => {
+                                injector.record(FaultEvent::OpAborted {
+                                    op: OpKind::Retire,
+                                    epoch: r.epoch,
+                                });
+                                closed_epochs.insert(r.epoch, "aborted");
+                                // The routing already shrank at decision
+                                // time, so resume under the retire's view:
+                                // a still-live victim becomes a routed-
+                                // around zombie that drains at shutdown
+                                // with its state intact; a late `Retired`
+                                // is absorbed by the closed epoch.
+                                if retiring == Some(r.victim) {
+                                    retiring = None;
+                                }
+                                issue_resume(
+                                    &injector,
+                                    &ctl_tx,
+                                    &mut resume_state,
+                                    r.epoch,
+                                    r.view,
+                                    current_interval,
+                                );
+                            }
+                        }
+                    }
+                }
+
+                // Resume deadline: re-drive, forever — an abandoned
+                // resume would strand pause-buffered tuples at the
+                // source (unaccounted loss) and hang shutdown. Only the
+                // first re-drive is ledgered; the source absorbs
+                // duplicates by epoch.
+                let mut redrive: Vec<(u64, RoutingView)> = Vec::new();
+                for (&epoch, rc) in resume_state.iter_mut() {
+                    let wall_ok = rc.started.elapsed() < config.op_deadline;
+                    let iv_ok =
+                        current_interval < rc.started_interval + config.op_deadline_intervals;
+                    if wall_ok || (iv_ok && !source_finished) {
+                        continue;
+                    }
+                    if !rc.retried {
+                        rc.retried = true;
+                        injector.record(FaultEvent::OpRetried {
+                            op: OpKind::Resume,
+                            epoch,
+                        });
+                    }
+                    rc.started = Instant::now();
+                    rc.started_interval = current_interval;
+                    redrive.push((epoch, rc.view.clone()));
+                }
+                for (epoch, view) in redrive {
+                    send_src(
+                        &injector,
+                        &ctl_tx,
+                        Some(CtlKind::Resume),
+                        SourceCtl::Resume { epoch, view },
+                    );
                 }
 
                 // Start the next queued control-plane op when idle.
                 if pending.is_none() {
                     if let Some(op) = queue.pop_front() {
-                        next_epoch += 1;
                         match op {
-                            PlannedOp::Migrate(plan) => {
-                                let _ = ctl_tx.send(SourceCtl::Pause {
-                                    epoch: next_epoch,
-                                    affected: plan.affected.clone(),
-                                });
+                            PlannedOp::Migrate(mut plan) => {
+                                // Movers that died since planning hold no
+                                // state (lost and accounted at death);
+                                // their keys still move in the view.
+                                plan.by_source.retain(|src, _| !dead.contains(&src.index()));
+                                next_epoch += 1;
+                                send_src(
+                                    &injector,
+                                    &ctl_tx,
+                                    Some(CtlKind::Pause),
+                                    SourceCtl::Pause {
+                                        epoch: next_epoch,
+                                        affected: plan.affected.clone(),
+                                    },
+                                );
+                                op_clock = Some(OpClock::start(current_interval));
                                 pending = Some(ActiveOp::Migration(ActiveMigration {
                                     epoch: next_epoch,
                                     plan,
+                                    pause_acked: false,
                                     awaiting_out: FxHashSet::default(),
                                     collected: Vec::new(),
                                     awaiting_install: FxHashSet::default(),
+                                    sent_installs: FxHashMap::default(),
                                 }));
                             }
+                            PlannedOp::ScaleIn { victim, view }
+                                if dead.contains(&victim.index()) =>
+                            {
+                                // The victim died before its retirement
+                                // started: state accounted, keys already
+                                // re-routed. Finalize the width
+                                // bookkeeping and publish the shrunk
+                                // view; no pause is needed because the
+                                // source diverts the slot anyway.
+                                dead.remove(&victim.index());
+                                active -= 1;
+                                debug_assert_eq!(victim.index(), active);
+                                ws.set_active(Instant::now(), active - dead.len());
+                                send_src(&injector, &ctl_tx, None, SourceCtl::UpdateView { view });
+                            }
                             PlannedOp::ScaleIn { victim, view } => {
-                                let _ = ctl_tx.send(SourceCtl::PauseDest {
-                                    epoch: next_epoch,
-                                    dest: victim,
-                                });
+                                next_epoch += 1;
+                                send_src(
+                                    &injector,
+                                    &ctl_tx,
+                                    Some(CtlKind::Pause),
+                                    SourceCtl::PauseDest {
+                                        epoch: next_epoch,
+                                        dest: victim,
+                                    },
+                                );
+                                op_clock = Some(OpClock::start(current_interval));
                                 pending = Some(ActiveOp::Retire(ActiveRetire {
                                     epoch: next_epoch,
                                     victim,
                                     view,
+                                    pause_acked: false,
+                                    retire_sent: false,
                                     awaiting_install: FxHashSet::default(),
+                                    sent_installs: FxHashMap::default(),
                                 }));
                             }
                         }
                     }
                 }
 
-                // Shutdown when fully quiesced. `outstanding_resumes`
-                // guards the flush race: the source must confirm it has
+                // Shutdown when fully quiesced. `resume_state` guards
+                // the flush race: the source must confirm it has
                 // re-enqueued all pause-buffered tuples before Shutdown
                 // markers enter the worker channels behind them.
+                // `dead_pending` guards loss accounting: a dead slot's
+                // channel backlog must be counted before teardown.
                 if source_finished
                     && !draining
                     && pending.is_none()
                     && queue.is_empty()
                     && ledger.outstanding() == 0
-                    && outstanding_resumes == 0
+                    && resume_state.is_empty()
+                    && dead_pending.is_empty()
                 {
                     draining = true;
-                    for tx in worker_txs.iter().take(active) {
-                        let _ = tx.send(Message::Shutdown);
+                    drain_target = 0;
+                    for (i, tx) in worker_txs.iter().enumerate().take(active) {
+                        if dead.contains(&i) {
+                            continue;
+                        }
+                        // A slot whose Shutdown did not land (timeout or
+                        // disconnect) is left out of the drain target;
+                        // its thread still exits when the channel
+                        // disconnects at teardown.
+                        if ctl_send(&injector, tx, i, Message::Shutdown) {
+                            drain_target += 1;
+                        }
+                    }
+                    if drained >= drain_target {
+                        break 'ctl;
                     }
                 }
             }
@@ -1047,10 +2238,23 @@ impl Engine {
             // collector-sender clone; it must drop before the collector
             // join, or the collector never observes closure.
             report.worker_seconds = ws.finish(Instant::now());
+            // Disconnect here means the source already exited (it only
+            // does so on Shutdown or panic; a panic is surfaced by the
+            // join below) — nothing to tell it.
             let _ = ctl_tx.send(SourceCtl::Shutdown);
             stop.store(true, Ordering::Relaxed);
             drop(spawner);
             drop(col_tx);
+            // Join the source before taking the ledger: it records
+            // (drop ordinals, send failures) until it exits, and a
+            // ledger taken while it still runs could miss a tail entry.
+            if src_handle.join().is_err() {
+                report.protocol_errors.push("source thread panicked".into());
+            }
+            report.faults = injector.take_ledger();
+            let mut lost_tuples: Vec<(Key, u64)> = lost.into_iter().collect();
+            lost_tuples.sort_unstable_by_key(|&(k, _)| k);
+            report.lost_tuples = lost_tuples;
             match sampler.join() {
                 Ok(t) => report.throughput = t,
                 Err(_) => report
@@ -1116,6 +2320,12 @@ struct SourcePlane {
     dests: Vec<TaskId>,
     batch: usize,
     per_tuple: bool,
+    /// Dead worker slots (`DeadDest`, or a send failure observed first-
+    /// hand): routed tuples divert past them in [`SourcePlane::send_msg`]
+    /// until a `ReviveDest` swaps in a fresh channel.
+    dead: FxHashSet<usize>,
+    /// Shared fault injector: ack sends honour injected control drops.
+    injector: Arc<FaultInjector>,
 }
 
 impl SourcePlane {
@@ -1160,48 +2370,102 @@ impl SourcePlane {
         }
         self.keys.clear();
         self.keys.extend(staged.iter().map(|t| t.key));
-        self.router.route_batch(&self.keys, &mut self.dests);
+        let mut dests = std::mem::take(&mut self.dests);
+        self.router.route_batch(&self.keys, &mut dests);
         let pause_dest = match &self.paused {
             Some((_, PauseFilter::Dest(d))) => Some(*d),
             _ => None,
         };
         if self.per_tuple {
-            for (t, d) in staged.drain(..).zip(&self.dests) {
+            for (t, d) in staged.drain(..).zip(&dests) {
                 if pause_dest == Some(*d) {
                     self.buffer.push(t);
                     continue;
                 }
-                let _ = self.worker_txs[d.index()].send(Message::Tuple(t));
+                self.send_msg(d.index(), Message::Tuple(t), 1);
             }
+        } else {
+            for (t, d) in staged.drain(..).zip(&dests) {
+                if pause_dest == Some(*d) {
+                    self.buffer.push(t);
+                    continue;
+                }
+                let slot = &mut self.fan[d.index()];
+                if slot.is_empty() {
+                    self.touched.push(d.index());
+                }
+                slot.push(t);
+            }
+            for i in 0..self.touched.len() {
+                let d = self.touched[i];
+                let next = self.take_buf();
+                let batch = std::mem::replace(&mut self.fan[d], next);
+                let weight = batch.len();
+                self.send_msg(d, Message::TupleBatch(batch), weight);
+            }
+            self.touched.clear();
+        }
+        self.dests = dests;
+    }
+
+    /// Ships one message to `dest`, diverting past dead slots (the slot
+    /// index cycled to the next live one — the same rule the controller's
+    /// re-route pins into the table, so a divert under a stale view lands
+    /// where the re-route will). A send failure means the worker died
+    /// under us before the controller could say so: mark the slot,
+    /// report it once, and re-divert — the message is recovered from the
+    /// failed send, so nothing is silently dropped.
+    fn send_msg(&mut self, dest: usize, msg: Message, weight: usize) {
+        let mut d = dest;
+        let mut msg = msg;
+        loop {
+            if self.dead.contains(&d) {
+                let n = self.router.n_tasks();
+                let nd = next_live(d, n, |x| self.dead.contains(&x));
+                if self.dead.contains(&nd) {
+                    // Every slot is dead — unreachable in practice
+                    // (worker 0 is never fault-injected), and with no
+                    // live channel there is nowhere to account it either.
+                    return;
+                }
+                d = nd;
+            }
+            match self.worker_txs[d].send_weighted(msg, weight) {
+                Ok(()) => return,
+                Err(e) => {
+                    if self.dead.insert(d) {
+                        // The event channel outlives the source (the
+                        // controller joins it before dropping the
+                        // receiver), so this send cannot disconnect.
+                        let _ = self.events.send(SourceEvent::SendFailed {
+                            dest: TaskId::from(d),
+                        });
+                    }
+                    msg = e.0;
+                }
+            }
+        }
+    }
+
+    /// Sends a controller-bound ack, honouring an injected control drop.
+    /// The event channel outlives the source (see `send_msg`), so the
+    /// discarded send result can only ever be `Ok`.
+    fn ack(&self, ev: SourceEvent, kind: CtlKind) {
+        if !self.injector.is_passive() && self.injector.should_drop(kind) {
             return;
         }
-        for (t, d) in staged.drain(..).zip(&self.dests) {
-            if pause_dest == Some(*d) {
-                self.buffer.push(t);
-                continue;
-            }
-            let slot = &mut self.fan[d.index()];
-            if slot.is_empty() {
-                self.touched.push(d.index());
-            }
-            slot.push(t);
-        }
-        for i in 0..self.touched.len() {
-            let d = self.touched[i];
-            let next = self.take_buf();
-            let batch = std::mem::replace(&mut self.fan[d], next);
-            let weight = batch.len();
-            let _ = self.worker_txs[d].send_weighted(Message::TupleBatch(batch), weight);
-        }
-        self.touched.clear();
+        let _ = self.events.send(ev);
     }
 
     /// Handles one control message; returns false on Shutdown.
     fn handle_ctl(&mut self, msg: SourceCtl) -> bool {
         match msg {
             SourceCtl::Pause { epoch, affected } => {
+                // Re-arming an identical pause (a deadline-retried Pause
+                // whose ack was dropped) is idempotent: overwrite and
+                // re-ack.
                 self.paused = Some((epoch, PauseFilter::Keys(affected.into_iter().collect())));
-                let _ = self.events.send(SourceEvent::PauseAck { epoch });
+                self.ack(SourceEvent::PauseAck { epoch }, CtlKind::PauseAck);
             }
             SourceCtl::PauseDest { epoch, dest } => {
                 // The ack is valid here for the same reason as a key-set
@@ -1209,9 +2473,19 @@ impl SourcePlane {
                 // the fan-out accumulators are empty — everything routed
                 // to `dest` so far is already in its channel.
                 self.paused = Some((epoch, PauseFilter::Dest(dest)));
-                let _ = self.events.send(SourceEvent::PauseAck { epoch });
+                self.ack(SourceEvent::PauseAck { epoch }, CtlKind::PauseAck);
             }
             SourceCtl::Resume { epoch, view } => {
+                if let Some((cur, _)) = &self.paused {
+                    if *cur != epoch {
+                        // A deadline-retried Resume for an op that
+                        // already finished must not clear a newer op's
+                        // pause: ack it (the controller absorbs the
+                        // duplicate by epoch) and keep holding.
+                        self.ack(SourceEvent::ResumeAck { epoch }, CtlKind::ResumeAck);
+                        return true;
+                    }
+                }
                 // Clear the pause *before* flushing: the flush below runs
                 // through ship(), which must not divert tuples back into
                 // the buffer it is draining.
@@ -1240,9 +2514,28 @@ impl SourcePlane {
                                         // down (Message ordering across two senders is otherwise
                                         // unconstrained, and a Shutdown overtaking the flushed
                                         // tuples would drop them).
-                let _ = self.events.send(SourceEvent::ResumeAck { epoch });
+                self.ack(SourceEvent::ResumeAck { epoch }, CtlKind::ResumeAck);
             }
             SourceCtl::UpdateView { view } => self.router.update(view),
+            SourceCtl::DeadDest { dest, moves } => {
+                // Pin the controller's re-route into the local table (a
+                // delta keeps both sides in lockstep; key-oblivious
+                // routers ship no moves and rely on the divert alone),
+                // then ack: the ack tells the controller no further
+                // tuple can enter the dead channel, so its backlog can
+                // be drained and accounted.
+                self.dead.insert(dest.index());
+                if !moves.is_empty() {
+                    let n_tasks = self.router.n_tasks();
+                    self.router
+                        .update(RoutingView::TableDelta { n_tasks, moves });
+                }
+                let _ = self.events.send(SourceEvent::DeadDestAck { dest });
+            }
+            SourceCtl::ReviveDest { dest, tx } => {
+                self.worker_txs[dest.index()] = tx;
+                self.dead.remove(&dest.index());
+            }
             SourceCtl::Shutdown => return false,
         }
         true
@@ -1263,6 +2556,7 @@ fn source_loop<F>(
     pool: Receiver<Vec<Vec<Tuple>>>,
     epoch: Instant,
     config: EngineConfig,
+    injector: Arc<FaultInjector>,
 ) where
     F: FnMut(u64) -> Option<Vec<Tuple>> + Send,
 {
@@ -1294,6 +2588,8 @@ fn source_loop<F>(
         dests: Vec::with_capacity(batch),
         batch,
         per_tuple,
+        dead: FxHashSet::default(),
+        injector,
     };
     // Staging scratch, reused across batches to stay allocation-free.
     let mut staged: Vec<Tuple> = Vec::with_capacity(stage_size);
@@ -1415,6 +2711,11 @@ mod tests {
             window: 100, // keep everything: exact count validation
             elasticity: Box::new(HoldPolicy),
             preplace: true,
+            fault_plan: FaultPlan::none(),
+            op_deadline_intervals: 4,
+            op_deadline: Duration::from_secs(5),
+            round_deadline_intervals: 4,
+            round_deadline: Duration::from_secs(5),
         }
     }
 

@@ -1,0 +1,629 @@
+//! Deterministic fault injection and the engine fault ledger.
+//!
+//! A [`FaultPlan`] is a seeded, replayable schedule of faults to inject
+//! into one engine run: worker kills pinned to interval boundaries or to
+//! protocol markers (`MigrateOut`, `StateInstall`), drops of the *n*-th
+//! control message of a given kind, and bounded stalls of a worker
+//! thread. The plan is carried by `EngineConfig`, shared through an
+//! [`FaultInjector`] with every instrumented site (controller loop,
+//! source loop, worker threads), and every fired fault plus every
+//! recovery action lands in the [`FaultEvent`] ledger returned in
+//! `EngineReport::faults`.
+//!
+//! Determinism contract: with the same plan (same seed), the set of
+//! *structural* ledger entries — injections, worker deaths, op retries
+//! and aborts — is identical across runs. Entries therefore carry plan
+//! coordinates (worker ids, interval numbers from the plan, message
+//! ordinals, op epochs) and never wall-clock readings. Quantities that
+//! depend on scheduling (how many in-flight tuples died in a killed
+//! worker's queue) go to `EngineReport::lost_tuples`, not the ledger.
+//!
+//! Injected deaths are *controlled* worker exits, not real panics: a
+//! panicking thread inside `std::thread::scope` would abort the whole
+//! engine at scope exit, which is exactly the behaviour the recovery
+//! layer exists to avoid. A killed worker ships a final
+//! `WorkerEvent::Killed` carrying its unrecoverable per-key counts and
+//! its receiver (standing in for the OS reclaiming a dead process's
+//! socket), then returns.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use rand::{rngs::StdRng, Rng, SeedableRng};
+use streambal_hashring::FxHashMap;
+
+/// Control-plane message kinds that [`FaultSpec::DropCtl`] can target.
+///
+/// Deliberately excludes the state-bearing messages (`StateOut`,
+/// `StateInstall` payload, `Retired`): dropping those would destroy
+/// state without a death the accounting layer can attribute it to. Use
+/// the kill/panic faults to lose state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CtlKind {
+    /// Source pause request (`SourceCtl::Pause` / `PauseDest`).
+    Pause,
+    /// Source pause acknowledgement (`SourceEvent::PauseAck`).
+    PauseAck,
+    /// Source resume request (`SourceCtl::Resume`).
+    Resume,
+    /// Source resume acknowledgement (`SourceEvent::ResumeAck`).
+    ResumeAck,
+    /// Per-interval stats request to a worker.
+    StatsRequest,
+    /// Worker stats report (`WorkerEvent::Stats`).
+    Stats,
+    /// Migration extraction marker (`Message::MigrateOut`).
+    MigrateOut,
+    /// State installation acknowledgement (`WorkerEvent::InstallAck`).
+    InstallAck,
+    /// Scale-in retire marker (`Message::Retire`).
+    Retire,
+}
+
+impl CtlKind {
+    /// Stable short name, used in ledger display and seeded generation.
+    pub fn name(self) -> &'static str {
+        match self {
+            CtlKind::Pause => "pause",
+            CtlKind::PauseAck => "pause_ack",
+            CtlKind::Resume => "resume",
+            CtlKind::ResumeAck => "resume_ack",
+            CtlKind::StatsRequest => "stats_request",
+            CtlKind::Stats => "stats",
+            CtlKind::MigrateOut => "migrate_out",
+            CtlKind::InstallAck => "install_ack",
+            CtlKind::Retire => "retire",
+        }
+    }
+
+    /// All droppable kinds, in the order seeded generation samples them.
+    pub const ALL: [CtlKind; 9] = [
+        CtlKind::Pause,
+        CtlKind::PauseAck,
+        CtlKind::Resume,
+        CtlKind::ResumeAck,
+        CtlKind::StatsRequest,
+        CtlKind::Stats,
+        CtlKind::MigrateOut,
+        CtlKind::InstallAck,
+        CtlKind::Retire,
+    ];
+}
+
+/// One injectable fault.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FaultSpec {
+    /// Worker `worker` performs a controlled death when it sees the
+    /// stats request for interval `at_interval` (an interval boundary —
+    /// the deterministic clock every worker observes).
+    KillWorker { worker: usize, at_interval: u64 },
+    /// Worker `worker` dies on the `nth` (1-based) `MigrateOut` marker
+    /// it receives, *before* extracting — a crash mid-migration.
+    KillOnMigrateOut { worker: usize, nth: usize },
+    /// Worker `worker` dies on the `nth` (1-based) `StateInstall` it
+    /// receives, before installing — models a panic inside the install
+    /// path. The incoming blobs are counted as lost.
+    KillOnInstall { worker: usize, nth: usize },
+    /// Drop the `nth` (1-based) control message of kind `kind`,
+    /// counted across the whole run at the sending site.
+    DropCtl { kind: CtlKind, nth: usize },
+    /// Worker `worker` sleeps `ms` milliseconds when it sees the stats
+    /// request for interval `at_interval` — a slow-but-alive worker.
+    /// FIFO order is preserved, so no state is lost; this exercises
+    /// deadlines, retries, and timed-out stats rounds.
+    StallWorker {
+        worker: usize,
+        at_interval: u64,
+        ms: u64,
+    },
+}
+
+/// A seeded, deterministic schedule of faults for one engine run.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FaultPlan {
+    /// Seed the plan was generated from (0 for hand-built plans).
+    pub seed: u64,
+    /// The faults to inject.
+    pub faults: Vec<FaultSpec>,
+}
+
+impl FaultPlan {
+    /// An empty plan: no faults, zero overhead on the hot path beyond
+    /// one shared-pointer clone at engine start.
+    pub fn none() -> Self {
+        FaultPlan::default()
+    }
+
+    /// A plan from explicit faults.
+    pub fn new(faults: Vec<FaultSpec>) -> Self {
+        FaultPlan { seed: 0, faults }
+    }
+
+    /// Generates a replayable mixed plan from `seed`: 1–3 faults drawn
+    /// over `n_workers` workers and `n_intervals` intervals. Worker 0
+    /// is never killed (at least one survivor must exist for re-routing
+    /// to have a target even in 2-worker configs).
+    pub fn from_seed(seed: u64, n_workers: usize, n_intervals: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let n_faults = rng.gen_range(1..=3usize);
+        let mut faults = Vec::with_capacity(n_faults);
+        let mut killed = false;
+        for _ in 0..n_faults {
+            let kind = rng.gen_range(0..5u32);
+            let worker = if n_workers > 1 {
+                rng.gen_range(1..n_workers)
+            } else {
+                0
+            };
+            let interval = rng.gen_range(1..n_intervals.max(2));
+            match kind {
+                // At most one kill per seeded plan: multi-kill runs are
+                // legal but make tiny test configs mostly-dead.
+                0 | 1 if !killed => {
+                    killed = true;
+                    faults.push(if kind == 0 {
+                        FaultSpec::KillWorker {
+                            worker,
+                            at_interval: interval,
+                        }
+                    } else {
+                        FaultSpec::KillOnMigrateOut { worker, nth: 1 }
+                    });
+                }
+                2 => {
+                    let k = CtlKind::ALL[rng.gen_range(0..CtlKind::ALL.len())];
+                    faults.push(FaultSpec::DropCtl {
+                        kind: k,
+                        nth: rng.gen_range(1..=2usize),
+                    });
+                }
+                3 => faults.push(FaultSpec::StallWorker {
+                    worker,
+                    at_interval: interval,
+                    ms: rng.gen_range(5..40u64),
+                }),
+                _ => {
+                    if !killed {
+                        killed = true;
+                        faults.push(FaultSpec::KillOnInstall { worker, nth: 1 });
+                    }
+                }
+            }
+        }
+        FaultPlan { seed, faults }
+    }
+
+    /// Whether the plan injects nothing.
+    pub fn is_empty(&self) -> bool {
+        self.faults.is_empty()
+    }
+}
+
+/// What a protocol operation was doing when a deadline verdict landed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OpKind {
+    /// A pause→migrate→resume rebalance (or scale-out pre-placement).
+    Migrate,
+    /// A drain→migrate→retire scale-in.
+    Retire,
+    /// A source resume awaiting its acknowledgement.
+    Resume,
+}
+
+impl OpKind {
+    fn name(self) -> &'static str {
+        match self {
+            OpKind::Migrate => "migrate",
+            OpKind::Retire => "retire",
+            OpKind::Resume => "resume",
+        }
+    }
+}
+
+/// One entry in the fault ledger (`EngineReport::faults`).
+///
+/// Entries are structural — plan coordinates and protocol epochs only,
+/// no wall-clock readings and no scheduling-dependent quantities — so
+/// replaying a plan yields a comparable ledger (see the module docs).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FaultEvent {
+    /// A planned kill fired (any of the three kill flavours).
+    InjectedKill { worker: usize, trigger: KillTrigger },
+    /// A planned control-message drop fired.
+    InjectedDrop { kind: CtlKind, nth: usize },
+    /// A planned stall fired.
+    InjectedStall { worker: usize, at_interval: u64 },
+    /// The controller observed a worker death (injected kill, channel
+    /// disconnect, or a failed send to it) and started recovery.
+    WorkerDead { worker: usize },
+    /// A failed control-plane send revealed a disconnected peer.
+    SendFailed { to: SendPeer },
+    /// The worker's windowed state could not be recovered; its per-key
+    /// tuple counts were added to `EngineReport::lost_tuples`.
+    StateLost { worker: usize },
+    /// Keys pinned away from a dead worker onto survivors.
+    Rerouted {
+        from_worker: usize,
+        moved_keys: usize,
+    },
+    /// An in-flight protocol op missed its deadline and was re-driven
+    /// (idempotent resend of the stalled phase).
+    OpRetried { op: OpKind, epoch: u64 },
+    /// An op missed its deadline after a retry and was aborted: state
+    /// re-installed at its origin, source resumed under the pre-op
+    /// routing view.
+    OpAborted { op: OpKind, epoch: u64 },
+    /// A stats round closed by deadline with reporters still missing.
+    RoundTimedOut { interval: u64, missing: Vec<usize> },
+    /// An elasticity decision was suppressed while recovery was in
+    /// progress (dead workers present or within the hold-down window).
+    ScaleHeld { interval: u64 },
+    /// A dead slot was re-provisioned by a scale-out decision.
+    SlotRevived { worker: usize },
+    /// A late/duplicate protocol message was absorbed because its epoch
+    /// already completed or aborted (echo of a retried op, or state
+    /// from a zombie worker re-homed under the current view).
+    StaleEpochAbsorbed { epoch: u64, what: &'static str },
+}
+
+/// Which instrumented point a kill fired at.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KillTrigger {
+    /// Interval boundary (stats request for the planned interval).
+    Interval(u64),
+    /// The n-th `MigrateOut` marker.
+    MigrateOut(usize),
+    /// The n-th `StateInstall` message.
+    Install(usize),
+}
+
+impl std::fmt::Display for FaultEvent {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FaultEvent::InjectedKill { worker, trigger } => match trigger {
+                KillTrigger::Interval(iv) => {
+                    write!(f, "inject: kill worker {worker} at interval {iv}")
+                }
+                KillTrigger::MigrateOut(n) => {
+                    write!(f, "inject: kill worker {worker} on migrate-out #{n}")
+                }
+                KillTrigger::Install(n) => {
+                    write!(f, "inject: kill worker {worker} on install #{n}")
+                }
+            },
+            FaultEvent::InjectedDrop { kind, nth } => {
+                write!(f, "inject: drop {} #{nth}", kind.name())
+            }
+            FaultEvent::InjectedStall {
+                worker,
+                at_interval,
+            } => {
+                write!(f, "inject: stall worker {worker} at interval {at_interval}")
+            }
+            FaultEvent::WorkerDead { worker } => write!(f, "worker {worker} dead"),
+            FaultEvent::SendFailed { to } => write!(f, "send failed: {to}"),
+            FaultEvent::StateLost { worker } => {
+                write!(f, "worker {worker} state lost (accounted)")
+            }
+            FaultEvent::Rerouted {
+                from_worker,
+                moved_keys,
+            } => write!(f, "rerouted {moved_keys} keys off worker {from_worker}"),
+            FaultEvent::OpRetried { op, epoch } => {
+                write!(
+                    f,
+                    "op {} epoch {epoch}: deadline expired, retried",
+                    op.name()
+                )
+            }
+            FaultEvent::OpAborted { op, epoch } => {
+                write!(f, "op {} epoch {epoch}: aborted, rolled back", op.name())
+            }
+            FaultEvent::RoundTimedOut { interval, missing } => {
+                write!(
+                    f,
+                    "stats round {interval} closed by deadline, missing {missing:?}"
+                )
+            }
+            FaultEvent::ScaleHeld { interval } => {
+                write!(
+                    f,
+                    "scale decision held during recovery at interval {interval}"
+                )
+            }
+            FaultEvent::SlotRevived { worker } => write!(f, "slot {worker} revived"),
+            FaultEvent::StaleEpochAbsorbed { epoch, what } => {
+                write!(f, "stale {what} for closed epoch {epoch} absorbed")
+            }
+        }
+    }
+}
+
+/// A peer a control-plane send can fail toward.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SendPeer {
+    /// A worker's data/control channel.
+    Worker(usize),
+    /// The source control channel.
+    Source,
+    /// The controller event channel (reported by source/workers).
+    Controller,
+}
+
+impl std::fmt::Display for SendPeer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SendPeer::Worker(w) => write!(f, "worker {w}"),
+            SendPeer::Source => write!(f, "source"),
+            SendPeer::Controller => write!(f, "controller"),
+        }
+    }
+}
+
+/// Shared injection state: one per engine run, cloned (via `Arc`) into
+/// the controller, the source loop, and every worker.
+///
+/// All decision methods are deterministic given the plan and the
+/// sequence of calls at each instrumented site; the per-kind drop
+/// counters are global atomics, which is deterministic because each
+/// control kind is only ever sent from a single thread (controller or
+/// source or one worker identity per kind).
+#[derive(Debug)]
+pub struct FaultInjector {
+    plan: FaultPlan,
+    /// Messages of each kind sent so far (1-based after increment).
+    drop_seen: Mutex<FxHashMap<CtlKind, usize>>,
+    /// Ledger of fired faults and recovery actions.
+    ledger: Mutex<Vec<FaultEvent>>,
+    /// Total tuples recorded lost (cheap liveness probe for tests).
+    lost: AtomicUsize,
+}
+
+impl FaultInjector {
+    /// Builds the injector for one run.
+    pub fn new(plan: FaultPlan) -> Self {
+        FaultInjector {
+            plan,
+            drop_seen: Mutex::new(FxHashMap::default()),
+            ledger: Mutex::new(Vec::new()),
+            lost: AtomicUsize::new(0),
+        }
+    }
+
+    /// Whether the plan injects nothing (lets hot paths skip probes).
+    pub fn is_passive(&self) -> bool {
+        self.plan.is_empty()
+    }
+
+    /// The plan this injector replays.
+    pub fn plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+
+    /// Records a ledger entry.
+    pub fn record(&self, ev: FaultEvent) {
+        self.ledger
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .push(ev);
+    }
+
+    /// Adds to the lost-tuple tally (accounting lives in the report;
+    /// this is a cross-thread total for quick assertions).
+    pub fn add_lost(&self, n: u64) {
+        self.lost.fetch_add(n as usize, Ordering::Relaxed);
+    }
+
+    /// Total tuples recorded lost so far.
+    pub fn total_lost(&self) -> u64 {
+        self.lost.load(Ordering::Relaxed) as u64
+    }
+
+    /// Drains the ledger (called once by the engine at report time).
+    pub fn take_ledger(&self) -> Vec<FaultEvent> {
+        std::mem::take(&mut *self.ledger.lock().unwrap_or_else(|e| e.into_inner()))
+    }
+
+    /// Worker `worker`, observing the stats request for `interval`:
+    /// should it die here? Records the injection when firing.
+    pub fn should_kill_at_interval(&self, worker: usize, interval: u64) -> bool {
+        for f in &self.plan.faults {
+            if let FaultSpec::KillWorker {
+                worker: w,
+                at_interval,
+            } = f
+            {
+                if *w == worker && *at_interval == interval {
+                    self.record(FaultEvent::InjectedKill {
+                        worker,
+                        trigger: KillTrigger::Interval(interval),
+                    });
+                    return true;
+                }
+            }
+        }
+        false
+    }
+
+    /// Worker `worker` received its `seen`-th (1-based) `MigrateOut`
+    /// marker: should it die before extracting?
+    pub fn should_kill_on_migrate_out(&self, worker: usize, seen: usize) -> bool {
+        for f in &self.plan.faults {
+            if let FaultSpec::KillOnMigrateOut { worker: w, nth } = f {
+                if *w == worker && *nth == seen {
+                    self.record(FaultEvent::InjectedKill {
+                        worker,
+                        trigger: KillTrigger::MigrateOut(seen),
+                    });
+                    return true;
+                }
+            }
+        }
+        false
+    }
+
+    /// Worker `worker` received its `seen`-th (1-based) `StateInstall`:
+    /// should it die before installing?
+    pub fn should_kill_on_install(&self, worker: usize, seen: usize) -> bool {
+        for f in &self.plan.faults {
+            if let FaultSpec::KillOnInstall { worker: w, nth } = f {
+                if *w == worker && *nth == seen {
+                    self.record(FaultEvent::InjectedKill {
+                        worker,
+                        trigger: KillTrigger::Install(seen),
+                    });
+                    return true;
+                }
+            }
+        }
+        false
+    }
+
+    /// Stall duration (if any) for worker `worker` at `interval`.
+    pub fn stall_at_interval(&self, worker: usize, interval: u64) -> Option<u64> {
+        for f in &self.plan.faults {
+            if let FaultSpec::StallWorker {
+                worker: w,
+                at_interval,
+                ms,
+            } = f
+            {
+                if *w == worker && *at_interval == interval {
+                    self.record(FaultEvent::InjectedStall {
+                        worker,
+                        at_interval: interval,
+                    });
+                    return Some(*ms);
+                }
+            }
+        }
+        None
+    }
+
+    /// Called at every instrumented control-plane send site: counts the
+    /// message and returns `true` if this one must be dropped (the
+    /// caller skips the send and proceeds as if it were lost in
+    /// flight).
+    pub fn should_drop(&self, kind: CtlKind) -> bool {
+        if self.plan.is_empty() {
+            return false;
+        }
+        let seen = {
+            let mut map = self.drop_seen.lock().unwrap_or_else(|e| e.into_inner());
+            let e = map.entry(kind).or_insert(0);
+            *e += 1;
+            *e
+        };
+        for f in &self.plan.faults {
+            if let FaultSpec::DropCtl { kind: k, nth } = f {
+                if *k == kind && *nth == seen {
+                    self.record(FaultEvent::InjectedDrop { kind, nth: seen });
+                    return true;
+                }
+            }
+        }
+        false
+    }
+}
+
+pub use streambal_core::next_live;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seeded_plans_replay() {
+        for seed in 0..50 {
+            let a = FaultPlan::from_seed(seed, 4, 10);
+            let b = FaultPlan::from_seed(seed, 4, 10);
+            assert_eq!(a, b, "seed {seed} not replayable");
+            assert!(!a.faults.is_empty());
+            assert!(a.faults.len() <= 3);
+        }
+    }
+
+    #[test]
+    fn seeded_plans_never_kill_worker_zero() {
+        for seed in 0..200 {
+            let p = FaultPlan::from_seed(seed, 4, 10);
+            for f in &p.faults {
+                match f {
+                    FaultSpec::KillWorker { worker, .. }
+                    | FaultSpec::KillOnMigrateOut { worker, .. }
+                    | FaultSpec::KillOnInstall { worker, .. } => {
+                        assert_ne!(*worker, 0, "seed {seed} kills worker 0");
+                    }
+                    _ => {}
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn at_most_one_kill_per_seeded_plan() {
+        for seed in 0..200 {
+            let p = FaultPlan::from_seed(seed, 4, 10);
+            let kills = p
+                .faults
+                .iter()
+                .filter(|f| {
+                    matches!(
+                        f,
+                        FaultSpec::KillWorker { .. }
+                            | FaultSpec::KillOnMigrateOut { .. }
+                            | FaultSpec::KillOnInstall { .. }
+                    )
+                })
+                .count();
+            assert!(kills <= 1, "seed {seed} has {kills} kills");
+        }
+    }
+
+    #[test]
+    fn drop_counter_fires_on_exact_ordinal() {
+        let inj = FaultInjector::new(FaultPlan::new(vec![FaultSpec::DropCtl {
+            kind: CtlKind::PauseAck,
+            nth: 2,
+        }]));
+        assert!(!inj.should_drop(CtlKind::PauseAck)); // #1
+        assert!(!inj.should_drop(CtlKind::Pause)); // other kind, own counter
+        assert!(inj.should_drop(CtlKind::PauseAck)); // #2 fires
+        assert!(!inj.should_drop(CtlKind::PauseAck)); // #3
+        assert_eq!(
+            inj.take_ledger(),
+            vec![FaultEvent::InjectedDrop {
+                kind: CtlKind::PauseAck,
+                nth: 2
+            }]
+        );
+    }
+
+    #[test]
+    fn kill_probes_fire_once_per_coordinate() {
+        let inj = FaultInjector::new(FaultPlan::new(vec![
+            FaultSpec::KillWorker {
+                worker: 2,
+                at_interval: 3,
+            },
+            FaultSpec::KillOnMigrateOut { worker: 1, nth: 1 },
+        ]));
+        assert!(!inj.should_kill_at_interval(2, 2));
+        assert!(!inj.should_kill_at_interval(1, 3));
+        assert!(inj.should_kill_at_interval(2, 3));
+        assert!(inj.should_kill_on_migrate_out(1, 1));
+        assert!(!inj.should_kill_on_migrate_out(1, 2));
+        assert_eq!(inj.take_ledger().len(), 2);
+    }
+
+    #[test]
+    fn next_live_cycles_past_dead_slots() {
+        let dead = [false, true, true, false];
+        assert_eq!(next_live(1, 4, |d| dead[d]), 3);
+        assert_eq!(next_live(2, 4, |d| dead[d]), 3);
+        assert_eq!(next_live(3, 4, |d| dead[d]), 3);
+        assert_eq!(next_live(0, 4, |d| dead[d]), 0);
+        // All dead: caller gets the original slot back.
+        assert_eq!(next_live(2, 4, |_| true), 2);
+    }
+}

@@ -97,10 +97,53 @@
 //! CPU saturation is emulated by `spin_work` busy-iterations per tuple,
 //! mirroring the paper's "controlling the latency on tuple processing to
 //! force the system to a saturation point".
+//!
+//! ## Failure model
+//!
+//! The engine tolerates — and accounts for — three fault classes,
+//! exercised deterministically by a seeded [`FaultPlan`] threaded
+//! through [`EngineConfig`] (module [`fault`]):
+//!
+//! * **Worker crashes** (`KillWorker`, `KillOnMigrateOut`,
+//!   `KillOnInstall`): a worker thread exits mid-run, possibly holding
+//!   un-extracted state or an in-flight `StateInstall`. The controller
+//!   detects the death (`Killed` event), marks the slot dead, re-routes
+//!   its keys to the next live slot, and continuously drains the dead
+//!   slot's channel so neither the source nor the controller can block
+//!   on its bounded capacity. State that died with the worker is *lost,
+//!   not leaked*: every tuple it absorbed is tallied per key in
+//!   `EngineReport::lost_tuples`, so the accounting invariant
+//!   `fed == observed + lost` holds for every key on every run. A dead
+//!   slot stays revivable — a later scale-out re-provisions it.
+//! * **Lost control messages** (`DropCtl`): pause/resume/migrate/stats
+//!   markers are dropped at injection points. Every in-flight protocol
+//!   op carries a deadline (wall clock ∧ interval clock, see
+//!   `EngineConfig::op_deadline{,_intervals}`): first expiry re-drives
+//!   the stuck phase (markers are idempotent — workers, source, and
+//!   controller absorb duplicates by epoch), second expiry **aborts
+//!   with rollback**: routing reverts to each key's origin, state still
+//!   in the controller's hand is re-installed under a fresh pre-closed
+//!   epoch, and a victim's *late* `StateOut`/`Retired` on the closed
+//!   epoch is absorbed and its blobs re-homed under the current view —
+//!   never dropped. Statistics rounds have their own deadline
+//!   (`round_deadline{,_intervals}`); an expired round closes over the
+//!   missing workers and is ledgered as `RoundTimedOut`.
+//! * **Stalls** (`StallWorker`): a worker sleeps mid-interval. Nothing
+//!   is lost; the op-deadline machinery above decides whether to wait,
+//!   re-drive, or roll back.
+//!
+//! Every detection, retry, abort, re-route, and absorption is recorded
+//! in order in the `EngineReport::faults` ledger ([`FaultEvent`]), so a
+//! run with a given seed is *replayable*: same plan, same ledger. The
+//! chaos suite (`tests/chaos.rs`) asserts exactly that, plus the per-key
+//! accounting invariant, across all eight partitioners; the chaos bench
+//! (`benches/chaos.rs`) prices the degradation (lost tuples, degraded
+//! window, rollback overhead) into `bench_results/chaos.json`.
 
 pub mod codec;
 pub(crate) mod controller;
 pub mod engine;
+pub mod fault;
 pub mod message;
 pub mod operator;
 pub mod router;
@@ -113,6 +156,7 @@ pub use codec::{
     CodecError,
 };
 pub use engine::{Engine, EngineConfig, EngineReport, ScaleEvent};
+pub use fault::{CtlKind, FaultEvent, FaultInjector, FaultPlan, FaultSpec, KillTrigger, OpKind};
 pub use message::{Message, SourceCtl, SourceEvent, WorkerEvent};
 pub use operator::{
     CoJoinOp, Collector, CountingCollector, Operator, SumCollector, WindowedSelfJoinOp, WordCountOp,

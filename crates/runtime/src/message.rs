@@ -113,6 +113,34 @@ pub enum WorkerEvent {
         /// dropped) and a later scale-out can respawn on the same slot.
         rx: crossbeam::channel::Receiver<Message>,
     },
+    /// A controlled worker death fired by the fault-injection layer
+    /// (standing in for a crashed process). Carries everything the
+    /// recovery path needs to *account* the loss: the tuples whose
+    /// contribution was not yet observable downstream die here.
+    Killed {
+        /// The dead worker.
+        worker: TaskId,
+        /// Per-key tuple counts irrecoverably lost with this worker
+        /// (held windowed state / un-flushed partials, plus any
+        /// emissions still buffered in the worker).
+        lost: Vec<(Key, u64)>,
+        /// Statistics accumulated since the last stats report — folded
+        /// into the open round so the death does not read as a load
+        /// drop to the elasticity policy.
+        stats: IntervalStats,
+        /// Tuples processed over the worker's lifetime.
+        processed: u64,
+        /// Lifetime latency distribution (µs).
+        latency: Box<streambal_metrics::Histogram>,
+        /// The interval this worker processed its first tuple in, if
+        /// any.
+        first_interval: Option<u64>,
+        /// The worker's channel receiver. A real dead process's inbound
+        /// queue is reclaimed by the OS; here the controller drains it
+        /// to count in-flight tuples as lost, then drops it so later
+        /// sends fail fast (the disconnect-detection path).
+        rx: crossbeam::channel::Receiver<Message>,
+    },
     /// Response to [`Message::Shutdown`]: final state for validation.
     Drained {
         /// Exiting worker.
@@ -166,6 +194,28 @@ pub enum SourceCtl {
         /// The new routing function.
         view: RoutingView,
     },
+    /// A worker died: stop sending to `dest`, apply the re-pin `moves`
+    /// to the local router (empty for strategies without a routing
+    /// table), and divert any key that still routes to a dead slot to
+    /// the next live slot. Acknowledge via [`SourceEvent::DeadDestAck`]
+    /// — sent only between routed batches, so when the controller reads
+    /// the ack every tuple the source will ever send the dead slot is
+    /// already in its channel and can be drained for loss accounting.
+    DeadDest {
+        /// The dead destination.
+        dest: TaskId,
+        /// Key moves pinning the dead slot's routed keys to survivors
+        /// (applied via the router's incremental delta path).
+        moves: Vec<(Key, TaskId)>,
+    },
+    /// A dead slot was re-provisioned by a scale-out: swap in the fresh
+    /// channel sender and stop diverting traffic away from it.
+    ReviveDest {
+        /// The revived destination.
+        dest: TaskId,
+        /// Sender for the slot's new channel.
+        tx: crossbeam::channel::Sender<crate::message::Message>,
+    },
     /// Exit the source loop.
     Shutdown,
 }
@@ -192,6 +242,19 @@ pub enum SourceEvent {
     ResumeAck {
         /// Migration epoch.
         epoch: u64,
+    },
+    /// Acknowledges [`SourceCtl::DeadDest`]: the dead slot will receive
+    /// no further tuples from the source.
+    DeadDestAck {
+        /// The quiesced dead destination.
+        dest: TaskId,
+    },
+    /// A data-plane send failed (receiver gone) for a destination the
+    /// source did not yet know was dead — the detection path for
+    /// non-injected deaths. The tuples were diverted, not lost.
+    SendFailed {
+        /// The destination whose channel is disconnected.
+        dest: TaskId,
     },
     /// The feeder is exhausted; no more tuples will ever be emitted.
     Finished,

@@ -41,6 +41,25 @@ pub trait Operator: Send {
 
     /// Removes and serializes *all* state (shutdown validation).
     fn drain(&mut self) -> Vec<(Key, Bytes)>;
+
+    /// Per-key tuple counts held by this operator that are not yet
+    /// observable downstream — what is irrecoverably lost if the worker
+    /// dies here. Under partial emission only the un-flushed deltas
+    /// count (flushed partials already reached the collector); otherwise
+    /// the windowed state itself is the unobserved contribution. The
+    /// fault-recovery layer feeds this into `EngineReport::lost_tuples`;
+    /// operators keeping the default (empty) lose tuples *unaccounted*
+    /// on a kill, so stateful operators should implement it.
+    fn held_counts(&self) -> Vec<(Key, u64)> {
+        Vec::new()
+    }
+
+    /// Tuples represented by one serialized state blob of this operator
+    /// — loss accounting for state destroyed in flight (e.g. a
+    /// `StateInstall` drained from a dead worker's queue).
+    fn tuples_in_blob(&self, _blob: &Bytes) -> u64 {
+        0
+    }
 }
 
 /// Receives worker emissions — the downstream operator of two-stage
@@ -250,6 +269,23 @@ impl Operator for WordCountOp {
         out.sort_unstable_by_key(|&(k, _)| k);
         out
     }
+
+    fn held_counts(&self) -> Vec<(Key, u64)> {
+        if self.partial_period.is_some() {
+            // Flushed partials already reached the collector; only the
+            // un-emitted deltas die with this worker.
+            self.dirty.iter().map(|(&k, &d)| (k, d)).collect()
+        } else {
+            self.state
+                .iter()
+                .map(|(&k, slots)| (k, slots.iter().map(|&(_, c)| c).sum()))
+                .collect()
+        }
+    }
+
+    fn tuples_in_blob(&self, blob: &Bytes) -> u64 {
+        Self::decode(blob).iter().map(|&(_, c)| c).sum()
+    }
 }
 
 // ------------------------------------------------------------------
@@ -348,6 +384,17 @@ impl Operator for WindowedSelfJoinOp {
             .collect();
         out.sort_unstable_by_key(|&(k, _)| k);
         out
+    }
+
+    fn held_counts(&self) -> Vec<(Key, u64)> {
+        self.state
+            .iter()
+            .map(|(&k, slots)| (k, slots.iter().map(|(_, p)| p.len() as u64).sum()))
+            .collect()
+    }
+
+    fn tuples_in_blob(&self, blob: &Bytes) -> u64 {
+        Self::decode(blob).iter().map(|(_, p)| p.len() as u64).sum()
     }
 }
 
@@ -452,6 +499,17 @@ impl Operator for CoJoinOp {
             .collect();
         out.sort_unstable_by_key(|&(k, _)| k);
         out
+    }
+
+    fn held_counts(&self) -> Vec<(Key, u64)> {
+        self.left
+            .iter()
+            .map(|(&k, slots)| (k, slots.len() as u64))
+            .collect()
+    }
+
+    fn tuples_in_blob(&self, blob: &Bytes) -> u64 {
+        (blob.len() / 24) as u64
     }
 }
 

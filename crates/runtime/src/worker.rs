@@ -5,11 +5,13 @@ use std::time::Instant;
 
 use crossbeam::channel::{Receiver, Sender};
 use streambal_core::{IntervalStats, Key, TaskId};
+use streambal_hashring::FxHashMap;
 use streambal_metrics::{Counter, Histogram};
 
+use crate::fault::{CtlKind, FaultInjector};
 use crate::message::{Message, WorkerEvent};
 use crate::operator::Operator;
-use crate::tuple::Tuple;
+use crate::tuple::{Tuple, TAG_PARTIAL};
 
 /// Spare drained input buffers an emitter keeps for its own batches
 /// before surplus flows back to the source pool.
@@ -47,6 +49,8 @@ pub(crate) struct WorkerCtx {
     /// Tuples accumulated per collector batch before a flush is forced
     /// (the emitter also flushes at every input-batch boundary).
     pub emit_batch: usize,
+    /// Shared fault-injection state (passive when the plan is empty).
+    pub injector: Arc<FaultInjector>,
 }
 
 /// Calibrated busy work: `iters` dependent multiply-xor rounds. The
@@ -123,6 +127,58 @@ impl BatchEmitter {
             Some(buf)
         }
     }
+
+    /// Per-key input-tuple counts represented by emissions still sitting
+    /// in the buffer — partials that die with the worker on a kill.
+    /// Only `TAG_PARTIAL` deltas map back to input tuples; derived
+    /// emissions (join outputs) carry no input-count semantics.
+    fn buffered_counts(&self) -> Vec<(Key, u64)> {
+        self.buf
+            .iter()
+            .filter(|t| t.tag == TAG_PARTIAL)
+            .map(|t| (t.key, t.vals[0]))
+            .collect()
+    }
+}
+
+/// Builds the `Killed` event for a controlled worker death: merges the
+/// operator's unobserved per-key counts, the emitter's buffered
+/// partials, and any `extra` counts the death site supplies (e.g. the
+/// blobs of a `StateInstall` that crashed the worker).
+#[allow(clippy::too_many_arguments)]
+fn killed_event(
+    id: TaskId,
+    op: &dyn Operator,
+    emitter: &BatchEmitter,
+    extra: Vec<(Key, u64)>,
+    stats: IntervalStats,
+    processed: u64,
+    mut latency: Box<Histogram>,
+    iv_latency: &Histogram,
+    first_interval: Option<u64>,
+    rx: Receiver<Message>,
+) -> WorkerEvent {
+    let mut lost: FxHashMap<Key, u64> = FxHashMap::default();
+    for (k, c) in op
+        .held_counts()
+        .into_iter()
+        .chain(emitter.buffered_counts())
+        .chain(extra)
+    {
+        *lost.entry(k).or_insert(0) += c;
+    }
+    let mut lost: Vec<(Key, u64)> = lost.into_iter().collect();
+    lost.sort_unstable_by_key(|&(k, _)| k);
+    latency.merge(iv_latency);
+    WorkerEvent::Killed {
+        worker: id,
+        lost,
+        stats,
+        processed,
+        latency,
+        first_interval,
+        rx,
+    }
 }
 
 /// Runs the worker until `Shutdown`.
@@ -140,6 +196,14 @@ pub(crate) fn run_worker(mut ctx: WorkerCtx) {
     let mut emitter = BatchEmitter::new(ctx.collector.clone(), ctx.emit_batch);
     // Drained buffers awaiting a grouped pool return.
     let mut returns: Vec<Vec<Tuple>> = Vec::with_capacity(RETURN_GROUP);
+    // Fault-injection ordinals and the install-dedupe epoch. The epoch
+    // guard makes `StateInstall` idempotent under controller retries: a
+    // resent install for the epoch already applied re-acks without
+    // re-merging (which would double the counts).
+    let faulty = !ctx.injector.is_passive();
+    let mut migrate_outs_seen = 0usize;
+    let mut installs_seen = 0usize;
+    let mut last_installed_epoch: Option<u64> = None;
 
     while let Ok(msg) = ctx.rx.recv() {
         match msg {
@@ -221,6 +285,32 @@ pub(crate) fn run_worker(mut ctx: WorkerCtx) {
                 }
             }
             Message::StatsRequest { interval } => {
+                if faulty {
+                    if ctx
+                        .injector
+                        .should_kill_at_interval(ctx.id.index(), interval)
+                    {
+                        let ev = killed_event(
+                            ctx.id,
+                            ctx.op.as_ref(),
+                            &emitter,
+                            Vec::new(),
+                            std::mem::take(&mut stats),
+                            processed,
+                            latency,
+                            &iv_latency,
+                            first_interval,
+                            ctx.rx,
+                        );
+                        let _ = ctx.events.send(ev);
+                        return;
+                    }
+                    if let Some(ms) = ctx.injector.stall_at_interval(ctx.id.index(), interval) {
+                        // Slow-but-alive: FIFO order (and therefore
+                        // state) is preserved, only time passes.
+                        std::thread::sleep(std::time::Duration::from_millis(ms));
+                    }
+                }
                 ctx.op.flush(&mut |t| emitter.emit(t));
                 emitter.flush();
                 let out = std::mem::take(&mut stats);
@@ -228,12 +318,14 @@ pub(crate) fn run_worker(mut ctx: WorkerCtx) {
                 // then ship the interval histogram with the report.
                 latency.merge(&iv_latency);
                 let out_latency = std::mem::take(&mut iv_latency);
-                let _ = ctx.events.send(WorkerEvent::Stats {
-                    worker: ctx.id,
-                    interval,
-                    stats: out,
-                    latency: out_latency,
-                });
+                if !(faulty && ctx.injector.should_drop(CtlKind::Stats)) {
+                    let _ = ctx.events.send(WorkerEvent::Stats {
+                        worker: ctx.id,
+                        interval,
+                        stats: out,
+                        latency: out_latency,
+                    });
+                }
                 current_interval = interval + 1;
                 // Keep the last `window` intervals: evict everything
                 // strictly older than (closed_interval + 1 − w).
@@ -241,6 +333,29 @@ pub(crate) fn run_worker(mut ctx: WorkerCtx) {
                 ctx.op.evict_before(oldest_keep);
             }
             Message::MigrateOut { epoch, moves } => {
+                migrate_outs_seen += 1;
+                if faulty
+                    && ctx
+                        .injector
+                        .should_kill_on_migrate_out(ctx.id.index(), migrate_outs_seen)
+                {
+                    // Crash mid-migration, before extracting: the
+                    // requested moves die with the rest of the state.
+                    let ev = killed_event(
+                        ctx.id,
+                        ctx.op.as_ref(),
+                        &emitter,
+                        Vec::new(),
+                        std::mem::take(&mut stats),
+                        processed,
+                        latency,
+                        &iv_latency,
+                        first_interval,
+                        ctx.rx,
+                    );
+                    let _ = ctx.events.send(ev);
+                    return;
+                }
                 let mut states = Vec::with_capacity(moves.len());
                 for (key, to) in moves {
                     let blob = ctx.op.extract(key).unwrap_or_default();
@@ -253,15 +368,47 @@ pub(crate) fn run_worker(mut ctx: WorkerCtx) {
                 });
             }
             Message::StateInstall { epoch, states } => {
-                for (key, blob) in states {
-                    if !blob.is_empty() {
-                        ctx.op.install(key, blob);
-                    }
+                installs_seen += 1;
+                if faulty
+                    && ctx
+                        .injector
+                        .should_kill_on_install(ctx.id.index(), installs_seen)
+                {
+                    // Crash inside the install path: nothing is merged,
+                    // so the incoming blobs are lost too — count them.
+                    let extra: Vec<(Key, u64)> = states
+                        .iter()
+                        .map(|(k, b)| (*k, ctx.op.tuples_in_blob(b)))
+                        .collect();
+                    let ev = killed_event(
+                        ctx.id,
+                        ctx.op.as_ref(),
+                        &emitter,
+                        extra,
+                        std::mem::take(&mut stats),
+                        processed,
+                        latency,
+                        &iv_latency,
+                        first_interval,
+                        ctx.rx,
+                    );
+                    let _ = ctx.events.send(ev);
+                    return;
                 }
-                let _ = ctx.events.send(WorkerEvent::InstallAck {
-                    worker: ctx.id,
-                    epoch,
-                });
+                if last_installed_epoch != Some(epoch) {
+                    for (key, blob) in states {
+                        if !blob.is_empty() {
+                            ctx.op.install(key, blob);
+                        }
+                    }
+                    last_installed_epoch = Some(epoch);
+                }
+                if !(faulty && ctx.injector.should_drop(CtlKind::InstallAck)) {
+                    let _ = ctx.events.send(WorkerEvent::InstallAck {
+                        worker: ctx.id,
+                        epoch,
+                    });
+                }
             }
             Message::Retire { epoch } => {
                 // Scale-in: the FIFO channel already delivered every
@@ -315,6 +462,7 @@ pub(crate) fn run_worker(mut ctx: WorkerCtx) {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::fault::{FaultPlan, FaultSpec};
     use crate::operator::WordCountOp;
     use crossbeam::channel::unbounded;
     use streambal_core::Key;
@@ -329,6 +477,10 @@ mod tests {
     );
 
     fn spawn_worker(window: u64) -> WorkerHandles {
+        spawn_worker_faulty(window, FaultPlan::none())
+    }
+
+    fn spawn_worker_faulty(window: u64, plan: FaultPlan) -> WorkerHandles {
         let (tx, rx) = unbounded();
         let (etx, erx) = unbounded();
         let (pool_tx, pool_rx) = unbounded();
@@ -345,6 +497,7 @@ mod tests {
             start_interval: 0,
             pool: pool_tx,
             emit_batch: 8,
+            injector: Arc::new(FaultInjector::new(plan)),
         };
         let h = std::thread::spawn(move || run_worker(ctx));
         (tx, erx, pool_rx, h)
@@ -463,6 +616,7 @@ mod tests {
             start_interval: 0,
             pool: pool_tx,
             emit_batch: 4,
+            injector: Arc::new(FaultInjector::new(FaultPlan::none())),
         };
         let h = std::thread::spawn(move || run_worker(ctx));
         let batch: Vec<Tuple> = (0..9).map(|_| Tuple::keyed(Key(7))).collect();
@@ -576,6 +730,83 @@ mod tests {
         match erx.recv().unwrap() {
             WorkerEvent::Drained { final_states, .. } => {
                 assert!(final_states.is_empty(), "state must be evicted");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        h.join().unwrap();
+    }
+
+    /// An injected interval kill must exit with a `Killed` event whose
+    /// per-key lost counts equal the tuples whose contribution never
+    /// became observable, and hand the receiver back for draining.
+    #[test]
+    fn injected_kill_accounts_held_state() {
+        let plan = FaultPlan::new(vec![FaultSpec::KillWorker {
+            worker: 0,
+            at_interval: 1,
+        }]);
+        let (tx, erx, _pool, h) = spawn_worker_faulty(100, plan);
+        tx.send(Message::TupleBatch(vec![Tuple::keyed(Key(4)); 6]))
+            .unwrap();
+        tx.send(Message::StatsRequest { interval: 0 }).unwrap();
+        let _ = erx.recv(); // interval 0 stats, no kill yet
+        tx.send(Message::TupleBatch(vec![Tuple::keyed(Key(9)); 2]))
+            .unwrap();
+        tx.send(Message::StatsRequest { interval: 1 }).unwrap();
+        match erx.recv().unwrap() {
+            WorkerEvent::Killed {
+                lost,
+                processed,
+                stats,
+                rx,
+                ..
+            } => {
+                assert_eq!(processed, 8);
+                assert_eq!(lost, vec![(Key(4), 6), (Key(9), 2)]);
+                // Unreported interval-1 residue rides the event.
+                assert_eq!(stats.get(Key(9)).unwrap().freq, 2);
+                // The receiver is handed back so in-flight messages can
+                // be drained for accounting.
+                tx.send(Message::Tuple(Tuple::keyed(Key(1)))).unwrap();
+                assert!(matches!(rx.recv().unwrap(), Message::Tuple(_)));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        h.join().unwrap();
+    }
+
+    /// A resent `StateInstall` for the already-applied epoch re-acks
+    /// without re-merging (idempotence under controller retries).
+    #[test]
+    fn duplicate_install_epoch_is_deduped() {
+        let (tx, erx, _pool, h) = spawn_worker(100);
+        let blob = {
+            let mut op = WordCountOp::new();
+            let mut sink = |_| {};
+            for _ in 0..3 {
+                op.process(&Tuple::keyed(Key(2)), 0, &mut sink);
+            }
+            op.extract(Key(2)).unwrap()
+        };
+        for _ in 0..2 {
+            tx.send(Message::StateInstall {
+                epoch: 7,
+                states: vec![(Key(2), blob.clone())],
+            })
+            .unwrap();
+            assert!(matches!(
+                erx.recv().unwrap(),
+                WorkerEvent::InstallAck { epoch: 7, .. }
+            ));
+        }
+        tx.send(Message::Shutdown).unwrap();
+        match erx.recv().unwrap() {
+            WorkerEvent::Drained { final_states, .. } => {
+                let total: u64 = WordCountOp::decode(&final_states[0].1)
+                    .iter()
+                    .map(|&(_, c)| c)
+                    .sum();
+                assert_eq!(total, 3, "duplicate epoch must not double counts");
             }
             other => panic!("unexpected {other:?}"),
         }

@@ -215,6 +215,7 @@ pub fn run_sim_elastic_queued(
             queue_depths: &queues,
             mean_latency_us,
             p99_latency_us: p99,
+            n_dead: 0, // the simulator models no worker failures
         };
         match policy.decide(&obs) {
             ScaleDecision::ScaleOut if n_tasks < max_tasks => {

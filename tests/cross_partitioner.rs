@@ -163,6 +163,7 @@ fn tiny_channels_rebalance_and_scale_out_stay_exact() {
                 window: 100, // retain all state: exact count validation
                 elasticity: Box::new(FixedSchedule::scale_out_at(1)),
                 preplace: true,
+                ..EngineConfig::default()
             },
             Box::new(CoreBalancer::new(
                 N_TASKS,
@@ -246,6 +247,7 @@ fn preplaced_scale_out_stays_exact_for_all_partitioners() {
                     window: 100, // retain all state: exact count validation
                     elasticity: Box::new(FixedSchedule::scale_out_at(1)),
                     preplace: true,
+                    ..EngineConfig::default()
                 },
                 p,
                 |_| {
@@ -344,6 +346,7 @@ fn scale_round_trip_stays_exact_for_all_partitioners() {
                     window: 100, // retain all state: exact count validation
                     elasticity: Box::new(FixedSchedule::cycle(1, 3, 1)),
                     preplace: true,
+                    ..EngineConfig::default()
                 },
                 p,
                 |_| {

@@ -24,6 +24,42 @@ use std::time::Duration;
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct SendError<T>(pub T);
 
+/// Why `try_send` handed the message back instead of queueing it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TrySendError<T> {
+    /// The bounded channel has no room right now.
+    Full(T),
+    /// No receiver remains.
+    Disconnected(T),
+}
+
+impl<T> TrySendError<T> {
+    /// Recovers the message that was not sent.
+    pub fn into_inner(self) -> T {
+        match self {
+            TrySendError::Full(msg) | TrySendError::Disconnected(msg) => msg,
+        }
+    }
+}
+
+/// Why `send_timeout` handed the message back instead of queueing it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SendTimeoutError<T> {
+    /// The bounded channel stayed full for the whole timeout.
+    Timeout(T),
+    /// No receiver remains.
+    Disconnected(T),
+}
+
+impl<T> SendTimeoutError<T> {
+    /// Recovers the message that was not sent.
+    pub fn into_inner(self) -> T {
+        match self {
+            SendTimeoutError::Timeout(msg) | SendTimeoutError::Disconnected(msg) => msg,
+        }
+    }
+}
+
 /// The receiving half failed because the channel is empty and all senders
 /// are gone.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -148,6 +184,63 @@ impl<T> Sender<T> {
         }
         state.used += w;
         state.queue.push_back((msg, w));
+        drop(state);
+        self.shared.not_empty.notify_one();
+        Ok(())
+    }
+
+    /// Enqueues `msg` (weight 1) only if room exists right now; never
+    /// blocks. `Full` hands the message back so the caller can defer —
+    /// the escape hatch for control messages aimed at a worker that may
+    /// have stopped draining its queue (a plain `send` against a dead
+    /// peer's full bounded channel would block forever).
+    pub fn try_send(&self, msg: T) -> Result<(), TrySendError<T>> {
+        let mut state = self.shared.state.lock().unwrap();
+        if state.receivers == 0 {
+            return Err(TrySendError::Disconnected(msg));
+        }
+        if let Some(cap) = self.shared.cap {
+            if state.used > 0 && state.used + 1 > cap {
+                return Err(TrySendError::Full(msg));
+            }
+        }
+        state.used += 1;
+        state.queue.push_back((msg, 1));
+        drop(state);
+        self.shared.not_empty.notify_one();
+        Ok(())
+    }
+
+    /// Enqueues `msg` (weight 1), waiting at most `timeout` for room.
+    /// `Timeout` hands the message back: the bounded-wait variant for a
+    /// peer that is *probably* draining but must not be trusted with an
+    /// unbounded block (a control marker aimed at a worker that may have
+    /// died with a full queue).
+    pub fn send_timeout(&self, msg: T, timeout: Duration) -> Result<(), SendTimeoutError<T>> {
+        let deadline = std::time::Instant::now() + timeout;
+        let mut state = self.shared.state.lock().unwrap();
+        loop {
+            if state.receivers == 0 {
+                return Err(SendTimeoutError::Disconnected(msg));
+            }
+            match self.shared.cap {
+                Some(cap) if state.used > 0 && state.used + 1 > cap => {
+                    let now = std::time::Instant::now();
+                    if now >= deadline {
+                        return Err(SendTimeoutError::Timeout(msg));
+                    }
+                    let (s, _timed_out) = self
+                        .shared
+                        .not_full
+                        .wait_timeout(state, deadline - now)
+                        .unwrap();
+                    state = s;
+                }
+                _ => break,
+            }
+        }
+        state.used += 1;
+        state.queue.push_back((msg, 1));
         drop(state);
         self.shared.not_empty.notify_one();
         Ok(())
@@ -308,7 +401,52 @@ impl<'a> Select<'a> {
             }
         }
     }
+
+    /// Like [`Select::select`], but gives up after `timeout` and returns
+    /// `Err(SelectTimeoutError)` if no registered operation became ready.
+    /// Lets callers interleave deadline bookkeeping with event handling
+    /// even when no events flow.
+    pub fn select_timeout(
+        &mut self,
+        timeout: Duration,
+    ) -> Result<SelectedOperation, SelectTimeoutError> {
+        assert!(!self.handles.is_empty(), "empty Select");
+        let deadline = std::time::Instant::now() + timeout;
+        let mut spins = 0u32;
+        loop {
+            let n = self.handles.len();
+            for off in 0..n {
+                let idx = (self.next + off) % n;
+                if self.handles[idx].ready() {
+                    self.next = (idx + 1) % n;
+                    return Ok(SelectedOperation { index: idx });
+                }
+            }
+            if std::time::Instant::now() >= deadline {
+                return Err(SelectTimeoutError);
+            }
+            spins += 1;
+            if spins < 32 {
+                std::thread::yield_now();
+            } else {
+                std::thread::sleep(Duration::from_micros(100));
+            }
+        }
+    }
 }
+
+/// No registered operation became ready before the timeout passed to
+/// [`Select::select_timeout`] elapsed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SelectTimeoutError;
+
+impl std::fmt::Display for SelectTimeoutError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "select timed out")
+    }
+}
+
+impl std::error::Error for SelectTimeoutError {}
 
 /// A ready operation returned by [`Select::select`]; complete it with
 /// [`SelectedOperation::recv`] on the receiver it fired for.
@@ -439,6 +577,46 @@ mod tests {
     }
 
     #[test]
+    fn try_send_reports_full_and_disconnected_without_blocking() {
+        let (tx, rx) = bounded(2);
+        tx.try_send(1).unwrap();
+        tx.try_send(2).unwrap();
+        assert_eq!(tx.try_send(3), Err(TrySendError::Full(3)));
+        assert_eq!(TrySendError::Full(3).into_inner(), 3);
+        assert_eq!(rx.recv(), Ok(1));
+        tx.try_send(3).unwrap();
+        drop(rx);
+        assert_eq!(tx.try_send(4), Err(TrySendError::Disconnected(4)));
+    }
+
+    #[test]
+    fn send_timeout_expires_on_stuck_channel_and_delivers_when_drained() {
+        let (tx, rx) = bounded(1);
+        tx.send(1).unwrap();
+        let start = std::time::Instant::now();
+        assert_eq!(
+            tx.send_timeout(2, Duration::from_millis(20)),
+            Err(SendTimeoutError::Timeout(2))
+        );
+        assert!(start.elapsed() >= Duration::from_millis(20));
+        assert_eq!(SendTimeoutError::Timeout(2).into_inner(), 2);
+        let t = thread::spawn(move || {
+            thread::sleep(Duration::from_millis(10));
+            rx.recv().unwrap();
+            rx
+        });
+        // Room appears mid-wait: must deliver, not sleep the whole bound.
+        tx.send_timeout(2, Duration::from_secs(5)).unwrap();
+        let rx = t.join().unwrap();
+        assert_eq!(rx.recv(), Ok(2));
+        drop(rx);
+        assert_eq!(
+            tx.send_timeout(3, Duration::from_millis(5)),
+            Err(SendTimeoutError::Disconnected(3))
+        );
+    }
+
+    #[test]
     fn send_fails_when_receiver_gone() {
         let (tx, rx) = bounded(1);
         drop(rx);
@@ -494,5 +672,45 @@ mod tests {
         assert_eq!(op.index(), i_busy);
         assert_eq!(op.recv(&rx), Ok(77));
         t.join().unwrap();
+    }
+
+    #[test]
+    fn select_timeout_expires_on_idle_channels() {
+        let (_tx, rx) = unbounded::<u32>();
+        let mut sel = Select::new();
+        sel.recv(&rx);
+        let start = std::time::Instant::now();
+        let res = sel.select_timeout(Duration::from_millis(20));
+        assert_eq!(res.map(|op| op.index()), Err(SelectTimeoutError));
+        assert!(start.elapsed() >= Duration::from_millis(20));
+    }
+
+    #[test]
+    fn select_timeout_returns_ready_message_immediately() {
+        let (tx, rx) = unbounded::<u32>();
+        let mut sel = Select::new();
+        let idx = sel.recv(&rx);
+        tx.send(9).unwrap();
+        let op = sel.select_timeout(Duration::from_secs(5)).unwrap();
+        assert_eq!(op.index(), idx);
+        assert_eq!(op.recv(&rx), Ok(9));
+    }
+
+    #[test]
+    fn select_timeout_wakes_on_cross_thread_send_and_disconnect() {
+        let (tx, rx) = unbounded::<u64>();
+        let t = thread::spawn(move || {
+            thread::sleep(Duration::from_millis(10));
+            tx.send(3).unwrap();
+            // tx drops here: the next select_timeout must see the
+            // disconnect as readiness, not spin out the full timeout.
+        });
+        let mut sel = Select::new();
+        sel.recv(&rx);
+        let op = sel.select_timeout(Duration::from_secs(5)).unwrap();
+        assert_eq!(op.recv(&rx), Ok(3));
+        t.join().unwrap();
+        let op = sel.select_timeout(Duration::from_secs(5)).unwrap();
+        assert!(op.recv(&rx).is_err());
     }
 }
