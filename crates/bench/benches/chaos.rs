@@ -27,7 +27,11 @@
 //! Results print as a table and land in `bench_results/chaos.json`
 //! (`--test` smoke runs shrink the workload and write
 //! `chaos.smoke.json` so noisy numbers never clobber the committed
-//! ones).
+//! ones). Each scenario's flight-recorder trace is exported under
+//! `traces/` (`chaos_kill` and `chaos_rollback`, as `tracecat` JSONL
+//! plus Chrome `trace_event` JSON; smoke runs write untracked `.smoke.`
+//! variants), and the spans' disruption windows are priced into the
+//! JSON next to the throughput numbers they explain.
 
 use std::time::Duration;
 
@@ -37,8 +41,8 @@ use streambal_core::{BalanceParams, Key, Partitioner, RebalanceStrategy, TaskId}
 use streambal_elastic::FixedSchedule;
 use streambal_hashring::FxHashMap;
 use streambal_runtime::{
-    CtlKind, Engine, EngineConfig, EngineReport, FaultEvent, FaultPlan, FaultSpec, Tuple,
-    WordCountOp,
+    CtlKind, Engine, EngineConfig, EngineReport, FaultEvent, FaultPlan, FaultSpec, Outcome,
+    TraceLog, Tuple, WordCountOp,
 };
 use streambal_workloads::FluctuatingWorkload;
 
@@ -133,10 +137,63 @@ fn count_events(report: &EngineReport, pred: impl Fn(&FaultEvent) -> bool) -> u6
     report.faults.iter().filter(|f| pred(f)).count() as u64
 }
 
+/// Protocol-span metrics from a run's flight-recorder trace: how many
+/// ops ran, how they ended, and the disruption-window price (span open
+/// to close — the stretch the affected keys sat paused).
+fn span_metrics(report: &EngineReport) -> Json {
+    let spans = report.trace.span_summaries();
+    let completed = spans
+        .iter()
+        .filter(|s| s.outcome == Some(Outcome::Completed))
+        .count() as u64;
+    let aborted = spans
+        .iter()
+        .filter(|s| s.outcome == Some(Outcome::Aborted))
+        .count() as u64;
+    let windows: Vec<u64> = spans.iter().map(|s| s.disruption_us()).collect();
+    let max = windows.iter().copied().max().unwrap_or(0);
+    let mean = if windows.is_empty() {
+        0.0
+    } else {
+        windows.iter().sum::<u64>() as f64 / windows.len() as f64
+    };
+    Json::obj([
+        ("spans_total", Json::Int(spans.len() as u64)),
+        ("spans_completed", Json::Int(completed)),
+        ("spans_aborted", Json::Int(aborted)),
+        ("disruption_window_us_max", Json::Int(max)),
+        ("disruption_window_us_mean", Json::Num(mean)),
+    ])
+}
+
+/// Writes one run's trace as committed artifacts: JSONL (the `tracecat`
+/// input) plus Chrome `trace_event` JSON. Smoke runs write to separate
+/// `.smoke.` paths so noisy ad-hoc runs never clobber the committed
+/// traces.
+fn write_trace(name: &str, smoke: bool, trace: &TraceLog) {
+    let dir = streambal_bench::figure::traces_dir();
+    let tag = if smoke { ".smoke" } else { "" };
+    if let Err(e) = std::fs::create_dir_all(dir) {
+        eprintln!("failed to create {}: {e}", dir.display());
+        return;
+    }
+    for (ext, body) in [
+        ("jsonl", trace.to_jsonl()),
+        ("json", trace.to_chrome_json()),
+    ] {
+        let path = dir.join(format!("{name}{tag}.trace.{ext}"));
+        match std::fs::write(&path, body) {
+            Ok(()) => println!("wrote {}", path.display()),
+            Err(e) => eprintln!("failed to write {}: {e}", path.display()),
+        }
+    }
+}
+
 /// Scenario 1: a worker death at a planned interval, with and without a
 /// later revive decision; a fault-free baseline for the degradation
-/// ratio.
-fn worker_loss_scenario(intervals: &[Vec<Key>], reps: usize) -> Json {
+/// ratio. Also returns the kill run's report, whose trace main exports
+/// as the committed `chaos_kill` artifact.
+fn worker_loss_scenario(intervals: &[Vec<Key>], reps: usize) -> (Json, EngineReport) {
     let expect = reference_counts(intervals);
     let total: u64 = intervals.iter().map(|v| v.len() as u64).sum();
     let base_config = || EngineConfig {
@@ -221,7 +278,7 @@ fn worker_loss_scenario(intervals: &[Vec<Key>], reps: usize) -> Json {
         revive.mean_throughput,
         REVIVE_AT - KILL_AT,
     );
-    Json::obj([
+    let doc = Json::obj([
         ("kill_interval", Json::Int(KILL_AT)),
         ("revive_interval", Json::Int(REVIVE_AT)),
         ("fed_tuples", Json::Int(total)),
@@ -249,8 +306,10 @@ fn worker_loss_scenario(intervals: &[Vec<Key>], reps: usize) -> Json {
             "recovery_window_intervals",
             Json::Int(REVIVE_AT - KILL_AT),
         ),
+        ("spans", span_metrics(&kill)),
         ("reps", Json::Int(reps as u64)),
-    ])
+    ]);
+    (doc, kill)
 }
 
 /// Scenario 2: an aborted migration. Stalling two workers past the op
@@ -259,8 +318,9 @@ fn worker_loss_scenario(intervals: &[Vec<Key>], reps: usize) -> Json {
 /// controller retries once, aborts, rolls routing back, and re-installs
 /// collected state. The stalled workers wake into a closed epoch and
 /// their late extractions are absorbed/re-homed. All of it must be
-/// lossless.
-fn rollback_scenario(intervals: &[Vec<Key>], reps: usize) -> Json {
+/// lossless. Also returns the stalled run's report for the committed
+/// `chaos_rollback` trace artifact.
+fn rollback_scenario(intervals: &[Vec<Key>], reps: usize) -> (Json, EngineReport) {
     let expect = reference_counts(intervals);
     let total: u64 = intervals.iter().map(|v| v.len() as u64).sum();
     let config = |plan: FaultPlan| EngineConfig {
@@ -350,7 +410,7 @@ fn rollback_scenario(intervals: &[Vec<Key>], reps: usize) -> Json {
              rollback cost reflects retries only"
         );
     }
-    Json::obj([
+    let doc = Json::obj([
         // String echo, not a numeric key: the stall length is a plan
         // parameter, and a numeric `*_ms` key would gate as wall time.
         ("stall_plan", Json::str("w1+w2 sleep 1200ms at interval 1")),
@@ -363,8 +423,10 @@ fn rollback_scenario(intervals: &[Vec<Key>], reps: usize) -> Json {
         ("stale_epochs_absorbed", Json::Int(absorbed)),
         ("rounds_timed_out", Json::Int(timed_out_rounds)),
         ("rollback_lost_tuples", Json::Int(0)),
+        ("spans", span_metrics(&stalled)),
         ("reps", Json::Int(reps as u64)),
-    ])
+    ]);
+    (doc, stalled)
 }
 
 fn main() {
@@ -378,10 +440,13 @@ fn main() {
     );
 
     println!("\nworker loss (kill w1 at interval {KILL_AT}, revive at {REVIVE_AT}):");
-    let worker_loss = worker_loss_scenario(&intervals, reps);
+    let (worker_loss, kill_report) = worker_loss_scenario(&intervals, reps);
 
     println!("\nrollback (stall w1+w2 past the op deadline):");
-    let rollback = rollback_scenario(&intervals, reps);
+    let (rollback, rollback_report) = rollback_scenario(&intervals, reps);
+
+    write_trace("chaos_kill", smoke, &kill_report.trace);
+    write_trace("chaos_rollback", smoke, &rollback_report.trace);
 
     let doc = Json::obj([
         ("bench", Json::str("chaos")),

@@ -4,7 +4,7 @@
 //! pooled buffers, one channel op / `Counter::add(n)` / clock read per
 //! batch).
 //!
-//! Three measurement groups, all on a hash-routed Zipf word count (no
+//! Four measurement groups, all on a hash-routed Zipf word count (no
 //! rebalances, so the data plane — not the scheduler — is what moves):
 //!
 //! 1. **seed vs batched at the paper's default config** — Tab. II skew
@@ -14,6 +14,10 @@
 //!    count. Batch 1 ships one-tuple batches through the pooled path and
 //!    must not regress against the seed shape.
 //! 3. **worker-count sweep** — seed vs batch-256 at 2 and 4 workers.
+//! 4. **flight-recorder overhead guard** — the default batched shape
+//!    with the trace recorder on vs off, best-of-5 in every mode; the
+//!    on/off ratio is committed as `trace_overhead_ratio` and the run
+//!    *aborts* below 0.97, so a hot-path recording regression fails CI.
 //!
 //! Each configuration runs `REPS` times over an identical pre-generated
 //! tuple sequence; the mean and best (max) throughput are reported. The
@@ -56,13 +60,16 @@ impl Shape {
 
 /// Runs one engine pass over `intervals` and returns end-to-end
 /// tuples/sec (processed over wall time, setup and drain included).
-fn run_once(shape: Shape, intervals: &[Vec<Key>]) -> f64 {
+/// `trace` toggles the flight recorder (the default config leaves it on;
+/// the overhead guard below runs both arms).
+fn run_once(shape: Shape, intervals: &[Vec<Key>], trace: bool) -> f64 {
     let feed: Vec<Vec<Key>> = intervals.to_vec();
     let config = EngineConfig {
         n_workers: shape.workers,
         max_workers: shape.workers,
         batch_size: shape.batch,
         per_tuple: shape.per_tuple,
+        trace,
         ..EngineConfig::default()
     };
     let report = Engine::run(
@@ -137,8 +144,10 @@ fn main() {
     );
     for shape in &shapes {
         // One untimed warm-up pass (page-in, pool priming parity).
-        let _ = run_once(*shape, &intervals);
-        let runs: Vec<f64> = (0..reps).map(|_| run_once(*shape, &intervals)).collect();
+        let _ = run_once(*shape, &intervals, true);
+        let runs: Vec<f64> = (0..reps)
+            .map(|_| run_once(*shape, &intervals, true))
+            .collect();
         let (m, b) = (mean(&runs), max(&runs));
         println!(
             "  {:<24} mean {:>10.0} t/s   best {:>10.0} t/s",
@@ -157,6 +166,40 @@ fn main() {
             ("reps", Json::Int(reps as u64)),
         ]));
     }
+
+    // Flight-recorder overhead guard: the default batched shape with the
+    // recorder on vs off, best-of-OVERHEAD_REPS even in smoke (a single
+    // noisy rep must not produce a spurious CI failure). The recorder's
+    // data-plane cost is two counter adds per batch, so the ratio should
+    // sit at 1.0; the assert holds it above 0.97 (≤ 3% overhead) and is
+    // deliberately blocking — an accidental per-tuple record() or lock
+    // on the hot path fails the bench, not just a review.
+    const OVERHEAD_REPS: usize = 5;
+    let overhead_shape = Shape {
+        per_tuple: false,
+        batch: 256,
+        workers: default_workers,
+    };
+    let _ = run_once(overhead_shape, &intervals, true);
+    let trace_on: Vec<f64> = (0..OVERHEAD_REPS)
+        .map(|_| run_once(overhead_shape, &intervals, true))
+        .collect();
+    let trace_off: Vec<f64> = (0..OVERHEAD_REPS)
+        .map(|_| run_once(overhead_shape, &intervals, false))
+        .collect();
+    let trace_overhead_ratio = max(&trace_on) / max(&trace_off);
+    println!(
+        "  trace overhead: on {:>10.0} t/s   off {:>10.0} t/s   ratio {:.4}",
+        max(&trace_on),
+        max(&trace_off),
+        trace_overhead_ratio
+    );
+    assert!(
+        trace_overhead_ratio >= 0.97,
+        "flight recorder costs more than 3% throughput \
+         (on/off ratio {trace_overhead_ratio:.4}); the data plane must \
+         stay at two counter adds per batch"
+    );
 
     let get = |id: &str| best.iter().find(|(l, _)| l == id).map(|&(_, v)| v);
     let seed_default = get(&format!("seed_per_tuple/w{default_workers}"));
@@ -187,6 +230,9 @@ fn main() {
             ratio(batched_default, seed_default),
         ),
         ("ratio_batch1_vs_seed", ratio(batched_one, seed_default)),
+        // Flight-recorder cost at the default shape (on/off, best-of-5);
+        // the run aborts above if this drops below 0.97.
+        ("trace_overhead_ratio", Json::Num(trace_overhead_ratio)),
         // batch_size = 1 degenerates to the identical scalar data plane
         // (see EngineConfig::batch_size), so this ratio's deviation from
         // 1.0 is pure run-to-run measurement noise, not a code-path

@@ -88,6 +88,13 @@ pub const DOWN_PATTERNS: &[&str] = &[
     "lost",
     "recovery",
     "rollback",
+    // Flight-recorder span metrics: a protocol op's disruption window —
+    // and each phase inside it — is paused-traffic time; shorter is
+    // better. (`trace_overhead_ratio` hits UP first via "ratio": the
+    // recorder-on/off throughput quotient climbs toward 1.0 as the
+    // recorder gets cheaper.)
+    "disruption",
+    "phase_",
 ];
 
 /// Substring patterns for declaredly directionless keys (checked last,
@@ -143,6 +150,10 @@ pub const NEUTRAL_PATTERNS: &[&str] = &[
     "stall",
     "timed_out",
     "fed_tuples",
+    // Flight-recorder span counts: how many protocol ops a run traced
+    // (and how they closed) is a fact about the scenario; the spans'
+    // *costs* classify above via "disruption"/"phase_".
+    "span",
 ];
 
 /// The direction for a flattened metric key, by positional pattern
@@ -251,6 +262,23 @@ mod tests {
     #[test]
     fn unknown_means_not_in_the_table() {
         assert_eq!(direction_of("entirely_new_metric"), Direction::Unknown);
+    }
+
+    #[test]
+    fn flight_recorder_metrics_classify() {
+        // The overhead quotient counts up (1.0 = free recorder); span
+        // disruption windows and their phase breakdowns count down.
+        assert_eq!(
+            direction_of("engine.json :: trace_overhead_ratio"),
+            Direction::HigherIsBetter
+        );
+        for key in [
+            "chaos.json :: results.kill/w4.disruption_window_us",
+            "spans.scale_in.phase_install_us",
+            "spans.rebalance.phase_quiesce_wait_us",
+        ] {
+            assert_eq!(direction_of(key), Direction::LowerIsBetter, "{key}");
+        }
     }
 
     /// The closed-world property lint rule L005 enforces at CI time:

@@ -212,6 +212,14 @@ pub fn results_dir() -> &'static Path {
     Path::new(concat!(env!("CARGO_MANIFEST_DIR"), "/../../bench_results"))
 }
 
+/// The workspace-root `traces/` directory: committed flight-recorder
+/// artifacts (`*.trace.jsonl` + Chrome `*.trace.json`), kept separate
+/// from `bench_results/` so the closed-world tests over the metric files
+/// never iterate trace exports.
+pub fn traces_dir() -> &'static Path {
+    Path::new(concat!(env!("CARGO_MANIFEST_DIR"), "/../../traces"))
+}
+
 /// Shared tail for the single-figure binaries: print the text rendering
 /// and write `bench_results/<name>.json` at the workspace root.
 pub fn emit(figure: &Figure, scale: Scale) {

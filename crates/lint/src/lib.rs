@@ -27,6 +27,10 @@
 //!   classifies in the metric-direction table (`streambal-bench`).
 //! * **L006** — `_mm_*` intrinsics appear only under `cfg(target_arch)`
 //!   gates.
+//! * **L007** — no per-event `.record(` on a trace recorder in
+//!   `crates/runtime` non-test code — the flight recorder's data-plane
+//!   contract is batch granularity only (`count_batch` /
+//!   `close_interval`).
 //! * **L000** — a malformed `lint: allow` annotation (missing reason,
 //!   unknown rule name) is itself a violation.
 

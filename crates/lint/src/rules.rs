@@ -151,6 +151,46 @@ pub fn scan_source(file: &str, src: &str, class: &FileClass) -> Vec<Violation> {
                 }
             }
 
+            // L007: per-tuple trace recording on the data plane. The
+            // flight recorder's hot-path contract is batch granularity
+            // only (`count_batch` two counter adds, `close_interval`
+            // once per interval); a `.record(` call on a trace-ish
+            // receiver in runtime code reintroduces the per-tuple event
+            // cost the recorder was designed to avoid. The fault
+            // injector's ledger `record` is a control-plane call on a
+            // non-trace receiver and is not matched.
+            if class.data_plane
+                && !marks.in_test[i]
+                && name == "record"
+                && prev_is(&toks, i, '.')
+                && next_is(&toks, i, '(')
+            {
+                let receiver = toks[..i]
+                    .iter()
+                    .rev()
+                    .filter(|t| t.kind != TokKind::Comment)
+                    .nth(1);
+                let traceish = receiver.is_some_and(|t| {
+                    t.kind == TokKind::Ident && {
+                        let r = t.text.to_ascii_lowercase();
+                        r.contains("trace") || r.contains("record")
+                    }
+                });
+                if traceish && !allowed(&allows, "trace") {
+                    out.push(Violation {
+                        file: file.to_string(),
+                        line: t.line,
+                        rule: "L007",
+                        msg: "per-event `.record(` on a trace recorder in data-plane \
+                              code — the hot path records at batch granularity only \
+                              (`count_batch` / `close_interval`); move the event to \
+                              the control plane or annotate `lint: allow(trace, \
+                              reason = ...)` with why this site is not per-tuple"
+                            .to_string(),
+                    });
+                }
+            }
+
             // L006: x86 intrinsics outside a cfg(target_arch) gate.
             if name.len() >= 4 && name[..4].eq_ignore_ascii_case("_mm_") && !marks.arch[i] {
                 out.push(Violation {
@@ -209,9 +249,10 @@ fn parse_allow(comment: &str) -> AllowParse {
     let rule: &'static str = match name {
         "panic" => "panic",
         "send" => "send",
+        "trace" => "trace",
         other => {
             return AllowParse::Malformed(format!(
-                "unknown lint allow rule `{other}` (known: panic, send)"
+                "unknown lint allow rule `{other}` (known: panic, send, trace)"
             ))
         }
     };

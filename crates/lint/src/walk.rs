@@ -31,7 +31,13 @@ pub fn classify(rel: &str) -> Option<FileClass> {
         || rel.contains("/examples/")
         || rel.contains("/benches/");
     Some(FileClass {
-        panic_scope: rel.starts_with("crates/runtime/src/") || rel.starts_with("crates/core/src/"),
+        // The trace crate sits on every engine thread (its recorder is
+        // dropped during teardown and panics there would mask the real
+        // failure), so it carries the same no-panic contract as the
+        // protocol crates.
+        panic_scope: rel.starts_with("crates/runtime/src/")
+            || rel.starts_with("crates/core/src/")
+            || rel.starts_with("crates/trace/src/"),
         data_plane: rel.starts_with("crates/runtime/src/"),
         swap_allowed: rel == "crates/core/src/routing.rs" || test_ctx,
     })

@@ -1,0 +1,11 @@
+// Fixture: per-event trace recording in data-plane code.
+
+fn drain(recorder: &mut ThreadRecorder, batch: &[Tuple]) {
+    for t in batch {
+        recorder.record(t.key);
+    }
+}
+
+fn drain_field(ctx: &mut WorkerCtx, t: &Tuple) {
+    ctx.tracer.record(t.key);
+}

@@ -113,6 +113,19 @@ fn l006_gated_intrinsics_pass() {
 }
 
 #[test]
+fn l007_flags_per_event_recording_on_the_data_plane() {
+    assert_eq!(
+        rules_hit("l007_violate.rs"),
+        vec![("L007", 5), ("L007", 10)]
+    );
+}
+
+#[test]
+fn l007_batch_granularity_ledger_annotated_and_test_sites_pass() {
+    assert_eq!(rules_hit("l007_pass.rs"), vec![]);
+}
+
+#[test]
 fn l000_malformed_allows_are_flagged() {
     let no_reason = "fn f(x: Option<u32>) -> u32 {\n    // lint: allow(panic)\n    x.unwrap()\n}\n";
     let vs = scan_source("inline.rs", no_reason, &full_class());
@@ -144,6 +157,8 @@ fn classify_scopes_rules_by_path() {
     assert!(rt.panic_scope && rt.data_plane && !rt.swap_allowed);
     let core = classify("crates/core/src/llfd.rs").expect("scanned");
     assert!(core.panic_scope && !core.data_plane && !core.swap_allowed);
+    let trace = classify("crates/trace/src/lib.rs").expect("scanned");
+    assert!(trace.panic_scope && !trace.data_plane && !trace.swap_allowed);
     let resync = classify("crates/core/src/routing.rs").expect("scanned");
     assert!(resync.swap_allowed);
     let t = classify("tests/cross_partitioner.rs").expect("scanned");

@@ -47,8 +47,9 @@ impl StatsRound {
     }
 }
 
-/// Everything a completed round hands the elasticity policy and the
-/// partitioner: the merged stats, the per-slot load vector, the queue
+/// Everything a completed round hands the elasticity policy, the
+/// partitioner, and the flight recorder's per-interval `Snapshot`
+/// event: the merged stats, the per-slot load vector, the queue
 /// depths sampled when the round was issued, and the interval latency
 /// summary.
 pub(crate) struct ClosedRound {

@@ -25,6 +25,7 @@ use streambal_elastic::{
 };
 use streambal_hashring::{FxHashMap, FxHashSet};
 use streambal_metrics::{Counter, Histogram, RateMeter, TimeSeries};
+use streambal_trace::{OpLabel, Outcome, Phase, ThreadLabel, ThreadRecorder, TraceLog, TraceSink};
 
 use crate::controller::{ClosedRound, StatsLedger, WorkerSeconds};
 use crate::fault::{next_live, CtlKind, FaultEvent, FaultInjector, FaultPlan, OpKind, SendPeer};
@@ -122,6 +123,16 @@ pub struct EngineConfig {
     pub round_deadline_intervals: u64,
     /// Wall-clock component of the round deadline (see above).
     pub round_deadline: Duration,
+    /// Flight recorder on/off (default `true`). When on, every thread
+    /// carries a [`streambal_trace::ThreadRecorder`]: the controller
+    /// records protocol-phase spans and per-interval telemetry
+    /// snapshots, the source records routing-table shape and interval
+    /// totals, and workers roll batch counters into one `DataFlush`
+    /// per interval — nothing per tuple, no locks or clock reads on the
+    /// data plane. The merged log lands in [`EngineReport::trace`].
+    /// `false` makes every recording call a no-op (the overhead
+    /// benchmark's baseline).
+    pub trace: bool,
 }
 
 impl EngineConfig {
@@ -164,11 +175,104 @@ impl Default for EngineConfig {
             op_deadline: Duration::from_secs(5),
             round_deadline_intervals: 4,
             round_deadline: Duration::from_secs(5),
+            trace: true,
         }
     }
 }
 
 pub use streambal_elastic::ScaleEvent;
+
+/// A survivable violation of the pause → migrate → resume protocol.
+///
+/// Each variant pins the event the controller observed with no matching
+/// in-flight op (or the auxiliary thread that died), plus what was
+/// dropped or skipped as a result. `Display` renders the exact
+/// diagnostic strings these carried when [`EngineReport::protocol_errors`]
+/// was a `Vec<String>`, so log scrapers and test messages are unchanged.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ProtocolError {
+    /// A source `PauseAck` arrived with nothing in flight and no closed
+    /// epoch to absorb it.
+    StrayPauseAck {
+        /// The ack's epoch.
+        epoch: u64,
+    },
+    /// A worker shipped extracted state for an epoch with no migration
+    /// in flight; the blobs were dropped.
+    StrayStateOut {
+        /// The shipping worker's slot.
+        worker: usize,
+        /// The orphaned epoch.
+        epoch: u64,
+        /// How many key states were dropped with it.
+        dropped_keys: usize,
+    },
+    /// A worker acknowledged a `StateInstall` for an epoch with no
+    /// pending op.
+    StrayInstallAck {
+        /// The acking worker's slot.
+        worker: usize,
+        /// The orphaned epoch.
+        epoch: u64,
+    },
+    /// A worker completed retirement for an epoch with no pending
+    /// scale-in.
+    StrayRetired {
+        /// The retiring worker's slot.
+        worker: usize,
+        /// The orphaned epoch.
+        epoch: u64,
+    },
+    /// A scale-out decision found the spawn slot's receiver missing (a
+    /// prior retire mismatch); the engine kept its current width.
+    ScaleOutAborted {
+        /// The parallelism the decision aimed for.
+        to: usize,
+        /// The slot with no channel to hand out.
+        slot: usize,
+    },
+    /// An auxiliary thread (source, throughput sampler, collector)
+    /// panicked; the run completed without it.
+    ThreadPanicked {
+        /// Which thread: `"source"`, `"throughput sampler"`, or
+        /// `"collector"`.
+        thread: &'static str,
+    },
+}
+
+impl std::fmt::Display for ProtocolError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ProtocolError::StrayPauseAck { epoch } => {
+                write!(f, "PauseAck for epoch {epoch} with no pending op")
+            }
+            ProtocolError::StrayStateOut {
+                worker,
+                epoch,
+                dropped_keys,
+            } => write!(
+                f,
+                "StateOut from worker {worker} for epoch {epoch} with no \
+                 migration in flight; {dropped_keys} key states dropped"
+            ),
+            ProtocolError::StrayInstallAck { worker, epoch } => write!(
+                f,
+                "InstallAck from worker {worker} for epoch {epoch} with no pending op"
+            ),
+            ProtocolError::StrayRetired { worker, epoch } => write!(
+                f,
+                "Retired from worker {worker} for epoch {epoch} with no pending scale-in"
+            ),
+            ProtocolError::ScaleOutAborted { to, slot } => write!(
+                f,
+                "scale-out to {to} aborted: worker slot {slot} has no channel to hand out"
+            ),
+            ProtocolError::ThreadPanicked { thread } => {
+                write!(f, "{thread} thread panicked")
+            }
+        }
+    }
+}
 
 /// Everything one engine run measured.
 #[derive(Debug)]
@@ -218,7 +322,9 @@ pub struct EngineReport {
     /// these (poisoning every channel and deadlocking the topology
     /// mid-protocol); now the run completes and the report carries the
     /// evidence — **empty on every healthy run**, and tests assert so.
-    pub protocol_errors: Vec<String>,
+    /// Each [`ProtocolError`]'s `Display` is the diagnostic string this
+    /// field used to carry verbatim.
+    pub protocol_errors: Vec<ProtocolError>,
     /// The fault ledger: every injected fault that fired and every
     /// recovery action the controller took (deaths, re-routes, op
     /// retries/aborts, timed-out stats rounds). Structural entries only
@@ -231,6 +337,13 @@ pub struct EngineReport {
     /// invariant chaos tests assert: `fed − lost == observed`. Empty on
     /// every healthy run.
     pub lost_tuples: Vec<(Key, u64)>,
+    /// The flight-recorder log (empty when [`EngineConfig::trace`] is
+    /// off): protocol-phase spans keyed by op epoch, per-interval
+    /// telemetry snapshots, per-worker data-flush counters, and a
+    /// mirror of every fault-ledger entry. Deterministic modulo
+    /// wall-clock — [`TraceLog::skeleton`] of a seeded run reproduces
+    /// exactly across replays, like [`EngineReport::faults`].
+    pub trace: TraceLog,
 }
 
 /// Keeps the earliest first-tuple interval across a slot's successive
@@ -289,6 +402,10 @@ struct ActiveMigration {
     /// worker dedupes by epoch) and for rollback accounting. `Bytes`
     /// blobs are refcounted, so the clones are cheap.
     sent_installs: FxHashMap<TaskId, Vec<(Key, Bytes)>>,
+    /// Whether the span's `StateOut` phase marker was recorded (at the
+    /// first live extraction) — phases are recorded exactly once;
+    /// deadline re-drives and duplicate answers must not repeat them.
+    state_out_marked: bool,
 }
 
 /// An in-flight scale-in: pause-dest → retire → re-install → resume.
@@ -431,15 +548,24 @@ fn drain_dead_channel(
 
 /// Issues (or re-issues on a fresh epoch) a source resume and arms its
 /// deadline clock. A resume dropped by the injector is indistinguishable
-/// from a slow one; the clock re-drives it.
+/// from a slow one; the clock re-drives it. When the epoch still has an
+/// open trace span (normal completion — aborted spans are closed before
+/// their rollback resume), the span's `Resume` phase is recorded here,
+/// once: deadline re-drives bypass this function.
+#[allow(clippy::too_many_arguments)]
 fn issue_resume(
     injector: &FaultInjector,
     ctl_tx: &Sender<SourceCtl>,
     resume_state: &mut FxHashMap<u64, ResumeClock>,
+    rec: &mut ThreadRecorder,
+    open_spans: &FxHashSet<u64>,
     epoch: u64,
     view: RoutingView,
     current_interval: u64,
 ) {
+    if open_spans.contains(&epoch) {
+        rec.span_phase(epoch, Phase::Resume);
+    }
     send_src(
         injector,
         ctl_tx,
@@ -496,6 +622,7 @@ struct WorkerSpawner {
     counter: Arc<Counter>,
     epoch: Instant,
     injector: Arc<FaultInjector>,
+    sink: Arc<TraceSink>,
 }
 
 impl WorkerSpawner {
@@ -521,6 +648,7 @@ impl WorkerSpawner {
             pool: self.pool_tx.clone(),
             emit_batch: self.emit_batch,
             injector: Arc::clone(&self.injector),
+            recorder: self.sink.recorder(ThreadLabel::Worker(id as u32)),
         };
         s.spawn(move || run_worker(ctx));
     }
@@ -607,12 +735,20 @@ impl Engine {
             protocol_errors: Vec::new(),
             faults: Vec::new(),
             lost_tuples: Vec::new(),
+            trace: TraceLog::default(),
         };
 
+        // One flight-recorder sink per run; every thread gets its own
+        // lock-free ThreadRecorder view of it.
+        let sink = TraceSink::new(config.trace);
         // One injector per run, shared with the source loop and every
         // worker. Drop ordinals are global (each kind is sent from one
-        // thread), so all sites must share this instance.
-        let injector = Arc::new(FaultInjector::new(config.fault_plan.clone()));
+        // thread), so all sites must share this instance. The sink lets
+        // it mirror each ledger entry into the trace as it is recorded.
+        let injector = Arc::new(FaultInjector::with_trace(
+            config.fault_plan.clone(),
+            Arc::clone(&sink),
+        ));
 
         std::thread::scope(|s| {
             // --- workers -------------------------------------------------
@@ -626,6 +762,7 @@ impl Engine {
                 counter: Arc::clone(&counter),
                 epoch: t0,
                 injector: Arc::clone(&injector),
+                sink: Arc::clone(&sink),
             };
             for (d, slot) in worker_rxs.iter_mut().enumerate().take(config.n_workers) {
                 // lint: allow(panic, reason = "startup invariant: every slot was
@@ -638,6 +775,7 @@ impl Engine {
             // --- collector -----------------------------------------------
             let col_handle = collector.map(|mut c| {
                 let col_pool_tx = pool_tx.clone();
+                let mut col_rec = sink.recorder(ThreadLabel::Collector);
                 s.spawn(move || {
                     let mut returns: Vec<Vec<Tuple>> = Vec::new();
                     while let Ok(mut batch) = col_rx.recv() {
@@ -652,6 +790,7 @@ impl Engine {
                             let _ = col_pool_tx.send(std::mem::take(&mut returns));
                         }
                     }
+                    col_rec.mark("collector-done");
                     c.result()
                 })
             });
@@ -678,6 +817,7 @@ impl Engine {
             let src_worker_txs = worker_txs.clone();
             let src_config = config.clone();
             let src_injector = Arc::clone(&injector);
+            let src_rec = sink.recorder(ThreadLabel::Source);
             let src_handle = s.spawn(move || {
                 source_loop(
                     feeder,
@@ -689,6 +829,7 @@ impl Engine {
                     t0,
                     src_config,
                     src_injector,
+                    src_rec,
                 )
             });
 
@@ -754,6 +895,13 @@ impl Engine {
             // by reports, dead-worker strikes, and deadline expiry alike,
             // so every round is decided by exactly one code path.
             let mut closed_rounds: Vec<(u64, ClosedRound)> = Vec::new();
+            // The controller's flight recorder: protocol spans (id = op
+            // epoch) and per-interval telemetry snapshots.
+            let mut rec = sink.recorder(ThreadLabel::Controller);
+            // Epochs whose span is open: a span closes `Completed` at its
+            // ResumeAck, `Aborted` at abort_op, `Abandoned` at teardown —
+            // exactly once, whichever comes first.
+            let mut open_spans: FxHashSet<u64> = FxHashSet::default();
 
             let mut select = Select::new();
             let src_idx = select.recv(&src_evt_rx);
@@ -838,9 +986,9 @@ impl Engine {
                                                     what: "pause ack",
                                                 });
                                             } else {
-                                                report.protocol_errors.push(format!(
-                                                    "PauseAck for epoch {epoch} with no pending op"
-                                                ));
+                                                report
+                                                    .protocol_errors
+                                                    .push(ProtocolError::StrayPauseAck { epoch });
                                             }
                                             None
                                         }
@@ -857,6 +1005,10 @@ impl Engine {
                                             } else {
                                                 m.pause_acked = true;
                                                 op_clock = Some(OpClock::start(current_interval));
+                                                // The source is quiesced; the
+                                                // span now waits on holders to
+                                                // drain and extract.
+                                                rec.span_phase(epoch, Phase::QuiesceWait);
                                                 for (&w, moves) in &m.plan.by_source {
                                                     // A holder that died after
                                                     // planning has nothing left
@@ -895,6 +1047,7 @@ impl Engine {
                                             } else {
                                                 r.pause_acked = true;
                                                 op_clock = Some(OpClock::start(current_interval));
+                                                rec.span_phase(epoch, Phase::QuiesceWait);
                                                 // Every tuple the source will ever
                                                 // send the victim is now in its
                                                 // channel; the Retire marker lands
@@ -926,6 +1079,8 @@ impl Engine {
                                             &injector,
                                             &ctl_tx,
                                             &mut resume_state,
+                                            &mut rec,
+                                            &open_spans,
                                             epoch,
                                             view,
                                             current_interval,
@@ -941,6 +1096,14 @@ impl Engine {
                                             epoch,
                                             what: "resume ack",
                                         });
+                                    } else if open_spans.remove(&epoch) {
+                                        // The op's span runs to the ack: its
+                                        // disruption window covers the whole
+                                        // pause → ... → resume round trip.
+                                        // (Aborted spans closed at abort_op;
+                                        // their rollback resume's ack lands
+                                        // here with the span already gone.)
+                                        rec.span_close(epoch, Outcome::Completed);
                                     }
                                 }
                                 SourceEvent::DeadDestAck { dest } => {
@@ -1064,13 +1227,13 @@ impl Engine {
                                                     }
                                                 }
                                             } else {
-                                                report.protocol_errors.push(format!(
-                                                    "StateOut from worker {} for epoch {epoch} \
-                                                 with no migration in flight; {} key states \
-                                                 dropped",
-                                                    worker.index(),
-                                                    states.len(),
-                                                ));
+                                                report.protocol_errors.push(
+                                                    ProtocolError::StrayStateOut {
+                                                        worker: worker.index(),
+                                                        epoch,
+                                                        dropped_keys: states.len(),
+                                                    },
+                                                );
                                             }
                                             break 'state_out;
                                         }
@@ -1087,6 +1250,10 @@ impl Engine {
                                         break 'state_out;
                                     }
                                     op_clock = Some(OpClock::start(current_interval));
+                                    if !m.state_out_marked {
+                                        m.state_out_marked = true;
+                                        rec.span_phase(epoch, Phase::StateOut);
+                                    }
                                     if m.plan.preplaced {
                                         // Pre-placement bills the bytes actually
                                         // extracted: the plan moves windowed
@@ -1123,6 +1290,8 @@ impl Engine {
                                                 &injector,
                                                 &ctl_tx,
                                                 &mut resume_state,
+                                                &mut rec,
+                                                &open_spans,
                                                 epoch,
                                                 m.plan.view.clone(),
                                                 current_interval,
@@ -1131,6 +1300,7 @@ impl Engine {
                                             pending = None;
                                             op_clock = None;
                                         } else {
+                                            rec.span_phase(epoch, Phase::Install);
                                             for (dest, states) in by_dest {
                                                 m.awaiting_install.insert(dest);
                                                 // StateInstall is never
@@ -1201,11 +1371,12 @@ impl Engine {
                                                     what: "install ack",
                                                 });
                                             } else {
-                                                report.protocol_errors.push(format!(
-                                                    "InstallAck from worker {} for epoch {epoch} \
-                                                 with no pending op",
-                                                    worker.index(),
-                                                ));
+                                                report.protocol_errors.push(
+                                                    ProtocolError::StrayInstallAck {
+                                                        worker: worker.index(),
+                                                        epoch,
+                                                    },
+                                                );
                                             }
                                             None
                                         }
@@ -1215,6 +1386,8 @@ impl Engine {
                                             &injector,
                                             &ctl_tx,
                                             &mut resume_state,
+                                            &mut rec,
+                                            &open_spans,
                                             epoch,
                                             view,
                                             current_interval,
@@ -1257,11 +1430,12 @@ impl Engine {
                                                 what: "retired",
                                             });
                                         } else {
-                                            report.protocol_errors.push(format!(
-                                                "Retired from worker {} for epoch {epoch} \
-                                             with no pending scale-in",
-                                                worker.index(),
-                                            ));
+                                            report.protocol_errors.push(
+                                                ProtocolError::StrayRetired {
+                                                    worker: worker.index(),
+                                                    epoch,
+                                                },
+                                            );
                                         }
                                         report.per_worker_processed[worker.index()] += processed;
                                         report.processed += processed;
@@ -1325,6 +1499,9 @@ impl Engine {
                                     };
                                     debug_assert_eq!(r.victim, worker);
                                     op_clock = Some(OpClock::start(current_interval));
+                                    // The victim's drained state is in hand —
+                                    // the scale-in's state-out phase.
+                                    rec.span_phase(epoch, Phase::StateOut);
                                     report.per_worker_processed[worker.index()] += processed;
                                     report.processed += processed;
                                     report.latency_us.merge(&latency);
@@ -1373,6 +1550,8 @@ impl Engine {
                                             &injector,
                                             &ctl_tx,
                                             &mut resume_state,
+                                            &mut rec,
+                                            &open_spans,
                                             epoch,
                                             r.view.clone(),
                                             current_interval,
@@ -1380,6 +1559,7 @@ impl Engine {
                                         closed_epochs.insert(epoch, "done");
                                         op_clock = None;
                                     } else {
+                                        rec.span_phase(epoch, Phase::Install);
                                         for (dest, st) in by_dest {
                                             debug_assert!(dest.index() < active);
                                             r.awaiting_install.insert(dest);
@@ -1478,6 +1658,8 @@ impl Engine {
                                                     &injector,
                                                     &ctl_tx,
                                                     &mut resume_state,
+                                                    &mut rec,
+                                                    &open_spans,
                                                     epoch,
                                                     view,
                                                     current_interval,
@@ -1530,6 +1712,8 @@ impl Engine {
                                                     &injector,
                                                     &ctl_tx,
                                                     &mut resume_state,
+                                                    &mut rec,
+                                                    &open_spans,
                                                     epoch,
                                                     m.plan.view.clone(),
                                                     current_interval,
@@ -1538,6 +1722,7 @@ impl Engine {
                                                 pending = None;
                                                 op_clock = None;
                                             } else {
+                                                rec.span_phase(epoch, Phase::Install);
                                                 for (dest, st) in by_dest {
                                                     m.awaiting_install.insert(dest);
                                                     ctl_send(
@@ -1559,6 +1744,8 @@ impl Engine {
                                             &injector,
                                             &ctl_tx,
                                             &mut resume_state,
+                                            &mut rec,
+                                            &open_spans,
                                             epoch,
                                             view,
                                             current_interval,
@@ -1634,6 +1821,15 @@ impl Engine {
                 // report set, a dead-worker strike, or deadline expiry
                 // closed it, the same code decides.
                 for (interval, round) in std::mem::take(&mut closed_rounds) {
+                    // Telemetry snapshot: exactly what the elasticity
+                    // policy and partitioner are about to see.
+                    rec.snapshot(
+                        interval,
+                        round.loads.clone(),
+                        round.queues.clone(),
+                        round.mean_latency_us,
+                        round.p99_latency_us,
+                    );
                     let merged = round.merged;
                     let loads = round.loads;
                     // Elasticity decision. The observation's parallelism
@@ -1703,12 +1899,10 @@ impl Engine {
                                 // running at the current width
                                 // rather than tearing down the
                                 // topology.
-                                report.protocol_errors.push(format!(
-                                    "scale-out to {} aborted: worker slot {} \
-                                     has no channel to hand out",
-                                    active + 1,
-                                    active,
-                                ));
+                                report.protocol_errors.push(ProtocolError::ScaleOutAborted {
+                                    to: active + 1,
+                                    slot: active,
+                                });
                                 break 'scale_out;
                             };
                             ws.set_active(Instant::now(), active + 1 - dead.len());
@@ -2011,6 +2205,13 @@ impl Engine {
                                     epoch: m.epoch,
                                 });
                                 closed_epochs.insert(m.epoch, "aborted");
+                                // Close the span Aborted *before* the
+                                // rollback resume goes out, so the resume
+                                // phase (and its ack) cannot land on a
+                                // closed span.
+                                if open_spans.remove(&m.epoch) {
+                                    rec.span_close(m.epoch, Outcome::Aborted);
+                                }
                                 // Roll the routing back: every affected
                                 // key returns to its origin (diverted
                                 // past corpses). State still in hand
@@ -2047,6 +2248,14 @@ impl Engine {
                                     };
                                     by_origin.entry(home).or_default().push((k, blob));
                                 }
+                                // The rollback is its own span on the fresh
+                                // pre-closed epoch: its installs and the
+                                // resume happen synchronously right here,
+                                // so it opens and closes in one breath.
+                                rec.span_open(next_epoch, OpLabel::Rollback);
+                                if !by_origin.is_empty() {
+                                    rec.span_phase(next_epoch, Phase::Install);
+                                }
                                 for (dst, states) in by_origin {
                                     ctl_send(
                                         &injector,
@@ -2058,14 +2267,18 @@ impl Engine {
                                         },
                                     );
                                 }
+                                rec.span_phase(next_epoch, Phase::Resume);
                                 issue_resume(
                                     &injector,
                                     &ctl_tx,
                                     &mut resume_state,
+                                    &mut rec,
+                                    &open_spans,
                                     m.epoch,
                                     partitioner.routing_view(),
                                     current_interval,
                                 );
+                                rec.span_close(next_epoch, Outcome::Completed);
                             }
                             ActiveOp::Retire(r) => {
                                 injector.record(FaultEvent::OpAborted {
@@ -2073,6 +2286,9 @@ impl Engine {
                                     epoch: r.epoch,
                                 });
                                 closed_epochs.insert(r.epoch, "aborted");
+                                if open_spans.remove(&r.epoch) {
+                                    rec.span_close(r.epoch, Outcome::Aborted);
+                                }
                                 // The routing already shrank at decision
                                 // time, so resume under the retire's view:
                                 // a still-live victim becomes a routed-
@@ -2086,6 +2302,8 @@ impl Engine {
                                     &injector,
                                     &ctl_tx,
                                     &mut resume_state,
+                                    &mut rec,
+                                    &open_spans,
                                     r.epoch,
                                     r.view,
                                     current_interval,
@@ -2138,6 +2356,20 @@ impl Engine {
                                 // their keys still move in the view.
                                 plan.by_source.retain(|src, _| !dead.contains(&src.index()));
                                 next_epoch += 1;
+                                // The span id is the op epoch: Plan marks
+                                // the pop, Pause marks the quiesce request
+                                // going out.
+                                rec.span_open(
+                                    next_epoch,
+                                    if plan.preplaced {
+                                        OpLabel::ScaleOut
+                                    } else {
+                                        OpLabel::Rebalance
+                                    },
+                                );
+                                rec.span_phase(next_epoch, Phase::Plan);
+                                rec.span_phase(next_epoch, Phase::Pause);
+                                open_spans.insert(next_epoch);
                                 send_src(
                                     &injector,
                                     &ctl_tx,
@@ -2156,6 +2388,7 @@ impl Engine {
                                     collected: Vec::new(),
                                     awaiting_install: FxHashSet::default(),
                                     sent_installs: FxHashMap::default(),
+                                    state_out_marked: false,
                                 }));
                             }
                             PlannedOp::ScaleIn { victim, view }
@@ -2175,6 +2408,10 @@ impl Engine {
                             }
                             PlannedOp::ScaleIn { victim, view } => {
                                 next_epoch += 1;
+                                rec.span_open(next_epoch, OpLabel::ScaleIn);
+                                rec.span_phase(next_epoch, Phase::Plan);
+                                rec.span_phase(next_epoch, Phase::Pause);
+                                open_spans.insert(next_epoch);
                                 send_src(
                                     &injector,
                                     &ctl_tx,
@@ -2249,7 +2486,9 @@ impl Engine {
             // (drop ordinals, send failures) until it exits, and a
             // ledger taken while it still runs could miss a tail entry.
             if src_handle.join().is_err() {
-                report.protocol_errors.push("source thread panicked".into());
+                report
+                    .protocol_errors
+                    .push(ProtocolError::ThreadPanicked { thread: "source" });
             }
             report.faults = injector.take_ledger();
             let mut lost_tuples: Vec<(Key, u64)> = lost.into_iter().collect();
@@ -2257,18 +2496,29 @@ impl Engine {
             report.lost_tuples = lost_tuples;
             match sampler.join() {
                 Ok(t) => report.throughput = t,
-                Err(_) => report
-                    .protocol_errors
-                    .push("throughput sampler thread panicked".into()),
+                Err(_) => report.protocol_errors.push(ProtocolError::ThreadPanicked {
+                    thread: "throughput sampler",
+                }),
             }
             if let Some(h) = col_handle {
                 match h.join() {
                     Ok(r) => report.collector_result = r,
-                    Err(_) => report
-                        .protocol_errors
-                        .push("collector thread panicked".into()),
+                    Err(_) => report.protocol_errors.push(ProtocolError::ThreadPanicked {
+                        thread: "collector",
+                    }),
                 }
             }
+            // Every thread's recorder has flushed by now (workers drained,
+            // source and collector joined). Force-close any span still
+            // open — an op the teardown outran — as Abandoned, in epoch
+            // order, then merge the run's trace into the report.
+            let mut leftover: Vec<u64> = open_spans.drain().collect();
+            leftover.sort_unstable();
+            for epoch in leftover {
+                rec.span_close(epoch, Outcome::Abandoned);
+            }
+            drop(rec);
+            report.trace = sink.take_log();
             report.final_states.sort_unstable_by_key(|&(k, _)| k);
         });
 
@@ -2557,6 +2807,7 @@ fn source_loop<F>(
     epoch: Instant,
     config: EngineConfig,
     injector: Arc<FaultInjector>,
+    mut recorder: ThreadRecorder,
 ) where
     F: FnMut(u64) -> Option<Vec<Tuple>> + Send,
 {
@@ -2600,6 +2851,7 @@ fn source_loop<F>(
         let Some(tuples) = feeder(interval) else {
             break 'feed;
         };
+        let fed = tuples.len() as u64;
         let mut pending = tuples.into_iter();
         loop {
             if since_ctl >= ctl_every {
@@ -2656,6 +2908,18 @@ fn source_loop<F>(
                 return;
             }
         }
+        // Interval telemetry: routing-table shape (live entries vs.
+        // tombstone debris), pool occupancy, and the interval's fed
+        // total — all deterministic per seeded feed, all
+        // batch-granularity.
+        let (entries, tombstones) = plane.router.table_stats();
+        recorder.router_snapshot(
+            interval,
+            entries as u64,
+            tombstones as u64,
+            plane.free.len() as u64,
+        );
+        recorder.interval_end(interval, fed);
         let _ = plane.events.send(SourceEvent::IntervalDone { interval });
         interval += 1;
     }
@@ -2716,6 +2980,7 @@ mod tests {
             op_deadline: Duration::from_secs(5),
             round_deadline_intervals: 4,
             round_deadline: Duration::from_secs(5),
+            trace: true,
         }
     }
 

@@ -27,10 +27,11 @@
 //! socket), then returns.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 
 use rand::{rngs::StdRng, Rng, SeedableRng};
 use streambal_hashring::FxHashMap;
+use streambal_trace::TraceSink;
 
 /// Control-plane message kinds that [`FaultSpec::DropCtl`] can target.
 ///
@@ -377,16 +378,27 @@ pub struct FaultInjector {
     ledger: Mutex<Vec<FaultEvent>>,
     /// Total tuples recorded lost (cheap liveness probe for tests).
     lost: AtomicUsize,
+    /// Flight-recorder sink: every ledger entry is mirrored as a trace
+    /// event whose `seq` is its ledger index, so ledger order (the
+    /// deterministic order) is canonical in the merged trace.
+    sink: Arc<TraceSink>,
 }
 
 impl FaultInjector {
-    /// Builds the injector for one run.
+    /// Builds the injector for one run, with no trace mirroring.
     pub fn new(plan: FaultPlan) -> Self {
+        FaultInjector::with_trace(plan, TraceSink::disabled())
+    }
+
+    /// Builds the injector for one run, mirroring ledger entries into
+    /// the given flight-recorder sink.
+    pub fn with_trace(plan: FaultPlan, sink: Arc<TraceSink>) -> Self {
         FaultInjector {
             plan,
             drop_seen: Mutex::new(FxHashMap::default()),
             ledger: Mutex::new(Vec::new()),
             lost: AtomicUsize::new(0),
+            sink,
         }
     }
 
@@ -400,12 +412,16 @@ impl FaultInjector {
         &self.plan
     }
 
-    /// Records a ledger entry.
+    /// Records a ledger entry (and mirrors it into the trace; the
+    /// mirror's `seq` — the ledger index — is computed under the ledger
+    /// lock, so the canonical order survives racing sink appends).
     pub fn record(&self, ev: FaultEvent) {
-        self.ledger
-            .lock()
-            .unwrap_or_else(|e| e.into_inner())
-            .push(ev);
+        let mut ledger = self.ledger.lock().unwrap_or_else(|e| e.into_inner());
+        let idx = ledger.len() as u64;
+        if self.sink.is_enabled() {
+            self.sink.fault(idx, ev.to_string());
+        }
+        ledger.push(ev);
     }
 
     /// Adds to the lost-tuple tally (accounting lives in the report;

@@ -139,6 +139,56 @@
 //! accounting invariant, across all eight partitioners; the chaos bench
 //! (`benches/chaos.rs`) prices the degradation (lost tuples, degraded
 //! window, rollback overhead) into `bench_results/chaos.json`.
+//!
+//! ## Flight recorder
+//!
+//! Every run carries an always-on structured trace
+//! (`EngineConfig::trace`, default on; crate `streambal-trace`). Each
+//! thread owns a lock-free `ThreadRecorder`: the **data plane records
+//! nothing per tuple** — workers add to two local counters per batch
+//! and roll them into one `DataFlush` event per interval; spans,
+//! snapshots, and marks are control-plane-only. What lands in
+//! `EngineReport::trace` (a merged, time-ordered `TraceLog`):
+//!
+//! * **Protocol spans**, one per op, id = the op's epoch, labelled
+//!   `rebalance` / `scale_out` / `scale_in` / `rollback` and decomposed
+//!   into phases `plan → pause → quiesce_wait → state_out → install →
+//!   resume`. A span closes `completed` at its `ResumeAck`, `aborted`
+//!   at a deadline abort, `abandoned` if teardown outran it — exactly
+//!   once, which `TraceLog::check_integrity` enforces.
+//! * **Telemetry snapshots** per statistics round: per-worker loads,
+//!   queue depths (tuple-weighted channel occupancy), mean/p99 interval
+//!   latency — plus per-interval `RouterSnapshot`s from the source
+//!   (routing-table entries, tombstone debris, pool occupancy) and
+//!   `IntervalEnd` totals.
+//! * **Fault mirrors**: every fault-ledger entry, with its ledger index
+//!   as the sequence number.
+//!
+//! Traces are deterministic modulo wall-clock: `TraceLog::skeleton()`
+//! (event structure with timestamps, load numerics, and the
+//! occupancy-driven `DataFlush` stream masked) is identical across
+//! replays of the same seeded config, and
+//! `tests/trace.rs` asserts it like the fault ledger. Artifacts export
+//! as JSONL (`TraceLog::to_jsonl`) and Chrome `trace_event` JSON
+//! (`TraceLog::to_chrome_json`, load into `chrome://tracing` or
+//! Perfetto).
+//!
+//! ### tracecat quickstart
+//!
+//! The analyzer CLI lives in `crates/bench` and reads committed traces:
+//!
+//! ```text
+//! cargo run -p streambal-bench --bin tracecat -- traces/chaos_kill.trace.jsonl
+//! cargo run -p streambal-bench --bin tracecat -- --check traces/*.trace.jsonl
+//! ```
+//!
+//! The default report prints per-span phase breakdowns (where each op's
+//! disruption window went), a text timeline, and **dip attribution**:
+//! each interval whose throughput dips below 0.85× the run median is
+//! joined against overlapping spans and faults, so "the dip at interval
+//! 4 was the scale-in's install phase" is a grep, not an archaeology
+//! session. `--check` validates schema + span integrity and exits
+//! nonzero on violation (CI runs it on every committed trace).
 
 pub mod codec;
 pub(crate) mod controller;
@@ -155,12 +205,16 @@ pub use codec::{
     decode_plan, decode_tuple_batch, decode_view, encode_plan, encode_tuple_batch, encode_view,
     CodecError,
 };
-pub use engine::{Engine, EngineConfig, EngineReport, ScaleEvent};
+pub use engine::{Engine, EngineConfig, EngineReport, ProtocolError, ScaleEvent};
 pub use fault::{CtlKind, FaultEvent, FaultInjector, FaultPlan, FaultSpec, KillTrigger, OpKind};
 pub use message::{Message, SourceCtl, SourceEvent, WorkerEvent};
 pub use operator::{
     CoJoinOp, Collector, CountingCollector, Operator, SumCollector, WindowedSelfJoinOp, WordCountOp,
 };
 pub use router::SourceRouter;
+pub use streambal_trace::{
+    EventKind, OpLabel, Outcome, Phase, SpanSummary, ThreadLabel, ThreadRecorder, TraceEvent,
+    TraceLog, TraceSink,
+};
 pub use topk::TopKOp;
 pub use tuple::{Tuple, TAG_DEFAULT, TAG_LEFT, TAG_PARTIAL, TAG_RIGHT};

@@ -21,7 +21,12 @@ pub enum Message {
     /// returns it (cleared, capacity intact) to the source through the
     /// engine's recycle channel, so the steady state allocates nothing.
     TupleBatch(Vec<Tuple>),
-    /// Interval boundary: report statistics, advance the window.
+    /// Interval boundary: report statistics, advance the window. Also
+    /// the flight recorder's flush point: the worker rolls its local
+    /// batch counters into one `DataFlush` trace event here — FIFO
+    /// guarantees every tuple the source fed for the closing interval
+    /// was drained before this marker, so the counts are deterministic
+    /// per seeded feed.
     StatsRequest {
         /// The interval being closed.
         interval: u64,

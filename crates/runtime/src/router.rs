@@ -142,6 +142,20 @@ impl SourceRouter {
             SourceRouter::TwoChoice { n, .. } | SourceRouter::RoundRobin { n, .. } => *n,
         }
     }
+
+    /// Routing-table shape for the flight recorder's per-interval
+    /// `RouterSnapshot`: `(live entries, tombstone debris)` of the
+    /// compiled table. Table-less routers (PKG, shuffle) report
+    /// `(0, 0)` — they have no table to grow or fragment.
+    pub fn table_stats(&self) -> (usize, usize) {
+        match self {
+            SourceRouter::Assignment(a) => {
+                let c = a.compiled();
+                (c.len(), c.occupied().saturating_sub(c.len()))
+            }
+            SourceRouter::TwoChoice { .. } | SourceRouter::RoundRobin { .. } => (0, 0),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -271,6 +285,30 @@ mod tests {
             n_tasks: 4,
             moves: vec![],
         });
+    }
+
+    #[test]
+    fn table_stats_reports_entries_and_tombstone_debris() {
+        let mut pkg = SourceRouter::from_view(RoutingView::TwoChoice { n_tasks: 3 });
+        assert_eq!(pkg.table_stats(), (0, 0), "table-less routers report zero");
+        let _ = pkg.route(Key(1));
+
+        let table: RoutingTable = (0..20u64)
+            .map(|k| (Key(k), TaskId((k % 3) as u32)))
+            .collect();
+        let mut r = SourceRouter::from_view(RoutingView::TablePlusHash { table, n_tasks: 3 });
+        assert_eq!(r.table_stats().0, 20);
+        // Moving a key back to its hash home deletes its table entry,
+        // shrinking the live count (and possibly leaving a tombstone).
+        let home = match &r {
+            SourceRouter::Assignment(a) => a.hash_route(Key(5)),
+            _ => unreachable!(),
+        };
+        r.update(RoutingView::TableDelta {
+            n_tasks: 3,
+            moves: vec![(Key(5), home)],
+        });
+        assert_eq!(r.table_stats().0, 19);
     }
 
     #[test]

@@ -12,6 +12,7 @@ use crate::fault::{CtlKind, FaultInjector};
 use crate::message::{Message, WorkerEvent};
 use crate::operator::Operator;
 use crate::tuple::{Tuple, TAG_PARTIAL};
+use streambal_trace::ThreadRecorder;
 
 /// Spare drained input buffers an emitter keeps for its own batches
 /// before surplus flows back to the source pool.
@@ -51,6 +52,12 @@ pub(crate) struct WorkerCtx {
     pub emit_batch: usize,
     /// Shared fault-injection state (passive when the plan is empty).
     pub injector: Arc<FaultInjector>,
+    /// Flight-recorder handle. The data plane only touches its local
+    /// counters ([`ThreadRecorder::count_batch`]); one `DataFlush` event
+    /// per interval reaches the shared sink. Dropped (flushing
+    /// stragglers) when the worker exits — including injected kills, so
+    /// a dead worker's partial interval is still accounted.
+    pub recorder: ThreadRecorder,
 }
 
 /// Calibrated busy work: `iters` dependent multiply-xor rounds. The
@@ -223,6 +230,7 @@ pub(crate) fn run_worker(mut ctx: WorkerCtx) {
                 first_interval.get_or_insert(current_interval);
                 processed += 1;
                 ctx.processed_counter.incr();
+                ctx.recorder.count_batch(1);
                 emitter.flush();
             }
             Message::TupleBatch(mut batch) => {
@@ -273,6 +281,7 @@ pub(crate) fn run_worker(mut ctx: WorkerCtx) {
                 batch.clear();
                 processed += n;
                 ctx.processed_counter.add(n);
+                ctx.recorder.count_batch(n);
                 emitter.flush();
                 if let Some(back) = emitter.stash(batch) {
                     // Already drained: queue the capacity for a grouped
@@ -327,6 +336,12 @@ pub(crate) fn run_worker(mut ctx: WorkerCtx) {
                     });
                 }
                 current_interval = interval + 1;
+                // Interval boundary: the flight recorder rolls its
+                // batch-granularity counters into one DataFlush event.
+                // The counts are deterministic — FIFO guarantees every
+                // tuple the source fed for this interval was processed
+                // before this marker arrived.
+                ctx.recorder.close_interval(interval);
                 // Keep the last `window` intervals: evict everything
                 // strictly older than (closed_interval + 1 − w).
                 let oldest_keep = (interval + 1).saturating_sub(ctx.window);
@@ -498,6 +513,8 @@ mod tests {
             pool: pool_tx,
             emit_batch: 8,
             injector: Arc::new(FaultInjector::new(plan)),
+            recorder: streambal_trace::TraceSink::disabled()
+                .recorder(streambal_trace::ThreadLabel::Worker(0)),
         };
         let h = std::thread::spawn(move || run_worker(ctx));
         (tx, erx, pool_rx, h)
@@ -617,6 +634,8 @@ mod tests {
             pool: pool_tx,
             emit_batch: 4,
             injector: Arc::new(FaultInjector::new(FaultPlan::none())),
+            recorder: streambal_trace::TraceSink::disabled()
+                .recorder(streambal_trace::ThreadLabel::Worker(0)),
         };
         let h = std::thread::spawn(move || run_worker(ctx));
         let batch: Vec<Tuple> = (0..9).map(|_| Tuple::keyed(Key(7))).collect();
