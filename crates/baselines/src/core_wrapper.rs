@@ -83,10 +83,7 @@ impl Partitioner for CoreBalancer {
     }
 
     fn routing_view(&self) -> RoutingView {
-        RoutingView::TablePlusHash {
-            table: self.inner.assignment().table().clone(),
-            n_tasks: self.inner.assignment().n_tasks(),
-        }
+        RoutingView::of_assignment(self.inner.assignment())
     }
 
     fn last_install_was_delta(&self) -> bool {
@@ -104,6 +101,18 @@ impl Partitioner for CoreBalancer {
     fn apply_moves(&mut self, moves: &[(Key, TaskId)]) -> bool {
         self.inner.apply_moves(moves);
         true
+    }
+
+    fn split_key(&mut self, key: Key, replicas: &[TaskId]) -> bool {
+        self.inner.split_key(key, replicas)
+    }
+
+    fn unsplit_key(&mut self, key: Key) -> Option<Vec<TaskId>> {
+        self.inner.unsplit_key(key)
+    }
+
+    fn splits(&self) -> Vec<(Key, Vec<TaskId>)> {
+        self.inner.splits()
     }
 }
 

@@ -63,10 +63,7 @@ impl Partitioner for HashPartitioner {
     }
 
     fn routing_view(&self) -> RoutingView {
-        RoutingView::TablePlusHash {
-            table: self.assignment.table().clone(),
-            n_tasks: self.assignment.n_tasks(),
-        }
+        RoutingView::of_assignment(&self.assignment)
     }
 
     fn reroute_dead(
@@ -80,6 +77,18 @@ impl Partitioner for HashPartitioner {
     fn apply_moves(&mut self, moves: &[(Key, TaskId)]) -> bool {
         self.assignment.apply_delta(moves.iter().copied());
         true
+    }
+
+    fn split_key(&mut self, key: Key, replicas: &[TaskId]) -> bool {
+        self.assignment.set_split(key, replicas)
+    }
+
+    fn unsplit_key(&mut self, key: Key) -> Option<Vec<TaskId>> {
+        self.assignment.clear_split(key)
+    }
+
+    fn splits(&self) -> Vec<(Key, Vec<TaskId>)> {
+        self.assignment.splits()
     }
 }
 

@@ -204,12 +204,24 @@ impl ReadjPartitioner {
     }
 
     fn build_input(&self) -> RebalanceInput {
+        // Split keys are excluded, mirroring `Rebalancer::build_input`:
+        // their routing rotates over replicas, so whole-key move/swap
+        // actions are meaningless for them.
         let assignment = &self.assignment;
+        let mut records = self.window.records(|k| {
+            if assignment.split_replicas(k).is_some() {
+                let h = assignment.hash_route(k);
+                (h, h)
+            } else {
+                (assignment.route(k), assignment.hash_route(k))
+            }
+        });
+        if assignment.has_splits() {
+            records.retain(|r| assignment.split_replicas(r.key).is_none());
+        }
         RebalanceInput {
             n_tasks: assignment.n_tasks(),
-            records: self
-                .window
-                .records(|k| (assignment.route(k), assignment.hash_route(k))),
+            records,
         }
     }
 }
@@ -287,10 +299,7 @@ impl Partitioner for ReadjPartitioner {
     }
 
     fn routing_view(&self) -> RoutingView {
-        RoutingView::TablePlusHash {
-            table: self.assignment.table().clone(),
-            n_tasks: self.assignment.n_tasks(),
-        }
+        RoutingView::of_assignment(&self.assignment)
     }
 
     fn last_install_was_delta(&self) -> bool {
@@ -308,6 +317,18 @@ impl Partitioner for ReadjPartitioner {
     fn apply_moves(&mut self, moves: &[(Key, TaskId)]) -> bool {
         self.assignment.apply_delta(moves.iter().copied());
         true
+    }
+
+    fn split_key(&mut self, key: Key, replicas: &[TaskId]) -> bool {
+        self.assignment.set_split(key, replicas)
+    }
+
+    fn unsplit_key(&mut self, key: Key) -> Option<Vec<TaskId>> {
+        self.assignment.clear_split(key)
+    }
+
+    fn splits(&self) -> Vec<(Key, Vec<TaskId>)> {
+        self.assignment.splits()
     }
 }
 

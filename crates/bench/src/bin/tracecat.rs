@@ -475,6 +475,60 @@ mod tests {
     }
 
     #[test]
+    fn split_spans_round_trip_and_attribute_dips() {
+        // A hot-key split / unsplit cycle as the engine records it: a
+        // split span (pause → install → resume, no state moved) during
+        // a dipped interval, and the consolidating unsplit span after.
+        let sink = TraceSink::new(true);
+        let mut ctl = sink.recorder(ThreadLabel::Controller);
+        let mut src = sink.recorder(ThreadLabel::Source);
+        src.interval_end(0, 1000);
+        // Real (if tiny) wall-clock gaps: the overlap join below uses
+        // strict inequalities, degenerate when every event lands in the
+        // same microsecond.
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        ctl.span_open(1, OpLabel::Split);
+        ctl.span_phase(1, Phase::Pause);
+        ctl.span_phase(1, Phase::Install);
+        ctl.span_phase(1, Phase::Resume);
+        ctl.span_close(1, Outcome::Completed);
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        src.interval_end(1, 300);
+        ctl.span_open(2, OpLabel::Unsplit);
+        ctl.span_phase(2, Phase::Pause);
+        ctl.span_phase(2, Phase::QuiesceWait);
+        ctl.span_phase(2, Phase::StateOut);
+        ctl.span_phase(2, Phase::Install);
+        ctl.span_phase(2, Phase::Resume);
+        ctl.span_close(2, Outcome::Completed);
+        src.interval_end(2, 1000);
+        drop((ctl, src));
+        let log = sink.take_log();
+
+        // The split/unsplit op names survive the jsonl round trip and
+        // the log passes `--check` integrity.
+        let parsed = parse_log(&log.to_jsonl()).expect("round trip");
+        assert_eq!(parsed, log);
+        assert_eq!(check(&log), Vec::<String>::new());
+        let spans = log.span_summaries();
+        assert_eq!(
+            spans.iter().map(|s| s.op).collect::<Vec<_>>(),
+            vec![OpLabel::Split, OpLabel::Unsplit]
+        );
+
+        // The dipped interval 1 overlaps the split span's window — the
+        // same join `report` prints as the dip's culprit.
+        let rows = interval_rows(&log);
+        let (win_start, win_end) = (rows[0].2, rows[1].2);
+        assert!(rows[1].1 < (median(vec![1000, 300, 1000]) as f64 * DIP_FRACTION) as u64);
+        let split_span = &spans[0];
+        assert!(
+            split_span.open_us < win_end && split_span.close_us > win_start,
+            "split span must land in the dipped interval's window"
+        );
+    }
+
+    #[test]
     fn dip_detection_finds_the_short_interval() {
         let log = sample_log();
         let rows = interval_rows(&log);

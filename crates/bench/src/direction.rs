@@ -48,7 +48,11 @@ pub const UP_PATTERNS: &[&str] = &[
     "per_s",
     "speedup",
     "tuples_s",
-    "ratio",
+    // Underscore-anchored so the quotient metrics ("*_ratio",
+    // "ratio_*_vs_*") match but "migration" — which contains "ratio" as
+    // a bare substring — does not drag its whole metric group up.
+    "_ratio",
+    "ratio_",
     // The pre-placement scenario's "is the new slot actually fed" count:
     // more tuples on the scaled-out worker is the whole point.
     "new_worker_tuples",
@@ -95,6 +99,12 @@ pub const DOWN_PATTERNS: &[&str] = &[
     // recorder gets cheaper.)
     "disruption",
     "phase_",
+    // Split-bench imbalance metrics: how far a run sits above θmax
+    // (`*_theta_excess*`) and the settled worker imbalance itself both
+    // count down — closer to balanced is better. Checked before the
+    // neutral "theta" echo, so the derived excess keeps its direction.
+    "excess",
+    "imbalance",
 ];
 
 /// Substring patterns for declaredly directionless keys (checked last,
@@ -154,6 +164,17 @@ pub const NEUTRAL_PATTERNS: &[&str] = &[
     // (and how they closed) is a fact about the scenario; the spans'
     // *costs* classify above via "disruption"/"phase_".
     "span",
+    // Hot-key-splitting trajectory facts and scenario shape: how many
+    // split/unsplit cycles a policy ran is what it *did*, not how well
+    // (the win shows up in the imbalance and throughput metrics above);
+    // a burst window's bounds and the dominant key's volume share are
+    // workload echoes. "split" also covers "unsplits" and the
+    // "split_throughput_ratio" tail — the latter hits UP first, as
+    // intended.
+    "split",
+    "burst",
+    "dominant",
+    "share",
 ];
 
 /// The direction for a flattened metric key, by positional pattern
@@ -278,6 +299,34 @@ mod tests {
             "spans.rebalance.phase_quiesce_wait_us",
         ] {
             assert_eq!(direction_of(key), Direction::LowerIsBetter, "{key}");
+        }
+    }
+
+    #[test]
+    fn split_bench_metrics_classify() {
+        // Split/unsplit cycle counts are trajectory facts; imbalance and
+        // θ-excess count down; the merged throughput and the
+        // split-vs-unsplit throughput quotient count up.
+        for key in [
+            "split.json :: split_enabled.splits",
+            "split.json :: split_enabled.unsplits",
+            "split.json :: dominant_share",
+            "split.json :: burst_from_interval",
+        ] {
+            assert_eq!(direction_of(key), Direction::Neutral, "{key}");
+        }
+        for key in [
+            "split.json :: split_enabled.settled_worker_imbalance",
+            "split.json :: split_enabled.settled_theta_excess",
+            "split.json :: migration_only.burst_theta_excess_min",
+        ] {
+            assert_eq!(direction_of(key), Direction::LowerIsBetter, "{key}");
+        }
+        for key in [
+            "split.json :: split_enabled.merged_throughput_tuples_per_sec",
+            "split.json :: split_throughput_ratio",
+        ] {
+            assert_eq!(direction_of(key), Direction::HigherIsBetter, "{key}");
         }
     }
 

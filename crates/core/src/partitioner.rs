@@ -54,6 +54,44 @@ pub enum RoutingView {
         /// The rebalance's `(key, new destination)` moves.
         moves: Vec<(Key, TaskId)>,
     },
+    /// [`RoutingView::TablePlusHash`] extended with a hot-key split
+    /// table: each `(key, replicas)` pair salts one flagged-hot key
+    /// across its replica slots (primary first), rotated per tuple by
+    /// each holder (`AssignmentFn` split semantics — cursors are
+    /// per-holder and deliberately not part of the view). Emitted only
+    /// while at least one key is split; the moment the last split
+    /// dissolves, views collapse back to plain `TablePlusHash`, so
+    /// non-splitting runs never see (or pay for) this variant.
+    SplitTable {
+        /// The explicit entries.
+        table: RoutingTable,
+        /// Ring size.
+        n_tasks: usize,
+        /// Split keys with their replica sets, sorted by key.
+        splits: Vec<(Key, Vec<TaskId>)>,
+    },
+}
+
+impl RoutingView {
+    /// The canonical table-backed view of `assignment`: plain
+    /// [`RoutingView::TablePlusHash`] when no key is split, the
+    /// split-carrying variant otherwise. Every `AssignmentFn`-backed
+    /// partitioner builds its view through this, so split visibility is
+    /// uniform across strategies.
+    pub fn of_assignment(assignment: &crate::routing::AssignmentFn) -> Self {
+        if assignment.has_splits() {
+            RoutingView::SplitTable {
+                table: assignment.table().clone(),
+                n_tasks: assignment.n_tasks(),
+                splits: assignment.splits(),
+            }
+        } else {
+            RoutingView::TablePlusHash {
+                table: assignment.table().clone(),
+                n_tasks: assignment.n_tasks(),
+            }
+        }
+    }
 }
 
 /// A pluggable tuple-routing strategy with an interval-boundary hook.
@@ -200,6 +238,35 @@ pub trait Partitioner: Send {
         let _ = moves;
         false
     }
+
+    /// Flags `key` as hot, salting it across `replicas` (primary first;
+    /// at least two distinct slots). Returns `true` when the strategy
+    /// installed the split — after which [`Partitioner::routing_view`]
+    /// must carry it — and `false` when it declines. The default
+    /// declines: key-oblivious and key-spreading strategies (shuffle,
+    /// PKG) already spread every key, so splitting is meaningless for
+    /// them, and the split/unsplit protocol op simply no-ops.
+    fn split_key(&mut self, key: Key, replicas: &[TaskId]) -> bool {
+        let _ = (key, replicas);
+        false
+    }
+
+    /// Dissolves `key`'s split: the key reverts to whole-key routing and
+    /// the caller is responsible for consolidating replica state onto the
+    /// key's post-unsplit destination (the engine's unsplit op migrates
+    /// every non-primary replica's partial state there). Returns the
+    /// replica set that was installed, or `None` when the key was not
+    /// split (the default).
+    fn unsplit_key(&mut self, key: Key) -> Option<Vec<TaskId>> {
+        let _ = key;
+        None
+    }
+
+    /// The currently split keys with their replica sets, sorted by key.
+    /// Default: none.
+    fn splits(&self) -> Vec<(Key, Vec<TaskId>)> {
+        Vec::new()
+    }
 }
 
 #[cfg(test)]
@@ -239,6 +306,11 @@ mod tests {
         assert!(p.preserves_key_semantics());
         assert_eq!(p.route(Key(7)), TaskId(1));
         assert!(p.end_interval(IntervalStats::new()).is_none());
+        // Split hooks default to declining: no split installs, nothing
+        // to dissolve, no splits reported.
+        assert!(!p.split_key(Key(1), &[TaskId(0), TaskId(1)]));
+        assert_eq!(p.unsplit_key(Key(1)), None);
+        assert!(p.splits().is_empty());
     }
 
     #[test]
@@ -293,6 +365,27 @@ mod tests {
     #[should_panic(expected = "does not support scale-in")]
     fn default_scale_in_is_unsupported() {
         Fixed(2).scale_in(TaskId(1), &[Key(1)]);
+    }
+
+    /// `of_assignment` collapses to the plain table view unless splits
+    /// exist, so non-splitting runs never emit the new variant.
+    #[test]
+    fn of_assignment_carries_splits_only_when_present() {
+        let mut a = crate::routing::AssignmentFn::hash_only(3);
+        match RoutingView::of_assignment(&a) {
+            RoutingView::TablePlusHash { n_tasks, .. } => assert_eq!(n_tasks, 3),
+            v => panic!("expected TablePlusHash, got {v:?}"),
+        }
+        a.set_split(Key(1), &[TaskId(0), TaskId(2)]);
+        match RoutingView::of_assignment(&a) {
+            RoutingView::SplitTable {
+                n_tasks, splits, ..
+            } => {
+                assert_eq!(n_tasks, 3);
+                assert_eq!(splits, vec![(Key(1), vec![TaskId(0), TaskId(2)])]);
+            }
+            v => panic!("expected SplitTable, got {v:?}"),
+        }
     }
 
     /// The crate's own Rebalancer is usable through the trait without the

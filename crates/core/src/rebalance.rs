@@ -360,14 +360,48 @@ impl Rebalancer {
         self.assignment.remove_task_pinned(&live);
     }
 
+    /// Flags `key` as hot and salts it across `replicas` (see
+    /// [`AssignmentFn::set_split`]). While split, the key is owned by the
+    /// split layer: it is excluded from rebalance inputs (its "current"
+    /// placement rotates per tuple, so whole-key moves are meaningless
+    /// for it) and the rebalance algorithms balance the remainder.
+    pub fn split_key(&mut self, key: Key, replicas: &[TaskId]) -> bool {
+        self.assignment.set_split(key, replicas)
+    }
+
+    /// Dissolves `key`'s split, returning the replica set that was
+    /// installed (see [`AssignmentFn::clear_split`]).
+    pub fn unsplit_key(&mut self, key: Key) -> Option<Vec<TaskId>> {
+        self.assignment.clear_split(key)
+    }
+
+    /// The currently split keys with their replica sets, sorted by key.
+    pub fn splits(&self) -> Vec<(Key, Vec<TaskId>)> {
+        self.assignment.splits()
+    }
+
     /// Builds the rebalance input from the current window and assignment.
+    /// Split keys are excluded: their routing rotates over replicas, so
+    /// they have no single "current" placement for a plan to move, and
+    /// their load is the split layer's problem, not the rebalancer's.
     pub fn build_input(&self) -> RebalanceInput {
         let assignment = &self.assignment;
+        let mut records = self.window.records(|k| {
+            if assignment.split_replicas(k).is_some() {
+                // Placeholder, filtered below — routing a split key here
+                // would advance its rotation cursor as a side effect.
+                let h = assignment.hash_route(k);
+                (h, h)
+            } else {
+                (assignment.route(k), assignment.hash_route(k))
+            }
+        });
+        if assignment.has_splits() {
+            records.retain(|r| assignment.split_replicas(r.key).is_none());
+        }
         RebalanceInput {
             n_tasks: assignment.n_tasks(),
-            records: self
-                .window
-                .records(|k| (assignment.route(k), assignment.hash_route(k))),
+            records,
         }
     }
 
@@ -439,6 +473,26 @@ mod tests {
         }
         assert!(rb.end_interval(iv).is_none());
         assert_eq!(rb.rebalances(), 0);
+    }
+
+    #[test]
+    fn split_keys_are_excluded_from_rebalance_input() {
+        let mut rb = Rebalancer::new(4, 1, RebalanceStrategy::Mixed, BalanceParams::default());
+        assert!(rb.split_key(Key(0), &[TaskId(0), TaskId(1)]));
+        let outcome = rb.end_interval(skewed_interval(500, 100_000));
+        // Whatever the remainder does, no plan may move the split key —
+        // its "current" placement rotates and whole-key moves are
+        // meaningless for it.
+        if let Some(o) = &outcome {
+            assert!(o.plan.moves().iter().all(|m| m.key != Key(0)));
+        }
+        let input = rb.build_input();
+        assert_eq!(input.records.len(), 499, "split key excluded");
+        assert!(input.records.iter().all(|r| r.key != Key(0)));
+        // Unsplit hands back the replica set and the key re-enters.
+        assert_eq!(rb.unsplit_key(Key(0)), Some(vec![TaskId(0), TaskId(1)]));
+        assert_eq!(rb.build_input().records.len(), 500);
+        assert_eq!(rb.splits(), vec![]);
     }
 
     #[test]

@@ -57,6 +57,8 @@
 //! mutation latency — and writes the numbers to
 //! `bench_results/routing.json`.
 
+use std::cell::Cell;
+
 use streambal_hashring::{mix64, FxHashMap, HashRing};
 
 use crate::key::{Key, TaskId};
@@ -438,6 +440,10 @@ pub struct AssignmentFn {
     table: RoutingTable,
     compiled: CompiledTable,
     ring: HashRing,
+    /// Hot-key split entries, consulted before the table (empty for the
+    /// overwhelming majority of assignments — `route_batch` dispatches on
+    /// emptiness once per batch so the no-split fast paths never probe it).
+    splits: FxHashMap<Key, SplitEntry>,
 }
 
 impl AssignmentFn {
@@ -447,6 +453,7 @@ impl AssignmentFn {
             table: RoutingTable::new(),
             compiled: CompiledTable::default(),
             ring: HashRing::new(n_tasks),
+            splits: FxHashMap::default(),
         }
     }
 
@@ -456,6 +463,7 @@ impl AssignmentFn {
             compiled: CompiledTable::build(&table),
             table,
             ring: HashRing::new(n_tasks),
+            splits: FxHashMap::default(),
         }
     }
 
@@ -465,9 +473,18 @@ impl AssignmentFn {
         self.ring.slots()
     }
 
-    /// Evaluates `F(k)` (Eq. 1).
+    /// Evaluates `F(k)` (Eq. 1), extended with the hot-key split layer:
+    /// a split key rotates over its replica set (advancing this holder's
+    /// cursor), everything else takes the compiled-table/hash path. The
+    /// split probe is guarded by an emptiness check so the common
+    /// no-split case costs one predictable branch.
     #[inline]
     pub fn route(&self, key: Key) -> TaskId {
+        if !self.splits.is_empty() {
+            if let Some(e) = self.splits.get(&key) {
+                return e.next();
+            }
+        }
         match self.compiled.lookup(key) {
             Some(d) => d,
             None => TaskId::from(self.ring.slot_of(key.raw())),
@@ -479,21 +496,29 @@ impl AssignmentFn {
     /// channel batch amortizes dispatch and keeps the probe sequence
     /// pipelined; past the 4 MiB slab threshold it additionally
     /// prefetches upcoming home slots to hide DRAM latency (see module
-    /// docs). Observationally identical to routing each key in order.
+    /// docs). Observationally identical to routing each key in order —
+    /// including split-key cursor rotation: when splits exist the batch
+    /// takes a split-aware loop, when none do it dispatches straight to
+    /// the scalar/prefetched fast paths, which stay byte-identical to
+    /// their pre-split form.
     #[inline]
     pub fn route_batch(&self, keys: &[Key], out: &mut Vec<TaskId>) {
-        if self.compiled.wants_prefetch() {
+        if !self.splits.is_empty() {
+            self.route_batch_split(keys, out);
+        } else if self.compiled.wants_prefetch() {
             self.route_batch_prefetched(keys, out);
         } else {
             self.route_batch_scalar(keys, out);
         }
     }
 
-    /// The plain batched probe loop, with no prefetching. Public as the
-    /// reference implementation the prefetched path is verified and
-    /// benchmarked against (like [`AssignmentFn::route_via_map`] for the
-    /// compiled table itself); [`AssignmentFn::route_batch`] is the API
-    /// callers should use.
+    /// The plain batched probe loop, with no prefetching and no split
+    /// probe. Public as the reference implementation the prefetched path
+    /// is verified and benchmarked against (like
+    /// [`AssignmentFn::route_via_map`] for the compiled table itself);
+    /// [`AssignmentFn::route_batch`] is the API callers should use. This
+    /// loop covers the table/hash layers only — it is *not* equivalent to
+    /// `route_batch` while splits are installed.
     #[inline]
     pub fn route_batch_scalar(&self, keys: &[Key], out: &mut Vec<TaskId>) {
         // The resize-then-overwrite shape avoids both a capacity check
@@ -529,9 +554,12 @@ impl AssignmentFn {
     }
 
     /// Evaluates `F(k)` through the authoritative `FxHashMap` instead of
-    /// the compiled table. Semantically identical to [`AssignmentFn::route`];
-    /// kept as the reference implementation the compiled table is verified
-    /// and benchmarked against.
+    /// the compiled table. Semantically identical to
+    /// [`AssignmentFn::route`] on the table/hash layers (split entries
+    /// are not consulted — cursor rotation makes a split key's route
+    /// call-order-dependent, so there is no stable per-key reference);
+    /// kept as the reference implementation the compiled table is
+    /// verified and benchmarked against.
     #[inline]
     pub fn route_via_map(&self, key: Key) -> TaskId {
         match self.table.get(key) {
@@ -655,6 +683,8 @@ impl AssignmentFn {
     /// they are evaluated against the grown ring and inserted as one
     /// batch — a single table recompile regardless of churn size.
     pub fn add_task_pinned(&mut self, live: &[Key]) -> TaskId {
+        let live = self.live_unsplit(live);
+        let live = live.as_ref();
         let old: Vec<TaskId> = live.iter().map(|&k| self.route(k)).collect();
         let new_task = self.add_task();
         let pins: Vec<(Key, TaskId)> = live
@@ -683,6 +713,8 @@ impl AssignmentFn {
     /// consistent ring the delta moves keys *only* onto the new slot, so
     /// every reported move's destination is the returned task.
     pub fn add_task_with_moves(&mut self, live: &[Key]) -> (TaskId, Vec<(Key, TaskId)>) {
+        let live = self.live_unsplit(live);
+        let live = live.as_ref();
         let old: Vec<TaskId> = live.iter().map(|&k| self.route(k)).collect();
         let new_task = self.add_task();
         let moves: Vec<(Key, TaskId)> = live
@@ -719,6 +751,20 @@ impl AssignmentFn {
     pub fn remove_task_pinned(&mut self, live: &[Key]) -> TaskId {
         assert!(self.n_tasks() > 1, "cannot scale in below one task");
         let victim = TaskId::from(self.n_tasks() - 1);
+        // Splits referencing the victim drop it from their replica set;
+        // a split left with fewer than two replicas dissolves (the key
+        // reverts to table/hash routing — its state is consolidated by
+        // the retire drain like any other victim-held key).
+        self.splits.retain(|_, e| {
+            e.replicas.retain(|&d| d != victim);
+            if e.replicas.len() < 2 {
+                return false;
+            }
+            e.cursor.set(0);
+            true
+        });
+        let live = self.live_unsplit(live);
+        let live = live.as_ref();
         let old: Vec<TaskId> = live.iter().map(|&k| self.route(k)).collect();
         // Drop entries pointing at the victim *before* shrinking the ring
         // so their keys re-route by hash, and redundant entries (equal to
@@ -790,6 +836,150 @@ impl AssignmentFn {
             keep
         });
         before - self.table.len()
+    }
+}
+
+/// A hot key's salted replica set: the slots a split key round-robins
+/// over, plus the rotation cursor.
+///
+/// The cursor lives in a [`Cell`] so routing can stay `&self` — the same
+/// contract every other routing read has — while still advancing the
+/// rotation per routed tuple. `Cell<usize>` is `Send` but not `Sync`,
+/// which matches how assignments are actually held: each holder (one
+/// source thread, the controller, the simulator) owns its own copy and
+/// never shares one across threads. Cursors are per-holder state, not
+/// part of the distributed view: two holders of the same split table may
+/// rotate out of phase, which only affects *which* replica absorbs a
+/// given tuple, never correctness (any replica is a valid destination
+/// and the merge stage reconciles).
+#[derive(Debug, Clone)]
+struct SplitEntry {
+    /// Replica slots, primary first. Always ≥ 2 entries, all distinct.
+    replicas: Vec<TaskId>,
+    /// Next replica index to hand out.
+    cursor: Cell<usize>,
+}
+
+impl SplitEntry {
+    /// Hands out the next replica in rotation.
+    #[inline]
+    fn next(&self) -> TaskId {
+        let i = self.cursor.get();
+        self.cursor.set((i + 1) % self.replicas.len());
+        self.replicas[i]
+    }
+}
+
+impl AssignmentFn {
+    /// Flags `key` as hot, salting it across `replicas` (primary first —
+    /// by convention the key's pre-split route, so an unsplit that
+    /// consolidates onto `replicas[0]` needs no table change). Returns
+    /// `false` (and installs nothing) unless there are at least two
+    /// distinct replicas; replacing an existing split resets its cursor.
+    ///
+    /// Split entries take precedence over both the explicit table and the
+    /// hash fallback, and they are deliberately *not* touched by table
+    /// maintenance ([`AssignmentFn::apply_delta`],
+    /// [`AssignmentFn::swap_table`], [`AssignmentFn::repin_dead`]): the
+    /// split layer is orthogonal routing state owned by the split/unsplit
+    /// protocol ops, and a dead replica is diverted by holders at send
+    /// time with the universal [`next_live`] rule, same as any dead slot.
+    pub fn set_split(&mut self, key: Key, replicas: &[TaskId]) -> bool {
+        if replicas.len() < 2 {
+            return false;
+        }
+        let mut seen = replicas.to_vec();
+        seen.sort_unstable();
+        seen.dedup();
+        if seen.len() != replicas.len() {
+            return false;
+        }
+        self.splits.insert(
+            key,
+            SplitEntry {
+                replicas: replicas.to_vec(),
+                cursor: Cell::new(0),
+            },
+        );
+        true
+    }
+
+    /// Clears `key`'s split, returning its replica set (primary first) if
+    /// one was installed. The key reverts to table/hash routing.
+    pub fn clear_split(&mut self, key: Key) -> Option<Vec<TaskId>> {
+        self.splits.remove(&key).map(|e| e.replicas)
+    }
+
+    /// True when any key is currently split.
+    #[inline]
+    pub fn has_splits(&self) -> bool {
+        !self.splits.is_empty()
+    }
+
+    /// The current splits as `(key, replicas)` pairs, sorted by key for
+    /// deterministic views/wire encoding. Cursors are not part of the
+    /// view (they are per-holder rotation state, see [`SplitEntry`]).
+    pub fn splits(&self) -> Vec<(Key, Vec<TaskId>)> {
+        let mut v: Vec<(Key, Vec<TaskId>)> = self
+            .splits
+            .iter()
+            .map(|(&k, e)| (k, e.replicas.clone()))
+            .collect();
+        v.sort_unstable_by_key(|&(k, _)| k);
+        v
+    }
+
+    /// `key`'s replica set (primary first) if it is currently split.
+    pub fn split_replicas(&self, key: Key) -> Option<&[TaskId]> {
+        self.splits.get(&key).map(|e| e.replicas.as_slice())
+    }
+
+    /// Installs a batch of splits wholesale (view materialization on the
+    /// source side). Existing splits are dropped first; cursors start at
+    /// the primary.
+    pub fn set_splits(&mut self, splits: impl IntoIterator<Item = (Key, Vec<TaskId>)>) {
+        self.splits.clear();
+        for (k, replicas) in splits {
+            self.set_split(k, &replicas);
+        }
+    }
+
+    /// The batched routing loop when splits exist: per key, one extra map
+    /// probe ahead of the compiled table. Split keys are the hottest keys
+    /// by construction, so the probe usually hits; the no-split fast
+    /// paths ([`AssignmentFn::route_batch_scalar`] and the prefetched
+    /// loop) never pay for it because [`AssignmentFn::route_batch`]
+    /// dispatches on `has_splits` once per batch.
+    fn route_batch_split(&self, keys: &[Key], out: &mut Vec<TaskId>) {
+        out.resize(keys.len(), TaskId(0));
+        for (o, &k) in out.iter_mut().zip(keys) {
+            *o = match self.splits.get(&k) {
+                Some(e) => e.next(),
+                None => match self.compiled.lookup(k) {
+                    Some(d) => d,
+                    None => self.hash_route(k),
+                },
+            };
+        }
+    }
+
+    /// `live` with split keys filtered out, borrowing when there are no
+    /// splits (the common case). Scale maintenance computes old-vs-new
+    /// routes per live key to detect ring churn; a split key's route
+    /// rotates per call, which would read as spurious churn (and advance
+    /// cursors as a side effect), so split keys are excluded — their
+    /// routing is pinned by the split entry and immune to ring edits.
+    fn live_unsplit<'a>(&self, live: &'a [Key]) -> std::borrow::Cow<'a, [Key]> {
+        if self.splits.is_empty() {
+            std::borrow::Cow::Borrowed(live)
+        } else {
+            std::borrow::Cow::Owned(
+                live.iter()
+                    .copied()
+                    .filter(|k| !self.splits.contains_key(k))
+                    .collect(),
+            )
+        }
     }
 }
 
@@ -1228,6 +1418,134 @@ mod tests {
         let small: RoutingTable = (0..3_000u64).map(|k| (Key(k), TaskId(0))).collect();
         let g = AssignmentFn::with_table(4, small);
         assert!(!g.compiled().wants_prefetch());
+    }
+
+    #[test]
+    fn split_key_round_robins_over_replicas() {
+        let mut f = AssignmentFn::hash_only(4);
+        let k = Key(9);
+        assert!(f.set_split(k, &[TaskId(1), TaskId(3), TaskId(0)]));
+        assert!(f.has_splits());
+        // The rotation hands out replicas in order, starting at the
+        // primary, and wraps.
+        let got: Vec<TaskId> = (0..7).map(|_| f.route(k)).collect();
+        let want = [1u32, 3, 0, 1, 3, 0, 1].map(TaskId);
+        assert_eq!(got, want);
+        // Non-split keys are untouched.
+        let other = Key(10);
+        assert_eq!(f.route(other), f.hash_route(other));
+    }
+
+    #[test]
+    fn set_split_rejects_degenerate_replica_sets() {
+        let mut f = AssignmentFn::hash_only(4);
+        assert!(!f.set_split(Key(1), &[TaskId(0)]), "one replica");
+        assert!(!f.set_split(Key(1), &[]), "no replicas");
+        assert!(
+            !f.set_split(Key(1), &[TaskId(0), TaskId(0)]),
+            "duplicate replicas"
+        );
+        assert!(!f.has_splits());
+    }
+
+    #[test]
+    fn clear_split_reverts_to_table_then_hash() {
+        let mut f = AssignmentFn::hash_only(4);
+        let k = Key(5);
+        let pinned = TaskId((f.hash_route(k).0 + 1) % 4);
+        f.insert_entry(k, pinned);
+        assert!(f.set_split(k, &[pinned, TaskId((pinned.0 + 1) % 4)]));
+        assert_eq!(f.split_replicas(k).unwrap()[0], pinned);
+        let replicas = f.clear_split(k).unwrap();
+        assert_eq!(replicas[0], pinned);
+        // Split gone: the table entry routes again.
+        assert_eq!(f.route(k), pinned);
+        assert_eq!(f.clear_split(k), None);
+        f.remove_entry(k);
+        assert_eq!(f.route(k), f.hash_route(k));
+    }
+
+    #[test]
+    fn route_batch_with_splits_matches_per_key_route() {
+        let table: RoutingTable = (0..50u64).map(|k| (Key(k), TaskId(2))).collect();
+        let mut f = AssignmentFn::with_table(4, table);
+        f.set_split(Key(3), &[TaskId(0), TaskId(1), TaskId(2)]);
+        f.set_split(Key(100), &[TaskId(3), TaskId(1)]);
+        let keys: Vec<Key> = (0..200u64).map(|k| Key(k % 110)).collect();
+        // Route the same sequence twice — batched vs per-key — from two
+        // clones so the cursors start identical.
+        let g = f.clone();
+        let mut batched = Vec::new();
+        f.route_batch(&keys, &mut batched);
+        let scalar: Vec<TaskId> = keys.iter().map(|&k| g.route(k)).collect();
+        assert_eq!(batched, scalar);
+    }
+
+    #[test]
+    fn splits_survive_table_maintenance() {
+        let mut f = AssignmentFn::hash_only(4);
+        let k = Key(7);
+        f.set_split(k, &[TaskId(0), TaskId(2)]);
+        // Table delta, swap, and prune leave the split layer intact.
+        f.apply_delta([(Key(50), TaskId(1))]);
+        f.swap_table(RoutingTable::new());
+        f.prune_redundant();
+        assert_eq!(f.split_replicas(k), Some(&[TaskId(0), TaskId(2)][..]));
+        assert_eq!(f.route(k), TaskId(0));
+    }
+
+    #[test]
+    fn scale_in_repairs_splits_referencing_the_victim() {
+        let mut f = AssignmentFn::hash_only(4);
+        // One split survives victim removal (3 replicas, one on victim),
+        // one dissolves (2 replicas, one on victim).
+        f.set_split(Key(1), &[TaskId(0), TaskId(3), TaskId(2)]);
+        f.set_split(Key(2), &[TaskId(1), TaskId(3)]);
+        let victim = f.remove_task_pinned(&[]);
+        assert_eq!(victim, TaskId(3));
+        assert_eq!(f.split_replicas(Key(1)), Some(&[TaskId(0), TaskId(2)][..]));
+        assert_eq!(f.split_replicas(Key(2)), None, "degenerate split dissolves");
+        assert_eq!(f.route(Key(2)), f.hash_route(Key(2)));
+    }
+
+    #[test]
+    fn scale_out_ignores_split_keys_when_pinning() {
+        let mut f = AssignmentFn::hash_only(3);
+        let live: Vec<Key> = (0..2_000u64).map(Key).collect();
+        f.set_split(Key(0), &[TaskId(0), TaskId(1)]);
+        let before = f.split_replicas(Key(0)).unwrap().to_vec();
+        let (_, moves) = f.add_task_with_moves(&live);
+        assert!(
+            moves.iter().all(|&(k, _)| k != Key(0)),
+            "split key reported as ring churn"
+        );
+        assert_eq!(f.split_replicas(Key(0)).unwrap(), &before[..]);
+        // Pinned flavour: no table entry materializes for the split key.
+        let mut g = AssignmentFn::hash_only(3);
+        g.set_split(Key(0), &[TaskId(0), TaskId(1)]);
+        g.add_task_pinned(&live);
+        assert_eq!(g.table().get(Key(0)), None);
+    }
+
+    #[test]
+    fn splits_view_is_sorted_and_cursorless() {
+        let mut f = AssignmentFn::hash_only(4);
+        f.set_split(Key(9), &[TaskId(1), TaskId(2)]);
+        f.set_split(Key(3), &[TaskId(0), TaskId(3)]);
+        // Advance a cursor; the exported view must be unaffected.
+        f.route(Key(9));
+        let v = f.splits();
+        assert_eq!(
+            v,
+            vec![
+                (Key(3), vec![TaskId(0), TaskId(3)]),
+                (Key(9), vec![TaskId(1), TaskId(2)]),
+            ]
+        );
+        // Re-materializing from the view starts rotation at the primary.
+        let mut g = AssignmentFn::hash_only(4);
+        g.set_splits(v);
+        assert_eq!(g.route(Key(9)), TaskId(1));
     }
 
     #[test]

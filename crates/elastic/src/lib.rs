@@ -95,6 +95,21 @@
 //! travels back to the controller), so a later scale-out can re-provision
 //! the same slot mid-run with a fresh worker thread.
 //!
+//! ## Hot-key splitting
+//!
+//! Scaling out cannot help when a *single key* exceeds one worker's
+//! capacity: key-contiguous routing pins all of a key's tuples to one
+//! task, so adding instances only adds idle ones. The split decision
+//! layer ([`SplitPolicy`]) watches the per-key cost window and flags a
+//! key for **salted replication** — the routing layer fans the key
+//! across `R` replica slots and a downstream merge stage reconciles the
+//! partial state. [`HotKeyPolicy`] is the watermark implementation
+//! (same hysteresis/cooldown shape as [`ThresholdPolicy`]);
+//! [`FixedSplitSchedule`] replays forced split/unsplit sequences for
+//! tests and reproductions. Both drivers consult the policy at interval
+//! close with a [`SplitObservation`], so split decision traces pin
+//! across sim and engine exactly like scale decisions do.
+//!
 //! This crate is dependency-free: policies are pure decision logic over
 //! load vectors, equally usable from the simulator, the engine, and the
 //! benches.
@@ -639,6 +654,323 @@ impl ElasticityPolicy for TargetPlanner {
     }
 }
 
+// ------------------------------------------------------------------
+// Hot-key splitting
+// ------------------------------------------------------------------
+
+/// One split decision for the coming interval.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SplitDecision {
+    /// Change nothing.
+    Hold,
+    /// Salt `key` across `replicas` slots (primary + `replicas − 1`
+    /// others chosen by the driver, see [`choose_replicas`]).
+    Split {
+        /// The hot key (raw `u64`, this crate is dependency-free).
+        key: u64,
+        /// Total replica slots, ≥ 2.
+        replicas: usize,
+    },
+    /// Consolidate `key` back onto its primary replica.
+    Unsplit {
+        /// The previously split key.
+        key: u64,
+    },
+}
+
+impl SplitDecision {
+    /// Short display name (`hold` / `split` / `unsplit`).
+    pub fn name(self) -> &'static str {
+        match self {
+            SplitDecision::Hold => "hold",
+            SplitDecision::Split { .. } => "split",
+            SplitDecision::Unsplit { .. } => "unsplit",
+        }
+    }
+}
+
+/// One executed split/unsplit, as drivers record it. `from`/`to` are the
+/// key's replica counts before and after (1 means unsplit), so the sim's
+/// and the engine's split traces compare with `==` just like
+/// [`ScaleEvent`] traces.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SplitEvent {
+    /// The interval whose statistics triggered the decision.
+    pub interval: u64,
+    /// The raw key.
+    pub key: u64,
+    /// Replica count before (1 = was unsplit).
+    pub from: usize,
+    /// Replica count after (1 = consolidated).
+    pub to: usize,
+}
+
+/// What a split policy sees at an interval boundary.
+#[derive(Debug, Clone, Copy)]
+pub struct SplitObservation<'a> {
+    /// The interval just closed.
+    pub interval: u64,
+    /// Downstream parallelism the routing function targets.
+    pub n_tasks: usize,
+    /// Per-key `(key, cost)` of the closed interval. Order is
+    /// driver-defined; policies must not depend on it.
+    pub key_loads: &'a [(u64, u64)],
+    /// Keys currently split (ascending). Their `key_loads` entries carry
+    /// the key's *total* cost summed across replicas.
+    pub split_keys: &'a [u64],
+}
+
+impl SplitObservation<'_> {
+    /// The hottest currently-unsplit key, deterministically: max cost,
+    /// ties broken toward the lower key. `None` when every key is split
+    /// or the interval was idle.
+    pub fn hottest_unsplit(&self) -> Option<(u64, u64)> {
+        self.key_loads
+            .iter()
+            .filter(|(k, c)| *c > 0 && !self.split_keys.contains(k))
+            .copied()
+            .max_by(|a, b| a.1.cmp(&b.1).then(b.0.cmp(&a.0)))
+    }
+
+    /// The cost of `key` this interval (0 when unobserved).
+    pub fn cost_of(&self, key: u64) -> u64 {
+        self.key_loads
+            .iter()
+            .find(|(k, _)| *k == key)
+            .map_or(0, |&(_, c)| c)
+    }
+}
+
+/// A pluggable per-interval split/unsplit decision-maker.
+///
+/// The contract mirrors [`ElasticityPolicy`]: stateful, deterministic,
+/// and clamped by the driver (splitting needs ≥ 2 tasks; a decision the
+/// driver cannot honour is skipped, not deferred, without telling the
+/// policy). At most one decision per interval — splitting is a protocol
+/// op with a pause window, so drivers serialize them like migrations.
+pub trait SplitPolicy: Send + std::fmt::Debug {
+    /// Display name for reports and bench legends.
+    fn name(&self) -> String;
+
+    /// Decides what to do after the observed interval.
+    fn decide(&mut self, obs: &SplitObservation) -> SplitDecision;
+
+    /// Clones the policy with its current state.
+    fn box_clone(&self) -> Box<dyn SplitPolicy>;
+}
+
+impl Clone for Box<dyn SplitPolicy> {
+    fn clone(&self) -> Self {
+        self.box_clone()
+    }
+}
+
+/// Picks the replica slots for a split: `primary` first (the key's
+/// pre-split route, so unsplit consolidates without a table change),
+/// then the `r − 1` least-loaded *other* tasks, ascending by
+/// `(load, index)` for determinism. Returns fewer than `r` slots only
+/// when there aren't enough tasks.
+pub fn choose_replicas(primary: usize, loads: &[u64], r: usize) -> Vec<usize> {
+    let mut others: Vec<usize> = (0..loads.len()).filter(|&i| i != primary).collect();
+    others.sort_by_key(|&i| (loads[i], i));
+    let mut out = Vec::with_capacity(r.min(loads.len()));
+    out.push(primary);
+    out.extend(others.into_iter().take(r.saturating_sub(1)));
+    out
+}
+
+/// Watermark split policy with hysteresis — [`ThresholdPolicy`]'s shape
+/// applied to a single key's load.
+///
+/// The per-task budget is `capacity / (1 + theta_max)`, as in
+/// [`ThresholdPolicy`]. When the hottest unsplit key's cost stays above
+/// `high · budget` for `up_after` consecutive intervals, no placement
+/// of whole keys can bring its worker under `Lmax` — the key itself is
+/// the imbalance — so the policy splits it. The replica count comes
+/// from the key's load *share* `s` of the observed interval: a replica
+/// worker carries `(1 − s)/n` of the background plus `s/r` of the key,
+/// so keeping it under `(1 + θmax)/n` needs
+/// `r ≥ ⌈s · n / (s + θmax)⌉` (clamped to `[2, max_replicas]` and the
+/// parallelism). Sizing by share rather than absolute cost is
+/// deliberate: a statistics round that catches only part of an
+/// interval scales every cost down together, which halves an absolute
+/// estimate but leaves the share — and hence the replica count —
+/// unchanged. When a split key's total
+/// cost stays below `low · budget` for `down_after` intervals, one
+/// worker can carry it again and the policy consolidates. A `cooldown`
+/// follows every action; streaks keep advancing inside it (the cooldown
+/// delays the action, not the evidence).
+#[derive(Debug, Clone)]
+pub struct HotKeyPolicy {
+    /// Sustainable load (cost units per interval) of one task.
+    pub capacity: f64,
+    /// Imbalance tolerance `θmax` shaping the budget (paper default 0.08).
+    pub theta_max: f64,
+    /// Split when the hottest key's cost exceeds `high · budget`
+    /// (default 0.9).
+    pub high: f64,
+    /// Unsplit when a split key's cost drops below `low · budget`
+    /// (default 0.5).
+    pub low: f64,
+    /// Consecutive hot intervals before splitting (default 1).
+    pub up_after: usize,
+    /// Consecutive cool intervals before unsplitting (default 2).
+    pub down_after: usize,
+    /// Intervals to hold after any action (default 1).
+    pub cooldown: u64,
+    /// Upper bound on replicas per split key (default 4).
+    pub max_replicas: usize,
+    /// The key whose hot streak is running, with its count. The streak
+    /// follows the *hottest* key: if a different key takes the lead the
+    /// streak restarts — a split must be justified by one key's
+    /// sustained dominance, not by the maximum hopping around.
+    hot: Option<(u64, usize)>,
+    /// Cool streaks per currently-split key.
+    cool: Vec<(u64, usize)>,
+    hold_until: u64,
+}
+
+impl HotKeyPolicy {
+    /// A policy for tasks sustaining `capacity` cost units per interval.
+    pub fn new(capacity: f64) -> Self {
+        assert!(capacity > 0.0, "capacity must be positive");
+        HotKeyPolicy {
+            capacity,
+            theta_max: 0.08,
+            high: 0.9,
+            low: 0.5,
+            up_after: 1,
+            down_after: 2,
+            cooldown: 1,
+            max_replicas: 4,
+            hot: None,
+            cool: Vec::new(),
+            hold_until: 0,
+        }
+    }
+
+    /// The per-task budget `capacity / (1 + θmax)`.
+    pub fn budget(&self) -> f64 {
+        self.capacity / (1.0 + self.theta_max)
+    }
+}
+
+impl SplitPolicy for HotKeyPolicy {
+    fn name(&self) -> String {
+        "hotkey".into()
+    }
+
+    fn decide(&mut self, obs: &SplitObservation) -> SplitDecision {
+        let budget = self.budget();
+        let high_mark = self.high * budget;
+        let low_mark = self.low * budget;
+
+        // Advance the hot streak on the hottest unsplit key.
+        match obs.hottest_unsplit() {
+            Some((key, cost)) if cost as f64 > high_mark => {
+                self.hot = match self.hot {
+                    Some((k, n)) if k == key => Some((key, n + 1)),
+                    _ => Some((key, 1)),
+                };
+            }
+            _ => self.hot = None,
+        }
+
+        // Advance cool streaks for every currently-split key; drop
+        // streaks for keys no longer split (the driver may have
+        // dissolved one through scale-in repair).
+        self.cool.retain(|(k, _)| obs.split_keys.contains(k));
+        for &key in obs.split_keys {
+            let cool = (obs.cost_of(key) as f64) < low_mark;
+            match self.cool.iter_mut().find(|(k, _)| *k == key) {
+                Some((_, n)) => *n = if cool { *n + 1 } else { 0 },
+                None => self.cool.push((key, usize::from(cool))),
+            }
+        }
+
+        if obs.interval < self.hold_until {
+            return SplitDecision::Hold;
+        }
+
+        // Split takes precedence: overload repair beats consolidation.
+        if let Some((key, n)) = self.hot {
+            if n >= self.up_after && obs.n_tasks >= 2 {
+                let cost = obs.cost_of(key) as f64;
+                let total: u64 = obs.key_loads.iter().map(|&(_, c)| c).sum();
+                // Share-based sizing: scale-free, so a truncated
+                // statistics round sizes the same as a full one.
+                let share = cost / total.max(1) as f64;
+                let want = (share * obs.n_tasks as f64 / (share + self.theta_max)).ceil() as usize;
+                let replicas = want.clamp(2, self.max_replicas.min(obs.n_tasks).max(2));
+                self.hot = None;
+                self.hold_until = obs.interval + 1 + self.cooldown;
+                return SplitDecision::Split { key, replicas };
+            }
+        }
+
+        // Unsplit the lowest eligible key (deterministic tie-break).
+        let done = self
+            .cool
+            .iter()
+            .filter(|&&(_, n)| n >= self.down_after)
+            .map(|&(k, _)| k)
+            .min();
+        if let Some(key) = done {
+            self.cool.retain(|(k, _)| *k != key);
+            self.hold_until = obs.interval + 1 + self.cooldown;
+            return SplitDecision::Unsplit { key };
+        }
+        SplitDecision::Hold
+    }
+
+    fn box_clone(&self) -> Box<dyn SplitPolicy> {
+        Box::new(self.clone())
+    }
+}
+
+/// Replays a fixed `(interval → decision)` split schedule — the
+/// reproduction policy for forced-split tests, mirroring
+/// [`FixedSchedule`]. Intervals without an entry hold.
+#[derive(Debug, Clone, Default)]
+pub struct FixedSplitSchedule {
+    at: Vec<(u64, SplitDecision)>,
+}
+
+impl FixedSplitSchedule {
+    /// A schedule from explicit `(interval, decision)` pairs.
+    pub fn new(at: impl IntoIterator<Item = (u64, SplitDecision)>) -> Self {
+        FixedSplitSchedule {
+            at: at.into_iter().collect(),
+        }
+    }
+
+    /// The forced split cycle tests pin: split `key` over `replicas`
+    /// slots after `split_at`, consolidate after `unsplit_at`.
+    pub fn cycle(key: u64, replicas: usize, split_at: u64, unsplit_at: u64) -> Self {
+        FixedSplitSchedule::new([
+            (split_at, SplitDecision::Split { key, replicas }),
+            (unsplit_at, SplitDecision::Unsplit { key }),
+        ])
+    }
+}
+
+impl SplitPolicy for FixedSplitSchedule {
+    fn name(&self) -> String {
+        "fixed-split".into()
+    }
+
+    fn decide(&mut self, obs: &SplitObservation) -> SplitDecision {
+        self.at
+            .iter()
+            .find(|&&(iv, _)| iv == obs.interval)
+            .map_or(SplitDecision::Hold, |&(_, d)| d)
+    }
+
+    fn box_clone(&self) -> Box<dyn SplitPolicy> {
+        Box::new(self.clone())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -964,6 +1296,195 @@ mod tests {
         assert!(peak <= 7, "smoothing failed: peaked at {peak}");
         // …and the EWMA walks parallelism back once the load recovers.
         assert_eq!(n, 2, "EWMA converged back after the spike");
+    }
+
+    fn sobs<'a>(
+        interval: u64,
+        n_tasks: usize,
+        key_loads: &'a [(u64, u64)],
+        split_keys: &'a [u64],
+    ) -> SplitObservation<'a> {
+        SplitObservation {
+            interval,
+            n_tasks,
+            key_loads,
+            split_keys,
+        }
+    }
+
+    #[test]
+    fn hottest_unsplit_is_deterministic() {
+        let loads = [(7u64, 50u64), (3, 90), (9, 90), (1, 0)];
+        let o = sobs(0, 4, &loads, &[]);
+        // Tie at 90 breaks toward the lower key.
+        assert_eq!(o.hottest_unsplit(), Some((3, 90)));
+        // A split key is excluded from the scan.
+        let o = sobs(0, 4, &loads, &[3]);
+        assert_eq!(o.hottest_unsplit(), Some((9, 90)));
+        assert_eq!(o.cost_of(7), 50);
+        assert_eq!(o.cost_of(42), 0);
+    }
+
+    #[test]
+    fn choose_replicas_prefers_idle_tasks() {
+        // Primary 2 first, then the least-loaded others by (load, index).
+        assert_eq!(choose_replicas(2, &[40, 10, 99, 10], 3), vec![2, 1, 3]);
+        // Asking for more slots than tasks returns all of them.
+        assert_eq!(choose_replicas(0, &[5, 5], 8), vec![0, 1]);
+    }
+
+    #[test]
+    fn hotkey_splits_on_sustained_dominance_only() {
+        let mut p = HotKeyPolicy::new(100.0);
+        p.up_after = 2;
+        // budget ≈ 92.6, high mark ≈ 83.3; key 5 carries 170.
+        let hot = [(5u64, 170u64), (6, 10), (7, 10)];
+        assert_eq!(p.decide(&sobs(0, 4, &hot, &[])), SplitDecision::Hold);
+        // Share 170/190 ≈ 0.895 → ⌈0.895 · 4 / 0.975⌉ = 4 replicas.
+        assert_eq!(
+            p.decide(&sobs(1, 4, &hot, &[])),
+            SplitDecision::Split {
+                key: 5,
+                replicas: 4
+            }
+        );
+        // Cooldown: still hot next interval, but the action is held.
+        assert_eq!(p.decide(&sobs(2, 4, &hot, &[5])), SplitDecision::Hold);
+    }
+
+    #[test]
+    fn hotkey_streak_resets_when_the_leader_changes() {
+        let mut p = HotKeyPolicy::new(100.0);
+        p.up_after = 2;
+        assert_eq!(
+            p.decide(&sobs(0, 4, &[(5, 170), (6, 10)], &[])),
+            SplitDecision::Hold
+        );
+        // A different key takes the lead: no split on its first interval.
+        assert_eq!(
+            p.decide(&sobs(1, 4, &[(5, 10), (6, 170)], &[])),
+            SplitDecision::Hold
+        );
+    }
+
+    #[test]
+    fn hotkey_unsplits_when_the_key_cools() {
+        let mut p = HotKeyPolicy::new(100.0);
+        p.down_after = 2;
+        p.cooldown = 0;
+        // Key 5 split, now cold (low mark ≈ 46.3).
+        let cold = [(5u64, 20u64), (6, 10)];
+        assert_eq!(p.decide(&sobs(0, 4, &cold, &[5])), SplitDecision::Hold);
+        assert_eq!(
+            p.decide(&sobs(1, 4, &cold, &[5])),
+            SplitDecision::Unsplit { key: 5 }
+        );
+    }
+
+    #[test]
+    fn hotkey_mid_band_never_flaps() {
+        // A split key between the watermarks must stay split; an unsplit
+        // key between them must stay unsplit.
+        let mut p = HotKeyPolicy::new(100.0);
+        let mid = [(5u64, 60u64), (6, 10)];
+        for iv in 0..20 {
+            assert_eq!(
+                p.decide(&sobs(iv, 4, &mid, &[5])),
+                SplitDecision::Hold,
+                "interval {iv}"
+            );
+        }
+        let mut p = HotKeyPolicy::new(100.0);
+        for iv in 0..20 {
+            assert_eq!(
+                p.decide(&sobs(iv, 4, &mid, &[])),
+                SplitDecision::Hold,
+                "interval {iv}"
+            );
+        }
+    }
+
+    #[test]
+    fn hotkey_respects_replica_and_task_bounds() {
+        // 2 tasks: replicas clamp to 2 even for a huge key.
+        let mut p = HotKeyPolicy::new(100.0);
+        assert_eq!(
+            p.decide(&sobs(0, 2, &[(5, 100_000)], &[])),
+            SplitDecision::Split {
+                key: 5,
+                replicas: 2
+            }
+        );
+        // 1 task: splitting is meaningless, hold.
+        let mut p = HotKeyPolicy::new(100.0);
+        assert_eq!(
+            p.decide(&sobs(0, 1, &[(5, 100_000)], &[])),
+            SplitDecision::Hold
+        );
+        // max_replicas caps the spread.
+        let mut p = HotKeyPolicy::new(100.0);
+        p.max_replicas = 3;
+        assert_eq!(
+            p.decide(&sobs(0, 16, &[(5, 100_000)], &[])),
+            SplitDecision::Split {
+                key: 5,
+                replicas: 3
+            }
+        );
+    }
+
+    #[test]
+    fn hotkey_split_beats_unsplit_and_serializes_actions() {
+        let mut p = HotKeyPolicy::new(100.0);
+        p.down_after = 1;
+        p.cooldown = 0;
+        // Key 3 is split and cold; key 5 is hot: split wins the interval.
+        let loads = [(3u64, 5u64), (5, 170), (6, 10)];
+        assert_eq!(
+            p.decide(&sobs(0, 4, &loads, &[3])),
+            SplitDecision::Split {
+                key: 5,
+                replicas: 4
+            }
+        );
+        // The postponed unsplit fires on the next eligible interval.
+        let loads = [(3u64, 5u64), (5, 60), (6, 10)];
+        assert_eq!(
+            p.decide(&sobs(1, 4, &loads, &[3, 5])),
+            SplitDecision::Unsplit { key: 3 }
+        );
+    }
+
+    #[test]
+    fn fixed_split_schedule_replays() {
+        let mut p = FixedSplitSchedule::cycle(9, 2, 1, 3);
+        let names: Vec<&str> = (0..5)
+            .map(|iv| p.decide(&sobs(iv, 4, &[], &[])).name())
+            .collect();
+        assert_eq!(names, vec!["hold", "split", "hold", "unsplit", "hold"]);
+        assert_eq!(
+            FixedSplitSchedule::cycle(9, 2, 1, 3).decide(&sobs(3, 4, &[], &[])),
+            SplitDecision::Unsplit { key: 9 }
+        );
+    }
+
+    #[test]
+    fn boxed_split_policies_clone_with_state() {
+        let mut p = HotKeyPolicy::new(100.0);
+        p.up_after = 2;
+        let hot = [(5u64, 170u64)];
+        let _ = p.decide(&sobs(0, 4, &hot, &[])); // streak = 1
+        let mut boxed: Box<dyn SplitPolicy> = Box::new(p);
+        let mut cloned = boxed.clone();
+        assert!(matches!(
+            cloned.decide(&sobs(1, 4, &hot, &[])),
+            SplitDecision::Split { key: 5, .. }
+        ));
+        assert!(matches!(
+            boxed.decide(&sobs(1, 4, &hot, &[])),
+            SplitDecision::Split { key: 5, .. }
+        ));
+        assert_eq!(boxed.name(), "hotkey");
     }
 
     #[test]

@@ -17,6 +17,7 @@ const VIEW_TABLE_PLUS_HASH: u8 = 0;
 const VIEW_TWO_CHOICE: u8 = 1;
 const VIEW_ROUND_ROBIN: u8 = 2;
 const VIEW_TABLE_DELTA: u8 = 3;
+const VIEW_SPLIT_TABLE: u8 = 4;
 
 /// Decoding failure.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -82,6 +83,31 @@ pub fn encode_view(view: &RoutingView) -> Bytes {
                 buf.put_u32_le(d.0);
             }
         }
+        RoutingView::SplitTable {
+            table,
+            n_tasks,
+            splits,
+        } => {
+            // A full table view followed by the split table: per split,
+            // key + replica count + the replica slots in rotation order
+            // (primary first). Cursors are per-holder state and never on
+            // the wire.
+            buf.put_u8(VIEW_SPLIT_TABLE);
+            buf.put_u32_le(*n_tasks as u32);
+            buf.put_u32_le(table.len() as u32);
+            for (k, d) in table.sorted_entries() {
+                buf.put_u64_le(k.raw());
+                buf.put_u32_le(d.0);
+            }
+            buf.put_u32_le(splits.len() as u32);
+            for (k, replicas) in splits {
+                buf.put_u64_le(k.raw());
+                buf.put_u32_le(replicas.len() as u32);
+                for d in replicas {
+                    buf.put_u32_le(d.0);
+                }
+            }
+        }
     }
     buf.freeze()
 }
@@ -132,6 +158,37 @@ pub fn decode_view(mut buf: Bytes) -> Result<RoutingView, CodecError> {
                 moves.push((k, d));
             }
             Ok(RoutingView::TableDelta { n_tasks, moves })
+        }
+        VIEW_SPLIT_TABLE => {
+            need(&buf, 8)?;
+            let n_tasks = buf.get_u32_le() as usize;
+            let entries = buf.get_u32_le() as usize;
+            need(&buf, entries * 12)?;
+            let mut table = RoutingTable::new();
+            for _ in 0..entries {
+                let k = Key(buf.get_u64_le());
+                let d = TaskId(buf.get_u32_le());
+                table.insert(k, d);
+            }
+            need(&buf, 4)?;
+            let n_splits = buf.get_u32_le() as usize;
+            let mut splits = Vec::with_capacity(n_splits.min(1024));
+            for _ in 0..n_splits {
+                need(&buf, 12)?;
+                let k = Key(buf.get_u64_le());
+                let n_replicas = buf.get_u32_le() as usize;
+                need(&buf, n_replicas * 4)?;
+                let mut replicas = Vec::with_capacity(n_replicas);
+                for _ in 0..n_replicas {
+                    replicas.push(TaskId(buf.get_u32_le()));
+                }
+                splits.push((k, replicas));
+            }
+            Ok(RoutingView::SplitTable {
+                table,
+                n_tasks,
+                splits,
+            })
         }
         other => Err(CodecError::BadTag(other)),
     }
@@ -290,6 +347,48 @@ mod tests {
                 assert_eq!(a, b, "move order is part of delta semantics");
             }
             _ => panic!("variant changed"),
+        }
+    }
+
+    #[test]
+    fn view_roundtrip_split_table() {
+        let view = RoutingView::SplitTable {
+            table: sample_table(20),
+            n_tasks: 5,
+            splits: vec![
+                (Key(3), vec![TaskId(0), TaskId(2)]),
+                (Key(14), vec![TaskId(1), TaskId(3), TaskId(4)]),
+            ],
+        };
+        let bytes = encode_view(&view);
+        let decoded = decode_view(bytes.clone()).unwrap();
+        match (view, decoded) {
+            (
+                RoutingView::SplitTable {
+                    table: a,
+                    n_tasks: na,
+                    splits: sa,
+                },
+                RoutingView::SplitTable {
+                    table: b,
+                    n_tasks: nb,
+                    splits: sb,
+                },
+            ) => {
+                assert_eq!(na, nb);
+                assert_eq!(a.sorted_entries(), b.sorted_entries());
+                assert_eq!(sa, sb, "replica order is rotation order");
+            }
+            _ => panic!("variant changed"),
+        }
+        // Truncation detected at every byte boundary inside the split
+        // section as well as the table section.
+        for cut in [0, 1, 3, 10, bytes.len() - 20, bytes.len() - 1] {
+            assert_eq!(
+                decode_view(bytes.slice(0..cut)).unwrap_err(),
+                CodecError::Truncated,
+                "cut at {cut}"
+            );
         }
     }
 

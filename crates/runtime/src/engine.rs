@@ -21,7 +21,8 @@ use bytes::Bytes;
 use crossbeam::channel::{bounded, unbounded, Receiver, Select, SendTimeoutError, Sender};
 use streambal_core::{Key, Partitioner, RoutingView, TaskId};
 use streambal_elastic::{
-    ElasticityPolicy, FixedSchedule, HoldPolicy, IntervalObservation, ScaleDecision,
+    choose_replicas, ElasticityPolicy, FixedSchedule, HoldPolicy, IntervalObservation,
+    ScaleDecision, SplitDecision, SplitObservation, SplitPolicy,
 };
 use streambal_hashring::{FxHashMap, FxHashSet};
 use streambal_metrics::{Counter, Histogram, RateMeter, TimeSeries};
@@ -87,6 +88,18 @@ pub struct EngineConfig {
     /// because the spawn slot must be the contiguous physical tail.
     /// Default: [`HoldPolicy`] (the static engine).
     pub elasticity: Box<dyn ElasticityPolicy>,
+    /// The hot-key split policy consulted after every interval's
+    /// statistics round, alongside [`EngineConfig::elasticity`]: it sees
+    /// the merged per-key costs and the current split set and decides
+    /// `Split` / `Unsplit` / `Hold`. The controller executes a split as
+    /// a degenerate migration (routing-view change under a pause window,
+    /// no state moved) and an unsplit as a real one (replica partials
+    /// extracted and merged into the primary), both as first-class
+    /// protocol ops with epochs, spans, and deadline/abort handling.
+    /// Decisions the routing layer cannot honour (fewer than two tasks,
+    /// an already-split key, a degenerate replica set) are skipped, not
+    /// deferred. Default: `None` (never splits).
+    pub split: Option<Box<dyn SplitPolicy>>,
     /// Pre-place state at scale-out (default `true`): the controller asks
     /// the partitioner for a migration plan
     /// (`Partitioner::scale_out_plan`) at provision time and executes it
@@ -169,6 +182,7 @@ impl Default for EngineConfig {
             spin_work: 500,
             window: 5,
             elasticity: Box::new(HoldPolicy),
+            split: None,
             preplace: true,
             fault_plan: FaultPlan::none(),
             op_deadline_intervals: 4,
@@ -180,7 +194,7 @@ impl Default for EngineConfig {
     }
 }
 
-pub use streambal_elastic::ScaleEvent;
+pub use streambal_elastic::{ScaleEvent, SplitEvent};
 
 /// A survivable violation of the pause → migrate → resume protocol.
 ///
@@ -306,6 +320,10 @@ pub struct EngineReport {
     pub collector_result: Vec<(u64, u64)>,
     /// Executed elasticity decisions, in order.
     pub scale_events: Vec<ScaleEvent>,
+    /// Executed hot-key split/unsplit decisions, in order (empty when
+    /// [`EngineConfig::split`] is `None`). Comparable `==` against the
+    /// simulator's trace, like [`EngineReport::scale_events`].
+    pub split_events: Vec<SplitEvent>,
     /// Integral of live workers over wall time (the provisioning cost an
     /// elastic policy saves against a static peak-sized deployment).
     pub worker_seconds: f64,
@@ -368,6 +386,10 @@ struct PlannedMigration {
     /// statistics cannot size — where a rebalance is billed up front
     /// from its plan's windowed-mem estimate, as always.
     preplaced: bool,
+    /// What the op's flight-recorder span is labelled: `ScaleOut`,
+    /// `Rebalance`, `Split` (degenerate: empty `by_source`), or
+    /// `Unsplit` (replica partials consolidating into the primary).
+    label: OpLabel,
 }
 
 /// A control-plane operation queued behind the in-flight one. Migrations
@@ -730,6 +752,7 @@ impl Engine {
             final_states: Vec::new(),
             collector_result: Vec::new(),
             scale_events: Vec::new(),
+            split_events: Vec::new(),
             worker_seconds: 0.0,
             first_tuple_interval: vec![None; max_workers],
             protocol_errors: Vec::new(),
@@ -772,27 +795,15 @@ impl Engine {
                 spawner.spawn(s, d, rx, op_factory(TaskId::from(d)), 0);
             }
 
-            // --- collector -----------------------------------------------
-            let col_handle = collector.map(|mut c| {
-                let col_pool_tx = pool_tx.clone();
-                let mut col_rec = sink.recorder(ThreadLabel::Collector);
-                s.spawn(move || {
-                    let mut returns: Vec<Vec<Tuple>> = Vec::new();
-                    while let Ok(mut batch) = col_rx.recv() {
-                        for t in &batch {
-                            c.collect(t);
-                        }
-                        batch.clear();
-                        // Recycle toward the source in groups; ignore
-                        // failure (source already gone at teardown).
-                        returns.push(batch);
-                        if returns.len() >= 8 {
-                            let _ = col_pool_tx.send(std::mem::take(&mut returns));
-                        }
-                    }
-                    col_rec.mark("collector-done");
-                    c.result()
-                })
+            // --- merge stage (the downstream operator) --------------------
+            let col_handle = collector.map(|c| {
+                let stage = crate::merge::MergeStage::new(
+                    c,
+                    col_rx,
+                    pool_tx.clone(),
+                    sink.recorder(ThreadLabel::Collector),
+                );
+                s.spawn(move || stage.run())
             });
 
             // --- throughput sampler ---------------------------------------
@@ -835,6 +846,7 @@ impl Engine {
 
             // --- controller (this thread) ----------------------------------
             let mut policy = config.elasticity.clone();
+            let mut split_policy = config.split.clone();
             let mut active = config.n_workers;
             let mut pending: Option<ActiveOp> = None;
             let mut queue: VecDeque<PlannedOp> = VecDeque::new();
@@ -1965,6 +1977,7 @@ impl Engine {
                                     affected,
                                     view: partitioner.routing_view(),
                                     preplaced: true,
+                                    label: OpLabel::ScaleOut,
                                 }));
                             }
                         }
@@ -1996,6 +2009,113 @@ impl Engine {
                             });
                         }
                         _ => {}
+                    }
+                    // Hot-key split decision: same cadence as elasticity,
+                    // executed through the same serialized protocol queue.
+                    // The observation's per-key costs are the merged round
+                    // totals — a split key's entry already sums its
+                    // replicas' partial loads, which is the signal the
+                    // unsplit watermark needs.
+                    if let Some(sp) = split_policy.as_mut() {
+                        let key_loads: Vec<(u64, u64)> =
+                            merged.iter().map(|(k, st)| (k.raw(), st.cost)).collect();
+                        let mut split_keys: Vec<u64> =
+                            partitioner.splits().iter().map(|(k, _)| k.raw()).collect();
+                        split_keys.sort_unstable();
+                        let sobs = SplitObservation {
+                            interval,
+                            n_tasks: planned,
+                            key_loads: &key_loads,
+                            split_keys: &split_keys,
+                        };
+                        match sp.decide(&sobs) {
+                            SplitDecision::Split { key, replicas }
+                                if planned >= 2 && replicas >= 2 && !split_keys.contains(&key) =>
+                            {
+                                // Replica slots: the key's current route
+                                // stays primary (unsplit consolidates back
+                                // onto it with no table change); the rest
+                                // are the least-loaded live tasks. Dead
+                                // slots sort last — routing to them would
+                                // only bounce off the source's divert.
+                                let k = Key(key);
+                                let primary = partitioner.route(k);
+                                let task_loads: Vec<u64> = (0..planned)
+                                    .map(|i| {
+                                        if dead.contains(&i) {
+                                            u64::MAX
+                                        } else {
+                                            loads.get(i).copied().unwrap_or(0)
+                                        }
+                                    })
+                                    .collect();
+                                let slots: Vec<TaskId> =
+                                    choose_replicas(primary.index(), &task_loads, replicas)
+                                        .into_iter()
+                                        .map(TaskId::from)
+                                        .collect();
+                                if slots.len() >= 2 && partitioner.split_key(k, &slots) {
+                                    report.split_events.push(SplitEvent {
+                                        interval,
+                                        key,
+                                        from: 1,
+                                        to: slots.len(),
+                                    });
+                                    // A split moves no state: the op is a
+                                    // degenerate migration whose pause
+                                    // window makes the view swap atomic
+                                    // (PauseAck with nothing awaited
+                                    // resumes immediately under the split
+                                    // view).
+                                    queue.push_back(PlannedOp::Migrate(PlannedMigration {
+                                        by_source: FxHashMap::default(),
+                                        affected: vec![k],
+                                        view: partitioner.routing_view(),
+                                        preplaced: false,
+                                        label: OpLabel::Split,
+                                    }));
+                                }
+                            }
+                            SplitDecision::Unsplit { key } => {
+                                let k = Key(key);
+                                // `unsplit_key` consolidates the routing
+                                // onto the primary and returns the replica
+                                // set; the physical consolidation is a
+                                // real migration moving each live
+                                // non-primary replica's partial state into
+                                // the primary (whose `install` merges
+                                // additively).
+                                if let Some(replica_set) = partitioner.unsplit_key(k) {
+                                    let primary = replica_set[0];
+                                    let mut by_source: FxHashMap<TaskId, Vec<(Key, TaskId)>> =
+                                        FxHashMap::default();
+                                    for &r in replica_set.iter().skip(1) {
+                                        if r != primary && !dead.contains(&r.index()) {
+                                            by_source.insert(r, vec![(k, primary)]);
+                                        }
+                                    }
+                                    report.split_events.push(SplitEvent {
+                                        interval,
+                                        key,
+                                        from: replica_set.len(),
+                                        to: 1,
+                                    });
+                                    // Billed like a pre-placement: the
+                                    // moved bytes are whatever partials
+                                    // the replicas actually hold, which
+                                    // no single interval's stats can
+                                    // size.
+                                    queue.push_back(PlannedOp::Migrate(PlannedMigration {
+                                        by_source,
+                                        affected: vec![k],
+                                        view: partitioner.routing_view(),
+                                        preplaced: true,
+                                        label: OpLabel::Unsplit,
+                                    }));
+                                }
+                            }
+                            _ => {}
+                        }
                     }
                     if let Some(out) = partitioner.end_interval(merged) {
                         if !out.plan.is_empty() {
@@ -2066,6 +2186,7 @@ impl Engine {
                                 affected,
                                 view,
                                 preplaced: false,
+                                label: OpLabel::Rebalance,
                             }));
                         }
                     }
@@ -2359,14 +2480,7 @@ impl Engine {
                                 // The span id is the op epoch: Plan marks
                                 // the pop, Pause marks the quiesce request
                                 // going out.
-                                rec.span_open(
-                                    next_epoch,
-                                    if plan.preplaced {
-                                        OpLabel::ScaleOut
-                                    } else {
-                                        OpLabel::Rebalance
-                                    },
-                                );
+                                rec.span_open(next_epoch, plan.label);
                                 rec.span_phase(next_epoch, Phase::Plan);
                                 rec.span_phase(next_epoch, Phase::Pause);
                                 open_spans.insert(next_epoch);
@@ -2974,6 +3088,7 @@ mod tests {
             spin_work: 10,
             window: 100, // keep everything: exact count validation
             elasticity: Box::new(HoldPolicy),
+            split: None,
             preplace: true,
             fault_plan: FaultPlan::none(),
             op_deadline_intervals: 4,

@@ -98,6 +98,48 @@
 //! mirroring the paper's "controlling the latency on tuple processing to
 //! force the system to a saturation point".
 //!
+//! ## Hot-key splitting
+//!
+//! Migration and scale-out both move *whole keys*; neither helps when a
+//! single key's load exceeds one worker's capacity. For that case the
+//! controller consults a `SplitPolicy` (crate `streambal-elastic`)
+//! after every statistics round and executes **split** / **unsplit** as
+//! first-class protocol ops, sharing the migration queue, epochs,
+//! pause → quiesce → install → resume phases, deadline/abort machinery,
+//! fault-ledger entries, and flight-recorder spans (`OpLabel::Split`,
+//! `OpLabel::Unsplit`):
+//!
+//! * **Split** salts the key across `R` replica slots
+//!   (`Partitioner::split_key`): the routing layer round-robins the
+//!   key's batches over the replicas, each of which accumulates an
+//!   independent *partial* state. No state moves — the op is a
+//!   degenerate migration (empty move set) whose pause window makes the
+//!   view install atomic: the source's ack certifies every tuple routed
+//!   under the unsplit view is already in the primary's FIFO channel,
+//!   so replica-routed tuples land strictly after it.
+//! * **Unsplit** consolidates (`Partitioner::unsplit_key`): a real
+//!   migration extracting each non-primary replica's partial state for
+//!   the key and installing it into the primary, whose `install` merges
+//!   additively. The pause covers the whole transfer, so no tuple is
+//!   routed under the consolidated view before the partials landed.
+//!
+//! **Replica/merge consistency argument.** The migration protocol's
+//! per-key argument relies on each key having *one* home per epoch and
+//! FIFO order on that one channel. A split key deliberately breaks the
+//! single-home premise, and consistency is re-established one level
+//! down: per replica, FIFO still orders every batch against every
+//! marker (each replica's partial is exact for the tuples it saw), and
+//! the key's total is recovered by a commutative, associative fold over
+//! replica partials — at the merge stage ([`merge::MergeStage`], the
+//! second operator of the two-stage pipeline) for partial-emission
+//! runs, or at shutdown when `EngineReport::final_states` merges blobs
+//! per key. Because the fold is order-insensitive, replica cursors
+//! need no coordination (holders may rotate out of phase) and a replica
+//! killed mid-split costs exactly the tuples it held — counted per key
+//! in `lost_tuples` — so the accounting invariant
+//! `fed == observed + lost` holds *after the merge* across splits,
+//! unsplits, and mid-split kills, for every partitioner.
+//!
 //! ## Failure model
 //!
 //! The engine tolerates — and accounts for — three fault classes,
@@ -194,6 +236,7 @@ pub mod codec;
 pub(crate) mod controller;
 pub mod engine;
 pub mod fault;
+pub mod merge;
 pub mod message;
 pub mod operator;
 pub mod router;
@@ -205,8 +248,9 @@ pub use codec::{
     decode_plan, decode_tuple_batch, decode_view, encode_plan, encode_tuple_batch, encode_view,
     CodecError,
 };
-pub use engine::{Engine, EngineConfig, EngineReport, ProtocolError, ScaleEvent};
+pub use engine::{Engine, EngineConfig, EngineReport, ProtocolError, ScaleEvent, SplitEvent};
 pub use fault::{CtlKind, FaultEvent, FaultInjector, FaultPlan, FaultSpec, KillTrigger, OpKind};
+pub use merge::MergeStage;
 pub use message::{Message, SourceCtl, SourceEvent, WorkerEvent};
 pub use operator::{
     CoJoinOp, Collector, CountingCollector, Operator, SumCollector, WindowedSelfJoinOp, WordCountOp,

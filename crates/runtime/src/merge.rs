@@ -1,0 +1,136 @@
+//! The merge stage — the downstream half of the two-stage pipeline.
+//!
+//! The engine's topology is a two-stage seam: a **keyed stage** (the
+//! worker threads running an [`Operator`] over per-key windowed state)
+//! feeding a **merge stage** over a second channel plane. The plane
+//! reuses the pooled, tuple-weighted `TupleBatch` machinery of the
+//! source plane: workers accumulate emissions into pooled `Vec<Tuple>`
+//! buffers and ship them over one bounded, tuple-weighted channel
+//! (`EngineConfig::collector_capacity` — a full merge stage
+//! backpressures the keyed stage exactly like a full worker channel
+//! backpressures the source), and the merge stage recycles drained
+//! buffers to the source's free list in groups.
+//!
+//! The merge stage is what makes **hot-key splitting** exact. When a
+//! key is split, its tuples round-robin across replica slots and each
+//! replica accumulates a *partial* aggregate; nothing on the keyed
+//! stage ever sees the key's total. Replicas emit their partials as
+//! `TAG_PARTIAL` tuples (count deltas for `WordCountOp`'s
+//! partial-emission mode, window contributions for the join ops), and
+//! the merge stage's [`Collector`] folds them per key — the only place
+//! a split key's stream is reunified. The consistency argument is the
+//! FIFO-per-channel one restated downstream (see the crate docs'
+//! "Hot-key splitting" section): each replica's partials arrive on the
+//! merge plane in emission order, merging is commutative and
+//! associative (sums per key), so any interleaving of replica partials
+//! folds to the same totals the unsplit operator would have produced.
+//!
+//! For runs without a collector the keyed stage's final states merge at
+//! shutdown instead (`EngineReport::final_states` sums blobs per key),
+//! which is the same fold executed once at the end.
+
+use crossbeam::channel::{Receiver, Sender};
+use streambal_trace::ThreadRecorder;
+
+use crate::operator::Collector;
+use crate::tuple::Tuple;
+
+/// How many drained batch buffers the merge stage accumulates before
+/// recycling them to the source's pool in one channel send.
+const RECYCLE_GROUP: usize = 8;
+
+/// The merge-stage runner: drains emission batches from the keyed
+/// stage, folds them through a [`Collector`], and recycles the buffers.
+///
+/// Owns the downstream end of the second channel plane. The engine
+/// spawns [`MergeStage::run`] on its own thread; the returned rows land
+/// in `EngineReport::collector_result`.
+pub struct MergeStage {
+    collector: Box<dyn Collector>,
+    rx: Receiver<Vec<Tuple>>,
+    pool: Sender<Vec<Vec<Tuple>>>,
+    rec: ThreadRecorder,
+}
+
+impl MergeStage {
+    /// Builds the stage around its collector, inbound plane, and the
+    /// source's buffer-recycle channel.
+    pub fn new(
+        collector: Box<dyn Collector>,
+        rx: Receiver<Vec<Tuple>>,
+        pool: Sender<Vec<Vec<Tuple>>>,
+        rec: ThreadRecorder,
+    ) -> Self {
+        MergeStage {
+            collector,
+            rx,
+            pool,
+            rec,
+        }
+    }
+
+    /// Drains the plane to disconnection and returns the merged result
+    /// rows. Buffer recycling is best-effort: at teardown the source is
+    /// already gone and the pool send failing is expected.
+    pub fn run(mut self) -> Vec<(u64, u64)> {
+        let mut returns: Vec<Vec<Tuple>> = Vec::new();
+        while let Ok(mut batch) = self.rx.recv() {
+            for t in &batch {
+                self.collector.collect(t);
+            }
+            batch.clear();
+            returns.push(batch);
+            if returns.len() >= RECYCLE_GROUP {
+                let _ = self.pool.send(std::mem::take(&mut returns));
+            }
+        }
+        self.rec.mark("collector-done");
+        self.collector.result()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::operator::SumCollector;
+    use crate::tuple::TAG_PARTIAL;
+    use crossbeam::channel::unbounded;
+    use streambal_core::Key;
+    use streambal_trace::{ThreadLabel, TraceSink};
+
+    /// The stage folds split-key partials from multiple "replicas" into
+    /// one total per key and recycles drained buffers to the pool.
+    #[test]
+    fn merges_replica_partials_and_recycles_buffers() {
+        let (tx, rx) = unbounded::<Vec<Tuple>>();
+        let (pool_tx, pool_rx) = unbounded::<Vec<Vec<Tuple>>>();
+        let sink = TraceSink::new(false);
+        let stage = MergeStage::new(
+            Box::new(SumCollector::new()),
+            rx,
+            pool_tx,
+            sink.recorder(ThreadLabel::Collector),
+        );
+        // Two replicas of split key 7 emit partials interleaved with an
+        // unsplit key 9; enough batches to trip one recycle group.
+        for i in 0..RECYCLE_GROUP + 1 {
+            let replica_delta = (i as u64) + 1;
+            tx.send(vec![
+                Tuple::tagged(Key(7), TAG_PARTIAL, [replica_delta, 0]),
+                Tuple::tagged(Key(7), TAG_PARTIAL, [replica_delta, 0]),
+                Tuple::tagged(Key(9), TAG_PARTIAL, [1, 0]),
+            ])
+            .unwrap();
+        }
+        drop(tx);
+        let rows = stage.run();
+        let n = (RECYCLE_GROUP + 1) as u64;
+        // Σ 2·(i+1) for i in 0..n, and n ones for key 9.
+        assert_eq!(rows, vec![(7, n * (n + 1)), (9, n)]);
+        let mut recycled = 0usize;
+        while let Ok(group) = pool_rx.try_recv() {
+            recycled += group.len();
+        }
+        assert_eq!(recycled, RECYCLE_GROUP, "one full recycle group");
+    }
+}

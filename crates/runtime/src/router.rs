@@ -40,6 +40,15 @@ impl SourceRouter {
             RoutingView::TablePlusHash { table, n_tasks } => {
                 SourceRouter::Assignment(AssignmentFn::with_table(n_tasks, table))
             }
+            RoutingView::SplitTable {
+                table,
+                n_tasks,
+                splits,
+            } => {
+                let mut a = AssignmentFn::with_table(n_tasks, table);
+                a.set_splits(splits);
+                SourceRouter::Assignment(a)
+            }
             RoutingView::TwoChoice { n_tasks } => SourceRouter::TwoChoice {
                 n: n_tasks,
                 est: vec![0; n_tasks],
@@ -262,6 +271,46 @@ mod tests {
         });
         for k in 0..1_000u64 {
             assert_eq!(delta_router.route(Key(k)), fresh.route(Key(k)), "key {k}");
+        }
+    }
+
+    /// A split view materializes the split table, a delta applied on top
+    /// leaves it intact, and re-materialized holders rotate identically
+    /// from the primary (cursors are per-holder, reset on install).
+    #[test]
+    fn split_view_materializes_and_survives_deltas() {
+        let table: RoutingTable = (0..20u64)
+            .map(|k| (Key(k), TaskId((k % 4) as u32)))
+            .collect();
+        let view = RoutingView::SplitTable {
+            table,
+            n_tasks: 4,
+            splits: vec![(Key(100), vec![TaskId(1), TaskId(3)])],
+        };
+        let mut a = SourceRouter::from_view(view.clone());
+        let mut b = SourceRouter::from_view(view);
+        // Both holders rotate 1, 3, 1, 3, ... in lockstep.
+        for _ in 0..4 {
+            assert_eq!(a.route(Key(100)), b.route(Key(100)));
+        }
+        // A table delta against the split-carrying router applies to the
+        // table layer only; the split keeps routing.
+        a.update(RoutingView::TableDelta {
+            n_tasks: 4,
+            moves: vec![(Key(5), TaskId(2))],
+        });
+        assert_eq!(a.route(Key(5)), TaskId(2));
+        let d = a.route(Key(100));
+        assert!(d == TaskId(1) || d == TaskId(3), "split lost by delta");
+        // A plain table view re-materializes without splits: unsplit.
+        a.update(RoutingView::TablePlusHash {
+            table: RoutingTable::new(),
+            n_tasks: 4,
+        });
+        if let SourceRouter::Assignment(f) = &a {
+            assert!(!f.has_splits());
+        } else {
+            panic!("wrong variant");
         }
     }
 

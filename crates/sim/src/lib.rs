@@ -9,9 +9,14 @@
 //! finish in seconds. (Throughput/latency figures need the real engine —
 //! `streambal-runtime`.)
 //!
-//! The simulator assumes key-grouping semantics (every key maps to one
-//! task); PKG's split-key routing only appears in the runtime experiments,
-//! exactly as in the paper.
+//! The simulator models key-grouping semantics plus hot-key splitting:
+//! every key maps to one task unless a [`SplitPolicy`]
+//! ([`run_sim_elastic_split`]) salts it across replica slots. The split
+//! *decision* layer runs here exactly as on the engine — same
+//! observation shape, same guards, same event records — so a split plan
+//! drafted in the simulator replays on the runtime `SplitEvent` for
+//! `SplitEvent`. Only the tuple-level consequences (replica partials,
+//! the merge stage) need the real engine.
 
 pub mod report;
 pub mod source;
@@ -21,7 +26,8 @@ pub use source::IntervalSource;
 
 use streambal_core::{loads_of, Key, Partitioner, RebalanceInput, TaskId};
 use streambal_elastic::{
-    ElasticityPolicy, HoldPolicy, IntervalObservation, ScaleDecision, ScaleEvent,
+    choose_replicas, ElasticityPolicy, HoldPolicy, IntervalObservation, ScaleDecision, ScaleEvent,
+    SplitDecision, SplitEvent, SplitObservation, SplitPolicy,
 };
 use streambal_metrics::Stopwatch;
 
@@ -139,6 +145,56 @@ pub fn run_sim_elastic_queued(
     max_tasks: usize,
     model: QueueModel,
 ) -> SimReport {
+    run_sim_inner(partitioner, source, cfg, policy, max_tasks, model, None)
+}
+
+/// [`run_sim_elastic_queued`] with the hot-key split hook: after the
+/// elasticity decision (and before `end_interval`, exactly where the
+/// engine's controller consults `EngineConfig::split`), the split policy
+/// sees the interval's per-key costs and the current split set, and its
+/// decisions execute through [`Partitioner::split_key`] /
+/// [`Partitioner::unsplit_key`] with the same guards and the same
+/// replica-slot choice ([`choose_replicas`] over the interval's task
+/// loads) as the engine. Executed decisions land in
+/// [`SimReport::split_events`] in the engine's `SplitEvent` shape, so
+/// sim and runtime split traces pin with `==` — the engine's only extra
+/// step is shipping the view (and, for unsplit, the replica partials)
+/// through its pause/quiesce protocol, which changes no decision.
+///
+/// The same-interval caveat as scale events applies: a split decided in
+/// the interval a scale decision also fired can see a one-task-newer
+/// routing here (the sim applies scale instantly, the engine queues it),
+/// so identical traces need the two decision kinds at least one interval
+/// apart — free with any cooldown-carrying policy.
+pub fn run_sim_elastic_split(
+    partitioner: &mut dyn Partitioner,
+    source: &mut dyn IntervalSource,
+    cfg: &SimConfig,
+    policy: &mut dyn ElasticityPolicy,
+    max_tasks: usize,
+    model: QueueModel,
+    split: &mut dyn SplitPolicy,
+) -> SimReport {
+    run_sim_inner(
+        partitioner,
+        source,
+        cfg,
+        policy,
+        max_tasks,
+        model,
+        Some(split),
+    )
+}
+
+fn run_sim_inner(
+    partitioner: &mut dyn Partitioner,
+    source: &mut dyn IntervalSource,
+    cfg: &SimConfig,
+    policy: &mut dyn ElasticityPolicy,
+    max_tasks: usize,
+    model: QueueModel,
+    mut split: Option<&mut dyn SplitPolicy>,
+) -> SimReport {
     let mut report = SimReport::new(partitioner.name(), cfg.n_tasks);
     // Batch scratch reused across intervals: the destination evaluation is
     // the simulator's per-key hot loop, so it goes through `route_batch`
@@ -243,6 +299,61 @@ pub fn run_sim_elastic_queued(
                 });
             }
             _ => {}
+        }
+
+        // Hot-key split decision, mirroring the engine's controller: same
+        // cadence (after the scale decision, before `end_interval`), same
+        // observation (per-key interval costs — a split key's entry is
+        // its replicas' merged total here just as on the engine, the
+        // replayed stats being per *key*), same guards, same slot choice.
+        if let Some(sp) = split.as_deref_mut() {
+            let key_loads: Vec<(u64, u64)> = stats.iter().map(|(k, s)| (k.raw(), s.cost)).collect();
+            let mut split_keys: Vec<u64> =
+                partitioner.splits().iter().map(|(k, _)| k.raw()).collect();
+            split_keys.sort_unstable();
+            let sobs = SplitObservation {
+                interval: interval as u64,
+                n_tasks,
+                key_loads: &key_loads,
+                split_keys: &split_keys,
+            };
+            match sp.decide(&sobs) {
+                SplitDecision::Split { key, replicas }
+                    if n_tasks >= 2 && replicas >= 2 && !split_keys.contains(&key) =>
+                {
+                    // The key's current route stays primary; the other
+                    // slots are the least-loaded tasks (the simulator
+                    // models no worker failures, so no dead-slot filter).
+                    let k = Key(key);
+                    let primary = partitioner.route(k);
+                    let slots: Vec<TaskId> =
+                        choose_replicas(primary.index(), &summary.loads, replicas)
+                            .into_iter()
+                            .map(TaskId::from)
+                            .collect();
+                    if slots.len() >= 2 && partitioner.split_key(k, &slots) {
+                        report.observe_split(SplitEvent {
+                            interval: interval as u64,
+                            key,
+                            from: 1,
+                            to: slots.len(),
+                        });
+                    }
+                }
+                SplitDecision::Unsplit { key } => {
+                    // No state to consolidate here — the engine's partial
+                    // merge onto the primary is simulated for free.
+                    if let Some(replica_set) = partitioner.unsplit_key(Key(key)) {
+                        report.observe_split(SplitEvent {
+                            interval: interval as u64,
+                            key,
+                            from: replica_set.len(),
+                            to: 1,
+                        });
+                    }
+                }
+                _ => {}
+            }
         }
 
         let watch = Stopwatch::start();
@@ -588,6 +699,113 @@ mod tests {
              the drained-pipeline scale-in): {:?}",
             report.scale_events
         );
+    }
+
+    /// A fixed split schedule executes through the sim loop: the key is
+    /// salted mid-run, consolidated on schedule, and the event trace pins
+    /// exactly (the engine replay identity is `tests/elasticity.rs`).
+    #[test]
+    fn split_sim_executes_a_fixed_cycle() {
+        use streambal_elastic::{FixedSplitSchedule, HoldPolicy, SplitEvent};
+        let cfg = SimConfig {
+            n_tasks: 4,
+            intervals: 6,
+        };
+        let mut p = HashPartitioner::new(4);
+        let mut src = zipf_source(1_000, 0.9, 0.2);
+        let mut split = FixedSplitSchedule::cycle(42, 3, 1, 3);
+        let report = run_sim_elastic_split(
+            &mut p,
+            &mut src,
+            &cfg,
+            &mut HoldPolicy,
+            4,
+            QueueModel::none(),
+            &mut split,
+        );
+        assert_eq!(
+            report.split_events,
+            vec![
+                SplitEvent {
+                    interval: 1,
+                    key: 42,
+                    from: 1,
+                    to: 3,
+                },
+                SplitEvent {
+                    interval: 3,
+                    key: 42,
+                    from: 3,
+                    to: 1,
+                },
+            ]
+        );
+        assert!(p.splits().is_empty(), "cycle must restore plain routing");
+        assert_eq!(report.theta_series.len(), 6);
+    }
+
+    /// `HotKeyPolicy` plans from per-key interval costs in the sim: a
+    /// dominant-key burst splits once (streak + cooldown suppress flaps),
+    /// and the cooled key consolidates after `down_after` quiet rounds.
+    #[test]
+    fn hotkey_policy_splits_the_dominant_burst_in_sim() {
+        use source::ReplaySource;
+        use streambal_core::IntervalStats;
+        use streambal_elastic::{HoldPolicy, HotKeyPolicy, SplitEvent};
+        // Interval costs: quiet, 3 burst intervals of a single dominant
+        // key, quiet tail.
+        let hot_cost = [0u64, 5_000, 5_000, 5_000, 0, 0, 0];
+        let stats: Vec<IntervalStats> = hot_cost
+            .iter()
+            .map(|&h| {
+                let mut iv = IntervalStats::new();
+                for k in 0..20u64 {
+                    iv.observe(Key(k), 10, 10, 8);
+                }
+                if h > 0 {
+                    iv.observe(Key(999), h, h, 8);
+                }
+                iv
+            })
+            .collect();
+        let mut src = ReplaySource::new(stats);
+        let mut p = HashPartitioner::new(4);
+        // budget = 5400/1.08 = 5000; the 5000-cost burst crosses the 0.9
+        // high mark, the quiet tail sits under the 0.5 low mark. The
+        // burst key carries ~96% of the interval, so share-based sizing
+        // salts it across all four tasks.
+        let mut hot = HotKeyPolicy::new(5_400.0);
+        let report = run_sim_elastic_split(
+            &mut p,
+            &mut src,
+            &SimConfig {
+                n_tasks: 4,
+                intervals: hot_cost.len(),
+            },
+            &mut HoldPolicy,
+            4,
+            QueueModel::none(),
+            &mut hot,
+        );
+        assert_eq!(
+            report.split_events,
+            vec![
+                SplitEvent {
+                    interval: 1,
+                    key: 999,
+                    from: 1,
+                    to: 4,
+                },
+                SplitEvent {
+                    interval: 5,
+                    key: 999,
+                    from: 4,
+                    to: 1,
+                },
+            ],
+            "one split per burst, one unsplit per cool-down"
+        );
+        assert!(p.splits().is_empty());
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! Collected scheduling metrics of one simulation run.
 
 use streambal_core::{LoadSummary, RebalanceOutcome};
-use streambal_elastic::ScaleEvent;
+use streambal_elastic::{ScaleEvent, SplitEvent};
 use streambal_metrics::{OnlineStats, TimeSeries};
 
 /// Everything a simulation run measures, mirroring the paper's §V metric
@@ -28,6 +28,9 @@ pub struct SimReport {
     /// Executed elasticity decisions, in order (same type as the engine
     /// report's, so sim and runtime decision traces compare directly).
     pub scale_events: Vec<ScaleEvent>,
+    /// Executed hot-key split/unsplit decisions, in order (same type as
+    /// `EngineReport::split_events` for the same `==` trace comparison).
+    pub split_events: Vec<SplitEvent>,
     /// Per-task accumulated normalized load (for Fig. 7-style CDFs).
     /// Grows with scale-out; a retired task's accumulation stops but its
     /// history remains.
@@ -48,6 +51,7 @@ impl SimReport {
             theta_after: OnlineStats::new(),
             rebalances: 0,
             scale_events: Vec::new(),
+            split_events: Vec::new(),
             per_task_norm_load: vec![0.0; n_tasks],
             intervals_seen: 0,
         }
@@ -72,6 +76,11 @@ impl SimReport {
     /// Records one executed elasticity decision.
     pub fn observe_scale(&mut self, event: ScaleEvent) {
         self.scale_events.push(event);
+    }
+
+    /// Records one executed split/unsplit decision.
+    pub fn observe_split(&mut self, event: SplitEvent) {
+        self.split_events.push(event);
     }
 
     /// Records one fired rebalance.

@@ -105,6 +105,12 @@ pub enum OpLabel {
     /// The synchronous re-install + resume an aborted op rolls back
     /// through (runs under its own fresh epoch).
     Rollback,
+    /// A hot key being salted across replica slots (degenerate
+    /// migration: pause → install split view → resume, no state moves).
+    Split,
+    /// A split dissolving: replica partial state consolidates onto the
+    /// key's primary through the full migrate machinery.
+    Unsplit,
 }
 
 impl OpLabel {
@@ -115,6 +121,8 @@ impl OpLabel {
             OpLabel::ScaleOut => "scale_out",
             OpLabel::ScaleIn => "scale_in",
             OpLabel::Rollback => "rollback",
+            OpLabel::Split => "split",
+            OpLabel::Unsplit => "unsplit",
         }
     }
 
@@ -125,6 +133,8 @@ impl OpLabel {
             "scale_out" => Some(OpLabel::ScaleOut),
             "scale_in" => Some(OpLabel::ScaleIn),
             "rollback" => Some(OpLabel::Rollback),
+            "split" => Some(OpLabel::Split),
+            "unsplit" => Some(OpLabel::Unsplit),
             _ => None,
         }
     }
@@ -1193,6 +1203,8 @@ mod tests {
             OpLabel::ScaleOut,
             OpLabel::ScaleIn,
             OpLabel::Rollback,
+            OpLabel::Split,
+            OpLabel::Unsplit,
         ] {
             assert_eq!(OpLabel::from_name(op.as_str()), Some(op));
         }

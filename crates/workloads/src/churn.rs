@@ -11,6 +11,14 @@
 //! ramp per interval (`with_volume_schedule`), producing the
 //! variance-heavy load shape scale-out/scale-in policies must track.
 //!
+//! The third adversary is the skew taxonomy's scenario B
+//! (`with_dominant_burst`): **one fixed key** carries an adjustable
+//! fraction of the total volume for a burst window of intervals. A key
+//! hotter than one worker's capacity defeats whole-key migration by
+//! construction — no placement helps — which is exactly the scenario
+//! hot-key splitting exists for, so this shape drives the split
+//! benchmarks and the `SplitPolicy` tests.
+//!
 //! Deterministic given a seed, like every generator in this crate.
 
 use rand::rngs::StdRng;
@@ -30,6 +38,9 @@ pub struct ChurnWorkload {
     hot_share: f64,
     /// Per-interval volume multipliers (cycled); empty = flat volume.
     volume: Vec<f64>,
+    /// Scenario-B dominant key: `(key, share, from, until)` — `key`
+    /// takes `share` of the total volume in intervals `from..until`.
+    dominant: Option<(Key, f64, u64, u64)>,
     interval: u64,
     rng: StdRng,
     /// Current interval's hot keys (disjoint from the previous set).
@@ -57,6 +68,7 @@ impl ChurnWorkload {
             hot_n,
             hot_share,
             volume: Vec::new(),
+            dominant: None,
             interval: 0,
             rng: StdRng::seed_from_u64(seed ^ 0xC0FF_EE00),
             hot: Vec::new(),
@@ -71,6 +83,34 @@ impl ChurnWorkload {
     pub fn with_volume_schedule(mut self, volume: impl Into<Vec<f64>>) -> Self {
         self.volume = volume.into();
         self
+    }
+
+    /// Skew-taxonomy scenario B: the single key `key` carries `share`
+    /// of the total volume during intervals `from..until` (half-open);
+    /// hot set and cold tail split the remainder in their usual
+    /// proportions. Pick `key` outside the churn domain (`≥ k`) for an
+    /// exactly attributable burst — a domain key would additionally
+    /// draw its ordinary hot/cold mass.
+    ///
+    /// # Panics
+    /// Panics unless `0 ≤ share ≤ 1` and `from < until`.
+    pub fn with_dominant_burst(mut self, key: Key, share: f64, from: u64, until: u64) -> Self {
+        assert!((0.0..=1.0).contains(&share), "share is a fraction");
+        assert!(from < until, "empty burst window");
+        self.dominant = Some((key, share, from, until));
+        self
+    }
+
+    /// The scenario-B dominant key, if configured.
+    pub fn dominant_key(&self) -> Option<Key> {
+        self.dominant.map(|(k, ..)| k)
+    }
+
+    /// Whether the current interval is inside the dominant-key burst
+    /// window.
+    pub fn in_burst(&self) -> bool {
+        self.dominant
+            .is_some_and(|(_, _, from, until)| (from..until).contains(&self.interval))
     }
 
     /// Current interval index.
@@ -119,9 +159,23 @@ impl ChurnWorkload {
     /// zero-frequency keys omitted.
     fn freqs(&self) -> Vec<(Key, u64)> {
         let total = self.interval_tuples();
+        // The dominant burst takes its share off the top; hot set and
+        // cold tail split the exact remainder, so every interval's
+        // frequencies sum to `interval_tuples()` to the tuple.
+        let dom_total = if self.in_burst() {
+            let (_, share, ..) = self.dominant.unwrap();
+            (total as f64 * share).round() as u64
+        } else {
+            0
+        };
+        let total = total - dom_total;
         let hot_total = (total as f64 * self.hot_share).round() as u64;
         let cold_total = total - hot_total;
-        let mut out: Vec<(Key, u64)> = Vec::with_capacity(self.hot_n + self.k);
+        let mut out: Vec<(Key, u64)> = Vec::with_capacity(self.hot_n + self.k + 1);
+        if dom_total > 0 {
+            let (key, ..) = self.dominant.unwrap();
+            out.push((key, dom_total));
+        }
         let per_hot = hot_total / self.hot_n as u64;
         let mut rem = hot_total - per_hot * self.hot_n as u64;
         for &h in &self.hot {
@@ -251,5 +305,53 @@ mod tests {
     #[should_panic(expected = "disjoint hot sets")]
     fn oversized_hot_set_panics() {
         ChurnWorkload::new(10, 100, 6, 0.5, 1);
+    }
+
+    /// Scenario B volume attribution is exact to the tuple: inside the
+    /// burst window the dominant key holds exactly its share of the
+    /// total, outside it receives nothing, and every interval's
+    /// frequencies still sum to `interval_tuples()`.
+    #[test]
+    fn dominant_burst_attribution_is_exact() {
+        let dom = Key(5_000); // outside the churn domain
+        let mut w =
+            ChurnWorkload::new(1_000, 10_000, 10, 0.5, 9).with_dominant_burst(dom, 0.6, 2, 4);
+        assert_eq!(w.dominant_key(), Some(dom));
+        for interval in 0..6u64 {
+            let stats = w.interval_stats();
+            let total: u64 = stats.iter().map(|(_, s)| s.freq).sum();
+            assert_eq!(total, w.interval_tuples(), "interval {interval} total");
+            let got = stats.get(dom).map_or(0, |s| s.freq);
+            if (2..4).contains(&interval) {
+                assert!(w.in_burst());
+                assert_eq!(got, 6_000, "dominant share exact during burst");
+            } else {
+                assert!(!w.in_burst());
+                assert_eq!(got, 0, "no dominant mass outside the window");
+            }
+            // The materialized tuple stream attributes identically.
+            let tuples = w.tuples();
+            assert_eq!(tuples.len() as u64, total);
+            assert_eq!(tuples.iter().filter(|&&k| k == dom).count() as u64, got);
+            w.advance();
+        }
+    }
+
+    /// The dominant share applies to the *scheduled* volume: a burst
+    /// that coincides with a volume ramp takes its fraction of the
+    /// ramped total.
+    #[test]
+    fn dominant_burst_composes_with_volume_schedule() {
+        let dom = Key(9_999);
+        let mut w = ChurnWorkload::new(1_000, 10_000, 10, 0.5, 13)
+            .with_volume_schedule([1.0, 1.0, 4.0])
+            .with_dominant_burst(dom, 0.6, 2, 3);
+        w.advance();
+        w.advance();
+        assert_eq!(w.interval_tuples(), 40_000);
+        let stats = w.interval_stats();
+        assert_eq!(stats.get(dom).unwrap().freq, 24_000);
+        let total: u64 = stats.iter().map(|(_, s)| s.freq).sum();
+        assert_eq!(total, 40_000);
     }
 }

@@ -299,6 +299,55 @@ fn mid_migration_worker_kill_recovers_and_accounts() {
     }
 }
 
+/// A worker killed *mid-split*: the workload's hottest key is forced
+/// across all three workers after interval 1, a replica worker dies at
+/// interval 2 — taking its partial state for the split key with it —
+/// and the scheduled unsplit at interval 3 must consolidate from the
+/// *surviving* replicas. Per key, `fed == observed + lost` must still
+/// hold exactly: the dead replica's partials land in `lost_tuples`, the
+/// survivors' partials reunify, and nothing is dropped or doubled in
+/// between.
+#[test]
+fn mid_split_replica_kill_accounts_every_tuple() {
+    let expect = reference_counts(&keyed_intervals());
+    let hot = expect
+        .iter()
+        .max_by_key(|&(k, &c)| (c, std::cmp::Reverse(k.raw())))
+        .map(|(&k, _)| k)
+        .expect("non-empty workload");
+    for victim in [1usize, 2] {
+        let label = format!("kill-mid-split({victim})");
+        let plan = FaultPlan::new(vec![FaultSpec::KillWorker {
+            worker: victim,
+            at_interval: 2,
+        }]);
+        let mut config = chaos_config(plan);
+        config.split = Some(Box::new(streambal::elastic::FixedSplitSchedule::cycle(
+            hot.raw(),
+            N_TASKS,
+            1,
+            3,
+        )));
+        let report = run_chaos(&label, config, mixed_balancer());
+        assert!(
+            report
+                .split_events
+                .iter()
+                .any(|e| e.key == hot.raw() && e.to > e.from),
+            "{label}: forced split did not fire: {:?}",
+            report.split_events
+        );
+        assert!(
+            report
+                .faults
+                .contains(&FaultEvent::WorkerDead { worker: victim }),
+            "{label}: death not observed: {:?}",
+            report.faults
+        );
+        assert_accounted(&label, &report, &expect, true);
+    }
+}
+
 /// A worker killed on receipt of a `StateInstall`: the tuples inside
 /// the arriving blobs were already extracted from their origin, so they
 /// exist nowhere but the message that killed their new owner — they

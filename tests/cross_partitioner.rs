@@ -14,7 +14,7 @@ use streambal::baselines::{
     ShufflePartitioner,
 };
 use streambal::core::{BalanceParams, RebalanceStrategy};
-use streambal::elastic::FixedSchedule;
+use streambal::elastic::{FixedSchedule, FixedSplitSchedule};
 use streambal::hashring::FxHashMap;
 use streambal::prelude::{Key, Partitioner, TaskId};
 use streambal::runtime::{Collector, Engine, EngineConfig, SumCollector, Tuple, WordCountOp};
@@ -372,6 +372,117 @@ fn scale_round_trip_stays_exact_for_all_partitioners() {
                 vec![(1, N_TASKS, N_TASKS + 1), (3, N_TASKS + 1, N_TASKS),],
                 "{label}: cycle not executed"
             );
+            assert_eq!(report.processed, total, "{label}: tuples lost/duplicated");
+            let got: FxHashMap<Key, u64> = if preserves {
+                let mut m: FxHashMap<Key, u64> = FxHashMap::default();
+                for (k, blob) in &report.final_states {
+                    let n: u64 = WordCountOp::decode(blob).iter().map(|&(_, c)| c).sum();
+                    *m.entry(*k).or_insert(0) += n;
+                }
+                m
+            } else {
+                report
+                    .collector_result
+                    .iter()
+                    .map(|&(k, v)| (Key(k), v))
+                    .collect()
+            };
+            assert_eq!(got, expect, "{label}: word counts diverged");
+            assert!(
+                report.protocol_errors.is_empty(),
+                "{label}: protocol errors: {:?}",
+                report.protocol_errors
+            );
+        }
+    }
+}
+
+/// A forced hot-key split/unsplit cycle mid-run across every
+/// partitioner: the workload's hottest key is salted over all three
+/// workers after interval 1 and consolidated after interval 3, under
+/// both the per-tuple and a small-batch data-plane shape. Table-backed
+/// strategies (Storm, Readj, the four `CoreBalancer` strategies) must
+/// execute the cycle — one split event, one unsplit event, the key's
+/// merged count exact after replica partials reunify on the primary.
+/// Key-spreading strategies (Ideal, PKG) decline `split_key` by design
+/// (they already spread every key), and the forced ops must no-op
+/// without disturbing exactness.
+#[test]
+fn forced_split_cycle_stays_exact_for_all_partitioners() {
+    let intervals = keyed_intervals();
+    let expect = reference_counts(&intervals);
+    let total: u64 = intervals.iter().map(|iv| iv.len() as u64).sum();
+    // The workload's hottest key: the one whose split actually moves
+    // replica traffic (ties broken low for determinism).
+    let hot = expect
+        .iter()
+        .max_by_key(|&(k, &c)| (c, std::cmp::Reverse(k.raw())))
+        .map(|(&k, _)| k)
+        .expect("non-empty workload");
+    for (per_tuple, batch_size) in [(true, 256), (false, 3)] {
+        for p in all_partitioners() {
+            let name = p.name();
+            let label = format!(
+                "{name}/{}",
+                if per_tuple {
+                    "per-tuple".to_string()
+                } else {
+                    format!("batch={batch_size}")
+                }
+            );
+            let splittable = !matches!(name.as_str(), "Ideal" | "PKG");
+            let preserves = p.preserves_key_semantics();
+            let feed = intervals.clone();
+            let report = Engine::run(
+                EngineConfig {
+                    n_workers: N_TASKS,
+                    max_workers: N_TASKS,
+                    channel_capacity: 4,
+                    collector_capacity: 2,
+                    batch_size,
+                    per_tuple,
+                    spin_work: 10,
+                    window: 100, // retain all state: exact count validation
+                    split: Some(Box::new(FixedSplitSchedule::cycle(
+                        hot.raw(),
+                        N_TASKS,
+                        1,
+                        3,
+                    ))),
+                    ..EngineConfig::default()
+                },
+                p,
+                |_| {
+                    if preserves {
+                        Box::new(WordCountOp::new())
+                    } else {
+                        Box::new(WordCountOp::with_partial_emission(8))
+                    }
+                },
+                move |iv| {
+                    feed.get(iv as usize)
+                        .map(|ks| ks.iter().map(|&k| Tuple::keyed(k)).collect())
+                },
+                (!preserves).then(|| Box::new(SumCollector::new()) as Box<dyn Collector>),
+            );
+            let events: Vec<(u64, u64, usize, usize)> = report
+                .split_events
+                .iter()
+                .map(|e| (e.interval, e.key, e.from, e.to))
+                .collect();
+            if splittable {
+                assert_eq!(
+                    events,
+                    vec![(1, hot.raw(), 1, N_TASKS), (3, hot.raw(), N_TASKS, 1)],
+                    "{label}: forced split cycle not executed"
+                );
+            } else {
+                assert_eq!(
+                    events,
+                    Vec::new(),
+                    "{label}: key-spreading strategy must decline the split"
+                );
+            }
             assert_eq!(report.processed, total, "{label}: tuples lost/duplicated");
             let got: FxHashMap<Key, u64> = if preserves {
                 let mut m: FxHashMap<Key, u64> = FxHashMap::default();

@@ -21,12 +21,15 @@
 use streambal::baselines::CoreBalancer;
 use streambal::core::{BalanceParams, IntervalStats, RebalanceStrategy};
 use streambal::elastic::{
-    BackpressurePolicy, FixedSchedule, ScaleDecision, ScaleEvent, ThresholdPolicy,
+    BackpressurePolicy, FixedSchedule, FixedSplitSchedule, HoldPolicy, HotKeyPolicy, ScaleDecision,
+    ScaleEvent, SplitDecision, SplitEvent, ThresholdPolicy,
 };
 use streambal::prelude::Key;
 use streambal::runtime::{Engine, EngineConfig, Tuple, WordCountOp};
 use streambal::sim::source::ReplaySource;
-use streambal::sim::{run_sim_elastic, run_sim_elastic_queued, QueueModel, SimConfig};
+use streambal::sim::{
+    run_sim_elastic, run_sim_elastic_queued, run_sim_elastic_split, QueueModel, SimConfig,
+};
 
 const N_TASKS: usize = 3;
 const MAX_TASKS: usize = 4;
@@ -286,6 +289,138 @@ fn backpressure_sim_plan_replays_identically_on_the_engine() {
         "pre-placement left the scaled-out worker cold: {:?}",
         engine_report.per_worker_processed
     );
+}
+
+/// The split analogue of the scale-trace identity tests: the simulator
+/// plans hot-key splits with [`HotKeyPolicy`] from exact per-key interval
+/// costs (a dominant-key burst splits once, the cooled key consolidates
+/// after `down_after` quiet rounds), and the engine replays that plan as
+/// a [`FixedSplitSchedule`] — whose decisions depend only on interval
+/// numbers, which the stats rounds carry exactly — so
+/// `EngineReport::split_events` must equal the sim's trace under `==`,
+/// proving the guards, replica-count choice, split/unsplit execution,
+/// and event recording agree across drivers.
+#[test]
+fn split_sim_plan_replays_identically_on_the_engine() {
+    const HOT: u64 = 500; // outside the background key range
+    const BG_KEYS: u64 = 50;
+    const BG_TUPLES: u64 = 2_000; // 40/key → cost 440/key, far below high
+    const BURST: u64 = 4_000; // hot cost 44_000, far above high
+    let intervals: Vec<Vec<Key>> = [0u64, 0, BURST, BURST, 0, 0, 0]
+        .iter()
+        .map(|&burst| {
+            let mut v: Vec<Key> = (0..BG_TUPLES).map(|i| Key(i % BG_KEYS)).collect();
+            v.extend((0..burst).map(|_| Key(HOT)));
+            v
+        })
+        .collect();
+
+    // --- simulator: plan the splits -------------------------------------
+    let stats: Vec<IntervalStats> = intervals
+        .iter()
+        .map(|keys| {
+            let mut iv = IntervalStats::new();
+            let mut freqs = std::collections::HashMap::new();
+            for k in keys {
+                *freqs.entry(k.raw()).or_insert(0u64) += 1;
+            }
+            let mut sorted: Vec<_> = freqs.into_iter().collect();
+            sorted.sort_unstable();
+            for (k, f) in sorted {
+                iv.observe(Key(k), f, f * (SPIN as u64 + 1), f * 8);
+            }
+            iv
+        })
+        .collect();
+    let mut src = ReplaySource::new(stats);
+    // budget = 21_600/1.08 = 20_000: high mark 18_000 sits between the
+    // background per-key cost (440) and the burst key's (44_000), whose
+    // ⌈44_000/18_000⌉ = 3 replicas exactly cover the 3 tasks.
+    let mut hot = HotKeyPolicy::new(21_600.0);
+    let mut p = partitioner();
+    let sim_report = run_sim_elastic_split(
+        &mut p,
+        &mut src,
+        &SimConfig {
+            n_tasks: N_TASKS,
+            intervals: intervals.len(),
+        },
+        &mut HoldPolicy,
+        N_TASKS,
+        QueueModel::none(),
+        &mut hot,
+    );
+    assert_eq!(
+        sim_report.split_events,
+        vec![
+            SplitEvent {
+                interval: 2,
+                key: HOT,
+                from: 1,
+                to: 3,
+            },
+            SplitEvent {
+                interval: 5,
+                key: HOT,
+                from: 3,
+                to: 1,
+            },
+        ],
+        "sim split trace"
+    );
+
+    // --- engine: replay the sim's plan ----------------------------------
+    let schedule = FixedSplitSchedule::new(sim_report.split_events.iter().map(|e| {
+        (
+            e.interval,
+            if e.to > e.from {
+                SplitDecision::Split {
+                    key: e.key,
+                    replicas: e.to,
+                }
+            } else {
+                SplitDecision::Unsplit { key: e.key }
+            },
+        )
+    }));
+    let feed = intervals.clone();
+    let engine_report = Engine::run(
+        EngineConfig {
+            n_workers: N_TASKS,
+            spin_work: SPIN,
+            window: 100,
+            split: Some(Box::new(schedule)),
+            ..EngineConfig::default()
+        },
+        Box::new(partitioner()),
+        |_| Box::new(WordCountOp::new()),
+        move |iv| {
+            feed.get(iv as usize)
+                .map(|ks| ks.iter().map(|&k| Tuple::keyed(k)).collect())
+        },
+        None,
+    );
+    assert_eq!(
+        engine_report.split_events, sim_report.split_events,
+        "engine replay diverged from the sim's split plan"
+    );
+    // Lossless through the split/unsplit cycle, replica merge included:
+    // every hot tuple landed on some replica and each replica's partial
+    // consolidated back onto the primary at unsplit.
+    let total: u64 = intervals.iter().map(|v| v.len() as u64).sum();
+    assert_eq!(engine_report.processed, total);
+    let hot_count: u64 = engine_report
+        .final_states
+        .iter()
+        .filter(|(k, _)| k.raw() == HOT)
+        .map(|(_, blob)| {
+            WordCountOp::decode(blob)
+                .iter()
+                .map(|&(_, c)| c)
+                .sum::<u64>()
+        })
+        .sum();
+    assert_eq!(hot_count, 2 * BURST, "merged hot-key count must be exact");
 }
 
 /// Worker-seconds accounting: an elastic run that spends part of its

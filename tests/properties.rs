@@ -3,9 +3,50 @@
 
 use proptest::prelude::*;
 use streambal::core::{
-    outcome_from_assignment, rebalance, BalanceParams, Key, KeyRecord, RebalanceInput,
-    RebalanceStrategy, TaskId,
+    outcome_from_assignment, rebalance, AssignmentFn, BalanceParams, Key, KeyRecord,
+    RebalanceInput, RebalanceStrategy, TaskId,
 };
+
+/// One step of a randomized hot-key-splitting session against a live
+/// assignment: install a split, dissolve one, or route a batch.
+#[derive(Debug, Clone)]
+enum SplitScript {
+    Split(u64, Vec<usize>),
+    Unsplit(u64),
+    Route(Vec<u64>),
+}
+
+/// A randomized split session: `n_tasks` in 2..6, an initial routing
+/// delta (so the table/hash layers under the split layer are non-trivial),
+/// and an interleaving of split installs (distinct replica slots),
+/// unsplits (of keys that may or may not be split), and batch routes.
+fn arb_split_run() -> impl Strategy<Value = (usize, Vec<(Key, TaskId)>, Vec<SplitScript>)> {
+    (2usize..6).prop_flat_map(|n| {
+        let moves = proptest::collection::vec((0u64..50, 0..n as u32), 0..30).prop_map(|v| {
+            v.into_iter()
+                .map(|(k, t)| (Key(k), TaskId(t)))
+                .collect::<Vec<_>>()
+        });
+        // One op: the discriminant picks the variant (routes weighted
+        // double), the remaining fields parameterize it — the vendored
+        // proptest has no `prop_oneof`, so unused fields are ignored.
+        // Split slots are `len` consecutive task indices mod `n`
+        // starting at `start`: distinct by construction, varied in both
+        // membership and primary.
+        let op = (
+            0usize..4,
+            0u64..50,
+            (0usize..n, 2usize..=n),
+            proptest::collection::vec(0u64..60, 0..40),
+        )
+            .prop_map(move |(d, key, (start, len), batch)| match d {
+                0 => SplitScript::Split(key, (0..len).map(|i| (start + i) % n).collect()),
+                1 => SplitScript::Unsplit(key),
+                _ => SplitScript::Route(batch),
+            });
+        (Just(n), moves, proptest::collection::vec(op, 1..30))
+    })
+}
 
 /// A randomized rebalance input: `n_tasks` in 2..6, up to 120 keys with
 /// arbitrary costs/memories, current placement consistent with a routing
@@ -143,6 +184,51 @@ proptest! {
             out.achieved_theta,
             bound
         );
+    }
+
+    /// The split layer's batched/scalar equivalence under arbitrary
+    /// split/unsplit interleavings: `route_batch` must be
+    /// observationally identical to routing each key in order with
+    /// `route` — including split-key cursor rotation, which both paths
+    /// advance per occurrence. The reference holder is a clone taken at
+    /// batch time, so both start from identical cursor state. Every
+    /// destination must stay in range, and a split key's destinations
+    /// must stay inside its installed replica set.
+    #[test]
+    fn split_aware_route_batch_matches_scalar_reference(
+        (n_tasks, moves, script) in arb_split_run()
+    ) {
+        let mut f = AssignmentFn::hash_only(n_tasks);
+        f.apply_delta(moves.iter().copied());
+        for op in &script {
+            match op {
+                SplitScript::Split(k, slots) => {
+                    let reps: Vec<TaskId> =
+                        slots.iter().map(|&s| TaskId(s as u32)).collect();
+                    // Slots are a distinct subsequence of 0..n of length
+                    // ≥ 2, so the install must be accepted.
+                    prop_assert!(f.set_split(Key(*k), &reps));
+                }
+                SplitScript::Unsplit(k) => {
+                    let _ = f.clear_split(Key(*k));
+                }
+                SplitScript::Route(keys) => {
+                    let keys: Vec<Key> = keys.iter().map(|&k| Key(k)).collect();
+                    let reference = f.clone();
+                    let mut got = Vec::new();
+                    f.route_batch(&keys, &mut got);
+                    let want: Vec<TaskId> =
+                        keys.iter().map(|&k| reference.route(k)).collect();
+                    prop_assert_eq!(&got, &want);
+                    for (&k, &d) in keys.iter().zip(&got) {
+                        prop_assert!(d.index() < n_tasks);
+                        if let Some(reps) = f.split_replicas(k) {
+                            prop_assert!(reps.contains(&d));
+                        }
+                    }
+                }
+            }
+        }
     }
 
     /// outcome_from_assignment is the inverse of any assignment: replaying
